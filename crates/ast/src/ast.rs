@@ -1,0 +1,358 @@
+//! The raw abstract syntax of the SML subset, as produced by the parser.
+//!
+//! This is the "Raw Abstract Syntax" box of the paper's Figure 3: no name
+//! resolution (a `Pat::Var` may turn out to be a nullary constructor) and
+//! no types beyond user annotations. Elaboration (crate `sml-elab`) turns
+//! this into typed abstract syntax.
+
+use crate::intern::Symbol;
+use crate::span::Span;
+use std::fmt;
+
+/// A possibly-qualified long identifier, e.g. `x` or `S.T.x`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// Structure qualifiers, outermost first (`[S, T]` in `S.T.x`).
+    pub qualifiers: Vec<Symbol>,
+    /// The final identifier.
+    pub name: Symbol,
+}
+
+impl Path {
+    /// An unqualified path.
+    pub fn simple(name: Symbol) -> Path {
+        Path { qualifiers: Vec::new(), name }
+    }
+
+    /// True if the path has no qualifiers.
+    pub fn is_simple(&self) -> bool {
+        self.qualifiers.is_empty()
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for q in &self.qualifiers {
+            write!(f, "{q}.")?;
+        }
+        write!(f, "{}", self.name)
+    }
+}
+
+/// An expression with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Exp {
+    /// The expression proper.
+    pub kind: ExpKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expression forms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExpKind {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(String),
+    /// Character literal.
+    Char(u8),
+    /// Variable or nullary-constructor reference.
+    Var(Path),
+    /// Tuple `(e1, ..., en)`; `()` (unit) is the empty tuple.
+    Tuple(Vec<Exp>),
+    /// Record `{l1 = e1, ...}`.
+    Record(Vec<(Symbol, Exp)>),
+    /// Record selector `#lab`, a first-class function.
+    Selector(Symbol),
+    /// List literal `[e1, ..., en]`.
+    List(Vec<Exp>),
+    /// Application `f x` (infix operators are desugared to this).
+    App(Box<Exp>, Box<Exp>),
+    /// `fn` abstraction with one or more rules.
+    Fn(Vec<Rule>),
+    /// `case e of rules`.
+    Case(Box<Exp>, Vec<Rule>),
+    /// `if e1 then e2 else e3`.
+    If(Box<Exp>, Box<Exp>, Box<Exp>),
+    /// `e1 andalso e2`.
+    Andalso(Box<Exp>, Box<Exp>),
+    /// `e1 orelse e2`.
+    Orelse(Box<Exp>, Box<Exp>),
+    /// `while e1 do e2`.
+    While(Box<Exp>, Box<Exp>),
+    /// Sequencing `(e1; ...; en)`; value of the last expression.
+    Seq(Vec<Exp>),
+    /// `let decs in e end` (the body may itself be a sequence).
+    Let(Vec<Dec>, Box<Exp>),
+    /// `raise e`.
+    Raise(Box<Exp>),
+    /// `e handle rules`.
+    Handle(Box<Exp>, Vec<Rule>),
+    /// Type constraint `e : ty`.
+    Constraint(Box<Exp>, Ty),
+}
+
+/// A `pat => exp` match rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// Left-hand pattern.
+    pub pat: Pat,
+    /// Right-hand expression.
+    pub exp: Exp,
+}
+
+/// A pattern with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pat {
+    /// The pattern proper.
+    pub kind: PatKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Pattern forms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PatKind {
+    /// Wildcard `_`.
+    Wild,
+    /// Variable or nullary constructor (disambiguated during elaboration).
+    Var(Path),
+    /// Integer literal pattern.
+    Int(i64),
+    /// String literal pattern.
+    Str(String),
+    /// Character literal pattern.
+    Char(u8),
+    /// Constructor application `C p`.
+    Con(Path, Box<Pat>),
+    /// Tuple pattern; `()` is the empty tuple.
+    Tuple(Vec<Pat>),
+    /// Record pattern; `flexible` when `...` is present.
+    Record {
+        /// Listed fields.
+        fields: Vec<(Symbol, Pat)>,
+        /// Whether the pattern ends with `...`.
+        flexible: bool,
+    },
+    /// List pattern `[p1, ..., pn]`.
+    List(Vec<Pat>),
+    /// Layered pattern `x as p`.
+    As(Symbol, Box<Pat>),
+    /// Constraint `p : ty`.
+    Constraint(Box<Pat>, Ty),
+}
+
+/// A type expression with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ty {
+    /// The type proper.
+    pub kind: TyKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Type-expression forms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TyKind {
+    /// Type variable `'a` / equality type variable `''a`.
+    Var(Symbol),
+    /// Type constructor application `(ty, ...) path`.
+    Con(Path, Vec<Ty>),
+    /// Product type `t1 * ... * tn`.
+    Tuple(Vec<Ty>),
+    /// Record type `{l1 : t1, ...}`.
+    Record(Vec<(Symbol, Ty)>),
+    /// Function type `t1 -> t2`.
+    Arrow(Box<Ty>, Box<Ty>),
+}
+
+/// A declaration with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dec {
+    /// The declaration proper.
+    pub kind: DecKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Declaration forms (core and module language).
+#[derive(Clone, Debug, PartialEq)]
+pub enum DecKind {
+    /// `val [tyvars] pat = exp`.
+    Val {
+        /// Explicitly bound type variables (may be empty).
+        tyvars: Vec<Symbol>,
+        /// Binding pattern.
+        pat: Pat,
+        /// Bound expression.
+        exp: Exp,
+    },
+    /// `fun` declarations (and `val rec`, desugared); mutually recursive
+    /// via `and`.
+    Fun {
+        /// Explicitly bound type variables (may be empty).
+        tyvars: Vec<Symbol>,
+        /// The function bindings.
+        funs: Vec<FunBind>,
+    },
+    /// `type` abbreviations.
+    Type(Vec<TypeBind>),
+    /// `datatype` declarations, mutually recursive via `and`.
+    Datatype(Vec<DataBind>),
+    /// `exception` declarations.
+    Exception(Vec<ExBind>),
+    /// `structure` (and `abstraction`) declarations.
+    Structure(Vec<StrBind>),
+    /// `signature` declarations.
+    Signature(Vec<SigBind>),
+    /// `functor` declarations.
+    Functor(Vec<FctBind>),
+}
+
+/// One `fun` binding: a named function with clausal definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunBind {
+    /// Function name.
+    pub name: Symbol,
+    /// Clauses; every clause must have the same number of curried patterns.
+    pub clauses: Vec<Clause>,
+}
+
+/// One clause of a clausal function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clause {
+    /// Curried argument patterns.
+    pub pats: Vec<Pat>,
+    /// Optional result type annotation.
+    pub ret_ty: Option<Ty>,
+    /// Clause body.
+    pub body: Exp,
+}
+
+/// One `type` binding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeBind {
+    /// Formal type parameters.
+    pub tyvars: Vec<Symbol>,
+    /// Abbreviation name.
+    pub name: Symbol,
+    /// Definition.
+    pub ty: Ty,
+}
+
+/// One `datatype` binding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataBind {
+    /// Formal type parameters.
+    pub tyvars: Vec<Symbol>,
+    /// Datatype name.
+    pub name: Symbol,
+    /// Constructors with optional payload types.
+    pub cons: Vec<(Symbol, Option<Ty>)>,
+}
+
+/// One `exception` binding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExBind {
+    /// Exception constructor name.
+    pub name: Symbol,
+    /// Optional payload type.
+    pub ty: Option<Ty>,
+}
+
+/// One `structure` or `abstraction` binding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StrBind {
+    /// Structure name.
+    pub name: Symbol,
+    /// Optional ascription; `opaque` is true for `abstraction`/`:>`.
+    pub ascription: Option<(SigExp, bool)>,
+    /// Defining structure expression.
+    pub def: StrExp,
+}
+
+/// One `signature` binding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SigBind {
+    /// Signature name.
+    pub name: Symbol,
+    /// Definition.
+    pub def: SigExp,
+}
+
+/// One `functor` binding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FctBind {
+    /// Functor name.
+    pub name: Symbol,
+    /// Formal parameter name.
+    pub param: Symbol,
+    /// Parameter signature.
+    pub param_sig: SigExp,
+    /// Optional result ascription; `bool` is opacity.
+    pub result_sig: Option<(SigExp, bool)>,
+    /// Functor body.
+    pub body: StrExp,
+}
+
+/// Structure expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StrExp {
+    /// Reference to a bound structure.
+    Var(Path),
+    /// `struct decs end`.
+    Struct(Vec<Dec>, Span),
+    /// Functor application `F (strexp)`.
+    App(Symbol, Box<StrExp>, Span),
+    /// Ascription `strexp : sig` / `strexp :> sig`.
+    Ascribe(Box<StrExp>, SigExp, bool),
+}
+
+/// Signature expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SigExp {
+    /// Reference to a bound signature.
+    Var(Symbol),
+    /// `sig specs end`.
+    Sig(Vec<Spec>, Span),
+}
+
+/// Signature specifications.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Spec {
+    /// `val x : ty`.
+    Val(Symbol, Ty),
+    /// `type`/`eqtype` specification, optionally manifest.
+    Type {
+        /// Formal type parameters.
+        tyvars: Vec<Symbol>,
+        /// Type constructor name.
+        name: Symbol,
+        /// True for `eqtype`.
+        eq: bool,
+        /// Manifest definition (`type t = ty`), if any.
+        def: Option<Ty>,
+    },
+    /// `datatype` specification.
+    Datatype(DataBind),
+    /// `exception` specification.
+    Exception(Symbol, Option<Ty>),
+    /// Substructure specification `structure S : SIG`.
+    Structure(Symbol, SigExp),
+}
+
+/// A whole compilation unit: a sequence of top-level declarations.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// Top-level declarations in order.
+    pub decs: Vec<Dec>,
+}

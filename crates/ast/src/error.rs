@@ -1,0 +1,32 @@
+//! Parse errors.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced by the lexer or parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// Human-readable description, lowercase, no trailing punctuation.
+    pub msg: String,
+}
+
+impl ParseError {
+    /// Renders the error with 1-based line/column resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("{line}:{col}: syntax error: {}", self.msg)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for lexing/parsing operations.
+pub type ParseResult<T> = Result<T, ParseError>;

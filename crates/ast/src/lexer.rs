@@ -1,0 +1,452 @@
+//! The lexer for the SML subset.
+//!
+//! Follows the lexical conventions of the Definition of Standard ML:
+//! nested `(* ... *)` comments, `~` for numeric negation, alphanumeric and
+//! symbolic identifier classes, `'a` type variables, string escapes, and
+//! `#"c"` character literals.
+
+use crate::error::{ParseError, ParseResult};
+use crate::intern::Symbol;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Characters permitted in symbolic identifiers (Definition, §2.4).
+fn is_sym_char(c: char) -> bool {
+    matches!(
+        c,
+        '!' | '%' | '&' | '$' | '#' | '+' | '-' | '/' | ':' | '<' | '=' | '>' | '?' | '@'
+            | '\\' | '~' | '`' | '^' | '|' | '*'
+    )
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic()
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '\''
+}
+
+/// Streaming lexer over a source string.
+pub struct Lexer<'src> {
+    src: &'src str,
+    pos: usize,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Lexer<'src> {
+        Lexer { src, pos: 0 }
+    }
+
+    /// Lexes the entire input into a token vector ending with `Eof`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed literals, unterminated
+    /// comments or strings, or characters outside the language.
+    pub fn tokenize(mut self) -> ParseResult<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn err(&self, at: usize, msg: impl Into<String>) -> ParseError {
+        ParseError { span: Span::new(at as u32, self.pos as u32), msg: msg.into() }
+    }
+
+    fn skip_trivia(&mut self) -> ParseResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('(') if self.peek2() == Some('*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match self.bump() {
+                            Some('(') if self.peek() == Some('*') => {
+                                self.bump();
+                                depth += 1;
+                            }
+                            Some('*') if self.peek() == Some(')') => {
+                                self.bump();
+                                depth -= 1;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.err(start, "unterminated comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> ParseResult<Token> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let mk = |kind, start: usize, end: usize| Token {
+            kind,
+            span: Span::new(start as u32, end as u32),
+        };
+        let c = match self.peek() {
+            None => return Ok(mk(TokenKind::Eof, start, start)),
+            Some(c) => c,
+        };
+
+        // Numeric literals, including `~`-negated ones.
+        if c.is_ascii_digit() || (c == '~' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+            return self.lex_number(start);
+        }
+
+        if c == '"' {
+            return self.lex_string(start).map(|k| mk(k, start, self.pos));
+        }
+
+        // `#"c"` char literal; bare `#` is the record selector.
+        if c == '#' && self.peek2() == Some('"') {
+            self.bump();
+            let TokenKind::Str(s) = self.lex_string(start)? else { unreachable!() };
+            if s.len() != 1 {
+                return Err(self.err(start, "character literal must have length 1"));
+            }
+            return Ok(mk(TokenKind::Char(s.as_bytes()[0]), start, self.pos));
+        }
+
+        if c == '\'' {
+            self.bump();
+            let mut name = String::from("'");
+            while let Some(d) = self.peek() {
+                if is_ident_cont(d) {
+                    name.push(d);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if name.len() == 1 {
+                return Err(self.err(start, "empty type variable"));
+            }
+            return Ok(mk(TokenKind::TyVar(Symbol::intern(&name)), start, self.pos));
+        }
+
+        if is_ident_start(c) {
+            self.bump();
+            while self.peek().is_some_and(is_ident_cont) {
+                self.bump();
+            }
+            let text = &self.src[start..self.pos];
+            return Ok(mk(keyword_or_ident(text), start, self.pos));
+        }
+
+        if is_sym_char(c) {
+            self.bump();
+            while self.peek().is_some_and(is_sym_char) {
+                self.bump();
+            }
+            let text = &self.src[start..self.pos];
+            let kind = match text {
+                ":" => TokenKind::Colon,
+                ":>" => TokenKind::ColonGt,
+                "|" => TokenKind::Bar,
+                "=" => TokenKind::Equals,
+                "=>" => TokenKind::DArrow,
+                "->" => TokenKind::Arrow,
+                "#" => TokenKind::Hash,
+                _ => TokenKind::SymIdent(Symbol::intern(text)),
+            };
+            return Ok(mk(kind, start, self.pos));
+        }
+
+        self.bump();
+        let kind = match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            ',' => TokenKind::Comma,
+            ';' => TokenKind::Semi,
+            '_' => TokenKind::Underscore,
+            '.' => {
+                if self.peek() == Some('.') && self.peek2() == Some('.') {
+                    self.bump();
+                    self.bump();
+                    TokenKind::DotDotDot
+                } else {
+                    TokenKind::Dot
+                }
+            }
+            other => return Err(self.err(start, format!("unexpected character {other:?}"))),
+        };
+        Ok(mk(kind, start, self.pos))
+    }
+
+    fn lex_number(&mut self, start: usize) -> ParseResult<Token> {
+        let neg = self.peek() == Some('~');
+        if neg {
+            self.bump();
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_real = false;
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_real = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            // Exponents require at least one digit (possibly `~`-negated).
+            let save = self.pos;
+            self.bump();
+            let mut saw_neg = false;
+            if self.peek() == Some('~') {
+                saw_neg = true;
+                self.bump();
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_real = true;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                let _ = saw_neg;
+                self.pos = save;
+            }
+        }
+        let text: String = self.src[start..self.pos].replace('~', "-");
+        let span = Span::new(start as u32, self.pos as u32);
+        if is_real {
+            let x: f64 =
+                text.parse().map_err(|_| self.err(start, format!("bad real literal {text}")))?;
+            Ok(Token { kind: TokenKind::Real(x), span })
+        } else {
+            let n: i64 =
+                text.parse().map_err(|_| self.err(start, format!("bad int literal {text}")))?;
+            Ok(Token { kind: TokenKind::Int(n), span })
+        }
+    }
+
+    fn lex_string(&mut self, start: usize) -> ParseResult<TokenKind> {
+        debug_assert_eq!(self.peek(), Some('"'));
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(start, "unterminated string literal")),
+                Some('"') => return Ok(TokenKind::Str(out)),
+                Some('\\') => match self.bump() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some(d) if d.is_ascii_digit() => {
+                        let mut code = d.to_digit(10).unwrap();
+                        for _ in 0..2 {
+                            match self.bump() {
+                                Some(e) if e.is_ascii_digit() => {
+                                    code = code * 10 + e.to_digit(10).unwrap();
+                                }
+                                _ => return Err(self.err(start, "bad \\ddd escape")),
+                            }
+                        }
+                        if code > 255 {
+                            return Err(self.err(start, "\\ddd escape out of range"));
+                        }
+                        out.push(code as u8 as char);
+                    }
+                    Some(c) if c.is_whitespace() => {
+                        // `\ ... \` gap.
+                        while self.peek().is_some_and(|c| c.is_whitespace()) {
+                            self.bump();
+                        }
+                        if self.bump() != Some('\\') {
+                            return Err(self.err(start, "bad string gap"));
+                        }
+                    }
+                    other => {
+                        return Err(self.err(start, format!("bad string escape {other:?}")))
+                    }
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+}
+
+fn keyword_or_ident(text: &str) -> TokenKind {
+    match text {
+        "abstraction" => TokenKind::Abstraction,
+        "and" => TokenKind::And,
+        "andalso" => TokenKind::Andalso,
+        "case" => TokenKind::Case,
+        "datatype" => TokenKind::Datatype,
+        "do" => TokenKind::Do,
+        "else" => TokenKind::Else,
+        "end" => TokenKind::End,
+        "eqtype" => TokenKind::Eqtype,
+        "exception" => TokenKind::Exception,
+        "fn" => TokenKind::Fn,
+        "fun" => TokenKind::Fun,
+        "functor" => TokenKind::Functor,
+        "handle" => TokenKind::Handle,
+        "if" => TokenKind::If,
+        "in" => TokenKind::In,
+        "let" => TokenKind::Let,
+        "of" => TokenKind::Of,
+        "op" => TokenKind::Op,
+        "orelse" => TokenKind::Orelse,
+        "raise" => TokenKind::Raise,
+        "rec" => TokenKind::Rec,
+        "sig" => TokenKind::Sig,
+        "signature" => TokenKind::Signature,
+        "struct" => TokenKind::Struct,
+        "structure" => TokenKind::Structure,
+        "then" => TokenKind::Then,
+        "type" => TokenKind::Type,
+        "val" => TokenKind::Val,
+        "while" => TokenKind::While,
+        _ => TokenKind::Ident(Symbol::intern(text)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("val x = fn y => y"),
+            vec![
+                Val,
+                Ident(Symbol::intern("x")),
+                Equals,
+                Fn,
+                Ident(Symbol::intern("y")),
+                DArrow,
+                Ident(Symbol::intern("y")),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(kinds("42"), vec![Int(42), Eof]);
+        assert_eq!(kinds("~7"), vec![Int(-7), Eof]);
+        assert_eq!(kinds("3.25"), vec![Real(3.25), Eof]);
+        assert_eq!(kinds("1e3"), vec![Real(1000.0), Eof]);
+        assert_eq!(kinds("2.5E~2"), vec![Real(0.025), Eof]);
+        assert_eq!(kinds("~1.5"), vec![Real(-1.5), Eof]);
+    }
+
+    #[test]
+    fn tilde_alone_is_symbolic() {
+        use TokenKind::*;
+        assert_eq!(kinds("~ x"), vec![SymIdent(Symbol::intern("~")), Ident(Symbol::intern("x")), Eof]);
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        use TokenKind::*;
+        assert_eq!(kinds(r#""hi\n""#), vec![Str("hi\n".into()), Eof]);
+        assert_eq!(kinds(r#"#"a""#), vec![Char(b'a'), Eof]);
+        assert_eq!(kinds(r#""\065""#), vec![Str("A".into()), Eof]);
+    }
+
+    #[test]
+    fn symbolic_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a :: b <> c"),
+            vec![
+                Ident(Symbol::intern("a")),
+                SymIdent(Symbol::intern("::")),
+                Ident(Symbol::intern("b")),
+                SymIdent(Symbol::intern("<>")),
+                Ident(Symbol::intern("c")),
+                Eof
+            ]
+        );
+        assert_eq!(kinds("=>"), vec![DArrow, Eof]);
+        assert_eq!(kinds(":>"), vec![ColonGt, Eof]);
+    }
+
+    #[test]
+    fn nested_comments() {
+        assert_eq!(kinds("(* a (* b *) c *) 1"), vec![TokenKind::Int(1), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(Lexer::new("(* oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn dots_and_punct() {
+        use TokenKind::*;
+        assert_eq!(kinds("S.x"), vec![Ident(Symbol::intern("S")), Dot, Ident(Symbol::intern("x")), Eof]);
+        assert_eq!(kinds("{a=1, ...}"), vec![
+            LBrace,
+            Ident(Symbol::intern("a")),
+            Equals,
+            Int(1),
+            Comma,
+            DotDotDot,
+            RBrace,
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn tyvars() {
+        use TokenKind::*;
+        assert_eq!(kinds("'a ''b"), vec![
+            TyVar(Symbol::intern("'a")),
+            TyVar(Symbol::intern("''b")),
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn string_gap() {
+        assert_eq!(kinds("\"ab\\   \\cd\""), vec![TokenKind::Str("abcd".into()), TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,1323 @@
+//! Recursive-descent parser for the SML subset.
+//!
+//! Infix operators use the Definition's default fixity table (there are no
+//! user `infix` declarations in the subset); applications bind tighter
+//! than infixes, which bind tighter than type constraints, `andalso`,
+//! `orelse`, and `handle`, in that order. `raise`, `if`, `case`, `fn`, and
+//! `while` extend as far right as possible.
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseResult};
+use crate::intern::Symbol;
+use crate::lexer::Lexer;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete program (a sequence of top-level declarations).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// let prog = sml_ast::parse("val x = 1 + 2").unwrap();
+/// assert_eq!(prog.decs.len(), 1);
+/// ```
+pub fn parse(src: &str) -> ParseResult<Program> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser::new(tokens).program()
+}
+
+/// Parses a single expression (used by tests and the REPL example).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse_exp(src: &str) -> ParseResult<Exp> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser::new(tokens);
+    let e = p.exp()?;
+    p.expect(TokenKind::Eof)?;
+    Ok(e)
+}
+
+/// Default fixity of an infix operator: `(precedence, right_assoc)`.
+fn fixity(name: &str) -> Option<(u8, bool)> {
+    match name {
+        "::" | "@" => Some((5, true)),
+        "*" | "/" | "div" | "mod" => Some((7, false)),
+        "+" | "-" | "^" => Some((6, false)),
+        "=" | "<>" | "<" | ">" | "<=" | ">=" => Some((4, false)),
+        ":=" | "o" => Some((3, false)),
+        _ => None,
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> ParseResult<T> {
+        Err(ParseError { span: self.span(), msg: msg.into() })
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> ParseResult<()> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{kind}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> ParseResult<Symbol> {
+        match self.peek() {
+            TokenKind::Ident(s) => {
+                let s = *s;
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    /// Any value identifier: alphanumeric or (possibly `op`-prefixed)
+    /// symbolic.
+    fn vid(&mut self) -> ParseResult<Symbol> {
+        if self.eat(TokenKind::Op) { /* `op` is a no-op marker here */ }
+        match self.peek() {
+            TokenKind::Ident(s) | TokenKind::SymIdent(s) => {
+                let s = *s;
+                self.bump();
+                Ok(s)
+            }
+            TokenKind::Equals => {
+                self.bump();
+                Ok(Symbol::intern("="))
+            }
+            other => self.err(format!("expected value identifier, found `{other}`")),
+        }
+    }
+
+    /// A long identifier `A.B.x`.
+    fn path(&mut self) -> ParseResult<Path> {
+        let mut first = self.ident()?;
+        let mut quals = Vec::new();
+        while *self.peek() == TokenKind::Dot {
+            self.bump();
+            quals.push(first);
+            match self.peek() {
+                TokenKind::Ident(s) => {
+                    first = *s;
+                    self.bump();
+                }
+                TokenKind::SymIdent(s) => {
+                    first = *s;
+                    self.bump();
+                }
+                other => return self.err(format!("expected identifier after `.`, found `{other}`")),
+            }
+        }
+        Ok(Path { qualifiers: quals, name: first })
+    }
+
+    // ----- programs and declarations -------------------------------------
+
+    fn program(&mut self) -> ParseResult<Program> {
+        let mut decs = Vec::new();
+        loop {
+            while self.eat(TokenKind::Semi) {}
+            if *self.peek() == TokenKind::Eof {
+                return Ok(Program { decs });
+            }
+            self.dec_seq(&mut decs)?;
+        }
+    }
+
+    /// Parses one syntactic declaration, which may expand to several `Dec`s
+    /// (e.g. `val x = 1 and y = 2`).
+    fn dec_seq(&mut self, out: &mut Vec<Dec>) -> ParseResult<()> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Val => {
+                self.bump();
+                let tyvars = self.tyvarseq()?;
+                if self.eat(TokenKind::Rec) {
+                    // `val rec f = fn match` desugars to `fun`.
+                    let mut funs = Vec::new();
+                    loop {
+                        let name = self.vid()?;
+                        self.expect(TokenKind::Equals)?;
+                        self.expect(TokenKind::Fn)?;
+                        let rules = self.match_rules()?;
+                        let clauses = rules
+                            .into_iter()
+                            .map(|r| Clause { pats: vec![r.pat], ret_ty: None, body: r.exp })
+                            .collect();
+                        funs.push(FunBind { name, clauses });
+                        if !self.eat(TokenKind::And) {
+                            break;
+                        }
+                        self.eat(TokenKind::Rec);
+                    }
+                    out.push(Dec {
+                        kind: DecKind::Fun { tyvars, funs },
+                        span: start.to(self.prev_span()),
+                    });
+                } else {
+                    loop {
+                        let pat = self.pat()?;
+                        self.expect(TokenKind::Equals)?;
+                        let exp = self.exp()?;
+                        out.push(Dec {
+                            kind: DecKind::Val { tyvars: tyvars.clone(), pat, exp },
+                            span: start.to(self.prev_span()),
+                        });
+                        if !self.eat(TokenKind::And) {
+                            break;
+                        }
+                    }
+                }
+            }
+            TokenKind::Fun => {
+                self.bump();
+                let tyvars = self.tyvarseq()?;
+                let mut funs = Vec::new();
+                loop {
+                    funs.push(self.funbind()?);
+                    if !self.eat(TokenKind::And) {
+                        break;
+                    }
+                }
+                out.push(Dec {
+                    kind: DecKind::Fun { tyvars, funs },
+                    span: start.to(self.prev_span()),
+                });
+            }
+            TokenKind::Type => {
+                self.bump();
+                let mut binds = Vec::new();
+                loop {
+                    let tyvars = self.tyvarseq()?;
+                    let name = self.ident()?;
+                    self.expect(TokenKind::Equals)?;
+                    let ty = self.ty()?;
+                    binds.push(TypeBind { tyvars, name, ty });
+                    if !self.eat(TokenKind::And) {
+                        break;
+                    }
+                }
+                out.push(Dec { kind: DecKind::Type(binds), span: start.to(self.prev_span()) });
+            }
+            TokenKind::Datatype => {
+                self.bump();
+                let mut binds = Vec::new();
+                loop {
+                    binds.push(self.databind()?);
+                    if !self.eat(TokenKind::And) {
+                        break;
+                    }
+                }
+                out.push(Dec { kind: DecKind::Datatype(binds), span: start.to(self.prev_span()) });
+            }
+            TokenKind::Exception => {
+                self.bump();
+                let mut binds = Vec::new();
+                loop {
+                    let name = self.vid()?;
+                    let ty = if self.eat(TokenKind::Of) { Some(self.ty()?) } else { None };
+                    binds.push(ExBind { name, ty });
+                    if !self.eat(TokenKind::And) {
+                        break;
+                    }
+                }
+                out.push(Dec { kind: DecKind::Exception(binds), span: start.to(self.prev_span()) });
+            }
+            TokenKind::Structure | TokenKind::Abstraction => {
+                let is_abstraction = self.bump() == TokenKind::Abstraction;
+                let mut binds = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    let ascription = if self.eat(TokenKind::Colon) {
+                        Some((self.sigexp()?, is_abstraction))
+                    } else if self.eat(TokenKind::ColonGt) {
+                        Some((self.sigexp()?, true))
+                    } else if is_abstraction {
+                        return self.err("`abstraction` requires a signature ascription");
+                    } else {
+                        None
+                    };
+                    self.expect(TokenKind::Equals)?;
+                    let def = self.strexp()?;
+                    binds.push(StrBind { name, ascription, def });
+                    if !self.eat(TokenKind::And) {
+                        break;
+                    }
+                }
+                out.push(Dec { kind: DecKind::Structure(binds), span: start.to(self.prev_span()) });
+            }
+            TokenKind::Signature => {
+                self.bump();
+                let mut binds = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    self.expect(TokenKind::Equals)?;
+                    let def = self.sigexp()?;
+                    binds.push(SigBind { name, def });
+                    if !self.eat(TokenKind::And) {
+                        break;
+                    }
+                }
+                out.push(Dec { kind: DecKind::Signature(binds), span: start.to(self.prev_span()) });
+            }
+            TokenKind::Functor => {
+                self.bump();
+                let mut binds = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    self.expect(TokenKind::LParen)?;
+                    let param = self.ident()?;
+                    self.expect(TokenKind::Colon)?;
+                    let param_sig = self.sigexp()?;
+                    self.expect(TokenKind::RParen)?;
+                    let result_sig = if self.eat(TokenKind::Colon) {
+                        Some((self.sigexp()?, false))
+                    } else if self.eat(TokenKind::ColonGt) {
+                        Some((self.sigexp()?, true))
+                    } else {
+                        None
+                    };
+                    self.expect(TokenKind::Equals)?;
+                    let body = self.strexp()?;
+                    binds.push(FctBind { name, param, param_sig, result_sig, body });
+                    if !self.eat(TokenKind::And) {
+                        break;
+                    }
+                }
+                out.push(Dec { kind: DecKind::Functor(binds), span: start.to(self.prev_span()) });
+            }
+            other => return self.err(format!("expected declaration, found `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn tyvarseq(&mut self) -> ParseResult<Vec<Symbol>> {
+        match self.peek() {
+            TokenKind::TyVar(s) => {
+                let s = *s;
+                self.bump();
+                Ok(vec![s])
+            }
+            TokenKind::LParen if matches!(self.peek2(), TokenKind::TyVar(_)) => {
+                self.bump();
+                let mut vars = Vec::new();
+                loop {
+                    match self.bump() {
+                        TokenKind::TyVar(s) => vars.push(s),
+                        other => {
+                            return self.err(format!("expected type variable, found `{other}`"))
+                        }
+                    }
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                Ok(vars)
+            }
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    fn funbind(&mut self) -> ParseResult<FunBind> {
+        let mut clauses = Vec::new();
+        let name = {
+            let save = self.pos;
+            let n = self.vid()?;
+            self.pos = save;
+            n
+        };
+        loop {
+            let cname = self.vid()?;
+            if cname != name {
+                return self.err(format!(
+                    "clauses of `{name}` may not switch to `{cname}`"
+                ));
+            }
+            let mut pats = vec![self.atpat()?];
+            while self.at_atpat() {
+                pats.push(self.atpat()?);
+            }
+            let ret_ty = if self.eat(TokenKind::Colon) { Some(self.ty()?) } else { None };
+            self.expect(TokenKind::Equals)?;
+            let body = self.exp()?;
+            clauses.push(Clause { pats, ret_ty, body });
+            if !self.eat(TokenKind::Bar) {
+                break;
+            }
+        }
+        Ok(FunBind { name, clauses })
+    }
+
+    fn databind(&mut self) -> ParseResult<DataBind> {
+        let tyvars = self.tyvarseq()?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Equals)?;
+        let mut cons = Vec::new();
+        loop {
+            let cname = self.vid()?;
+            let ty = if self.eat(TokenKind::Of) { Some(self.ty()?) } else { None };
+            cons.push((cname, ty));
+            if !self.eat(TokenKind::Bar) {
+                break;
+            }
+        }
+        Ok(DataBind { tyvars, name, cons })
+    }
+
+    // ----- module expressions ---------------------------------------------
+
+    fn strexp(&mut self) -> ParseResult<StrExp> {
+        let start = self.span();
+        let mut s = match self.peek().clone() {
+            TokenKind::Struct => {
+                self.bump();
+                let mut decs = Vec::new();
+                loop {
+                    while self.eat(TokenKind::Semi) {}
+                    if self.eat(TokenKind::End) {
+                        break;
+                    }
+                    self.dec_seq(&mut decs)?;
+                }
+                StrExp::Struct(decs, start.to(self.prev_span()))
+            }
+            TokenKind::Ident(_) => {
+                let p = self.path()?;
+                if p.is_simple() && *self.peek() == TokenKind::LParen {
+                    self.bump();
+                    let arg = self.strexp()?;
+                    self.expect(TokenKind::RParen)?;
+                    StrExp::App(p.name, Box::new(arg), start.to(self.prev_span()))
+                } else {
+                    StrExp::Var(p)
+                }
+            }
+            other => return self.err(format!("expected structure expression, found `{other}`")),
+        };
+        loop {
+            if self.eat(TokenKind::Colon) {
+                s = StrExp::Ascribe(Box::new(s), self.sigexp()?, false);
+            } else if self.eat(TokenKind::ColonGt) {
+                s = StrExp::Ascribe(Box::new(s), self.sigexp()?, true);
+            } else {
+                return Ok(s);
+            }
+        }
+    }
+
+    fn sigexp(&mut self) -> ParseResult<SigExp> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Sig => {
+                self.bump();
+                let mut specs = Vec::new();
+                loop {
+                    while self.eat(TokenKind::Semi) {}
+                    if self.eat(TokenKind::End) {
+                        break;
+                    }
+                    specs.push(self.spec()?);
+                }
+                Ok(SigExp::Sig(specs, start.to(self.prev_span())))
+            }
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(SigExp::Var(s))
+            }
+            other => self.err(format!("expected signature expression, found `{other}`")),
+        }
+    }
+
+    fn spec(&mut self) -> ParseResult<Spec> {
+        match self.peek().clone() {
+            TokenKind::Val => {
+                self.bump();
+                let name = self.vid()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.ty()?;
+                Ok(Spec::Val(name, ty))
+            }
+            TokenKind::Type | TokenKind::Eqtype => {
+                let eq = self.bump() == TokenKind::Eqtype;
+                let tyvars = self.tyvarseq()?;
+                let name = self.ident()?;
+                let def = if self.eat(TokenKind::Equals) { Some(self.ty()?) } else { None };
+                Ok(Spec::Type { tyvars, name, eq, def })
+            }
+            TokenKind::Datatype => {
+                self.bump();
+                Ok(Spec::Datatype(self.databind()?))
+            }
+            TokenKind::Exception => {
+                self.bump();
+                let name = self.vid()?;
+                let ty = if self.eat(TokenKind::Of) { Some(self.ty()?) } else { None };
+                Ok(Spec::Exception(name, ty))
+            }
+            TokenKind::Structure => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let sig = self.sigexp()?;
+                Ok(Spec::Structure(name, sig))
+            }
+            other => self.err(format!("expected specification, found `{other}`")),
+        }
+    }
+
+    // ----- types ------------------------------------------------------------
+
+    fn ty(&mut self) -> ParseResult<Ty> {
+        let start = self.span();
+        let t = self.ty_prod()?;
+        if self.eat(TokenKind::Arrow) {
+            let r = self.ty()?;
+            Ok(Ty {
+                kind: TyKind::Arrow(Box::new(t), Box::new(r)),
+                span: start.to(self.prev_span()),
+            })
+        } else {
+            Ok(t)
+        }
+    }
+
+    fn ty_prod(&mut self) -> ParseResult<Ty> {
+        let start = self.span();
+        let first = self.ty_app()?;
+        let star = Symbol::intern("*");
+        if matches!(self.peek(), TokenKind::SymIdent(s) if *s == star) {
+            let mut parts = vec![first];
+            while matches!(self.peek(), TokenKind::SymIdent(s) if *s == star) {
+                self.bump();
+                parts.push(self.ty_app()?);
+            }
+            Ok(Ty { kind: TyKind::Tuple(parts), span: start.to(self.prev_span()) })
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn ty_app(&mut self) -> ParseResult<Ty> {
+        let start = self.span();
+        let mut args: Vec<Ty>;
+        // A parenthesized sequence `(t1, t2) tycon` supplies several
+        // arguments at once; otherwise parse one atom and let postfix
+        // constructors apply to it.
+        if *self.peek() == TokenKind::LParen {
+            self.bump();
+            let first = self.ty()?;
+            if self.eat(TokenKind::Comma) {
+                args = vec![first];
+                loop {
+                    args.push(self.ty()?);
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                // Must be followed by at least one tycon.
+                let p = self.path()?;
+                let mut t = Ty {
+                    kind: TyKind::Con(p, args),
+                    span: start.to(self.prev_span()),
+                };
+                while matches!(self.peek(), TokenKind::Ident(_)) {
+                    let p = self.path()?;
+                    t = Ty {
+                        kind: TyKind::Con(p, vec![t]),
+                        span: start.to(self.prev_span()),
+                    };
+                }
+                return Ok(t);
+            }
+            self.expect(TokenKind::RParen)?;
+            args = vec![first];
+        } else {
+            args = vec![self.ty_atom()?];
+        }
+        let mut t = args.pop().expect("one atom");
+        while matches!(self.peek(), TokenKind::Ident(_)) {
+            let p = self.path()?;
+            t = Ty { kind: TyKind::Con(p, vec![t]), span: start.to(self.prev_span()) };
+        }
+        Ok(t)
+    }
+
+    fn ty_atom(&mut self) -> ParseResult<Ty> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::TyVar(s) => {
+                self.bump();
+                Ok(Ty { kind: TyKind::Var(s), span: start })
+            }
+            TokenKind::Ident(_) => {
+                let p = self.path()?;
+                Ok(Ty { kind: TyKind::Con(p, Vec::new()), span: start.to(self.prev_span()) })
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                if !self.eat(TokenKind::RBrace) {
+                    loop {
+                        let lab = self.label()?;
+                        self.expect(TokenKind::Colon)?;
+                        fields.push((lab, self.ty()?));
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                }
+                Ok(Ty { kind: TyKind::Record(fields), span: start.to(self.prev_span()) })
+            }
+            other => self.err(format!("expected type, found `{other}`")),
+        }
+    }
+
+    fn label(&mut self) -> ParseResult<Symbol> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            TokenKind::Int(n) if n > 0 => {
+                self.bump();
+                Ok(Symbol::numeric(n as usize))
+            }
+            other => self.err(format!("expected record label, found `{other}`")),
+        }
+    }
+
+    // ----- patterns ---------------------------------------------------------
+
+    fn pat(&mut self) -> ParseResult<Pat> {
+        let start = self.span();
+        // Layered pattern: `x as pat`.
+        if let TokenKind::Ident(s) = *self.peek() {
+            if *self.peek2() == TokenKind::Ident(Symbol::intern("as")) {
+                self.bump();
+                self.bump();
+                let p = self.pat()?;
+                return Ok(Pat {
+                    kind: PatKind::As(s, Box::new(p)),
+                    span: start.to(self.prev_span()),
+                });
+            }
+        }
+        let mut p = self.pat_cons()?;
+        while self.eat(TokenKind::Colon) {
+            let t = self.ty()?;
+            p = Pat {
+                kind: PatKind::Constraint(Box::new(p), t),
+                span: start.to(self.prev_span()),
+            };
+        }
+        Ok(p)
+    }
+
+    fn pat_cons(&mut self) -> ParseResult<Pat> {
+        let start = self.span();
+        let left = self.pat_app()?;
+        let cons = Symbol::intern("::");
+        if matches!(self.peek(), TokenKind::SymIdent(s) if *s == cons) {
+            self.bump();
+            let right = self.pat_cons()?;
+            let span = start.to(self.prev_span());
+            Ok(Pat {
+                kind: PatKind::Con(
+                    Path::simple(cons),
+                    Box::new(Pat {
+                        kind: PatKind::Tuple(vec![left, right]),
+                        span,
+                    }),
+                ),
+                span,
+            })
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn pat_app(&mut self) -> ParseResult<Pat> {
+        let start = self.span();
+        if matches!(self.peek(), TokenKind::Ident(_)) {
+            let save = self.pos;
+            let p = self.path()?;
+            if self.at_atpat() {
+                let arg = self.atpat()?;
+                return Ok(Pat {
+                    kind: PatKind::Con(p, Box::new(arg)),
+                    span: start.to(self.prev_span()),
+                });
+            }
+            self.pos = save;
+        }
+        self.atpat()
+    }
+
+    fn at_atpat(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Underscore
+                | TokenKind::Ident(_)
+                | TokenKind::Int(_)
+                | TokenKind::Str(_)
+                | TokenKind::Char(_)
+                | TokenKind::LParen
+                | TokenKind::LBracket
+                | TokenKind::LBrace
+                | TokenKind::Op
+        )
+    }
+
+    fn atpat(&mut self) -> ParseResult<Pat> {
+        let start = self.span();
+        let mk = |kind, span| Pat { kind, span };
+        match self.peek().clone() {
+            TokenKind::Underscore => {
+                self.bump();
+                Ok(mk(PatKind::Wild, start))
+            }
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(mk(PatKind::Int(n), start))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(mk(PatKind::Str(s), start))
+            }
+            TokenKind::Char(c) => {
+                self.bump();
+                Ok(mk(PatKind::Char(c), start))
+            }
+            TokenKind::Op => {
+                self.bump();
+                let v = self.vid()?;
+                Ok(mk(PatKind::Var(Path::simple(v)), start.to(self.prev_span())))
+            }
+            TokenKind::Ident(_) => {
+                let p = self.path()?;
+                Ok(mk(PatKind::Var(p), start.to(self.prev_span())))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.eat(TokenKind::RParen) {
+                    return Ok(mk(PatKind::Tuple(Vec::new()), start.to(self.prev_span())));
+                }
+                let first = self.pat()?;
+                if self.eat(TokenKind::Comma) {
+                    let mut pats = vec![first];
+                    loop {
+                        pats.push(self.pat()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(mk(PatKind::Tuple(pats), start.to(self.prev_span())))
+                } else {
+                    self.expect(TokenKind::RParen)?;
+                    Ok(first)
+                }
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut pats = Vec::new();
+                if !self.eat(TokenKind::RBracket) {
+                    loop {
+                        pats.push(self.pat()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RBracket)?;
+                }
+                Ok(mk(PatKind::List(pats), start.to(self.prev_span())))
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                let mut flexible = false;
+                if !self.eat(TokenKind::RBrace) {
+                    loop {
+                        if self.eat(TokenKind::DotDotDot) {
+                            flexible = true;
+                            break;
+                        }
+                        let lab = self.label()?;
+                        if self.eat(TokenKind::Equals) {
+                            fields.push((lab, self.pat()?));
+                        } else {
+                            // Field pun `{x, ...}` binds variable `x`.
+                            fields.push((
+                                lab,
+                                Pat {
+                                    kind: PatKind::Var(Path::simple(lab)),
+                                    span: self.prev_span(),
+                                },
+                            ));
+                        }
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                }
+                Ok(mk(PatKind::Record { fields, flexible }, start.to(self.prev_span())))
+            }
+            other => self.err(format!("expected pattern, found `{other}`")),
+        }
+    }
+
+    // ----- expressions --------------------------------------------------------
+
+    fn match_rules(&mut self) -> ParseResult<Vec<Rule>> {
+        let mut rules = Vec::new();
+        loop {
+            let pat = self.pat()?;
+            self.expect(TokenKind::DArrow)?;
+            let exp = self.exp()?;
+            rules.push(Rule { pat, exp });
+            if !self.eat(TokenKind::Bar) {
+                return Ok(rules);
+            }
+        }
+    }
+
+    fn exp(&mut self) -> ParseResult<Exp> {
+        let start = self.span();
+        let mk = |kind, span| Exp { kind, span };
+        match self.peek().clone() {
+            TokenKind::Raise => {
+                self.bump();
+                let e = self.exp()?;
+                Ok(mk(ExpKind::Raise(Box::new(e)), start.to(self.prev_span())))
+            }
+            TokenKind::If => {
+                self.bump();
+                let c = self.exp()?;
+                self.expect(TokenKind::Then)?;
+                let t = self.exp()?;
+                self.expect(TokenKind::Else)?;
+                let e = self.exp()?;
+                Ok(mk(
+                    ExpKind::If(Box::new(c), Box::new(t), Box::new(e)),
+                    start.to(self.prev_span()),
+                ))
+            }
+            TokenKind::While => {
+                self.bump();
+                let c = self.exp()?;
+                self.expect(TokenKind::Do)?;
+                let b = self.exp()?;
+                Ok(mk(ExpKind::While(Box::new(c), Box::new(b)), start.to(self.prev_span())))
+            }
+            TokenKind::Case => {
+                self.bump();
+                let scrut = self.exp()?;
+                self.expect(TokenKind::Of)?;
+                let rules = self.match_rules()?;
+                Ok(mk(ExpKind::Case(Box::new(scrut), rules), start.to(self.prev_span())))
+            }
+            TokenKind::Fn => {
+                self.bump();
+                let rules = self.match_rules()?;
+                Ok(mk(ExpKind::Fn(rules), start.to(self.prev_span())))
+            }
+            _ => self.exp_handle(),
+        }
+    }
+
+    fn exp_handle(&mut self) -> ParseResult<Exp> {
+        let start = self.span();
+        let e = self.exp_orelse()?;
+        if self.eat(TokenKind::Handle) {
+            let rules = self.match_rules()?;
+            Ok(Exp {
+                kind: ExpKind::Handle(Box::new(e), rules),
+                span: start.to(self.prev_span()),
+            })
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn exp_orelse(&mut self) -> ParseResult<Exp> {
+        let start = self.span();
+        let mut e = self.exp_andalso()?;
+        while self.eat(TokenKind::Orelse) {
+            let r = self.exp_andalso()?;
+            e = Exp {
+                kind: ExpKind::Orelse(Box::new(e), Box::new(r)),
+                span: start.to(self.prev_span()),
+            };
+        }
+        Ok(e)
+    }
+
+    fn exp_andalso(&mut self) -> ParseResult<Exp> {
+        let start = self.span();
+        let mut e = self.exp_typed()?;
+        while self.eat(TokenKind::Andalso) {
+            let r = self.exp_typed()?;
+            e = Exp {
+                kind: ExpKind::Andalso(Box::new(e), Box::new(r)),
+                span: start.to(self.prev_span()),
+            };
+        }
+        Ok(e)
+    }
+
+    fn exp_typed(&mut self) -> ParseResult<Exp> {
+        let start = self.span();
+        let mut e = self.exp_infix(1)?;
+        while self.eat(TokenKind::Colon) {
+            let t = self.ty()?;
+            e = Exp {
+                kind: ExpKind::Constraint(Box::new(e), t),
+                span: start.to(self.prev_span()),
+            };
+        }
+        Ok(e)
+    }
+
+    /// The infix operator (symbol, precedence, right-assoc) at the current
+    /// token, if any.
+    fn peek_infix(&self) -> Option<(Symbol, u8, bool)> {
+        let sym = match self.peek() {
+            TokenKind::SymIdent(s) | TokenKind::Ident(s) => *s,
+            TokenKind::Equals => Symbol::intern("="),
+            _ => return None,
+        };
+        fixity(sym.as_str()).map(|(p, r)| (sym, p, r))
+    }
+
+    fn exp_infix(&mut self, min_prec: u8) -> ParseResult<Exp> {
+        let start = self.span();
+        let mut lhs = self.exp_app()?;
+        while let Some((sym, prec, right)) = self.peek_infix() {
+            if prec < min_prec {
+                break;
+            }
+            let op_span = self.span();
+            self.bump();
+            let next_min = if right { prec } else { prec + 1 };
+            let rhs = self.exp_infix(next_min)?;
+            let span = start.to(self.prev_span());
+            let opexp = Exp { kind: ExpKind::Var(Path::simple(sym)), span: op_span };
+            let pair = Exp { kind: ExpKind::Tuple(vec![lhs, rhs]), span };
+            lhs = Exp { kind: ExpKind::App(Box::new(opexp), Box::new(pair)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn at_atexp(&self) -> bool {
+        match self.peek() {
+            TokenKind::Int(_)
+            | TokenKind::Real(_)
+            | TokenKind::Str(_)
+            | TokenKind::Char(_)
+            | TokenKind::LParen
+            | TokenKind::LBracket
+            | TokenKind::LBrace
+            | TokenKind::Let
+            | TokenKind::Hash
+            | TokenKind::Op => true,
+            TokenKind::Ident(s) => fixity(s.as_str()).is_none(),
+            TokenKind::SymIdent(s) => fixity(s.as_str()).is_none(),
+            _ => false,
+        }
+    }
+
+    fn exp_app(&mut self) -> ParseResult<Exp> {
+        let start = self.span();
+        let mut e = self.atexp()?;
+        while self.at_atexp() {
+            let arg = self.atexp()?;
+            e = Exp {
+                kind: ExpKind::App(Box::new(e), Box::new(arg)),
+                span: start.to(self.prev_span()),
+            };
+        }
+        Ok(e)
+    }
+
+    fn atexp(&mut self) -> ParseResult<Exp> {
+        let start = self.span();
+        let mk = |kind, span| Exp { kind, span };
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(mk(ExpKind::Int(n), start))
+            }
+            TokenKind::Real(x) => {
+                self.bump();
+                Ok(mk(ExpKind::Real(x), start))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(mk(ExpKind::Str(s), start))
+            }
+            TokenKind::Char(c) => {
+                self.bump();
+                Ok(mk(ExpKind::Char(c), start))
+            }
+            TokenKind::Op => {
+                self.bump();
+                let v = self.vid()?;
+                Ok(mk(ExpKind::Var(Path::simple(v)), start.to(self.prev_span())))
+            }
+            TokenKind::Ident(_) => {
+                let p = self.path()?;
+                Ok(mk(ExpKind::Var(p), start.to(self.prev_span())))
+            }
+            TokenKind::SymIdent(s) if fixity(s.as_str()).is_none() => {
+                self.bump();
+                Ok(mk(ExpKind::Var(Path::simple(s)), start))
+            }
+            TokenKind::Hash => {
+                self.bump();
+                let lab = self.label()?;
+                Ok(mk(ExpKind::Selector(lab), start.to(self.prev_span())))
+            }
+            TokenKind::Let => {
+                self.bump();
+                let mut decs = Vec::new();
+                loop {
+                    while self.eat(TokenKind::Semi) {}
+                    if self.eat(TokenKind::In) {
+                        break;
+                    }
+                    self.dec_seq(&mut decs)?;
+                }
+                let mut body = vec![self.exp()?];
+                while self.eat(TokenKind::Semi) {
+                    body.push(self.exp()?);
+                }
+                self.expect(TokenKind::End)?;
+                let span = start.to(self.prev_span());
+                let body = if body.len() == 1 {
+                    body.pop().expect("one body expression")
+                } else {
+                    Exp { kind: ExpKind::Seq(body), span }
+                };
+                Ok(mk(ExpKind::Let(decs, Box::new(body)), span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.eat(TokenKind::RParen) {
+                    return Ok(mk(ExpKind::Tuple(Vec::new()), start.to(self.prev_span())));
+                }
+                let first = self.exp()?;
+                if self.eat(TokenKind::Comma) {
+                    let mut exps = vec![first];
+                    loop {
+                        exps.push(self.exp()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(mk(ExpKind::Tuple(exps), start.to(self.prev_span())))
+                } else if self.eat(TokenKind::Semi) {
+                    let mut exps = vec![first];
+                    loop {
+                        exps.push(self.exp()?);
+                        if !self.eat(TokenKind::Semi) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(mk(ExpKind::Seq(exps), start.to(self.prev_span())))
+                } else {
+                    self.expect(TokenKind::RParen)?;
+                    Ok(first)
+                }
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut exps = Vec::new();
+                if !self.eat(TokenKind::RBracket) {
+                    loop {
+                        exps.push(self.exp()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RBracket)?;
+                }
+                Ok(mk(ExpKind::List(exps), start.to(self.prev_span())))
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                if !self.eat(TokenKind::RBrace) {
+                    loop {
+                        let lab = self.label()?;
+                        self.expect(TokenKind::Equals)?;
+                        fields.push((lab, self.exp()?));
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                }
+                Ok(mk(ExpKind::Record(fields), start.to(self.prev_span())))
+            }
+            other => self.err(format!("expected expression, found `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(src: &str) -> Exp {
+        parse_exp(src).unwrap()
+    }
+
+    fn var(e: &Exp) -> Option<&Path> {
+        match &e.kind {
+            ExpKind::Var(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3).
+        let exp = e("1 + 2 * 3");
+        let ExpKind::App(f, arg) = &exp.kind else { panic!("expected app") };
+        assert_eq!(var(f).unwrap().name.as_str(), "+");
+        let ExpKind::Tuple(parts) = &arg.kind else { panic!("expected pair") };
+        assert!(matches!(parts[0].kind, ExpKind::Int(1)));
+        let ExpKind::App(g, _) = &parts[1].kind else { panic!("expected nested app") };
+        assert_eq!(var(g).unwrap().name.as_str(), "*");
+    }
+
+    #[test]
+    fn cons_is_right_assoc() {
+        let exp = e("1 :: 2 :: nil");
+        let ExpKind::App(f, arg) = &exp.kind else { panic!() };
+        assert_eq!(var(f).unwrap().name.as_str(), "::");
+        let ExpKind::Tuple(parts) = &arg.kind else { panic!() };
+        assert!(matches!(parts[0].kind, ExpKind::Int(1)));
+        assert!(matches!(parts[1].kind, ExpKind::App(..)));
+    }
+
+    #[test]
+    fn application_binds_tighter_than_infix() {
+        // f x + g y = (f x) + (g y)
+        let exp = e("f x + g y");
+        let ExpKind::App(op, arg) = &exp.kind else { panic!() };
+        assert_eq!(var(op).unwrap().name.as_str(), "+");
+        let ExpKind::Tuple(parts) = &arg.kind else { panic!() };
+        assert!(matches!(parts[0].kind, ExpKind::App(..)));
+        assert!(matches!(parts[1].kind, ExpKind::App(..)));
+    }
+
+    #[test]
+    fn if_and_case_and_fn() {
+        assert!(matches!(e("if a then b else c").kind, ExpKind::If(..)));
+        assert!(matches!(e("case x of 1 => a | _ => b").kind, ExpKind::Case(_, ref r) if r.len() == 2));
+        assert!(matches!(e("fn x => x").kind, ExpKind::Fn(ref r) if r.len() == 1));
+    }
+
+    #[test]
+    fn let_with_sequence_body() {
+        let exp = e("let val x = 1 in f x; g x end");
+        let ExpKind::Let(decs, body) = &exp.kind else { panic!() };
+        assert_eq!(decs.len(), 1);
+        assert!(matches!(body.kind, ExpKind::Seq(ref es) if es.len() == 2));
+    }
+
+    #[test]
+    fn handle_and_raise() {
+        let exp = e("f x handle Overflow => 0");
+        assert!(matches!(exp.kind, ExpKind::Handle(..)));
+        assert!(matches!(e("raise Fail \"no\"").kind, ExpKind::Raise(_)));
+    }
+
+    #[test]
+    fn selectors_and_records() {
+        let exp = e("#2 (1, 2.5)");
+        let ExpKind::App(f, _) = &exp.kind else { panic!() };
+        assert!(matches!(f.kind, ExpKind::Selector(s) if s.as_numeric() == Some(2)));
+        let exp = e("{a = 1, b = 2.0}");
+        assert!(matches!(exp.kind, ExpKind::Record(ref fs) if fs.len() == 2));
+    }
+
+    #[test]
+    fn qualified_names() {
+        let exp = e("S.T.x");
+        let p = var(&exp).unwrap();
+        assert_eq!(p.qualifiers.len(), 2);
+        assert_eq!(p.name.as_str(), "x");
+    }
+
+    #[test]
+    fn fun_clauses() {
+        let prog = parse("fun fib 0 = 0 | fib 1 = 1 | fib n = fib (n-1) + fib (n-2)").unwrap();
+        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else { panic!() };
+        assert_eq!(funs[0].clauses.len(), 3);
+        assert_eq!(funs[0].name.as_str(), "fib");
+    }
+
+    #[test]
+    fn curried_fun() {
+        let prog = parse("fun add x y = x + y").unwrap();
+        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else { panic!() };
+        assert_eq!(funs[0].clauses[0].pats.len(), 2);
+    }
+
+    #[test]
+    fn val_rec_desugars() {
+        let prog = parse("val rec f = fn 0 => 1 | n => n * f (n-1)").unwrap();
+        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else { panic!() };
+        assert_eq!(funs[0].clauses.len(), 2);
+    }
+
+    #[test]
+    fn datatype_decl() {
+        let prog = parse("datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree").unwrap();
+        let DecKind::Datatype(binds) = &prog.decs[0].kind else { panic!() };
+        assert_eq!(binds[0].cons.len(), 2);
+        assert_eq!(binds[0].tyvars.len(), 1);
+    }
+
+    #[test]
+    fn structures_and_signatures() {
+        let prog = parse(
+            "signature SIG = sig type 'a t val f : 'a -> 'a t end
+             structure S = struct datatype 'a t = T of 'a fun f x = T x end
+             abstraction A : SIG = S",
+        )
+        .unwrap();
+        assert_eq!(prog.decs.len(), 3);
+        let DecKind::Structure(binds) = &prog.decs[2].kind else { panic!() };
+        assert!(binds[0].ascription.as_ref().unwrap().1, "abstraction is opaque");
+    }
+
+    #[test]
+    fn functor_decl_and_app() {
+        let prog = parse(
+            "functor F (X : SIG) = struct val y = X.x end
+             structure A = F (B)",
+        )
+        .unwrap();
+        let DecKind::Functor(f) = &prog.decs[0].kind else { panic!() };
+        assert_eq!(f[0].param.as_str(), "X");
+        let DecKind::Structure(binds) = &prog.decs[1].kind else { panic!() };
+        assert!(matches!(binds[0].def, StrExp::App(..)));
+    }
+
+    #[test]
+    fn types_parse() {
+        let prog = parse("val f = fn x => x : (int * real) list -> int list").unwrap();
+        assert_eq!(prog.decs.len(), 1);
+        let prog = parse("type 'a pair = 'a * 'a").unwrap();
+        let DecKind::Type(t) = &prog.decs[0].kind else { panic!() };
+        assert!(matches!(t[0].ty.kind, TyKind::Tuple(_)));
+    }
+
+    #[test]
+    fn list_patterns_and_layered() {
+        let prog = parse("fun f (x :: rest) = x | f [] = 0").unwrap();
+        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else { panic!() };
+        assert!(matches!(funs[0].clauses[0].pats[0].kind, PatKind::Con(..)));
+        let prog = parse("val l as (x :: _) = [1]").unwrap();
+        let DecKind::Val { pat, .. } = &prog.decs[0].kind else { panic!() };
+        assert!(matches!(pat.kind, PatKind::As(..)));
+    }
+
+    #[test]
+    fn while_and_assign() {
+        let exp = e("while !i < 10 do i := !i + 1");
+        assert!(matches!(exp.kind, ExpKind::While(..)));
+    }
+
+    #[test]
+    fn andalso_orelse_layering() {
+        // a orelse b andalso c  =  a orelse (b andalso c)
+        let exp = e("a orelse b andalso c");
+        let ExpKind::Orelse(_, rhs) = &exp.kind else { panic!() };
+        assert!(matches!(rhs.kind, ExpKind::Andalso(..)));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse("val = 3").is_err());
+        assert!(parse_exp("1 +").is_err());
+        assert!(parse("fun f x = 1 | g x = 2").is_err());
+    }
+
+    #[test]
+    fn op_prefix() {
+        let exp = e("foldl (op +) 0 xs");
+        assert!(matches!(exp.kind, ExpKind::App(..)));
+        let prog = parse("fun op @ (xs, ys) = xs").unwrap();
+        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else { panic!() };
+        assert_eq!(funs[0].name.as_str(), "@");
+    }
+
+    #[test]
+    fn tilde_negation() {
+        // `~x` applies the negation function; `~3` is a literal.
+        let exp = e("~ x");
+        assert!(matches!(exp.kind, ExpKind::App(..)));
+        assert!(matches!(e("~3").kind, ExpKind::Int(-3)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Tokens of the SML subset.
+
+use crate::intern::Symbol;
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token paired with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Where the token occurred.
+    pub span: Span,
+}
+
+/// The kinds of token produced by the [lexer](crate::lexer::Lexer).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Alphanumeric identifier (also covers keywords before classification).
+    Ident(Symbol),
+    /// Symbolic identifier such as `+`, `::`, `>=`.
+    SymIdent(Symbol),
+    /// Type variable, e.g. `'a`; the symbol includes the quotes.
+    TyVar(Symbol),
+    /// Integer literal (tagged 31-bit at runtime, but lexed as i64).
+    Int(i64),
+    /// Word literal is not supported; reals are IEEE doubles.
+    Real(f64),
+    /// String literal with escapes resolved.
+    Str(String),
+    /// Character literal `#"c"`.
+    Char(u8),
+
+    // Reserved words. The variants below are the language's reserved
+    // words and fixed punctuation; their spelling is their meaning.
+    #[allow(missing_docs)]
+    Abstraction,
+    #[allow(missing_docs)]
+    And,
+    #[allow(missing_docs)]
+    Andalso,
+    #[allow(missing_docs)]
+    Case,
+    #[allow(missing_docs)]
+    Datatype,
+    #[allow(missing_docs)]
+    Do,
+    #[allow(missing_docs)]
+    Else,
+    #[allow(missing_docs)]
+    End,
+    #[allow(missing_docs)]
+    Eqtype,
+    #[allow(missing_docs)]
+    Exception,
+    #[allow(missing_docs)]
+    Fn,
+    #[allow(missing_docs)]
+    Fun,
+    #[allow(missing_docs)]
+    Functor,
+    #[allow(missing_docs)]
+    Handle,
+    #[allow(missing_docs)]
+    If,
+    #[allow(missing_docs)]
+    In,
+    #[allow(missing_docs)]
+    Let,
+    #[allow(missing_docs)]
+    Of,
+    #[allow(missing_docs)]
+    Op,
+    #[allow(missing_docs)]
+    Orelse,
+    #[allow(missing_docs)]
+    Raise,
+    #[allow(missing_docs)]
+    Rec,
+    #[allow(missing_docs)]
+    Sig,
+    #[allow(missing_docs)]
+    Signature,
+    #[allow(missing_docs)]
+    Struct,
+    #[allow(missing_docs)]
+    Structure,
+    #[allow(missing_docs)]
+    Then,
+    #[allow(missing_docs)]
+    Type,
+    #[allow(missing_docs)]
+    Val,
+    #[allow(missing_docs)]
+    While,
+
+    // Punctuation.
+    #[allow(missing_docs)]
+    LParen,
+    #[allow(missing_docs)]
+    RParen,
+    #[allow(missing_docs)]
+    LBracket,
+    #[allow(missing_docs)]
+    RBracket,
+    #[allow(missing_docs)]
+    LBrace,
+    #[allow(missing_docs)]
+    RBrace,
+    #[allow(missing_docs)]
+    Comma,
+    #[allow(missing_docs)]
+    Colon,
+    #[allow(missing_docs)]
+    ColonGt,
+    #[allow(missing_docs)]
+    Semi,
+    #[allow(missing_docs)]
+    DotDotDot,
+    #[allow(missing_docs)]
+    Underscore,
+    #[allow(missing_docs)]
+    Bar,
+    #[allow(missing_docs)]
+    Equals,
+    #[allow(missing_docs)]
+    DArrow,
+    #[allow(missing_docs)]
+    Arrow,
+    #[allow(missing_docs)]
+    Hash,
+    #[allow(missing_docs)]
+    Dot,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The identifier payload if this is an (alphanumeric or symbolic)
+    /// identifier token.
+    pub fn ident(&self) -> Option<Symbol> {
+        match self {
+            TokenKind::Ident(s) | TokenKind::SymIdent(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) | SymIdent(s) | TyVar(s) => write!(f, "{s}"),
+            Int(n) => write!(f, "{n}"),
+            Real(x) => write!(f, "{x}"),
+            Str(s) => write!(f, "{s:?}"),
+            Char(c) => write!(f, "#\"{}\"", *c as char),
+            Abstraction => f.write_str("abstraction"),
+            And => f.write_str("and"),
+            Andalso => f.write_str("andalso"),
+            Case => f.write_str("case"),
+            Datatype => f.write_str("datatype"),
+            Do => f.write_str("do"),
+            Else => f.write_str("else"),
+            End => f.write_str("end"),
+            Eqtype => f.write_str("eqtype"),
+            Exception => f.write_str("exception"),
+            Fn => f.write_str("fn"),
+            Fun => f.write_str("fun"),
+            Functor => f.write_str("functor"),
+            Handle => f.write_str("handle"),
+            If => f.write_str("if"),
+            In => f.write_str("in"),
+            Let => f.write_str("let"),
+            Of => f.write_str("of"),
+            Op => f.write_str("op"),
+            Orelse => f.write_str("orelse"),
+            Raise => f.write_str("raise"),
+            Rec => f.write_str("rec"),
+            Sig => f.write_str("sig"),
+            Signature => f.write_str("signature"),
+            Struct => f.write_str("struct"),
+            Structure => f.write_str("structure"),
+            Then => f.write_str("then"),
+            Type => f.write_str("type"),
+            Val => f.write_str("val"),
+            While => f.write_str("while"),
+            LParen => f.write_str("("),
+            RParen => f.write_str(")"),
+            LBracket => f.write_str("["),
+            RBracket => f.write_str("]"),
+            LBrace => f.write_str("{"),
+            RBrace => f.write_str("}"),
+            Comma => f.write_str(","),
+            Colon => f.write_str(":"),
+            ColonGt => f.write_str(":>"),
+            Semi => f.write_str(";"),
+            DotDotDot => f.write_str("..."),
+            Underscore => f.write_str("_"),
+            Bar => f.write_str("|"),
+            Equals => f.write_str("="),
+            DArrow => f.write_str("=>"),
+            Arrow => f.write_str("->"),
+            Hash => f.write_str("#"),
+            Dot => f.write_str("."),
+            Eof => f.write_str("<eof>"),
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Parse/print round-trip: printing a parsed program and reparsing must
+//! reach a fixpoint (the printed form reparses to something that prints
+//! identically). Exercised on hand-written programs, the full benchmark
+//! suite, and generated expressions.
+
+use sml_ast::{parse, print_program};
+
+fn roundtrip(src: &str) {
+    let p1 = parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+    let printed = print_program(&p1);
+    let p2 = parse(&printed)
+        .unwrap_or_else(|e| panic!("reparse failed: {}\n--- printed:\n{printed}", e.render(&printed)));
+    let printed2 = print_program(&p2);
+    assert_eq!(printed, printed2, "printing is not a fixpoint for:\n{src}");
+}
+
+#[test]
+fn core_constructs() {
+    roundtrip("val x = 1 + 2 * 3");
+    roundtrip("val p = (1, 2.5, \"three\", #\"c\")");
+    roundtrip("fun f 0 = 1 | f n = n * f (n - 1)");
+    roundtrip("fun g x y = if x < y then x else y");
+    roundtrip("val l = [1, 2, 3] @ (4 :: nil)");
+    roundtrip("val r = {a = 1, b = 2.0}  val n = #a r");
+    roundtrip("fun h (x :: _, {lab = y, ...}) = x + y | h (nil, _) = 0");
+    roundtrip("val s = let val a = 1 val b = 2 in a + b end");
+    roundtrip("val q = (1; 2; 3)");
+    roundtrip("val w = while false do ()");
+    roundtrip("val c = case [1] of x :: _ => x | nil => 0");
+    roundtrip("val a = fn x => fn y => x y");
+    roundtrip("val neg = ~5 + ~ 2");
+    roundtrip("val e = (raise Fail \"boom\") handle Fail m => 0 | _ => 1");
+    roundtrip("val t = (fn x => x) : int -> int");
+    roundtrip("val z = a andalso b orelse c");
+    roundtrip("val l2 = x as y :: rest");
+}
+
+#[test]
+fn declarations() {
+    roundtrip("type 'a pair = 'a * 'a");
+    roundtrip("type ('a, 'b) assoc = ('a * 'b) list");
+    roundtrip("datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree");
+    roundtrip("datatype t = A and u = B of t");
+    roundtrip("exception E and F of int * string");
+    roundtrip("val rec fact = fn 0 => 1 | n => n * fact (n - 1)");
+    roundtrip("fun even 0 = true | even n = odd (n - 1) and odd 0 = false | odd n = even (n - 1)");
+    roundtrip("fun op @ (nil, ys) = ys | op @ (x :: xs, ys) = x :: (xs @ ys)");
+}
+
+#[test]
+fn modules() {
+    roundtrip("structure S = struct val x = 1 end");
+    roundtrip(
+        "signature SIG = sig type 'a t eqtype u val f : 'a -> 'a t exception E of int \
+         structure Sub : sig val v : real end end",
+    );
+    roundtrip("structure T : SIG = S  structure U :> SIG = S  abstraction V : SIG = S");
+    roundtrip("functor F (X : SIG) : SIG = struct val y = X.x end");
+    roundtrip("structure A = F (struct val x = 2 end)");
+    roundtrip("signature W = sig type t = int * int datatype d = D of t end");
+}
+
+#[test]
+fn benchmarks_roundtrip() {
+    // Every shipped benchmark (plus the prelude) must round-trip.
+    for b in [
+        include_str!("../../bench/benchmarks/prelude.sml"),
+        include_str!("../../bench/benchmarks/mbrot.sml"),
+        include_str!("../../bench/benchmarks/nucleic.sml"),
+        include_str!("../../bench/benchmarks/simple.sml"),
+        include_str!("../../bench/benchmarks/ray.sml"),
+        include_str!("../../bench/benchmarks/bhut.sml"),
+        include_str!("../../bench/benchmarks/sieve.sml"),
+        include_str!("../../bench/benchmarks/kbc.sml"),
+        include_str!("../../bench/benchmarks/boyer.sml"),
+        include_str!("../../bench/benchmarks/life.sml"),
+        include_str!("../../bench/benchmarks/lexgen.sml"),
+        include_str!("../../bench/benchmarks/yacc.sml"),
+        include_str!("../../bench/benchmarks/vliw.sml"),
+    ] {
+        roundtrip(b);
+    }
+}
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Generated well-formed expressions (a subset of the grammar).
+    fn arb_exp() -> impl Strategy<Value = String> {
+        let leaf = prop_oneof![
+            (0i64..1000).prop_map(|n| n.to_string()),
+            (0i64..1000).prop_map(|n| format!("~{n}")),
+            "[a-d]".prop_map(|v| v),
+            Just("1.5".to_owned()),
+            Just("\"s\"".to_owned()),
+        ];
+        leaf.prop_recursive(3, 20, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}, {b})")),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| format!("(if {a} < {b} then {a} else {b})")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} {b})")),
+                inner.clone().prop_map(|a| format!("(fn x => {a})")),
+                inner
+                    .clone()
+                    .prop_map(|a| format!("(let val y = {a} in y end)")),
+                (inner.clone(), inner).prop_map(|(a, b)| format!("[{a}, {b}]")),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn generated_expressions_roundtrip(e in arb_exp()) {
+            roundtrip(&format!("val it = {e}"));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+(* BHut: Barnes-Hut style N-body gravity in 2D — a quadtree datatype with
+   float centers of mass, built and traversed per step. *)
+
+datatype tree =
+    Empty
+  | Body of real * real * real                      (* x, y, mass *)
+  | Cell of real * real * real * tree * tree * tree * tree
+      (* center-of-mass x, y, total mass, four quadrants *)
+
+fun mass Empty = 0.0
+  | mass (Body (x, y, m)) = m
+  | mass (Cell (x, y, m, a, b, c, d)) = m
+
+fun com Empty = (0.0, 0.0)
+  | com (Body (x, y, m)) = (x, y)
+  | com (Cell (x, y, m, a, b, c, d)) = (x, y)
+
+(* Insert a body into a quadrant tree covering [cx-s, cx+s] x [cy-s, cy+s]. *)
+fun insert (t, bx, by, bm, cx, cy, s) =
+  case t of
+    Empty => Body (bx, by, bm)
+  | Body (x, y, m) =>
+      if s < 0.001 then Body (x, y, m + bm)
+      else
+        let
+          val t1 = insert (Empty, x, y, m, cx, cy, s)
+          val split = insert (quad (t1, cx, cy, s), bx, by, bm, cx, cy, s)
+        in
+          split
+        end
+  | Cell (x, y, m, ne, nw, se, sw) =>
+      let
+        val h = s * 0.5
+        val nm = m + bm
+        val nx = (x * m + bx * bm) / nm
+        val ny = (y * m + by * bm) / nm
+      in
+        if bx >= cx then
+          if by >= cy then Cell (nx, ny, nm, insert (ne, bx, by, bm, cx + h, cy + h, h), nw, se, sw)
+          else Cell (nx, ny, nm, ne, nw, insert (se, bx, by, bm, cx + h, cy - h, h), sw)
+        else
+          if by >= cy then Cell (nx, ny, nm, ne, insert (nw, bx, by, bm, cx - h, cy + h, h), se, sw)
+          else Cell (nx, ny, nm, ne, nw, se, insert (sw, bx, by, bm, cx - h, cy - h, h))
+      end
+
+(* Wrap a single body into a one-cell tree so it can be split. *)
+and quad (t, cx, cy, s) =
+  case t of
+    Body (x, y, m) =>
+      let
+        val h = s * 0.5
+        val base = Cell (x, y, m, Empty, Empty, Empty, Empty)
+      in
+        case base of
+          Cell (bx2, by2, bm2, ne, nw, se, sw) =>
+            if x >= cx then
+              if y >= cy then Cell (x, y, m, Body (x, y, m), Empty, Empty, Empty)
+              else Cell (x, y, m, Empty, Empty, Body (x, y, m), Empty)
+            else
+              if y >= cy then Cell (x, y, m, Empty, Body (x, y, m), Empty, Empty)
+              else Cell (x, y, m, Empty, Empty, Empty, Body (x, y, m))
+        | other => other
+      end
+  | other => other
+
+fun build (bodies, cx, cy, s) =
+  foldl (fn ((bx, by, bm), t) => insert (t, bx, by, bm, cx, cy, s)) Empty bodies
+
+(* Approximate force on (px, py) from the tree. *)
+fun force (t, px, py, s) =
+  case t of
+    Empty => (0.0, 0.0)
+  | Body (x, y, m) =>
+      let
+        val dx = x - px
+        val dy = y - py
+        val d2 = dx * dx + dy * dy + 0.01
+        val f = m / (d2 * sqrt d2)
+      in
+        (f * dx, f * dy)
+      end
+  | Cell (x, y, m, ne, nw, se, sw) =>
+      let
+        val dx = x - px
+        val dy = y - py
+        val d2 = dx * dx + dy * dy + 0.01
+      in
+        if s * s < d2 * 0.25 then
+          let
+            val f = m / (d2 * sqrt d2)
+          in
+            (f * dx, f * dy)
+          end
+        else
+          let
+            val h = s * 0.5
+            val (fx1, fy1) = force (ne, px, py, h)
+            val (fx2, fy2) = force (nw, px, py, h)
+            val (fx3, fy3) = force (se, px, py, h)
+            val (fx4, fy4) = force (sw, px, py, h)
+          in
+            (fx1 + fx2 + fx3 + fx4, fy1 + fy2 + fy3 + fy4)
+          end
+      end
+
+(* Deterministic pseudo-random bodies. *)
+fun gen (0, acc) = acc
+  | gen (k, acc) =
+      let
+        val x = real ((k * 37) mod 100) * 0.02 - 1.0
+        val y = real ((k * 73) mod 100) * 0.02 - 1.0
+      in
+        gen (k - 1, (x, y, 1.0 + real (k mod 3)) :: acc)
+      end
+
+fun step bodies =
+  let
+    val t = build (bodies, 0.0, 0.0, 1.0)
+  in
+    map
+      (fn (x, y, m) =>
+         let val (fx, fy) = force (t, x, y, 1.0)
+         in (x + fx * 0.001, y + fy * 0.001, m) end)
+      bodies
+  end
+
+fun steps (0, bodies) = bodies
+  | steps (n, bodies) = steps (n - 1, step bodies)
+
+val final = steps (12, gen (60, nil))
+val check = foldl (fn ((x, y, m), a) => a + x + y) 0.0 final
+val _ = print ("bhut " ^ itos (floor (check * 1000.0)) ^ "\n")

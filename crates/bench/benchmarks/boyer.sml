@@ -1,0 +1,74 @@
+(* Boyer: a scaled-down Boyer-Moore style tautology checker — terms
+   rewritten by a lemma set, then evaluated under truth assignments.
+   Heavy symbolic datatype manipulation. *)
+
+datatype term =
+    T                                  (* true *)
+  | F                                  (* false *)
+  | Atom of int
+  | Not of term
+  | And of term * term
+  | Or of term * term
+  | Implies of term * term
+  | If of term * term * term
+
+(* Rewrite toward if-normal form (the core of the original benchmark). *)
+fun rewrite t =
+  case t of
+    T => T
+  | F => F
+  | Atom a => Atom a
+  | Not p => If (rewrite p, F, T)
+  | And (p, q) => If (rewrite p, rewrite q, F)
+  | Or (p, q) => If (rewrite p, T, rewrite q)
+  | Implies (p, q) => If (rewrite p, rewrite q, T)
+  | If (c, p, q) =>
+      (case rewrite c of
+         If (c2, p2, q2) =>
+           rewrite (If (c2, If (p2, p, q), If (q2, p, q)))
+       | c2 => If (c2, rewrite p, rewrite q))
+
+(* Tautology check on if-normal terms with assumption lists. *)
+fun mem (x, nil) = false
+  | mem (x : int, y :: r) = x = y orelse mem (x, r)
+
+fun taut (t, pos, neg) =
+  case t of
+    T => true
+  | F => false
+  | Atom a => mem (a, pos)
+  | If (Atom a, p, q) =>
+      if mem (a, pos) then taut (p, pos, neg)
+      else if mem (a, neg) then taut (q, pos, neg)
+      else taut (p, a :: pos, neg) andalso taut (q, pos, a :: neg)
+  | If (T, p, q) => taut (p, pos, neg)
+  | If (F, p, q) => taut (q, pos, neg)
+  | If (c, p, q) => taut (c, pos, neg) andalso taut (p, pos, neg)
+  | other => false
+
+(* Benchmark formulas. *)
+fun implies_chain (0, acc) = acc
+  | implies_chain (n, acc) =
+      implies_chain (n - 1, Implies (Atom (n mod 7), acc))
+
+fun excluded_middle n = Or (Atom n, Not (Atom n))
+
+fun conj (0, acc) = acc
+  | conj (n, acc) = conj (n - 1, And (excluded_middle (n mod 5), acc))
+
+(* (a1 -> a2 -> ... -> (x and not x excluded middles)) is a tautology
+   whenever the conclusion is. *)
+fun formula n = implies_chain (n, conj (6, T))
+
+fun work (0, acc) = acc
+  | work (k, acc) =
+      let
+        val f = formula (10 + k mod 3)
+        val r = rewrite f
+        val ok = taut (r, nil, nil)
+      in
+        work (k - 1, if ok then acc + 1 else acc)
+      end
+
+val result = work (120, 0)
+val _ = print ("boyer " ^ itos result ^ "\n")

@@ -1,0 +1,108 @@
+(* KB-Comp: Knuth-Bendix-completion style term rewriting — first-order
+   terms, unification-lite matching with exceptions, higher-order rule
+   application. *)
+
+datatype term =
+    Var of int
+  | App of int * term list     (* function symbol, arguments *)
+
+exception NoMatch
+
+(* Substitutions as association lists. *)
+fun find (v, nil) = NONE
+  | find (v, (w, t) :: rest) = if v = w then SOME t else find (v, rest)
+
+fun subst (s, Var v) = (case find (v, s) of SOME t => t | NONE => Var v)
+  | subst (s, App (f, args)) = App (f, map (fn t => subst (s, t)) args)
+
+(* Match a pattern against a term, extending the substitution. *)
+fun match (Var v, t, s) =
+      (case find (v, s) of
+         NONE => (v, t) :: s
+       | SOME b => if term_eq (b, t) then s else raise NoMatch)
+  | match (App (f, fargs), App (g, gargs), s) =
+      if f = g then match_all (fargs, gargs, s) else raise NoMatch
+  | match (p, t, s) = raise NoMatch
+
+and match_all (nil, nil, s) = s
+  | match_all (p :: ps, t :: ts, s) = match_all (ps, ts, match (p, t, s))
+  | match_all (ps, ts, s) = raise NoMatch
+
+and term_eq (Var a, Var b) = a = b
+  | term_eq (App (f, fs), App (g, gs)) =
+      f = g andalso list_eq (fs, gs)
+  | term_eq (a, b) = false
+
+and list_eq (nil, nil) = true
+  | list_eq (x :: xs, y :: ys) = term_eq (x, y) andalso list_eq (xs, ys)
+  | list_eq (a, b) = false
+
+(* Group-theory style rules:
+     1:  f(e, x)      -> x                (identity: symbol 0 = e, 1 = f)
+     2:  f(i(x), x)   -> e                (inverse: symbol 2 = i)
+     3:  f(f(x,y),z)  -> f(x, f(y, z))    (associativity) *)
+val rules =
+  [(App (1, [App (0, nil), Var 100]), Var 100),
+   (App (1, [App (2, [Var 100]), Var 100]), App (0, nil)),
+   (App (1, [App (1, [Var 100, Var 101]), Var 102]),
+    App (1, [Var 100, App (1, [Var 101, Var 102])]))]
+
+(* One top-level rewrite attempt. *)
+fun rewrite_top t =
+  let
+    fun try nil = raise NoMatch
+      | try ((lhs, rhs) :: rest) =
+          (subst (match (lhs, t, nil), rhs) handle NoMatch => try rest)
+  in
+    try rules
+  end
+
+(* Innermost normalization with a fuel bound. *)
+fun normalize (t, fuel) =
+  if fuel = 0 then (t, 0)
+  else
+    case t of
+      Var v => (Var v, fuel)
+    | App (f, args) =>
+        let
+          val (args2, fuel2) = norm_list (args, fuel)
+          val t2 = App (f, args2)
+        in
+          (let val t3 = rewrite_top t2
+           in normalize (t3, fuel2 - 1) end)
+          handle NoMatch => (t2, fuel2)
+        end
+
+and norm_list (nil, fuel) = (nil, fuel)
+  | norm_list (t :: ts, fuel) =
+      let
+        val (t2, f2) = normalize (t, fuel)
+        val (ts2, f3) = norm_list (ts, f2)
+      in
+        (t2 :: ts2, f3)
+      end
+
+(* Build towers of group expressions and normalize them. *)
+fun build (0, acc) = acc
+  | build (n, acc) =
+      let
+        val v = Var (n mod 3)
+        val inv = App (2, [acc])
+      in
+        build (n - 1, App (1, [App (1, [inv, acc]), App (1, [App (0, nil), v])]))
+      end
+
+fun size (Var v) = 1
+  | size (App (f, args)) = 1 + foldl (fn (t, a) => a + size t) 0 args
+
+fun work (0, acc) = acc
+  | work (k, acc) =
+      let
+        val t = build (8, Var 0)
+        val (nf, remaining) = normalize (t, 2000)
+      in
+        work (k - 1, acc + size nf + remaining mod 7)
+      end
+
+val result = work (60, 0)
+val _ = print ("kbc " ^ itos result ^ "\n")

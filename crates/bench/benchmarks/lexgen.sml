@@ -1,0 +1,76 @@
+(* Lexgen: lexer-generator style workload — drives a hand-built DFA over
+   a synthesized source text, classifying tokens. String and character
+   intensive. *)
+
+(* Build the input by repeated doubling. *)
+fun build (0, s) = s
+  | build (n, s) = build (n - 1, s ^ "let val x1 = 42 in x1 + foo_bar * 3 end; ")
+
+val input = build (5, "")
+
+(* Character classes. *)
+fun is_alpha c =
+  let val n = ord c
+  in (n >= 97 andalso n <= 122) orelse (n >= 65 andalso n <= 90) orelse n = 95 end
+
+fun is_digit c =
+  let val n = ord c in n >= 48 andalso n <= 57 end
+
+fun is_space c =
+  let val n = ord c in n = 32 orelse n = 10 orelse n = 9 end
+
+(* Token kinds: 1 = identifier, 2 = number, 3 = operator, 4 = keyword. *)
+fun keyword (s, i, j) =
+  (* Compare input[i..j) against the keyword table by length and chars. *)
+  let
+    fun eq (kw, k, p) =
+      if p >= j then k >= size kw
+      else if k >= size kw then false
+      else ord (strsub (kw, k)) = ord (strsub (s, p)) andalso eq (kw, k + 1, p + 1)
+    fun any nil = false
+      | any (kw :: rest) = (j - i = size kw andalso eq (kw, 0, i)) orelse any rest
+  in
+    any ["let", "val", "in", "end", "fun", "if", "then", "else"]
+  end
+
+(* The DFA: scan one token starting at i; return (kind, next index). *)
+fun token (s, i) =
+  if i >= size s then (0, i)
+  else
+    let
+      val c = strsub (s, i)
+    in
+      if is_space c then token (s, i + 1)
+      else if is_alpha c then
+        let
+          fun go j = if j < size s andalso (is_alpha (strsub (s, j)) orelse is_digit (strsub (s, j)))
+                     then go (j + 1) else j
+          val j = go (i + 1)
+        in
+          (if keyword (s, i, j) then 4 else 1, j)
+        end
+      else if is_digit c then
+        let
+          fun go j = if j < size s andalso is_digit (strsub (s, j)) then go (j + 1) else j
+        in
+          (2, go (i + 1))
+        end
+      else (3, i + 1)
+    end
+
+fun scan (s, i, idents, nums, ops, kws) =
+  let
+    val (kind, j) = token (s, i)
+  in
+    if kind = 0 then (idents, nums, ops, kws)
+    else if kind = 1 then scan (s, j, idents + 1, nums, ops, kws)
+    else if kind = 2 then scan (s, j, idents, nums + 1, ops, kws)
+    else if kind = 3 then scan (s, j, idents, nums, ops + 1, kws)
+    else scan (s, j, idents, nums, ops, kws + 1)
+  end
+
+fun repeat (0, r) = r
+  | repeat (k, r) = repeat (k - 1, scan (input, 0, 0, 0, 0, 0))
+
+val (ids, nums, ops, kws) = repeat (40, (0, 0, 0, 0))
+val _ = print ("lexgen " ^ itos ids ^ " " ^ itos nums ^ " " ^ itos ops ^ " " ^ itos kws ^ "\n")

@@ -1,0 +1,41 @@
+(* MBrot: Mandelbrot-set escape iteration over a grid. Intensive
+   floating-point arithmetic with float pairs flowing through function
+   calls. *)
+
+fun escape (cr, ci) =
+  let
+    fun go (zr, zi, n) =
+      if n >= 64 then n
+      else
+        let
+          val zr2 = zr * zr
+          val zi2 = zi * zi
+        in
+          if zr2 + zi2 > 4.0 then n
+          else go (zr2 - zi2 + cr, 2.0 * zr * zi + ci, n + 1)
+        end
+  in
+    go (0.0, 0.0, 0)
+  end
+
+fun pixel (ix, iy) =
+  let
+    val cr = ~2.2 + real ix * 0.044
+    val ci = ~1.5 + real iy * 0.05
+  in
+    escape (cr, ci)
+  end
+
+fun row (iy, ix, acc) =
+  if ix >= 70 then acc
+  else row (iy, ix + 1, acc + pixel (ix, iy))
+
+fun grid (iy, acc) =
+  if iy >= 60 then acc
+  else grid (iy + 1, row (iy, 0, acc))
+
+fun repeat (0, acc) = acc
+  | repeat (k, acc) = repeat (k - 1, grid (0, 0))
+
+val total = repeat (4, 0) + grid (0, 0)
+val _ = print ("mbrot " ^ itos total ^ "\n")

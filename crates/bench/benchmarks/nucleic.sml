@@ -1,0 +1,88 @@
+(* Nucleic: 3D molecular-geometry style computation — rigid-body
+   transforms (3x3 rotation + translation) applied to atom positions,
+   distance checks between conformations. Heavy use of real tuples. *)
+
+type vec = real * real * real
+type mat = (real * real * real) * (real * real * real) * (real * real * real)
+
+fun vadd ((x1, y1, z1) : vec, (x2, y2, z2) : vec) : vec =
+  (x1 + x2, y1 + y2, z1 + z2)
+
+fun vsub ((x1, y1, z1) : vec, (x2, y2, z2) : vec) : vec =
+  (x1 - x2, y1 - y2, z1 - z2)
+
+fun dot ((x1, y1, z1) : vec, (x2, y2, z2) : vec) =
+  x1 * x2 + y1 * y2 + z1 * z2
+
+fun norm2 (v : vec) = dot (v, v)
+
+fun apply (((a, b, c), (d, e, f), (g, h, i)) : mat, (x, y, z) : vec) : vec =
+  (a * x + b * y + c * z,
+   d * x + e * y + f * z,
+   g * x + h * y + i * z)
+
+fun rotz t : mat =
+  ((cos t, 0.0 - sin t, 0.0),
+   (sin t, cos t, 0.0),
+   (0.0, 0.0, 1.0))
+
+fun rotx t : mat =
+  ((1.0, 0.0, 0.0),
+   (0.0, cos t, 0.0 - sin t),
+   (0.0, sin t, cos t))
+
+(* A synthetic "residue": a handful of pseudo-atoms. *)
+val atoms : vec list =
+  [(1.0, 0.2, 0.1), (0.5, 1.3, 0.4), (0.2, 0.4, 1.7),
+   (1.1, 1.2, 0.3), (0.7, 0.1, 0.9), (1.4, 0.8, 0.2)]
+
+(* Transform one atom through the conformation's two rotations and the
+   translation — all in registers under unboxed-float compilers. *)
+fun transform (m : mat, m2 : mat, t : vec, a : vec) : vec =
+  apply (m2, vadd (apply (m, a), t))
+
+(* Clash score between two conformations, fusing placement into the pair
+   loop so no intermediate placed lists are built. *)
+fun clashes (m, m2, t, rm, rm2, rt) =
+  let
+    fun inner (a : vec, nil, acc) = acc
+      | inner (a, b :: rest, acc) =
+          let
+            val tb = transform (rm, rm2, rt, b)
+          in
+            inner (a, rest, if norm2 (vsub (a, tb)) < 0.8 then acc + 1 else acc)
+          end
+    fun outer (nil, acc) = acc
+      | outer (a :: rest, acc) =
+          let
+            val ta = transform (m, m2, t, a)
+          in
+            outer (rest, inner (ta, atoms, acc))
+          end
+  in
+    outer (atoms, 0)
+  end
+
+fun params k =
+  let
+    val ang = real k * 0.1
+  in
+    (rotz ang, rotx (ang * 0.5), (real k * 0.05, 0.3, 0.2))
+  end
+
+fun search (k, best, bestk) =
+  if k >= 120 then bestk
+  else
+    let
+      val (m, m2, t) = params k
+      val (rm, rm2, rt) = params 0
+      val score = clashes (m, m2, t, rm, rm2, rt)
+    in
+      if score < best then search (k + 1, score, k)
+      else search (k + 1, best, bestk)
+    end
+
+fun repeat (0, r) = r | repeat (n, r) = repeat (n - 1, search (1, 999999, 0))
+
+val answer = repeat (12, 0)
+val _ = print ("nucleic " ^ itos answer ^ "\n")

@@ -1,0 +1,54 @@
+(* Standard prelude compiled with every benchmark (the subset has no
+   separate basis library). *)
+
+fun not true = false | not false = true
+
+fun op @ (nil, ys) = ys
+  | op @ (x :: xs, ys) = x :: (xs @ ys)
+
+fun rev l =
+  let fun go (nil, acc) = acc
+        | go (x :: r, acc) = go (r, x :: acc)
+  in go (l, nil) end
+
+fun map f nil = nil
+  | map f (x :: r) = f x :: map f r
+
+fun app f nil = ()
+  | app f (x :: r) = (f x; app f r)
+
+fun foldl f a nil = a
+  | foldl f a (x :: r) = foldl f (f (x, a)) r
+
+fun foldr f a nil = a
+  | foldr f a (x :: r) = f (x, foldr f a r)
+
+fun length l =
+  let fun go (nil, n) = n
+        | go (x :: r, n) = go (r, n + 1)
+  in go (l, 0) end
+
+fun exists p nil = false
+  | exists p (x :: r) = p x orelse exists p r
+
+fun filter p nil = nil
+  | filter p (x :: r) = if p x then x :: filter p r else filter p r
+
+fun tabulate (n, f) =
+  let fun go i = if i >= n then nil else f i :: go (i + 1)
+  in go 0 end
+
+fun nth (x :: r, n) = if n = 0 then x else nth (r, n - 1)
+
+fun hd (x :: r) = x
+fun tl (x :: r) = r
+fun null nil = true | null l = false
+
+fun abs (x : int) = if x < 0 then 0 - x else x
+fun imin (a : int, b) = if a < b then a else b
+fun imax (a : int, b) = if a > b then a else b
+fun fabs (x : real) = if x < 0.0 then 0.0 - x else x
+fun fmin (a : real, b) = if a < b then a else b
+fun fmax (a : real, b) = if a > b then a else b
+
+fun op o (f, g) = fn x => f (g x)

@@ -1,0 +1,82 @@
+(* Ray: a miniature ray tracer — spheres, vector math on real triples,
+   recursive reflection. *)
+
+type vec = real * real * real
+
+fun vadd ((a, b, c) : vec, (x, y, z) : vec) : vec = (a + x, b + y, c + z)
+fun vsub ((a, b, c) : vec, (x, y, z) : vec) : vec = (a - x, b - y, c - z)
+fun scale (k, (x, y, z) : vec) : vec = (k * x, k * y, k * z)
+fun dot ((a, b, c) : vec, (x, y, z) : vec) = a * x + b * y + c * z
+fun normalize (v : vec) =
+  let val len = sqrt (dot (v, v))
+  in scale (1.0 / len, v) end
+
+(* A sphere: center, radius, shade. *)
+datatype sphere = Sphere of vec * real * real
+
+val scene =
+  [Sphere ((0.0, 0.0, 5.0), 1.0, 0.9),
+   Sphere ((1.5, 0.5, 4.0), 0.5, 0.6),
+   Sphere ((~1.2, ~0.4, 6.0), 1.2, 0.4),
+   Sphere ((0.3, 1.2, 3.5), 0.4, 0.8)]
+
+exception NoHit
+
+(* Smallest positive intersection of a ray with a sphere. *)
+fun hit (orig : vec, dir : vec, Sphere (center, r, s)) =
+  let
+    val oc = vsub (orig, center)
+    val b = 2.0 * dot (oc, dir)
+    val c = dot (oc, oc) - r * r
+    val disc = b * b - 4.0 * c
+  in
+    if disc < 0.0 then raise NoHit
+    else
+      let
+        val t = (0.0 - b - sqrt disc) * 0.5
+      in
+        if t > 0.001 then (t, s) else raise NoHit
+      end
+  end
+
+fun closest (orig, dir) =
+  foldl
+    (fn (sph, best) =>
+       (let val (t, s) = hit (orig, dir, sph)
+        in
+          case best of
+            NONE => SOME (t, s)
+          | SOME (bt, bs) => if t < bt then SOME (t, s) else best
+        end)
+       handle NoHit => best)
+    NONE scene
+
+fun trace (orig : vec, dir : vec, depth) =
+  if depth = 0 then 0.0
+  else
+    case closest (orig, dir) of
+      NONE => 0.1
+    | SOME (t, s) =>
+        let
+          val p = vadd (orig, scale (t, dir))
+          val lightdir = normalize (vsub ((5.0, 5.0, 0.0), p))
+          val shade = fmax (0.0, dot (dir, lightdir))
+        in
+          s * shade + 0.3 * trace (p, lightdir, depth - 1)
+        end
+
+fun render (px, py, acc) =
+  if py >= 40 then acc
+  else if px >= 40 then render (0, py + 1, acc)
+  else
+    let
+      val dir = normalize ((real px * 0.05 - 1.0, real py * 0.05 - 1.0, 1.0))
+      val v = trace ((0.0, 0.0, 0.0), dir, 4)
+    in
+      render (px + 1, py, acc + v)
+    end
+
+fun repeat (0, acc) = acc | repeat (k, acc) = repeat (k - 1, render (0, 0, 0.0))
+
+val total = repeat (3, 0.0)
+val _ = print ("ray " ^ itos (floor (total * 10.0)) ^ "\n")

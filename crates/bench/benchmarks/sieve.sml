@@ -1,0 +1,65 @@
+(* Sieve: prime generation driven by first-class continuations and
+   exceptions — a callcc-based backtracking generator plus an
+   exception-heavy trial-division loop. *)
+
+exception Composite
+
+(* Trial division using exceptions for early exit. *)
+fun is_prime n =
+  let
+    fun try d =
+      if d * d > n then ()
+      else if n mod d = 0 then raise Composite
+      else try (d + 1)
+  in
+    (try 2; true) handle Composite => false
+  end
+
+fun count_primes (i, limit, acc) =
+  if i > limit then acc
+  else count_primes (i + 1, limit, if is_prime i then acc + 1 else acc)
+
+(* A callcc-based "generator": walks the integers, escaping to the
+   consumer each time a prime is found. *)
+fun nth_prime k =
+  callcc (fn done =>
+    let
+      fun loop (i, remaining) =
+        if remaining = 0 then throw done i
+        else
+          let
+            val r = if is_prime i then remaining - 1 else remaining
+          in
+            loop (i + 1, r)
+          end
+    in
+      loop (2, k + 1)
+    end)
+
+(* Exception-based nondeterministic search: find a pair of primes that
+   sums to a target (Goldbach-style), backtracking via handlers. *)
+exception Fail2
+
+fun find_pair target =
+  let
+    fun try a =
+      if a > target div 2 then raise Fail2
+      else if is_prime a andalso is_prime (target - a) then a
+      else try (a + 1)
+  in
+    try 2
+  end
+
+fun goldbach (n, limit, acc) =
+  if n > limit then acc
+  else
+    let
+      val a = (find_pair n handle Fail2 => 0)
+    in
+      goldbach (n + 2, limit, acc + a)
+    end
+
+val c = count_primes (2, 4000, 0)
+val p = nth_prime 200
+val g = goldbach (4, 600, 0)
+val _ = print ("sieve " ^ itos c ^ " " ^ itos p ^ " " ^ itos g ^ "\n")

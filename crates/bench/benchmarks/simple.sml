@@ -1,0 +1,42 @@
+(* Simple: a hydrodynamics-like relaxation kernel — arrays of reals
+   updated by sweeps, with flux terms computed through float tuples. *)
+
+val n = 200
+
+val u = array (n, 0.0)
+val v = array (n, 0.0)
+
+fun init i =
+  if i >= n then ()
+  else (aupdate (u, i, real i * 0.01); init (i + 1))
+
+(* One relaxation sweep: v[i] = laplacian-ish combination of u. *)
+fun flux (a : real, b, c) = (b - a, c - b, a + b + c)
+
+fun sweep i =
+  if i >= n - 1 then ()
+  else
+    let
+      val (dl, dr, s) = flux (asub (u, i - 1), asub (u, i), asub (u, i + 1))
+      val nu = asub (u, i) + 0.17 * (dr - dl) + s * 0.001
+    in
+      aupdate (v, i, nu);
+      sweep (i + 1)
+    end
+
+fun copy i =
+  if i >= n - 1 then ()
+  else (aupdate (u, i, asub (v, i)); copy (i + 1))
+
+fun iterate k =
+  if k = 0 then ()
+  else (sweep 1; copy 1; iterate (k - 1))
+
+fun checksum (i, acc) =
+  if i >= n then acc
+  else checksum (i + 1, acc + asub (u, i))
+
+val _ = init 0
+val _ = iterate 150
+val total = checksum (0, 0.0)
+val _ = print ("simple " ^ itos (floor (total * 100.0)) ^ "\n")

@@ -1,0 +1,79 @@
+(* VLIW: instruction-scheduler style workload making heavy use of
+   higher-order functions — pipelines of closures build, filter, and
+   schedule pseudo-instructions into issue slots. *)
+
+(* A pseudo-instruction: (id, latency, unit, deps). *)
+type instr = int * int * int * int list
+
+fun make_instr i : instr =
+  (i,
+   1 + (i * 7) mod 3,
+   (i * 13) mod 4,
+   if i = 0 then nil
+   else if i mod 4 = 0 then [i - 1]
+   else if i mod 4 = 1 then [i - 1, imax (0, i - 3)]
+   else [imax (0, i - 2)])
+
+fun id ((i, l, u, d) : instr) = i
+fun latency ((i, l, u, d) : instr) = l
+fun unit ((i, l, u, d) : instr) = u
+fun deps ((i, l, u, d) : instr) = d
+
+(* Higher-order combinator soup, as a scheduler's analysis passes are. *)
+fun compose f g = fn x => f (g x)
+
+fun count p = foldl (fn (x, n) => if p x then n + 1 else n) 0
+
+fun all p nil = true
+  | all p (x :: r) = p x andalso all p r
+
+(* Ready set: instructions whose deps are all retired. *)
+fun ready retired =
+  filter (fn ins => all (fn d => exists (fn r => r = d) retired) (deps ins))
+
+(* Pick at most `slots` instructions on distinct units. *)
+fun pick (nil, used, acc, slots) = rev acc
+  | pick (ins :: rest, used, acc, slots) =
+      if slots = 0 then rev acc
+      else if exists (fn u => u = unit ins) used then
+        pick (rest, used, acc, slots)
+      else
+        pick (rest, unit ins :: used, ins :: acc, slots - 1)
+
+fun remove_ids ids =
+  filter (fn ins => not (exists (fn i => i = id ins) ids))
+
+(* Schedule: repeatedly issue bundles until all instructions retire. *)
+fun schedule (pending, retired, cycles, issued) =
+  if null pending then (cycles, issued)
+  else
+    let
+      val r = ready retired pending
+      val bundle = pick (r, nil, nil, 3)
+      val ids = map id bundle
+    in
+      if null bundle then
+        (* stall: retire nothing, burn a cycle by faking a retire *)
+        schedule (pending, map (fn x => x) retired, cycles + 1, issued)
+      else
+        schedule
+          (remove_ids ids pending,
+           ids @ retired,
+           cycles + foldl (fn (b, m) => imax (latency b, m)) 1 bundle,
+           issued + length bundle)
+    end
+
+fun program n = tabulate (n, make_instr)
+
+fun work (0, acc) = acc
+  | work (k, acc) =
+      let
+        val (cycles, issued) = schedule (program 48, [~1], 0, 0)
+        (* Compose some analyses for extra higher-order traffic. *)
+        val busy = count (compose (fn u => u = 0) unit) (program 48)
+      in
+        work (k - 1, acc + cycles + issued + busy)
+      end
+
+val result = work (40, 0)
+val _ = print ("vliw " ^ itos result ^ "\n")

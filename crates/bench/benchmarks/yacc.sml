@@ -1,0 +1,87 @@
+(* Yacc: parser-generator style workload — a table-driven shift/reduce
+   parser for arithmetic expressions over a token stream, with parse
+   stacks as lists and action tables as arrays. *)
+
+(* Tokens: 0 = '+', 1 = '*', 2 = '(', 3 = ')', 4 = number, 5 = eof. *)
+datatype tok = Plus | Times | LP | RP | Num of int | Eof
+
+datatype ast =
+    Lit of int
+  | Add of ast * ast
+  | Mul of ast * ast
+
+exception ParseError
+
+(* Recursive-descent core driven by a precedence table held in an array
+   (standing in for the generated parser's tables). *)
+val prec = array (6, 0)
+val _ = aupdate (prec, 0, 1)   (* + *)
+val _ = aupdate (prec, 1, 2)   (* * *)
+
+fun parse toks =
+  let
+    (* primary ::= num | ( expr ) *)
+    fun primary (Num n :: rest) = (Lit n, rest)
+      | primary (LP :: rest) =
+          let
+            val (e, rest2) = expr (rest, 0)
+          in
+            case rest2 of
+              RP :: rest3 => (e, rest3)
+            | other => raise ParseError
+          end
+      | primary other = raise ParseError
+
+    (* Precedence climbing using the table. *)
+    and expr (toks, minp) =
+      let
+        val (lhs, rest) = primary toks
+        fun loop (acc, rest) =
+          case rest of
+            Plus :: rest2 =>
+              if asub (prec, 0) >= minp then
+                let val (rhs, rest3) = expr (rest2, asub (prec, 0) + 1)
+                in loop (Add (acc, rhs), rest3) end
+              else (acc, rest)
+          | Times :: rest2 =>
+              if asub (prec, 1) >= minp then
+                let val (rhs, rest3) = expr (rest2, asub (prec, 1) + 1)
+                in loop (Mul (acc, rhs), rest3) end
+              else (acc, rest)
+          | other => (acc, rest)
+      in
+        loop (lhs, rest)
+      end
+
+    val (e, rest) = expr (toks, 0)
+  in
+    case rest of
+      Eof :: nil => e
+    | other => raise ParseError
+  end
+
+fun eval (Lit n) = n
+  | eval (Add (a, b)) = eval a + eval b
+  | eval (Mul (a, b)) = eval a * eval b
+
+(* Generate a deterministic token stream: ((1+2*3)+(4*5+6))*... *)
+fun gen_expr (0, acc) = Num 7 :: acc
+  | gen_expr (n, acc) =
+      if n mod 3 = 0 then
+        LP :: gen_expr (n - 1, RP :: Times :: Num (n mod 9 + 1) :: acc)
+      else if n mod 3 = 1 then
+        Num (n mod 5 + 1) :: Plus :: gen_expr (n - 1, acc)
+      else
+        Num (n mod 7 + 1) :: Times :: gen_expr (n - 1, acc)
+
+fun work (0, acc) = acc
+  | work (k, acc) =
+      let
+        val toks = gen_expr (24, [Eof])
+        val tree = parse toks
+      in
+        work (k - 1, (acc + eval tree) mod 1000000)
+      end
+
+val result = work (150, 0)
+val _ = print ("yacc " ^ itos result ^ "\n")

@@ -1,0 +1,31 @@
+//! Regenerates the paper's Figure 7: per-benchmark execution-time ratios
+//! of all six compilers, with `sml.nrp` as the baseline (1.00).
+
+use smlc::Variant;
+use smlc_bench::{geomean, run_matrix};
+
+fn main() {
+    let matrix = run_matrix();
+    println!("Figure 7: execution time relative to sml.nrp (lower is better)\n");
+    print!("{:10}", "program");
+    for v in Variant::all() {
+        print!("  {:>8}", v.name());
+    }
+    println!();
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    for row in &matrix {
+        let base = row[0].outcome.stats.cycles as f64;
+        print!("{:10}", row[0].name);
+        for (i, r) in row.iter().enumerate() {
+            let ratio = r.outcome.stats.cycles as f64 / base;
+            ratios[i].push(ratio);
+            print!("  {ratio:>8.3}");
+        }
+        println!();
+    }
+    print!("{:10}", "Average");
+    for r in &ratios {
+        print!("  {:>8.3}", geomean(r));
+    }
+    println!();
+}

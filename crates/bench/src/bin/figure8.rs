@@ -1,0 +1,48 @@
+//! Regenerates the paper's Figure 8: geometric-mean ratios of execution
+//! time, heap allocation, code size, and compilation time for the six
+//! compilers (baseline `sml.nrp` = 1.00).
+
+use smlc::Variant;
+use smlc_bench::{geomean, run_matrix};
+
+fn main() {
+    let matrix = run_matrix();
+    let n_variants = Variant::all().len();
+
+    let mut exec: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
+    let mut alloc: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
+    let mut code: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
+    let mut ctime: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
+
+    for row in &matrix {
+        let be = row[0].outcome.stats.cycles as f64;
+        let ba = row[0].outcome.stats.alloc_words as f64;
+        let bc = row[0].compile.code_size as f64;
+        let bt = row[0].compile.compile_time.as_secs_f64();
+        for (i, r) in row.iter().enumerate() {
+            exec[i].push(r.outcome.stats.cycles as f64 / be);
+            alloc[i].push(r.outcome.stats.alloc_words as f64 / ba);
+            code[i].push(r.compile.code_size as f64 / bc);
+            ctime[i].push(r.compile.compile_time.as_secs_f64() / bt);
+        }
+    }
+
+    println!("Figure 8: summary comparisons of resource usage (ratios vs sml.nrp)\n");
+    print!("{:18}", "Program");
+    for v in Variant::all() {
+        print!("  {:>8}", v.name());
+    }
+    println!();
+    for (label, data) in [
+        ("Execution time", &exec),
+        ("Heap allocation", &alloc),
+        ("Code size", &code),
+        ("Compilation time", &ctime),
+    ] {
+        print!("{label:18}");
+        for col in data.iter() {
+            print!("  {:>8.2}", geomean(col));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Validation tool: compiles and runs every benchmark under every
+//! variant, checking for agreement; prints a result matrix.
+//!
+//! ```sh
+//! cargo run --release -p smlc-bench --bin validate
+//! ```
+
+use smlc::{compile, Variant, VmResult};
+
+fn main() {
+    let mut failures = 0;
+    for b in smlc_bench::benchmarks() {
+        let src = b.source();
+        let mut outputs: Vec<String> = Vec::new();
+        for v in Variant::all() {
+            match compile(&src, v) {
+                Err(e) => {
+                    println!("{:8} {:8} COMPILE ERROR: {e}", b.name, v.name());
+                    failures += 1;
+                }
+                Ok(c) => {
+                    let o = c.run();
+                    match o.result {
+                        VmResult::Value(_) => {
+                            println!(
+                                "{:8} {:8} OK out={:?} cycles={} alloc={} code={}",
+                                b.name,
+                                v.name(),
+                                o.output.trim(),
+                                o.stats.cycles,
+                                o.stats.alloc_words,
+                                c.stats.code_size
+                            );
+                            outputs.push(o.output);
+                        }
+                        other => {
+                            println!("{:8} {:8} ABNORMAL {other:?}", b.name, v.name());
+                            failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if outputs.windows(2).any(|w| w[0] != w[1]) {
+            println!("{:8} VARIANTS DISAGREE", b.name);
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        println!("{failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("all benchmarks agree under all variants");
+}

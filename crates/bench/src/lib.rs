@@ -1,0 +1,110 @@
+//! The twelve benchmark programs of the paper's evaluation (§6) and
+//! helpers for running them under the six compiler variants.
+//!
+//! The originals averaged 1820 lines of full SML; these are smaller
+//! workloads with the same names and operation mix (see DESIGN.md §3):
+//! MBrot/Nucleic/Simple/Ray/BHut are floating-point intensive,
+//! Sieve/KB-Comp use continuations and exceptions, VLIW/KB-Comp are
+//! higher-order heavy, Life tests set membership with polymorphic
+//! equality in its inner loop, Boyer rewrites terms, Lexgen chews
+//! strings, and Yacc parses token streams.
+
+use smlc::{compile, CompileStats, Outcome, Variant, VmResult};
+
+/// The shared prelude compiled in front of every benchmark.
+pub const PRELUDE: &str = include_str!("../benchmarks/prelude.sml");
+
+/// One benchmark program.
+#[derive(Clone, Copy, Debug)]
+pub struct Benchmark {
+    /// Display name (matching the paper's Figure 7 labels).
+    pub name: &'static str,
+    /// The SML source (without the prelude).
+    pub body: &'static str,
+}
+
+impl Benchmark {
+    /// The full source: prelude plus benchmark body.
+    pub fn source(&self) -> String {
+        format!("{PRELUDE}\n{}", self.body)
+    }
+}
+
+/// All twelve benchmarks, in the paper's Figure 7 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark { name: "BHut", body: include_str!("../benchmarks/bhut.sml") },
+        Benchmark { name: "Boyer", body: include_str!("../benchmarks/boyer.sml") },
+        Benchmark { name: "Sieve", body: include_str!("../benchmarks/sieve.sml") },
+        Benchmark { name: "KB-C", body: include_str!("../benchmarks/kbc.sml") },
+        Benchmark { name: "Lexgen", body: include_str!("../benchmarks/lexgen.sml") },
+        Benchmark { name: "Yacc", body: include_str!("../benchmarks/yacc.sml") },
+        Benchmark { name: "Simple", body: include_str!("../benchmarks/simple.sml") },
+        Benchmark { name: "Ray", body: include_str!("../benchmarks/ray.sml") },
+        Benchmark { name: "Life", body: include_str!("../benchmarks/life.sml") },
+        Benchmark { name: "VLIW", body: include_str!("../benchmarks/vliw.sml") },
+        Benchmark { name: "MBrot", body: include_str!("../benchmarks/mbrot.sml") },
+        Benchmark { name: "Nucleic", body: include_str!("../benchmarks/nucleic.sml") },
+    ]
+}
+
+/// The result of one benchmark under one variant.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Compiler variant.
+    pub variant: Variant,
+    /// Compilation statistics.
+    pub compile: CompileStats,
+    /// Execution outcome.
+    pub outcome: Outcome,
+}
+
+/// Compiles and runs one benchmark under one variant.
+///
+/// # Panics
+///
+/// Panics on compile errors or abnormal termination — the benchmarks are
+/// fixed programs that must run cleanly.
+pub fn run_one(b: &Benchmark, v: Variant) -> BenchResult {
+    let src = b.source();
+    let compiled = compile(&src, v)
+        .unwrap_or_else(|e| panic!("{} failed to compile under {v}: {e}", b.name));
+    let outcome = compiled.run();
+    assert!(
+        matches!(outcome.result, VmResult::Value(_)),
+        "{} under {v} ended abnormally: {:?} (output {:?})",
+        b.name,
+        outcome.result,
+        outcome.output
+    );
+    BenchResult { name: b.name, variant: v, compile: compiled.stats, outcome }
+}
+
+/// Runs every benchmark under every variant, checking that all variants
+/// agree on the printed output (a differential-correctness harness), and
+/// returns the full result matrix indexed `[benchmark][variant]`.
+pub fn run_matrix() -> Vec<Vec<BenchResult>> {
+    benchmarks()
+        .iter()
+        .map(|b| {
+            let row: Vec<BenchResult> =
+                Variant::all().iter().map(|v| run_one(b, *v)).collect();
+            for r in &row[1..] {
+                assert_eq!(
+                    r.outcome.output, row[0].outcome.output,
+                    "{}: {} disagrees with {}",
+                    b.name, r.variant, row[0].variant
+                );
+            }
+            row
+        })
+        .collect()
+}
+
+/// Geometric mean of a slice of ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    let s: f64 = xs.iter().map(|x| x.ln()).sum();
+    (s / xs.len() as f64).exp()
+}

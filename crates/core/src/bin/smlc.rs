@@ -1,0 +1,129 @@
+//! The `smlc` command-line compiler driver.
+//!
+//! ```sh
+//! smlc program.sml                  # compile with sml.ffb and run
+//! smlc --variant nrp program.sml    # pick a compiler variant
+//! smlc --stats program.sml          # print compile/run statistics
+//! smlc --all program.sml            # run under all six variants
+//! smlc -e 'val _ = print "hi\n"'    # compile a command-line snippet
+//! smlc --emit asm program.sml       # disassemble instead of running
+//! ```
+
+use smlc::{compile, Variant, VmResult};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: smlc [--variant nrp|fag|rep|mtd|ffb|fp3] [--stats] [--all] \
+         [--emit asm] (<file.sml> | -e <source>)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_variant(s: &str) -> Variant {
+    match s {
+        "nrp" => Variant::Nrp,
+        "fag" => Variant::Fag,
+        "rep" => Variant::Rep,
+        "mtd" => Variant::Mtd,
+        "ffb" => Variant::Ffb,
+        "fp3" => Variant::Fp3,
+        other => {
+            eprintln!("unknown variant `{other}`");
+            usage()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut variant = Variant::Ffb;
+    let mut stats = false;
+    let mut all = false;
+    let mut emit_asm = false;
+    let mut source: Option<String> = None;
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--variant" | "-v" => {
+                let Some(v) = args.next() else { usage() };
+                variant = parse_variant(&v);
+            }
+            "--stats" | "-s" => stats = true,
+            "--all" | "-a" => all = true,
+            "--emit" => {
+                let Some(what) = args.next() else { usage() };
+                match what.as_str() {
+                    "asm" => emit_asm = true,
+                    other => {
+                        eprintln!("unknown --emit target `{other}` (only `asm`)");
+                        usage()
+                    }
+                }
+            }
+            "-e" => {
+                let Some(src) = args.next() else { usage() };
+                source = Some(src);
+            }
+            "--help" | "-h" => usage(),
+            path => match std::fs::read_to_string(path) {
+                Ok(s) => source = Some(s),
+                Err(e) => {
+                    eprintln!("smlc: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+        }
+    }
+    let Some(src) = source else { usage() };
+
+    let variants: Vec<Variant> =
+        if all { Variant::all().to_vec() } else { vec![variant] };
+
+    for v in variants {
+        if all {
+            println!("== {} ==", v.name());
+        }
+        let compiled = match compile(&src, v) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("smlc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for w in &compiled.stats.warnings {
+            eprintln!("smlc: {w}");
+        }
+        if emit_asm {
+            print!("{}", compiled.machine);
+            continue;
+        }
+        let outcome = compiled.run();
+        print!("{}", outcome.output);
+        match &outcome.result {
+            VmResult::Value(_) => {}
+            VmResult::Uncaught(name) => {
+                eprintln!("smlc: uncaught exception {name}");
+                return ExitCode::FAILURE;
+            }
+            VmResult::OutOfFuel => {
+                eprintln!("smlc: cycle budget exhausted");
+                return ExitCode::FAILURE;
+            }
+        }
+        if stats {
+            eprintln!(
+                "[{}] code {} instrs | compile {:?} | cycles {} | instrs {} | \
+                 alloc {} words | gcs {}",
+                v.name(),
+                compiled.stats.code_size,
+                compiled.stats.compile_time,
+                outcome.stats.cycles,
+                outcome.stats.instrs,
+                outcome.stats.alloc_words,
+                outcome.stats.n_gcs
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,96 @@
+//! The six compiler variants of the paper's evaluation (§6).
+
+use sml_cps::{CpsConfig, SpreadMode};
+use sml_lambda::{InternMode, LambdaConfig};
+use sml_vm::VmConfig;
+
+/// One of the six compilers measured in the paper (all are "simple
+/// variations of the Standard ML of New Jersey compiler version 1.03z").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Variant {
+    /// `sml.nrp`: non-type-based; standard boxed representations;
+    /// one argument, one result.
+    Nrp,
+    /// `sml.fag`: `Nrp` plus known-function argument flattening
+    /// (Kranz-style); similar to SML/NJ 0.93.
+    Fag,
+    /// `sml.rep`: type-based representation analysis on records; floats
+    /// still boxed.
+    Rep,
+    /// `sml.mtd`: `Rep` plus minimum typing derivations.
+    Mtd,
+    /// `sml.ffb`: `Mtd` plus unboxed floats — float arguments in float
+    /// registers, flat float records.
+    Ffb,
+    /// `sml.fp3`: `Ffb` plus three floating-point callee-save registers.
+    Fp3,
+}
+
+impl Variant {
+    /// All six, in the paper's order.
+    pub fn all() -> [Variant; 6] {
+        [Variant::Nrp, Variant::Fag, Variant::Rep, Variant::Mtd, Variant::Ffb, Variant::Fp3]
+    }
+
+    /// The paper's name for the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Nrp => "sml.nrp",
+            Variant::Fag => "sml.fag",
+            Variant::Rep => "sml.rep",
+            Variant::Mtd => "sml.mtd",
+            Variant::Ffb => "sml.ffb",
+            Variant::Fp3 => "sml.fp3",
+        }
+    }
+
+    /// Whether the minimum-typing-derivations pass runs.
+    pub fn uses_mtd(self) -> bool {
+        matches!(self, Variant::Mtd | Variant::Ffb | Variant::Fp3)
+    }
+
+    /// Middle-end configuration.
+    pub fn lambda_config(self) -> LambdaConfig {
+        match self {
+            Variant::Nrp | Variant::Fag => LambdaConfig {
+                type_based: false,
+                unboxed_floats: false,
+                memo_coercions: true,
+                intern_mode: InternMode::HashCons,
+            },
+            Variant::Rep | Variant::Mtd => LambdaConfig {
+                type_based: true,
+                unboxed_floats: false,
+                memo_coercions: true,
+                intern_mode: InternMode::HashCons,
+            },
+            Variant::Ffb | Variant::Fp3 => LambdaConfig {
+                type_based: true,
+                unboxed_floats: true,
+                memo_coercions: true,
+                intern_mode: InternMode::HashCons,
+            },
+        }
+    }
+
+    /// Back-end configuration.
+    pub fn cps_config(self) -> CpsConfig {
+        let spread = match self {
+            Variant::Nrp => SpreadMode::None,
+            Variant::Fag => SpreadMode::KnownOnly,
+            _ => SpreadMode::ByType,
+        };
+        CpsConfig { spread, max_spread: 10, fp_callee_save: self == Variant::Fp3 }
+    }
+
+    /// Execution configuration.
+    pub fn vm_config(self) -> VmConfig {
+        VmConfig { fp3_overhead: self == Variant::Fp3, ..VmConfig::default() }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -1,0 +1,23 @@
+//! Compiler driver errors.
+
+use std::fmt;
+
+/// A compilation failure.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Syntax error, with the source for location rendering.
+    Parse(sml_ast::ParseError, String),
+    /// Type error, with the source for location rendering.
+    Elab(sml_elab::ElabError, String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e, src) => f.write_str(&e.render(src)),
+            CompileError::Elab(e, src) => f.write_str(&e.render(src)),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,38 @@
+//! `smlc` — a type-based compiler for a Standard ML subset, reproducing
+//! Shao & Appel, *A Type-Based Compiler for Standard ML* (PLDI 1995).
+//!
+//! The crate wires the full pipeline of the paper's Figure 3: parsing,
+//! elaboration with per-occurrence type instantiations, optional minimum
+//! typing derivations, translation into the typed lambda language LEXP
+//! with representation-analysis coercions, typed CPS conversion and
+//! optimization, closure conversion, and code generation for an abstract
+//! DECstation-class machine with a cycle-accounting interpreter.
+//!
+//! Six [`Variant`]s mirror the paper's measured compilers
+//! (`sml.nrp` … `sml.fp3`).
+//!
+//! # Examples
+//!
+//! ```
+//! use smlc::{compile, Variant, VmResult};
+//! let program = "
+//!     fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+//!     val result = fib 10
+//! ";
+//! let compiled = compile(program, Variant::Ffb).unwrap();
+//! let outcome = compiled.run();
+//! assert_eq!(outcome.result, VmResult::Value(0)); // programs return unit
+//! assert!(outcome.stats.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod pipeline;
+
+pub use config::Variant;
+pub use error::CompileError;
+pub use pipeline::{compile, compile_and_run, compile_with, Compiled, CompileStats};
+pub use sml_cps::OptConfig;
+pub use sml_vm::{Outcome, RunStats, VmConfig, VmResult};

@@ -1,0 +1,152 @@
+//! The compilation pipeline (the paper's Figure 3), end to end.
+
+use crate::config::Variant;
+use crate::error::CompileError;
+use sml_cps::{close, convert, optimize, OptConfig, OptStats};
+use sml_lambda::{translate, type_of, CoerceStats};
+use sml_vm::{codegen, run as vm_run, MachineProgram, Outcome, VmConfig};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Per-phase and summary statistics of one compilation.
+#[derive(Clone, Debug, Default)]
+pub struct CompileStats {
+    /// Wall-clock time of the whole compilation.
+    pub compile_time: Duration,
+    /// Wall-clock per phase: parse, elaborate (+MTD), translate, CPS
+    /// convert, optimize, closure convert, codegen.
+    pub phase_times: Vec<(&'static str, Duration)>,
+    /// LEXP size after translation (nodes).
+    pub lexp_size: usize,
+    /// CPS size before optimization (operators).
+    pub cps_size_before: usize,
+    /// CPS size after optimization.
+    pub cps_size_after: usize,
+    /// Machine code size (instructions) — the paper's code-size metric.
+    pub code_size: usize,
+    /// Coercion statistics from translation.
+    pub coerce: CoerceStats,
+    /// Optimizer statistics.
+    pub opt: OptStats,
+    /// Number of distinct LTYs interned.
+    pub ltys: usize,
+    /// Front-end warnings (nonexhaustive matches, redundant rules).
+    pub warnings: Vec<String>,
+}
+
+/// A compiled program ready to run.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The machine code.
+    pub machine: MachineProgram,
+    /// Which variant produced it.
+    pub variant: Variant,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}
+
+/// Compiles `src` with the given compiler variant.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on syntax or type errors.
+///
+/// # Examples
+///
+/// ```
+/// use smlc::{compile, Variant};
+/// let c = compile("val x = 1 + 2", Variant::Ffb).unwrap();
+/// assert!(c.stats.code_size > 0);
+/// ```
+pub fn compile(src: &str, variant: Variant) -> Result<Compiled, CompileError> {
+    compile_with(src, variant, &OptConfig::default())
+}
+
+/// Compiles with explicit optimizer settings.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on syntax or type errors.
+pub fn compile_with(
+    src: &str,
+    variant: Variant,
+    opt_cfg: &OptConfig,
+) -> Result<Compiled, CompileError> {
+    let t0 = Instant::now();
+    let mut phases = Vec::new();
+
+    let t = Instant::now();
+    let prog = sml_ast::parse(src).map_err(|e| CompileError::Parse(e, src.to_owned()))?;
+    phases.push(("parse", t.elapsed()));
+
+    let t = Instant::now();
+    let mut elab =
+        sml_elab::elaborate(&prog).map_err(|e| CompileError::Elab(e, src.to_owned()))?;
+    if variant.uses_mtd() {
+        sml_elab::minimum_typing(&mut elab);
+    }
+    phases.push(("elaborate", t.elapsed()));
+
+    let t = Instant::now();
+    let mut tr = translate(&elab, &variant.lambda_config());
+    phases.push(("translate", t.elapsed()));
+    let lexp_size = tr.lexp.size();
+    debug_assert!(
+        type_of(&tr.lexp, &mut HashMap::new(), &mut tr.interner).is_ok(),
+        "internal: translated LEXP is ill-typed"
+    );
+
+    let t = Instant::now();
+    let mut cps = convert(&tr.lexp, &mut tr.interner, tr.n_vars, &variant.cps_config());
+    phases.push(("cps-convert", t.elapsed()));
+    let cps_size_before = cps.body.size();
+
+    let t = Instant::now();
+    let opt = optimize(&mut cps, opt_cfg);
+    phases.push(("cps-optimize", t.elapsed()));
+    let cps_size_after = cps.body.size();
+
+    let t = Instant::now();
+    let closed = close(cps);
+    phases.push(("closure-convert", t.elapsed()));
+
+    let t = Instant::now();
+    let machine = codegen(&closed);
+    phases.push(("codegen", t.elapsed()));
+
+    let stats = CompileStats {
+        compile_time: t0.elapsed(),
+        phase_times: phases,
+        lexp_size,
+        cps_size_before,
+        cps_size_after,
+        code_size: machine.code_size(),
+        coerce: tr.stats,
+        opt,
+        ltys: tr.interner.len(),
+        warnings: tr.warnings,
+    };
+    Ok(Compiled { machine, variant, stats })
+}
+
+impl Compiled {
+    /// Runs the compiled program on the abstract machine.
+    pub fn run(&self) -> Outcome {
+        vm_run(&self.machine, &self.variant.vm_config())
+    }
+
+    /// Runs with an explicit VM configuration.
+    pub fn run_with(&self, cfg: &VmConfig) -> Outcome {
+        vm_run(&self.machine, cfg)
+    }
+}
+
+/// Convenience: compile with [`Variant::Ffb`] and run, returning the
+/// outcome.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on syntax or type errors.
+pub fn compile_and_run(src: &str) -> Result<Outcome, CompileError> {
+    Ok(compile(src, Variant::Ffb)?.run())
+}

@@ -1,0 +1,453 @@
+//! Differential fuzzing: proptest generates random expression trees,
+//! a tiny reference interpreter evaluates them in Rust, and every
+//! compiler variant must produce the same answer through the full
+//! pipeline (parse → elaborate → translate → CPS → closure → codegen →
+//! VM). Any divergence pinpoints a representation or convention bug.
+
+use proptest::prelude::*;
+use smlc::{compile, Variant, VmResult};
+
+/// A generated integer expression. Division/mod keep a nonzero literal
+/// divisor so evaluation is total.
+#[derive(Clone, Debug)]
+enum E {
+    Lit(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, i32),
+    /// `mod` with a positive literal divisor (the one case where the
+    /// VM's semantics, SML's floor-mod, and `rem_euclid` all coincide).
+    Mod(Box<E>, i32),
+    If(Box<B>, Box<E>, Box<E>),
+    Let(Box<E>, Box<E>),
+    /// Apply `fn x => x + k` — exercises closures and calls.
+    App(i32, Box<E>),
+    /// Build a pair and select one side — exercises records.
+    Pair(Box<E>, Box<E>, bool),
+}
+
+/// A generated boolean expression.
+#[derive(Clone, Debug)]
+enum B {
+    Lt(E, E),
+    Eq(E, E),
+    Not(Box<B>),
+    And(Box<B>, Box<B>),
+}
+
+/// Reference evaluation. `env` is the stack of `Let`-bound values; the
+/// innermost binding is `last()`.
+fn eval(e: &E, env: &mut Vec<i64>) -> i64 {
+    match e {
+        E::Lit(n) => *n as i64,
+        E::Add(a, b) => eval(a, env).wrapping_add(eval(b, env)),
+        E::Sub(a, b) => eval(a, env).wrapping_sub(eval(b, env)),
+        E::Mul(a, b) => eval(a, env).wrapping_mul(eval(b, env)),
+        // The VM's `div` truncates (DESIGN.md §8); match it here.
+        E::Div(a, d) => eval(a, env) / (*d as i64),
+        E::Mod(a, d) => eval(a, env).rem_euclid(*d as i64),
+        E::If(c, t, f) => {
+            if beval(c, env) {
+                eval(t, env)
+            } else {
+                eval(f, env)
+            }
+        }
+        E::Let(bind, body) => {
+            let v = eval(bind, env);
+            env.push(v);
+            let r = eval(body, env);
+            env.pop();
+            r
+        }
+        E::App(k, a) => eval(a, env).wrapping_add(*k as i64),
+        E::Pair(a, b, first) => {
+            let (va, vb) = (eval(a, env), eval(b, env));
+            if *first {
+                va
+            } else {
+                vb
+            }
+        }
+    }
+}
+
+fn beval(b: &B, env: &mut Vec<i64>) -> bool {
+    match b {
+        B::Lt(a, c) => eval(a, env) < eval(c, env),
+        B::Eq(a, c) => eval(a, env) == eval(c, env),
+        B::Not(x) => !beval(x, env),
+        B::And(x, y) => beval(x, env) && beval(y, env),
+    }
+}
+
+/// Pretty-print as SML source. Negative literals use `~`.
+fn sml(e: &E, depth: usize, out: &mut String) {
+    match e {
+        E::Lit(n) => {
+            if *n < 0 {
+                out.push_str(&format!("~{}", (*n as i64).unsigned_abs()));
+            } else {
+                out.push_str(&n.to_string());
+            }
+        }
+        E::Add(a, b) => bin(a, "+", b, depth, out),
+        E::Sub(a, b) => bin(a, "-", b, depth, out),
+        E::Mul(a, b) => bin(a, "*", b, depth, out),
+        E::Div(a, d) => {
+            out.push('(');
+            sml(a, depth, out);
+            if *d < 0 {
+                out.push_str(&format!(" div ~{})", (*d as i64).unsigned_abs()));
+            } else {
+                out.push_str(&format!(" div {d})"));
+            }
+        }
+        E::Mod(a, d) => {
+            out.push('(');
+            sml(a, depth, out);
+            out.push_str(&format!(" mod {d})"));
+        }
+        E::If(c, t, f) => {
+            out.push_str("(if ");
+            bsml(c, depth, out);
+            out.push_str(" then ");
+            sml(t, depth, out);
+            out.push_str(" else ");
+            sml(f, depth, out);
+            out.push(')');
+        }
+        E::Let(bind, body) => {
+            out.push_str(&format!("(let val x{depth} = "));
+            sml(bind, depth, out);
+            out.push_str(" in ");
+            sml(body, depth + 1, out);
+            out.push_str(" end)");
+        }
+        E::App(k, a) => {
+            if *k < 0 {
+                out.push_str(&format!("((fn z => z + ~{}) ", (*k as i64).unsigned_abs()));
+            } else {
+                out.push_str(&format!("((fn z => z + {k}) "));
+            }
+            sml(a, depth, out);
+            out.push(')');
+        }
+        E::Pair(a, b, first) => {
+            out.push_str(&format!("(#{} (", if *first { 1 } else { 2 }));
+            sml(a, depth, out);
+            out.push_str(", ");
+            sml(b, depth, out);
+            out.push_str("))");
+        }
+    }
+}
+
+fn bin(a: &E, op: &str, b: &E, depth: usize, out: &mut String) {
+    out.push('(');
+    sml(a, depth, out);
+    out.push_str(&format!(" {op} "));
+    sml(b, depth, out);
+    out.push(')');
+}
+
+fn bsml(b: &B, depth: usize, out: &mut String) {
+    match b {
+        B::Lt(a, c) => {
+            out.push('(');
+            sml(a, depth, out);
+            out.push_str(" < ");
+            sml(c, depth, out);
+            out.push(')');
+        }
+        B::Eq(a, c) => {
+            out.push('(');
+            sml(a, depth, out);
+            out.push_str(" = ");
+            sml(c, depth, out);
+            out.push(')');
+        }
+        // `not` is not in this compiler's initial basis; compare with
+        // `false` instead (same CPS branch shape).
+        B::Not(x) => {
+            out.push('(');
+            bsml(x, depth, out);
+            out.push_str(" = false)");
+        }
+        B::And(x, y) => {
+            out.push('(');
+            bsml(x, depth, out);
+            out.push_str(" andalso ");
+            bsml(y, depth, out);
+            out.push(')');
+        }
+    }
+}
+
+/// `Let` bodies never reference their binder here (the reference
+/// interpreter would need de Bruijn plumbing); the binding expression is
+/// still evaluated, so effects on code shape remain.
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = (-100i32..100).prop_map(E::Lit);
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        let b = arb_bool(inner.clone());
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| E::Add(Box::new(a), Box::new(c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| E::Sub(Box::new(a), Box::new(c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| E::Mul(Box::new(a), Box::new(c))),
+            (inner.clone(), prop_oneof![(1i32..50), (-50i32..-1)])
+                .prop_map(|(a, d)| E::Div(Box::new(a), d)),
+            (inner.clone(), 1i32..50).prop_map(|(a, d)| E::Mod(Box::new(a), d)),
+            (b, inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| E::If(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| E::Let(Box::new(a), Box::new(c))),
+            (-20i32..20, inner.clone()).prop_map(|(k, a)| E::App(k, Box::new(a))),
+            (inner.clone(), inner, any::<bool>())
+                .prop_map(|(a, c, f)| E::Pair(Box::new(a), Box::new(c), f)),
+        ]
+    })
+}
+
+fn arb_bool(e: impl Strategy<Value = E> + Clone + 'static) -> impl Strategy<Value = B> {
+    let leaf = prop_oneof![
+        (e.clone(), e.clone()).prop_map(|(a, b)| B::Lt(a, b)),
+        (e.clone(), e).prop_map(|(a, b)| B::Eq(a, b)),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|x| B::Not(Box::new(x))),
+            (inner.clone(), inner).prop_map(|(x, y)| B::And(Box::new(x), Box::new(y))),
+        ]
+    })
+}
+
+/// The VM's tagged integers are 31-bit; the reference interpreter uses
+/// i64. Skip cases whose value (or any intermediate the VM would also
+/// compute) overflows — conservatively, skip when the final value does.
+fn fits(v: i64) -> bool {
+    (-(1 << 30)..(1 << 30)).contains(&v)
+}
+
+/// Check for overflow at every node, not just the root, since the VM
+/// wraps at 31 bits where i64 would not.
+fn all_fits(e: &E, env: &mut Vec<i64>) -> bool {
+    let node_ok = |v: i64| fits(v);
+    match e {
+        E::Lit(_) => true,
+        E::Add(a, b) | E::Sub(a, b) | E::Mul(a, b) => {
+            all_fits(a, env) && all_fits(b, env) && node_ok(eval(e, env))
+        }
+        E::Div(a, _) | E::Mod(a, _) => all_fits(a, env) && node_ok(eval(e, env)),
+        E::If(c, t, f) => {
+            bool_fits(c, env) && all_fits(t, env) && all_fits(f, env) && node_ok(eval(e, env))
+        }
+        E::Let(a, b) => {
+            if !all_fits(a, env) {
+                return false;
+            }
+            let v = eval(a, env);
+            env.push(v);
+            let ok = all_fits(b, env);
+            env.pop();
+            ok && node_ok(eval(e, env))
+        }
+        E::App(_, a) => all_fits(a, env) && node_ok(eval(e, env)),
+        E::Pair(a, b, _) => all_fits(a, env) && all_fits(b, env),
+    }
+}
+
+fn bool_fits(b: &B, env: &mut Vec<i64>) -> bool {
+    match b {
+        B::Lt(a, c) | B::Eq(a, c) => all_fits(a, env) && all_fits(c, env),
+        B::Not(x) => bool_fits(x, env),
+        B::And(x, y) => bool_fits(x, env) && bool_fits(y, env),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn variants_agree_with_reference(e in arb_expr()) {
+        let mut env = Vec::new();
+        prop_assume!(all_fits(&e, &mut env));
+        let expected = eval(&e, &mut env);
+
+        let mut src = String::from("val _ = print (itos ");
+        sml(&e, 0, &mut src);
+        src.push(')');
+
+        for v in Variant::all() {
+            let compiled = compile(&src, v)
+                .unwrap_or_else(|err| panic!("[{}] compile failed: {err}\n{src}", v.name()));
+            let out = compiled.run();
+            prop_assert!(matches!(out.result, VmResult::Value(_)),
+                "[{}] abnormal result {:?} for\n{src}", v.name(), out.result);
+            prop_assert_eq!(
+                out.output.clone(), expected.to_string(),
+                "[{}] wrong value for\n{}", v.name(), src);
+        }
+    }
+}
+
+/// A generated float expression. No reference interpreter is needed:
+/// the property is that all six variants — whose float representations
+/// differ radically (boxed vs. unboxed, FP-register args vs. memory) —
+/// print byte-identical output.
+#[derive(Clone, Debug)]
+enum FE {
+    Lit(f64),
+    Add(Box<FE>, Box<FE>),
+    Sub(Box<FE>, Box<FE>),
+    Mul(Box<FE>, Box<FE>),
+    If(Box<FE>, Box<FE>, Box<FE>, Box<FE>), // if a < b then t else f
+    Let(Box<FE>, Box<FE>),
+    /// Apply `fn x => x * k` — a float closure call.
+    App(f64, Box<FE>),
+    /// `#i (a, b)` — a flat float record under ffb, boxed under nrp/rep.
+    Pair(Box<FE>, Box<FE>, bool),
+}
+
+fn fsml(e: &FE, depth: usize, out: &mut String) {
+    let lit = |v: f64, out: &mut String| {
+        if v < 0.0 {
+            out.push_str(&format!("~{:?}", -v));
+        } else {
+            out.push_str(&format!("{v:?}"));
+        }
+    };
+    match e {
+        FE::Lit(v) => lit(*v, out),
+        FE::Add(a, b) => fbin(a, "+", b, depth, out),
+        FE::Sub(a, b) => fbin(a, "-", b, depth, out),
+        FE::Mul(a, b) => fbin(a, "*", b, depth, out),
+        FE::If(a, b, t, f) => {
+            out.push_str("(if ");
+            fbin(a, "<", b, depth, out);
+            out.push_str(" then ");
+            fsml(t, depth, out);
+            out.push_str(" else ");
+            fsml(f, depth, out);
+            out.push(')');
+        }
+        FE::Let(bind, body) => {
+            out.push_str(&format!("(let val y{depth} : real = "));
+            fsml(bind, depth, out);
+            out.push_str(" in ");
+            fsml(body, depth + 1, out);
+            out.push_str(" end)");
+        }
+        FE::App(k, a) => {
+            out.push_str("((fn (x : real) => x * ");
+            lit(*k, out);
+            out.push_str(") ");
+            fsml(a, depth, out);
+            out.push(')');
+        }
+        FE::Pair(a, b, first) => {
+            out.push_str(&format!("(#{} (", if *first { 1 } else { 2 }));
+            fsml(a, depth, out);
+            out.push_str(", ");
+            fsml(b, depth, out);
+            out.push_str("))");
+        }
+    }
+}
+
+fn fbin(a: &FE, op: &str, b: &FE, depth: usize, out: &mut String) {
+    out.push('(');
+    fsml(a, depth, out);
+    out.push_str(&format!(" {op} "));
+    fsml(b, depth, out);
+    out.push(')');
+}
+
+fn arb_fexpr() -> impl Strategy<Value = FE> {
+    // Small half-integral literals keep every intermediate exact in f64,
+    // so there is no rounding for a formatting difference to hide in.
+    let leaf = (-32i32..32).prop_map(|n| FE::Lit(n as f64 / 2.0));
+    leaf.prop_recursive(4, 40, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FE::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FE::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FE::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
+                |(a, b, t, f)| FE::If(Box::new(a), Box::new(b), Box::new(t), Box::new(f))
+            ),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FE::Let(Box::new(a), Box::new(b))),
+            (-8i32..8, inner.clone())
+                .prop_map(|(k, a)| FE::App(k as f64 / 2.0, Box::new(a))),
+            (inner.clone(), inner, any::<bool>())
+                .prop_map(|(a, b, f)| FE::Pair(Box::new(a), Box::new(b), f)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    #[test]
+    fn float_variants_agree(e in arb_fexpr()) {
+        let mut src = String::from("val _ = print (rtos ");
+        fsml(&e, 0, &mut src);
+        src.push(')');
+
+        let mut reference: Option<String> = None;
+        for v in Variant::all() {
+            let compiled = compile(&src, v)
+                .unwrap_or_else(|err| panic!("[{}] compile failed: {err}\n{src}", v.name()));
+            let out = compiled.run();
+            prop_assert!(matches!(out.result, VmResult::Value(_)),
+                "[{}] abnormal result {:?} for\n{src}", v.name(), out.result);
+            match &reference {
+                None => reference = Some(out.output),
+                Some(r) => prop_assert_eq!(
+                    &out.output, r,
+                    "[{}] diverges from sml.nrp for\n{}", v.name(), src),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Random integer `case` dispatch: arms over literals drawn from a
+    /// small range (dense enough to trigger the jump-table path, sparse
+    /// enough to sometimes stay a branch chain) plus a wildcard. Every
+    /// variant must pick the same arm as direct lookup.
+    #[test]
+    fn switch_dispatch_matches_reference(
+        mut arms in proptest::collection::btree_map(0i64..24, -1000i64..1000, 1..12),
+        scrutinee in 0i64..24,
+        default in -1000i64..1000,
+    ) {
+        // Arm order in source follows BTreeMap order; duplicates are
+        // impossible by construction.
+        let mut src = String::from("fun f n = case n of ");
+        for (i, (k, v)) in arms.iter().enumerate() {
+            if i > 0 {
+                src.push_str(" | ");
+            }
+            let v = if *v < 0 { format!("~{}", -v) } else { v.to_string() };
+            src.push_str(&format!("{k} => {v}"));
+        }
+        let d = if default < 0 { format!("~{}", -default) } else { default.to_string() };
+        src.push_str(&format!(" | _ => {d}\nval _ = print (itos (f {scrutinee}))"));
+
+        let expected = arms.remove(&scrutinee).unwrap_or(default);
+        for v in Variant::all() {
+            let compiled = compile(&src, v)
+                .unwrap_or_else(|err| panic!("[{}] compile failed: {err}\n{src}", v.name()));
+            let out = compiled.run();
+            prop_assert_eq!(
+                out.output.clone(), expected.to_string(),
+                "[{}] wrong arm for\n{}", v.name(), src);
+        }
+    }
+}

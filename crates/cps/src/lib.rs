@@ -1,0 +1,35 @@
+//! The typed CPS back end of the `smlc` compiler (paper §5).
+//!
+//! LEXP programs are converted to continuation-passing style with
+//! per-variable CTY annotations, optimized (contraction, wrap/unwrap
+//! cancellation, record-copy elimination, inline expansion), and closure-
+//! converted into first-order form ready for code generation.
+//!
+//! # Examples
+//!
+//! ```
+//! use sml_lambda::{translate, LambdaConfig};
+//! use sml_cps::{convert, optimize, close, CpsConfig, OptConfig};
+//! let prog = sml_ast::parse("val x = 1 + 2").unwrap();
+//! let elab = sml_elab::elaborate(&prog).unwrap();
+//! let mut tr = translate(&elab, &LambdaConfig::default());
+//! let mut cps = convert(&tr.lexp, &mut tr.interner, tr.n_vars, &CpsConfig::default());
+//! optimize(&mut cps, &OptConfig::default());
+//! let closed = close(cps);
+//! assert!(closed.entry.size() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod convert;
+pub mod cps;
+pub mod optimize;
+
+pub use closure::{close, ClosedProgram};
+pub use convert::{convert, CpsConfig, CpsProgram, SpreadMode};
+pub use cps::{
+    cty_of_lty, AllocOp, BranchOp, CVar, Cexp, Cty, FunDef, FunKind, LookOp, PureOp, SetOp,
+    Value,
+};
+pub use optimize::{optimize, OptConfig, OptStats};

@@ -1,0 +1,37 @@
+//! Elaboration (type checking) errors.
+
+use sml_ast::Span;
+use std::fmt;
+
+/// An elaboration failure.
+#[derive(Clone, Debug)]
+pub struct ElabError {
+    /// Source location of the offending phrase.
+    pub span: Span,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ElabError {
+    /// Creates an error at `span`.
+    pub fn new(span: Span, msg: impl Into<String>) -> ElabError {
+        ElabError { span, msg: msg.into() }
+    }
+
+    /// Renders the error with line/column resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("{line}:{col}: type error: {}", self.msg)
+    }
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+/// Result alias for elaboration.
+pub type ElabResult<T> = Result<T, ElabError>;

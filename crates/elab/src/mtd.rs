@@ -1,0 +1,378 @@
+//! Minimum typing derivations (paper §3, after Bjørner's algorithm M).
+//!
+//! After elaboration, every non-exported polymorphic binding is reassigned
+//! the *least* general type scheme that covers all of its actual
+//! instantiations. Because type annotations share mutable cells with the
+//! binding's scheme, re-linking the scheme's generic cells to the least
+//! common generalization automatically constrains every annotation inside
+//! the declaration body — exactly the paper's "the new type assigned to x
+//! is propagated into x's declaration, constraining other variables
+//! referenced by x". In particular, a polymorphic-equality instantiation
+//! inside the body becomes monomorphic and is later specialized to a
+//! primitive comparison by the lambda translator (the Life benchmark's
+//! 10x speedup).
+
+use crate::absyn::*;
+use crate::elaborate::Elaboration;
+use sml_types::{AntiUnifier, Scheme, Tv, Ty};
+
+/// Runs minimum typing derivations over an elaborated program, in place.
+///
+/// Declarations are processed uses-before-defs (reverse declaration
+/// order, nested `let`s after their enclosing declaration), so each
+/// gathered instantiation is already in its final, minimized form.
+pub fn minimum_typing(elab: &mut Elaboration) {
+    let mut order: Vec<Site> = Vec::new();
+    collect_sites(&elab.decs, &mut Vec::new(), &mut order);
+    // `collect_sites` already records sites in uses-before-defs order.
+    for site in order {
+        minimize_site(elab, &site);
+    }
+}
+
+/// Identifies one candidate declaration by the variables it binds.
+#[derive(Debug, Clone)]
+struct Site {
+    vars: Vec<VarId>,
+}
+
+/// Walks declarations, recording candidate sites in uses-before-defs
+/// order: for a declaration list, later declarations first; for each
+/// declaration, the declaration itself before the candidates nested
+/// inside its right-hand side.
+fn collect_sites(decs: &[TDec], path: &mut Vec<VarId>, out: &mut Vec<Site>) {
+    for dec in decs.iter().rev() {
+        match dec {
+            TDec::PolyVal { var, exp } => {
+                out.push(Site { vars: vec![*var] });
+                collect_exp_sites(exp, out);
+            }
+            TDec::Fun { vars, exps } => {
+                out.push(Site { vars: vars.clone() });
+                for e in exps {
+                    collect_exp_sites(e, out);
+                }
+            }
+            TDec::Val { exp, .. } => collect_exp_sites(exp, out),
+            TDec::Exception { .. } => {}
+            TDec::Structure { def, .. } | TDec::Functor { body: def, .. } => {
+                collect_str_sites(def, path, out)
+            }
+        }
+    }
+}
+
+fn collect_str_sites(se: &TStrExp, path: &mut Vec<VarId>, out: &mut Vec<Site>) {
+    match se {
+        TStrExp::Struct { decs, .. } => collect_sites(decs, path, out),
+        TStrExp::Access(_) => {}
+        TStrExp::Thin { base, .. } => collect_str_sites(base, path, out),
+        TStrExp::FctApp { arg, .. } => collect_str_sites(arg, path, out),
+    }
+}
+
+fn collect_exp_sites(exp: &TExp, out: &mut Vec<Site>) {
+    match &exp.kind {
+        TExpKind::Let(decs, body) => {
+            collect_exp_sites(body, out);
+            collect_sites(decs, &mut Vec::new(), out);
+        }
+        TExpKind::Record(fs) => fs.iter().for_each(|(_, e)| collect_exp_sites(e, out)),
+        TExpKind::Select { arg, .. } => collect_exp_sites(arg, out),
+        TExpKind::App(f, a) => {
+            collect_exp_sites(f, out);
+            collect_exp_sites(a, out);
+        }
+        TExpKind::Fn { rules, .. } => {
+            rules.iter().for_each(|r| collect_exp_sites(&r.exp, out))
+        }
+        TExpKind::Case(s, rules) => {
+            collect_exp_sites(s, out);
+            rules.iter().for_each(|r| collect_exp_sites(&r.exp, out));
+        }
+        TExpKind::If(a, b, c) => {
+            collect_exp_sites(a, out);
+            collect_exp_sites(b, out);
+            collect_exp_sites(c, out);
+        }
+        TExpKind::While(a, b) => {
+            collect_exp_sites(a, out);
+            collect_exp_sites(b, out);
+        }
+        TExpKind::Seq(es) => es.iter().for_each(|e| collect_exp_sites(e, out)),
+        TExpKind::Raise(e) => collect_exp_sites(e, out),
+        TExpKind::Handle(e, rules) => {
+            collect_exp_sites(e, out);
+            rules.iter().for_each(|r| collect_exp_sites(&r.exp, out));
+        }
+        _ => {}
+    }
+}
+
+/// Gathered occurrence of a candidate variable: whether it lies inside the
+/// candidate's own declaration (a recursive use).
+struct Use {
+    internal: bool,
+    inst: Vec<Ty>,
+}
+
+fn minimize_site(elab: &mut Elaboration, site: &Site) {
+    let first = site.vars[0];
+    let scheme = elab.vars.scheme(first).clone();
+    if scheme.arity == 0 {
+        return;
+    }
+    if site.vars.iter().any(|v| elab.vars.info(*v).exported) {
+        return;
+    }
+
+    // Pass 1: gather all uses.
+    let mut uses: Vec<Use> = Vec::new();
+    {
+        let mut g = Gather { targets: &site.vars, inside: false, uses: &mut uses, arity: scheme.arity };
+        for dec in &elab.decs {
+            g.dec(dec);
+        }
+    }
+    let externals: Vec<&Use> = uses.iter().filter(|u| !u.internal).collect();
+    if externals.is_empty() {
+        return;
+    }
+
+    // Pass 2: per-position least common generalization over external
+    // uses, with a shared disagreement table.
+    let mut au = AntiUnifier::new(0);
+    let subst: Vec<Ty> = (0..scheme.arity)
+        .map(|i| {
+            let col: Vec<Ty> = externals.iter().map(|u| u.inst[i].clone()).collect();
+            au.lcg(&col)
+        })
+        .collect();
+    let n_ext = externals.len();
+    drop(externals);
+
+    // Link the old generic cells to their LCGs; shared annotations inside
+    // the declaration bodies update through the cells.
+    for (cell, s) in scheme.cells.iter().zip(&subst) {
+        *cell.0.borrow_mut() = Tv::Link(s.clone());
+    }
+
+    // The disagreement variables become the new generic cells.
+    let disagreements = au.into_disagreements();
+    let new_cells: Vec<_> = disagreements.iter().map(|d| d.var.clone()).collect();
+    for (k, c) in new_cells.iter().enumerate() {
+        *c.0.borrow_mut() = Tv::Gen(k as u32);
+    }
+    let arity = new_cells.len();
+    for v in &site.vars {
+        let old = elab.vars.scheme(*v).clone();
+        elab.vars.info_mut(*v).scheme = Scheme {
+            arity,
+            eq_flags: vec![false; arity],
+            cells: new_cells.clone(),
+            body: old.body,
+        };
+    }
+
+    // Pass 3: rewrite instantiation vectors. External use j gets the
+    // disagreement values at j; internal (recursive) uses get the new
+    // identity.
+    let identity: Vec<Ty> = new_cells.iter().map(|c| Ty::Var(c.clone())).collect();
+    let mut new_insts: Vec<Vec<Ty>> = Vec::with_capacity(uses.len());
+    let mut ext_idx = 0usize;
+    for u in &uses {
+        if u.internal {
+            new_insts.push(identity.clone());
+        } else {
+            new_insts.push(disagreements.iter().map(|d| d.uses[ext_idx].clone()).collect());
+            ext_idx += 1;
+        }
+    }
+    debug_assert_eq!(ext_idx, n_ext);
+    {
+        let mut r = Rewrite {
+            targets: &site.vars,
+            inside: false,
+            new_insts: &mut new_insts.into_iter(),
+            arity: scheme.arity,
+        };
+        for dec in &mut elab.decs {
+            r.dec(dec);
+        }
+    }
+}
+
+/// Immutable gathering walk. Visit order must match [`Rewrite`] exactly.
+struct Gather<'a> {
+    targets: &'a [VarId],
+    inside: bool,
+    uses: &'a mut Vec<Use>,
+    arity: usize,
+}
+
+impl Gather<'_> {
+    fn dec(&mut self, dec: &TDec) {
+        let owns = match dec {
+            TDec::PolyVal { var, .. } => self.targets.contains(var),
+            TDec::Fun { vars, .. } => vars.iter().any(|v| self.targets.contains(v)),
+            _ => false,
+        };
+        let saved = self.inside;
+        if owns {
+            self.inside = true;
+        }
+        match dec {
+            TDec::Val { exp, .. } | TDec::PolyVal { exp, .. } => self.exp(exp),
+            TDec::Fun { exps, .. } => exps.iter().for_each(|e| self.exp(e)),
+            TDec::Exception { .. } => {}
+            TDec::Structure { def, .. } | TDec::Functor { body: def, .. } => self.strexp(def),
+        }
+        self.inside = saved;
+    }
+
+    fn strexp(&mut self, se: &TStrExp) {
+        match se {
+            TStrExp::Struct { decs, .. } => decs.iter().for_each(|d| self.dec(d)),
+            TStrExp::Access(_) => {}
+            TStrExp::Thin { base, .. } => self.strexp(base),
+            TStrExp::FctApp { arg, .. } => self.strexp(arg),
+        }
+    }
+
+    fn exp(&mut self, exp: &TExp) {
+        match &exp.kind {
+            TExpKind::Var { access, inst, .. } => {
+                if access.is_local()
+                    && self.targets.contains(&access.root())
+                    && inst.len() == self.arity
+                {
+                    self.uses.push(Use { internal: self.inside, inst: inst.clone() });
+                }
+            }
+            TExpKind::Int(_)
+            | TExpKind::Real(_)
+            | TExpKind::Str(_)
+            | TExpKind::Char(_)
+            | TExpKind::Prim { .. }
+            | TExpKind::Con { .. } => {}
+            TExpKind::Record(fs) => fs.iter().for_each(|(_, e)| self.exp(e)),
+            TExpKind::Select { arg, .. } => self.exp(arg),
+            TExpKind::App(f, a) => {
+                self.exp(f);
+                self.exp(a);
+            }
+            TExpKind::Fn { rules, .. } => rules.iter().for_each(|r| self.exp(&r.exp)),
+            TExpKind::Case(s, rules) => {
+                self.exp(s);
+                rules.iter().for_each(|r| self.exp(&r.exp));
+            }
+            TExpKind::If(a, b, c) => {
+                self.exp(a);
+                self.exp(b);
+                self.exp(c);
+            }
+            TExpKind::While(a, b) => {
+                self.exp(a);
+                self.exp(b);
+            }
+            TExpKind::Seq(es) => es.iter().for_each(|e| self.exp(e)),
+            TExpKind::Let(decs, body) => {
+                decs.iter().for_each(|d| self.dec(d));
+                self.exp(body);
+            }
+            TExpKind::Raise(e) => self.exp(e),
+            TExpKind::Handle(e, rules) => {
+                self.exp(e);
+                rules.iter().for_each(|r| self.exp(&r.exp));
+            }
+        }
+    }
+}
+
+/// Mutable rewriting walk; must visit uses in the same order as
+/// [`Gather`].
+struct Rewrite<'a> {
+    targets: &'a [VarId],
+    inside: bool,
+    new_insts: &'a mut std::vec::IntoIter<Vec<Ty>>,
+    arity: usize,
+}
+
+impl Rewrite<'_> {
+    fn dec(&mut self, dec: &mut TDec) {
+        let owns = match dec {
+            TDec::PolyVal { var, .. } => self.targets.contains(var),
+            TDec::Fun { vars, .. } => vars.iter().any(|v| self.targets.contains(v)),
+            _ => false,
+        };
+        let saved = self.inside;
+        if owns {
+            self.inside = true;
+        }
+        match dec {
+            TDec::Val { exp, .. } | TDec::PolyVal { exp, .. } => self.exp(exp),
+            TDec::Fun { exps, .. } => exps.iter_mut().for_each(|e| self.exp(e)),
+            TDec::Exception { .. } => {}
+            TDec::Structure { def, .. } | TDec::Functor { body: def, .. } => self.strexp(def),
+        }
+        self.inside = saved;
+    }
+
+    fn strexp(&mut self, se: &mut TStrExp) {
+        match se {
+            TStrExp::Struct { decs, .. } => decs.iter_mut().for_each(|d| self.dec(d)),
+            TStrExp::Access(_) => {}
+            TStrExp::Thin { base, .. } => self.strexp(base),
+            TStrExp::FctApp { arg, .. } => self.strexp(arg),
+        }
+    }
+
+    fn exp(&mut self, exp: &mut TExp) {
+        match &mut exp.kind {
+            TExpKind::Var { access, inst, .. } => {
+                if access.is_local()
+                    && self.targets.contains(&access.root())
+                    && inst.len() == self.arity
+                {
+                    *inst = self.new_insts.next().expect("gather/rewrite orders match");
+                }
+            }
+            TExpKind::Int(_)
+            | TExpKind::Real(_)
+            | TExpKind::Str(_)
+            | TExpKind::Char(_)
+            | TExpKind::Prim { .. }
+            | TExpKind::Con { .. } => {}
+            TExpKind::Record(fs) => fs.iter_mut().for_each(|(_, e)| self.exp(e)),
+            TExpKind::Select { arg, .. } => self.exp(arg),
+            TExpKind::App(f, a) => {
+                self.exp(f);
+                self.exp(a);
+            }
+            TExpKind::Fn { rules, .. } => rules.iter_mut().for_each(|r| self.exp(&mut r.exp)),
+            TExpKind::Case(s, rules) => {
+                self.exp(s);
+                rules.iter_mut().for_each(|r| self.exp(&mut r.exp));
+            }
+            TExpKind::If(a, b, c) => {
+                self.exp(a);
+                self.exp(b);
+                self.exp(c);
+            }
+            TExpKind::While(a, b) => {
+                self.exp(a);
+                self.exp(b);
+            }
+            TExpKind::Seq(es) => es.iter_mut().for_each(|e| self.exp(e)),
+            TExpKind::Let(decs, body) => {
+                decs.iter_mut().for_each(|d| self.dec(d));
+                self.exp(body);
+            }
+            TExpKind::Raise(e) => self.exp(e),
+            TExpKind::Handle(e, rules) => {
+                self.exp(e);
+                rules.iter_mut().for_each(|r| self.exp(&mut r.exp));
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Corner cases of the module language: nested signatures, repeated
+//! functor application, opaque datatype specs, exception specs, and the
+//! errors signature matching must reject.
+
+use sml_elab::{elaborate, Elaboration};
+
+fn elab(src: &str) -> Elaboration {
+    let prog = sml_ast::parse(src).unwrap_or_else(|e| panic!("parse: {e}"));
+    elaborate(&prog).unwrap_or_else(|e| panic!("elab: {e}"))
+}
+
+fn elab_err(src: &str) -> String {
+    let prog = sml_ast::parse(src).unwrap_or_else(|e| panic!("parse: {e}"));
+    elaborate(&prog).expect_err("should fail").msg
+}
+
+#[test]
+fn signature_bound_and_reused() {
+    // Each use of a named signature gets fresh flexible stamps, so two
+    // opaque ascriptions of the same structure produce *incompatible*
+    // abstract types.
+    let msg = elab_err(
+        "signature S = sig type t val x : t val eq : t * t -> bool end
+         structure Impl = struct type t = int val x = 1 fun eq (a : int, b) = a = b end
+         abstraction A : S = Impl
+         abstraction B : S = Impl
+         val bad = A.eq (A.x, B.x)",
+    );
+    assert!(msg.contains("unify"), "distinct abstractions are incompatible: {msg}");
+}
+
+#[test]
+fn transparent_then_opaque() {
+    // Transparent ascription keeps t = int; opaque hides it.
+    elab(
+        "signature S = sig type t val x : t end
+         structure Impl = struct type t = int val x = 1 end
+         structure T : S = Impl
+         val ok = T.x + 1",
+    );
+    let msg = elab_err(
+        "signature S = sig type t val x : t end
+         structure Impl = struct type t = int val x = 1 end
+         structure T :> S = Impl
+         val bad = T.x + 1",
+    );
+    assert!(msg.contains("overloaded") || msg.contains("unify"), "{msg}");
+}
+
+#[test]
+fn functor_applied_to_different_structures() {
+    elab(
+        "signature SHOW = sig type t val show : t -> string end
+         functor Print (X : SHOW) = struct fun p v = print (X.show v) end
+         structure IntShow = struct type t = int val show = itos end
+         structure RealShow = struct type t = real val show = rtos end
+         structure P1 = Print (IntShow)
+         structure P2 = Print (RealShow)
+         val _ = P1.p 3
+         val _ = P2.p 2.5",
+    );
+    // Cross-use must fail: P1.p expects IntShow's t.
+    let msg = elab_err(
+        "signature SHOW = sig type t val show : t -> string end
+         functor Print (X : SHOW) = struct fun p v = print (X.show v) end
+         structure IntShow = struct type t = int val show = itos end
+         structure P1 = Print (IntShow)
+         val _ = P1.p 2.5",
+    );
+    assert!(msg.contains("unify"), "{msg}");
+}
+
+#[test]
+fn nested_signature_spec_references() {
+    // A later spec referencing an earlier substructure's type.
+    elab(
+        "signature OUTER = sig
+           structure Sub : sig type t val mk : int -> t end
+           val use : Sub.t -> int
+         end
+         structure Impl = struct
+           structure Sub = struct type t = int fun mk (x : int) = x end
+           fun use (x : int) = x
+         end
+         structure O : OUTER = Impl
+         val r = O.use (O.Sub.mk 3)",
+    );
+}
+
+#[test]
+fn missing_component_errors() {
+    let msg = elab_err(
+        "signature S = sig val f : int -> int val g : int -> int end
+         structure T : S = struct fun f x = x end",
+    );
+    assert!(msg.contains("lacks value `g`"), "{msg}");
+    let msg = elab_err(
+        "signature S = sig type t end
+         structure T : S = struct val x = 1 end",
+    );
+    assert!(msg.contains("lacks type `t`"), "{msg}");
+    let msg = elab_err(
+        "signature S = sig structure Sub : sig val x : int end end
+         structure T : S = struct val y = 1 end",
+    );
+    assert!(msg.contains("substructure"), "{msg}");
+}
+
+#[test]
+fn wrong_arity_type_spec() {
+    let msg = elab_err(
+        "signature S = sig type 'a t end
+         structure T : S = struct type t = int end",
+    );
+    assert!(msg.contains("arity"), "{msg}");
+}
+
+#[test]
+fn datatype_spec_constructor_mismatch() {
+    let msg = elab_err(
+        "signature S = sig datatype d = A | B end
+         structure T : S = struct datatype d = A | C end",
+    );
+    assert!(msg.contains("constructor"), "{msg}");
+}
+
+#[test]
+fn exception_spec_matches() {
+    elab(
+        "signature S = sig exception E of int val trigger : int -> int end
+         structure Impl = struct
+           exception E of int
+           fun trigger x = if x > 0 then raise E x else x
+         end
+         structure T : S = Impl
+         val caught = T.trigger 5 handle T.E n => n",
+    );
+}
+
+#[test]
+fn functor_result_signature() {
+    // A result ascription thins the functor body.
+    let e = elab(
+        "signature OUT = sig val visible : int end
+         functor F (X : sig val v : int end) : OUT = struct
+           val hidden = 99
+           val visible = X.v + 1
+         end
+         structure R = F (struct val v = 41 end)
+         val ok = R.visible",
+    );
+    assert!(!e.decs.is_empty());
+    // `hidden` must be inaccessible.
+    let msg = elab_err(
+        "signature OUT = sig val visible : int end
+         functor F (X : sig val v : int end) : OUT = struct
+           val hidden = 99
+           val visible = X.v + 1
+         end
+         structure R = F (struct val v = 41 end)
+         val bad = R.hidden",
+    );
+    assert!(msg.contains("unbound"), "{msg}");
+}
+
+#[test]
+fn structure_alias_and_rebinding() {
+    elab(
+        "structure A = struct val x = 1 structure In = struct val y = 2.5 end end
+         structure B = A
+         structure C = B.In
+         val s = real B.x + C.y",
+    );
+}
+
+#[test]
+fn abstraction_of_functor_result() {
+    // An opaque (`:>`) functor result signature hides the implementation
+    // type from the application site.
+    let msg = elab_err(
+        "signature S = sig type t val mk : int -> t val get : t -> int end
+         functor Mk (D : sig end) :> S = struct
+           type t = int
+           fun mk (x : int) = x
+           fun get (x : int) = x
+         end
+         structure M = Mk (struct end)
+         val bad = M.mk 1 + 1",
+    );
+    assert!(msg.contains("unify") || msg.contains("overloaded"), "{msg}");
+    // While the abstract interface still composes.
+    elab(
+        "signature S = sig type t val mk : int -> t val get : t -> int end
+         functor Mk (D : sig end) :> S = struct
+           type t = int
+           fun mk (x : int) = x
+           fun get (x : int) = x
+         end
+         structure M = Mk (struct end)
+         val ok = M.get (M.mk 41) + 1",
+    );
+}

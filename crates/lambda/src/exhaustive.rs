@@ -1,0 +1,348 @@
+//! Match exhaustiveness and redundancy analysis (Maranget's usefulness
+//! algorithm, specialized to our typed patterns).
+//!
+//! SML compilers warn on nonexhaustive matches and bindings and on
+//! redundant rules; the lambda translator runs this analysis while
+//! compiling each match and records the warnings on the
+//! [`Translation`](crate::translate::Translation).
+
+use sml_elab::{TPat, TPatKind, TRule};
+use sml_types::ConRep;
+use std::collections::HashSet;
+
+/// The abstract head of a pattern column.
+#[derive(Clone, PartialEq, Debug)]
+enum Head {
+    /// Constructor `index` of a datatype with `span` constructors and
+    /// the given payload arity (0 or 1).
+    Con { index: usize, span: usize, arity: usize },
+    /// A record/tuple of the given width (always a complete signature).
+    Record(usize),
+    /// An integer or character constant (never complete).
+    Int(i64),
+    /// A string constant (never complete).
+    Str(String),
+}
+
+/// A simplified pattern for the matrix algorithm.
+#[derive(Clone, Debug)]
+enum P {
+    Wild,
+    Head(Head, Vec<P>),
+}
+
+fn simplify(p: &TPat) -> P {
+    match &p.kind {
+        TPatKind::Wild | TPatKind::Var(_) => P::Wild,
+        TPatKind::As(_, inner) => simplify(inner),
+        TPatKind::Int(n) => P::Head(Head::Int(*n), Vec::new()),
+        TPatKind::Char(c) => P::Head(Head::Int(*c as i64), Vec::new()),
+        TPatKind::Str(s) => P::Head(Head::Str(s.clone()), Vec::new()),
+        TPatKind::Con { con, arg, .. } => {
+            // Exceptions have unbounded "span": never complete.
+            let span = if matches!(con.rep, ConRep::Exn | ConRep::ExnConst) {
+                usize::MAX
+            } else {
+                con.span
+            };
+            let args: Vec<P> = arg.iter().map(|a| simplify(a)).collect();
+            P::Head(Head::Con { index: con.index, span, arity: args.len() }, args)
+        }
+        TPatKind::Record { fields, flexible } => {
+            if *flexible {
+                // Listed fields of a flexible record still constrain; but
+                // treating the whole pattern as a wildcard only weakens
+                // the analysis toward "exhaustive", never toward false
+                // warnings about redundancy... conservatively use the
+                // listed fields as a record of that width.
+                let args: Vec<P> = fields.iter().map(|(_, p)| simplify(p)).collect();
+                P::Head(Head::Record(args.len()), args)
+            } else {
+                let args: Vec<P> = fields.iter().map(|(_, p)| simplify(p)).collect();
+                P::Head(Head::Record(args.len()), args)
+            }
+        }
+    }
+}
+
+/// Is a row of wildcards of width `n` useful against `matrix`? True
+/// means some value escapes every row.
+fn useful_wild(matrix: &[Vec<P>], n: usize) -> bool {
+    if matrix.is_empty() {
+        return true;
+    }
+    if n == 0 {
+        return false;
+    }
+    // Collect column-0 heads.
+    let mut heads: Vec<Head> = Vec::new();
+    for row in matrix {
+        if let P::Head(h, _) = &row[0] {
+            if !heads.contains(h) {
+                heads.push(h.clone());
+            }
+        }
+    }
+    let complete = match heads.first() {
+        Some(Head::Record(_)) => true,
+        Some(Head::Con { span, .. }) => {
+            *span != usize::MAX
+                && heads
+                    .iter()
+                    .filter_map(|h| match h {
+                        Head::Con { index, .. } => Some(*index),
+                        _ => None,
+                    })
+                    .collect::<HashSet<_>>()
+                    .len()
+                    == *span
+        }
+        _ => false, // constants are never complete
+    };
+    if complete {
+        for h in &heads {
+            if useful_wild(&specialize(matrix, h), n - 1 + head_arity(h)) {
+                return true;
+            }
+        }
+        false
+    } else {
+        useful_wild(&default(matrix), n - 1)
+    }
+}
+
+/// Is row `q` useful against `matrix` (for redundancy checking)?
+fn useful(matrix: &[Vec<P>], q: &[P]) -> bool {
+    if matrix.is_empty() {
+        return true;
+    }
+    if q.is_empty() {
+        return false;
+    }
+    match &q[0] {
+        P::Head(h, args) => {
+            let mut q2: Vec<P> = args.clone();
+            q2.extend_from_slice(&q[1..]);
+            useful(&specialize(matrix, h), &q2)
+        }
+        P::Wild => {
+            // Split on the heads present; if they form a complete
+            // signature, the wildcard must be useful under some head;
+            // otherwise check the default matrix.
+            let mut heads: Vec<Head> = Vec::new();
+            for row in matrix {
+                if let P::Head(h, _) = &row[0] {
+                    if !heads.contains(h) {
+                        heads.push(h.clone());
+                    }
+                }
+            }
+            let complete = match heads.first() {
+                Some(Head::Record(_)) => true,
+                Some(Head::Con { span, .. }) => {
+                    *span != usize::MAX
+                        && heads
+                            .iter()
+                            .filter_map(|h| match h {
+                                Head::Con { index, .. } => Some(*index),
+                                _ => None,
+                            })
+                            .collect::<HashSet<_>>()
+                            .len()
+                            == *span
+                }
+                _ => false,
+            };
+            if complete {
+                for h in &heads {
+                    let mut q2: Vec<P> = vec![P::Wild; head_arity(h)];
+                    q2.extend_from_slice(&q[1..]);
+                    if useful(&specialize(matrix, h), &q2) {
+                        return true;
+                    }
+                }
+                false
+            } else {
+                useful(&default(matrix), &q[1..])
+            }
+        }
+    }
+}
+
+fn head_arity(h: &Head) -> usize {
+    match h {
+        Head::Con { arity, .. } => *arity,
+        Head::Record(n) => *n,
+        Head::Int(_) | Head::Str(_) => 0,
+    }
+}
+
+fn specialize(matrix: &[Vec<P>], h: &Head) -> Vec<Vec<P>> {
+    let arity = head_arity(h);
+    let mut out = Vec::new();
+    for row in matrix {
+        match &row[0] {
+            P::Wild => {
+                let mut r = vec![P::Wild; arity];
+                r.extend_from_slice(&row[1..]);
+                out.push(r);
+            }
+            P::Head(h2, args) if heads_match(h2, h) => {
+                let mut r = args.clone();
+                // Constructors compared by index may differ in recorded
+                // payload arity (constant vs carrying); pad.
+                while r.len() < arity {
+                    r.push(P::Wild);
+                }
+                r.extend_from_slice(&row[1..]);
+                out.push(r);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn heads_match(a: &Head, b: &Head) -> bool {
+    match (a, b) {
+        (Head::Con { index: i, .. }, Head::Con { index: j, .. }) => i == j,
+        (Head::Record(n), Head::Record(m)) => n == m,
+        (Head::Int(x), Head::Int(y)) => x == y,
+        (Head::Str(x), Head::Str(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn default(matrix: &[Vec<P>]) -> Vec<Vec<P>> {
+    matrix
+        .iter()
+        .filter_map(|row| match &row[0] {
+            P::Wild => Some(row[1..].to_vec()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Checks a rule list; returns `(exhaustive, redundant_rule_indices)`.
+pub fn check_rules(rules: &[TRule]) -> (bool, Vec<usize>) {
+    let pats: Vec<Vec<P>> = rules.iter().map(|r| vec![simplify(&r.pat)]).collect();
+    let mut redundant = Vec::new();
+    for i in 1..pats.len() {
+        if !useful(&pats[..i], &pats[i]) {
+            redundant.push(i);
+        }
+    }
+    let exhaustive = !useful_wild(&pats, 1);
+    (exhaustive, redundant)
+}
+
+/// Checks a single binding pattern; true when irrefutable.
+pub fn irrefutable(pat: &TPat) -> bool {
+    !useful_wild(&[vec![simplify(pat)]], 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<TRule> {
+        // Elaborate `fun f <clauses>` and pull the match rules back out.
+        let prog = sml_ast::parse(src).unwrap();
+        let elab = sml_elab::elaborate(&prog).unwrap();
+        for d in elab.decs.iter().rev() {
+            if let sml_elab::TDec::Fun { exps, .. } = d {
+                if let sml_elab::TExpKind::Fn { rules, .. } = &exps[0].kind {
+                    return rules.clone();
+                }
+            }
+        }
+        panic!("no fun found");
+    }
+
+    #[test]
+    fn exhaustive_bool() {
+        let r = rules_of("fun f true = 1 | f false = 0");
+        assert_eq!(check_rules(&r), (true, vec![]));
+    }
+
+    #[test]
+    fn nonexhaustive_missing_constructor() {
+        let r = rules_of("datatype t = A | B | C fun f A = 1 | f B = 2");
+        assert_eq!(check_rules(&r), (false, vec![]));
+    }
+
+    #[test]
+    fn wildcard_makes_exhaustive() {
+        let r = rules_of("datatype t = A | B | C fun f A = 1 | f _ = 2");
+        assert_eq!(check_rules(&r), (true, vec![]));
+    }
+
+    #[test]
+    fn redundant_rule_detected() {
+        let r = rules_of("fun f true = 1 | f false = 0 | f x = 2");
+        let (ex, red) = check_rules(&r);
+        assert!(ex);
+        assert_eq!(red, vec![2]);
+    }
+
+    #[test]
+    fn int_patterns_never_complete() {
+        let r = rules_of("fun f 0 = 1 | f 1 = 2");
+        assert!(!check_rules(&r).0);
+        let r = rules_of("fun f 0 = 1 | f n = n");
+        assert!(check_rules(&r).0);
+    }
+
+    #[test]
+    fn nested_tuples_and_lists() {
+        let r = rules_of("fun f (x :: _, 0) = x | f (nil, n) = n");
+        // Misses (x :: _, nonzero).
+        assert!(!check_rules(&r).0);
+        let r = rules_of("fun f (x :: _, _) = x | f (nil, n) = n");
+        assert!(check_rules(&r).0);
+    }
+
+    #[test]
+    fn exception_matches_never_exhaustive() {
+        let prog = sml_ast::parse(
+            "exception A exception B val x = (1 handle A => 2 | B => 3)",
+        )
+        .unwrap();
+        let elab = sml_elab::elaborate(&prog).unwrap();
+        let mut found = false;
+        for d in &elab.decs {
+            if let sml_elab::TDec::Val { exp, .. } = d {
+                if let sml_elab::TExpKind::Handle(_, rules) = &exp.kind {
+                    assert!(!check_rules(rules).0);
+                    found = true;
+                }
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn irrefutable_patterns() {
+        let prog = sml_ast::parse("val (a, b) = (1, 2) val (x :: _) = [1]").unwrap();
+        let elab = sml_elab::elaborate(&prog).unwrap();
+        let pats: Vec<&TPat> = elab
+            .decs
+            .iter()
+            .filter_map(|d| match d {
+                sml_elab::TDec::Val { pat, .. } => Some(pat),
+                _ => None,
+            })
+            .collect();
+        assert!(irrefutable(pats[0]), "tuple pattern is irrefutable");
+        assert!(!irrefutable(pats[1]), "cons pattern is refutable");
+    }
+
+    #[test]
+    fn deep_constructor_coverage() {
+        let r = rules_of(
+            "datatype t = L | N of t * t
+             fun f L = 0 | f (N (L, _)) = 1 | f (N (N (_, _), _)) = 2",
+        );
+        assert_eq!(check_rules(&r), (true, vec![]));
+    }
+}

@@ -1,0 +1,346 @@
+//! Lambda types (LTY) with global static hash-consing (paper §4.1, §4.5).
+//!
+//! An [`Lty`] is an index into an [`LtyInterner`]. With hash-consing
+//! enabled (the default), structurally equal types share one index, so
+//! the equality test at the head of `coerce` is a constant-time integer
+//! comparison — the optimization the paper calls "crucial for the
+//! efficient compilation of functor applications". The interner can be
+//! switched to [`InternMode::Structural`] to reproduce the paper's
+//! no-hash-consing compile-time blowup (see the `ablation_hashcons`
+//! bench).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A hash-consed lambda type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Lty(pub u32);
+
+/// The structure of a lambda type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LtyKind {
+    /// `INTty`: a tagged 31-bit integer (also chars, bools, unit, and
+    /// constant data constructors).
+    Int,
+    /// `REALty`: an unboxed IEEE double (lives in float registers).
+    Real,
+    /// `RECORDty [t1, ..., tn]`: a record whose field representations are
+    /// known.
+    Record(Vec<Lty>),
+    /// `ARROWty (t, t')`: a function.
+    Arrow(Lty, Lty),
+    /// `BOXEDty`: one word — a pointer to an object whose fields may or
+    /// may not be boxed, or a tagged integer.
+    Boxed,
+    /// `RBOXEDty`: one word pointing to a *recursively boxed* object in
+    /// the standard boxed representation (the representation non-type-
+    /// based compilers use for everything).
+    RBoxed,
+    /// `SRECORDty`: a structure record (module object).
+    SRecord(Vec<Lty>),
+    /// `PRECORDty`: a partial view of a structure record — only the
+    /// listed `(slot, type)` pairs are known. Used for external
+    /// structures under separate compilation (paper §4.5).
+    PRecord(Vec<(usize, Lty)>),
+    /// The type of expressions that never return (`raise`); compatible
+    /// with everything.
+    Bottom,
+}
+
+/// Whether the interner deduplicates types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InternMode {
+    /// Global static hash-consing: equality is index equality.
+    HashCons,
+    /// No dedup: every `intern` allocates, equality is a deep structural
+    /// walk. Only for the ablation experiment.
+    Structural,
+}
+
+/// The lambda-type interner.
+#[derive(Debug)]
+pub struct LtyInterner {
+    kinds: Vec<LtyKind>,
+    map: HashMap<LtyKind, u32>,
+    mode: InternMode,
+    /// Statistics: number of `intern` calls (ablation metric).
+    pub intern_calls: u64,
+    /// Statistics: number of deep equality comparisons performed in
+    /// structural mode.
+    pub deep_compares: u64,
+}
+
+impl LtyInterner {
+    /// Creates an interner; pre-interns the common atomic types.
+    pub fn new(mode: InternMode) -> LtyInterner {
+        let mut i = LtyInterner {
+            kinds: Vec::new(),
+            map: HashMap::new(),
+            mode,
+            intern_calls: 0,
+            deep_compares: 0,
+        };
+        // Fixed order: see the `int`, `real`, `boxed`, `rboxed`,
+        // `bottom` helpers.
+        i.intern(LtyKind::Int);
+        i.intern(LtyKind::Real);
+        i.intern(LtyKind::Boxed);
+        i.intern(LtyKind::RBoxed);
+        i.intern(LtyKind::Bottom);
+        i
+    }
+
+    /// Interns a kind, returning its handle.
+    pub fn intern(&mut self, kind: LtyKind) -> Lty {
+        self.intern_calls += 1;
+        match self.mode {
+            InternMode::HashCons => {
+                if let Some(&id) = self.map.get(&kind) {
+                    return Lty(id);
+                }
+                let id = self.kinds.len() as u32;
+                self.kinds.push(kind.clone());
+                self.map.insert(kind, id);
+                Lty(id)
+            }
+            InternMode::Structural => {
+                let id = self.kinds.len() as u32;
+                self.kinds.push(kind);
+                Lty(id)
+            }
+        }
+    }
+
+    /// The structure of `t`.
+    pub fn kind(&self, t: Lty) -> &LtyKind {
+        &self.kinds[t.0 as usize]
+    }
+
+    /// `INTty`.
+    pub fn int(&self) -> Lty {
+        Lty(0)
+    }
+
+    /// `REALty`.
+    pub fn real(&self) -> Lty {
+        Lty(1)
+    }
+
+    /// `BOXEDty`.
+    pub fn boxed(&self) -> Lty {
+        Lty(2)
+    }
+
+    /// `RBOXEDty`.
+    pub fn rboxed(&self) -> Lty {
+        Lty(3)
+    }
+
+    /// The bottom type (non-returning expressions).
+    pub fn bottom(&self) -> Lty {
+        Lty(4)
+    }
+
+    /// `RECORDty` from field types.
+    pub fn record(&mut self, fields: Vec<Lty>) -> Lty {
+        self.intern(LtyKind::Record(fields))
+    }
+
+    /// `ARROWty`.
+    pub fn arrow(&mut self, a: Lty, b: Lty) -> Lty {
+        self.intern(LtyKind::Arrow(a, b))
+    }
+
+    /// `SRECORDty`.
+    pub fn srecord(&mut self, fields: Vec<Lty>) -> Lty {
+        self.intern(LtyKind::SRecord(fields))
+    }
+
+    /// Equality test: constant-time under hash-consing, a deep structural
+    /// comparison otherwise (the ablation's cost center).
+    pub fn same(&mut self, a: Lty, b: Lty) -> bool {
+        match self.mode {
+            InternMode::HashCons => a == b,
+            InternMode::Structural => {
+                self.deep_compares += 1;
+                self.deep_same(a, b)
+            }
+        }
+    }
+
+    fn deep_same(&self, a: Lty, b: Lty) -> bool {
+        if a == b {
+            return true;
+        }
+        match (&self.kinds[a.0 as usize], &self.kinds[b.0 as usize]) {
+            (LtyKind::Int, LtyKind::Int)
+            | (LtyKind::Real, LtyKind::Real)
+            | (LtyKind::Boxed, LtyKind::Boxed)
+            | (LtyKind::RBoxed, LtyKind::RBoxed)
+            | (LtyKind::Bottom, LtyKind::Bottom) => true,
+            (LtyKind::Record(x), LtyKind::Record(y))
+            | (LtyKind::SRecord(x), LtyKind::SRecord(y)) => {
+                x.len() == y.len()
+                    && x.iter().zip(y).all(|(p, q)| self.deep_same(*p, *q))
+            }
+            (LtyKind::Arrow(a1, r1), LtyKind::Arrow(a2, r2)) => {
+                self.deep_same(*a1, *a2) && self.deep_same(*r1, *r2)
+            }
+            (LtyKind::PRecord(x), LtyKind::PRecord(y)) => {
+                x.len() == y.len()
+                    && x.iter()
+                        .zip(y)
+                        .all(|((i, p), (j, q))| i == j && self.deep_same(*p, *q))
+            }
+            _ => false,
+        }
+    }
+
+    /// The paper's `dup` operation (§4.2): the standard-boxed counterpart
+    /// of a type. `dup(RECORD[t...])` is a record of `RBOXED` fields,
+    /// `dup(ARROW)` is `RBOXED -> RBOXED`, everything else collapses to
+    /// `BOXED`.
+    pub fn dup(&mut self, t: Lty) -> Lty {
+        match self.kind(t).clone() {
+            LtyKind::Record(fs) => {
+                let rb = self.rboxed();
+                self.record(vec![rb; fs.len()])
+            }
+            LtyKind::SRecord(fs) => {
+                let rb = self.rboxed();
+                self.srecord(vec![rb; fs.len()])
+            }
+            LtyKind::Arrow(..) => {
+                let rb = self.rboxed();
+                self.arrow(rb, rb)
+            }
+            _ => self.boxed(),
+        }
+    }
+
+    /// True if values of this type occupy one machine word holding either
+    /// a tagged integer or a pointer (GC-scannable).
+    pub fn is_word(&self, t: Lty) -> bool {
+        !matches!(self.kind(t), LtyKind::Real)
+    }
+
+    /// Number of distinct interned types (statistics).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True if no types are interned (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Renders a type for diagnostics.
+    pub fn show(&self, t: Lty) -> String {
+        let mut s = String::new();
+        self.show_into(t, &mut s);
+        s
+    }
+
+    fn show_into(&self, t: Lty, out: &mut String) {
+        use fmt::Write;
+        match self.kind(t) {
+            LtyKind::Int => out.push_str("INT"),
+            LtyKind::Bottom => out.push_str("BOT"),
+            LtyKind::Real => out.push_str("REAL"),
+            LtyKind::Boxed => out.push_str("BOXED"),
+            LtyKind::RBoxed => out.push_str("RBOXED"),
+            LtyKind::Record(fs) => {
+                out.push('[');
+                for (i, f) in fs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    self.show_into(*f, out);
+                }
+                out.push(']');
+            }
+            LtyKind::SRecord(fs) => {
+                out.push_str("S[");
+                for (i, f) in fs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    self.show_into(*f, out);
+                }
+                out.push(']');
+            }
+            LtyKind::PRecord(fs) => {
+                out.push_str("P[");
+                for (i, (slot, f)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{slot}:");
+                    self.show_into(*f, out);
+                }
+                out.push(']');
+            }
+            LtyKind::Arrow(a, b) => {
+                out.push('(');
+                self.show_into(*a, out);
+                out.push_str("->");
+                self.show_into(*b, out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut i = LtyInterner::new(InternMode::HashCons);
+        let a = i.record(vec![i.int(), i.real()]);
+        let b = i.record(vec![i.int(), i.real()]);
+        assert_eq!(a, b);
+        assert!(i.same(a, b));
+    }
+
+    #[test]
+    fn structural_mode_allocates_but_compares() {
+        let mut i = LtyInterner::new(InternMode::Structural);
+        let a = i.record(vec![i.int(), i.real()]);
+        let b = i.record(vec![i.int(), i.real()]);
+        assert_ne!(a, b, "no dedup");
+        assert!(i.same(a, b), "deep equality still holds");
+        assert!(i.deep_compares > 0);
+    }
+
+    #[test]
+    fn dup_shapes() {
+        let mut i = LtyInterner::new(InternMode::HashCons);
+        let rec = i.record(vec![i.real(), i.int()]);
+        let d = i.dup(rec);
+        let rb = i.rboxed();
+        assert_eq!(i.kind(d), &LtyKind::Record(vec![rb, rb]));
+        let arr = i.arrow(i.int(), i.real());
+        let d = i.dup(arr);
+        assert_eq!(i.kind(d), &LtyKind::Arrow(rb, rb));
+        assert_eq!(i.dup(i.real()), i.boxed());
+        assert_eq!(i.dup(i.int()), i.boxed());
+    }
+
+    #[test]
+    fn show_renders() {
+        let mut i = LtyInterner::new(InternMode::HashCons);
+        let t = i.arrow(i.int(), i.real());
+        let r = i.record(vec![t, i.boxed()]);
+        assert_eq!(i.show(r), "[(INT->REAL),BOXED]");
+    }
+
+    #[test]
+    fn is_word() {
+        let i = LtyInterner::new(InternMode::HashCons);
+        assert!(i.is_word(i.int()));
+        assert!(i.is_word(i.boxed()));
+        assert!(!i.is_word(i.real()));
+    }
+}

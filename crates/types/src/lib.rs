@@ -1,0 +1,28 @@
+//! Hindley-Milner semantic types for the `smlc` type-based compiler.
+//!
+//! Provides types with mutable unification cells, levels-based
+//! let-generalization, equality type variables (SML's `''a`), a datatype
+//! registry with constructor-representation assignment, and
+//! anti-unification (used by the minimum-typing-derivations pass).
+//!
+//! # Examples
+//!
+//! ```
+//! use sml_types::{unify, Ty, TvRef, TyconRegistry};
+//! let reg = TyconRegistry::with_builtins();
+//! let v = Ty::Var(TvRef::fresh(0));
+//! unify(&reg, &v, &Ty::list(Ty::int())).unwrap();
+//! assert_eq!(v.zonk().to_string(), "int list");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod registry;
+pub mod ty;
+pub mod unify;
+
+pub use gen::{generalize, generalize_many, AntiUnifier, Disagreement};
+pub use registry::{assign_reps, certainly_boxed, ConDef, ConRep, DatatypeDef, TyconRegistry};
+pub use ty::{label_cmp, sort_fields, EqProp, Scheme, Stamp, Tv, TvRef, Ty, Tycon, TyconKind};
+pub use unify::{force_equality, make_record, unify, UnifyError, UnifyResult};

@@ -1,0 +1,316 @@
+//! A textual disassembler for [`MachineProgram`]s.
+//!
+//! Registers print as `r0..r31` (hardware), `s32..s63` (spill-modelled),
+//! and `f0..f31` (float). Branch targets print as local instruction
+//! indices, which the listing shows in the left margin, so generated
+//! code can be read the way the paper's appendix examples are read.
+
+use std::fmt;
+
+use crate::isa::{
+    AOp, AllocKind, BrOp, CodeBlock, FBrOp, FOp, FUOp, Instr, MachineProgram, RtOp, SBrOp,
+    HW_REGS,
+};
+
+/// A displayable integer register: hardware registers as `rN`, spill
+/// slots as `sN`.
+struct R(u8);
+
+impl fmt::Display for R {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < HW_REGS {
+            write!(f, "r{}", self.0)
+        } else {
+            write!(f, "s{}", self.0)
+        }
+    }
+}
+
+/// A displayable float register.
+struct F(u8);
+
+impl fmt::Display for F {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for AOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            AOp::Add => "add",
+            AOp::Sub => "sub",
+            AOp::Mul => "mul",
+            AOp::Div => "div",
+            AOp::Mod => "mod",
+        })
+    }
+}
+
+impl fmt::Display for FOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            FOp::Add => "fadd",
+            FOp::Sub => "fsub",
+            FOp::Mul => "fmul",
+            FOp::Div => "fdiv",
+        })
+    }
+}
+
+impl fmt::Display for FUOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            FUOp::Neg => "fneg",
+            FUOp::Sqrt => "fsqrt",
+            FUOp::Sin => "fsin",
+            FUOp::Cos => "fcos",
+            FUOp::Atan => "fatan",
+            FUOp::Exp => "fexp",
+            FUOp::Ln => "fln",
+        })
+    }
+}
+
+impl fmt::Display for BrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            BrOp::Lt => "lt",
+            BrOp::Le => "le",
+            BrOp::Gt => "gt",
+            BrOp::Ge => "ge",
+            BrOp::Eq => "eq",
+            BrOp::Ne => "ne",
+            BrOp::Boxed => "boxed",
+        })
+    }
+}
+
+impl fmt::Display for FBrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            FBrOp::Lt => "flt",
+            FBrOp::Le => "fle",
+            FBrOp::Gt => "fgt",
+            FBrOp::Ge => "fge",
+            FBrOp::Eq => "feq",
+            FBrOp::Ne => "fne",
+        })
+    }
+}
+
+impl fmt::Display for SBrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            SBrOp::Eq => "seq",
+            SBrOp::Ne => "sne",
+            SBrOp::Lt => "slt",
+            SBrOp::Le => "sle",
+            SBrOp::Gt => "sgt",
+            SBrOp::Ge => "sge",
+        })
+    }
+}
+
+impl fmt::Display for RtOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            RtOp::StrCat => "strcat",
+            RtOp::StrSize => "strsize",
+            RtOp::StrSub => "strsub",
+            RtOp::IntToString => "itos",
+            RtOp::RealToString => "rtos",
+        })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Move { d, s } => write!(f, "move    {}, {}", R(*d), R(*s)),
+            Instr::FMove { d, s } => write!(f, "fmove   {}, {}", F(*d), F(*s)),
+            Instr::LoadI { d, imm } => write!(f, "li      {}, {imm}", R(*d)),
+            Instr::LoadF { d, imm } => write!(f, "lf      {}, {imm}", F(*d)),
+            Instr::LoadStr { d, pool } => write!(f, "lstr    {}, pool[{pool}]", R(*d)),
+            Instr::LoadLabel { d, label } => write!(f, "llabel  {}, L{label}", R(*d)),
+            Instr::Arith { op, d, a, b } => {
+                write!(f, "{op:<7} {}, {}, {}", R(*d), R(*a), R(*b))
+            }
+            Instr::FArith { op, d, a, b } => {
+                write!(f, "{op:<7} {}, {}, {}", F(*d), F(*a), F(*b))
+            }
+            Instr::FUnary { op, d, a } => write!(f, "{op:<7} {}, {}", F(*d), F(*a)),
+            Instr::Floor { d, a } => write!(f, "floor   {}, {}", R(*d), F(*a)),
+            Instr::IntToReal { d, a } => write!(f, "i2r     {}, {}", F(*d), R(*a)),
+            Instr::Load { d, base, off } => {
+                write!(f, "lw      {}, {}[{off}]", R(*d), R(*base))
+            }
+            Instr::Store { s, base, off } => {
+                write!(f, "sw      {}, {}[{off}]", R(*s), R(*base))
+            }
+            Instr::StoreWB { s, base, off } => {
+                write!(f, "sw.wb   {}, {}[{off}]", R(*s), R(*base))
+            }
+            Instr::FLoad { d, base, off } => {
+                write!(f, "lw.f    {}, {}[{off}]", F(*d), R(*base))
+            }
+            Instr::FStore { s, base, off } => {
+                write!(f, "sw.f    {}, {}[{off}]", F(*s), R(*base))
+            }
+            Instr::LoadIdx { d, base, idx } => {
+                write!(f, "lwx     {}, {}[{}]", R(*d), R(*base), R(*idx))
+            }
+            Instr::StoreIdx { s, base, idx } => {
+                write!(f, "swx     {}, {}[{}]", R(*s), R(*base), R(*idx))
+            }
+            Instr::StoreIdxWB { s, base, idx } => {
+                write!(f, "swx.wb  {}, {}[{}]", R(*s), R(*base), R(*idx))
+            }
+            Instr::Alloc { d, kind, words, flts } => {
+                let kind = match kind {
+                    AllocKind::Record => "record",
+                    AllocKind::Ref => "ref",
+                };
+                write!(f, "alloc   {}, {kind} [", R(*d))?;
+                for (i, w) in words.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}", R(*w))?;
+                }
+                for (i, fr) in flts.iter().enumerate() {
+                    if i > 0 || !words.is_empty() {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}", F(*fr))?;
+                }
+                f.write_str("]")
+            }
+            Instr::AllocArr { d, len, init } => {
+                write!(f, "allocarr {}, len={}, init={}", R(*d), R(*len), R(*init))
+            }
+            Instr::ArrLen { d, a } => write!(f, "arrlen  {}, {}", R(*d), R(*a)),
+            Instr::FBox { d, s } => write!(f, "fbox    {}, {}", R(*d), F(*s)),
+            Instr::FUnbox { d, s } => write!(f, "funbox  {}, {}", F(*d), R(*s)),
+            Instr::Branch { op, a, b, target } => {
+                write!(f, "br.!{op:<4} {}, {} -> @{target}", R(*a), R(*b))
+            }
+            Instr::FBranch { op, a, b, target } => {
+                write!(f, "br.!{op:<4} {}, {} -> @{target}", F(*a), F(*b))
+            }
+            Instr::SBranch { op, a, b, target } => {
+                write!(f, "br.!{op:<4} {}, {} -> @{target}", R(*a), R(*b))
+            }
+            Instr::PolyEqBranch { a, b, target } => {
+                write!(f, "br.!peq {}, {} -> @{target}", R(*a), R(*b))
+            }
+            Instr::Switch { r, lo, table, default } => {
+                write!(f, "switch  {}, lo={lo} [", R(*r))?;
+                for (i, t) in table.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "@{t}")?;
+                }
+                write!(f, "] default @{default}")
+            }
+            Instr::Jump { label } => write!(f, "j       L{label}"),
+            Instr::JumpReg { r } => write!(f, "jr      {}", R(*r)),
+            Instr::Rt { op, d, a, b, fa } => match op {
+                RtOp::RealToString => write!(f, "rt.{op}  {}, {}", R(*d), F(*fa)),
+                RtOp::StrSize | RtOp::IntToString => {
+                    write!(f, "rt.{op}{}{}, {}", pad(op), R(*d), R(*a))
+                }
+                _ => write!(f, "rt.{op}{}{}, {}, {}", pad(op), R(*d), R(*a), R(*b)),
+            },
+            Instr::GetHdlr { d } => write!(f, "gethdlr {}", R(*d)),
+            Instr::SetHdlr { s } => write!(f, "sethdlr {}", R(*s)),
+            Instr::Print { s } => write!(f, "print   {}", R(*s)),
+            Instr::Halt { s } => write!(f, "halt    {}", R(*s)),
+            Instr::Uncaught { s } => write!(f, "uncaught {}", R(*s)),
+        }
+    }
+}
+
+/// Padding so `rt.<op>` mnemonics line operands up with the others.
+fn pad(op: &RtOp) -> &'static str {
+    match format!("{op}").len() {
+        n if n >= 5 => " ",
+        4 => "  ",
+        _ => "     ",
+    }
+}
+
+impl fmt::Display for CodeBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ins) in self.instrs.iter().enumerate() {
+            writeln!(f, "  {i:>4}:  {ins}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MachineProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.pool.is_empty() {
+            writeln!(f, "; string pool")?;
+            for (i, s) in self.pool.iter().enumerate() {
+                writeln!(f, ";   pool[{i}] = {s:?}")?;
+            }
+            writeln!(f)?;
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            let entry = if i as u32 == self.entry { "  ; entry" } else { "" };
+            writeln!(f, "L{i}: <{}>{entry}", b.name)?;
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_render_by_class() {
+        assert_eq!(format!("{}", R(5)), "r5");
+        assert_eq!(format!("{}", R(31)), "r31");
+        assert_eq!(format!("{}", R(32)), "s32");
+        assert_eq!(format!("{}", F(7)), "f7");
+    }
+
+    #[test]
+    fn instr_rendering() {
+        let i = Instr::Arith { op: AOp::Add, d: 3, a: 1, b: 2 };
+        assert_eq!(format!("{i}"), "add     r3, r1, r2");
+        let i = Instr::Branch { op: BrOp::Lt, a: 1, b: 2, target: 9 };
+        assert_eq!(format!("{i}"), "br.!lt   r1, r2 -> @9");
+        let i = Instr::Alloc {
+            d: 4,
+            kind: AllocKind::Record,
+            words: vec![1, 2],
+            flts: vec![0],
+        };
+        assert_eq!(format!("{i}"), "alloc   r4, record [r1, r2, f0]");
+        let i = Instr::Switch { r: 1, lo: 0, table: vec![3, 5], default: 7 };
+        assert_eq!(format!("{i}"), "switch  r1, lo=0 [@3, @5] default @7");
+    }
+
+    #[test]
+    fn program_listing_shows_entry_and_pool() {
+        let prog = MachineProgram {
+            blocks: vec![CodeBlock {
+                name: "main".into(),
+                instrs: vec![Instr::LoadI { d: 1, imm: 42 }, Instr::Halt { s: 1 }],
+            }],
+            entry: 0,
+            pool: vec!["hi".into()],
+        };
+        let s = format!("{prog}");
+        assert!(s.contains("pool[0] = \"hi\""), "{s}");
+        assert!(s.contains("L0: <main>  ; entry"), "{s}");
+        assert!(s.contains("0:  li      r1, 42"), "{s}");
+        assert!(s.contains("1:  halt    r1"), "{s}");
+    }
+}

@@ -1,0 +1,504 @@
+//! The runtime heap: tagged values, two-part object descriptors (paper
+//! Figure 1c), and a Cheney semispace copying collector.
+//!
+//! A value is one 32-bit word: a tagged 31-bit integer (low bit set) or a
+//! 4-byte-aligned pointer (low bit clear). An object is a descriptor word
+//! followed by its *scanned* one-word fields and then its *raw* words
+//! (unboxed floats, string bytes); the descriptor records both lengths,
+//! exactly the "two short integers" of the paper's reordered flat
+//! records.
+
+/// Object classification stored in the descriptor's low bits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum ObjKind {
+    Record = 0,
+    Array = 1,
+    Ref = 2,
+    Str = 3,
+    BoxedFloat = 4,
+}
+
+const KIND_MASK: u32 = 0b111;
+const FORWARD: u32 = 0b111;
+const SCAN_SHIFT: u32 = 3;
+const SCAN_BITS: u32 = 15;
+const RAW_SHIFT: u32 = 18;
+
+/// Builds a descriptor word.
+pub fn descriptor(kind: ObjKind, nscan: u32, nraw: u32) -> u32 {
+    debug_assert!(nscan < (1 << SCAN_BITS));
+    (kind as u32) | (nscan << SCAN_SHIFT) | (nraw << RAW_SHIFT)
+}
+
+/// Decodes `(kind, nscan, nraw)` from a descriptor.
+pub fn decode(desc: u32) -> (u32, u32, u32) {
+    (
+        desc & KIND_MASK,
+        (desc >> SCAN_SHIFT) & ((1 << SCAN_BITS) - 1),
+        desc >> RAW_SHIFT,
+    )
+}
+
+/// Tags an integer.
+pub fn tag_int(n: i64) -> u32 {
+    ((n as u32) << 1) | 1
+}
+
+/// Untags an integer (sign-extended from 31 bits).
+pub fn untag_int(w: u32) -> i64 {
+    ((w as i32) >> 1) as i64
+}
+
+/// True if the word is a pointer.
+pub fn is_ptr(w: u32) -> bool {
+    w & 1 == 0 && w != 0
+}
+
+/// The heap. The low `static_end` words form an immortal region for
+/// pooled string literals; the rest is split into two semispaces.
+pub struct Heap {
+    mem: Vec<u32>,
+    static_free: usize,
+    static_end: usize,
+    semi_words: usize,
+    /// Current allocation space base (word index).
+    from_base: usize,
+    /// Next free word in the current space.
+    free: usize,
+    /// Words allocated since the last collection (minor-GC trigger).
+    since_gc: usize,
+    /// Simulated nursery size in words: a collection runs whenever this
+    /// many words have been allocated.
+    pub nursery_words: usize,
+    /// Total words ever allocated (the heap-allocation metric).
+    pub alloc_words: u64,
+    /// Total words copied by the collector.
+    pub copied_words: u64,
+    /// Number of collections.
+    pub n_gcs: u64,
+}
+
+impl Heap {
+    /// Creates a heap with the given semispace size (words) and immortal
+    /// region capacity.
+    pub fn new(semi_words: usize, static_words: usize) -> Heap {
+        let total = static_words + 2 * semi_words;
+        Heap {
+            mem: vec![0; total],
+            static_free: 1, // keep address 0 invalid
+            static_end: static_words,
+            semi_words,
+            from_base: static_words,
+            free: static_words,
+            since_gc: 0,
+            nursery_words: 64 * 1024,
+            alloc_words: 0,
+            copied_words: 0,
+            n_gcs: 0,
+        }
+    }
+
+    fn ptr_of(idx: usize) -> u32 {
+        (idx as u32) << 2
+    }
+
+    fn idx_of(ptr: u32) -> usize {
+        (ptr >> 2) as usize
+    }
+
+    /// Reads the word at `ptr + off` words.
+    pub fn load(&self, ptr: u32, off: usize) -> u32 {
+        self.mem[Heap::idx_of(ptr) + off]
+    }
+
+    /// Writes the word at `ptr + off`.
+    pub fn store(&mut self, ptr: u32, off: usize, v: u32) {
+        self.mem[Heap::idx_of(ptr) + off] = v;
+    }
+
+    /// Reads a raw float at word offset `off`.
+    pub fn load_f64(&self, ptr: u32, off: usize) -> f64 {
+        let i = Heap::idx_of(ptr) + off;
+        let bits = (self.mem[i] as u64) | ((self.mem[i + 1] as u64) << 32);
+        f64::from_bits(bits)
+    }
+
+    /// Writes a raw float at word offset `off` (two single-word stores).
+    pub fn store_f64(&mut self, ptr: u32, off: usize, v: f64) {
+        let i = Heap::idx_of(ptr) + off;
+        let bits = v.to_bits();
+        self.mem[i] = bits as u32;
+        self.mem[i + 1] = (bits >> 32) as u32;
+    }
+
+    /// The descriptor of the object at `ptr`.
+    pub fn desc(&self, ptr: u32) -> u32 {
+        self.mem[Heap::idx_of(ptr) - 1]
+    }
+
+    /// True if a collection should run before allocating `want` words.
+    pub fn needs_gc(&self, want: usize) -> bool {
+        self.since_gc + want + 1 > self.nursery_words
+            || self.free + want + 1 > self.from_base + self.semi_words
+    }
+
+    fn bump(&mut self, total_words: usize) -> usize {
+        assert!(
+            self.free + total_words < self.from_base + self.semi_words,
+            "smlc VM heap exhausted: semispace of {} words too small (live data too large)",
+            self.semi_words
+        );
+        let at = self.free + 1; // descriptor goes at `free`
+        self.free += total_words + 1;
+        self.since_gc += total_words + 1;
+        self.alloc_words += (total_words + 1) as u64;
+        at
+    }
+
+    /// Allocates an object with `nscan` scanned one-word fields and
+    /// `nraw` raw float fields (two words each), uninitialized; returns
+    /// the pointer.
+    pub fn alloc(&mut self, kind: ObjKind, nscan: u32, nraw: u32) -> u32 {
+        // Zero-length objects still get one body word so the collector
+        // has room for a forwarding pointer.
+        let at = self.bump(((nscan + 2 * nraw) as usize).max(1));
+        self.mem[at - 1] = descriptor(kind, nscan, nraw);
+        Heap::ptr_of(at)
+    }
+
+    /// Allocates a string in the collected heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string exceeds the descriptor's length field.
+    pub fn alloc_string(&mut self, s: &str) -> u32 {
+        let bytes = s.as_bytes();
+        assert!(bytes.len() < (1 << SCAN_BITS), "string too long for descriptor");
+        let nraw = bytes.len().div_ceil(4);
+        let at = self.bump(nraw.max(1));
+        self.mem[at - 1] = (ObjKind::Str as u32) | ((bytes.len() as u32) << SCAN_SHIFT);
+        for (i, chunk) in bytes.chunks(4).enumerate() {
+            let mut w = 0u32;
+            for (j, b) in chunk.iter().enumerate() {
+                w |= (*b as u32) << (8 * j);
+            }
+            self.mem[at + i] = w;
+        }
+        Heap::ptr_of(at)
+    }
+
+    /// Allocates a string in the immortal region (for pooled literals).
+    pub fn alloc_static_string(&mut self, s: &str) -> u32 {
+        let bytes = s.as_bytes();
+        let nraw = bytes.len().div_ceil(4);
+        assert!(
+            self.static_free + nraw.max(1) < self.static_end,
+            "string pool region exhausted"
+        );
+        let at = self.static_free + 1;
+        self.static_free += nraw.max(1) + 1;
+        self.mem[at - 1] = (ObjKind::Str as u32) | ((bytes.len() as u32) << SCAN_SHIFT);
+        for (i, chunk) in bytes.chunks(4).enumerate() {
+            let mut w = 0u32;
+            for (j, b) in chunk.iter().enumerate() {
+                w |= (*b as u32) << (8 * j);
+            }
+            self.mem[at + i] = w;
+        }
+        Heap::ptr_of(at)
+    }
+
+    /// Reads a string object back out.
+    pub fn read_string(&self, ptr: u32) -> String {
+        let at = Heap::idx_of(ptr);
+        let desc = self.mem[at - 1];
+        debug_assert_eq!(desc & KIND_MASK, ObjKind::Str as u32);
+        let len = (desc >> SCAN_SHIFT) as usize;
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let w = self.mem[at + i / 4];
+            out.push(((w >> (8 * (i % 4))) & 0xff) as u8);
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    /// Byte length of a string object.
+    pub fn string_len(&self, ptr: u32) -> usize {
+        (self.desc(ptr) >> SCAN_SHIFT) as usize
+    }
+
+    /// Byte at index `i` of a string object.
+    pub fn string_byte(&self, ptr: u32, i: usize) -> u8 {
+        let at = Heap::idx_of(ptr);
+        let w = self.mem[at + i / 4];
+        ((w >> (8 * (i % 4))) & 0xff) as u8
+    }
+
+    /// Cheney copying collection. `roots` are updated in place.
+    pub fn collect(&mut self, roots: &mut [&mut u32]) {
+        self.n_gcs += 1;
+        let to_base = if self.from_base == self.static_end {
+            self.static_end + self.semi_words
+        } else {
+            self.static_end
+        };
+        let mut free = to_base;
+        let mut scan = to_base;
+
+        // Forward the roots.
+        for r in roots.iter_mut() {
+            **r = self.forward(**r, &mut free);
+        }
+        // Scan copied objects.
+        while scan < free {
+            let desc = self.mem[scan];
+            let (kind, nscan, nraw) = decode(desc);
+            let fields = scan + 1;
+            let n = if kind == ObjKind::Str as u32 {
+                // Strings: descriptor stores byte length; all raw.
+                (nscan as usize).div_ceil(4)
+            } else if kind == ObjKind::Array as u32 {
+                let len = nscan as usize;
+                for i in 0..len {
+                    let v = self.mem[fields + i];
+                    self.mem[fields + i] = self.forward(v, &mut free);
+                }
+                len
+            } else {
+                for i in 0..nscan as usize {
+                    let v = self.mem[fields + i];
+                    self.mem[fields + i] = self.forward(v, &mut free);
+                }
+                (nscan + nraw * 2) as usize
+            };
+            let _ = n;
+            let total = match kind {
+                k if k == ObjKind::Str as u32 => (nscan as usize).div_ceil(4),
+                k if k == ObjKind::Array as u32 => nscan as usize,
+                _ => (nscan + nraw * 2) as usize,
+            };
+            // Empty objects occupy one pad word (forwarding space).
+            scan = fields + total.max(1);
+        }
+        self.from_base = to_base;
+        self.free = free;
+        self.since_gc = 0;
+    }
+
+    fn forward(&mut self, v: u32, free: &mut usize) -> u32 {
+        if !is_ptr(v) {
+            return v;
+        }
+        let at = Heap::idx_of(v);
+        if at < self.static_end {
+            return v; // immortal
+        }
+        let desc = self.mem[at - 1];
+        if desc & KIND_MASK == FORWARD {
+            return self.mem[at]; // already copied; new addr in field 0
+        }
+        let (kind, nscan, nraw) = decode(desc);
+        let total = match kind {
+            k if k == ObjKind::Str as u32 => (nscan as usize).div_ceil(4),
+            k if k == ObjKind::Array as u32 => nscan as usize,
+            _ => (nscan + nraw * 2) as usize,
+        };
+        let new_at = *free + 1;
+        self.mem[*free] = desc;
+        for i in 0..total {
+            self.mem[new_at + i] = self.mem[at + i];
+        }
+        // Keep the one-word pad of empty objects (forwarding space).
+        *free = new_at + total.max(1);
+        self.copied_words += (total.max(1) + 1) as u64;
+        let new_ptr = Heap::ptr_of(new_at);
+        self.mem[at - 1] = FORWARD;
+        self.mem[at] = new_ptr;
+        new_ptr
+    }
+
+    /// Structural equality on standard-representation values; returns
+    /// the verdict and the number of words visited (the runtime cost).
+    pub fn poly_eq(&self, a: u32, b: u32) -> (bool, u64) {
+        let mut cost = 1u64;
+        let eq = self.peq(a, b, &mut cost, 0);
+        (eq, cost)
+    }
+
+    fn peq(&self, a: u32, b: u32, cost: &mut u64, depth: u32) -> bool {
+        *cost += 1;
+        if a == b {
+            return true;
+        }
+        if depth > 10_000 {
+            return false; // pathological; give up (circular refs are eq by ptr)
+        }
+        if !is_ptr(a) || !is_ptr(b) {
+            return false;
+        }
+        let (ka, sa, ra) = decode(self.desc(a));
+        let (kb, sb, rb) = decode(self.desc(b));
+        if ka != kb {
+            return false;
+        }
+        if ka == ObjKind::Ref as u32 || ka == ObjKind::Array as u32 {
+            return false; // identity compared above
+        }
+        if ka == ObjKind::Str as u32 {
+            let la = self.string_len(a);
+            if la != self.string_len(b) {
+                return false;
+            }
+            *cost += la as u64 / 4 + 1;
+            return (0..la).all(|i| self.string_byte(a, i) == self.string_byte(b, i));
+        }
+        if ka == ObjKind::BoxedFloat as u32 {
+            *cost += 2;
+            return self.load_f64(a, 0) == self.load_f64(b, 0);
+        }
+        // Records: scanned fields recursively, raw words bitwise.
+        if sa != sb || ra != rb {
+            return false;
+        }
+        for i in 0..sa as usize {
+            if !self.peq(self.load(a, i), self.load(b, i), cost, depth + 1) {
+                return false;
+            }
+        }
+        for i in 0..(ra * 2) as usize {
+            *cost += 1;
+            if self.load(a, sa as usize + i) != self.load(b, sb as usize + i) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagging_roundtrip() {
+        assert_eq!(untag_int(tag_int(42)), 42);
+        assert_eq!(untag_int(tag_int(-7)), -7);
+        assert_eq!(untag_int(tag_int(0)), 0);
+        assert!(!is_ptr(tag_int(5)));
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let d = descriptor(ObjKind::Record, 3, 2);
+        assert_eq!(decode(d), (0, 3, 2));
+    }
+
+    #[test]
+    fn alloc_and_access() {
+        let mut h = Heap::new(4096, 128);
+        let p = h.alloc(ObjKind::Record, 2, 1);
+        h.store(p, 0, tag_int(1));
+        h.store(p, 1, tag_int(2));
+        h.store_f64(p, 2, 3.25);
+        assert_eq!(untag_int(h.load(p, 0)), 1);
+        assert_eq!(h.load_f64(p, 2), 3.25);
+        assert!(h.alloc_words >= 5);
+    }
+
+    #[test]
+    fn strings() {
+        let mut h = Heap::new(4096, 128);
+        let p = h.alloc_string("hello");
+        assert_eq!(h.read_string(p), "hello");
+        assert_eq!(h.string_len(p), 5);
+        assert_eq!(h.string_byte(p, 1), b'e');
+        let q = h.alloc_static_string("lit");
+        assert_eq!(h.read_string(q), "lit");
+    }
+
+    #[test]
+    fn gc_preserves_structure() {
+        let mut h = Heap::new(4096, 128);
+        let inner = h.alloc(ObjKind::Record, 1, 1);
+        h.store(inner, 0, tag_int(9));
+        h.store_f64(inner, 1, 2.5);
+        let outer = h.alloc(ObjKind::Record, 2, 0);
+        h.store(outer, 0, inner);
+        h.store(outer, 1, tag_int(7));
+        let mut root = outer;
+        // Garbage to make the collection meaningful.
+        for _ in 0..100 {
+            h.alloc(ObjKind::Record, 2, 0);
+        }
+        h.collect(&mut [&mut root]);
+        assert_ne!(root, outer, "object moved");
+        let inner2 = h.load(root, 0);
+        assert_eq!(untag_int(h.load(root, 1)), 7);
+        assert_eq!(untag_int(h.load(inner2, 0)), 9);
+        assert_eq!(h.load_f64(inner2, 1), 2.5);
+        assert!(h.copied_words >= 7);
+        assert_eq!(h.n_gcs, 1);
+    }
+
+    #[test]
+    fn gc_shares_copies() {
+        // Two roots to the same object stay shared.
+        let mut h = Heap::new(4096, 128);
+        let obj = h.alloc(ObjKind::Record, 1, 0);
+        h.store(obj, 0, tag_int(5));
+        let mut r1 = obj;
+        let mut r2 = obj;
+        h.collect(&mut [&mut r1, &mut r2]);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn gc_skips_static() {
+        let mut h = Heap::new(4096, 128);
+        let s = h.alloc_static_string("immortal");
+        let mut root = s;
+        h.collect(&mut [&mut root]);
+        assert_eq!(root, s, "static strings never move");
+        assert_eq!(h.read_string(root), "immortal");
+    }
+
+    #[test]
+    fn poly_eq_cases() {
+        let mut h = Heap::new(4096, 128);
+        let a = h.alloc(ObjKind::Record, 1, 1);
+        h.store(a, 0, tag_int(1));
+        h.store_f64(a, 1, 2.5);
+        let b = h.alloc(ObjKind::Record, 1, 1);
+        h.store(b, 0, tag_int(1));
+        h.store_f64(b, 1, 2.5);
+        let c = h.alloc(ObjKind::Record, 1, 1);
+        h.store(c, 0, tag_int(1));
+        h.store_f64(c, 1, 9.0);
+        assert!(h.poly_eq(a, b).0);
+        assert!(!h.poly_eq(a, c).0);
+        let s1 = h.alloc_string("abc");
+        let s2 = h.alloc_string("abc");
+        let s3 = h.alloc_string("abd");
+        assert!(h.poly_eq(s1, s2).0);
+        assert!(!h.poly_eq(s1, s3).0);
+        // Refs compare by identity.
+        let r1 = h.alloc(ObjKind::Ref, 1, 0);
+        let r2 = h.alloc(ObjKind::Ref, 1, 0);
+        h.store(r1, 0, tag_int(1));
+        h.store(r2, 0, tag_int(1));
+        assert!(!h.poly_eq(r1, r2).0);
+        assert!(h.poly_eq(r1, r1).0);
+    }
+
+    #[test]
+    fn nursery_triggers() {
+        let mut h = Heap::new(1 << 20, 128);
+        h.nursery_words = 64;
+        assert!(!h.needs_gc(10));
+        for _ in 0..30 {
+            h.alloc(ObjKind::Record, 2, 0);
+        }
+        assert!(h.needs_gc(10));
+    }
+}

@@ -1,0 +1,231 @@
+//! The abstract machine instruction set: a MIPS-like 32-bit RISC with 32
+//! general-purpose and 32 floating-point registers (DECstation 5000
+//! class), plus "virtual" registers 32..63 that model spill slots (each
+//! access pays an extra memory cost).
+//!
+//! Values are one word: tagged 31-bit integers (low bit set) or 4-byte-
+//! aligned heap pointers (low bit clear). Raw IEEE doubles live in the
+//! float register file and in the raw parts of heap records.
+
+/// An integer register (0..31 hardware, 32..63 spill-modelled).
+pub type Reg = u8;
+/// A float register.
+pub type FReg = u8;
+
+/// Number of hardware registers; indices beyond this model spill slots.
+pub const HW_REGS: u8 = 32;
+/// Total addressable registers (hardware + spill-modelled).
+pub const MAX_REGS: u8 = 64;
+
+/// Integer ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum AOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// Float ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum FOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Float unary operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum FUOp {
+    Neg,
+    Sqrt,
+    Sin,
+    Cos,
+    Atan,
+    Exp,
+    Ln,
+}
+
+/// Branch comparisons on integer registers (word comparison).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum BrOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// True when the word is a heap pointer (low bit clear).
+    Boxed,
+}
+
+/// Branch comparisons on float registers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum FBrOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// String-runtime branch comparisons.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum SBrOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// String/miscellaneous runtime calls producing a value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum RtOp {
+    /// `d := a ^ b` (allocates).
+    StrCat,
+    /// `d := size a`.
+    StrSize,
+    /// `d := ord (sub (a, b))` (no bounds check; checked upstream).
+    StrSub,
+    /// `d := itos a` (allocates).
+    IntToString,
+    /// `d := rtos fa` (allocates) — float argument in `fa`.
+    RealToString,
+}
+
+/// One machine instruction.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)]
+pub enum Instr {
+    /// Register move.
+    Move { d: Reg, s: Reg },
+    /// Float register move.
+    FMove { d: FReg, s: FReg },
+    /// Load a tagged integer constant.
+    LoadI { d: Reg, imm: i64 },
+    /// Load a float constant.
+    LoadF { d: FReg, imm: f64 },
+    /// Load a pointer to a pooled string literal.
+    LoadStr { d: Reg, pool: u32 },
+    /// Load a code label (encoded as a tagged integer).
+    LoadLabel { d: Reg, label: u32 },
+    /// Integer ALU.
+    Arith { op: AOp, d: Reg, a: Reg, b: Reg },
+    /// Float ALU.
+    FArith { op: FOp, d: FReg, a: FReg, b: FReg },
+    /// Float unary.
+    FUnary { op: FUOp, d: FReg, a: FReg },
+    /// `d := floor fa`.
+    Floor { d: Reg, a: FReg },
+    /// `fd := real a`.
+    IntToReal { d: FReg, a: Reg },
+    /// Load a word field: `d := mem[base + off]` (word offset).
+    Load { d: Reg, base: Reg, off: u16 },
+    /// Store a word field.
+    Store { s: Reg, base: Reg, off: u16 },
+    /// Store a word field with the generational write barrier.
+    StoreWB { s: Reg, base: Reg, off: u16 },
+    /// Load a raw float field (two single-word loads, paper footnote 7).
+    FLoad { d: FReg, base: Reg, off: u16 },
+    /// Store a raw float field (two single-word stores).
+    FStore { s: FReg, base: Reg, off: u16 },
+    /// Indexed word load: `d := mem[base + idx]` (idx is a tagged int
+    /// register).
+    LoadIdx { d: Reg, base: Reg, idx: Reg },
+    /// Indexed word store.
+    StoreIdx { s: Reg, base: Reg, idx: Reg },
+    /// Indexed word store with write barrier.
+    StoreIdxWB { s: Reg, base: Reg, idx: Reg },
+    /// Allocate a record: scanned word fields from `words`, raw float
+    /// fields from `flts`; `d` receives the pointer.
+    Alloc { d: Reg, kind: AllocKind, words: Vec<Reg>, flts: Vec<FReg> },
+    /// Allocate an array of `len` (tagged int register) elements, all
+    /// initialized to `init`.
+    AllocArr { d: Reg, len: Reg, init: Reg },
+    /// `d := length of array` (from the descriptor).
+    ArrLen { d: Reg, a: Reg },
+    /// Box a float: allocate a 2-raw-word object.
+    FBox { d: Reg, s: FReg },
+    /// Unbox a float (two single-word loads).
+    FUnbox { d: FReg, s: Reg },
+    /// Conditional branch: if the comparison is FALSE, jump to `target`
+    /// (instruction index within this block); otherwise fall through.
+    Branch { op: BrOp, a: Reg, b: Reg, target: u32 },
+    /// Float conditional branch (if false, jump).
+    FBranch { op: FBrOp, a: FReg, b: FReg, target: u32 },
+    /// String conditional branch (if false, jump); runtime compare.
+    SBranch { op: SBrOp, a: Reg, b: Reg, target: u32 },
+    /// Structural (polymorphic) equality; if UNEQUAL, jump. Runtime
+    /// traversal, cost proportional to the structure visited.
+    PolyEqBranch { a: Reg, b: Reg, target: u32 },
+    /// Dense jump table on a tagged integer: jump to
+    /// `table[value - lo]` (an instruction index within this block), or
+    /// to `default` when out of range. Costs ~3 cycles.
+    Switch { r: Reg, lo: i64, table: Vec<u32>, default: u32 },
+    /// Tail jump to a known code block (arguments already placed).
+    Jump { label: u32 },
+    /// Indirect tail jump: code label (tagged int) in `r`.
+    JumpReg { r: Reg },
+    /// Runtime call producing a value.
+    Rt { op: RtOp, d: Reg, a: Reg, b: Reg, fa: FReg },
+    /// Read the exception-handler register.
+    GetHdlr { d: Reg },
+    /// Write the exception-handler register.
+    SetHdlr { s: Reg },
+    /// Print the string in `s` to the output buffer.
+    Print { s: Reg },
+    /// Stop with the value in `s`.
+    Halt { s: Reg },
+    /// Stop with an uncaught exception whose packet is in `s`.
+    Uncaught { s: Reg },
+}
+
+/// What kind of object an `Alloc` creates (drives the descriptor).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocKind {
+    /// Immutable record (possibly with raw float fields).
+    Record,
+    /// Mutable reference cell (1 scanned word).
+    Ref,
+}
+
+/// A compiled function: a straight-line block with internal forward
+/// branches, ending in jumps or halt.
+#[derive(Clone, Debug, Default)]
+pub struct CodeBlock {
+    /// Diagnostic name.
+    pub name: String,
+    /// The instructions.
+    pub instrs: Vec<Instr>,
+}
+
+/// A complete machine program.
+#[derive(Clone, Debug, Default)]
+pub struct MachineProgram {
+    /// Code blocks; `Jump { label }` indexes this vector.
+    pub blocks: Vec<CodeBlock>,
+    /// Index of the entry block.
+    pub entry: u32,
+    /// String literals, pre-allocated in the immortal heap region at
+    /// startup.
+    pub pool: Vec<String>,
+}
+
+impl MachineProgram {
+    /// Total instruction count (the paper's code-size metric).
+    pub fn code_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}

@@ -1,0 +1,17 @@
+//! The execution substrate: code generation to a MIPS-like abstract
+//! machine, the runtime heap with two-part object descriptors and a
+//! Cheney copying collector, and the cycle-accounting interpreter
+//! standing in for the paper's DECstation 5000.
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod disasm;
+pub mod heap;
+pub mod isa;
+pub mod vm;
+
+pub use codegen::codegen;
+pub use heap::{Heap, ObjKind};
+pub use isa::{CodeBlock, Instr, MachineProgram};
+pub use vm::{run, Outcome, RunStats, VmConfig, VmResult};

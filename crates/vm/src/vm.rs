@@ -1,0 +1,505 @@
+//! The abstract machine interpreter with a DECstation-5000-class cost
+//! model.
+//!
+//! Cycle costs (documented in DESIGN.md): ALU and moves are 1 cycle;
+//! loads/stores 2; raw float loads/stores 4 (two single-word memory
+//! operations, paper footnote 7); float add/sub 2, mul 4, div 12,
+//! transcendental 20; allocation is 1 + one cycle per word written;
+//! write-barriered stores pay 2 extra cycles; the copying collector pays
+//! 3 cycles per word copied. Accesses to spill-modelled registers
+//! (32..63) pay 2 extra cycles each, approximating spill loads/stores.
+
+use crate::heap::{is_ptr, tag_int, untag_int, Heap, ObjKind};
+use crate::isa::*;
+
+/// VM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Model the three floating-point callee-save registers of `sml.fp3`:
+    /// every inter-function control transfer pays 3 extra float moves.
+    pub fp3_overhead: bool,
+    /// Simulated nursery size (words): a collection runs each time this
+    /// much has been allocated.
+    pub nursery_words: usize,
+    /// Cycle budget; exceeded runs abort with [`VmResult::OutOfFuel`].
+    pub max_cycles: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig {
+            fp3_overhead: false,
+            nursery_words: 64 * 1024,
+            max_cycles: 20_000_000_000,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VmResult {
+    /// Normal halt with a final word value.
+    Value(i64),
+    /// An exception reached the top level; the payload is the exception
+    /// name.
+    Uncaught(String),
+    /// The cycle budget was exhausted.
+    OutOfFuel,
+}
+
+/// Counters from a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Modelled machine cycles (the execution-time metric).
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instrs: u64,
+    /// Words allocated (the heap-allocation metric).
+    pub alloc_words: u64,
+    /// Words copied by the collector.
+    pub gc_copied_words: u64,
+    /// Number of collections.
+    pub n_gcs: u64,
+}
+
+/// The outcome of running a program.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Result value or failure.
+    pub result: VmResult,
+    /// Performance counters.
+    pub stats: RunStats,
+    /// Everything `print`ed.
+    pub output: String,
+}
+
+/// Runs a machine program to completion.
+pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
+    let mut heap = Heap::new(8 << 20, 64 * 1024);
+    heap.nursery_words = cfg.nursery_words;
+    let mut pool_ptrs = Vec::with_capacity(prog.pool.len());
+    for s in &prog.pool {
+        pool_ptrs.push(heap.alloc_static_string(s));
+    }
+
+    let mut regs = [tag_int(0); MAX_REGS as usize];
+    let mut fregs = [0.0f64; MAX_REGS as usize];
+    let mut handler = tag_int(0);
+    let mut stats = RunStats::default();
+    let mut output = String::new();
+
+    let mut block = prog.entry as usize;
+    let mut pc = 0usize;
+
+    macro_rules! spillcost {
+        ($($r:expr),*) => {
+            $( if $r >= HW_REGS { stats.cycles += 2; } )*
+        };
+    }
+
+    loop {
+        if stats.cycles > cfg.max_cycles {
+            return Outcome { result: VmResult::OutOfFuel, stats, output };
+        }
+        let instr = &prog.blocks[block].instrs[pc];
+        pc += 1;
+        stats.instrs += 1;
+        match instr {
+            Instr::Move { d, s } => {
+                spillcost!(*d, *s);
+                stats.cycles += 1;
+                regs[*d as usize] = regs[*s as usize];
+            }
+            Instr::FMove { d, s } => {
+                spillcost!(*d, *s);
+                stats.cycles += 1;
+                fregs[*d as usize] = fregs[*s as usize];
+            }
+            Instr::LoadI { d, imm } => {
+                spillcost!(*d);
+                stats.cycles += 1;
+                regs[*d as usize] = tag_int(*imm);
+            }
+            Instr::LoadF { d, imm } => {
+                spillcost!(*d);
+                stats.cycles += 2;
+                fregs[*d as usize] = *imm;
+            }
+            Instr::LoadStr { d, pool } => {
+                spillcost!(*d);
+                stats.cycles += 1;
+                regs[*d as usize] = pool_ptrs[*pool as usize];
+            }
+            Instr::LoadLabel { d, label } => {
+                spillcost!(*d);
+                stats.cycles += 1;
+                regs[*d as usize] = tag_int(*label as i64);
+            }
+            Instr::Arith { op, d, a, b } => {
+                spillcost!(*d, *a, *b);
+                let x = untag_int(regs[*a as usize]);
+                let y = untag_int(regs[*b as usize]);
+                let (v, cost) = match op {
+                    AOp::Add => (x.wrapping_add(y), 1),
+                    AOp::Sub => (x.wrapping_sub(y), 1),
+                    AOp::Mul => (x.wrapping_mul(y), 4),
+                    AOp::Div => (if y == 0 { 0 } else { x.wrapping_div(y) }, 12),
+                    AOp::Mod => (if y == 0 { 0 } else { x.rem_euclid(y) }, 12),
+                };
+                stats.cycles += cost;
+                regs[*d as usize] = tag_int(v);
+            }
+            Instr::FArith { op, d, a, b } => {
+                spillcost!(*d, *a, *b);
+                let x = fregs[*a as usize];
+                let y = fregs[*b as usize];
+                let (v, cost) = match op {
+                    FOp::Add => (x + y, 2),
+                    FOp::Sub => (x - y, 2),
+                    FOp::Mul => (x * y, 4),
+                    FOp::Div => (x / y, 12),
+                };
+                stats.cycles += cost;
+                fregs[*d as usize] = v;
+            }
+            Instr::FUnary { op, d, a } => {
+                spillcost!(*d, *a);
+                let x = fregs[*a as usize];
+                let (v, cost) = match op {
+                    FUOp::Neg => (-x, 2),
+                    FUOp::Sqrt => (x.sqrt(), 20),
+                    FUOp::Sin => (x.sin(), 20),
+                    FUOp::Cos => (x.cos(), 20),
+                    FUOp::Atan => (x.atan(), 20),
+                    FUOp::Exp => (x.exp(), 20),
+                    FUOp::Ln => (x.ln(), 20),
+                };
+                stats.cycles += cost;
+                fregs[*d as usize] = v;
+            }
+            Instr::Floor { d, a } => {
+                spillcost!(*d, *a);
+                stats.cycles += 3;
+                regs[*d as usize] = tag_int(fregs[*a as usize].floor() as i64);
+            }
+            Instr::IntToReal { d, a } => {
+                spillcost!(*d, *a);
+                stats.cycles += 3;
+                fregs[*d as usize] = untag_int(regs[*a as usize]) as f64;
+            }
+            Instr::Load { d, base, off } => {
+                spillcost!(*d, *base);
+                stats.cycles += 2;
+                regs[*d as usize] = heap.load(regs[*base as usize], *off as usize);
+            }
+            Instr::Store { s, base, off } => {
+                spillcost!(*s, *base);
+                stats.cycles += 2;
+                heap.store(regs[*base as usize], *off as usize, regs[*s as usize]);
+            }
+            Instr::StoreWB { s, base, off } => {
+                spillcost!(*s, *base);
+                stats.cycles += 4; // store + generational bookkeeping
+                heap.store(regs[*base as usize], *off as usize, regs[*s as usize]);
+            }
+            Instr::FLoad { d, base, off } => {
+                spillcost!(*d, *base);
+                stats.cycles += 4; // two single-word loads
+                fregs[*d as usize] = heap.load_f64(regs[*base as usize], *off as usize);
+            }
+            Instr::FStore { s, base, off } => {
+                spillcost!(*s, *base);
+                stats.cycles += 4;
+                heap.store_f64(regs[*base as usize], *off as usize, fregs[*s as usize]);
+            }
+            Instr::LoadIdx { d, base, idx } => {
+                spillcost!(*d, *base, *idx);
+                stats.cycles += 3;
+                let i = untag_int(regs[*idx as usize]) as usize;
+                regs[*d as usize] = heap.load(regs[*base as usize], i);
+            }
+            Instr::StoreIdx { s, base, idx } => {
+                spillcost!(*s, *base, *idx);
+                stats.cycles += 3;
+                let i = untag_int(regs[*idx as usize]) as usize;
+                heap.store(regs[*base as usize], i, regs[*s as usize]);
+            }
+            Instr::StoreIdxWB { s, base, idx } => {
+                spillcost!(*s, *base, *idx);
+                stats.cycles += 5;
+                let i = untag_int(regs[*idx as usize]) as usize;
+                heap.store(regs[*base as usize], i, regs[*s as usize]);
+            }
+            Instr::Alloc { d, kind, words, flts } => {
+                spillcost!(*d);
+                let total = words.len() + 2 * flts.len();
+                if heap.needs_gc(total) {
+                    gc(&mut heap, &mut regs, &mut handler, &mut stats);
+                }
+                let k = match kind {
+                    AllocKind::Record => ObjKind::Record,
+                    AllocKind::Ref => ObjKind::Ref,
+                };
+                let p = heap.alloc(k, words.len() as u32, flts.len() as u32);
+                for (i, r) in words.iter().enumerate() {
+                    heap.store(p, i, regs[*r as usize]);
+                }
+                for (j, f) in flts.iter().enumerate() {
+                    heap.store_f64(p, words.len() + 2 * j, fregs[*f as usize]);
+                }
+                stats.cycles += 1 + total as u64 + 2 * flts.len() as u64;
+                regs[*d as usize] = p;
+            }
+            Instr::AllocArr { d, len, init } => {
+                spillcost!(*d, *len, *init);
+                let n = untag_int(regs[*len as usize]).max(0) as usize;
+                if heap.needs_gc(n) {
+                    gc(&mut heap, &mut regs, &mut handler, &mut stats);
+                }
+                let p = heap.alloc(ObjKind::Array, n as u32, 0);
+                let v = regs[*init as usize];
+                for i in 0..n {
+                    heap.store(p, i, v);
+                }
+                stats.cycles += 1 + n as u64;
+                regs[*d as usize] = p;
+            }
+            Instr::ArrLen { d, a } => {
+                spillcost!(*d, *a);
+                stats.cycles += 2;
+                let (_, nscan, _) = crate::heap::decode(heap.desc(regs[*a as usize]));
+                regs[*d as usize] = tag_int(nscan as i64);
+            }
+            Instr::FBox { d, s } => {
+                spillcost!(*d, *s);
+                if heap.needs_gc(2) {
+                    gc(&mut heap, &mut regs, &mut handler, &mut stats);
+                }
+                let p = heap.alloc(ObjKind::BoxedFloat, 0, 1);
+                heap.store_f64(p, 0, fregs[*s as usize]);
+                stats.cycles += 1 + 2 + 4; // descriptor+bump, then two stores
+                regs[*d as usize] = p;
+            }
+            Instr::FUnbox { d, s } => {
+                spillcost!(*d, *s);
+                stats.cycles += 4;
+                fregs[*d as usize] = heap.load_f64(regs[*s as usize], 0);
+            }
+            Instr::Branch { op, a, b, target } => {
+                spillcost!(*a, *b);
+                stats.cycles += 1;
+                let x = regs[*a as usize];
+                let y = regs[*b as usize];
+                let taken = match op {
+                    BrOp::Lt => untag_int(x) < untag_int(y),
+                    BrOp::Le => untag_int(x) <= untag_int(y),
+                    BrOp::Gt => untag_int(x) > untag_int(y),
+                    BrOp::Ge => untag_int(x) >= untag_int(y),
+                    BrOp::Eq => x == y,
+                    BrOp::Ne => x != y,
+                    BrOp::Boxed => is_ptr(x),
+                };
+                if !taken {
+                    pc = *target as usize;
+                }
+            }
+            Instr::FBranch { op, a, b, target } => {
+                spillcost!(*a, *b);
+                stats.cycles += 2;
+                let x = fregs[*a as usize];
+                let y = fregs[*b as usize];
+                let taken = match op {
+                    FBrOp::Lt => x < y,
+                    FBrOp::Le => x <= y,
+                    FBrOp::Gt => x > y,
+                    FBrOp::Ge => x >= y,
+                    FBrOp::Eq => x == y,
+                    FBrOp::Ne => x != y,
+                };
+                if !taken {
+                    pc = *target as usize;
+                }
+            }
+            Instr::SBranch { op, a, b, target } => {
+                spillcost!(*a, *b);
+                let sa = heap.read_string(regs[*a as usize]);
+                let sb = heap.read_string(regs[*b as usize]);
+                stats.cycles += 3 + (sa.len().min(sb.len()) as u64) / 4;
+                let taken = match op {
+                    SBrOp::Eq => sa == sb,
+                    SBrOp::Ne => sa != sb,
+                    SBrOp::Lt => sa < sb,
+                    SBrOp::Le => sa <= sb,
+                    SBrOp::Gt => sa > sb,
+                    SBrOp::Ge => sa >= sb,
+                };
+                if !taken {
+                    pc = *target as usize;
+                }
+            }
+            Instr::PolyEqBranch { a, b, target } => {
+                spillcost!(*a, *b);
+                let (eq, cost) = heap.poly_eq(regs[*a as usize], regs[*b as usize]);
+                // Runtime-call overhead (save/restore, dispatch on the
+                // descriptor) plus the traversal.
+                stats.cycles += 15 + 3 * cost;
+                if !eq {
+                    pc = *target as usize;
+                }
+            }
+            Instr::Switch { r, lo, table, default } => {
+                spillcost!(*r);
+                stats.cycles += 3; // bounds check + table load + indirect jump
+                let n = untag_int(regs[*r as usize]);
+                let idx = n - lo;
+                pc = if idx >= 0 && (idx as usize) < table.len() {
+                    table[idx as usize] as usize
+                } else {
+                    *default as usize
+                };
+            }
+            Instr::Jump { label } => {
+                stats.cycles += 1;
+                if cfg.fp3_overhead {
+                    stats.cycles += 1;
+                }
+                block = *label as usize;
+                pc = 0;
+            }
+            Instr::JumpReg { r } => {
+                spillcost!(*r);
+                stats.cycles += 2;
+                if cfg.fp3_overhead {
+                    stats.cycles += 1;
+                }
+                let w = regs[*r as usize];
+                assert!(
+                    !is_ptr(w),
+                    "JumpReg to non-label {w:#x} from block {} ({}) pc {}",
+                    block,
+                    prog.blocks[block].name,
+                    pc - 1
+                );
+                block = untag_int(w) as usize;
+                assert!(
+                    block < prog.blocks.len(),
+                    "JumpReg out of range {block} from {}",
+                    prog.blocks[block.min(prog.blocks.len() - 1)].name
+                );
+                pc = 0;
+            }
+            Instr::Rt { op, d, a, b, fa } => {
+                spillcost!(*d, *a, *b);
+                match op {
+                    RtOp::StrCat => {
+                        let sa = heap.read_string(regs[*a as usize]);
+                        let sb = heap.read_string(regs[*b as usize]);
+                        let joined = sa + &sb;
+                        let words = joined.len().div_ceil(4);
+                        if heap.needs_gc(words) {
+                            gc(&mut heap, &mut regs, &mut handler, &mut stats);
+                        }
+                        stats.cycles += 5 + words as u64;
+                        regs[*d as usize] = heap.alloc_string(&joined);
+                    }
+                    RtOp::StrSize => {
+                        stats.cycles += 2;
+                        regs[*d as usize] =
+                            tag_int(heap.string_len(regs[*a as usize]) as i64);
+                    }
+                    RtOp::StrSub => {
+                        stats.cycles += 3;
+                        let i = untag_int(regs[*b as usize]) as usize;
+                        regs[*d as usize] =
+                            tag_int(heap.string_byte(regs[*a as usize], i) as i64);
+                    }
+                    RtOp::IntToString => {
+                        let s = untag_int(regs[*a as usize]).to_string();
+                        let words = s.len().div_ceil(4);
+                        if heap.needs_gc(words) {
+                            gc(&mut heap, &mut regs, &mut handler, &mut stats);
+                        }
+                        stats.cycles += 20;
+                        regs[*d as usize] = heap.alloc_string(&s);
+                    }
+                    RtOp::RealToString => {
+                        let s = format!("{:?}", fregs[*fa as usize]);
+                        let words = s.len().div_ceil(4);
+                        if heap.needs_gc(words) {
+                            gc(&mut heap, &mut regs, &mut handler, &mut stats);
+                        }
+                        stats.cycles += 40;
+                        regs[*d as usize] = heap.alloc_string(&s);
+                    }
+                }
+            }
+            Instr::GetHdlr { d } => {
+                spillcost!(*d);
+                stats.cycles += 1;
+                regs[*d as usize] = handler;
+            }
+            Instr::SetHdlr { s } => {
+                spillcost!(*s);
+                stats.cycles += 1;
+                handler = regs[*s as usize];
+            }
+            Instr::Print { s } => {
+                let txt = heap.read_string(regs[*s as usize]);
+                stats.cycles += 5 + txt.len() as u64 / 4;
+                output.push_str(&txt);
+            }
+            Instr::Halt { s } => {
+                stats.alloc_words = heap.alloc_words;
+                stats.gc_copied_words = heap.copied_words;
+                stats.n_gcs = heap.n_gcs;
+                let w = regs[*s as usize];
+                let v = if is_ptr(w) { w as i64 } else { untag_int(w) };
+                return Outcome { result: VmResult::Value(v), stats, output };
+            }
+            Instr::Uncaught { s } => {
+                stats.alloc_words = heap.alloc_words;
+                stats.gc_copied_words = heap.copied_words;
+                stats.n_gcs = heap.n_gcs;
+                // The packet is either a constant-exception tag record
+                // `[name]` or a carrying packet `[tag, v]` with
+                // `tag = [name]`.
+                let pkt = regs[*s as usize];
+                let name = if is_ptr(pkt) {
+                    let f0 = heap.load(pkt, 0);
+                    if is_ptr(f0) {
+                        let (k, _, _) = crate::heap::decode(heap.desc(f0));
+                        if k == ObjKind::Str as u32 {
+                            heap.read_string(f0)
+                        } else {
+                            let inner = heap.load(f0, 0);
+                            if is_ptr(inner) {
+                                heap.read_string(inner)
+                            } else {
+                                "?".into()
+                            }
+                        }
+                    } else {
+                        "?".into()
+                    }
+                } else {
+                    "?".into()
+                };
+                return Outcome { result: VmResult::Uncaught(name), stats, output };
+            }
+        }
+    }
+}
+
+fn gc(heap: &mut Heap, regs: &mut [u32], handler: &mut u32, stats: &mut RunStats) {
+    let before = heap.copied_words;
+    {
+        let mut roots: Vec<&mut u32> = Vec::with_capacity(regs.len() + 1);
+        let mut iter = regs.iter_mut();
+        for r in &mut iter {
+            roots.push(r);
+        }
+        roots.push(handler);
+        heap.collect(&mut roots);
+    }
+    stats.cycles += 200 + 3 * (heap.copied_words - before);
+}

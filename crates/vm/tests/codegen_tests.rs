@@ -1,0 +1,257 @@
+//! Direct codegen + VM tests on hand-built first-order CPS programs:
+//! calling conventions, parallel moves, switches, records with raw float
+//! fields, and the exception-handler register.
+
+use sml_cps::{AllocOp, BranchOp, CVar, Cexp, Cty, FunDef, FunKind, LookOp, PureOp, SetOp, Value};
+use sml_vm::{codegen, run, VmConfig, VmResult};
+
+fn halted(prog: sml_cps::ClosedProgram) -> (VmResult, sml_vm::RunStats, String) {
+    let m = codegen(&prog);
+    let o = run(&m, &VmConfig::default());
+    (o.result, o.stats, o.output)
+}
+
+fn var(v: CVar) -> Value {
+    Value::Var(v)
+}
+
+#[test]
+fn known_call_passes_extra_args() {
+    // f(a, b) = a - b, called as a known function.
+    let f = FunDef {
+        kind: FunKind::Known,
+        name: 10,
+        params: vec![(1, Cty::Int), (2, Cty::Int)],
+        body: Box::new(Cexp::Pure {
+            op: PureOp::ISub,
+            args: vec![var(1), var(2)],
+            dst: 3,
+            cty: Cty::Int,
+            rest: Box::new(Cexp::Halt { v: var(3) }),
+        }),
+    };
+    let prog = sml_cps::ClosedProgram {
+        funs: vec![f],
+        entry: Cexp::App { f: Value::Label(10), args: vec![Value::Int(50), Value::Int(8)] },
+        next_var: 100,
+    };
+    let (r, _, _) = halted(prog);
+    assert_eq!(r, VmResult::Value(42));
+}
+
+#[test]
+fn flat_float_record_roundtrip() {
+    // Build a record [word, float]; read both back.
+    let entry = Cexp::Record {
+        fields: vec![(Value::Int(7), Cty::Int), (Value::Real(2.5), Cty::Flt)],
+        nflt: 1,
+        dst: 1,
+        rest: Box::new(Cexp::Select {
+            rec: var(1),
+            word_off: 1,
+            flt: true,
+            dst: 2,
+            cty: Cty::Flt,
+            rest: Box::new(Cexp::Pure {
+                op: PureOp::Floor,
+                args: vec![var(2)],
+                dst: 3,
+                cty: Cty::Int,
+                rest: Box::new(Cexp::Select {
+                    rec: var(1),
+                    word_off: 0,
+                    flt: false,
+                    dst: 4,
+                    cty: Cty::Int,
+                    rest: Box::new(Cexp::Pure {
+                        op: PureOp::IAdd,
+                        args: vec![var(3), var(4)],
+                        dst: 5,
+                        cty: Cty::Int,
+                        rest: Box::new(Cexp::Halt { v: var(5) }),
+                    }),
+                }),
+            }),
+        }),
+    };
+    let prog = sml_cps::ClosedProgram { funs: vec![], entry, next_var: 100 };
+    let (r, stats, _) = halted(prog);
+    assert_eq!(r, VmResult::Value(9)); // floor 2.5 + 7
+    assert!(stats.alloc_words >= 4, "desc + word + 2 float words");
+}
+
+#[test]
+fn switch_dispatch() {
+    let arm = |v: i64| Cexp::Halt { v: Value::Int(v) };
+    let entry = Cexp::Switch {
+        v: Value::Int(7),
+        lo: 5,
+        arms: vec![arm(50), arm(60), arm(70), arm(80)],
+        default: Box::new(arm(-1)),
+    };
+    let prog = sml_cps::ClosedProgram { funs: vec![], entry, next_var: 100 };
+    assert_eq!(halted(prog).0, VmResult::Value(70));
+
+    let entry = Cexp::Switch {
+        v: Value::Int(99),
+        lo: 5,
+        arms: vec![arm(50), arm(60)],
+        default: Box::new(arm(-1)),
+    };
+    let prog = sml_cps::ClosedProgram { funs: vec![], entry, next_var: 100 };
+    assert_eq!(halted(prog).0, VmResult::Value(-1));
+}
+
+#[test]
+fn refs_arrays_and_barriers() {
+    // r := 5; a[2] := !r; halt a[2] + alength a
+    let entry = Cexp::Alloc {
+        op: AllocOp::MakeRef,
+        args: vec![Value::Int(0)],
+        dst: 1,
+        rest: Box::new(Cexp::Set {
+            op: SetOp::Assign,
+            args: vec![var(1), Value::Int(5)],
+            rest: Box::new(Cexp::Alloc {
+                op: AllocOp::ArrayMake,
+                args: vec![Value::Int(4), Value::Int(9)],
+                dst: 2,
+                rest: Box::new(Cexp::Look {
+                    op: LookOp::Deref,
+                    args: vec![var(1)],
+                    dst: 3,
+                    cty: Cty::Int,
+                    rest: Box::new(Cexp::Set {
+                        op: SetOp::UnboxedArrayUpdate,
+                        args: vec![var(2), Value::Int(2), var(3)],
+                        rest: Box::new(Cexp::Look {
+                            op: LookOp::ArraySub,
+                            args: vec![var(2), Value::Int(2)],
+                            dst: 4,
+                            cty: Cty::Int,
+                            rest: Box::new(Cexp::Pure {
+                                op: PureOp::ArrayLength,
+                                args: vec![var(2)],
+                                dst: 5,
+                                cty: Cty::Int,
+                                rest: Box::new(Cexp::Pure {
+                                    op: PureOp::IAdd,
+                                    args: vec![var(4), var(5)],
+                                    dst: 6,
+                                    cty: Cty::Int,
+                                    rest: Box::new(Cexp::Halt { v: var(6) }),
+                                }),
+                            }),
+                        }),
+                    }),
+                }),
+            }),
+        }),
+    };
+    let prog = sml_cps::ClosedProgram { funs: vec![], entry, next_var: 100 };
+    assert_eq!(halted(prog).0, VmResult::Value(9));
+}
+
+#[test]
+fn handler_register_roundtrip() {
+    // Install a handler closure, raise into it, confirm the packet
+    // arrives.
+    let handler = FunDef {
+        kind: FunKind::Escape,
+        name: 20,
+        params: vec![(1, Cty::Ptr(None)), (2, Cty::Int)],
+        body: Box::new(Cexp::Halt { v: var(2) }),
+    };
+    let entry = Cexp::Record {
+        fields: vec![(Value::Label(20), Cty::Fun)],
+        nflt: 0,
+        dst: 3,
+        rest: Box::new(Cexp::Set {
+            op: SetOp::SetHandler,
+            args: vec![var(3)],
+            rest: Box::new(Cexp::Look {
+                op: LookOp::GetHandler,
+                args: vec![],
+                dst: 4,
+                cty: Cty::Fun,
+                rest: Box::new(Cexp::Select {
+                    rec: var(4),
+                    word_off: 0,
+                    flt: false,
+                    dst: 5,
+                    cty: Cty::Fun,
+                    rest: Box::new(Cexp::App {
+                        f: var(5),
+                        args: vec![var(4), Value::Int(123)],
+                    }),
+                }),
+            }),
+        }),
+    };
+    let prog = sml_cps::ClosedProgram { funs: vec![handler], entry, next_var: 100 };
+    assert_eq!(halted(prog).0, VmResult::Value(123));
+}
+
+#[test]
+fn string_runtime_ops() {
+    let entry = Cexp::Pure {
+        op: PureOp::StrCat,
+        args: vec![Value::Str("foo".into()), Value::Str("bar".into())],
+        dst: 1,
+        cty: Cty::Ptr(None),
+        rest: Box::new(Cexp::Set {
+            op: SetOp::Print,
+            args: vec![var(1)],
+            rest: Box::new(Cexp::Pure {
+                op: PureOp::StrSize,
+                args: vec![var(1)],
+                dst: 2,
+                cty: Cty::Int,
+                rest: Box::new(Cexp::Branch {
+                    op: BranchOp::StrEq,
+                    args: vec![var(1), Value::Str("foobar".into())],
+                    tru: Box::new(Cexp::Halt { v: var(2) }),
+                    fls: Box::new(Cexp::Halt { v: Value::Int(-1) }),
+                }),
+            }),
+        }),
+    };
+    let prog = sml_cps::ClosedProgram { funs: vec![], entry, next_var: 100 };
+    let (r, _, out) = halted(prog);
+    assert_eq!(r, VmResult::Value(6));
+    assert_eq!(out, "foobar");
+}
+
+#[test]
+fn many_params_pack_into_spill_record() {
+    // A known function with 30 parameters: codegen must pack the
+    // overflow and still compute the right sum.
+    let n = 30usize;
+    let params: Vec<(CVar, Cty)> = (1..=n as u32).map(|i| (i, Cty::Int)).collect();
+    // body: acc_i = acc_{i-1} + p_i, acc_0 = 0; halt with acc_n.
+    let mut prev: Value = Value::Int(0);
+    let mut chain: Vec<(Value, Value, CVar)> = Vec::new();
+    for i in 1..=n as u32 {
+        chain.push((prev.clone(), var(i), 100 + i));
+        prev = var(100 + i);
+    }
+    let mut body = Cexp::Halt { v: prev };
+    for (a, b, dst) in chain.into_iter().rev() {
+        body = Cexp::Pure {
+            op: PureOp::IAdd,
+            args: vec![a, b],
+            dst,
+            cty: Cty::Int,
+            rest: Box::new(body),
+        };
+    }
+    let f = FunDef { kind: FunKind::Known, name: 200, params, body: Box::new(body) };
+    let args: Vec<Value> = (1..=n as i64).map(Value::Int).collect();
+    let prog = sml_cps::ClosedProgram {
+        funs: vec![f],
+        entry: Cexp::App { f: Value::Label(200), args },
+        next_var: 1000,
+    };
+    let (r, _, _) = halted(prog);
+    assert_eq!(r, VmResult::Value((1..=n as i64).sum()));
+}

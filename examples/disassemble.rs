@@ -1,0 +1,42 @@
+//! Disassemble the paper's introductory `quad` example under the
+//! non-type-based compiler (`sml.nrp`) and the fully type-based one
+//! (`sml.ffb`), side by side with their runtime statistics.
+//!
+//! The paper's §1 motivates representation analysis with exactly this
+//! program: a polymorphic `double` applied at type `real -> real`. Under
+//! standard boxed conventions every float crossing `f` is a heap object;
+//! under `sml.ffb` the float flows through floating-point registers and
+//! the inner calls allocate nothing.
+//!
+//! ```sh
+//! cargo run --example disassemble
+//! ```
+
+use smlc::{compile, Variant};
+
+const QUAD: &str = "
+fun double f x = f (f x)
+fun quad g = double double g
+fun inc (y : real) = y + 1.0
+val _ = print (rtos (quad inc 1.0))
+";
+
+fn main() {
+    println!("source:\n{QUAD}");
+    for variant in [Variant::Nrp, Variant::Ffb] {
+        let compiled = compile(QUAD, variant).expect("compile");
+        println!("================ {} ================", variant.name());
+        print!("{}", compiled.machine);
+        let out = compiled.run();
+        println!(
+            "\noutput {:?} | cycles {} | alloc {} words\n",
+            out.output, out.stats.cycles, out.stats.alloc_words
+        );
+    }
+    println!(
+        "Under sml.ffb the float argument travels in FP registers and the\n\
+         `+ 1.0` works on unboxed values; under sml.nrp every call boxes\n\
+         its float (`fbox`/`funbox` pairs and larger allocation counts\n\
+         in the listing above)."
+    );
+}

@@ -1,0 +1,66 @@
+//! Walks a small program through every phase of the paper's Figure 3
+//! pipeline, printing the intermediate sizes and the final machine code.
+//!
+//! ```sh
+//! cargo run --example pipeline_explorer -- "fun twice f x = f (f x)  val y = twice (fn n => n + 1) 40"
+//! ```
+
+use sml_cps::{close, convert, optimize, OptConfig};
+use sml_lambda::translate;
+use smlc::Variant;
+
+fn main() {
+    let default = "fun twice f x = f (f x)  val y = twice (fn n => n + 1) 40 \
+                   val _ = print (itos y)";
+    let src = std::env::args().nth(1).unwrap_or_else(|| default.to_owned());
+    let variant = Variant::Ffb;
+
+    println!("source ({} bytes):\n{src}\n", src.len());
+
+    let prog = sml_ast::parse(&src).expect("parse");
+    println!("[parse]            {} top-level declarations", prog.decs.len());
+
+    let mut elab = sml_elab::elaborate(&prog).expect("elaborate");
+    println!("[elaborate]        {} typed declarations, {} variables", elab.decs.len(), elab.vars.len());
+
+    sml_elab::minimum_typing(&mut elab);
+    println!("[mtd]              minimum typing derivations applied");
+
+    let mut tr = translate(&elab, &variant.lambda_config());
+    println!(
+        "[translate]        LEXP size {} nodes, {} distinct LTYs, {} coercions ({} identities)",
+        tr.lexp.size(),
+        tr.interner.len(),
+        tr.stats.requests,
+        tr.stats.identities
+    );
+
+    let mut cps = convert(&tr.lexp, &mut tr.interner, tr.n_vars, &variant.cps_config());
+    println!("[cps-convert]      {} CPS operators", cps.body.size());
+
+    let stats = optimize(&mut cps, &OptConfig::default());
+    println!(
+        "[cps-optimize]     {} operators after {} rounds ({} beta, {} inlined, {} dead, {} wrap-pairs cancelled)",
+        cps.body.size(),
+        stats.rounds,
+        stats.beta,
+        stats.inlined,
+        stats.dead,
+        stats.wrap_cancelled
+    );
+
+    let closed = close(cps);
+    println!("[closure-convert]  {} first-order functions", closed.funs.len());
+
+    let machine = sml_vm::codegen(&closed);
+    println!("[codegen]          {} instructions in {} blocks\n", machine.code_size(), machine.blocks.len());
+
+    print!("{machine}");
+
+    let out = sml_vm::run(&machine, &variant.vm_config());
+    println!("\nresult: {:?}   output: {:?}", out.result, out.output);
+    println!(
+        "cycles {}  instrs {}  alloc {} words  gcs {}",
+        out.stats.cycles, out.stats.instrs, out.stats.alloc_words, out.stats.n_gcs
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: compile an SML program with the type-based compiler and
+//! run it on the abstract machine.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use smlc::{compile, Variant, VmResult};
+
+fn main() {
+    let program = r#"
+        (* The paper's running example (section 1): a polymorphic `quad`
+           applied to a monomorphic real function. The type-based
+           compiler wraps `h` so that `f` is called correctly inside
+           `quad`, while direct calls to `h` pass reals in float
+           registers. *)
+        fun quad f x = f (f (f (f x)))
+        fun h (x : real) = x * x * x + x * 2.0 + 1.0
+
+        val direct = h (h 1.05)
+        val wrapped = quad h 1.05
+        val _ = print ("h (h 1.05)    = " ^ rtos direct ^ "\n")
+        val _ = print ("quad h 1.05   = " ^ rtos wrapped ^ "\n")
+
+        fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+        val _ = print ("fib 25        = " ^ itos (fib 25) ^ "\n")
+    "#;
+
+    // `Variant::Ffb` is the paper's best compiler: representation
+    // analysis + minimum typing derivations + unboxed floats.
+    let compiled = compile(program, Variant::Ffb).expect("the program type checks");
+    let outcome = compiled.run();
+
+    print!("{}", outcome.output);
+    match outcome.result {
+        VmResult::Value(_) => {}
+        other => panic!("abnormal termination: {other:?}"),
+    }
+    println!("---");
+    println!("machine code size : {} instructions", compiled.stats.code_size);
+    println!("compile time      : {:?}", compiled.stats.compile_time);
+    println!("cycles executed   : {}", outcome.stats.cycles);
+    println!("heap allocated    : {} words", outcome.stats.alloc_words);
+    println!("collections       : {}", outcome.stats.n_gcs);
+}

@@ -1,0 +1,258 @@
+//! Cross-crate integration tests: drive the full pipeline on programs
+//! exercising several subsystems at once, and property-test the
+//! compiler's end-to-end arithmetic against a Rust oracle.
+
+use smlc::{compile, compile_and_run, Variant, VmResult};
+
+fn output_all_variants(src: &str) -> String {
+    let mut first: Option<String> = None;
+    for v in Variant::all() {
+        let o = compile(src, v).unwrap_or_else(|e| panic!("[{v}] {e}")).run();
+        assert!(
+            matches!(o.result, VmResult::Value(_)),
+            "[{v}] abnormal: {:?}",
+            o.result
+        );
+        match &first {
+            None => first = Some(o.output),
+            Some(f) => assert_eq!(&o.output, f, "[{v}] differs"),
+        }
+    }
+    first.expect("at least one variant")
+}
+
+#[test]
+fn full_pipeline_composition() {
+    // Modules + datatypes + exceptions + floats + higher-order functions
+    // in one program.
+    let out = output_all_variants(
+        r#"
+        signature STACK = sig
+          type 'a t
+          val empty : 'a t
+          val push : 'a * 'a t -> 'a t
+          val pop : 'a t -> 'a * 'a t
+          exception Empty
+        end
+
+        structure ListStack = struct
+          type 'a t = 'a list
+          exception Empty
+          val empty = nil
+          fun push (x, s) = x :: s
+          fun pop nil = raise Empty
+            | pop (x :: s) = (x, s)
+        end
+
+        functor Calc (S : STACK) = struct
+          fun eval ops =
+            let
+              fun go (nil, s) = let val (r, _) = S.pop s in r end
+                | go (1 :: rest, s) =
+                    let
+                      val (a, s1) = S.pop s
+                      val (b, s2) = S.pop s1
+                    in go (rest, S.push (a + b, s2)) end
+                | go (2 :: rest, s) =
+                    let
+                      val (a, s1) = S.pop s
+                      val (b, s2) = S.pop s1
+                    in go (rest, S.push (a * b, s2)) end
+                | go (n :: rest, s) = go (rest, S.push (n, s))
+            in
+              go (ops, S.empty)
+            end
+        end
+
+        structure C = Calc (ListStack)
+        (* 10 20 + 3 *  => 90  (operands are encoded as >2) *)
+        val r = C.eval [10, 20, 1, 3, 2]
+        val oops = C.eval [1] handle ListStack.Empty => ~1
+        val _ = print (itos r ^ " " ^ itos oops ^ "\n")
+    "#,
+    );
+    assert_eq!(out, "90 -1\n");
+}
+
+#[test]
+fn closures_capture_floats() {
+    let out = output_all_variants(
+        r#"
+        fun make_adder (x : real) = fn y => x + y
+        val add3 = make_adder 3.5
+        val adders = [make_adder 1.0, make_adder 2.0, add3]
+        fun total nil = 0.0 | total (f :: r) = f 10.0 + total r
+        val _ = print (rtos (total adders) ^ "\n")
+    "#,
+    );
+    assert_eq!(out, "36.5\n");
+}
+
+#[test]
+fn callcc_escapes_through_modules() {
+    let out = output_all_variants(
+        r#"
+        fun appf f nil = () | appf f (x :: r) = (f x; appf f r)
+        structure K = struct
+          fun first_leq (limit : int) l =
+            callcc (fn k =>
+              (appf (fn x => if x <= limit then throw k x else ()) l; ~1))
+        end
+        val a = K.first_leq 3 [9, 7, 2, 8]
+        val b = K.first_leq 0 [9, 7, 2, 8]
+        val _ = print (itos a ^ " " ^ itos b ^ "\n")
+    "#,
+    );
+    assert_eq!(out, "2 -1\n");
+}
+
+#[test]
+fn deep_recursion_allocates_and_collects() {
+    let src = r#"
+        fun down 0 = nil | down n = n :: down (n - 1)
+        fun sum nil = 0 | sum (x :: r) = x + sum r
+        fun iter (0, acc) = acc | iter (k, acc) = iter (k - 1, acc + sum (down 500))
+        val _ = print (itos (iter (200, 0)) ^ "\n")
+    "#;
+    let c = compile(src, Variant::Ffb).unwrap();
+    let o = c.run();
+    assert_eq!(o.output, format!("{}\n", 200i64 * (500 * 501 / 2)));
+    assert!(o.stats.n_gcs > 0, "the workload must trigger collections");
+}
+
+#[test]
+fn compile_and_run_helper() {
+    let o = compile_and_run("val _ = print (itos (6 * 7))").unwrap();
+    assert_eq!(o.output, "42");
+}
+
+#[test]
+fn compile_errors_render_with_locations() {
+    let err = compile("val x = unknown", Variant::Ffb).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("unbound"), "got: {msg}");
+    assert!(msg.contains("1:"), "location rendered: {msg}");
+}
+
+// ----- property tests against a Rust oracle ---------------------------------
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A tiny arithmetic-expression AST shared by the SML pretty-printer
+    /// and the Rust oracle.
+    #[derive(Debug, Clone)]
+    enum E {
+        Lit(i32),
+        Add(Box<E>, Box<E>),
+        Sub(Box<E>, Box<E>),
+        Mul(Box<E>, Box<E>),
+        IfLt(Box<E>, Box<E>, Box<E>, Box<E>),
+    }
+
+    fn arb_e() -> impl Strategy<Value = E> {
+        let leaf = (-50i32..50).prop_map(E::Lit);
+        leaf.prop_recursive(4, 24, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone(), inner.clone(), inner)
+                    .prop_map(|(a, b, c, d)| E::IfLt(
+                        Box::new(a),
+                        Box::new(b),
+                        Box::new(c),
+                        Box::new(d)
+                    )),
+            ]
+        })
+    }
+
+    fn to_sml(e: &E) -> String {
+        match e {
+            E::Lit(n) => {
+                if *n < 0 {
+                    format!("~{}", -(*n as i64))
+                } else {
+                    n.to_string()
+                }
+            }
+            E::Add(a, b) => format!("({} + {})", to_sml(a), to_sml(b)),
+            E::Sub(a, b) => format!("({} - {})", to_sml(a), to_sml(b)),
+            E::Mul(a, b) => format!("({} * {})", to_sml(a), to_sml(b)),
+            E::IfLt(a, b, c, d) => format!(
+                "(if {} < {} then {} else {})",
+                to_sml(a),
+                to_sml(b),
+                to_sml(c),
+                to_sml(d)
+            ),
+        }
+    }
+
+    /// Oracle with wrapping semantics matching 31-bit tagged ints is not
+    /// needed: values stay small enough with depth 4 and |lit| < 50 that
+    /// i64 arithmetic is exact... except Mul chains; clamp via i64.
+    fn eval(e: &E) -> i64 {
+        match e {
+            E::Lit(n) => *n as i64,
+            E::Add(a, b) => eval(a).wrapping_add(eval(b)),
+            E::Sub(a, b) => eval(a).wrapping_sub(eval(b)),
+            E::Mul(a, b) => eval(a).wrapping_mul(eval(b)),
+            E::IfLt(a, b, c, d) => {
+                if eval(a) < eval(b) {
+                    eval(c)
+                } else {
+                    eval(d)
+                }
+            }
+        }
+    }
+
+    fn fits_31(e: &E) -> bool {
+        // Reject expressions whose any subterm exceeds the tagged range.
+        fn go(e: &E) -> Option<i64> {
+            let v = match e {
+                E::Lit(n) => *n as i64,
+                E::Add(a, b) => go(a)?.checked_add(go(b)?)?,
+                E::Sub(a, b) => go(a)?.checked_sub(go(b)?)?,
+                E::Mul(a, b) => go(a)?.checked_mul(go(b)?)?,
+                E::IfLt(a, b, c, d) => {
+                    go(a)?;
+                    go(b)?;
+                    let c = go(c)?;
+                    let d = go(d)?;
+                    if c.abs() > d.abs() {
+                        c
+                    } else {
+                        d
+                    }
+                }
+            };
+            if v.abs() < (1 << 30) {
+                Some(v)
+            } else {
+                None
+            }
+        }
+        go(e).is_some()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn compiled_arithmetic_matches_oracle(e in arb_e().prop_filter("fits", fits_31)) {
+            let src = format!("val _ = print (itos {})", to_sml(&e));
+            let expect = eval(&e).to_string();
+            // nrp and ffb bracket the variant space.
+            for v in [Variant::Nrp, Variant::Ffb] {
+                let o = compile(&src, v).unwrap().run();
+                prop_assert_eq!(&o.output, &expect, "variant {}", v.name());
+            }
+        }
+    }
+}
