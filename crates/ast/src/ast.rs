@@ -21,7 +21,10 @@ pub struct Path {
 impl Path {
     /// An unqualified path.
     pub fn simple(name: Symbol) -> Path {
-        Path { qualifiers: Vec::new(), name }
+        Path {
+            qualifiers: Vec::new(),
+            name,
+        }
     }
 
     /// True if the path has no qualifiers.

@@ -35,7 +35,10 @@ struct Interner {
 fn interner() -> &'static Mutex<Interner> {
     static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        Mutex::new(Interner { map: HashMap::new(), strings: Vec::new() })
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
     })
 }
 

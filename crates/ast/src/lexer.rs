@@ -14,8 +14,25 @@ use crate::token::{Token, TokenKind};
 fn is_sym_char(c: char) -> bool {
     matches!(
         c,
-        '!' | '%' | '&' | '$' | '#' | '+' | '-' | '/' | ':' | '<' | '=' | '>' | '?' | '@'
-            | '\\' | '~' | '`' | '^' | '|' | '*'
+        '!' | '%'
+            | '&'
+            | '$'
+            | '#'
+            | '+'
+            | '-'
+            | '/'
+            | ':'
+            | '<'
+            | '='
+            | '>'
+            | '?'
+            | '@'
+            | '\\'
+            | '~'
+            | '`'
+            | '^'
+            | '|'
+            | '*'
     )
 }
 
@@ -74,7 +91,10 @@ impl<'src> Lexer<'src> {
     }
 
     fn err(&self, at: usize, msg: impl Into<String>) -> ParseError {
-        ParseError { span: Span::new(at as u32, self.pos as u32), msg: msg.into() }
+        ParseError {
+            span: Span::new(at as u32, self.pos as u32),
+            msg: msg.into(),
+        }
     }
 
     fn skip_trivia(&mut self) -> ParseResult<()> {
@@ -132,7 +152,9 @@ impl<'src> Lexer<'src> {
         // `#"c"` char literal; bare `#` is the record selector.
         if c == '#' && self.peek2() == Some('"') {
             self.bump();
-            let TokenKind::Str(s) = self.lex_string(start)? else { unreachable!() };
+            let TokenKind::Str(s) = self.lex_string(start)? else {
+                unreachable!()
+            };
             if s.len() != 1 {
                 return Err(self.err(start, "character literal must have length 1"));
             }
@@ -247,13 +269,21 @@ impl<'src> Lexer<'src> {
         let text: String = self.src[start..self.pos].replace('~', "-");
         let span = Span::new(start as u32, self.pos as u32);
         if is_real {
-            let x: f64 =
-                text.parse().map_err(|_| self.err(start, format!("bad real literal {text}")))?;
-            Ok(Token { kind: TokenKind::Real(x), span })
+            let x: f64 = text
+                .parse()
+                .map_err(|_| self.err(start, format!("bad real literal {text}")))?;
+            Ok(Token {
+                kind: TokenKind::Real(x),
+                span,
+            })
         } else {
-            let n: i64 =
-                text.parse().map_err(|_| self.err(start, format!("bad int literal {text}")))?;
-            Ok(Token { kind: TokenKind::Int(n), span })
+            let n: i64 = text
+                .parse()
+                .map_err(|_| self.err(start, format!("bad int literal {text}")))?;
+            Ok(Token {
+                kind: TokenKind::Int(n),
+                span,
+            })
         }
     }
 
@@ -294,9 +324,7 @@ impl<'src> Lexer<'src> {
                             return Err(self.err(start, "bad string gap"));
                         }
                     }
-                    other => {
-                        return Err(self.err(start, format!("bad string escape {other:?}")))
-                    }
+                    other => return Err(self.err(start, format!("bad string escape {other:?}"))),
                 },
                 Some(c) => out.push(c),
             }
@@ -345,7 +373,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -380,7 +413,14 @@ mod tests {
     #[test]
     fn tilde_alone_is_symbolic() {
         use TokenKind::*;
-        assert_eq!(kinds("~ x"), vec![SymIdent(Symbol::intern("~")), Ident(Symbol::intern("x")), Eof]);
+        assert_eq!(
+            kinds("~ x"),
+            vec![
+                SymIdent(Symbol::intern("~")),
+                Ident(Symbol::intern("x")),
+                Eof
+            ]
+        );
     }
 
     #[test]
@@ -411,7 +451,10 @@ mod tests {
 
     #[test]
     fn nested_comments() {
-        assert_eq!(kinds("(* a (* b *) c *) 1"), vec![TokenKind::Int(1), TokenKind::Eof]);
+        assert_eq!(
+            kinds("(* a (* b *) c *) 1"),
+            vec![TokenKind::Int(1), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -422,31 +465,48 @@ mod tests {
     #[test]
     fn dots_and_punct() {
         use TokenKind::*;
-        assert_eq!(kinds("S.x"), vec![Ident(Symbol::intern("S")), Dot, Ident(Symbol::intern("x")), Eof]);
-        assert_eq!(kinds("{a=1, ...}"), vec![
-            LBrace,
-            Ident(Symbol::intern("a")),
-            Equals,
-            Int(1),
-            Comma,
-            DotDotDot,
-            RBrace,
-            Eof
-        ]);
+        assert_eq!(
+            kinds("S.x"),
+            vec![
+                Ident(Symbol::intern("S")),
+                Dot,
+                Ident(Symbol::intern("x")),
+                Eof
+            ]
+        );
+        assert_eq!(
+            kinds("{a=1, ...}"),
+            vec![
+                LBrace,
+                Ident(Symbol::intern("a")),
+                Equals,
+                Int(1),
+                Comma,
+                DotDotDot,
+                RBrace,
+                Eof
+            ]
+        );
     }
 
     #[test]
     fn tyvars() {
         use TokenKind::*;
-        assert_eq!(kinds("'a ''b"), vec![
-            TyVar(Symbol::intern("'a")),
-            TyVar(Symbol::intern("''b")),
-            Eof
-        ]);
+        assert_eq!(
+            kinds("'a ''b"),
+            vec![
+                TyVar(Symbol::intern("'a")),
+                TyVar(Symbol::intern("''b")),
+                Eof
+            ]
+        );
     }
 
     #[test]
     fn string_gap() {
-        assert_eq!(kinds("\"ab\\   \\cd\""), vec![TokenKind::Str("abcd".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("\"ab\\   \\cd\""),
+            vec![TokenKind::Str("abcd".into()), TokenKind::Eof]
+        );
     }
 }

@@ -99,7 +99,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> ParseResult<T> {
-        Err(ParseError { span: self.span(), msg: msg.into() })
+        Err(ParseError {
+            span: self.span(),
+            msg: msg.into(),
+        })
     }
 
     fn expect(&mut self, kind: TokenKind) -> ParseResult<()> {
@@ -156,10 +159,15 @@ impl Parser {
                     first = *s;
                     self.bump();
                 }
-                other => return self.err(format!("expected identifier after `.`, found `{other}`")),
+                other => {
+                    return self.err(format!("expected identifier after `.`, found `{other}`"))
+                }
             }
         }
-        Ok(Path { qualifiers: quals, name: first })
+        Ok(Path {
+            qualifiers: quals,
+            name: first,
+        })
     }
 
     // ----- programs and declarations -------------------------------------
@@ -193,7 +201,11 @@ impl Parser {
                         let rules = self.match_rules()?;
                         let clauses = rules
                             .into_iter()
-                            .map(|r| Clause { pats: vec![r.pat], ret_ty: None, body: r.exp })
+                            .map(|r| Clause {
+                                pats: vec![r.pat],
+                                ret_ty: None,
+                                body: r.exp,
+                            })
                             .collect();
                         funs.push(FunBind { name, clauses });
                         if !self.eat(TokenKind::And) {
@@ -211,7 +223,11 @@ impl Parser {
                         self.expect(TokenKind::Equals)?;
                         let exp = self.exp()?;
                         out.push(Dec {
-                            kind: DecKind::Val { tyvars: tyvars.clone(), pat, exp },
+                            kind: DecKind::Val {
+                                tyvars: tyvars.clone(),
+                                pat,
+                                exp,
+                            },
                             span: start.to(self.prev_span()),
                         });
                         if !self.eat(TokenKind::And) {
@@ -248,7 +264,10 @@ impl Parser {
                         break;
                     }
                 }
-                out.push(Dec { kind: DecKind::Type(binds), span: start.to(self.prev_span()) });
+                out.push(Dec {
+                    kind: DecKind::Type(binds),
+                    span: start.to(self.prev_span()),
+                });
             }
             TokenKind::Datatype => {
                 self.bump();
@@ -259,20 +278,30 @@ impl Parser {
                         break;
                     }
                 }
-                out.push(Dec { kind: DecKind::Datatype(binds), span: start.to(self.prev_span()) });
+                out.push(Dec {
+                    kind: DecKind::Datatype(binds),
+                    span: start.to(self.prev_span()),
+                });
             }
             TokenKind::Exception => {
                 self.bump();
                 let mut binds = Vec::new();
                 loop {
                     let name = self.vid()?;
-                    let ty = if self.eat(TokenKind::Of) { Some(self.ty()?) } else { None };
+                    let ty = if self.eat(TokenKind::Of) {
+                        Some(self.ty()?)
+                    } else {
+                        None
+                    };
                     binds.push(ExBind { name, ty });
                     if !self.eat(TokenKind::And) {
                         break;
                     }
                 }
-                out.push(Dec { kind: DecKind::Exception(binds), span: start.to(self.prev_span()) });
+                out.push(Dec {
+                    kind: DecKind::Exception(binds),
+                    span: start.to(self.prev_span()),
+                });
             }
             TokenKind::Structure | TokenKind::Abstraction => {
                 let is_abstraction = self.bump() == TokenKind::Abstraction;
@@ -290,12 +319,19 @@ impl Parser {
                     };
                     self.expect(TokenKind::Equals)?;
                     let def = self.strexp()?;
-                    binds.push(StrBind { name, ascription, def });
+                    binds.push(StrBind {
+                        name,
+                        ascription,
+                        def,
+                    });
                     if !self.eat(TokenKind::And) {
                         break;
                     }
                 }
-                out.push(Dec { kind: DecKind::Structure(binds), span: start.to(self.prev_span()) });
+                out.push(Dec {
+                    kind: DecKind::Structure(binds),
+                    span: start.to(self.prev_span()),
+                });
             }
             TokenKind::Signature => {
                 self.bump();
@@ -309,7 +345,10 @@ impl Parser {
                         break;
                     }
                 }
-                out.push(Dec { kind: DecKind::Signature(binds), span: start.to(self.prev_span()) });
+                out.push(Dec {
+                    kind: DecKind::Signature(binds),
+                    span: start.to(self.prev_span()),
+                });
             }
             TokenKind::Functor => {
                 self.bump();
@@ -330,12 +369,21 @@ impl Parser {
                     };
                     self.expect(TokenKind::Equals)?;
                     let body = self.strexp()?;
-                    binds.push(FctBind { name, param, param_sig, result_sig, body });
+                    binds.push(FctBind {
+                        name,
+                        param,
+                        param_sig,
+                        result_sig,
+                        body,
+                    });
                     if !self.eat(TokenKind::And) {
                         break;
                     }
                 }
-                out.push(Dec { kind: DecKind::Functor(binds), span: start.to(self.prev_span()) });
+                out.push(Dec {
+                    kind: DecKind::Functor(binds),
+                    span: start.to(self.prev_span()),
+                });
             }
             other => return self.err(format!("expected declaration, found `{other}`")),
         }
@@ -381,15 +429,17 @@ impl Parser {
         loop {
             let cname = self.vid()?;
             if cname != name {
-                return self.err(format!(
-                    "clauses of `{name}` may not switch to `{cname}`"
-                ));
+                return self.err(format!("clauses of `{name}` may not switch to `{cname}`"));
             }
             let mut pats = vec![self.atpat()?];
             while self.at_atpat() {
                 pats.push(self.atpat()?);
             }
-            let ret_ty = if self.eat(TokenKind::Colon) { Some(self.ty()?) } else { None };
+            let ret_ty = if self.eat(TokenKind::Colon) {
+                Some(self.ty()?)
+            } else {
+                None
+            };
             self.expect(TokenKind::Equals)?;
             let body = self.exp()?;
             clauses.push(Clause { pats, ret_ty, body });
@@ -407,7 +457,11 @@ impl Parser {
         let mut cons = Vec::new();
         loop {
             let cname = self.vid()?;
-            let ty = if self.eat(TokenKind::Of) { Some(self.ty()?) } else { None };
+            let ty = if self.eat(TokenKind::Of) {
+                Some(self.ty()?)
+            } else {
+                None
+            };
             cons.push((cname, ty));
             if !self.eat(TokenKind::Bar) {
                 break;
@@ -493,8 +547,17 @@ impl Parser {
                 let eq = self.bump() == TokenKind::Eqtype;
                 let tyvars = self.tyvarseq()?;
                 let name = self.ident()?;
-                let def = if self.eat(TokenKind::Equals) { Some(self.ty()?) } else { None };
-                Ok(Spec::Type { tyvars, name, eq, def })
+                let def = if self.eat(TokenKind::Equals) {
+                    Some(self.ty()?)
+                } else {
+                    None
+                };
+                Ok(Spec::Type {
+                    tyvars,
+                    name,
+                    eq,
+                    def,
+                })
             }
             TokenKind::Datatype => {
                 self.bump();
@@ -503,7 +566,11 @@ impl Parser {
             TokenKind::Exception => {
                 self.bump();
                 let name = self.vid()?;
-                let ty = if self.eat(TokenKind::Of) { Some(self.ty()?) } else { None };
+                let ty = if self.eat(TokenKind::Of) {
+                    Some(self.ty()?)
+                } else {
+                    None
+                };
                 Ok(Spec::Exception(name, ty))
             }
             TokenKind::Structure => {
@@ -543,7 +610,10 @@ impl Parser {
                 self.bump();
                 parts.push(self.ty_app()?);
             }
-            Ok(Ty { kind: TyKind::Tuple(parts), span: start.to(self.prev_span()) })
+            Ok(Ty {
+                kind: TyKind::Tuple(parts),
+                span: start.to(self.prev_span()),
+            })
         } else {
             Ok(first)
         }
@@ -590,7 +660,10 @@ impl Parser {
         let mut t = args.pop().expect("one atom");
         while matches!(self.peek(), TokenKind::Ident(_)) {
             let p = self.path()?;
-            t = Ty { kind: TyKind::Con(p, vec![t]), span: start.to(self.prev_span()) };
+            t = Ty {
+                kind: TyKind::Con(p, vec![t]),
+                span: start.to(self.prev_span()),
+            };
         }
         Ok(t)
     }
@@ -600,11 +673,17 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::TyVar(s) => {
                 self.bump();
-                Ok(Ty { kind: TyKind::Var(s), span: start })
+                Ok(Ty {
+                    kind: TyKind::Var(s),
+                    span: start,
+                })
             }
             TokenKind::Ident(_) => {
                 let p = self.path()?;
-                Ok(Ty { kind: TyKind::Con(p, Vec::new()), span: start.to(self.prev_span()) })
+                Ok(Ty {
+                    kind: TyKind::Con(p, Vec::new()),
+                    span: start.to(self.prev_span()),
+                })
             }
             TokenKind::LBrace => {
                 self.bump();
@@ -620,7 +699,10 @@ impl Parser {
                     }
                     self.expect(TokenKind::RBrace)?;
                 }
-                Ok(Ty { kind: TyKind::Record(fields), span: start.to(self.prev_span()) })
+                Ok(Ty {
+                    kind: TyKind::Record(fields),
+                    span: start.to(self.prev_span()),
+                })
             }
             other => self.err(format!("expected type, found `{other}`")),
         }
@@ -745,7 +827,10 @@ impl Parser {
             TokenKind::Op => {
                 self.bump();
                 let v = self.vid()?;
-                Ok(mk(PatKind::Var(Path::simple(v)), start.to(self.prev_span())))
+                Ok(mk(
+                    PatKind::Var(Path::simple(v)),
+                    start.to(self.prev_span()),
+                ))
             }
             TokenKind::Ident(_) => {
                 let p = self.path()?;
@@ -815,7 +900,10 @@ impl Parser {
                     }
                     self.expect(TokenKind::RBrace)?;
                 }
-                Ok(mk(PatKind::Record { fields, flexible }, start.to(self.prev_span())))
+                Ok(mk(
+                    PatKind::Record { fields, flexible },
+                    start.to(self.prev_span()),
+                ))
             }
             other => self.err(format!("expected pattern, found `{other}`")),
         }
@@ -862,14 +950,20 @@ impl Parser {
                 let c = self.exp()?;
                 self.expect(TokenKind::Do)?;
                 let b = self.exp()?;
-                Ok(mk(ExpKind::While(Box::new(c), Box::new(b)), start.to(self.prev_span())))
+                Ok(mk(
+                    ExpKind::While(Box::new(c), Box::new(b)),
+                    start.to(self.prev_span()),
+                ))
             }
             TokenKind::Case => {
                 self.bump();
                 let scrut = self.exp()?;
                 self.expect(TokenKind::Of)?;
                 let rules = self.match_rules()?;
-                Ok(mk(ExpKind::Case(Box::new(scrut), rules), start.to(self.prev_span())))
+                Ok(mk(
+                    ExpKind::Case(Box::new(scrut), rules),
+                    start.to(self.prev_span()),
+                ))
             }
             TokenKind::Fn => {
                 self.bump();
@@ -956,9 +1050,18 @@ impl Parser {
             let next_min = if right { prec } else { prec + 1 };
             let rhs = self.exp_infix(next_min)?;
             let span = start.to(self.prev_span());
-            let opexp = Exp { kind: ExpKind::Var(Path::simple(sym)), span: op_span };
-            let pair = Exp { kind: ExpKind::Tuple(vec![lhs, rhs]), span };
-            lhs = Exp { kind: ExpKind::App(Box::new(opexp), Box::new(pair)), span };
+            let opexp = Exp {
+                kind: ExpKind::Var(Path::simple(sym)),
+                span: op_span,
+            };
+            let pair = Exp {
+                kind: ExpKind::Tuple(vec![lhs, rhs]),
+                span,
+            };
+            lhs = Exp {
+                kind: ExpKind::App(Box::new(opexp), Box::new(pair)),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -1017,7 +1120,10 @@ impl Parser {
             TokenKind::Op => {
                 self.bump();
                 let v = self.vid()?;
-                Ok(mk(ExpKind::Var(Path::simple(v)), start.to(self.prev_span())))
+                Ok(mk(
+                    ExpKind::Var(Path::simple(v)),
+                    start.to(self.prev_span()),
+                ))
             }
             TokenKind::Ident(_) => {
                 let p = self.path()?;
@@ -1051,7 +1157,10 @@ impl Parser {
                 let body = if body.len() == 1 {
                     body.pop().expect("one body expression")
                 } else {
-                    Exp { kind: ExpKind::Seq(body), span }
+                    Exp {
+                        kind: ExpKind::Seq(body),
+                        span,
+                    }
                 };
                 Ok(mk(ExpKind::Let(decs, Box::new(body)), span))
             }
@@ -1140,20 +1249,30 @@ mod tests {
     fn precedence() {
         // 1 + 2 * 3 parses as 1 + (2 * 3).
         let exp = e("1 + 2 * 3");
-        let ExpKind::App(f, arg) = &exp.kind else { panic!("expected app") };
+        let ExpKind::App(f, arg) = &exp.kind else {
+            panic!("expected app")
+        };
         assert_eq!(var(f).unwrap().name.as_str(), "+");
-        let ExpKind::Tuple(parts) = &arg.kind else { panic!("expected pair") };
+        let ExpKind::Tuple(parts) = &arg.kind else {
+            panic!("expected pair")
+        };
         assert!(matches!(parts[0].kind, ExpKind::Int(1)));
-        let ExpKind::App(g, _) = &parts[1].kind else { panic!("expected nested app") };
+        let ExpKind::App(g, _) = &parts[1].kind else {
+            panic!("expected nested app")
+        };
         assert_eq!(var(g).unwrap().name.as_str(), "*");
     }
 
     #[test]
     fn cons_is_right_assoc() {
         let exp = e("1 :: 2 :: nil");
-        let ExpKind::App(f, arg) = &exp.kind else { panic!() };
+        let ExpKind::App(f, arg) = &exp.kind else {
+            panic!()
+        };
         assert_eq!(var(f).unwrap().name.as_str(), "::");
-        let ExpKind::Tuple(parts) = &arg.kind else { panic!() };
+        let ExpKind::Tuple(parts) = &arg.kind else {
+            panic!()
+        };
         assert!(matches!(parts[0].kind, ExpKind::Int(1)));
         assert!(matches!(parts[1].kind, ExpKind::App(..)));
     }
@@ -1162,9 +1281,13 @@ mod tests {
     fn application_binds_tighter_than_infix() {
         // f x + g y = (f x) + (g y)
         let exp = e("f x + g y");
-        let ExpKind::App(op, arg) = &exp.kind else { panic!() };
+        let ExpKind::App(op, arg) = &exp.kind else {
+            panic!()
+        };
         assert_eq!(var(op).unwrap().name.as_str(), "+");
-        let ExpKind::Tuple(parts) = &arg.kind else { panic!() };
+        let ExpKind::Tuple(parts) = &arg.kind else {
+            panic!()
+        };
         assert!(matches!(parts[0].kind, ExpKind::App(..)));
         assert!(matches!(parts[1].kind, ExpKind::App(..)));
     }
@@ -1172,14 +1295,18 @@ mod tests {
     #[test]
     fn if_and_case_and_fn() {
         assert!(matches!(e("if a then b else c").kind, ExpKind::If(..)));
-        assert!(matches!(e("case x of 1 => a | _ => b").kind, ExpKind::Case(_, ref r) if r.len() == 2));
+        assert!(
+            matches!(e("case x of 1 => a | _ => b").kind, ExpKind::Case(_, ref r) if r.len() == 2)
+        );
         assert!(matches!(e("fn x => x").kind, ExpKind::Fn(ref r) if r.len() == 1));
     }
 
     #[test]
     fn let_with_sequence_body() {
         let exp = e("let val x = 1 in f x; g x end");
-        let ExpKind::Let(decs, body) = &exp.kind else { panic!() };
+        let ExpKind::Let(decs, body) = &exp.kind else {
+            panic!()
+        };
         assert_eq!(decs.len(), 1);
         assert!(matches!(body.kind, ExpKind::Seq(ref es) if es.len() == 2));
     }
@@ -1194,7 +1321,9 @@ mod tests {
     #[test]
     fn selectors_and_records() {
         let exp = e("#2 (1, 2.5)");
-        let ExpKind::App(f, _) = &exp.kind else { panic!() };
+        let ExpKind::App(f, _) = &exp.kind else {
+            panic!()
+        };
         assert!(matches!(f.kind, ExpKind::Selector(s) if s.as_numeric() == Some(2)));
         let exp = e("{a = 1, b = 2.0}");
         assert!(matches!(exp.kind, ExpKind::Record(ref fs) if fs.len() == 2));
@@ -1211,7 +1340,9 @@ mod tests {
     #[test]
     fn fun_clauses() {
         let prog = parse("fun fib 0 = 0 | fib 1 = 1 | fib n = fib (n-1) + fib (n-2)").unwrap();
-        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else { panic!() };
+        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else {
+            panic!()
+        };
         assert_eq!(funs[0].clauses.len(), 3);
         assert_eq!(funs[0].name.as_str(), "fib");
     }
@@ -1219,21 +1350,27 @@ mod tests {
     #[test]
     fn curried_fun() {
         let prog = parse("fun add x y = x + y").unwrap();
-        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else { panic!() };
+        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else {
+            panic!()
+        };
         assert_eq!(funs[0].clauses[0].pats.len(), 2);
     }
 
     #[test]
     fn val_rec_desugars() {
         let prog = parse("val rec f = fn 0 => 1 | n => n * f (n-1)").unwrap();
-        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else { panic!() };
+        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else {
+            panic!()
+        };
         assert_eq!(funs[0].clauses.len(), 2);
     }
 
     #[test]
     fn datatype_decl() {
         let prog = parse("datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree").unwrap();
-        let DecKind::Datatype(binds) = &prog.decs[0].kind else { panic!() };
+        let DecKind::Datatype(binds) = &prog.decs[0].kind else {
+            panic!()
+        };
         assert_eq!(binds[0].cons.len(), 2);
         assert_eq!(binds[0].tyvars.len(), 1);
     }
@@ -1247,8 +1384,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(prog.decs.len(), 3);
-        let DecKind::Structure(binds) = &prog.decs[2].kind else { panic!() };
-        assert!(binds[0].ascription.as_ref().unwrap().1, "abstraction is opaque");
+        let DecKind::Structure(binds) = &prog.decs[2].kind else {
+            panic!()
+        };
+        assert!(
+            binds[0].ascription.as_ref().unwrap().1,
+            "abstraction is opaque"
+        );
     }
 
     #[test]
@@ -1258,9 +1400,13 @@ mod tests {
              structure A = F (B)",
         )
         .unwrap();
-        let DecKind::Functor(f) = &prog.decs[0].kind else { panic!() };
+        let DecKind::Functor(f) = &prog.decs[0].kind else {
+            panic!()
+        };
         assert_eq!(f[0].param.as_str(), "X");
-        let DecKind::Structure(binds) = &prog.decs[1].kind else { panic!() };
+        let DecKind::Structure(binds) = &prog.decs[1].kind else {
+            panic!()
+        };
         assert!(matches!(binds[0].def, StrExp::App(..)));
     }
 
@@ -1269,17 +1415,23 @@ mod tests {
         let prog = parse("val f = fn x => x : (int * real) list -> int list").unwrap();
         assert_eq!(prog.decs.len(), 1);
         let prog = parse("type 'a pair = 'a * 'a").unwrap();
-        let DecKind::Type(t) = &prog.decs[0].kind else { panic!() };
+        let DecKind::Type(t) = &prog.decs[0].kind else {
+            panic!()
+        };
         assert!(matches!(t[0].ty.kind, TyKind::Tuple(_)));
     }
 
     #[test]
     fn list_patterns_and_layered() {
         let prog = parse("fun f (x :: rest) = x | f [] = 0").unwrap();
-        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else { panic!() };
+        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else {
+            panic!()
+        };
         assert!(matches!(funs[0].clauses[0].pats[0].kind, PatKind::Con(..)));
         let prog = parse("val l as (x :: _) = [1]").unwrap();
-        let DecKind::Val { pat, .. } = &prog.decs[0].kind else { panic!() };
+        let DecKind::Val { pat, .. } = &prog.decs[0].kind else {
+            panic!()
+        };
         assert!(matches!(pat.kind, PatKind::As(..)));
     }
 
@@ -1293,7 +1445,9 @@ mod tests {
     fn andalso_orelse_layering() {
         // a orelse b andalso c  =  a orelse (b andalso c)
         let exp = e("a orelse b andalso c");
-        let ExpKind::Orelse(_, rhs) = &exp.kind else { panic!() };
+        let ExpKind::Orelse(_, rhs) = &exp.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExpKind::Andalso(..)));
     }
 
@@ -1309,7 +1463,9 @@ mod tests {
         let exp = e("foldl (op +) 0 xs");
         assert!(matches!(exp.kind, ExpKind::App(..)));
         let prog = parse("fun op @ (xs, ys) = xs").unwrap();
-        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else { panic!() };
+        let DecKind::Fun { funs, .. } = &prog.decs[0].kind else {
+            panic!()
+        };
         assert_eq!(funs[0].name.as_str(), "@");
     }
 

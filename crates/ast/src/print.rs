@@ -373,7 +373,11 @@ fn tyvarseq(tvs: &[crate::Symbol], out: &mut String) {
 
 fn print_dec(d: &Dec, out: &mut String) {
     match &d.kind {
-        DecKind::Val { tyvars, pat: p, exp: e } => {
+        DecKind::Val {
+            tyvars,
+            pat: p,
+            exp: e,
+        } => {
             out.push_str("val ");
             tyvarseq(tyvars, out);
             pat(p, out);
@@ -546,7 +550,12 @@ fn spec(sp: &Spec, out: &mut String) {
             out.push_str(" : ");
             ty(t, out);
         }
-        Spec::Type { tyvars, name, eq, def } => {
+        Spec::Type {
+            tyvars,
+            name,
+            eq,
+            def,
+        } => {
             out.push_str(if *eq { "eqtype " } else { "type " });
             tyvarseq(tyvars, out);
             out.push_str(name.as_str());

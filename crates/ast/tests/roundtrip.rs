@@ -8,8 +8,12 @@ use sml_ast::{parse, print_program};
 fn roundtrip(src: &str) {
     let p1 = parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
     let printed = print_program(&p1);
-    let p2 = parse(&printed)
-        .unwrap_or_else(|e| panic!("reparse failed: {}\n--- printed:\n{printed}", e.render(&printed)));
+    let p2 = parse(&printed).unwrap_or_else(|e| {
+        panic!(
+            "reparse failed: {}\n--- printed:\n{printed}",
+            e.render(&printed)
+        )
+    });
     let printed2 = print_program(&p2);
     assert_eq!(printed, printed2, "printing is not a fixpoint for:\n{src}");
 }
@@ -84,38 +88,39 @@ fn benchmarks_roundtrip() {
 
 mod props {
     use super::*;
-    use proptest::prelude::*;
+    use sml_testkit::{run_cases, Rng};
 
     /// Generated well-formed expressions (a subset of the grammar).
-    fn arb_exp() -> impl Strategy<Value = String> {
-        let leaf = prop_oneof![
-            (0i64..1000).prop_map(|n| n.to_string()),
-            (0i64..1000).prop_map(|n| format!("~{n}")),
-            "[a-d]".prop_map(|v| v),
-            Just("1.5".to_owned()),
-            Just("\"s\"".to_owned()),
-        ];
-        leaf.prop_recursive(3, 20, 3, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}, {b})")),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| format!("(if {a} < {b} then {a} else {b})")),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} {b})")),
-                inner.clone().prop_map(|a| format!("(fn x => {a})")),
-                inner
-                    .clone()
-                    .prop_map(|a| format!("(let val y = {a} in y end)")),
-                (inner.clone(), inner).prop_map(|(a, b)| format!("[{a}, {b}]")),
-            ]
-        })
+    fn gen_exp(rng: &mut Rng, depth: usize) -> String {
+        if depth == 0 || rng.range_usize(0, 10) < 3 {
+            return match rng.range_usize(0, 5) {
+                0 => rng.range_i64(0, 1000).to_string(),
+                1 => format!("~{}", rng.range_i64(0, 1000)),
+                2 => ((b'a' + rng.range_usize(0, 4) as u8) as char).to_string(),
+                3 => "1.5".to_owned(),
+                _ => "\"s\"".to_owned(),
+            };
+        }
+        let d = depth - 1;
+        match rng.range_usize(0, 7) {
+            0 => format!("({} + {})", gen_exp(rng, d), gen_exp(rng, d)),
+            1 => format!("({}, {})", gen_exp(rng, d), gen_exp(rng, d)),
+            2 => {
+                let (a, b) = (gen_exp(rng, d), gen_exp(rng, d));
+                format!("(if {a} < {b} then {a} else {b})")
+            }
+            3 => format!("({} {})", gen_exp(rng, d), gen_exp(rng, d)),
+            4 => format!("(fn x => {})", gen_exp(rng, d)),
+            5 => format!("(let val y = {} in y end)", gen_exp(rng, d)),
+            _ => format!("[{}, {}]", gen_exp(rng, d), gen_exp(rng, d)),
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn generated_expressions_roundtrip(e in arb_exp()) {
+    #[test]
+    fn generated_expressions_roundtrip() {
+        run_cases("generated_expressions_roundtrip", 64, |rng| {
+            let e = gen_exp(rng, 3);
             roundtrip(&format!("val it = {e}"));
-        }
+        });
     }
 }

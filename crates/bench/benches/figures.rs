@@ -1,54 +1,54 @@
-//! Criterion benches over the paper's evaluation: per-benchmark
-//! execution under each compiler variant (Figure 7's raw data) and the
-//! compilation pipeline itself (Figure 8's compile-time row).
+//! Wall-clock micro-benches over the paper's evaluation: per-benchmark
+//! execution under the extreme compiler variants (Figure 7's raw data)
+//! and the compilation pipeline itself (Figure 8's compile-time row).
 //!
-//! The interesting output — ratio tables shaped like the paper's figures
-//! — is printed by `cargo run -p smlc-bench --bin figure7` / `figure8`;
-//! these benches provide wall-clock confidence intervals on the same
-//! workloads.
+//! Originally a criterion bench; this environment builds without
+//! network access to crates.io, so it is now a plain `harness = false`
+//! binary using `std::time::Instant` — run with
+//! `cargo bench -p smlc-bench`. The interesting output — ratio tables
+//! shaped like the paper's figures — is printed by
+//! `cargo run -p smlc-bench --bin figure7` / `figure8`; this bench
+//! provides wall-clock medians on the same workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use smlc::{compile, Variant};
 use smlc_bench::benchmarks;
+use std::time::Instant;
 
-fn bench_execution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("execute");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+/// Median wall-clock seconds of `iters` runs of `f`.
+fn median_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    println!(
+        "{:24} {:>12} {:>12}",
+        "workload", "execute (s)", "compile (s)"
+    );
     for b in benchmarks() {
         let src = b.source();
         // Only the extreme variants in the timed benches; the full 6x12
         // matrix is the figure binaries' job.
         for v in [Variant::Nrp, Variant::Ffb] {
             let compiled = compile(&src, v).expect("benchmarks compile");
-            group.bench_function(format!("{}/{}", b.name, v.name()), |bench| {
-                bench.iter(|| {
-                    let o = compiled.run();
-                    assert!(o.stats.cycles > 0);
-                    o.stats.cycles
-                })
+            let exec = median_secs(5, || {
+                let o = compiled.run();
+                assert!(o.stats.cycles > 0);
             });
+            let comp = median_secs(5, || {
+                assert!(compile(&src, v).expect("compiles").stats.code_size > 0);
+            });
+            println!(
+                "{:24} {exec:>12.4} {comp:>12.4}",
+                format!("{}/{}", b.name, v.name())
+            );
         }
     }
-    group.finish();
 }
-
-fn bench_compilation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    for b in benchmarks().into_iter().take(4) {
-        let src = b.source();
-        for v in [Variant::Nrp, Variant::Ffb] {
-            group.bench_function(format!("{}/{}", b.name, v.name()), |bench| {
-                bench.iter(|| compile(&src, v).expect("compiles").stats.code_size)
-            });
-        }
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_execution, bench_compilation);
-criterion_main!(benches);

@@ -34,7 +34,10 @@ fn functor_heavy_source(n_apps: usize) -> String {
         if depth == 0 {
             format!("struct\n{vals} end")
         } else {
-            format!("struct\n{vals}  structure Sub = {}\nend", str_level(depth - 1))
+            format!(
+                "struct\n{vals}  structure Sub = {}\nend",
+                str_level(depth - 1)
+            )
         }
     }
     let mut out = format!(
@@ -54,11 +57,18 @@ fn compile_time(src: &str, mode: InternMode) -> (f64, usize, u64) {
     let t = Instant::now();
     let prog = sml_ast::parse(src).expect("parse");
     let elab = sml_elab::elaborate(&prog).expect("elaborate");
-    let cfg = LambdaConfig { intern_mode: mode, ..LambdaConfig::default() };
+    let cfg = LambdaConfig {
+        intern_mode: mode,
+        ..LambdaConfig::default()
+    };
     let mut tr = translate(&elab, &cfg);
     let mut cps = convert(&tr.lexp, &mut tr.interner, tr.n_vars, &CpsConfig::default());
     optimize(&mut cps, &OptConfig::default());
-    (t.elapsed().as_secs_f64(), tr.interner.len(), tr.interner.deep_compares)
+    (
+        t.elapsed().as_secs_f64(),
+        tr.interner.len(),
+        tr.interner.deep_compares,
+    )
 }
 
 fn main() {

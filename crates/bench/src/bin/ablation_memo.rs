@@ -26,7 +26,10 @@ fn main() {
         let memo = translate(&elab, &LambdaConfig::default());
         let inline = translate(
             &elab,
-            &LambdaConfig { memo_coercions: false, ..LambdaConfig::default() },
+            &LambdaConfig {
+                memo_coercions: false,
+                ..LambdaConfig::default()
+            },
         );
         println!(
             "{n:12} | {:>16} | {:>18} | {:>11}",

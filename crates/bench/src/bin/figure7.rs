@@ -1,10 +1,17 @@
 //! Regenerates the paper's Figure 7: per-benchmark execution-time ratios
 //! of all six compilers, with `sml.nrp` as the baseline (1.00).
+//!
+//! ```sh
+//! cargo run --release -p smlc-bench --bin figure7            # table only
+//! cargo run --release -p smlc-bench --bin figure7 -- --json  # + BENCH_pr1.json
+//! cargo run --release -p smlc-bench --bin figure7 -- --json=out.json
+//! ```
 
 use smlc::Variant;
-use smlc_bench::{geomean, run_matrix};
+use smlc_bench::{geomean, json_path_from_args, run_matrix, write_bench_json};
 
 fn main() {
+    let json_path = json_path_from_args(std::env::args().skip(1));
     let matrix = run_matrix();
     println!("Figure 7: execution time relative to sml.nrp (lower is better)\n");
     print!("{:10}", "program");
@@ -28,4 +35,9 @@ fn main() {
         print!("  {:>8.3}", geomean(r));
     }
     println!();
+    if let Some(path) = json_path {
+        write_bench_json(&path, &matrix, "figure7")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
 }

@@ -1,11 +1,17 @@
 //! Regenerates the paper's Figure 8: geometric-mean ratios of execution
 //! time, heap allocation, code size, and compilation time for the six
 //! compilers (baseline `sml.nrp` = 1.00).
+//!
+//! ```sh
+//! cargo run --release -p smlc-bench --bin figure8            # table only
+//! cargo run --release -p smlc-bench --bin figure8 -- --json  # + BENCH_pr1.json
+//! ```
 
 use smlc::Variant;
-use smlc_bench::{geomean, run_matrix};
+use smlc_bench::{geomean, json_path_from_args, run_matrix, write_bench_json};
 
 fn main() {
+    let json_path = json_path_from_args(std::env::args().skip(1));
     let matrix = run_matrix();
     let n_variants = Variant::all().len();
 
@@ -44,5 +50,10 @@ fn main() {
             print!("  {:>8.2}", geomean(col));
         }
         println!();
+    }
+    if let Some(path) = json_path {
+        write_bench_json(&path, &matrix, "figure8")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
     }
 }

@@ -3,15 +3,23 @@
 //!
 //! ```sh
 //! cargo run --release -p smlc-bench --bin validate
+//! cargo run --release -p smlc-bench --bin validate -- --json
 //! ```
+//!
+//! With `--json[=PATH]`, also writes the `BENCH_*.json` trajectory
+//! document (default `BENCH_pr1.json`) when every cell succeeded.
 
 use smlc::{compile, Variant, VmResult};
+use smlc_bench::{json_path_from_args, write_bench_json, BenchResult};
 
 fn main() {
+    let json_path = json_path_from_args(std::env::args().skip(1));
     let mut failures = 0;
+    let mut matrix: Vec<Vec<BenchResult>> = Vec::new();
     for b in smlc_bench::benchmarks() {
         let src = b.source();
         let mut outputs: Vec<String> = Vec::new();
+        let mut row: Vec<BenchResult> = Vec::new();
         for v in Variant::all() {
             match compile(&src, v) {
                 Err(e) => {
@@ -31,7 +39,13 @@ fn main() {
                                 o.stats.alloc_words,
                                 c.stats.code_size
                             );
-                            outputs.push(o.output);
+                            outputs.push(o.output.clone());
+                            row.push(BenchResult {
+                                name: b.name,
+                                variant: v,
+                                compile: c.stats,
+                                outcome: o,
+                            });
                         }
                         other => {
                             println!("{:8} {:8} ABNORMAL {other:?}", b.name, v.name());
@@ -45,10 +59,16 @@ fn main() {
             println!("{:8} VARIANTS DISAGREE", b.name);
             failures += 1;
         }
+        matrix.push(row);
     }
     if failures > 0 {
         println!("{failures} failure(s)");
         std::process::exit(1);
     }
     println!("all benchmarks agree under all variants");
+    if let Some(path) = json_path {
+        write_bench_json(&path, &matrix, "validate")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
 }

@@ -8,8 +8,21 @@
 //! higher-order heavy, Life tests set membership with polymorphic
 //! equality in its inner loop, Boyer rewrites terms, Lexgen chews
 //! strings, and Yacc parses token streams.
+//!
+//! [`run_matrix`] fans the 12×6 grid out across worker threads (each
+//! compilation owns its LTY interner, so cells are independent);
+//! [`run_matrix_serial`] is the single-threaded reference the
+//! differential test compares against. [`matrix_json`] turns a result
+//! matrix into the `BENCH_*.json` trajectory document described in
+//! `docs/OBSERVABILITY.md`.
 
-use smlc::{compile, CompileStats, Outcome, Variant, VmResult};
+#![warn(missing_docs)]
+
+use smlc::{
+    compile, result_tag, CompileStats, Json, Metrics, Outcome, RunMetrics, Variant, VmResult,
+    METRICS_SCHEMA_VERSION,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The shared prelude compiled in front of every benchmark.
 pub const PRELUDE: &str = include_str!("../benchmarks/prelude.sml");
@@ -33,18 +46,54 @@ impl Benchmark {
 /// All twelve benchmarks, in the paper's Figure 7 order.
 pub fn benchmarks() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "BHut", body: include_str!("../benchmarks/bhut.sml") },
-        Benchmark { name: "Boyer", body: include_str!("../benchmarks/boyer.sml") },
-        Benchmark { name: "Sieve", body: include_str!("../benchmarks/sieve.sml") },
-        Benchmark { name: "KB-C", body: include_str!("../benchmarks/kbc.sml") },
-        Benchmark { name: "Lexgen", body: include_str!("../benchmarks/lexgen.sml") },
-        Benchmark { name: "Yacc", body: include_str!("../benchmarks/yacc.sml") },
-        Benchmark { name: "Simple", body: include_str!("../benchmarks/simple.sml") },
-        Benchmark { name: "Ray", body: include_str!("../benchmarks/ray.sml") },
-        Benchmark { name: "Life", body: include_str!("../benchmarks/life.sml") },
-        Benchmark { name: "VLIW", body: include_str!("../benchmarks/vliw.sml") },
-        Benchmark { name: "MBrot", body: include_str!("../benchmarks/mbrot.sml") },
-        Benchmark { name: "Nucleic", body: include_str!("../benchmarks/nucleic.sml") },
+        Benchmark {
+            name: "BHut",
+            body: include_str!("../benchmarks/bhut.sml"),
+        },
+        Benchmark {
+            name: "Boyer",
+            body: include_str!("../benchmarks/boyer.sml"),
+        },
+        Benchmark {
+            name: "Sieve",
+            body: include_str!("../benchmarks/sieve.sml"),
+        },
+        Benchmark {
+            name: "KB-C",
+            body: include_str!("../benchmarks/kbc.sml"),
+        },
+        Benchmark {
+            name: "Lexgen",
+            body: include_str!("../benchmarks/lexgen.sml"),
+        },
+        Benchmark {
+            name: "Yacc",
+            body: include_str!("../benchmarks/yacc.sml"),
+        },
+        Benchmark {
+            name: "Simple",
+            body: include_str!("../benchmarks/simple.sml"),
+        },
+        Benchmark {
+            name: "Ray",
+            body: include_str!("../benchmarks/ray.sml"),
+        },
+        Benchmark {
+            name: "Life",
+            body: include_str!("../benchmarks/life.sml"),
+        },
+        Benchmark {
+            name: "VLIW",
+            body: include_str!("../benchmarks/vliw.sml"),
+        },
+        Benchmark {
+            name: "MBrot",
+            body: include_str!("../benchmarks/mbrot.sml"),
+        },
+        Benchmark {
+            name: "Nucleic",
+            body: include_str!("../benchmarks/nucleic.sml"),
+        },
     ]
 }
 
@@ -61,6 +110,21 @@ pub struct BenchResult {
     pub outcome: Outcome,
 }
 
+impl BenchResult {
+    /// This cell as a [`Metrics`] snapshot (the per-variant schema of
+    /// `smlc --stats=json`).
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            variant: self.variant.name().to_owned(),
+            compile: self.compile.clone(),
+            run: Some(RunMetrics {
+                result: result_tag(&self.outcome.result),
+                stats: self.outcome.stats,
+            }),
+        }
+    }
+}
+
 /// Compiles and runs one benchmark under one variant.
 ///
 /// # Panics
@@ -69,8 +133,8 @@ pub struct BenchResult {
 /// fixed programs that must run cleanly.
 pub fn run_one(b: &Benchmark, v: Variant) -> BenchResult {
     let src = b.source();
-    let compiled = compile(&src, v)
-        .unwrap_or_else(|e| panic!("{} failed to compile under {v}: {e}", b.name));
+    let compiled =
+        compile(&src, v).unwrap_or_else(|e| panic!("{} failed to compile under {v}: {e}", b.name));
     let outcome = compiled.run();
     assert!(
         matches!(outcome.result, VmResult::Value(_)),
@@ -79,32 +143,259 @@ pub fn run_one(b: &Benchmark, v: Variant) -> BenchResult {
         outcome.result,
         outcome.output
     );
-    BenchResult { name: b.name, variant: v, compile: compiled.stats, outcome }
+    BenchResult {
+        name: b.name,
+        variant: v,
+        compile: compiled.stats,
+        outcome,
+    }
 }
 
-/// Runs every benchmark under every variant, checking that all variants
-/// agree on the printed output (a differential-correctness harness), and
-/// returns the full result matrix indexed `[benchmark][variant]`.
+/// Runs every benchmark under every variant in parallel, checking that
+/// all variants agree on the printed output (a differential-correctness
+/// harness), and returns the full result matrix indexed
+/// `[benchmark][variant]`.
+///
+/// Cells are handed to worker threads through an atomic work queue;
+/// the matrix comes back in the same deterministic order as
+/// [`run_matrix_serial`], and compilation/execution is fully
+/// deterministic per cell (each compilation owns its LTY interner), so
+/// the two produce identical outputs and counters.
 pub fn run_matrix() -> Vec<Vec<BenchResult>> {
-    benchmarks()
+    run_matrix_of(&benchmarks())
+}
+
+/// Single-threaded reference implementation of [`run_matrix`].
+pub fn run_matrix_serial() -> Vec<Vec<BenchResult>> {
+    run_matrix_serial_of(&benchmarks())
+}
+
+/// Parallel matrix run over an explicit benchmark list (see
+/// [`run_matrix`]).
+pub fn run_matrix_of(benches: &[Benchmark]) -> Vec<Vec<BenchResult>> {
+    let variants = Variant::all();
+    let n_cells = benches.len() * variants.len();
+    if n_cells == 0 {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let n_workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n_cells);
+
+    let mut done: Vec<(usize, BenchResult)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_cells {
+                            break;
+                        }
+                        let b = &benches[i / variants.len()];
+                        let v = variants[i % variants.len()];
+                        out.push((i, run_one(b, v)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("benchmark worker panicked"))
+            .collect()
+    });
+    done.sort_by_key(|(i, _)| *i);
+
+    let cells: Vec<BenchResult> = done.into_iter().map(|(_, r)| r).collect();
+    let matrix: Vec<Vec<BenchResult>> = cells
+        .chunks(variants.len())
+        .map(|row| row.to_vec())
+        .collect();
+    assert_differential(&matrix);
+    matrix
+}
+
+/// Single-threaded matrix run over an explicit benchmark list.
+pub fn run_matrix_serial_of(benches: &[Benchmark]) -> Vec<Vec<BenchResult>> {
+    let matrix: Vec<Vec<BenchResult>> = benches
         .iter()
-        .map(|b| {
-            let row: Vec<BenchResult> =
-                Variant::all().iter().map(|v| run_one(b, *v)).collect();
-            for r in &row[1..] {
-                assert_eq!(
-                    r.outcome.output, row[0].outcome.output,
-                    "{}: {} disagrees with {}",
-                    b.name, r.variant, row[0].variant
-                );
-            }
-            row
-        })
-        .collect()
+        .map(|b| Variant::all().iter().map(|v| run_one(b, *v)).collect())
+        .collect();
+    assert_differential(&matrix);
+    matrix
+}
+
+/// The differential-correctness check: every variant of a benchmark must
+/// print byte-identical output.
+fn assert_differential(matrix: &[Vec<BenchResult>]) {
+    for row in matrix {
+        for r in &row[1..] {
+            assert_eq!(
+                r.outcome.output, row[0].outcome.output,
+                "{}: {} disagrees with {}",
+                r.name, r.variant, row[0].variant
+            );
+        }
+    }
 }
 
 /// Geometric mean of a slice of ratios.
+///
+/// The empty product convention applies: an empty slice has geomean 1.0
+/// (not NaN), and a single element is (up to rounding) its own mean.
 pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
     let s: f64 = xs.iter().map(|x| x.ln()).sum();
     (s / xs.len() as f64).exp()
+}
+
+/// Renders a result matrix as the `BENCH_*.json` trajectory document
+/// (schema in `docs/OBSERVABILITY.md`): full per-cell [`Metrics`] plus
+/// the Figure 8 geomean summary against the `sml.nrp` baseline.
+pub fn matrix_json(matrix: &[Vec<BenchResult>], generator: &str) -> Json {
+    let benches: Vec<Json> = matrix
+        .iter()
+        .map(|row| {
+            let cells: Vec<Json> = row.iter().map(|r| r.metrics().to_json()).collect();
+            Json::obj()
+                .field("name", row[0].name)
+                .field("variants", Json::Arr(cells))
+        })
+        .collect();
+
+    let n_variants = Variant::all().len();
+    let mut exec: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
+    let mut alloc: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
+    let mut code: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
+    let mut ctime: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
+    for row in matrix {
+        let be = row[0].outcome.stats.cycles as f64;
+        let ba = row[0].outcome.stats.alloc_words as f64;
+        let bc = row[0].compile.code_size as f64;
+        let bt = row[0].compile.compile_time.as_secs_f64();
+        for (i, r) in row.iter().enumerate() {
+            exec[i].push(r.outcome.stats.cycles as f64 / be);
+            alloc[i].push(r.outcome.stats.alloc_words as f64 / ba);
+            code[i].push(r.compile.code_size as f64 / bc);
+            ctime[i].push(r.compile.compile_time.as_secs_f64() / bt);
+        }
+    }
+    let mut summary = Json::obj().field("baseline", Variant::all()[0].name());
+    for (i, v) in Variant::all().iter().enumerate() {
+        summary = summary.field(
+            v.name(),
+            Json::obj()
+                .field("exec_cycles", geomean(&exec[i]))
+                .field("alloc_words", geomean(&alloc[i]))
+                .field("code_size", geomean(&code[i]))
+                .field("compile_time", geomean(&ctime[i])),
+        );
+    }
+
+    Json::obj()
+        .field("schema_version", METRICS_SCHEMA_VERSION)
+        .field("generator", generator)
+        .field("benchmarks", Json::Arr(benches))
+        .field("summary", summary)
+}
+
+/// Writes a matrix as a trajectory file (see [`matrix_json`]), returning
+/// the path it wrote.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn write_bench_json(
+    path: &str,
+    matrix: &[Vec<BenchResult>],
+    generator: &str,
+) -> std::io::Result<()> {
+    let mut doc = matrix_json(matrix, generator).to_string_pretty();
+    doc.push('\n');
+    std::fs::write(path, doc)
+}
+
+/// Default output path for trajectory files, relative to the working
+/// directory (`cargo run` leaves that at the workspace root).
+pub const BENCH_JSON_PATH: &str = "BENCH_pr1.json";
+
+/// Parses `--json` / `--json=PATH` out of a bench binary's arguments,
+/// returning the trajectory output path if one was requested.
+/// Exits with status 2 on any other argument.
+pub fn json_path_from_args(args: impl Iterator<Item = String>) -> Option<String> {
+    let mut path = None;
+    for a in args {
+        if a == "--json" {
+            path = Some(BENCH_JSON_PATH.to_owned());
+        } else if let Some(p) = a.strip_prefix("--json=") {
+            path = Some(p.to_owned());
+        } else {
+            eprintln!("unknown argument `{a}` (only --json[=PATH])");
+            std::process::exit(2);
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_empty_is_one() {
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn geomean_of_single_element_is_itself() {
+        assert!((geomean(&[2.5]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_reciprocal_pair_is_one() {
+        assert!((geomean(&[4.0, 0.25]) - 1.0).abs() < 1e-12);
+    }
+
+    /// The parallel matrix must be byte-identical to the serial
+    /// reference — same outputs, same deterministic counters. Uses the
+    /// two cheapest benchmarks to keep test time sane; figure7/figure8
+    /// exercise the full grid.
+    #[test]
+    fn parallel_matrix_matches_serial() {
+        let benches: Vec<Benchmark> = benchmarks()
+            .into_iter()
+            .filter(|b| b.name == "Sieve" || b.name == "Life")
+            .collect();
+        assert_eq!(benches.len(), 2);
+        let par = run_matrix_of(&benches);
+        let ser = run_matrix_serial_of(&benches);
+        assert_eq!(par.len(), ser.len());
+        for (prow, srow) in par.iter().zip(&ser) {
+            for (p, s) in prow.iter().zip(srow) {
+                assert_eq!(p.name, s.name);
+                assert_eq!(p.variant, s.variant);
+                assert_eq!(p.outcome.output, s.outcome.output);
+                assert_eq!(p.outcome.stats.cycles, s.outcome.stats.cycles);
+                assert_eq!(p.outcome.stats.alloc_words, s.outcome.stats.alloc_words);
+                assert_eq!(
+                    p.outcome.stats.cycles_by_class,
+                    s.outcome.stats.cycles_by_class
+                );
+                assert_eq!(p.compile.code_size, s.compile.code_size);
+                assert_eq!(p.compile.lty, s.compile.lty);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_serializes() {
+        let doc = matrix_json(&[], "test").to_string_compact();
+        assert!(doc.contains("\"benchmarks\":[]"));
+        assert!(doc.contains("\"schema_version\":1"));
+    }
 }

@@ -4,17 +4,31 @@
 //! smlc program.sml                  # compile with sml.ffb and run
 //! smlc --variant nrp program.sml    # pick a compiler variant
 //! smlc --stats program.sml          # print compile/run statistics
+//! smlc --stats=json program.sml     # emit structured metrics as JSON
 //! smlc --all program.sml            # run under all six variants
 //! smlc -e 'val _ = print "hi\n"'    # compile a command-line snippet
 //! smlc --emit asm program.sml       # disassemble instead of running
 //! ```
+//!
+//! `--stats=json` prints one JSON document per variant on stdout (after
+//! the program's own output) following the schema in
+//! `docs/OBSERVABILITY.md` — the same schema the bench harness writes
+//! into `BENCH_*.json` trajectory files.
 
-use smlc::{compile, Variant, VmResult};
+use smlc::{compile, Metrics, Variant, VmResult};
 use std::process::ExitCode;
+
+/// How much statistics reporting the user asked for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StatsMode {
+    Off,
+    Human,
+    Json,
+}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: smlc [--variant nrp|fag|rep|mtd|ffb|fp3] [--stats] [--all] \
+        "usage: smlc [--variant nrp|fag|rep|mtd|ffb|fp3] [--stats[=json]] [--all] \
          [--emit asm] (<file.sml> | -e <source>)"
     );
     std::process::exit(2)
@@ -38,7 +52,7 @@ fn parse_variant(s: &str) -> Variant {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut variant = Variant::Ffb;
-    let mut stats = false;
+    let mut stats = StatsMode::Off;
     let mut all = false;
     let mut emit_asm = false;
     let mut source: Option<String> = None;
@@ -49,7 +63,15 @@ fn main() -> ExitCode {
                 let Some(v) = args.next() else { usage() };
                 variant = parse_variant(&v);
             }
-            "--stats" | "-s" => stats = true,
+            "--stats" | "-s" => stats = StatsMode::Human,
+            "--stats=json" => stats = StatsMode::Json,
+            s if s.starts_with("--stats=") => {
+                eprintln!(
+                    "unknown stats format `{}` (only `json`)",
+                    &s["--stats=".len()..]
+                );
+                usage()
+            }
             "--all" | "-a" => all = true,
             "--emit" => {
                 let Some(what) = args.next() else { usage() };
@@ -77,8 +99,11 @@ fn main() -> ExitCode {
     }
     let Some(src) = source else { usage() };
 
-    let variants: Vec<Variant> =
-        if all { Variant::all().to_vec() } else { vec![variant] };
+    let variants: Vec<Variant> = if all {
+        Variant::all().to_vec()
+    } else {
+        vec![variant]
+    };
 
     for v in variants {
         if all {
@@ -100,19 +125,22 @@ fn main() -> ExitCode {
         }
         let outcome = compiled.run();
         print!("{}", outcome.output);
-        match &outcome.result {
-            VmResult::Value(_) => {}
+        // Abnormal terminations still report statistics below (the
+        // metrics schema carries the result tag), but fail the process.
+        let failed = match &outcome.result {
+            VmResult::Value(_) => false,
             VmResult::Uncaught(name) => {
                 eprintln!("smlc: uncaught exception {name}");
-                return ExitCode::FAILURE;
+                true
             }
             VmResult::OutOfFuel => {
                 eprintln!("smlc: cycle budget exhausted");
-                return ExitCode::FAILURE;
+                true
             }
-        }
-        if stats {
-            eprintln!(
+        };
+        match stats {
+            StatsMode::Off => {}
+            StatsMode::Human => eprintln!(
                 "[{}] code {} instrs | compile {:?} | cycles {} | instrs {} | \
                  alloc {} words | gcs {}",
                 v.name(),
@@ -122,7 +150,18 @@ fn main() -> ExitCode {
                 outcome.stats.instrs,
                 outcome.stats.alloc_words,
                 outcome.stats.n_gcs
-            );
+            ),
+            StatsMode::Json => {
+                println!(
+                    "{}",
+                    Metrics::of_run(&compiled, &outcome)
+                        .to_json()
+                        .to_string_pretty()
+                );
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -1,4 +1,36 @@
 //! The six compiler variants of the paper's evaluation (§6).
+//!
+//! Each variant is nothing more than a combination of middle-end,
+//! back-end, and VM flags; the full matrix, cumulative from left to
+//! right:
+//!
+//! | flag | `nrp` | `fag` | `rep` | `mtd` | `ffb` | `fp3` |
+//! |------|-------|-------|-------|-------|-------|-------|
+//! | `LambdaConfig::type_based` (representation analysis) | – | – | ✓ | ✓ | ✓ | ✓ |
+//! | MTD pass ([`Variant::uses_mtd`]) | – | – | – | ✓ | ✓ | ✓ |
+//! | `LambdaConfig::unboxed_floats` | – | – | – | – | ✓ | ✓ |
+//! | `CpsConfig::spread` (argument flattening) | `None` | `KnownOnly` | `ByType` | `ByType` | `ByType` | `ByType` |
+//! | `CpsConfig::fp_callee_save` (3 float callee-saves) | – | – | – | – | – | ✓ |
+//! | `VmConfig::fp3_overhead` (save/restore cost) | – | – | – | – | – | ✓ |
+//!
+//! Two knobs are deliberately *not* varied: every variant hash-conses
+//! LTYs (`InternMode::HashCons`) and memo-izes module coercions
+//! (`memo_coercions`) — the paper treats both as implementation
+//! necessities rather than measured features; their ablations live in
+//! the `ablation_hashcons` / `ablation_memo` bench binaries instead.
+//!
+//! In prose: `sml.nrp` is the non-type-based baseline — everything
+//! boxed, one argument, one result. `sml.fag` keeps boxed
+//! representations but flattens arguments of *known* functions
+//! (Kranz-style, ≈ SML/NJ 0.93). `sml.rep` switches flattening
+//! decisions to be type-driven and turns on representation analysis for
+//! records, but floats stay boxed. `sml.mtd` additionally runs the
+//! minimum-typing-derivations pass, monomorphizing type derivations so
+//! polymorphic code (e.g. equality in a hot loop) specializes.
+//! `sml.ffb` unboxes floats — float arguments travel in float
+//! registers and float records are flat. `sml.fp3` finally dedicates
+//! three floating-point callee-save registers, which costs a small
+//! per-call save/restore overhead modeled by the VM.
 
 use sml_cps::{CpsConfig, SpreadMode};
 use sml_lambda::{InternMode, LambdaConfig};
@@ -29,7 +61,14 @@ pub enum Variant {
 impl Variant {
     /// All six, in the paper's order.
     pub fn all() -> [Variant; 6] {
-        [Variant::Nrp, Variant::Fag, Variant::Rep, Variant::Mtd, Variant::Ffb, Variant::Fp3]
+        [
+            Variant::Nrp,
+            Variant::Fag,
+            Variant::Rep,
+            Variant::Mtd,
+            Variant::Ffb,
+            Variant::Fp3,
+        ]
     }
 
     /// The paper's name for the variant.
@@ -80,12 +119,19 @@ impl Variant {
             Variant::Fag => SpreadMode::KnownOnly,
             _ => SpreadMode::ByType,
         };
-        CpsConfig { spread, max_spread: 10, fp_callee_save: self == Variant::Fp3 }
+        CpsConfig {
+            spread,
+            max_spread: 10,
+            fp_callee_save: self == Variant::Fp3,
+        }
     }
 
     /// Execution configuration.
     pub fn vm_config(self) -> VmConfig {
-        VmConfig { fp3_overhead: self == Variant::Fp3, ..VmConfig::default() }
+        VmConfig {
+            fp3_overhead: self == Variant::Fp3,
+            ..VmConfig::default()
+        }
     }
 }
 

@@ -1,0 +1,231 @@
+//! A minimal hand-rolled JSON document builder and serializer.
+//!
+//! The build environment has no network access to crates.io, so the
+//! observability layer cannot depend on `serde`; this module provides
+//! the small subset we need: building a [`Json`] tree and rendering it
+//! with deterministic field order (insertion order — objects are
+//! ordered pairs, not maps), correct string escaping, and a stable
+//! float format.
+
+use std::fmt::Write as _;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float, rendered with Rust's shortest-roundtrip `{:?}` format;
+    /// non-finite values render as `null` (JSON has no NaN/Inf).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds (or appends — keys are not deduplicated) a field to an
+    /// object, returning `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_owned(), value.into())),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps a trailing `.0` on integral floats, so
+                    // the value re-parses as a float everywhere.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, level + 1);
+                });
+            }
+            Json::Obj(fields) => {
+                write_seq(out, indent, level, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    n: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (level + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * level));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Int(n as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Int(n as i64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(xs: Vec<T>) -> Json {
+        Json::Arr(xs.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_and_shapes() {
+        let j = Json::obj()
+            .field("s", "a\"b\\c\nd\u{1}")
+            .field("n", 42u64)
+            .field("f", 1.5)
+            .field("whole", 2.0)
+            .field("neg", -7i64)
+            .field("arr", vec![1u64, 2, 3])
+            .field("nested", Json::obj().field("ok", true))
+            .field("empty", Json::obj())
+            .field("nan", f64::NAN);
+        assert_eq!(
+            j.to_string_compact(),
+            r#"{"s":"a\"b\\c\nd\u0001","n":42,"f":1.5,"whole":2.0,"neg":-7,"arr":[1,2,3],"nested":{"ok":true},"empty":{},"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_is_indented_and_reparses_same_tokens() {
+        let j = Json::obj().field("a", vec![1u64]).field("b", Json::Null);
+        let pretty = j.to_string_pretty();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ],\n  \"b\": null\n}");
+        // Stripping whitespace outside strings recovers the compact form.
+        let stripped: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(stripped, j.to_string_compact());
+    }
+}

@@ -29,10 +29,14 @@
 
 pub mod config;
 pub mod error;
+pub mod json;
+pub mod metrics;
 pub mod pipeline;
 
 pub use config::Variant;
 pub use error::CompileError;
-pub use pipeline::{compile, compile_and_run, compile_with, Compiled, CompileStats};
+pub use json::Json;
+pub use metrics::{result_tag, Metrics, RunMetrics, METRICS_SCHEMA_VERSION};
+pub use pipeline::{compile, compile_and_run, compile_with, CompileStats, Compiled};
 pub use sml_cps::OptConfig;
-pub use sml_vm::{Outcome, RunStats, VmConfig, VmResult};
+pub use sml_vm::{InstrClass, Outcome, RunStats, VmConfig, VmResult};

@@ -1,0 +1,198 @@
+//! Structured pipeline observability: one [`Metrics`] value captures a
+//! whole compile (and optionally a run) as machine-readable data.
+//!
+//! This is the layer behind `smlc --stats=json` and the bench
+//! harness's `BENCH_*.json` trajectory files: every per-phase
+//! wall-clock span, LTY hash-cons hit/miss count, coercion-memo hit,
+//! optimizer rewrite count, and VM runtime counter (allocation, Cheney
+//! collections, cycle breakdown by instruction class) flows through
+//! here. The JSON schema is documented field-by-field in
+//! `docs/OBSERVABILITY.md`; a golden test pins the serialized shape.
+
+use crate::json::Json;
+use crate::pipeline::{CompileStats, Compiled};
+use sml_vm::{InstrClass, Outcome, RunStats, VmResult};
+
+/// Version stamped into every emitted document as `schema_version`;
+/// bump when a field is renamed, removed, or changes meaning (pure
+/// additions keep the version).
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
+/// A structured snapshot of one compilation and (optionally) one run.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    /// The paper's name for the compiler variant (`sml.nrp` … `sml.fp3`).
+    pub variant: String,
+    /// Compile-side statistics: phase spans, IR sizes, hash-consing,
+    /// coercions, optimizer rewrites.
+    pub compile: CompileStats,
+    /// Run-side counters, when the program was executed.
+    pub run: Option<RunMetrics>,
+}
+
+/// Run-side portion of a [`Metrics`] snapshot.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// How the run ended: `"value"`, `"uncaught"`, or `"out-of-fuel"`.
+    pub result: &'static str,
+    /// The VM's performance counters.
+    pub stats: RunStats,
+}
+
+impl Default for Metrics {
+    /// A zeroed snapshot with the run side present — it serializes every
+    /// field of the schema, which is what the documentation cross-check
+    /// and golden tests want.
+    fn default() -> Metrics {
+        Metrics {
+            variant: "sml.nrp".to_owned(),
+            compile: CompileStats::default(),
+            run: Some(RunMetrics {
+                result: "value",
+                stats: RunStats::default(),
+            }),
+        }
+    }
+}
+
+/// The stable tag for a [`VmResult`] in metrics output.
+pub fn result_tag(r: &VmResult) -> &'static str {
+    match r {
+        VmResult::Value(_) => "value",
+        VmResult::Uncaught(_) => "uncaught",
+        VmResult::OutOfFuel => "out-of-fuel",
+    }
+}
+
+impl Metrics {
+    /// Captures a compile without a run.
+    pub fn of_compile(c: &Compiled) -> Metrics {
+        Metrics {
+            variant: c.variant.name().to_owned(),
+            compile: c.stats.clone(),
+            run: None,
+        }
+    }
+
+    /// Captures a compile plus the outcome of running it.
+    pub fn of_run(c: &Compiled, o: &Outcome) -> Metrics {
+        Metrics {
+            variant: c.variant.name().to_owned(),
+            compile: c.stats.clone(),
+            run: Some(RunMetrics {
+                result: result_tag(&o.result),
+                stats: o.stats,
+            }),
+        }
+    }
+
+    /// Renders the snapshot as a JSON document (see
+    /// `docs/OBSERVABILITY.md` for the schema).
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj()
+            .field("schema_version", METRICS_SCHEMA_VERSION)
+            .field("variant", self.variant.as_str())
+            .field("compile", compile_json(&self.compile));
+        doc = match &self.run {
+            Some(run) => doc.field("run", run_json(run)),
+            None => doc.field("run", Json::Null),
+        };
+        doc
+    }
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn compile_json(s: &CompileStats) -> Json {
+    let phases: Vec<Json> = s
+        .phase_times
+        .iter()
+        .map(|(name, d)| Json::obj().field("name", *name).field("ms", ms(*d)))
+        .collect();
+    let lty = Json::obj()
+        .field("interned", s.lty.interned)
+        .field("intern_calls", s.lty.intern_calls)
+        .field("hashcons_hits", s.lty.hashcons_hits)
+        .field("hashcons_misses", s.lty.hashcons_misses)
+        .field("deep_compares", s.lty.deep_compares)
+        .field("hit_rate", s.lty.hit_rate());
+    Json::obj()
+        .field("total_ms", ms(s.compile_time))
+        .field("phases", Json::Arr(phases))
+        .field(
+            "sizes",
+            Json::obj()
+                .field("lexp", s.lexp_size)
+                .field("cps_before", s.cps_size_before)
+                .field("cps_after", s.cps_size_after)
+                .field("code", s.code_size),
+        )
+        .field("lty", lty)
+        .field("coerce", counters_json(&s.coerce.counters()))
+        .field("opt", counters_json(&s.opt.rules()))
+        .field("warnings", s.warnings.len())
+}
+
+fn counters_json(counters: &[(&'static str, u64)]) -> Json {
+    let mut obj = Json::obj();
+    for (name, value) in counters {
+        obj = obj.field(name, *value);
+    }
+    obj
+}
+
+fn run_json(r: &RunMetrics) -> Json {
+    let s = &r.stats;
+    Json::obj()
+        .field("result", r.result)
+        .field("cycles", s.cycles)
+        .field("instrs", s.instrs)
+        .field("alloc_words", s.alloc_words)
+        .field("n_allocs", s.n_allocs)
+        .field(
+            "gc",
+            Json::obj()
+                .field("collections", s.n_gcs)
+                .field("copied_words", s.gc_copied_words)
+                .field("cycles", s.gc_cycles),
+        )
+        .field("cycles_by_class", by_class_json(&s.cycles_by_class))
+        .field("instrs_by_class", by_class_json(&s.instrs_by_class))
+}
+
+fn by_class_json(counts: &[u64; sml_vm::N_INSTR_CLASSES]) -> Json {
+    let mut obj = Json::obj();
+    for class in InstrClass::all() {
+        obj = obj.field(class.name(), counts[class as usize]);
+    }
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_breakdown_covers_every_class() {
+        let m = Metrics::default();
+        let json = m.to_json().to_string_compact();
+        for class in InstrClass::all() {
+            assert!(
+                json.contains(&format!("\"{}\":", class.name())),
+                "class {} missing from {json}",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn compile_only_has_null_run() {
+        let m = Metrics {
+            run: None,
+            ..Metrics::default()
+        };
+        assert!(m.to_json().to_string_compact().contains("\"run\":null"));
+    }
+}

@@ -3,7 +3,7 @@
 use crate::config::Variant;
 use crate::error::CompileError;
 use sml_cps::{close, convert, optimize, OptConfig, OptStats};
-use sml_lambda::{translate, type_of, CoerceStats};
+use sml_lambda::{translate, type_of, CoerceStats, LtyStats};
 use sml_vm::{codegen, run as vm_run, MachineProgram, Outcome, VmConfig};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -28,8 +28,8 @@ pub struct CompileStats {
     pub coerce: CoerceStats,
     /// Optimizer statistics.
     pub opt: OptStats,
-    /// Number of distinct LTYs interned.
-    pub ltys: usize,
+    /// LTY interner statistics (hash-cons hits/misses, distinct types).
+    pub lty: LtyStats,
     /// Front-end warnings (nonexhaustive matches, redundant rules).
     pub warnings: Vec<String>,
 }
@@ -80,8 +80,7 @@ pub fn compile_with(
     phases.push(("parse", t.elapsed()));
 
     let t = Instant::now();
-    let mut elab =
-        sml_elab::elaborate(&prog).map_err(|e| CompileError::Elab(e, src.to_owned()))?;
+    let mut elab = sml_elab::elaborate(&prog).map_err(|e| CompileError::Elab(e, src.to_owned()))?;
     if variant.uses_mtd() {
         sml_elab::minimum_typing(&mut elab);
     }
@@ -123,10 +122,14 @@ pub fn compile_with(
         code_size: machine.code_size(),
         coerce: tr.stats,
         opt,
-        ltys: tr.interner.len(),
+        lty: tr.interner.stats(),
         warnings: tr.warnings,
     };
-    Ok(Compiled { machine, variant, stats })
+    Ok(Compiled {
+        machine,
+        variant,
+        stats,
+    })
 }
 
 impl Compiled {

@@ -42,17 +42,26 @@ fn integers() {
     check(&format!("val x = 17 div 5 {}", p("itos x")), "3\n");
     check(&format!("val x = 17 mod 5 {}", p("itos x")), "2\n");
     check(&format!("val x = ~3 + 5 {}", p("itos x")), "2\n");
-    check(&format!("val x = ~ 7 {}", p("itos x")), "~-7\n".trim_start_matches('~')); // -7
+    check(
+        &format!("val x = ~ 7 {}", p("itos x")),
+        "~-7\n".trim_start_matches('~'),
+    ); // -7
 }
 
 #[test]
 fn booleans_and_comparisons() {
     check(
-        &format!("val x = if 3 < 4 andalso 5 >= 5 then 1 else 0 {}", p("itos x")),
+        &format!(
+            "val x = if 3 < 4 andalso 5 >= 5 then 1 else 0 {}",
+            p("itos x")
+        ),
         "1\n",
     );
     check(
-        &format!("val x = if 3 = 4 orelse 4 <> 4 then 1 else 0 {}", p("itos x")),
+        &format!(
+            "val x = if 3 = 4 orelse 4 <> 4 then 1 else 0 {}",
+            p("itos x")
+        ),
         "0\n",
     );
     check(
@@ -308,7 +317,10 @@ fn arrays() {
         ),
         "4.0\n",
     );
-    check(&format!("val a = array (7, 0) {}", p("itos (alength a)")), "7\n");
+    check(
+        &format!("val a = array (7, 0) {}", p("itos (alength a)")),
+        "7\n",
+    );
 }
 
 #[test]
@@ -322,7 +334,10 @@ fn strings() {
         "101\n",
     );
     check(
-        &format!("val x = if \"same\" = \"same\" then 1 else 0 {}", p("itos x")),
+        &format!(
+            "val x = if \"same\" = \"same\" then 1 else 0 {}",
+            p("itos x")
+        ),
         "1\n",
     );
 }
@@ -663,7 +678,11 @@ fn match_warnings_are_reported() {
     );
     // Complete programs warn about nothing.
     let clean = compile("fun f true = 1 | f false = 0 val x = f true", Variant::Ffb).unwrap();
-    assert!(clean.stats.warnings.is_empty(), "{:?}", clean.stats.warnings);
+    assert!(
+        clean.stats.warnings.is_empty(),
+        "{:?}",
+        clean.stats.warnings
+    );
 }
 
 #[test]

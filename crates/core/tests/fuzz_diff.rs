@@ -1,10 +1,10 @@
-//! Differential fuzzing: proptest generates random expression trees,
+//! Differential fuzzing: `sml-testkit` generates random expression trees,
 //! a tiny reference interpreter evaluates them in Rust, and every
 //! compiler variant must produce the same answer through the full
 //! pipeline (parse → elaborate → translate → CPS → closure → codegen →
 //! VM). Any divergence pinpoints a representation or convention bug.
 
-use proptest::prelude::*;
+use sml_testkit::{run_cases, Rng};
 use smlc::{compile, Variant, VmResult};
 
 /// A generated integer expression. Division/mod keep a nonzero literal
@@ -188,38 +188,53 @@ fn bsml(b: &B, depth: usize, out: &mut String) {
 /// `Let` bodies never reference their binder here (the reference
 /// interpreter would need de Bruijn plumbing); the binding expression is
 /// still evaluated, so effects on code shape remain.
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = (-100i32..100).prop_map(E::Lit);
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        let b = arb_bool(inner.clone());
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| E::Add(Box::new(a), Box::new(c))),
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| E::Sub(Box::new(a), Box::new(c))),
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| E::Mul(Box::new(a), Box::new(c))),
-            (inner.clone(), prop_oneof![(1i32..50), (-50i32..-1)])
-                .prop_map(|(a, d)| E::Div(Box::new(a), d)),
-            (inner.clone(), 1i32..50).prop_map(|(a, d)| E::Mod(Box::new(a), d)),
-            (b, inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| E::If(Box::new(c), Box::new(t), Box::new(f))),
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| E::Let(Box::new(a), Box::new(c))),
-            (-20i32..20, inner.clone()).prop_map(|(k, a)| E::App(k, Box::new(a))),
-            (inner.clone(), inner, any::<bool>())
-                .prop_map(|(a, c, f)| E::Pair(Box::new(a), Box::new(c), f)),
-        ]
-    })
+fn gen_expr(rng: &mut Rng, depth: usize) -> E {
+    if depth == 0 || rng.range_usize(0, 10) < 3 {
+        return E::Lit(rng.range_i32(-100, 100));
+    }
+    let d = depth - 1;
+    match rng.range_usize(0, 9) {
+        0 => E::Add(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+        1 => E::Sub(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+        2 => E::Mul(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+        3 => {
+            let div = if rng.flip() {
+                rng.range_i32(1, 50)
+            } else {
+                rng.range_i32(-50, -1)
+            };
+            E::Div(Box::new(gen_expr(rng, d)), div)
+        }
+        4 => E::Mod(Box::new(gen_expr(rng, d)), rng.range_i32(1, 50)),
+        5 => E::If(
+            Box::new(gen_bool(rng, d.min(2), d)),
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        ),
+        6 => E::Let(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
+        7 => E::App(rng.range_i32(-20, 20), Box::new(gen_expr(rng, d))),
+        _ => E::Pair(
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+            rng.flip(),
+        ),
+    }
 }
 
-fn arb_bool(e: impl Strategy<Value = E> + Clone + 'static) -> impl Strategy<Value = B> {
-    let leaf = prop_oneof![
-        (e.clone(), e.clone()).prop_map(|(a, b)| B::Lt(a, b)),
-        (e.clone(), e).prop_map(|(a, b)| B::Eq(a, b)),
-    ];
-    leaf.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|x| B::Not(Box::new(x))),
-            (inner.clone(), inner).prop_map(|(x, y)| B::And(Box::new(x), Box::new(y))),
-        ]
-    })
+fn gen_bool(rng: &mut Rng, depth: usize, edepth: usize) -> B {
+    if depth == 0 || rng.flip() {
+        let a = gen_expr(rng, edepth.min(2));
+        let b = gen_expr(rng, edepth.min(2));
+        return if rng.flip() { B::Lt(a, b) } else { B::Eq(a, b) };
+    }
+    if rng.flip() {
+        B::Not(Box::new(gen_bool(rng, depth - 1, edepth)))
+    } else {
+        B::And(
+            Box::new(gen_bool(rng, depth - 1, edepth)),
+            Box::new(gen_bool(rng, depth - 1, edepth)),
+        )
+    }
 }
 
 /// The VM's tagged integers are 31-bit; the reference interpreter uses
@@ -265,13 +280,18 @@ fn bool_fits(b: &B, env: &mut Vec<i64>) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
-
-    #[test]
-    fn variants_agree_with_reference(e in arb_expr()) {
+#[test]
+fn variants_agree_with_reference() {
+    run_cases("variants_agree_with_reference", 48, |rng| {
+        // Regenerate until the expression stays inside the tagged 31-bit
+        // range everywhere (the analogue of proptest's `prop_assume!`).
         let mut env = Vec::new();
-        prop_assume!(all_fits(&e, &mut env));
+        let e = loop {
+            let e = gen_expr(rng, 4);
+            if all_fits(&e, &mut env) {
+                break e;
+            }
+        };
         let expected = eval(&e, &mut env);
 
         let mut src = String::from("val _ = print (itos ");
@@ -282,13 +302,21 @@ proptest! {
             let compiled = compile(&src, v)
                 .unwrap_or_else(|err| panic!("[{}] compile failed: {err}\n{src}", v.name()));
             let out = compiled.run();
-            prop_assert!(matches!(out.result, VmResult::Value(_)),
-                "[{}] abnormal result {:?} for\n{src}", v.name(), out.result);
-            prop_assert_eq!(
-                out.output.clone(), expected.to_string(),
-                "[{}] wrong value for\n{}", v.name(), src);
+            assert!(
+                matches!(out.result, VmResult::Value(_)),
+                "[{}] abnormal result {:?} for\n{src}",
+                v.name(),
+                out.result
+            );
+            assert_eq!(
+                out.output,
+                expected.to_string(),
+                "[{}] wrong value for\n{}",
+                v.name(),
+                src
+            );
         }
-    }
+    });
 }
 
 /// A generated float expression. No reference interpreter is needed:
@@ -363,36 +391,40 @@ fn fbin(a: &FE, op: &str, b: &FE, depth: usize, out: &mut String) {
     out.push(')');
 }
 
-fn arb_fexpr() -> impl Strategy<Value = FE> {
+fn gen_fexpr(rng: &mut Rng, depth: usize) -> FE {
     // Small half-integral literals keep every intermediate exact in f64,
     // so there is no rounding for a formatting difference to hide in.
-    let leaf = (-32i32..32).prop_map(|n| FE::Lit(n as f64 / 2.0));
-    leaf.prop_recursive(4, 40, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FE::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FE::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FE::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone(), inner.clone()).prop_map(
-                |(a, b, t, f)| FE::If(Box::new(a), Box::new(b), Box::new(t), Box::new(f))
-            ),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| FE::Let(Box::new(a), Box::new(b))),
-            (-8i32..8, inner.clone())
-                .prop_map(|(k, a)| FE::App(k as f64 / 2.0, Box::new(a))),
-            (inner.clone(), inner, any::<bool>())
-                .prop_map(|(a, b, f)| FE::Pair(Box::new(a), Box::new(b), f)),
-        ]
-    })
+    if depth == 0 || rng.range_usize(0, 10) < 3 {
+        return FE::Lit(rng.range_i32(-32, 32) as f64 / 2.0);
+    }
+    let d = depth - 1;
+    match rng.range_usize(0, 7) {
+        0 => FE::Add(Box::new(gen_fexpr(rng, d)), Box::new(gen_fexpr(rng, d))),
+        1 => FE::Sub(Box::new(gen_fexpr(rng, d)), Box::new(gen_fexpr(rng, d))),
+        2 => FE::Mul(Box::new(gen_fexpr(rng, d)), Box::new(gen_fexpr(rng, d))),
+        3 => FE::If(
+            Box::new(gen_fexpr(rng, d)),
+            Box::new(gen_fexpr(rng, d)),
+            Box::new(gen_fexpr(rng, d)),
+            Box::new(gen_fexpr(rng, d)),
+        ),
+        4 => FE::Let(Box::new(gen_fexpr(rng, d)), Box::new(gen_fexpr(rng, d))),
+        5 => FE::App(
+            rng.range_i32(-8, 8) as f64 / 2.0,
+            Box::new(gen_fexpr(rng, d)),
+        ),
+        _ => FE::Pair(
+            Box::new(gen_fexpr(rng, d)),
+            Box::new(gen_fexpr(rng, d)),
+            rng.flip(),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
-
-    #[test]
-    fn float_variants_agree(e in arb_fexpr()) {
+#[test]
+fn float_variants_agree() {
+    run_cases("float_variants_agree", 32, |rng| {
+        let e = gen_fexpr(rng, 4);
         let mut src = String::from("val _ = print (rtos ");
         fsml(&e, 0, &mut src);
         src.push(')');
@@ -402,31 +434,40 @@ proptest! {
             let compiled = compile(&src, v)
                 .unwrap_or_else(|err| panic!("[{}] compile failed: {err}\n{src}", v.name()));
             let out = compiled.run();
-            prop_assert!(matches!(out.result, VmResult::Value(_)),
-                "[{}] abnormal result {:?} for\n{src}", v.name(), out.result);
+            assert!(
+                matches!(out.result, VmResult::Value(_)),
+                "[{}] abnormal result {:?} for\n{src}",
+                v.name(),
+                out.result
+            );
             match &reference {
                 None => reference = Some(out.output),
-                Some(r) => prop_assert_eq!(
-                    &out.output, r,
-                    "[{}] diverges from sml.nrp for\n{}", v.name(), src),
+                Some(r) => assert_eq!(
+                    &out.output,
+                    r,
+                    "[{}] diverges from sml.nrp for\n{}",
+                    v.name(),
+                    src
+                ),
             }
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+/// Random integer `case` dispatch: arms over literals drawn from a
+/// small range (dense enough to trigger the jump-table path, sparse
+/// enough to sometimes stay a branch chain) plus a wildcard. Every
+/// variant must pick the same arm as direct lookup.
+#[test]
+fn switch_dispatch_matches_reference() {
+    run_cases("switch_dispatch_matches_reference", 32, |rng| {
+        let mut arms = std::collections::BTreeMap::new();
+        for _ in 0..rng.range_usize(1, 12) {
+            arms.insert(rng.range_i64(0, 24), rng.range_i64(-1000, 1000));
+        }
+        let scrutinee = rng.range_i64(0, 24);
+        let default = rng.range_i64(-1000, 1000);
 
-    /// Random integer `case` dispatch: arms over literals drawn from a
-    /// small range (dense enough to trigger the jump-table path, sparse
-    /// enough to sometimes stay a branch chain) plus a wildcard. Every
-    /// variant must pick the same arm as direct lookup.
-    #[test]
-    fn switch_dispatch_matches_reference(
-        mut arms in proptest::collection::btree_map(0i64..24, -1000i64..1000, 1..12),
-        scrutinee in 0i64..24,
-        default in -1000i64..1000,
-    ) {
         // Arm order in source follows BTreeMap order; duplicates are
         // impossible by construction.
         let mut src = String::from("fun f n = case n of ");
@@ -434,20 +475,34 @@ proptest! {
             if i > 0 {
                 src.push_str(" | ");
             }
-            let v = if *v < 0 { format!("~{}", -v) } else { v.to_string() };
+            let v = if *v < 0 {
+                format!("~{}", -v)
+            } else {
+                v.to_string()
+            };
             src.push_str(&format!("{k} => {v}"));
         }
-        let d = if default < 0 { format!("~{}", -default) } else { default.to_string() };
-        src.push_str(&format!(" | _ => {d}\nval _ = print (itos (f {scrutinee}))"));
+        let d = if default < 0 {
+            format!("~{}", -default)
+        } else {
+            default.to_string()
+        };
+        src.push_str(&format!(
+            " | _ => {d}\nval _ = print (itos (f {scrutinee}))"
+        ));
 
         let expected = arms.remove(&scrutinee).unwrap_or(default);
         for v in Variant::all() {
             let compiled = compile(&src, v)
                 .unwrap_or_else(|err| panic!("[{}] compile failed: {err}\n{src}", v.name()));
             let out = compiled.run();
-            prop_assert_eq!(
-                out.output.clone(), expected.to_string(),
-                "[{}] wrong arm for\n{}", v.name(), src);
+            assert_eq!(
+                out.output,
+                expected.to_string(),
+                "[{}] wrong arm for\n{}",
+                v.name(),
+                src
+            );
         }
-    }
+    });
 }

@@ -100,8 +100,8 @@ pub fn close(prog: CpsProgram) -> ClosedProgram {
         // layout instead, avoiding cyclic records).
         for v in fv {
             if escaping.contains(v) {
-                let same_group = escaping.contains(f)
-                    && siblings.get(f).is_some_and(|s| s.contains(v));
+                let same_group =
+                    escaping.contains(f) && siblings.get(f).is_some_and(|s| s.contains(v));
                 if !same_group {
                     list.push(*v);
                 }
@@ -142,12 +142,21 @@ pub fn close(prog: CpsProgram) -> ClosedProgram {
         out: Vec::new(),
     };
     let entry = cl.go(prog.body, &HashMap::new());
-    ClosedProgram { funs: cl.out, entry, next_var: cl.next }
+    ClosedProgram {
+        funs: cl.out,
+        entry,
+        next_var: cl.next,
+    }
 }
 
 fn collect_ctys(e: &Cexp, out: &mut HashMap<CVar, Cty>) {
     match e {
-        Cexp::Record { dst, rest, nflt, fields } => {
+        Cexp::Record {
+            dst,
+            rest,
+            nflt,
+            fields,
+        } => {
             out.insert(*dst, Cty::Ptr(Some((fields.len() + *nflt) as u32)));
             collect_ctys(rest, out);
         }
@@ -242,7 +251,9 @@ fn collect_escaping(e: &Cexp, fnnames: &HashSet<CVar>, out: &mut HashSet<CVar>) 
             args.iter().for_each(|v| mark(v, out));
             collect_escaping(rest, fnnames, out);
         }
-        Cexp::Switch { v, arms, default, .. } => {
+        Cexp::Switch {
+            v, arms, default, ..
+        } => {
             mark(v, out);
             arms.iter().for_each(|a| collect_escaping(a, fnnames, out));
             collect_escaping(default, fnnames, out);
@@ -253,7 +264,8 @@ fn collect_escaping(e: &Cexp, fnnames: &HashSet<CVar>, out: &mut HashSet<CVar>) 
             collect_escaping(fls, fnnames, out);
         }
         Cexp::Fix { funs, rest } => {
-            funs.iter().for_each(|f| collect_escaping(&f.body, fnnames, out));
+            funs.iter()
+                .for_each(|f| collect_escaping(&f.body, fnnames, out));
             collect_escaping(rest, fnnames, out);
         }
         Cexp::App { f, args } => {
@@ -280,7 +292,9 @@ fn collect_fvs(
             }
         };
         match e {
-            Cexp::Record { fields, dst, rest, .. } => {
+            Cexp::Record {
+                fields, dst, rest, ..
+            } => {
                 fields.iter().for_each(|(v, _)| val(v, bound, free));
                 bound.insert(*dst);
                 vars(rest, bound, free);
@@ -290,9 +304,15 @@ fn collect_fvs(
                 bound.insert(*dst);
                 vars(rest, bound, free);
             }
-            Cexp::Pure { args, dst, rest, .. }
-            | Cexp::Look { args, dst, rest, .. }
-            | Cexp::Alloc { args, dst, rest, .. } => {
+            Cexp::Pure {
+                args, dst, rest, ..
+            }
+            | Cexp::Look {
+                args, dst, rest, ..
+            }
+            | Cexp::Alloc {
+                args, dst, rest, ..
+            } => {
                 args.iter().for_each(|v| val(v, bound, free));
                 bound.insert(*dst);
                 vars(rest, bound, free);
@@ -301,7 +321,9 @@ fn collect_fvs(
                 args.iter().for_each(|v| val(v, bound, free));
                 vars(rest, bound, free);
             }
-            Cexp::Switch { v, arms, default, .. } => {
+            Cexp::Switch {
+                v, arms, default, ..
+            } => {
                 val(v, bound, free);
                 arms.iter().for_each(|a| vars(a, bound, free));
                 vars(default, bound, free);
@@ -398,50 +420,132 @@ impl Closer {
     fn go(&mut self, e: Cexp, sub: &HashMap<CVar, Value>) -> Cexp {
         match e {
             Cexp::Fix { funs, rest } => self.close_fix(funs, *rest, sub),
-            Cexp::Record { fields, nflt, dst, rest } => {
-                let fields = fields.into_iter().map(|(v, c)| (self.rv(&v, sub), c)).collect();
+            Cexp::Record {
+                fields,
+                nflt,
+                dst,
+                rest,
+            } => {
+                let fields = fields
+                    .into_iter()
+                    .map(|(v, c)| (self.rv(&v, sub), c))
+                    .collect();
                 let rest = self.go(*rest, sub);
-                Cexp::Record { fields, nflt, dst, rest: Box::new(rest) }
+                Cexp::Record {
+                    fields,
+                    nflt,
+                    dst,
+                    rest: Box::new(rest),
+                }
             }
-            Cexp::Select { rec, word_off, flt, dst, cty, rest } => {
+            Cexp::Select {
+                rec,
+                word_off,
+                flt,
+                dst,
+                cty,
+                rest,
+            } => {
                 let rec = self.rv(&rec, sub);
                 let rest = self.go(*rest, sub);
-                Cexp::Select { rec, word_off, flt, dst, cty, rest: Box::new(rest) }
+                Cexp::Select {
+                    rec,
+                    word_off,
+                    flt,
+                    dst,
+                    cty,
+                    rest: Box::new(rest),
+                }
             }
-            Cexp::Pure { op, args, dst, cty, rest } => {
+            Cexp::Pure {
+                op,
+                args,
+                dst,
+                cty,
+                rest,
+            } => {
                 let args = args.iter().map(|v| self.rv(v, sub)).collect();
                 let rest = self.go(*rest, sub);
-                Cexp::Pure { op, args, dst, cty, rest: Box::new(rest) }
+                Cexp::Pure {
+                    op,
+                    args,
+                    dst,
+                    cty,
+                    rest: Box::new(rest),
+                }
             }
-            Cexp::Alloc { op, args, dst, rest } => {
+            Cexp::Alloc {
+                op,
+                args,
+                dst,
+                rest,
+            } => {
                 let args = args.iter().map(|v| self.rv(v, sub)).collect();
                 let rest = self.go(*rest, sub);
-                Cexp::Alloc { op, args, dst, rest: Box::new(rest) }
+                Cexp::Alloc {
+                    op,
+                    args,
+                    dst,
+                    rest: Box::new(rest),
+                }
             }
-            Cexp::Look { op, args, dst, cty, rest } => {
+            Cexp::Look {
+                op,
+                args,
+                dst,
+                cty,
+                rest,
+            } => {
                 let args = args.iter().map(|v| self.rv(v, sub)).collect();
                 let rest = self.go(*rest, sub);
-                Cexp::Look { op, args, dst, cty, rest: Box::new(rest) }
+                Cexp::Look {
+                    op,
+                    args,
+                    dst,
+                    cty,
+                    rest: Box::new(rest),
+                }
             }
             Cexp::Set { op, args, rest } => {
                 let args = args.iter().map(|v| self.rv(v, sub)).collect();
                 let rest = self.go(*rest, sub);
-                Cexp::Set { op, args, rest: Box::new(rest) }
+                Cexp::Set {
+                    op,
+                    args,
+                    rest: Box::new(rest),
+                }
             }
-            Cexp::Switch { v, lo, arms, default } => {
+            Cexp::Switch {
+                v,
+                lo,
+                arms,
+                default,
+            } => {
                 let v = self.rv(&v, sub);
                 let arms = arms.into_iter().map(|a| self.go(a, sub)).collect();
                 let default = self.go(*default, sub);
-                Cexp::Switch { v, lo, arms, default: Box::new(default) }
+                Cexp::Switch {
+                    v,
+                    lo,
+                    arms,
+                    default: Box::new(default),
+                }
             }
             Cexp::Branch { op, args, tru, fls } => {
                 let args = args.iter().map(|v| self.rv(v, sub)).collect();
                 let tru = self.go(*tru, sub);
                 let fls = self.go(*fls, sub);
-                Cexp::Branch { op, args, tru: Box::new(tru), fls: Box::new(fls) }
+                Cexp::Branch {
+                    op,
+                    args,
+                    tru: Box::new(tru),
+                    fls: Box::new(fls),
+                }
             }
             Cexp::App { f, args } => self.close_app(f, args, sub),
-            Cexp::Halt { v } => Cexp::Halt { v: self.rv(&v, sub) },
+            Cexp::Halt { v } => Cexp::Halt {
+                v: self.rv(&v, sub),
+            },
         }
     }
 
@@ -455,7 +559,10 @@ impl Closer {
                     let clos = sub.get(x).cloned().unwrap_or(Value::Var(*x));
                     let mut all = vec![clos];
                     all.extend(args);
-                    Cexp::App { f: Value::Label(*x), args: all }
+                    Cexp::App {
+                        f: Value::Label(*x),
+                        args: all,
+                    }
                 } else {
                     // Known function: append its environment.
                     let env = self.env_of.get(x).cloned().unwrap_or_default();
@@ -463,7 +570,10 @@ impl Closer {
                     for v in env {
                         all.push(sub.get(&v).cloned().unwrap_or(Value::Var(v)));
                     }
-                    Cexp::App { f: Value::Label(*x), args: all }
+                    Cexp::App {
+                        f: Value::Label(*x),
+                        args: all,
+                    }
                 }
             }
             _ => {
@@ -478,18 +588,16 @@ impl Closer {
                     flt: false,
                     dst: code,
                     cty: Cty::Fun,
-                    rest: Box::new(Cexp::App { f: Value::Var(code), args: all }),
+                    rest: Box::new(Cexp::App {
+                        f: Value::Var(code),
+                        args: all,
+                    }),
                 }
             }
         }
     }
 
-    fn close_fix(
-        &mut self,
-        funs: Vec<FunDef>,
-        rest: Cexp,
-        sub: &HashMap<CVar, Value>,
-    ) -> Cexp {
+    fn close_fix(&mut self, funs: Vec<FunDef>, rest: Cexp, sub: &HashMap<CVar, Value>) -> Cexp {
         let esc_members: Vec<CVar> = funs
             .iter()
             .filter(|f| self.escaping.contains(&f.name))
@@ -505,10 +613,16 @@ impl Closer {
                 let mut fsub: HashMap<CVar, Value> = HashMap::new();
                 fsub.insert(name, Value::Var(cparam));
                 // Compute physical offsets within the closure.
-                let words: Vec<CVar> =
-                    env.iter().copied().filter(|v| self.cty(*v).is_word()).collect();
-                let floats: Vec<CVar> =
-                    env.iter().copied().filter(|v| !self.cty(*v).is_word()).collect();
+                let words: Vec<CVar> = env
+                    .iter()
+                    .copied()
+                    .filter(|v| self.cty(*v).is_word())
+                    .collect();
+                let floats: Vec<CVar> = env
+                    .iter()
+                    .copied()
+                    .filter(|v| !self.cty(*v).is_word())
+                    .collect();
                 let mut selects: Vec<(CVar, usize, bool, Cty)> = Vec::new();
                 for (i, v) in words.iter().enumerate() {
                     let nv = self.fresh();
@@ -544,7 +658,12 @@ impl Closer {
                         fields.push((fsub[v].clone(), Cty::Flt));
                         nflt += 1;
                     }
-                    body = Cexp::Record { fields, nflt, dst: nv, rest: Box::new(body) };
+                    body = Cexp::Record {
+                        fields,
+                        nflt,
+                        dst: nv,
+                        rest: Box::new(body),
+                    };
                 }
                 // Emit the free-variable selects.
                 for (nv, off, flt, cty) in selects.into_iter().rev() {
@@ -585,7 +704,12 @@ impl Closer {
                 for v in &env {
                     params.push((*v, self.cty(*v)));
                 }
-                self.out.push(FunDef { kind: f.kind, name, params, body: Box::new(body) });
+                self.out.push(FunDef {
+                    kind: f.kind,
+                    name,
+                    params,
+                    body: Box::new(body),
+                });
             }
         }
 
@@ -603,12 +727,16 @@ impl Closer {
                 fields.push((sub.get(v).cloned().unwrap_or(Value::Var(*v)), Cty::Flt));
                 nflt += 1;
             }
-            rest = Cexp::Record { fields, nflt, dst: name, rest: Box::new(rest) };
+            rest = Cexp::Record {
+                fields,
+                nflt,
+                dst: name,
+                rest: Box::new(rest),
+            };
         }
         rest
     }
 }
-
 
 /// Verifies that a closed program is truly first-order and closed: no
 /// nested `Fix` remains, and every function body references only its own
@@ -618,11 +746,7 @@ impl Closer {
 /// invariant check by the test suite.
 pub fn verify_closed(prog: &ClosedProgram) -> Result<(), String> {
     let labels: HashSet<CVar> = prog.funs.iter().map(|f| f.name).collect();
-    fn walk(
-        e: &Cexp,
-        scope: &mut HashSet<CVar>,
-        labels: &HashSet<CVar>,
-    ) -> Result<(), String> {
+    fn walk(e: &Cexp, scope: &mut HashSet<CVar>, labels: &HashSet<CVar>) -> Result<(), String> {
         let chk = |v: &Value, scope: &HashSet<CVar>| -> Result<(), String> {
             match v {
                 Value::Var(x) => {
@@ -643,7 +767,9 @@ pub fn verify_closed(prog: &ClosedProgram) -> Result<(), String> {
             }
         };
         match e {
-            Cexp::Record { fields, dst, rest, .. } => {
+            Cexp::Record {
+                fields, dst, rest, ..
+            } => {
                 for (v, _) in fields {
                     chk(v, scope)?;
                 }
@@ -655,9 +781,15 @@ pub fn verify_closed(prog: &ClosedProgram) -> Result<(), String> {
                 scope.insert(*dst);
                 walk(rest, scope, labels)
             }
-            Cexp::Pure { args, dst, rest, .. }
-            | Cexp::Alloc { args, dst, rest, .. }
-            | Cexp::Look { args, dst, rest, .. } => {
+            Cexp::Pure {
+                args, dst, rest, ..
+            }
+            | Cexp::Alloc {
+                args, dst, rest, ..
+            }
+            | Cexp::Look {
+                args, dst, rest, ..
+            } => {
                 for v in args {
                     chk(v, scope)?;
                 }
@@ -670,7 +802,9 @@ pub fn verify_closed(prog: &ClosedProgram) -> Result<(), String> {
                 }
                 walk(rest, scope, labels)
             }
-            Cexp::Switch { v, arms, default, .. } => {
+            Cexp::Switch {
+                v, arms, default, ..
+            } => {
                 chk(v, scope)?;
                 for a in arms {
                     walk(a, scope, labels)?;
@@ -697,8 +831,7 @@ pub fn verify_closed(prog: &ClosedProgram) -> Result<(), String> {
     }
     for f in &prog.funs {
         let mut scope: HashSet<CVar> = f.params.iter().map(|(p, _)| *p).collect();
-        walk(&f.body, &mut scope, &labels)
-            .map_err(|e| format!("function L{}: {e}", f.name))?;
+        walk(&f.body, &mut scope, &labels).map_err(|e| format!("function L{}: {e}", f.name))?;
     }
     let mut scope = HashSet::new();
     walk(&prog.entry, &mut scope, &labels).map_err(|e| format!("entry: {e}"))

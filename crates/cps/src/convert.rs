@@ -42,7 +42,11 @@ pub struct CpsConfig {
 
 impl Default for CpsConfig {
     fn default() -> CpsConfig {
-        CpsConfig { spread: SpreadMode::ByType, max_spread: 10, fp_callee_save: false }
+        CpsConfig {
+            spread: SpreadMode::ByType,
+            max_spread: 10,
+            fp_callee_save: false,
+        }
     }
 }
 
@@ -78,7 +82,10 @@ pub fn convert(
         known_arity,
     };
     let body = conv.cexp(lexp, K::Done);
-    CpsProgram { body, next_var: conv.next }
+    CpsProgram {
+        body,
+        next_var: conv.next,
+    }
 }
 
 /// Finds LEXP `Fix`-bound functions whose every occurrence is a direct
@@ -187,19 +194,12 @@ fn collect_known_arity(
     max: usize,
     out: &mut HashMap<LVar, Option<usize>>,
 ) {
-    fn walk(
-        e: &Lexp,
-        known: &HashSet<LVar>,
-        max: usize,
-        out: &mut HashMap<LVar, Option<usize>>,
-    ) {
+    fn walk(e: &Lexp, known: &HashSet<LVar>, max: usize, out: &mut HashMap<LVar, Option<usize>>) {
         if let Lexp::App(f, a) = e {
             if let Lexp::Var(v) = &**f {
                 if known.contains(v) {
                     let arity = match &**a {
-                        Lexp::Record(es) if !es.is_empty() && es.len() <= max => {
-                            Some(es.len())
-                        }
+                        Lexp::Record(es) if !es.is_empty() && es.len() <= max => Some(es.len()),
                         _ => None,
                     };
                     match out.get(v) {
@@ -411,9 +411,7 @@ impl Conv<'_> {
                 }
             }
             SpreadMode::ByType => match self.i.kind(t).clone() {
-                LtyKind::Record(fs)
-                    if !fs.is_empty() && fs.len() <= self.cfg.max_spread =>
-                {
+                LtyKind::Record(fs) if !fs.is_empty() && fs.len() <= self.cfg.max_spread => {
                     Some(fs)
                 }
                 _ => None,
@@ -428,9 +426,7 @@ impl Conv<'_> {
             return None;
         }
         match self.i.kind(t).clone() {
-            LtyKind::Record(fs) if !fs.is_empty() && fs.len() <= self.cfg.max_spread => {
-                Some(fs)
-            }
+            LtyKind::Record(fs) if !fs.is_empty() && fs.len() <= self.cfg.max_spread => Some(fs),
             _ => None,
         }
     }
@@ -483,7 +479,10 @@ impl Conv<'_> {
     /// Returns `v` to continuation `kvar`, spreading per `res_lty`.
     fn ret_to(&mut self, kvar: CVar, res_lty: Lty, v: Value) -> Cexp {
         match self.ret_spread_of(res_lty) {
-            None => Cexp::App { f: Value::Var(kvar), args: vec![v] },
+            None => Cexp::App {
+                f: Value::Var(kvar),
+                args: vec![v],
+            },
             Some(fields) => {
                 // Select each component and pass them spread.
                 let mut args = Vec::with_capacity(fields.len());
@@ -494,7 +493,10 @@ impl Conv<'_> {
                     selects.push((off, flt, dst, cty));
                     args.push(Value::Var(dst));
                 }
-                let mut body = Cexp::App { f: Value::Var(kvar), args };
+                let mut body = Cexp::App {
+                    f: Value::Var(kvar),
+                    args,
+                };
                 for (off, flt, dst, cty) in selects.into_iter().rev() {
                     body = Cexp::Select {
                         rec: v.clone(),
@@ -584,7 +586,10 @@ impl Conv<'_> {
                 let def = self.convert_fn(name, FunKind::Escape, *v, *t, *r, body, None);
                 self.env.insert(name, arrow);
                 let rest = self.apply_k(k, Value::Var(name), arrow);
-                Cexp::Fix { funs: vec![def], rest: Box::new(rest) }
+                Cexp::Fix {
+                    funs: vec![def],
+                    rest: Box::new(rest),
+                }
             }
             Lexp::Fix(funs, body) => {
                 let mut defs = Vec::new();
@@ -596,14 +601,21 @@ impl Conv<'_> {
                         panic!("fix binding is not a function")
                     };
                     let known = self.known.contains(v);
-                    let kind = if known { FunKind::Known } else { FunKind::Escape };
+                    let kind = if known {
+                        FunKind::Known
+                    } else {
+                        FunKind::Escape
+                    };
                     let fnvar = if known { Some(*v) } else { None };
                     let def = self.convert_fn(*v, kind, *p, *pt, *pr, fb, fnvar);
                     let _ = t;
                     defs.push(def);
                 }
                 let rest = self.cexp(body, k);
-                Cexp::Fix { funs: defs, rest: Box::new(rest) }
+                Cexp::Fix {
+                    funs: defs,
+                    rest: Box::new(rest),
+                }
             }
             Lexp::Let(v, a, b) => {
                 // No CPS code for the binding itself: convert `a`, alias
@@ -627,13 +639,21 @@ impl Conv<'_> {
                 } else {
                     self.i.record(ltys.clone())
                 };
-                self.cexps(es, Box::new(move |me: &mut Conv<'_>, vals: Vec<Value>| {
-                    let (phys, nflt) = me.layout_fields(&vals, &ltys);
-                    let dst = me.fresh();
-                    me.env.insert(dst, rec_lty);
-                    let rest = me.apply_k(k, Value::Var(dst), rec_lty);
-                    Cexp::Record { fields: phys, nflt, dst, rest: Box::new(rest) }
-                }))
+                self.cexps(
+                    es,
+                    Box::new(move |me: &mut Conv<'_>, vals: Vec<Value>| {
+                        let (phys, nflt) = me.layout_fields(&vals, &ltys);
+                        let dst = me.fresh();
+                        me.env.insert(dst, rec_lty);
+                        let rest = me.apply_k(k, Value::Var(dst), rec_lty);
+                        Cexp::Record {
+                            fields: phys,
+                            nflt,
+                            dst,
+                            rest: Box::new(rest),
+                        }
+                    }),
+                )
             }
             Lexp::Select(idx, rec) => {
                 let rec_lty = self.lty_of(rec);
@@ -641,26 +661,25 @@ impl Conv<'_> {
                 self.cexp(
                     rec,
                     K::Fn(Box::new(move |me: &mut Conv<'_>, rv: Value| {
-                        let (off, flt, cty, out_lty) =
-                            match me.i.kind(rec_lty).clone() {
-                                LtyKind::Record(fs) | LtyKind::SRecord(fs) => {
-                                    let (o, f, c) = me.field_offset(&fs, idx);
-                                    (o, f, c, fs[idx])
-                                }
-                                LtyKind::PRecord(fs) => {
-                                    let t = fs
-                                        .iter()
-                                        .find(|(s, _)| *s == idx)
-                                        .map(|(_, t)| *t)
-                                        .unwrap_or_else(|| me.i.rboxed());
-                                    (idx, false, me.cty(t), t)
-                                }
-                                // Standard layout: all one-word fields.
-                                _ => {
-                                    let rb = me.i.rboxed();
-                                    (idx, false, Cty::Ptr(None), rb)
-                                }
-                            };
+                        let (off, flt, cty, out_lty) = match me.i.kind(rec_lty).clone() {
+                            LtyKind::Record(fs) | LtyKind::SRecord(fs) => {
+                                let (o, f, c) = me.field_offset(&fs, idx);
+                                (o, f, c, fs[idx])
+                            }
+                            LtyKind::PRecord(fs) => {
+                                let t = fs
+                                    .iter()
+                                    .find(|(s, _)| *s == idx)
+                                    .map(|(_, t)| *t)
+                                    .unwrap_or_else(|| me.i.rboxed());
+                                (idx, false, me.cty(t), t)
+                            }
+                            // Standard layout: all one-word fields.
+                            _ => {
+                                let rb = me.i.rboxed();
+                                (idx, false, Cty::Ptr(None), rb)
+                            }
+                        };
                         let dst = me.fresh();
                         me.env.insert(dst, out_lty);
                         let rest = me.apply_k(k, Value::Var(dst), out_lty);
@@ -715,7 +734,13 @@ impl Conv<'_> {
                         let dst = me.fresh();
                         me.env.insert(dst, t);
                         let rest = me.apply_k(k, Value::Var(dst), t);
-                        Cexp::Pure { op, args: vec![v], dst, cty, rest: Box::new(rest) }
+                        Cexp::Pure {
+                            op,
+                            args: vec![v],
+                            dst,
+                            cty,
+                            rest: Box::new(rest),
+                        }
                     })),
                 )
             }
@@ -728,7 +753,10 @@ impl Conv<'_> {
                         args: Vec::new(),
                         dst: h,
                         cty: Cty::Fun,
-                        rest: Box::new(Cexp::App { f: Value::Var(h), args: vec![packet] }),
+                        rest: Box::new(Cexp::App {
+                            f: Value::Var(h),
+                            args: vec![packet],
+                        }),
                     }
                 })),
             ),
@@ -850,9 +878,7 @@ impl Conv<'_> {
                                 (None, None) => true,
                                 (Some(x), Some(y)) => {
                                     x.len() == y.len()
-                                        && x.iter().zip(y).all(|(p, q)| {
-                                            me.cty(*p) == me.cty(*q)
-                                        })
+                                        && x.iter().zip(y).all(|(p, q)| me.cty(*p) == me.cty(*q))
                                 }
                                 _ => false,
                             }
@@ -872,7 +898,10 @@ impl Conv<'_> {
                     if kdefs.is_empty() {
                         app
                     } else {
-                        Cexp::Fix { funs: std::mem::take(&mut kdefs), rest: Box::new(app) }
+                        Cexp::Fix {
+                            funs: std::mem::take(&mut kdefs),
+                            rest: Box::new(app),
+                        }
                     }
                 };
 
@@ -901,8 +930,7 @@ impl Conv<'_> {
                                     let mut args = Vec::new();
                                     let mut sels = Vec::new();
                                     for idx in 0..fields.len() {
-                                        let (off, flt, cty) =
-                                            me.field_offset(&fields, idx);
+                                        let (off, flt, cty) = me.field_offset(&fields, idx);
                                         let dst = me.fresh();
                                         sels.push((off, flt, dst, cty));
                                         args.push(Value::Var(dst));
@@ -1003,7 +1031,10 @@ impl Conv<'_> {
         if defs.is_empty() {
             body
         } else {
-            Cexp::Fix { funs: defs, rest: Box::new(body) }
+            Cexp::Fix {
+                funs: defs,
+                rest: Box::new(body),
+            }
         }
     }
 
@@ -1031,18 +1062,14 @@ impl Conv<'_> {
         if defs.is_empty() {
             body
         } else {
-            Cexp::Fix { funs: defs, rest: Box::new(body) }
+            Cexp::Fix {
+                funs: defs,
+                rest: Box::new(body),
+            }
         }
     }
 
-    fn convert_branch(
-        &mut self,
-        c: &Lexp,
-        t: &Lexp,
-        e: &Lexp,
-        ka: K<'_>,
-        kb: K<'_>,
-    ) -> Cexp {
+    fn convert_branch(&mut self, c: &Lexp, t: &Lexp, e: &Lexp, ka: K<'_>, kb: K<'_>) -> Cexp {
         // Fuse a comparison primitive with the branch.
         if let Lexp::PrimApp(op, args) = c {
             if let Some(bop) = branch_op(*op) {
@@ -1090,11 +1117,20 @@ impl Conv<'_> {
                 Box::new(move |_me: &mut Conv<'_>, vals: Vec<Value>| Cexp::Branch {
                     op: bop,
                     args: vals,
-                    tru: Box::new(Cexp::App { f: Value::Var(kvar), args: vec![Value::Int(1)] }),
-                    fls: Box::new(Cexp::App { f: Value::Var(kvar), args: vec![Value::Int(0)] }),
+                    tru: Box::new(Cexp::App {
+                        f: Value::Var(kvar),
+                        args: vec![Value::Int(1)],
+                    }),
+                    fls: Box::new(Cexp::App {
+                        f: Value::Var(kvar),
+                        args: vec![Value::Int(0)],
+                    }),
                 }),
             );
-            return Cexp::Fix { funs: defs, rest: Box::new(body) };
+            return Cexp::Fix {
+                funs: defs,
+                rest: Box::new(body),
+            };
         }
         if op == Primop::Callcc {
             return self.convert_callcc(&args[0], k);
@@ -1150,14 +1186,25 @@ impl Conv<'_> {
                     };
                     me.env.insert(dst, res_lty);
                     let rest = me.apply_k(k, Value::Var(dst), res_lty);
-                    Cexp::Pure { op: p, args: vals, dst, cty, rest: Box::new(rest) }
+                    Cexp::Pure {
+                        op: p,
+                        args: vals,
+                        dst,
+                        cty,
+                        rest: Box::new(rest),
+                    }
                 }
                 PrimKind::Alloc(a) => {
                     let dst = me.fresh();
                     let b = me.i.boxed();
                     me.env.insert(dst, b);
                     let rest = me.apply_k(k, Value::Var(dst), b);
-                    Cexp::Alloc { op: a, args: vals, dst, rest: Box::new(rest) }
+                    Cexp::Alloc {
+                        op: a,
+                        args: vals,
+                        dst,
+                        rest: Box::new(rest),
+                    }
                 }
                 PrimKind::Look(l) => {
                     let dst = me.fresh();
@@ -1175,7 +1222,11 @@ impl Conv<'_> {
                 PrimKind::Set(s) => {
                     let int = me.i.int();
                     let rest = me.apply_k(k, Value::Int(0), int);
-                    Cexp::Set { op: s, args: vals, rest: Box::new(rest) }
+                    Cexp::Set {
+                        op: s,
+                        args: vals,
+                        rest: Box::new(rest),
+                    }
                 }
             }),
         )
@@ -1203,10 +1254,7 @@ impl Conv<'_> {
                     dst: h,
                     cty: Cty::Fun,
                     rest: Box::new(Cexp::Record {
-                        fields: vec![
-                            (Value::Var(kvar), Cty::Cnt),
-                            (Value::Var(h), Cty::Fun),
-                        ],
+                        fields: vec![(Value::Var(kvar), Cty::Cnt), (Value::Var(h), Cty::Fun)],
                         nflt: 0,
                         dst: cv,
                         rest: Box::new(Cexp::App {
@@ -1220,7 +1268,10 @@ impl Conv<'_> {
         if defs.is_empty() {
             body
         } else {
-            Cexp::Fix { funs: defs, rest: Box::new(body) }
+            Cexp::Fix {
+                funs: defs,
+                rest: Box::new(body),
+            }
         }
     }
 
@@ -1246,8 +1297,7 @@ impl Conv<'_> {
                             (x, self.cty(*t))
                         })
                         .collect();
-                    let vals: Vec<Value> =
-                        params.iter().map(|(x, _)| Value::Var(*x)).collect();
+                    let vals: Vec<Value> = params.iter().map(|(x, _)| Value::Var(*x)).collect();
                     let (phys, nflt) = self.layout_fields(&vals, &fields);
                     let rv = self.fresh();
                     self.env.insert(rv, res_lty);
@@ -1313,7 +1363,10 @@ impl Conv<'_> {
             args: Vec::new(),
             dst: old,
             cty: Cty::Fun,
-            rest: Box::new(Cexp::Fix { funs: vec![kjoin], rest: Box::new(hv_code) }),
+            rest: Box::new(Cexp::Fix {
+                funs: vec![kjoin],
+                rest: Box::new(hv_code),
+            }),
         }
     }
 }
@@ -1362,9 +1415,27 @@ fn prim_kind(op: Primop) -> PrimKind {
         P::ArrayUpdate => PrimKind::Set(SetOp::ArrayUpdate),
         P::UnboxedArrayUpdate => PrimKind::Set(SetOp::UnboxedArrayUpdate),
         P::Print => PrimKind::Set(SetOp::Print),
-        P::ILt | P::ILe | P::IGt | P::IGe | P::IEq | P::INe | P::FLt | P::FLe | P::FGt
-        | P::FGe | P::FEq | P::FNe | P::StrEq | P::StrNe | P::StrLt | P::StrLe | P::StrGt
-        | P::StrGe | P::PolyEq | P::PtrEq | P::IsBoxed => {
+        P::ILt
+        | P::ILe
+        | P::IGt
+        | P::IGe
+        | P::IEq
+        | P::INe
+        | P::FLt
+        | P::FLe
+        | P::FGt
+        | P::FGe
+        | P::FEq
+        | P::FNe
+        | P::StrEq
+        | P::StrNe
+        | P::StrLt
+        | P::StrLe
+        | P::StrGt
+        | P::StrGe
+        | P::PolyEq
+        | P::PtrEq
+        | P::IsBoxed => {
             unreachable!("comparisons are handled via branch_op")
         }
         P::Callcc | P::Throw => unreachable!("handled specially"),

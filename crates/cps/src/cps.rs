@@ -65,9 +65,25 @@ impl Value {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[allow(missing_docs)]
 pub enum PureOp {
-    IAdd, ISub, IMul, IDiv, IMod, INeg,
-    FAdd, FSub, FMul, FDiv, FNeg,
-    FSqrt, FSin, FCos, FAtan, FExp, FLn, Floor, IntToReal,
+    IAdd,
+    ISub,
+    IMul,
+    IDiv,
+    IMod,
+    INeg,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FNeg,
+    FSqrt,
+    FSin,
+    FCos,
+    FAtan,
+    FExp,
+    FLn,
+    Floor,
+    IntToReal,
     /// Box a float (heap-allocates: 1 descriptor + 2 data words).
     FWrap,
     /// Unbox a float (two single-word loads, paper footnote 7).
@@ -81,7 +97,11 @@ pub enum PureOp {
     PWrap,
     /// Pointer unwrap (no-op cast).
     PUnwrap,
-    StrSize, StrSub, StrCat, IntToString, RealToString,
+    StrSize,
+    StrSub,
+    StrCat,
+    IntToString,
+    RealToString,
     ArrayLength,
 }
 
@@ -94,9 +114,7 @@ impl PureOp {
             | ArrayLength => Cty::Int,
             FAdd | FSub | FMul | FDiv | FNeg | FSqrt | FSin | FCos | FAtan | FExp | FLn
             | IntToReal | FUnwrap => Cty::Flt,
-            FWrap | IWrap | PWrap | PUnwrap | StrCat | IntToString | RealToString => {
-                Cty::Ptr(None)
-            }
+            FWrap | IWrap | PWrap | PUnwrap | StrCat | IntToString | RealToString => Cty::Ptr(None),
         }
     }
 }
@@ -135,9 +153,24 @@ pub enum SetOp {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[allow(missing_docs)]
 pub enum BranchOp {
-    ILt, ILe, IGt, IGe, IEq, INe,
-    FLt, FLe, FGt, FGe, FEq, FNe,
-    StrEq, StrNe, StrLt, StrLe, StrGt, StrGe,
+    ILt,
+    ILe,
+    IGt,
+    IGe,
+    IEq,
+    INe,
+    FLt,
+    FLe,
+    FGt,
+    FGe,
+    FEq,
+    FNe,
+    StrEq,
+    StrNe,
+    StrLt,
+    StrLe,
+    StrGt,
+    StrGe,
     /// Structural equality (runtime call).
     PolyEq,
     PtrEq,

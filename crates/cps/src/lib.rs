@@ -29,7 +29,6 @@ pub mod optimize;
 pub use closure::{close, ClosedProgram};
 pub use convert::{convert, CpsConfig, CpsProgram, SpreadMode};
 pub use cps::{
-    cty_of_lty, AllocOp, BranchOp, CVar, Cexp, Cty, FunDef, FunKind, LookOp, PureOp, SetOp,
-    Value,
+    cty_of_lty, AllocOp, BranchOp, CVar, Cexp, Cty, FunDef, FunKind, LookOp, PureOp, SetOp, Value,
 };
 pub use optimize::{optimize, OptConfig, OptStats};

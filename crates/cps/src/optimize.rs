@@ -24,7 +24,11 @@ pub struct OptConfig {
 
 impl Default for OptConfig {
     fn default() -> OptConfig {
-        OptConfig { max_rounds: 12, inline_size: 30, inline_passes: 2 }
+        OptConfig {
+            max_rounds: 12,
+            inline_size: 30,
+            inline_passes: 2,
+        }
     }
 }
 
@@ -43,6 +47,21 @@ pub struct OptStats {
     pub inlined: u64,
     /// Dead bindings removed.
     pub dead: u64,
+}
+
+impl OptStats {
+    /// Rewrite counts keyed by rule name, in declaration order (plus the
+    /// round counter). The single source of truth for metric emitters.
+    pub fn rules(&self) -> [(&'static str, u64); 6] {
+        [
+            ("rounds", self.rounds as u64),
+            ("wrap_cancelled", self.wrap_cancelled),
+            ("record_copies", self.record_copies),
+            ("beta", self.beta),
+            ("inlined", self.inlined),
+            ("dead", self.dead),
+        ]
+    }
 }
 
 /// Optimizes a CPS program in place; returns statistics.
@@ -138,7 +157,9 @@ impl<'s> Contract<'s> {
                 args.iter().for_each(|v| self.use_val(v));
                 self.census(rest);
             }
-            Cexp::Switch { v, arms, default, .. } => {
+            Cexp::Switch {
+                v, arms, default, ..
+            } => {
                 self.use_val(v);
                 arms.iter().for_each(|a| self.census(a));
                 self.census(default);
@@ -185,7 +206,12 @@ impl<'s> Contract<'s> {
 
     fn go(&mut self, e: Cexp) -> Cexp {
         match e {
-            Cexp::Record { fields, nflt, dst, rest } => {
+            Cexp::Record {
+                fields,
+                nflt,
+                dst,
+                rest,
+            } => {
                 let fields: Vec<(Value, Cty)> =
                     fields.into_iter().map(|(v, c)| (self.val(v), c)).collect();
                 if self.n_uses(dst) == 0 {
@@ -203,9 +229,21 @@ impl<'s> Contract<'s> {
                 }
                 self.defs.insert(dst, Def::Record(fields.clone(), nflt));
                 let rest = self.go(*rest);
-                Cexp::Record { fields, nflt, dst, rest: Box::new(rest) }
+                Cexp::Record {
+                    fields,
+                    nflt,
+                    dst,
+                    rest: Box::new(rest),
+                }
             }
-            Cexp::Select { rec, word_off, flt, dst, cty, rest } => {
+            Cexp::Select {
+                rec,
+                word_off,
+                flt,
+                dst,
+                cty,
+                rest,
+            } => {
                 let rec = self.val(rec);
                 if self.n_uses(dst) == 0 {
                     self.changed = true;
@@ -226,9 +264,22 @@ impl<'s> Contract<'s> {
                 }
                 self.defs.insert(dst, Def::Select(rec.clone(), word_off));
                 let rest = self.go(*rest);
-                Cexp::Select { rec, word_off, flt, dst, cty, rest: Box::new(rest) }
+                Cexp::Select {
+                    rec,
+                    word_off,
+                    flt,
+                    dst,
+                    cty,
+                    rest: Box::new(rest),
+                }
             }
-            Cexp::Pure { op, args, dst, cty, rest } => {
+            Cexp::Pure {
+                op,
+                args,
+                dst,
+                cty,
+                rest,
+            } => {
                 let args = self.vals(args);
                 if self.n_uses(dst) == 0 {
                     self.changed = true;
@@ -261,9 +312,20 @@ impl<'s> Contract<'s> {
                 }
                 self.defs.insert(dst, Def::Pure(op, args.clone()));
                 let rest = self.go(*rest);
-                Cexp::Pure { op, args, dst, cty, rest: Box::new(rest) }
+                Cexp::Pure {
+                    op,
+                    args,
+                    dst,
+                    cty,
+                    rest: Box::new(rest),
+                }
             }
-            Cexp::Alloc { op, args, dst, rest } => {
+            Cexp::Alloc {
+                op,
+                args,
+                dst,
+                rest,
+            } => {
                 let args = self.vals(args);
                 if self.n_uses(dst) == 0 {
                     self.changed = true;
@@ -271,9 +333,20 @@ impl<'s> Contract<'s> {
                     return self.go(*rest);
                 }
                 let rest = self.go(*rest);
-                Cexp::Alloc { op, args, dst, rest: Box::new(rest) }
+                Cexp::Alloc {
+                    op,
+                    args,
+                    dst,
+                    rest: Box::new(rest),
+                }
             }
-            Cexp::Look { op, args, dst, cty, rest } => {
+            Cexp::Look {
+                op,
+                args,
+                dst,
+                cty,
+                rest,
+            } => {
                 let args = self.vals(args);
                 if self.n_uses(dst) == 0 {
                     self.changed = true;
@@ -281,14 +354,29 @@ impl<'s> Contract<'s> {
                     return self.go(*rest);
                 }
                 let rest = self.go(*rest);
-                Cexp::Look { op, args, dst, cty, rest: Box::new(rest) }
+                Cexp::Look {
+                    op,
+                    args,
+                    dst,
+                    cty,
+                    rest: Box::new(rest),
+                }
             }
             Cexp::Set { op, args, rest } => {
                 let args = self.vals(args);
                 let rest = self.go(*rest);
-                Cexp::Set { op, args, rest: Box::new(rest) }
+                Cexp::Set {
+                    op,
+                    args,
+                    rest: Box::new(rest),
+                }
             }
-            Cexp::Switch { v, lo, arms, default } => {
+            Cexp::Switch {
+                v,
+                lo,
+                arms,
+                default,
+            } => {
                 let v = self.val(v);
                 if let Value::Int(n) = v {
                     self.changed = true;
@@ -301,7 +389,12 @@ impl<'s> Contract<'s> {
                 }
                 let arms = arms.into_iter().map(|a| self.go(a)).collect();
                 let default = self.go(*default);
-                Cexp::Switch { v, lo, arms, default: Box::new(default) }
+                Cexp::Switch {
+                    v,
+                    lo,
+                    arms,
+                    default: Box::new(default),
+                }
             }
             Cexp::Branch { op, args, tru, fls } => {
                 let args = self.vals(args);
@@ -311,7 +404,12 @@ impl<'s> Contract<'s> {
                 }
                 let tru = self.go(*tru);
                 let fls = self.go(*fls);
-                Cexp::Branch { op, args, tru: Box::new(tru), fls: Box::new(fls) }
+                Cexp::Branch {
+                    op,
+                    args,
+                    tru: Box::new(tru),
+                    fls: Box::new(fls),
+                }
             }
             Cexp::Fix { funs, rest } => {
                 let mut kept = Vec::new();
@@ -349,10 +447,7 @@ impl<'s> Contract<'s> {
                 }
                 let mut out = Vec::new();
                 for mut f in kept {
-                    let body = std::mem::replace(
-                        &mut *f.body,
-                        Cexp::Halt { v: Value::Int(0) },
-                    );
+                    let body = std::mem::replace(&mut *f.body, Cexp::Halt { v: Value::Int(0) });
                     *f.body = self.go(body);
                     out.push(f);
                 }
@@ -360,7 +455,10 @@ impl<'s> Contract<'s> {
                 if out.is_empty() {
                     rest
                 } else {
-                    Cexp::Fix { funs: out, rest: Box::new(rest) }
+                    Cexp::Fix {
+                        funs: out,
+                        rest: Box::new(rest),
+                    }
                 }
             }
             Cexp::App { f, args } => {
@@ -386,8 +484,12 @@ impl<'s> Contract<'s> {
 
     fn record_copy_of(&self, fields: &[(Value, Cty)], _nflt: usize) -> Option<Value> {
         let first = fields.first()?;
-        let Value::Var(v0) = &first.0 else { return None };
-        let Def::Select(orig, 0) = self.defs.get(v0)? else { return None };
+        let Value::Var(v0) = &first.0 else {
+            return None;
+        };
+        let Def::Select(orig, 0) = self.defs.get(v0)? else {
+            return None;
+        };
         let orig = orig.clone();
         // The original record must have exactly this many fields.
         if let Value::Var(r) = &orig {
@@ -425,7 +527,9 @@ impl<'s> Contract<'s> {
         };
         // Unwrap(Wrap(x)) = x always; Wrap(Unwrap(y)) = y because the
         // unwrapped value originated from a box of the same type.
-        let Value::Var(a) = args.first()? else { return None };
+        let Value::Var(a) = args.first()? else {
+            return None;
+        };
         match self.defs.get(a)? {
             Def::Pure(op2, args2) if *op2 == inverse => args2.first().cloned(),
             _ => None,
@@ -520,14 +624,16 @@ impl Inline<'_> {
                 let funs = funs
                     .into_iter()
                     .map(|mut f| {
-                        let body =
-                            std::mem::replace(&mut *f.body, Cexp::Halt { v: Value::Int(0) });
+                        let body = std::mem::replace(&mut *f.body, Cexp::Halt { v: Value::Int(0) });
                         *f.body = self.go(body);
                         f
                     })
                     .collect();
                 let rest = self.go(*rest);
-                Cexp::Fix { funs, rest: Box::new(rest) }
+                Cexp::Fix {
+                    funs,
+                    rest: Box::new(rest),
+                }
             }
             Cexp::App { f, args } => {
                 if self.budget > 0 {
@@ -550,13 +656,25 @@ impl Inline<'_> {
                 }
                 Cexp::App { f, args }
             }
-            Cexp::Record { fields, nflt, dst, rest } => Cexp::Record {
+            Cexp::Record {
+                fields,
+                nflt,
+                dst,
+                rest,
+            } => Cexp::Record {
                 fields,
                 nflt,
                 dst,
                 rest: Box::new(self.go(*rest)),
             },
-            Cexp::Select { rec, word_off, flt, dst, cty, rest } => Cexp::Select {
+            Cexp::Select {
+                rec,
+                word_off,
+                flt,
+                dst,
+                cty,
+                rest,
+            } => Cexp::Select {
                 rec,
                 word_off,
                 flt,
@@ -564,19 +682,54 @@ impl Inline<'_> {
                 cty,
                 rest: Box::new(self.go(*rest)),
             },
-            Cexp::Pure { op, args, dst, cty, rest } => {
-                Cexp::Pure { op, args, dst, cty, rest: Box::new(self.go(*rest)) }
-            }
-            Cexp::Alloc { op, args, dst, rest } => {
-                Cexp::Alloc { op, args, dst, rest: Box::new(self.go(*rest)) }
-            }
-            Cexp::Look { op, args, dst, cty, rest } => {
-                Cexp::Look { op, args, dst, cty, rest: Box::new(self.go(*rest)) }
-            }
-            Cexp::Set { op, args, rest } => {
-                Cexp::Set { op, args, rest: Box::new(self.go(*rest)) }
-            }
-            Cexp::Switch { v, lo, arms, default } => Cexp::Switch {
+            Cexp::Pure {
+                op,
+                args,
+                dst,
+                cty,
+                rest,
+            } => Cexp::Pure {
+                op,
+                args,
+                dst,
+                cty,
+                rest: Box::new(self.go(*rest)),
+            },
+            Cexp::Alloc {
+                op,
+                args,
+                dst,
+                rest,
+            } => Cexp::Alloc {
+                op,
+                args,
+                dst,
+                rest: Box::new(self.go(*rest)),
+            },
+            Cexp::Look {
+                op,
+                args,
+                dst,
+                cty,
+                rest,
+            } => Cexp::Look {
+                op,
+                args,
+                dst,
+                cty,
+                rest: Box::new(self.go(*rest)),
+            },
+            Cexp::Set { op, args, rest } => Cexp::Set {
+                op,
+                args,
+                rest: Box::new(self.go(*rest)),
+            },
+            Cexp::Switch {
+                v,
+                lo,
+                arms,
+                default,
+            } => Cexp::Switch {
                 v,
                 lo,
                 arms: arms.into_iter().map(|a| self.go(a)).collect(),
@@ -605,9 +758,9 @@ fn calls_self(f: &FunDef) -> bool {
             | Cexp::Alloc { args, rest, .. }
             | Cexp::Look { args, rest, .. }
             | Cexp::Set { args, rest, .. } => args.iter().any(val) || uses(rest, name),
-            Cexp::Switch { v, arms, default, .. } => {
-                val(v) || arms.iter().any(|a| uses(a, name)) || uses(default, name)
-            }
+            Cexp::Switch {
+                v, arms, default, ..
+            } => val(v) || arms.iter().any(|a| uses(a, name)) || uses(default, name),
             Cexp::Branch { args, tru, fls, .. } => {
                 args.iter().any(val) || uses(tru, name) || uses(fls, name)
             }
@@ -638,13 +791,30 @@ pub fn rename(e: &Cexp, map: &mut HashMap<CVar, Value>, next: &mut u32) -> Cexp 
         other => other.clone(),
     };
     match e {
-        Cexp::Record { fields, nflt, dst, rest } => {
+        Cexp::Record {
+            fields,
+            nflt,
+            dst,
+            rest,
+        } => {
             let fields = fields.iter().map(|(v, c)| (rv(v, map), *c)).collect();
             let nd = fresh(next);
             map.insert(*dst, Value::Var(nd));
-            Cexp::Record { fields, nflt: *nflt, dst: nd, rest: Box::new(rename(rest, map, next)) }
+            Cexp::Record {
+                fields,
+                nflt: *nflt,
+                dst: nd,
+                rest: Box::new(rename(rest, map, next)),
+            }
         }
-        Cexp::Select { rec, word_off, flt, dst, cty, rest } => {
+        Cexp::Select {
+            rec,
+            word_off,
+            flt,
+            dst,
+            cty,
+            rest,
+        } => {
             let rec = rv(rec, map);
             let nd = fresh(next);
             map.insert(*dst, Value::Var(nd));
@@ -657,7 +827,13 @@ pub fn rename(e: &Cexp, map: &mut HashMap<CVar, Value>, next: &mut u32) -> Cexp 
                 rest: Box::new(rename(rest, map, next)),
             }
         }
-        Cexp::Pure { op, args, dst, cty, rest } => {
+        Cexp::Pure {
+            op,
+            args,
+            dst,
+            cty,
+            rest,
+        } => {
             let args = args.iter().map(|v| rv(v, map)).collect();
             let nd = fresh(next);
             map.insert(*dst, Value::Var(nd));
@@ -669,13 +845,29 @@ pub fn rename(e: &Cexp, map: &mut HashMap<CVar, Value>, next: &mut u32) -> Cexp 
                 rest: Box::new(rename(rest, map, next)),
             }
         }
-        Cexp::Alloc { op, args, dst, rest } => {
+        Cexp::Alloc {
+            op,
+            args,
+            dst,
+            rest,
+        } => {
             let args = args.iter().map(|v| rv(v, map)).collect();
             let nd = fresh(next);
             map.insert(*dst, Value::Var(nd));
-            Cexp::Alloc { op: *op, args, dst: nd, rest: Box::new(rename(rest, map, next)) }
+            Cexp::Alloc {
+                op: *op,
+                args,
+                dst: nd,
+                rest: Box::new(rename(rest, map, next)),
+            }
         }
-        Cexp::Look { op, args, dst, cty, rest } => {
+        Cexp::Look {
+            op,
+            args,
+            dst,
+            cty,
+            rest,
+        } => {
             let args = args.iter().map(|v| rv(v, map)).collect();
             let nd = fresh(next);
             map.insert(*dst, Value::Var(nd));
@@ -692,7 +884,12 @@ pub fn rename(e: &Cexp, map: &mut HashMap<CVar, Value>, next: &mut u32) -> Cexp 
             args: args.iter().map(|v| rv(v, map)).collect(),
             rest: Box::new(rename(rest, map, next)),
         },
-        Cexp::Switch { v, lo, arms, default } => Cexp::Switch {
+        Cexp::Switch {
+            v,
+            lo,
+            arms,
+            default,
+        } => Cexp::Switch {
             v: rv(v, map),
             lo: *lo,
             arms: arms.iter().map(|a| rename(a, map, next)).collect(),
@@ -733,7 +930,10 @@ pub fn rename(e: &Cexp, map: &mut HashMap<CVar, Value>, next: &mut u32) -> Cexp 
                     }
                 })
                 .collect();
-            Cexp::Fix { funs, rest: Box::new(rename(rest, map, next)) }
+            Cexp::Fix {
+                funs,
+                rest: Box::new(rename(rest, map, next)),
+            }
         }
         Cexp::App { f, args } => Cexp::App {
             f: rv(f, map),

@@ -21,7 +21,11 @@ fn variants() -> Vec<Variant> {
                 memo_coercions: true,
                 intern_mode: hc,
             },
-            cps: CpsConfig { spread: SpreadMode::None, max_spread: 10, fp_callee_save: false },
+            cps: CpsConfig {
+                spread: SpreadMode::None,
+                max_spread: 10,
+                fp_callee_save: false,
+            },
         },
         Variant {
             name: "fag",
@@ -45,7 +49,11 @@ fn variants() -> Vec<Variant> {
                 memo_coercions: true,
                 intern_mode: hc,
             },
-            cps: CpsConfig { spread: SpreadMode::ByType, max_spread: 10, fp_callee_save: false },
+            cps: CpsConfig {
+                spread: SpreadMode::ByType,
+                max_spread: 10,
+                fp_callee_save: false,
+            },
         },
         Variant {
             name: "ffb",
@@ -55,7 +63,11 @@ fn variants() -> Vec<Variant> {
                 memo_coercions: true,
                 intern_mode: hc,
             },
-            cps: CpsConfig { spread: SpreadMode::ByType, max_spread: 10, fp_callee_save: false },
+            cps: CpsConfig {
+                spread: SpreadMode::ByType,
+                max_spread: 10,
+                fp_callee_save: false,
+            },
         },
     ]
 }
@@ -217,7 +229,13 @@ fn optimizer_is_idempotent_at_fixpoint() {
     let mut cps = convert(&tr.lexp, &mut tr.interner, tr.n_vars, &v.cps);
     optimize(&mut cps, &OptConfig::default());
     let size1 = cps.body.size();
-    optimize(&mut cps, &OptConfig { inline_passes: 0, ..OptConfig::default() });
+    optimize(
+        &mut cps,
+        &OptConfig {
+            inline_passes: 0,
+            ..OptConfig::default()
+        },
+    );
     let size2 = cps.body.size();
     assert!(size2 <= size1);
 }
@@ -275,7 +293,11 @@ fn fag_flattens_only_literal_tuple_calls() {
         intern_mode: InternMode::HashCons,
     };
     let mut tr = translate(&elab, &lam);
-    let cfg = CpsConfig { spread: SpreadMode::KnownOnly, max_spread: 10, fp_callee_save: false };
+    let cfg = CpsConfig {
+        spread: SpreadMode::KnownOnly,
+        max_spread: 10,
+        fp_callee_save: false,
+    };
     let mut cps = convert(&tr.lexp, &mut tr.interner, tr.n_vars, &cfg);
     optimize(&mut cps, &OptConfig::default());
     let closed = close(cps);
@@ -289,7 +311,11 @@ fn fag_flattens_only_literal_tuple_calls() {
             .iter()
             .filter(|(_, c)| matches!(c, sml_cps::Cty::Ptr(None)))
             .count();
-        assert!(words <= 3, "no function should show flattened-add params: {:?}", f.params);
+        assert!(
+            words <= 3,
+            "no function should show flattened-add params: {:?}",
+            f.params
+        );
     }
 }
 
@@ -307,7 +333,14 @@ fn bytype_spreads_escaping_functions() {
     let mut cps = convert(&tr.lexp, &mut tr.interner, tr.n_vars, &CpsConfig::default());
     // Contraction only: full inlining would evaluate this tiny program
     // away entirely.
-    optimize(&mut cps, &OptConfig { inline_passes: 0, max_rounds: 2, ..OptConfig::default() });
+    optimize(
+        &mut cps,
+        &OptConfig {
+            inline_passes: 0,
+            max_rounds: 2,
+            ..OptConfig::default()
+        },
+    );
     let closed = close(cps);
     verify_closed(&closed).unwrap();
     // add/mul escape (passed to apply); under ByType their definitions
@@ -317,10 +350,17 @@ fn bytype_spreads_escaping_functions() {
         .iter()
         .filter(|f| {
             matches!(f.kind, sml_cps::FunKind::Escape)
-                && f.params.iter().filter(|(_, c)| *c == sml_cps::Cty::Int).count() >= 2
+                && f.params
+                    .iter()
+                    .filter(|(_, c)| *c == sml_cps::Cty::Int)
+                    .count()
+                    >= 2
         })
         .count();
-    assert!(spreads >= 2, "escaping add/mul must spread their tuple args");
+    assert!(
+        spreads >= 2,
+        "escaping add/mul must spread their tuple args"
+    );
 }
 
 #[test]
@@ -333,12 +373,22 @@ fn float_args_travel_in_float_registers() {
     let elab = sml_elab::elaborate(&prog).unwrap();
     let mut tr = translate(&elab, &LambdaConfig::default());
     let mut cps = convert(&tr.lexp, &mut tr.interner, tr.n_vars, &CpsConfig::default());
-    optimize(&mut cps, &OptConfig { inline_passes: 0, max_rounds: 2, ..OptConfig::default() });
+    optimize(
+        &mut cps,
+        &OptConfig {
+            inline_passes: 0,
+            max_rounds: 2,
+            ..OptConfig::default()
+        },
+    );
     let closed = close(cps);
-    let has_float_params = closed
-        .funs
-        .iter()
-        .any(|f| f.params.iter().filter(|(_, c)| *c == sml_cps::Cty::Flt).count() == 2);
+    let has_float_params = closed.funs.iter().any(|f| {
+        f.params
+            .iter()
+            .filter(|(_, c)| *c == sml_cps::Cty::Flt)
+            .count()
+            == 2
+    });
     assert!(has_float_params, "hypot takes two FLTt parameters");
 }
 
@@ -382,7 +432,10 @@ fn dead_allocation_removed() {
     let mut tr = translate(&elab, &v.lam);
     let mut cps = convert(&tr.lexp, &mut tr.interner, tr.n_vars, &v.cps);
     let stats = optimize(&mut cps, &OptConfig::default());
-    assert!(stats.dead > 0, "the unused tuple must be removed: {stats:?}");
+    assert!(
+        stats.dead > 0,
+        "the unused tuple must be removed: {stats:?}"
+    );
     // Even the built-in exception-tag records are dead here (no exceptions
     // used), so no Record nodes survive at all.
     fn count_records(e: &sml_cps::Cexp) -> usize {
@@ -398,8 +451,7 @@ fn dead_allocation_removed() {
                 arms.iter().map(count_records).sum::<usize>() + count_records(default)
             }
             sml_cps::Cexp::Fix { funs, rest } => {
-                funs.iter().map(|f| count_records(&f.body)).sum::<usize>()
-                    + count_records(rest)
+                funs.iter().map(|f| count_records(&f.body)).sum::<usize>() + count_records(rest)
             }
             _ => 0,
         }

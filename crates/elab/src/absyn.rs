@@ -75,7 +75,11 @@ impl VarTable {
     /// Allocates a fresh variable with a monomorphic placeholder scheme.
     pub fn fresh(&mut self, name: Symbol, ty: Ty) -> VarId {
         let id = VarId(self.infos.len() as u32);
-        self.infos.push(VarInfo { name, scheme: Scheme::mono(ty), exported: false });
+        self.infos.push(VarInfo {
+            name,
+            scheme: Scheme::mono(ty),
+            exported: false,
+        });
         id
     }
 
@@ -113,24 +117,76 @@ impl VarTable {
 #[allow(missing_docs)]
 pub enum Prim {
     // Overloaded pseudo-prims (resolved at translation).
-    OAdd, OSub, OMul, ONeg, OLt, OLe, OGt, OGe,
+    OAdd,
+    OSub,
+    OMul,
+    ONeg,
+    OLt,
+    OLe,
+    OGt,
+    OGe,
     // Integer arithmetic (tagged 31-bit; Div/Mod raise `Div` on zero).
-    IAdd, ISub, IMul, IDiv, IMod, INeg, ILt, ILe, IGt, IGe, IEq, INe,
+    IAdd,
+    ISub,
+    IMul,
+    IDiv,
+    IMod,
+    INeg,
+    ILt,
+    ILe,
+    IGt,
+    IGe,
+    IEq,
+    INe,
     // Real arithmetic.
-    FAdd, FSub, FMul, FDiv, FNeg, FLt, FLe, FGt, FGe, FEq, FNe,
-    FSqrt, FSin, FCos, FAtan, FExp, FLn, Floor, IntToReal,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FNeg,
+    FLt,
+    FLe,
+    FGt,
+    FGe,
+    FEq,
+    FNe,
+    FSqrt,
+    FSin,
+    FCos,
+    FAtan,
+    FExp,
+    FLn,
+    Floor,
+    IntToReal,
     // Strings (chars are tagged ints at runtime).
-    StrSize, StrSub, StrCat, StrEq, StrLt, StrLe, StrGt, StrGe, Ord, Chr,
-    IntToString, RealToString,
+    StrSize,
+    StrSub,
+    StrCat,
+    StrEq,
+    StrLt,
+    StrLe,
+    StrGt,
+    StrGe,
+    Ord,
+    Chr,
+    IntToString,
+    RealToString,
     // Polymorphic (structural) equality; specialized when monomorphic.
-    PolyEq, PolyNe,
+    PolyEq,
+    PolyNe,
     // References; `Assign` becomes unboxed update when the payload type
     // is unboxed (paper §4.4).
-    MakeRef, Deref, Assign,
+    MakeRef,
+    Deref,
+    Assign,
     // Arrays.
-    ArrayMake, ArraySub, ArrayUpdate, ArrayLength,
+    ArrayMake,
+    ArraySub,
+    ArrayUpdate,
+    ArrayLength,
     // First-class continuations.
-    Callcc, Throw,
+    Callcc,
+    Throw,
     // Output (appends to the VM's output buffer).
     Print,
 }
@@ -262,7 +318,10 @@ pub enum TExpKind {
 impl TExp {
     /// Builds a unit expression.
     pub fn unit() -> TExp {
-        TExp { kind: TExpKind::Record(Vec::new()), ty: Ty::unit() }
+        TExp {
+            kind: TExpKind::Record(Vec::new()),
+            ty: Ty::unit(),
+        }
     }
 }
 
@@ -506,4 +565,3 @@ pub enum ThinItem {
         slot: usize,
     },
 }
-

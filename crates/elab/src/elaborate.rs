@@ -57,13 +57,21 @@ pub fn elaborate(prog: &ast::Program) -> ElabResult<Elaboration> {
     let mut decs: Vec<TDec> = builtins
         .all()
         .into_iter()
-        .map(|(var, name)| TDec::Exception { var, name: Symbol::intern(name) })
+        .map(|(var, name)| TDec::Exception {
+            var,
+            name: Symbol::intern(name),
+        })
         .collect();
     for dec in &prog.decs {
         elab.elab_dec(&mut env, dec, &mut decs)?;
     }
     elab.resolve_pending(0, 0, Span::dummy())?;
-    Ok(Elaboration { decs, vars: elab.vars, registry: elab.reg, builtins })
+    Ok(Elaboration {
+        decs,
+        vars: elab.vars,
+        registry: elab.reg,
+        builtins,
+    })
 }
 
 /// A pending flexible-record constraint: the record type, the fields the
@@ -259,9 +267,7 @@ impl Elaborator {
                 sml_types::sort_fields(&mut fs);
                 Ok(Ty::Record(fs))
             }
-            TyKind::Arrow(a, b) => {
-                Ok(Ty::arrow(self.elab_ty(env, a)?, self.elab_ty(env, b)?))
-            }
+            TyKind::Arrow(a, b) => Ok(Ty::arrow(self.elab_ty(env, a)?, self.elab_ty(env, b)?)),
         }
     }
 
@@ -280,10 +286,22 @@ impl Elaborator {
     pub(crate) fn elab_exp(&mut self, env: &Env, exp: &ast::Exp) -> ElabResult<TExp> {
         let span = exp.span;
         match &exp.kind {
-            ExpKind::Int(n) => Ok(TExp { kind: TExpKind::Int(*n), ty: Ty::int() }),
-            ExpKind::Real(x) => Ok(TExp { kind: TExpKind::Real(*x), ty: Ty::real() }),
-            ExpKind::Str(s) => Ok(TExp { kind: TExpKind::Str(s.clone()), ty: Ty::string() }),
-            ExpKind::Char(c) => Ok(TExp { kind: TExpKind::Char(*c), ty: Ty::char() }),
+            ExpKind::Int(n) => Ok(TExp {
+                kind: TExpKind::Int(*n),
+                ty: Ty::int(),
+            }),
+            ExpKind::Real(x) => Ok(TExp {
+                kind: TExpKind::Real(*x),
+                ty: Ty::real(),
+            }),
+            ExpKind::Str(s) => Ok(TExp {
+                kind: TExpKind::Str(s.clone()),
+                ty: Ty::string(),
+            }),
+            ExpKind::Char(c) => Ok(TExp {
+                kind: TExpKind::Char(*c),
+                ty: Ty::char(),
+            }),
             ExpKind::Var(path) => self.elab_var(env, path, span),
             ExpKind::Tuple(parts) => {
                 let texps = parts
@@ -296,7 +314,10 @@ impl Elaborator {
                     .map(|(i, e)| (Symbol::numeric(i + 1), e))
                     .collect();
                 let ty = Ty::Record(fields.iter().map(|(l, e)| (*l, e.ty.clone())).collect());
-                Ok(TExp { kind: TExpKind::Record(fields), ty })
+                Ok(TExp {
+                    kind: TExpKind::Record(fields),
+                    ty,
+                })
             }
             ExpKind::Record(fields) => {
                 let mut fs: Vec<(Symbol, TExp)> = Vec::new();
@@ -308,14 +329,18 @@ impl Elaborator {
                 }
                 fs.sort_by(|(a, _), (b, _)| sml_types::label_cmp(*a, *b));
                 let ty = Ty::Record(fs.iter().map(|(l, e)| (*l, e.ty.clone())).collect());
-                Ok(TExp { kind: TExpKind::Record(fs), ty })
+                Ok(TExp {
+                    kind: TExpKind::Record(fs),
+                    ty,
+                })
             }
             ExpKind::Selector(lab) => {
                 // Eta-expand: fn v => #lab v, with a flexible-record
                 // constraint on v's type.
                 let rec_ty = self.fresh_ty();
                 let out_ty = self.fresh_ty();
-                self.flex.push((rec_ty.clone(), vec![(*lab, out_ty.clone())], span));
+                self.flex
+                    .push((rec_ty.clone(), vec![(*lab, out_ty.clone())], span));
                 let v = self.vars.fresh(Symbol::intern("selectee"), rec_ty.clone());
                 let arg = TExp {
                     kind: TExpKind::Var {
@@ -326,15 +351,24 @@ impl Elaborator {
                     ty: rec_ty.clone(),
                 };
                 let body = TExp {
-                    kind: TExpKind::Select { label: *lab, arg: Box::new(arg) },
+                    kind: TExpKind::Select {
+                        label: *lab,
+                        arg: Box::new(arg),
+                    },
                     ty: out_ty.clone(),
                 };
                 let rule = TRule {
-                    pat: TPat { kind: TPatKind::Var(v), ty: rec_ty.clone() },
+                    pat: TPat {
+                        kind: TPatKind::Var(v),
+                        ty: rec_ty.clone(),
+                    },
                     exp: body,
                 };
                 Ok(TExp {
-                    kind: TExpKind::Fn { rules: vec![rule], arg_ty: rec_ty.clone() },
+                    kind: TExpKind::Fn {
+                        rules: vec![rule],
+                        arg_ty: rec_ty.clone(),
+                    },
                     ty: Ty::arrow(rec_ty, out_ty),
                 })
             }
@@ -353,9 +387,13 @@ impl Elaborator {
                 if let ExpKind::Selector(lab) = &f.kind {
                     let arg = self.elab_exp(env, a)?;
                     let out_ty = self.fresh_ty();
-                    self.flex.push((arg.ty.clone(), vec![(*lab, out_ty.clone())], span));
+                    self.flex
+                        .push((arg.ty.clone(), vec![(*lab, out_ty.clone())], span));
                     return Ok(TExp {
-                        kind: TExpKind::Select { label: *lab, arg: Box::new(arg) },
+                        kind: TExpKind::Select {
+                            label: *lab,
+                            arg: Box::new(arg),
+                        },
                         ty: out_ty,
                     });
                 }
@@ -363,14 +401,20 @@ impl Elaborator {
                 let ta = self.elab_exp(env, a)?;
                 let res = self.fresh_ty();
                 self.unify(span, &tf.ty, &Ty::arrow(ta.ty.clone(), res.clone()))?;
-                Ok(TExp { kind: TExpKind::App(Box::new(tf), Box::new(ta)), ty: res })
+                Ok(TExp {
+                    kind: TExpKind::App(Box::new(tf), Box::new(ta)),
+                    ty: res,
+                })
             }
             ExpKind::Fn(rules) => {
                 let arg_ty = self.fresh_ty();
                 let res_ty = self.fresh_ty();
                 let trules = self.elab_rules(env, rules, &arg_ty, &res_ty, span)?;
                 Ok(TExp {
-                    kind: TExpKind::Fn { rules: trules, arg_ty: arg_ty.clone() },
+                    kind: TExpKind::Fn {
+                        rules: trules,
+                        arg_ty: arg_ty.clone(),
+                    },
                     ty: Ty::arrow(arg_ty, res_ty),
                 })
             }
@@ -379,7 +423,10 @@ impl Elaborator {
                 let res_ty = self.fresh_ty();
                 let arg_ty = ts.ty.clone();
                 let trules = self.elab_rules(env, rules, &arg_ty, &res_ty, span)?;
-                Ok(TExp { kind: TExpKind::Case(Box::new(ts), trules), ty: res_ty })
+                Ok(TExp {
+                    kind: TExpKind::Case(Box::new(ts), trules),
+                    ty: res_ty,
+                })
             }
             ExpKind::If(c, t, e) => {
                 let tc = self.elab_exp(env, c)?;
@@ -388,7 +435,10 @@ impl Elaborator {
                 let te = self.elab_exp(env, e)?;
                 self.unify(span, &tt.ty, &te.ty)?;
                 let ty = tt.ty.clone();
-                Ok(TExp { kind: TExpKind::If(Box::new(tc), Box::new(tt), Box::new(te)), ty })
+                Ok(TExp {
+                    kind: TExpKind::If(Box::new(tc), Box::new(tt), Box::new(te)),
+                    ty,
+                })
             }
             ExpKind::Andalso(a, b) => {
                 let ta = self.elab_exp(env, a)?;
@@ -416,7 +466,10 @@ impl Elaborator {
                 let tc = self.elab_exp(env, c)?;
                 self.unify(c.span, &tc.ty, &Ty::bool())?;
                 let tb = self.elab_exp(env, b)?;
-                Ok(TExp { kind: TExpKind::While(Box::new(tc), Box::new(tb)), ty: Ty::unit() })
+                Ok(TExp {
+                    kind: TExpKind::While(Box::new(tc), Box::new(tb)),
+                    ty: Ty::unit(),
+                })
             }
             ExpKind::Seq(exps) => {
                 let texps = exps
@@ -424,7 +477,10 @@ impl Elaborator {
                     .map(|e| self.elab_exp(env, e))
                     .collect::<ElabResult<Vec<_>>>()?;
                 let ty = texps.last().expect("non-empty sequence").ty.clone();
-                Ok(TExp { kind: TExpKind::Seq(texps), ty })
+                Ok(TExp {
+                    kind: TExpKind::Seq(texps),
+                    ty,
+                })
             }
             ExpKind::Let(decs, body) => {
                 let mut inner = env.clone();
@@ -434,18 +490,27 @@ impl Elaborator {
                 }
                 let tb = self.elab_exp(&inner, body)?;
                 let ty = tb.ty.clone();
-                Ok(TExp { kind: TExpKind::Let(tdecs, Box::new(tb)), ty })
+                Ok(TExp {
+                    kind: TExpKind::Let(tdecs, Box::new(tb)),
+                    ty,
+                })
             }
             ExpKind::Raise(e) => {
                 let te = self.elab_exp(env, e)?;
                 self.unify(e.span, &te.ty, &Ty::exn())?;
-                Ok(TExp { kind: TExpKind::Raise(Box::new(te)), ty: self.fresh_ty() })
+                Ok(TExp {
+                    kind: TExpKind::Raise(Box::new(te)),
+                    ty: self.fresh_ty(),
+                })
             }
             ExpKind::Handle(e, rules) => {
                 let te = self.elab_exp(env, e)?;
                 let res_ty = te.ty.clone();
                 let trules = self.elab_rules(env, rules, &Ty::exn(), &res_ty, span)?;
-                Ok(TExp { kind: TExpKind::Handle(Box::new(te), trules), ty: res_ty })
+                Ok(TExp {
+                    kind: TExpKind::Handle(Box::new(te), trules),
+                    ty: res_ty,
+                })
             }
             ExpKind::Constraint(e, ty) => {
                 let te = self.elab_exp(env, e)?;
@@ -460,18 +525,35 @@ impl Elaborator {
         match self.lookup_val(env, path, span)? {
             ValBind::Var { access, scheme } => {
                 let (ty, inst) = scheme.instantiate(self.level);
-                Ok(TExp { kind: TExpKind::Var { access, scheme, inst }, ty })
+                Ok(TExp {
+                    kind: TExpKind::Var {
+                        access,
+                        scheme,
+                        inst,
+                    },
+                    ty,
+                })
             }
             ValBind::Con(con) => {
                 let (ty, inst) = con.scheme.instantiate(self.level);
-                Ok(TExp { kind: TExpKind::Con { con, inst }, ty })
+                Ok(TExp {
+                    kind: TExpKind::Con { con, inst },
+                    ty,
+                })
             }
-            ValBind::Prim { prim, scheme, overload } => {
+            ValBind::Prim {
+                prim,
+                scheme,
+                overload,
+            } => {
                 let (ty, inst) = scheme.instantiate(self.level);
                 if let (Some(class), Some(first)) = (overload, inst.first()) {
                     self.overloads.push((first.clone(), class, span));
                 }
-                Ok(TExp { kind: TExpKind::Prim { prim, inst }, ty })
+                Ok(TExp {
+                    kind: TExpKind::Prim { prim, inst },
+                    ty,
+                })
             }
         }
     }
@@ -480,7 +562,10 @@ impl Elaborator {
         let name = Symbol::intern(if value { "true" } else { "false" });
         match env.vals.get(&name) {
             Some(ValBind::Con(c)) => TExp {
-                kind: TExpKind::Con { con: c.clone(), inst: Vec::new() },
+                kind: TExpKind::Con {
+                    con: c.clone(),
+                    inst: Vec::new(),
+                },
                 ty: Ty::bool(),
             },
             _ => unreachable!("booleans are always in scope"),
@@ -504,20 +589,23 @@ impl Elaborator {
         };
         let list_ty = Ty::list(elem_ty.clone());
         let mut acc = TExp {
-            kind: TExpKind::Con { con: nil, inst: vec![elem_ty.clone()] },
+            kind: TExpKind::Con {
+                con: nil,
+                inst: vec![elem_ty.clone()],
+            },
             ty: list_ty.clone(),
         };
         for e in elems.into_iter().rev() {
             let pair_ty = Ty::pair(elem_ty.clone(), list_ty.clone());
             let pair = TExp {
-                kind: TExpKind::Record(vec![
-                    (Symbol::numeric(1), e),
-                    (Symbol::numeric(2), acc),
-                ]),
+                kind: TExpKind::Record(vec![(Symbol::numeric(1), e), (Symbol::numeric(2), acc)]),
                 ty: pair_ty.clone(),
             };
             let conexp = TExp {
-                kind: TExpKind::Con { con: cons.clone(), inst: vec![elem_ty.clone()] },
+                kind: TExpKind::Con {
+                    con: cons.clone(),
+                    inst: vec![elem_ty.clone()],
+                },
                 ty: Ty::arrow(pair_ty, list_ty.clone()),
             };
             acc = TExp {
@@ -553,7 +641,10 @@ impl Elaborator {
             }
             let texp = self.elab_exp(&inner, &rule.exp)?;
             self.unify(span, &texp.ty, res_ty)?;
-            out.push(TRule { pat: tpat, exp: texp });
+            out.push(TRule {
+                pat: tpat,
+                exp: texp,
+            });
         }
         Ok(out)
     }
@@ -570,11 +661,23 @@ impl Elaborator {
         match &pat.kind {
             PatKind::Wild => {
                 let ty = self.fresh_ty();
-                Ok(TPat { kind: TPatKind::Wild, ty })
+                Ok(TPat {
+                    kind: TPatKind::Wild,
+                    ty,
+                })
             }
-            PatKind::Int(n) => Ok(TPat { kind: TPatKind::Int(*n), ty: Ty::int() }),
-            PatKind::Str(s) => Ok(TPat { kind: TPatKind::Str(s.clone()), ty: Ty::string() }),
-            PatKind::Char(c) => Ok(TPat { kind: TPatKind::Char(*c), ty: Ty::char() }),
+            PatKind::Int(n) => Ok(TPat {
+                kind: TPatKind::Int(*n),
+                ty: Ty::int(),
+            }),
+            PatKind::Str(s) => Ok(TPat {
+                kind: TPatKind::Str(s.clone()),
+                ty: Ty::string(),
+            }),
+            PatKind::Char(c) => Ok(TPat {
+                kind: TPatKind::Char(*c),
+                ty: Ty::char(),
+            }),
             PatKind::Var(path) => {
                 // A name that resolves to a constructor is a constant
                 // constructor pattern; otherwise it binds a variable.
@@ -587,23 +690,26 @@ impl Elaborator {
                     match self.lookup_val(env, path, span)? {
                         ValBind::Con(c) => Some(c),
                         _ => {
-                            return self.err(
-                                span,
-                                format!("`{path}` in pattern is not a constructor"),
-                            )
+                            return self
+                                .err(span, format!("`{path}` in pattern is not a constructor"))
                         }
                     }
                 };
                 match con {
                     Some(c) => {
                         if c.has_payload() {
-                            return self.err(
-                                span,
-                                format!("constructor `{path}` expects an argument"),
-                            );
+                            return self
+                                .err(span, format!("constructor `{path}` expects an argument"));
                         }
                         let (ty, inst) = c.scheme.instantiate(self.level);
-                        Ok(TPat { kind: TPatKind::Con { con: c, inst, arg: None }, ty })
+                        Ok(TPat {
+                            kind: TPatKind::Con {
+                                con: c,
+                                inst,
+                                arg: None,
+                            },
+                            ty,
+                        })
                     }
                     None => {
                         if binds.iter().any(|(n, _, _)| *n == path.name) {
@@ -615,7 +721,10 @@ impl Elaborator {
                         let ty = self.fresh_ty();
                         let var = self.vars.fresh(path.name, ty.clone());
                         binds.push((path.name, var, ty.clone()));
-                        Ok(TPat { kind: TPatKind::Var(var), ty })
+                        Ok(TPat {
+                            kind: TPatKind::Var(var),
+                            ty,
+                        })
                     }
                 }
             }
@@ -623,13 +732,14 @@ impl Elaborator {
                 let con = match self.lookup_val(env, path, span)? {
                     ValBind::Con(c) => c,
                     _ => {
-                        return self
-                            .err(span, format!("`{path}` in pattern is not a constructor"))
+                        return self.err(span, format!("`{path}` in pattern is not a constructor"))
                     }
                 };
                 if !con.has_payload() {
-                    return self
-                        .err(span, format!("constant constructor `{path}` applied in pattern"));
+                    return self.err(
+                        span,
+                        format!("constant constructor `{path}` applied in pattern"),
+                    );
                 }
                 let (conty, inst) = con.scheme.instantiate(self.level);
                 let Ty::Arrow(payload_ty, result_ty) = conty else {
@@ -638,7 +748,11 @@ impl Elaborator {
                 let targ = self.elab_pat(env, arg, binds)?;
                 self.unify(span, &targ.ty, &payload_ty)?;
                 Ok(TPat {
-                    kind: TPatKind::Con { con, inst, arg: Some(Box::new(targ)) },
+                    kind: TPatKind::Con {
+                        con,
+                        inst,
+                        arg: Some(Box::new(targ)),
+                    },
                     ty: *result_ty,
                 })
             }
@@ -653,7 +767,13 @@ impl Elaborator {
                     .map(|(i, p)| (Symbol::numeric(i + 1), p))
                     .collect();
                 let ty = Ty::Record(fields.iter().map(|(l, p)| (*l, p.ty.clone())).collect());
-                Ok(TPat { kind: TPatKind::Record { fields, flexible: false }, ty })
+                Ok(TPat {
+                    kind: TPatKind::Record {
+                        fields,
+                        flexible: false,
+                    },
+                    ty,
+                })
             }
             PatKind::Record { fields, flexible } => {
                 let mut tf: Vec<(Symbol, TPat)> = Vec::new();
@@ -671,10 +791,22 @@ impl Elaborator {
                         tf.iter().map(|(l, p)| (*l, p.ty.clone())).collect(),
                         span,
                     ));
-                    Ok(TPat { kind: TPatKind::Record { fields: tf, flexible: true }, ty })
+                    Ok(TPat {
+                        kind: TPatKind::Record {
+                            fields: tf,
+                            flexible: true,
+                        },
+                        ty,
+                    })
                 } else {
                     let ty = Ty::Record(tf.iter().map(|(l, p)| (*l, p.ty.clone())).collect());
-                    Ok(TPat { kind: TPatKind::Record { fields: tf, flexible: false }, ty })
+                    Ok(TPat {
+                        kind: TPatKind::Record {
+                            fields: tf,
+                            flexible: false,
+                        },
+                        ty,
+                    })
                 }
             }
             PatKind::List(parts) => {
@@ -701,10 +833,7 @@ impl Elaborator {
                     self.unify(p.span, &tp.ty, &elem_ty)?;
                     let pair = TPat {
                         kind: TPatKind::Record {
-                            fields: vec![
-                                (Symbol::numeric(1), tp),
-                                (Symbol::numeric(2), acc),
-                            ],
+                            fields: vec![(Symbol::numeric(1), tp), (Symbol::numeric(2), acc)],
                             flexible: false,
                         },
                         ty: Ty::pair(elem_ty.clone(), list_ty.clone()),
@@ -728,7 +857,10 @@ impl Elaborator {
                 let var = self.vars.fresh(*name, tp.ty.clone());
                 binds.push((*name, var, tp.ty.clone()));
                 let ty = tp.ty.clone();
-                Ok(TPat { kind: TPatKind::As(var, Box::new(tp)), ty })
+                Ok(TPat {
+                    kind: TPatKind::As(var, Box::new(tp)),
+                    ty,
+                })
             }
             PatKind::Constraint(inner, ty) => {
                 let tp = self.elab_pat(env, inner, binds)?;
@@ -782,11 +914,16 @@ impl Elaborator {
 
                 let single_var = matches!(tpat.kind, TPatKind::Var(_));
                 if single_var && is_nonexpansive(env, exp) {
-                    let TPatKind::Var(var) = tpat.kind else { unreachable!() };
+                    let TPatKind::Var(var) = tpat.kind else {
+                        unreachable!()
+                    };
                     let scheme = sml_types::generalize(&texp.ty, self.level);
                     self.vars.info_mut(var).scheme = scheme.clone();
                     let (name, _, _) = binds[0];
-                    let bind = ValBind::Var { access: Access::Var(var), scheme };
+                    let bind = ValBind::Var {
+                        access: Access::Var(var),
+                        scheme,
+                    };
                     env.vals.insert(name, bind.clone());
                     delta.vals.insert(name, bind);
                     out.push(TDec::PolyVal { var, exp: texp });
@@ -803,7 +940,10 @@ impl Elaborator {
                         env.vals.insert(*name, bind.clone());
                         delta.vals.insert(*name, bind);
                     }
-                    out.push(TDec::Val { pat: tpat, exp: texp });
+                    out.push(TDec::Val {
+                        pat: tpat,
+                        exp: texp,
+                    });
                 }
                 Ok(())
             }
@@ -920,7 +1060,10 @@ impl Elaborator {
             }
             ast::DecKind::Signature(binds) => {
                 for b in binds {
-                    let def = SigDef { ast: std::rc::Rc::new(b.def.clone()), env: env.clone() };
+                    let def = SigDef {
+                        ast: std::rc::Rc::new(b.def.clone()),
+                        env: env.clone(),
+                    };
                     env.sigs.insert(b.name, def.clone());
                     delta.sigs.insert(b.name, def);
                 }
@@ -978,9 +1121,10 @@ impl Elaborator {
         let mut scratch = env.clone();
         let mut tycons = Vec::new();
         for b in binds {
-            let tycon =
-                Tycon::fresh_data(b.name, b.tyvars.len(), EqProp::IfArgs);
-            scratch.tycons.insert(b.name, TyconBind::Tycon(tycon.clone()));
+            let tycon = Tycon::fresh_data(b.name, b.tyvars.len(), EqProp::IfArgs);
+            scratch
+                .tycons
+                .insert(b.name, TyconBind::Tycon(tycon.clone()));
             tycons.push(tycon);
         }
         // Phase 2: elaborate payloads.
@@ -1014,7 +1158,9 @@ impl Elaborator {
         // Phase 3: build constructor infos.
         let mut additions = DatatypeAdditions::default();
         for (b, tycon) in binds.iter().zip(&tycons) {
-            additions.tycons.push((b.name, TyconBind::Tycon(tycon.clone())));
+            additions
+                .tycons
+                .push((b.name, TyconBind::Tycon(tycon.clone())));
             let def = self
                 .reg
                 .datatype(tycon.stamp)
@@ -1062,7 +1208,10 @@ impl Elaborator {
     ) -> ElabResult<TExp> {
         let n_args = f.clauses[0].pats.len();
         if f.clauses.iter().any(|c| c.pats.len() != n_args) {
-            return self.err(span, format!("clauses of `{}` differ in argument count", f.name));
+            return self.err(
+                span,
+                format!("clauses of `{}` differ in argument count", f.name),
+            );
         }
         let arg_tys: Vec<Ty> = (0..n_args).map(|_| self.fresh_ty()).collect();
         let res_ty = self.fresh_ty();
@@ -1102,14 +1251,23 @@ impl Elaborator {
                     .map(|(i, p)| (Symbol::numeric(i + 1), p))
                     .collect();
                 let ty = Ty::Record(fields.iter().map(|(l, p)| (*l, p.ty.clone())).collect());
-                TPat { kind: TPatKind::Record { fields, flexible: false }, ty }
+                TPat {
+                    kind: TPatKind::Record {
+                        fields,
+                        flexible: false,
+                    },
+                    ty,
+                }
             };
             trules.push(TRule { pat, exp: body });
         }
 
         let exp = if n_args == 1 {
             TExp {
-                kind: TExpKind::Fn { rules: trules, arg_ty: arg_tys[0].clone() },
+                kind: TExpKind::Fn {
+                    rules: trules,
+                    arg_ty: arg_tys[0].clone(),
+                },
                 ty: Ty::arrow(arg_tys[0].clone(), res_ty.clone()),
             }
         } else {
@@ -1118,7 +1276,10 @@ impl Elaborator {
             let params: Vec<VarId> = arg_tys
                 .iter()
                 .enumerate()
-                .map(|(i, t)| self.vars.fresh(Symbol::intern(&format!("arg{i}")), t.clone()))
+                .map(|(i, t)| {
+                    self.vars
+                        .fresh(Symbol::intern(&format!("arg{i}")), t.clone())
+                })
                 .collect();
             let tuple_ty = Ty::tuple(arg_tys.clone());
             let tuple = TExp {
@@ -1154,7 +1315,10 @@ impl Elaborator {
                 body = TExp {
                     kind: TExpKind::Fn {
                         rules: vec![TRule {
-                            pat: TPat { kind: TPatKind::Var(*v), ty: at.clone() },
+                            pat: TPat {
+                                kind: TPatKind::Var(*v),
+                                ty: at.clone(),
+                            },
                             exp: body,
                         }],
                         arg_ty: at.clone(),
@@ -1211,9 +1375,7 @@ fn is_nonexpansive(env: &Env, exp: &ast::Exp) -> bool {
         | ExpKind::Var(_)
         | ExpKind::Fn(_)
         | ExpKind::Selector(_) => true,
-        ExpKind::Tuple(es) | ExpKind::List(es) => {
-            es.iter().all(|e| is_nonexpansive(env, e))
-        }
+        ExpKind::Tuple(es) | ExpKind::List(es) => es.iter().all(|e| is_nonexpansive(env, e)),
         ExpKind::Record(fs) => fs.iter().all(|(_, e)| is_nonexpansive(env, e)),
         ExpKind::Constraint(e, _) => is_nonexpansive(env, e),
         ExpKind::App(f, a) => {
@@ -1291,9 +1453,9 @@ fn fixup_dec(dec: &mut TDec, vars: &[VarId], identity: &[Ty]) {
         TDec::Val { exp, .. } | TDec::PolyVal { exp, .. } => {
             fixup_recursive_uses(exp, vars, identity)
         }
-        TDec::Fun { exps, .. } => {
-            exps.iter_mut().for_each(|e| fixup_recursive_uses(e, vars, identity))
-        }
+        TDec::Fun { exps, .. } => exps
+            .iter_mut()
+            .for_each(|e| fixup_recursive_uses(e, vars, identity)),
         TDec::Exception { .. } => {}
         TDec::Structure { def, .. } => fixup_strexp(def, vars, identity),
         TDec::Functor { body, .. } => fixup_strexp(body, vars, identity),
@@ -1302,9 +1464,7 @@ fn fixup_dec(dec: &mut TDec, vars: &[VarId], identity: &[Ty]) {
 
 fn fixup_strexp(se: &mut TStrExp, vars: &[VarId], identity: &[Ty]) {
     match se {
-        TStrExp::Struct { decs, .. } => {
-            decs.iter_mut().for_each(|d| fixup_dec(d, vars, identity))
-        }
+        TStrExp::Struct { decs, .. } => decs.iter_mut().for_each(|d| fixup_dec(d, vars, identity)),
         TStrExp::Access(_) => {}
         TStrExp::Thin { base, .. } => fixup_strexp(base, vars, identity),
         TStrExp::FctApp { arg, .. } => fixup_strexp(arg, vars, identity),

@@ -62,7 +62,10 @@ pub struct TyFun {
 impl TyFun {
     /// A nullary type function.
     pub fn constant(ty: Ty) -> TyFun {
-        TyFun { params: Vec::new(), body: ty }
+        TyFun {
+            params: Vec::new(),
+            body: ty,
+        }
     }
 
     /// The arity.
@@ -115,7 +118,10 @@ impl TyconBind {
                     })
                     .collect();
                 let args = params.iter().map(|c| Ty::Var(c.clone())).collect();
-                TyFun { params, body: Ty::Con(t.clone(), args) }
+                TyFun {
+                    params,
+                    body: Ty::Con(t.clone(), args),
+                }
             }
         }
     }
@@ -204,9 +210,7 @@ impl SigInstance {
         let mut comps = Vec::new();
         for item in &self.items {
             match item {
-                SigItem::Val { name, scheme } => {
-                    comps.push((*name, CompTy::Val(scheme.clone())))
-                }
+                SigItem::Val { name, scheme } => comps.push((*name, CompTy::Val(scheme.clone()))),
                 SigItem::Exn { name, .. } => comps.push((*name, CompTy::Exn)),
                 SigItem::Str { name, sig } => comps.push((*name, CompTy::Str(sig.str_ty()))),
                 SigItem::Type { .. } | SigItem::Datatype { .. } => {}
@@ -317,7 +321,12 @@ impl BuiltinExns {
 pub fn poly1(eq: bool, f: impl FnOnce(Ty) -> Ty) -> Scheme {
     let c = TvRef::fresh(0);
     *c.0.borrow_mut() = Tv::Gen(0);
-    Scheme { arity: 1, eq_flags: vec![eq], cells: vec![c.clone()], body: f(Ty::Var(c)) }
+    Scheme {
+        arity: 1,
+        eq_flags: vec![eq],
+        cells: vec![c.clone()],
+        body: f(Ty::Var(c)),
+    }
 }
 
 /// Builds a scheme `forall 'a 'b. body('a, 'b)`.
@@ -335,12 +344,25 @@ pub fn poly2(f: impl FnOnce(Ty, Ty) -> Ty) -> Scheme {
 }
 
 fn prim(env: &mut Env, name: &str, prim: Prim, scheme: Scheme) {
-    env.vals.insert(Symbol::intern(name), ValBind::Prim { prim, scheme, overload: None });
+    env.vals.insert(
+        Symbol::intern(name),
+        ValBind::Prim {
+            prim,
+            scheme,
+            overload: None,
+        },
+    );
 }
 
 fn oprim(env: &mut Env, name: &str, p: Prim, class: OvClass, scheme: Scheme) {
-    env.vals
-        .insert(Symbol::intern(name), ValBind::Prim { prim: p, scheme, overload: Some(class) });
+    env.vals.insert(
+        Symbol::intern(name),
+        ValBind::Prim {
+            prim: p,
+            scheme,
+            overload: Some(class),
+        },
+    );
 }
 
 fn mono(ty: Ty) -> Scheme {
@@ -370,8 +392,10 @@ pub fn builtin_env(reg: &TyconRegistry, vars: &mut VarTable) -> (Env, BuiltinExn
     ] {
         env.tycons.insert(t.name, TyconBind::Tycon(t));
     }
-    env.tycons
-        .insert(Symbol::intern("unit"), TyconBind::Abbrev(TyFun::constant(Ty::unit())));
+    env.tycons.insert(
+        Symbol::intern("unit"),
+        TyconBind::Abbrev(TyFun::constant(Ty::unit())),
+    );
 
     // ----- datatype constructors -----------------------------------------
     for dt in reg.iter() {
@@ -411,28 +435,62 @@ pub fn builtin_env(reg: &TyconRegistry, vars: &mut VarTable) -> (Env, BuiltinExn
         t
     };
     let _ = bin;
-    oprim(&mut env, "+", OAdd, OvClass::Num, poly1(false, |a| {
-        Ty::arrow(Ty::pair(a.clone(), a.clone()), a)
-    }));
-    oprim(&mut env, "-", OSub, OvClass::Num, poly1(false, |a| {
-        Ty::arrow(Ty::pair(a.clone(), a.clone()), a)
-    }));
-    oprim(&mut env, "*", OMul, OvClass::Num, poly1(false, |a| {
-        Ty::arrow(Ty::pair(a.clone(), a.clone()), a)
-    }));
-    oprim(&mut env, "~", ONeg, OvClass::Num, poly1(false, |a| Ty::arrow(a.clone(), a)));
-    oprim(&mut env, "<", OLt, OvClass::NumText, poly1(false, |a| {
-        Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())
-    }));
-    oprim(&mut env, "<=", OLe, OvClass::NumText, poly1(false, |a| {
-        Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())
-    }));
-    oprim(&mut env, ">", OGt, OvClass::NumText, poly1(false, |a| {
-        Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())
-    }));
-    oprim(&mut env, ">=", OGe, OvClass::NumText, poly1(false, |a| {
-        Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())
-    }));
+    oprim(
+        &mut env,
+        "+",
+        OAdd,
+        OvClass::Num,
+        poly1(false, |a| Ty::arrow(Ty::pair(a.clone(), a.clone()), a)),
+    );
+    oprim(
+        &mut env,
+        "-",
+        OSub,
+        OvClass::Num,
+        poly1(false, |a| Ty::arrow(Ty::pair(a.clone(), a.clone()), a)),
+    );
+    oprim(
+        &mut env,
+        "*",
+        OMul,
+        OvClass::Num,
+        poly1(false, |a| Ty::arrow(Ty::pair(a.clone(), a.clone()), a)),
+    );
+    oprim(
+        &mut env,
+        "~",
+        ONeg,
+        OvClass::Num,
+        poly1(false, |a| Ty::arrow(a.clone(), a)),
+    );
+    oprim(
+        &mut env,
+        "<",
+        OLt,
+        OvClass::NumText,
+        poly1(false, |a| Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())),
+    );
+    oprim(
+        &mut env,
+        "<=",
+        OLe,
+        OvClass::NumText,
+        poly1(false, |a| Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())),
+    );
+    oprim(
+        &mut env,
+        ">",
+        OGt,
+        OvClass::NumText,
+        poly1(false, |a| Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())),
+    );
+    oprim(
+        &mut env,
+        ">=",
+        OGe,
+        OvClass::NumText,
+        poly1(false, |a| Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())),
+    );
 
     // ----- fixed-type primitives ------------------------------------------
     let ii_i = || mono(Ty::arrow(Ty::pair(Ty::int(), Ty::int()), Ty::int()));
@@ -447,53 +505,150 @@ pub fn builtin_env(reg: &TyconRegistry, vars: &mut VarTable) -> (Env, BuiltinExn
     prim(&mut env, "arctan", FAtan, r_r());
     prim(&mut env, "exp", FExp, r_r());
     prim(&mut env, "ln", FLn, r_r());
-    prim(&mut env, "floor", Floor, mono(Ty::arrow(Ty::real(), Ty::int())));
-    prim(&mut env, "real", IntToReal, mono(Ty::arrow(Ty::int(), Ty::real())));
+    prim(
+        &mut env,
+        "floor",
+        Floor,
+        mono(Ty::arrow(Ty::real(), Ty::int())),
+    );
+    prim(
+        &mut env,
+        "real",
+        IntToReal,
+        mono(Ty::arrow(Ty::int(), Ty::real())),
+    );
 
     // Polymorphic equality: forall ''a. ''a * ''a -> bool.
-    prim(&mut env, "=", PolyEq, poly1(true, |a| Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())));
-    prim(&mut env, "<>", PolyNe, poly1(true, |a| Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())));
+    prim(
+        &mut env,
+        "=",
+        PolyEq,
+        poly1(true, |a| Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())),
+    );
+    prim(
+        &mut env,
+        "<>",
+        PolyNe,
+        poly1(true, |a| Ty::arrow(Ty::pair(a.clone(), a), Ty::bool())),
+    );
 
     // References.
-    prim(&mut env, "ref", MakeRef, poly1(false, |a| Ty::arrow(a.clone(), Ty::reference(a))));
-    prim(&mut env, "!", Deref, poly1(false, |a| Ty::arrow(Ty::reference(a.clone()), a)));
-    prim(&mut env, ":=", Assign, poly1(false, |a| {
-        Ty::arrow(Ty::pair(Ty::reference(a.clone()), a), Ty::unit())
-    }));
+    prim(
+        &mut env,
+        "ref",
+        MakeRef,
+        poly1(false, |a| Ty::arrow(a.clone(), Ty::reference(a))),
+    );
+    prim(
+        &mut env,
+        "!",
+        Deref,
+        poly1(false, |a| Ty::arrow(Ty::reference(a.clone()), a)),
+    );
+    prim(
+        &mut env,
+        ":=",
+        Assign,
+        poly1(false, |a| {
+            Ty::arrow(Ty::pair(Ty::reference(a.clone()), a), Ty::unit())
+        }),
+    );
 
     // Strings and chars.
-    prim(&mut env, "size", StrSize, mono(Ty::arrow(Ty::string(), Ty::int())));
-    prim(&mut env, "strsub", StrSub, mono(Ty::arrow(Ty::pair(Ty::string(), Ty::int()), Ty::char())));
-    prim(&mut env, "^", StrCat, mono(Ty::arrow(Ty::pair(Ty::string(), Ty::string()), Ty::string())));
+    prim(
+        &mut env,
+        "size",
+        StrSize,
+        mono(Ty::arrow(Ty::string(), Ty::int())),
+    );
+    prim(
+        &mut env,
+        "strsub",
+        StrSub,
+        mono(Ty::arrow(Ty::pair(Ty::string(), Ty::int()), Ty::char())),
+    );
+    prim(
+        &mut env,
+        "^",
+        StrCat,
+        mono(Ty::arrow(
+            Ty::pair(Ty::string(), Ty::string()),
+            Ty::string(),
+        )),
+    );
     prim(&mut env, "ord", Ord, mono(Ty::arrow(Ty::char(), Ty::int())));
     prim(&mut env, "chr", Chr, mono(Ty::arrow(Ty::int(), Ty::char())));
-    prim(&mut env, "itos", IntToString, mono(Ty::arrow(Ty::int(), Ty::string())));
-    prim(&mut env, "rtos", RealToString, mono(Ty::arrow(Ty::real(), Ty::string())));
+    prim(
+        &mut env,
+        "itos",
+        IntToString,
+        mono(Ty::arrow(Ty::int(), Ty::string())),
+    );
+    prim(
+        &mut env,
+        "rtos",
+        RealToString,
+        mono(Ty::arrow(Ty::real(), Ty::string())),
+    );
 
     // Arrays.
-    prim(&mut env, "array", ArrayMake, poly1(false, |a| {
-        Ty::arrow(Ty::pair(Ty::int(), a.clone()), Ty::array(a))
-    }));
-    prim(&mut env, "asub", ArraySub, poly1(false, |a| {
-        Ty::arrow(Ty::pair(Ty::array(a.clone()), Ty::int()), a)
-    }));
-    prim(&mut env, "aupdate", ArrayUpdate, poly1(false, |a| {
-        Ty::arrow(Ty::tuple(vec![Ty::array(a.clone()), Ty::int(), a]), Ty::unit())
-    }));
-    prim(&mut env, "alength", ArrayLength, poly1(false, |a| {
-        Ty::arrow(Ty::array(a), Ty::int())
-    }));
+    prim(
+        &mut env,
+        "array",
+        ArrayMake,
+        poly1(false, |a| {
+            Ty::arrow(Ty::pair(Ty::int(), a.clone()), Ty::array(a))
+        }),
+    );
+    prim(
+        &mut env,
+        "asub",
+        ArraySub,
+        poly1(false, |a| {
+            Ty::arrow(Ty::pair(Ty::array(a.clone()), Ty::int()), a)
+        }),
+    );
+    prim(
+        &mut env,
+        "aupdate",
+        ArrayUpdate,
+        poly1(false, |a| {
+            Ty::arrow(
+                Ty::tuple(vec![Ty::array(a.clone()), Ty::int(), a]),
+                Ty::unit(),
+            )
+        }),
+    );
+    prim(
+        &mut env,
+        "alength",
+        ArrayLength,
+        poly1(false, |a| Ty::arrow(Ty::array(a), Ty::int())),
+    );
 
     // Continuations.
-    prim(&mut env, "callcc", Callcc, poly1(false, |a| {
-        Ty::arrow(Ty::arrow(Ty::cont(a.clone()), a.clone()), a)
-    }));
-    prim(&mut env, "throw", Throw, poly2(|a, b| {
-        Ty::arrow(Ty::cont(a.clone()), Ty::arrow(a, b))
-    }));
+    prim(
+        &mut env,
+        "callcc",
+        Callcc,
+        poly1(false, |a| {
+            Ty::arrow(Ty::arrow(Ty::cont(a.clone()), a.clone()), a)
+        }),
+    );
+    prim(
+        &mut env,
+        "throw",
+        Throw,
+        poly2(|a, b| Ty::arrow(Ty::cont(a.clone()), Ty::arrow(a, b))),
+    );
 
     // Output.
-    prim(&mut env, "print", Print, mono(Ty::arrow(Ty::string(), Ty::unit())));
+    prim(
+        &mut env,
+        "print",
+        Print,
+        mono(Ty::arrow(Ty::string(), Ty::unit())),
+    );
 
     // ----- built-in exceptions ---------------------------------------------
     let mut mk_exn = |env: &mut Env, name: &str, payload: Option<Ty>| -> VarId {
@@ -555,10 +710,14 @@ mod tests {
         let reg = TyconRegistry::with_builtins();
         let mut vars = VarTable::new();
         let (env, _) = builtin_env(&reg, &mut vars);
-        let ValBind::Con(c) = &env.vals[&Symbol::intern("::")] else { panic!() };
+        let ValBind::Con(c) = &env.vals[&Symbol::intern("::")] else {
+            panic!()
+        };
         assert_eq!(c.rep, ConRep::Transparent);
         assert_eq!(c.scheme.arity, 1);
-        let ValBind::Con(t) = &env.vals[&Symbol::intern("true")] else { panic!() };
+        let ValBind::Con(t) = &env.vals[&Symbol::intern("true")] else {
+            panic!()
+        };
         assert_eq!(t.rep, ConRep::Constant(1));
     }
 
@@ -567,16 +726,23 @@ mod tests {
         let reg = TyconRegistry::with_builtins();
         let mut vars = VarTable::new();
         let (env, _) = builtin_env(&reg, &mut vars);
-        let ValBind::Prim { overload, .. } = &env.vals[&Symbol::intern("+")] else { panic!() };
+        let ValBind::Prim { overload, .. } = &env.vals[&Symbol::intern("+")] else {
+            panic!()
+        };
         assert_eq!(*overload, Some(OvClass::Num));
-        let ValBind::Prim { overload, .. } = &env.vals[&Symbol::intern("div")] else { panic!() };
+        let ValBind::Prim { overload, .. } = &env.vals[&Symbol::intern("div")] else {
+            panic!()
+        };
         assert!(overload.is_none());
     }
 
     #[test]
     fn tyfun_apply() {
         let f = poly1(false, |a| Ty::pair(a.clone(), a));
-        let tf = TyFun { params: f.cells.clone(), body: f.body.clone() };
+        let tf = TyFun {
+            params: f.cells.clone(),
+            body: f.body.clone(),
+        };
         let t = tf.apply(&[Ty::int()]);
         assert_eq!(t.to_string(), "int * int");
     }

@@ -15,7 +15,10 @@ pub struct ElabError {
 impl ElabError {
     /// Creates an error at `span`.
     pub fn new(span: Span, msg: impl Into<String>) -> ElabError {
-        ElabError { span, msg: msg.into() }
+        ElabError {
+            span,
+            msg: msg.into(),
+        }
     }
 
     /// Renders the error with line/column resolved against `src`.

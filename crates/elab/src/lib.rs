@@ -23,8 +23,8 @@ pub mod modules;
 pub mod mtd;
 
 pub use absyn::{
-    Access, CompTy, ConInfo, Export, ExportItem, Prim, StrTy, TDec, TExp, TExpKind, TPat,
-    TPatKind, TRule, TStrExp, ThinItem, VarId, VarInfo, VarTable,
+    Access, CompTy, ConInfo, Export, ExportItem, Prim, StrTy, TDec, TExp, TExpKind, TPat, TPatKind,
+    TRule, TStrExp, ThinItem, VarId, VarInfo, VarTable,
 };
 pub use elaborate::{elaborate, Elaboration};
 pub use env::{builtin_env, BuiltinExns, Env, OvClass, TyFun, ValBind};

@@ -33,9 +33,7 @@ fn access_splice(a: &Access, root: VarId, new: &Access) -> Access {
     match a {
         Access::Var(v) if *v == root => new.clone(),
         Access::Var(v) => Access::Var(*v),
-        Access::Select(inner, i) => {
-            Access::Select(Box::new(access_splice(inner, root, new)), *i)
-        }
+        Access::Select(inner, i) => Access::Select(Box::new(access_splice(inner, root, new)), *i),
     }
 }
 
@@ -324,19 +322,18 @@ impl Elaborator {
         let (items, to_ty, renv, rroot, _instmap) =
             self.match_sig(&res.ty, &res.env, &si, opaque, Span::dummy())?;
         Ok(StrResult {
-            texp: TStrExp::Thin { base: Box::new(res.texp), items, to: to_ty.clone() },
+            texp: TStrExp::Thin {
+                base: Box::new(res.texp),
+                items,
+                to: to_ty.clone(),
+            },
             ty: to_ty,
             env: renv,
             root: Some(rroot),
         })
     }
 
-    fn elab_struct(
-        &mut self,
-        env: &Env,
-        decs: &[ast::Dec],
-        span: Span,
-    ) -> ElabResult<StrResult> {
+    fn elab_struct(&mut self, env: &Env, decs: &[ast::Dec], span: Span) -> ElabResult<StrResult> {
         let mut inner = env.clone();
         let mut tdecs = Vec::new();
         let mut delta = Env::new();
@@ -366,18 +363,14 @@ impl Elaborator {
                         push(&mut order, Ns::Val, self.vars.info(v).name);
                     }
                 }
-                TDec::PolyVal { var, .. } => {
-                    push(&mut order, Ns::Val, self.vars.info(*var).name)
-                }
+                TDec::PolyVal { var, .. } => push(&mut order, Ns::Val, self.vars.info(*var).name),
                 TDec::Fun { vars, .. } => {
                     for v in vars {
                         push(&mut order, Ns::Val, self.vars.info(*v).name);
                     }
                 }
                 TDec::Exception { name, .. } => push(&mut order, Ns::Val, *name),
-                TDec::Structure { var, .. } => {
-                    push(&mut order, Ns::Str, self.vars.info(*var).name)
-                }
+                TDec::Structure { var, .. } => push(&mut order, Ns::Str, self.vars.info(*var).name),
                 TDec::Functor { .. } => {}
             }
         }
@@ -400,7 +393,9 @@ impl Elaborator {
                         if let Some(tag) = &ci.tag {
                             exports.push(Export {
                                 name: *name,
-                                item: ExportItem::Exn { access: tag.clone() },
+                                item: ExportItem::Exn {
+                                    access: tag.clone(),
+                                },
                             });
                         }
                         // Plain constructors are static: no slot.
@@ -433,7 +428,10 @@ impl Elaborator {
                     comps.push((ex.name, CompTy::Val(scheme.clone())));
                     visible.vals.insert(
                         ex.name,
-                        ValBind::Var { access: here, scheme: scheme.clone() },
+                        ValBind::Var {
+                            access: here,
+                            scheme: scheme.clone(),
+                        },
                     );
                 }
                 ExportItem::Exn { .. } => {
@@ -454,7 +452,10 @@ impl Elaborator {
         }
 
         Ok(StrResult {
-            texp: TStrExp::Struct { decs: tdecs, exports },
+            texp: TStrExp::Struct {
+                decs: tdecs,
+                exports,
+            },
             ty: StrTy(comps),
             env: visible,
             root: Some(root),
@@ -506,10 +507,18 @@ impl Elaborator {
                 self.tyvar_scopes.pop();
                 let t = t?;
                 let scheme = sml_types::generalize(&t, self.level);
-                items.push(SigItem::Val { name: *name, scheme });
+                items.push(SigItem::Val {
+                    name: *name,
+                    scheme,
+                });
                 Ok(())
             }
-            Spec::Type { tyvars, name, eq, def } => {
+            Spec::Type {
+                tyvars,
+                name,
+                eq,
+                def,
+            } => {
                 let bind = match def {
                     Some(body) => TyconBind::Abbrev(self.elab_tyfun(local, tyvars, body)?),
                     None => {
@@ -527,7 +536,9 @@ impl Elaborator {
                 // with its constructors.
                 let tycon = Tycon::fresh_data(db.name, db.tyvars.len(), EqProp::IfArgs);
                 let mut scratch = local.clone();
-                scratch.tycons.insert(db.name, TyconBind::Tycon(tycon.clone()));
+                scratch
+                    .tycons
+                    .insert(db.name, TyconBind::Tycon(tycon.clone()));
                 let mut scope = HashMap::new();
                 let mut params = Vec::new();
                 for tv in &db.tyvars {
@@ -549,7 +560,11 @@ impl Elaborator {
                     *cell.0.borrow_mut() = Tv::Gen(i as u32);
                 }
                 self.reg.register_batch(vec![(tycon.clone(), params, cons)]);
-                let def = self.reg.datatype(tycon.stamp).expect("just registered").clone();
+                let def = self
+                    .reg
+                    .datatype(tycon.stamp)
+                    .expect("just registered")
+                    .clone();
                 let mut infos = Vec::new();
                 for con in &def.cons {
                     let args: Vec<Ty> = def.params.iter().map(|c| Ty::Var(c.clone())).collect();
@@ -577,9 +592,15 @@ impl Elaborator {
                     local.vals.insert(con.name, ValBind::Con(ci.clone()));
                     infos.push(ci);
                 }
-                local.tycons.insert(db.name, TyconBind::Tycon(tycon.clone()));
+                local
+                    .tycons
+                    .insert(db.name, TyconBind::Tycon(tycon.clone()));
                 flex.push(tycon.stamp);
-                items.push(SigItem::Datatype { name: db.name, tycon, cons: infos });
+                items.push(SigItem::Datatype {
+                    name: db.name,
+                    tycon,
+                    cons: infos,
+                });
                 Ok(())
             }
             Spec::Exception(name, ty) => {
@@ -587,7 +608,10 @@ impl Elaborator {
                     Some(t) => Some(self.elab_ty(local, t)?),
                     None => None,
                 };
-                items.push(SigItem::Exn { name: *name, payload });
+                items.push(SigItem::Exn {
+                    name: *name,
+                    payload,
+                });
                 Ok(())
             }
             Spec::Structure(name, se) => {
@@ -605,7 +629,10 @@ impl Elaborator {
                         ty: sub.str_ty(),
                     },
                 );
-                items.push(SigItem::Str { name: *name, sig: sub });
+                items.push(SigItem::Str {
+                    name: *name,
+                    sig: sub,
+                });
                 let _ = span;
                 Ok(())
             }
@@ -642,10 +669,7 @@ impl Elaborator {
                 SigItem::Exn { name, payload } => {
                     let tag = Access::Select(Box::new(root.clone()), slot);
                     let (rep, scheme) = match payload {
-                        Some(p) => (
-                            ConRep::Exn,
-                            Scheme::mono(Ty::arrow(p.clone(), Ty::exn())),
-                        ),
+                        Some(p) => (ConRep::Exn, Scheme::mono(Ty::arrow(p.clone(), Ty::exn()))),
                         None => (ConRep::ExnConst, Scheme::mono(Ty::exn())),
                     };
                     env.vals.insert(
@@ -668,7 +692,11 @@ impl Elaborator {
                     let sub_env = self.sig_instance_env(sig, &here);
                     env.strs.insert(
                         *name,
-                        StrEntry { access: here, env: Rc::new(sub_env), ty: sig.str_ty() },
+                        StrEntry {
+                            access: here,
+                            env: Rc::new(sub_env),
+                            ty: sig.str_ty(),
+                        },
                     );
                     slot += 1;
                 }
@@ -678,7 +706,6 @@ impl Elaborator {
     }
 
     // ----- signature matching ----------------------------------------------------
-
 
     /// Matches a structure (given by its `StrTy` and component
     /// environment) against a signature instance.
@@ -735,7 +762,11 @@ impl Elaborator {
                                 ));
                             }
                             instmap.insert(abs.stamp, src_bind.to_tyfun());
-                            let vis = if opaque { bind.clone() } else { src_bind.clone() };
+                            let vis = if opaque {
+                                bind.clone()
+                            } else {
+                                src_bind.clone()
+                            };
                             renv.tycons.insert(*name, vis);
                         }
                         _ => {
@@ -808,13 +839,18 @@ impl Elaborator {
                         ElabError::new(span, format!("structure lacks value `{name}`"))
                     })?;
                     let (from, to) = match src_env.vals.get(name) {
-                        Some(ValBind::Var { scheme: src_scheme, .. }) => {
+                        Some(ValBind::Var {
+                            scheme: src_scheme, ..
+                        }) => {
                             // Check: the (instantiated) spec type must be
                             // an instance of the structure's scheme.
                             let want = subst_scheme(scheme, instmap);
                             self.check_instance(src_scheme, &want, *name, span)?;
-                            let to =
-                                if opaque { scheme.clone() } else { subst_scheme(scheme, instmap) };
+                            let to = if opaque {
+                                scheme.clone()
+                            } else {
+                                subst_scheme(scheme, instmap)
+                            };
                             (src_scheme.clone(), to)
                         }
                         _ => {
@@ -824,7 +860,11 @@ impl Elaborator {
                             ))
                         }
                     };
-                    items.push(ThinItem::Val { slot: src_slot, from, to: to.clone() });
+                    items.push(ThinItem::Val {
+                        slot: src_slot,
+                        from,
+                        to: to.clone(),
+                    });
                     comps.push((*name, CompTy::Val(to.clone())));
                     renv.vals.insert(
                         *name,
@@ -852,13 +892,14 @@ impl Elaborator {
                     comps.push((*name, CompTy::Exn));
                     let tag = Access::Select(Box::new(Access::Var(root)), slot);
                     let payload = payload.as_ref().map(|p| {
-                        if opaque { p.clone() } else { subst_ty(p, instmap) }
+                        if opaque {
+                            p.clone()
+                        } else {
+                            subst_ty(p, instmap)
+                        }
                     });
                     let (rep, scheme) = match &payload {
-                        Some(p) => (
-                            ConRep::Exn,
-                            Scheme::mono(Ty::arrow(p.clone(), Ty::exn())),
-                        ),
+                        Some(p) => (ConRep::Exn, Scheme::mono(Ty::arrow(p.clone(), Ty::exn()))),
                         None => (ConRep::ExnConst, Scheme::mono(Ty::exn())),
                     };
                     renv.vals.insert(
@@ -897,7 +938,11 @@ impl Elaborator {
                     let sub_renv = reroot_env(&sub_renv, sub_root, &here);
                     renv.strs.insert(
                         *name,
-                        StrEntry { access: here, env: Rc::new(sub_renv), ty: sub_to },
+                        StrEntry {
+                            access: here,
+                            env: Rc::new(sub_renv),
+                            ty: sub_to,
+                        },
                     );
                     slot += 1;
                 }
@@ -945,10 +990,7 @@ impl Elaborator {
 fn collect_pat_vars(pat: &TPat, out: &mut Vec<VarId>) {
     match &pat.kind {
         TPatKind::Var(v) => out.push(*v),
-        TPatKind::Wild
-        | TPatKind::Int(_)
-        | TPatKind::Str(_)
-        | TPatKind::Char(_) => {}
+        TPatKind::Wild | TPatKind::Int(_) | TPatKind::Str(_) | TPatKind::Char(_) => {}
         TPatKind::Con { arg, .. } => {
             if let Some(a) = arg {
                 collect_pat_vars(a, out);

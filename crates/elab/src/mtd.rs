@@ -83,9 +83,7 @@ fn collect_exp_sites(exp: &TExp, out: &mut Vec<Site>) {
             collect_exp_sites(f, out);
             collect_exp_sites(a, out);
         }
-        TExpKind::Fn { rules, .. } => {
-            rules.iter().for_each(|r| collect_exp_sites(&r.exp, out))
-        }
+        TExpKind::Fn { rules, .. } => rules.iter().for_each(|r| collect_exp_sites(&r.exp, out)),
         TExpKind::Case(s, rules) => {
             collect_exp_sites(s, out);
             rules.iter().for_each(|r| collect_exp_sites(&r.exp, out));
@@ -129,7 +127,12 @@ fn minimize_site(elab: &mut Elaboration, site: &Site) {
     // Pass 1: gather all uses.
     let mut uses: Vec<Use> = Vec::new();
     {
-        let mut g = Gather { targets: &site.vars, inside: false, uses: &mut uses, arity: scheme.arity };
+        let mut g = Gather {
+            targets: &site.vars,
+            inside: false,
+            uses: &mut uses,
+            arity: scheme.arity,
+        };
         for dec in &elab.decs {
             g.dec(dec);
         }
@@ -184,7 +187,12 @@ fn minimize_site(elab: &mut Elaboration, site: &Site) {
         if u.internal {
             new_insts.push(identity.clone());
         } else {
-            new_insts.push(disagreements.iter().map(|d| d.uses[ext_idx].clone()).collect());
+            new_insts.push(
+                disagreements
+                    .iter()
+                    .map(|d| d.uses[ext_idx].clone())
+                    .collect(),
+            );
             ext_idx += 1;
         }
     }
@@ -246,7 +254,10 @@ impl Gather<'_> {
                     && self.targets.contains(&access.root())
                     && inst.len() == self.arity
                 {
-                    self.uses.push(Use { internal: self.inside, inst: inst.clone() });
+                    self.uses.push(Use {
+                        internal: self.inside,
+                        inst: inst.clone(),
+                    });
                 }
             }
             TExpKind::Int(_)

@@ -1,8 +1,6 @@
 //! End-to-end elaboration tests: core language, modules, and MTD.
 
-use sml_elab::{
-    elaborate, minimum_typing, CompTy, Elaboration, TDec, TExpKind, TStrExp, ThinItem,
-};
+use sml_elab::{elaborate, minimum_typing, CompTy, Elaboration, TDec, TExpKind, TStrExp, ThinItem};
 
 fn elab(src: &str) -> Elaboration {
     let prog = sml_ast::parse(src).unwrap_or_else(|e| panic!("parse: {e}"));
@@ -30,28 +28,39 @@ fn simple_val() {
     let decs = user_decs(&e);
     assert_eq!(decs.len(), 1);
     // `1 + 2` is nonexpansive? No: application -> Val (monomorphic).
-    let TDec::Val { exp, .. } = &decs[0] else { panic!("expected Val") };
+    let TDec::Val { exp, .. } = &decs[0] else {
+        panic!("expected Val")
+    };
     assert_eq!(exp.ty.zonk().to_string(), "int");
 }
 
 #[test]
 fn overload_defaults_to_int() {
     let e = elab("fun double x = x + x");
-    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else { panic!() };
+    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
     assert_eq!(e.vars.scheme(vars[0]).body.zonk().to_string(), "int -> int");
 }
 
 #[test]
 fn overload_resolves_to_real() {
     let e = elab("fun scale x = x * 2.0");
-    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else { panic!() };
-    assert_eq!(e.vars.scheme(vars[0]).body.zonk().to_string(), "real -> real");
+    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
+    assert_eq!(
+        e.vars.scheme(vars[0]).body.zonk().to_string(),
+        "real -> real"
+    );
 }
 
 #[test]
 fn polymorphic_identity() {
     let e = elab("val id = fn x => x");
-    let TDec::PolyVal { var, .. } = &user_decs(&e)[0] else { panic!() };
+    let TDec::PolyVal { var, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
     let s = e.vars.scheme(*var);
     assert_eq!(s.arity, 1);
     assert_eq!(s.body.zonk().to_string(), "'a -> 'a");
@@ -59,13 +68,16 @@ fn polymorphic_identity() {
 
 #[test]
 fn map_has_standard_scheme() {
-    let e = elab(
-        "fun map f nil = nil | map f (x :: r) = f x :: map f r",
-    );
-    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else { panic!() };
+    let e = elab("fun map f nil = nil | map f (x :: r) = f x :: map f r");
+    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
     let s = e.vars.scheme(vars[0]);
     assert_eq!(s.arity, 2);
-    assert_eq!(s.body.zonk().to_string(), "('a -> 'b) -> 'a list -> 'b list");
+    assert_eq!(
+        s.body.zonk().to_string(),
+        "('a -> 'b) -> 'a list -> 'b list"
+    );
 }
 
 #[test]
@@ -81,10 +93,16 @@ fn instantiations_are_recorded() {
         "val id = fn x => x
          val n = id 3",
     );
-    let TDec::Val { exp, .. } = &user_decs(&e)[1] else { panic!() };
+    let TDec::Val { exp, .. } = &user_decs(&e)[1] else {
+        panic!()
+    };
     // exp = App(Var id [int], 3)
-    let TExpKind::App(f, _) = &exp.kind else { panic!() };
-    let TExpKind::Var { inst, .. } = &f.kind else { panic!() };
+    let TExpKind::App(f, _) = &exp.kind else {
+        panic!()
+    };
+    let TExpKind::Var { inst, .. } = &f.kind else {
+        panic!()
+    };
     assert_eq!(inst.len(), 1);
     assert_eq!(inst[0].zonk().to_string(), "int");
 }
@@ -98,7 +116,9 @@ fn datatype_and_case() {
                let val a = depth l val b = depth r
                in 1 + (if a < b then b else a) end",
     );
-    let TDec::Fun { vars, .. } = user_decs(&e).last().unwrap() else { panic!() };
+    let TDec::Fun { vars, .. } = user_decs(&e).last().unwrap() else {
+        panic!()
+    };
     let s = e.vars.scheme(vars[0]);
     assert_eq!(s.body.zonk().to_string(), "'a tree -> int");
 }
@@ -110,7 +130,9 @@ fn exceptions_and_handle() {
          fun hd nil = raise Empty | hd (x :: _) = x
          val z = hd [1, 2] handle Empty => 0",
     );
-    assert!(user_decs(&e).iter().any(|d| matches!(d, TDec::Exception { .. })));
+    assert!(user_decs(&e)
+        .iter()
+        .any(|d| matches!(d, TDec::Exception { .. })));
 }
 
 #[test]
@@ -135,7 +157,9 @@ fn type_errors_are_reported() {
 #[test]
 fn flexible_record_pattern_resolves() {
     let e = elab("fun get (r : {a : int, b : real}) = let val {a, ...} = r in a end");
-    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else { panic!() };
+    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
     assert_eq!(
         e.vars.scheme(vars[0]).body.zonk().to_string(),
         "{a : int, b : real} -> int"
@@ -151,7 +175,9 @@ fn unresolved_flexible_record_errors() {
 #[test]
 fn selector_on_tuple() {
     let e = elab("val p = (1, 2.0) val x = #2 p");
-    let TDec::Val { exp, .. } = user_decs(&e).last().unwrap() else { panic!() };
+    let TDec::Val { exp, .. } = user_decs(&e).last().unwrap() else {
+        panic!()
+    };
     assert_eq!(exp.ty.zonk().to_string(), "real");
 }
 
@@ -163,7 +189,9 @@ fn structure_and_projection() {
     );
     let decs = user_decs(&e);
     assert!(matches!(decs[0], TDec::Structure { .. }));
-    let TDec::Val { exp, .. } = decs.last().unwrap() else { panic!() };
+    let TDec::Val { exp, .. } = decs.last().unwrap() else {
+        panic!()
+    };
     assert_eq!(exp.ty.zonk().to_string(), "int");
 }
 
@@ -178,13 +206,18 @@ fn signature_matching_produces_thinning() {
     let thin = user_decs(&e)
         .iter()
         .find_map(|d| match d {
-            TDec::Structure { def: TStrExp::Thin { items, .. }, .. } => Some(items),
+            TDec::Structure {
+                def: TStrExp::Thin { items, .. },
+                ..
+            } => Some(items),
             _ => None,
         })
         .expect("a thinning");
     // Only `f` is visible; it is at slot 1 of the source structure.
     assert_eq!(thin.len(), 1);
-    let ThinItem::Val { slot, .. } = &thin[0] else { panic!() };
+    let ThinItem::Val { slot, .. } = &thin[0] else {
+        panic!()
+    };
     assert_eq!(*slot, 1);
 }
 
@@ -208,7 +241,10 @@ fn abstraction_is_opaque() {
          abstraction T : SIG = S
          val y = T.x + 1",
     );
-    assert!(msg.contains("overloaded") || msg.contains("unify"), "got: {msg}");
+    assert!(
+        msg.contains("overloaded") || msg.contains("unify"),
+        "got: {msg}"
+    );
 }
 
 #[test]
@@ -218,7 +254,10 @@ fn opaque_ascription_via_sml97_syntax() {
          structure T :> SIG = struct type t = int val x = 3 end
          val y = T.x + 1",
     );
-    assert!(msg.contains("overloaded") || msg.contains("unify"), "got: {msg}");
+    assert!(
+        msg.contains("overloaded") || msg.contains("unify"),
+        "got: {msg}"
+    );
 }
 
 #[test]
@@ -241,11 +280,17 @@ fn functor_application() {
          structure IS = Sort (IntOrd)
          val m = IS.min (3, 4)",
     );
-    let TDec::Val { exp, .. } = user_decs(&e).last().unwrap() else { panic!() };
+    let TDec::Val { exp, .. } = user_decs(&e).last().unwrap() else {
+        panic!()
+    };
     assert_eq!(exp.ty.zonk().to_string(), "int");
-    assert!(user_decs(&e)
-        .iter()
-        .any(|d| matches!(d, TDec::Structure { def: TStrExp::FctApp { .. }, .. })));
+    assert!(user_decs(&e).iter().any(|d| matches!(
+        d,
+        TDec::Structure {
+            def: TStrExp::FctApp { .. },
+            ..
+        }
+    )));
 }
 
 #[test]
@@ -280,7 +325,9 @@ fn nested_structures() {
          end
          val z = Outer.Inner.v + Outer.w",
     );
-    let TDec::Val { exp, .. } = user_decs(&e).last().unwrap() else { panic!() };
+    let TDec::Val { exp, .. } = user_decs(&e).last().unwrap() else {
+        panic!()
+    };
     assert_eq!(exp.ty.zonk().to_string(), "int");
 }
 
@@ -300,7 +347,9 @@ fn mtd_specializes_single_use() {
         "fun id x = x
          val n = id 3",
     );
-    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else { panic!() };
+    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
     let id_var = vars[0];
     assert_eq!(e.vars.scheme(id_var).arity, 1);
     minimum_typing(&mut e);
@@ -316,10 +365,16 @@ fn mtd_keeps_needed_polymorphism() {
          val a = id 3
          val b = id 4.0",
     );
-    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else { panic!() };
+    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
     let id_var = vars[0];
     minimum_typing(&mut e);
-    assert_eq!(e.vars.scheme(id_var).arity, 1, "used at int and real: stays polymorphic");
+    assert_eq!(
+        e.vars.scheme(id_var).arity,
+        1,
+        "used at int and real: stays polymorphic"
+    );
 }
 
 #[test]
@@ -331,7 +386,9 @@ fn mtd_monomorphizes_equality() {
            | member (x, y :: r) = x = y orelse member (x, r)
          val t = member (1.5, [1.0, 1.5])",
     );
-    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else { panic!() };
+    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
     let mvar = vars[0];
     assert_eq!(e.vars.scheme(mvar).arity, 1);
     minimum_typing(&mut e);
@@ -341,7 +398,9 @@ fn mtd_monomorphizes_equality() {
         "real * real list -> bool"
     );
     // And the PolyEq instantiation inside the (re-gathered) body is real.
-    let TDec::Fun { exps: new_exps, .. } = &user_decs(&e)[0] else { panic!() };
+    let TDec::Fun { exps: new_exps, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
     let mut found = false;
     find_polyeq_inst(&new_exps[0], &mut found);
     assert!(found, "inner `=` instantiation became real");
@@ -349,19 +408,19 @@ fn mtd_monomorphizes_equality() {
 
 fn find_polyeq_inst(e: &sml_elab::TExp, found: &mut bool) {
     match &e.kind {
-        TExpKind::Prim { prim: sml_elab::Prim::PolyEq, inst }
-            if inst.len() == 1 && inst[0].zonk().to_string() == "real" => {
-                *found = true;
-            }
+        TExpKind::Prim {
+            prim: sml_elab::Prim::PolyEq,
+            inst,
+        } if inst.len() == 1 && inst[0].zonk().to_string() == "real" => {
+            *found = true;
+        }
         TExpKind::Record(fs) => fs.iter().for_each(|(_, e)| find_polyeq_inst(e, found)),
         TExpKind::Select { arg, .. } => find_polyeq_inst(arg, found),
         TExpKind::App(f, a) => {
             find_polyeq_inst(f, found);
             find_polyeq_inst(a, found);
         }
-        TExpKind::Fn { rules, .. } => {
-            rules.iter().for_each(|r| find_polyeq_inst(&r.exp, found))
-        }
+        TExpKind::Fn { rules, .. } => rules.iter().for_each(|r| find_polyeq_inst(&r.exp, found)),
         TExpKind::Case(s, rules) => {
             find_polyeq_inst(s, found);
             rules.iter().for_each(|r| find_polyeq_inst(&r.exp, found));
@@ -391,11 +450,16 @@ fn mtd_skips_exported_vars() {
     minimum_typing(&mut e);
     // The exported `id` keeps its polymorphic scheme (its boundary type
     // was recorded in the structure's export list).
-    let TDec::Structure { def: TStrExp::Struct { exports, .. }, .. } = &user_decs(&e)[0]
+    let TDec::Structure {
+        def: TStrExp::Struct { exports, .. },
+        ..
+    } = &user_decs(&e)[0]
     else {
         panic!()
     };
-    let sml_elab::ExportItem::Val { scheme, .. } = &exports[0].item else { panic!() };
+    let sml_elab::ExportItem::Val { scheme, .. } = &exports[0].item else {
+        panic!()
+    };
     assert_eq!(scheme.arity, 1);
 }
 
@@ -409,8 +473,12 @@ fn mtd_chains_through_callers() {
          val r = g 2.5",
     );
     minimum_typing(&mut e);
-    let TDec::Fun { vars: fv, .. } = &user_decs(&e)[0] else { panic!() };
-    let TDec::Fun { vars: gv, .. } = &user_decs(&e)[1] else { panic!() };
+    let TDec::Fun { vars: fv, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
+    let TDec::Fun { vars: gv, .. } = &user_decs(&e)[1] else {
+        panic!()
+    };
     assert_eq!(e.vars.scheme(gv[0]).body.zonk().to_string(), "real -> real");
     assert_eq!(e.vars.scheme(fv[0]).body.zonk().to_string(), "real -> real");
 }
@@ -424,7 +492,10 @@ fn str_ty_shapes() {
            structure C = struct val d = 2.0 end
          end",
     );
-    let TDec::Structure { def: TStrExp::Struct { exports, .. }, .. } = &user_decs(&e)[0]
+    let TDec::Structure {
+        def: TStrExp::Struct { exports, .. },
+        ..
+    } = &user_decs(&e)[0]
     else {
         panic!()
     };
@@ -467,7 +538,9 @@ fn while_body_can_be_any_type() {
 #[test]
 fn explicit_tyvar_binders() {
     let e = elab("fun 'a id (x : 'a) = x val n = id 3");
-    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else { panic!() };
+    let TDec::Fun { vars, .. } = &user_decs(&e)[0] else {
+        panic!()
+    };
     assert_eq!(e.vars.scheme(vars[0]).arity, 1);
 }
 

@@ -26,7 +26,10 @@ fn signature_bound_and_reused() {
          abstraction B : S = Impl
          val bad = A.eq (A.x, B.x)",
     );
-    assert!(msg.contains("unify"), "distinct abstractions are incompatible: {msg}");
+    assert!(
+        msg.contains("unify"),
+        "distinct abstractions are incompatible: {msg}"
+    );
 }
 
 #[test]

@@ -50,6 +50,22 @@ pub struct CoerceStats {
     pub shared_hits: u64,
 }
 
+impl CoerceStats {
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    /// The single source of truth for metric emitters — a field added
+    /// here is automatically picked up by `--stats=json`.
+    pub fn counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("requests", self.requests),
+            ("identities", self.identities),
+            ("wraps", self.wraps),
+            ("fn_wrappers", self.fn_wrappers),
+            ("record_rebuilds", self.record_rebuilds),
+            ("memo_hits", self.shared_hits),
+        ]
+    }
+}
+
 /// True if converting `from` to `to` requires no code at all.
 ///
 /// With tagged 31-bit integers, every one-word value (tagged int,
@@ -67,8 +83,7 @@ pub fn is_identity(i: &mut LtyInterner, from: Lty, to: Lty) -> bool {
         (a, LtyKind::Boxed) => !matches!(a, LtyKind::Real),
         (LtyKind::Boxed, b) => !matches!(b, LtyKind::Real),
         (LtyKind::Int, LtyKind::Int) | (LtyKind::Real, LtyKind::Real) => true,
-        (LtyKind::Record(a), LtyKind::Record(b))
-        | (LtyKind::SRecord(a), LtyKind::SRecord(b)) => {
+        (LtyKind::Record(a), LtyKind::Record(b)) | (LtyKind::SRecord(a), LtyKind::SRecord(b)) => {
             a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| is_identity(i, *x, *y))
         }
         // A function wrapper is skippable only when both the values AND
@@ -190,7 +205,11 @@ fn coerce_inner(
             let arg = coerce_exp(i, vg, stats, Lexp::Var(x), a2, a1);
             let call = Lexp::App(Box::new(Lexp::Var(f)), Box::new(arg));
             let body = coerce_exp(i, vg, stats, call, r1, r2);
-            Lexp::Let(f, Box::new(e), Box::new(Lexp::Fn(x, a2, r2, Box::new(body))))
+            Lexp::Let(
+                f,
+                Box::new(e),
+                Box::new(Lexp::Fn(x, a2, r2, Box::new(body))),
+            )
         }
         (fk, tk) => panic!(
             "coerce: incompatible representations {} vs {} ({fk:?} vs {tk:?})",
@@ -216,7 +235,11 @@ impl CoercionCache {
     /// Creates a cache; when `enabled` is false every module coercion is
     /// inlined (the `ablation_memo` experiment).
     pub fn new(enabled: bool) -> CoercionCache {
-        CoercionCache { enabled, map: HashMap::new(), defs: Vec::new() }
+        CoercionCache {
+            enabled,
+            map: HashMap::new(),
+            defs: Vec::new(),
+        }
     }
 
     /// Coerces a module object, going through a shared function when
@@ -292,7 +315,11 @@ mod tests {
     use std::collections::HashMap as Map;
 
     fn setup() -> (LtyInterner, VarGen, CoerceStats) {
-        (LtyInterner::new(InternMode::HashCons), VarGen::new(), CoerceStats::default())
+        (
+            LtyInterner::new(InternMode::HashCons),
+            VarGen::new(),
+            CoerceStats::default(),
+        )
     }
 
     #[test]
@@ -404,7 +431,9 @@ mod tests {
         assert_eq!(cache.n_shared(), 1, "one shared function for both sites");
         assert_eq!(st.shared_hits, 1);
         // Both applications call the same function.
-        let (Lexp::App(f1, _), Lexp::App(f2, _)) = (&a, &b) else { panic!() };
+        let (Lexp::App(f1, _), Lexp::App(f2, _)) = (&a, &b) else {
+            panic!()
+        };
         assert_eq!(f1, f2);
         // Emitting produces a well-typed program.
         let mut env = Map::new();

@@ -15,7 +15,11 @@ use std::collections::HashSet;
 enum Head {
     /// Constructor `index` of a datatype with `span` constructors and
     /// the given payload arity (0 or 1).
-    Con { index: usize, span: usize, arity: usize },
+    Con {
+        index: usize,
+        span: usize,
+        arity: usize,
+    },
     /// A record/tuple of the given width (always a complete signature).
     Record(usize),
     /// An integer or character constant (never complete).
@@ -46,7 +50,14 @@ fn simplify(p: &TPat) -> P {
                 con.span
             };
             let args: Vec<P> = arg.iter().map(|a| simplify(a)).collect();
-            P::Head(Head::Con { index: con.index, span, arity: args.len() }, args)
+            P::Head(
+                Head::Con {
+                    index: con.index,
+                    span,
+                    arity: args.len(),
+                },
+                args,
+            )
         }
         TPatKind::Record { fields, flexible } => {
             if *flexible {
@@ -304,10 +315,8 @@ mod tests {
 
     #[test]
     fn exception_matches_never_exhaustive() {
-        let prog = sml_ast::parse(
-            "exception A exception B val x = (1 handle A => 2 | B => 3)",
-        )
-        .unwrap();
+        let prog =
+            sml_ast::parse("exception A exception B val x = (1 handle A => 2 | B => 3)").unwrap();
         let elab = sml_elab::elaborate(&prog).unwrap();
         let mut found = false;
         for d in &elab.decs {

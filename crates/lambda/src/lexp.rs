@@ -17,26 +17,65 @@ pub type LVar = u32;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 #[allow(missing_docs)]
 pub enum Primop {
-    IAdd, ISub, IMul, IDiv, IMod, INeg,
-    ILt, ILe, IGt, IGe, IEq, INe,
-    FAdd, FSub, FMul, FDiv, FNeg,
-    FLt, FLe, FGt, FGe, FEq, FNe,
-    FSqrt, FSin, FCos, FAtan, FExp, FLn, Floor, IntToReal,
-    StrSize, StrSub, StrCat,
-    StrEq, StrNe, StrLt, StrLe, StrGt, StrGe,
-    IntToString, RealToString,
+    IAdd,
+    ISub,
+    IMul,
+    IDiv,
+    IMod,
+    INeg,
+    ILt,
+    ILe,
+    IGt,
+    IGe,
+    IEq,
+    INe,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FNeg,
+    FLt,
+    FLe,
+    FGt,
+    FGe,
+    FEq,
+    FNe,
+    FSqrt,
+    FSin,
+    FCos,
+    FAtan,
+    FExp,
+    FLn,
+    Floor,
+    IntToReal,
+    StrSize,
+    StrSub,
+    StrCat,
+    StrEq,
+    StrNe,
+    StrLt,
+    StrLe,
+    StrGt,
+    StrGe,
+    IntToString,
+    RealToString,
     /// Structural equality on standard-representation objects (the slow,
     /// polymorphic fallback).
     PolyEq,
-    MakeRef, Deref, Assign,
+    MakeRef,
+    Deref,
+    Assign,
     /// Assignment known to store a non-pointer: skips the generational
     /// write barrier (paper §4.4, footnote 4).
     UnboxedAssign,
-    ArrayMake, ArraySub, ArrayUpdate,
+    ArrayMake,
+    ArraySub,
+    ArrayUpdate,
     /// Array update known to store a non-pointer.
     UnboxedArrayUpdate,
     ArrayLength,
-    Callcc, Throw,
+    Callcc,
+    Throw,
     Print,
     /// Pointer identity (used for exception-tag dispatch).
     PtrEq,
@@ -166,17 +205,14 @@ impl Lexp {
             Lexp::Var(_) | Lexp::Int(_) | Lexp::Real(_) | Lexp::Str(_) => 1,
             Lexp::Fn(_, _, _, b) => 1 + b.size(),
             Lexp::App(f, a) => 1 + f.size() + a.size(),
-            Lexp::Fix(fs, b) => {
-                1 + b.size() + fs.iter().map(|(_, _, e)| e.size()).sum::<usize>()
-            }
+            Lexp::Fix(fs, b) => 1 + b.size() + fs.iter().map(|(_, _, e)| e.size()).sum::<usize>(),
             Lexp::Let(_, a, b) => 1 + a.size() + b.size(),
             Lexp::Record(es) | Lexp::SRecord(es) | Lexp::PrimApp(_, es) => {
                 1 + es.iter().map(Lexp::size).sum::<usize>()
             }
-            Lexp::Select(_, e)
-            | Lexp::Wrap(_, e)
-            | Lexp::Unwrap(_, e)
-            | Lexp::Raise(e, _) => 1 + e.size(),
+            Lexp::Select(_, e) | Lexp::Wrap(_, e) | Lexp::Unwrap(_, e) | Lexp::Raise(e, _) => {
+                1 + e.size()
+            }
             Lexp::If(c, t, e) => 1 + c.size() + t.size() + e.size(),
             Lexp::SwitchInt(s, arms, d) => {
                 1 + s.size()
@@ -210,11 +246,8 @@ pub fn compat(i: &mut LtyInterner, a: Lty, b: Lty) -> bool {
         return true;
     }
     match (i.kind(a).clone(), i.kind(b).clone()) {
-        (LtyKind::Arrow(a1, r1), LtyKind::Arrow(a2, r2)) => {
-            compat(i, a1, a2) && compat(i, r1, r2)
-        }
-        (LtyKind::Record(x), LtyKind::Record(y))
-        | (LtyKind::SRecord(x), LtyKind::SRecord(y)) => {
+        (LtyKind::Arrow(a1, r1), LtyKind::Arrow(a2, r2)) => compat(i, a1, a2) && compat(i, r1, r2),
+        (LtyKind::Record(x), LtyKind::Record(y)) | (LtyKind::SRecord(x), LtyKind::SRecord(y)) => {
             x.len() == y.len() && x.iter().zip(&y).all(|(p, q)| compat(i, *p, *q))
         }
         _ => false,
@@ -228,13 +261,12 @@ pub fn compat(i: &mut LtyInterner, a: Lty, b: Lty) -> bool {
 /// Returns a description of the first internal type inconsistency; this
 /// indicates a compiler bug, and the tests use it as an invariant check
 /// after translation and after each optimization.
-pub fn type_of(
-    e: &Lexp,
-    env: &mut HashMap<LVar, Lty>,
-    i: &mut LtyInterner,
-) -> Result<Lty, String> {
+pub fn type_of(e: &Lexp, env: &mut HashMap<LVar, Lty>, i: &mut LtyInterner) -> Result<Lty, String> {
     match e {
-        Lexp::Var(v) => env.get(v).copied().ok_or_else(|| format!("unbound lvar {v}")),
+        Lexp::Var(v) => env
+            .get(v)
+            .copied()
+            .ok_or_else(|| format!("unbound lvar {v}")),
         Lexp::Int(_) => Ok(i.int()),
         Lexp::Real(_) => Ok(i.real()),
         Lexp::Str(_) => Ok(i.boxed()),
@@ -384,11 +416,7 @@ pub fn type_of(
         Lexp::Wrap(t, e) => {
             let et = type_of(e, env, i)?;
             if !compat(i, et, *t) && !i.same(et, *t) {
-                return Err(format!(
-                    "wrap of {} at type {}",
-                    i.show(et),
-                    i.show(*t)
-                ));
+                return Err(format!("wrap of {} at type {}", i.show(et), i.show(*t)));
             }
             Ok(i.boxed())
         }
@@ -452,7 +480,10 @@ mod tests {
                 0,
                 int,
                 int,
-                Box::new(Lexp::PrimApp(Primop::IAdd, vec![Lexp::Var(0), Lexp::Int(1)])),
+                Box::new(Lexp::PrimApp(
+                    Primop::IAdd,
+                    vec![Lexp::Var(0), Lexp::Int(1)],
+                )),
             )),
             Box::new(Lexp::Int(41)),
         );

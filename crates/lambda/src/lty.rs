@@ -57,6 +57,34 @@ pub enum InternMode {
     Structural,
 }
 
+/// A point-in-time snapshot of interner statistics, cheap to copy out
+/// of the pipeline into [`CompileStats`-level] reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LtyStats {
+    /// Number of distinct interned types.
+    pub interned: usize,
+    /// Total `intern` calls.
+    pub intern_calls: u64,
+    /// Calls served from the hash-cons table.
+    pub hashcons_hits: u64,
+    /// Calls that allocated a new entry.
+    pub hashcons_misses: u64,
+    /// Deep structural comparisons (structural mode only).
+    pub deep_compares: u64,
+}
+
+impl LtyStats {
+    /// Fraction of `intern` calls served from the hash-cons table, in
+    /// `[0, 1]`; `0.0` before any call.
+    pub fn hit_rate(&self) -> f64 {
+        if self.intern_calls == 0 {
+            0.0
+        } else {
+            self.hashcons_hits as f64 / self.intern_calls as f64
+        }
+    }
+}
+
 /// The lambda-type interner.
 #[derive(Debug)]
 pub struct LtyInterner {
@@ -65,6 +93,12 @@ pub struct LtyInterner {
     mode: InternMode,
     /// Statistics: number of `intern` calls (ablation metric).
     pub intern_calls: u64,
+    /// Statistics: `intern` calls that found an existing entry
+    /// (hash-cons hits). Always zero in structural mode.
+    pub hashcons_hits: u64,
+    /// Statistics: `intern` calls that allocated a new entry. In
+    /// structural mode every call is a miss.
+    pub hashcons_misses: u64,
     /// Statistics: number of deep equality comparisons performed in
     /// structural mode.
     pub deep_compares: u64,
@@ -78,6 +112,8 @@ impl LtyInterner {
             map: HashMap::new(),
             mode,
             intern_calls: 0,
+            hashcons_hits: 0,
+            hashcons_misses: 0,
             deep_compares: 0,
         };
         // Fixed order: see the `int`, `real`, `boxed`, `rboxed`,
@@ -96,18 +132,38 @@ impl LtyInterner {
         match self.mode {
             InternMode::HashCons => {
                 if let Some(&id) = self.map.get(&kind) {
+                    self.hashcons_hits += 1;
                     return Lty(id);
                 }
+                self.hashcons_misses += 1;
                 let id = self.kinds.len() as u32;
                 self.kinds.push(kind.clone());
                 self.map.insert(kind, id);
                 Lty(id)
             }
             InternMode::Structural => {
+                self.hashcons_misses += 1;
                 let id = self.kinds.len() as u32;
                 self.kinds.push(kind);
                 Lty(id)
             }
+        }
+    }
+
+    /// Fraction of `intern` calls served from the hash-cons table, in
+    /// `[0, 1]`; `0.0` before any call.
+    pub fn hit_rate(&self) -> f64 {
+        self.stats().hit_rate()
+    }
+
+    /// A copyable snapshot of the interner's statistics.
+    pub fn stats(&self) -> LtyStats {
+        LtyStats {
+            interned: self.kinds.len(),
+            intern_calls: self.intern_calls,
+            hashcons_hits: self.hashcons_hits,
+            hashcons_misses: self.hashcons_misses,
+            deep_compares: self.deep_compares,
         }
     }
 
@@ -180,8 +236,7 @@ impl LtyInterner {
             | (LtyKind::Bottom, LtyKind::Bottom) => true,
             (LtyKind::Record(x), LtyKind::Record(y))
             | (LtyKind::SRecord(x), LtyKind::SRecord(y)) => {
-                x.len() == y.len()
-                    && x.iter().zip(y).all(|(p, q)| self.deep_same(*p, *q))
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| self.deep_same(*p, *q))
             }
             (LtyKind::Arrow(a1, r1), LtyKind::Arrow(a2, r2)) => {
                 self.deep_same(*a1, *a2) && self.deep_same(*r1, *r2)
@@ -302,6 +357,25 @@ mod tests {
         let b = i.record(vec![i.int(), i.real()]);
         assert_eq!(a, b);
         assert!(i.same(a, b));
+    }
+
+    #[test]
+    fn hit_miss_counters_partition_calls() {
+        let mut i = LtyInterner::new(InternMode::HashCons);
+        let calls_before = i.intern_calls;
+        let a = i.record(vec![i.int(), i.real()]); // miss
+        let _b = i.record(vec![i.int(), i.real()]); // hit
+        let _c = i.arrow(a, a); // miss
+        assert_eq!(i.intern_calls, calls_before + 3);
+        assert_eq!(i.intern_calls, i.hashcons_hits + i.hashcons_misses);
+        assert!(i.hashcons_hits >= 1);
+        assert!(i.hit_rate() > 0.0 && i.hit_rate() < 1.0);
+
+        let mut s = LtyInterner::new(InternMode::Structural);
+        s.record(vec![s.int()]);
+        s.record(vec![s.int()]);
+        assert_eq!(s.hashcons_hits, 0, "structural mode never hits");
+        assert_eq!(s.intern_calls, s.hashcons_misses);
     }
 
     #[test]

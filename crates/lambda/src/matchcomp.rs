@@ -29,10 +29,12 @@ impl<'tr> Translator<'tr> {
     ) -> Lexp {
         let (exhaustive, redundant) = check_rules(rules);
         if !exhaustive {
-            self.warnings.push("warning: match nonexhaustive".to_owned());
+            self.warnings
+                .push("warning: match nonexhaustive".to_owned());
         }
         for i in redundant {
-            self.warnings.push(format!("warning: match rule {} is redundant", i + 1));
+            self.warnings
+                .push(format!("warning: match rule {} is redundant", i + 1));
         }
         let bot = self.interner.bottom();
         let fail = Lexp::Raise(Box::new(fail_tag), bot);
@@ -41,12 +43,7 @@ impl<'tr> Translator<'tr> {
 
     /// Compiles an exception handler body over the packet variable `x`;
     /// unmatched packets are re-raised.
-    pub(crate) fn compile_handler(
-        &mut self,
-        x: LVar,
-        rules: &[TRule],
-        res_lty: Lty,
-    ) -> Lexp {
+    pub(crate) fn compile_handler(&mut self, x: LVar, rules: &[TRule], res_lty: Lty) -> Lexp {
         let bot = self.interner.bottom();
         let fail = Lexp::Raise(Box::new(Lexp::Var(x)), bot);
         let boxed = self.interner.boxed();
@@ -64,7 +61,8 @@ impl<'tr> Translator<'tr> {
         k: &mut dyn FnMut(&mut Translator<'tr>) -> Lexp,
     ) -> Lexp {
         if !irrefutable(pat) {
-            self.warnings.push("warning: binding nonexhaustive".to_owned());
+            self.warnings
+                .push("warning: binding nonexhaustive".to_owned());
         }
         let bot = self.interner.bottom();
         let fail = Lexp::Raise(Box::new(fail_tag), bot);
@@ -129,12 +127,7 @@ impl<'tr> Translator<'tr> {
     /// integer, character, or constant-constructor value — with at most a
     /// trailing irrefutable default — emit a dense `SwitchInt` instead of
     /// a comparison chain.
-    fn try_switch(
-        &mut self,
-        scrut: LVar,
-        rules: &[TRule],
-        final_fail: &Lexp,
-    ) -> Option<Lexp> {
+    fn try_switch(&mut self, scrut: LVar, rules: &[TRule], final_fail: &Lexp) -> Option<Lexp> {
         if rules.len() < 3 {
             return None;
         }
@@ -175,8 +168,7 @@ impl<'tr> Translator<'tr> {
         if hi - lo >= 2 * arms.len() as i64 + 8 {
             return None;
         }
-        let compiled: Vec<(i64, Lexp)> =
-            arms.iter().map(|(n, e)| (*n, self.tr_exp(e))).collect();
+        let compiled: Vec<(i64, Lexp)> = arms.iter().map(|(n, e)| (*n, self.tr_exp(e))).collect();
         let def = match default {
             Some(e) => self.tr_exp(e),
             None => final_fail.clone(),
@@ -217,7 +209,10 @@ impl<'tr> Translator<'tr> {
             TPatKind::Int(n) => {
                 let rest = self.match_tests(work, rhs, fail);
                 Lexp::If(
-                    Box::new(Lexp::PrimApp(Primop::IEq, vec![Lexp::Var(occ), Lexp::Int(*n)])),
+                    Box::new(Lexp::PrimApp(
+                        Primop::IEq,
+                        vec![Lexp::Var(occ), Lexp::Int(*n)],
+                    )),
                     Box::new(rest),
                     Box::new(fail.clone()),
                 )

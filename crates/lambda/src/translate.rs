@@ -112,11 +112,25 @@ impl Translator<'_> {
     }
 
     pub(crate) fn coerce(&mut self, e: Lexp, from: Lty, to: Lty) -> Lexp {
-        coerce_exp(&mut self.interner, &mut self.vg, &mut self.stats, e, from, to)
+        coerce_exp(
+            &mut self.interner,
+            &mut self.vg,
+            &mut self.stats,
+            e,
+            from,
+            to,
+        )
     }
 
     fn module_coerce(&mut self, e: Lexp, from: Lty, to: Lty) -> Lexp {
-        self.cache.module_coerce(&mut self.interner, &mut self.vg, &mut self.stats, e, from, to)
+        self.cache.module_coerce(
+            &mut self.interner,
+            &mut self.vg,
+            &mut self.stats,
+            e,
+            from,
+            to,
+        )
     }
 
     // ----- type translation (paper Figure 6) -------------------------------
@@ -168,9 +182,7 @@ impl Translator<'_> {
                         self.interner.rboxed()
                     }
                 }
-                TyconKind::Data if c.stamp == sml_types::Tycon::bool().stamp => {
-                    self.interner.int()
-                }
+                TyconKind::Data if c.stamp == sml_types::Tycon::bool().stamp => self.interner.int(),
                 TyconKind::String
                 | TyconKind::Exn
                 | TyconKind::Ref
@@ -183,8 +195,7 @@ impl Translator<'_> {
                 if fs.is_empty() {
                     return self.interner.int();
                 }
-                let fields: Vec<Lty> =
-                    fs.iter().map(|(_, t)| self.ltc_go(t, marked)).collect();
+                let fields: Vec<Lty> = fs.iter().map(|(_, t)| self.ltc_go(t, marked)).collect();
                 self.interner.record(fields)
             }
             Ty::Arrow(a, b) => {
@@ -203,15 +214,14 @@ impl Translator<'_> {
 
     /// LTY of a structure type (`SRECORDty`).
     pub(crate) fn ltc_strty(&mut self, st: &StrTy) -> Lty {
-        let fields: Vec<Lty> = st
-            .0
-            .iter()
-            .map(|(_, c)| match c {
-                CompTy::Val(s) => self.ltc_scheme(s),
-                CompTy::Exn => self.interner.boxed(),
-                CompTy::Str(sub) => self.ltc_strty(sub),
-            })
-            .collect();
+        let fields: Vec<Lty> =
+            st.0.iter()
+                .map(|(_, c)| match c {
+                    CompTy::Val(s) => self.ltc_scheme(s),
+                    CompTy::Exn => self.interner.boxed(),
+                    CompTy::Str(sub) => self.ltc_strty(sub),
+                })
+                .collect();
         self.interner.srecord(fields)
     }
 
@@ -232,11 +242,7 @@ impl Translator<'_> {
 
     // ----- declarations -----------------------------------------------------
 
-    pub(crate) fn tr_decs(
-        &mut self,
-        decs: &[TDec],
-        k: &mut dyn FnMut(&mut Self) -> Lexp,
-    ) -> Lexp {
+    pub(crate) fn tr_decs(&mut self, decs: &[TDec], k: &mut dyn FnMut(&mut Self) -> Lexp) -> Lexp {
         match decs.split_first() {
             None => k(self),
             Some((d, rest)) => {
@@ -296,7 +302,13 @@ impl Translator<'_> {
                 let v = self.lv(*var);
                 Lexp::Let(v, Box::new(e), Box::new(k(self)))
             }
-            TDec::Functor { var, param, param_ty, result_ty, body } => {
+            TDec::Functor {
+                var,
+                param,
+                param_ty,
+                result_ty,
+                body,
+            } => {
                 let p = self.lv(*param);
                 let plty = self.ltc_strty(param_ty);
                 let b = self.tr_strexp(body);
@@ -359,7 +371,6 @@ impl Translator<'_> {
             _ => self.interner.boxed(),
         }
     }
-
 
     fn tr_thin_items(&mut self, base: LVar, base_lty: Lty, items: &[ThinItem]) -> Lexp {
         let fields: Vec<Lexp> = items
@@ -498,7 +509,10 @@ impl Translator<'_> {
                 );
                 Lexp::Fix(
                     vec![(loop_v, loop_ty, Lexp::Fn(dummy, int, int, Box::new(body)))],
-                    Box::new(Lexp::App(Box::new(Lexp::Var(loop_v)), Box::new(Lexp::Int(0)))),
+                    Box::new(Lexp::App(
+                        Box::new(Lexp::Var(loop_v)),
+                        Box::new(Lexp::Int(0)),
+                    )),
                 )
             }
             TExpKind::Seq(es) => {
@@ -529,8 +543,7 @@ impl Translator<'_> {
                 let x = self.vg.fresh();
                 let boxed = self.interner.boxed();
                 let res_lty = self.ltc(&exp.ty);
-                let hbody =
-                    self.compile_handler(x, rules, res_lty);
+                let hbody = self.compile_handler(x, rules, res_lty);
                 Lexp::Handle(
                     Box::new(body),
                     Box::new(Lexp::Fn(x, boxed, res_lty, Box::new(hbody))),
@@ -800,7 +813,10 @@ impl Translator<'_> {
                 let yv = self.vg.fresh();
                 let div_tag = self.exn_const(self.elab.builtins.div_exn);
                 let check = Lexp::If(
-                    Box::new(Lexp::PrimApp(Primop::IEq, vec![Lexp::Var(yv), Lexp::Int(0)])),
+                    Box::new(Lexp::PrimApp(
+                        Primop::IEq,
+                        vec![Lexp::Var(yv), Lexp::Int(0)],
+                    )),
                     Box::new(Lexp::Raise(Box::new(div_tag), want_res)),
                     Box::new(Lexp::PrimApp(op, vec![x, Lexp::Var(yv)])),
                 );
@@ -833,7 +849,10 @@ impl Translator<'_> {
                 let iv = self.vg.fresh();
                 let sub_tag = self.exn_const(self.elab.builtins.subscript_exn);
                 let ok = Lexp::If(
-                    Box::new(Lexp::PrimApp(Primop::ILt, vec![Lexp::Var(iv), Lexp::Int(0)])),
+                    Box::new(Lexp::PrimApp(
+                        Primop::ILt,
+                        vec![Lexp::Var(iv), Lexp::Int(0)],
+                    )),
                     Box::new(Lexp::Int(0)),
                     Box::new(Lexp::PrimApp(
                         Primop::ILt,
@@ -845,7 +864,10 @@ impl Translator<'_> {
                 );
                 let body = Lexp::If(
                     Box::new(ok),
-                    Box::new(Lexp::PrimApp(Primop::StrSub, vec![Lexp::Var(sv), Lexp::Var(iv)])),
+                    Box::new(Lexp::PrimApp(
+                        Primop::StrSub,
+                        vec![Lexp::Var(sv), Lexp::Var(iv)],
+                    )),
                     Box::new(Lexp::Raise(Box::new(sub_tag), want_res)),
                 );
                 wrap_binding(
@@ -866,7 +888,10 @@ impl Translator<'_> {
                 let rb = self.interner.rboxed();
                 let init = self.coerce(init, init_lty, rb);
                 let body = Lexp::If(
-                    Box::new(Lexp::PrimApp(Primop::ILt, vec![Lexp::Var(nv), Lexp::Int(0)])),
+                    Box::new(Lexp::PrimApp(
+                        Primop::ILt,
+                        vec![Lexp::Var(nv), Lexp::Int(0)],
+                    )),
                     Box::new(Lexp::Raise(Box::new(size_tag), want_res)),
                     Box::new(Lexp::PrimApp(Primop::ArrayMake, vec![Lexp::Var(nv), init])),
                 );
@@ -879,7 +904,10 @@ impl Translator<'_> {
                 let iv = self.vg.fresh();
                 let sub_tag = self.exn_const(self.elab.builtins.subscript_exn);
                 let ok = Lexp::If(
-                    Box::new(Lexp::PrimApp(Primop::ILt, vec![Lexp::Var(iv), Lexp::Int(0)])),
+                    Box::new(Lexp::PrimApp(
+                        Primop::ILt,
+                        vec![Lexp::Var(iv), Lexp::Int(0)],
+                    )),
                     Box::new(Lexp::Int(0)),
                     Box::new(Lexp::PrimApp(
                         Primop::ILt,
@@ -890,8 +918,7 @@ impl Translator<'_> {
                     )),
                 );
                 let rb = self.interner.rboxed();
-                let fetch =
-                    Lexp::PrimApp(Primop::ArraySub, vec![Lexp::Var(av), Lexp::Var(iv)]);
+                let fetch = Lexp::PrimApp(Primop::ArraySub, vec![Lexp::Var(av), Lexp::Var(iv)]);
                 let fetch = self.coerce(fetch, rb, want_res);
                 let body = Lexp::If(
                     Box::new(ok),
@@ -917,7 +944,10 @@ impl Translator<'_> {
                 let rb = self.interner.rboxed();
                 let val = self.coerce(val, val_lty, rb);
                 let ok = Lexp::If(
-                    Box::new(Lexp::PrimApp(Primop::ILt, vec![Lexp::Var(iv), Lexp::Int(0)])),
+                    Box::new(Lexp::PrimApp(
+                        Primop::ILt,
+                        vec![Lexp::Var(iv), Lexp::Int(0)],
+                    )),
                     Box::new(Lexp::Int(0)),
                     Box::new(Lexp::PrimApp(
                         Primop::ILt,
@@ -1107,13 +1137,7 @@ impl Translator<'_> {
         }
     }
 
-    fn tr_prim_app_on_var(
-        &mut self,
-        prim: Prim,
-        inst: &[Ty],
-        fake: &TExp,
-        res_ty: &Ty,
-    ) -> Lexp {
+    fn tr_prim_app_on_var(&mut self, prim: Prim, inst: &[Ty], fake: &TExp, res_ty: &Ty) -> Lexp {
         self.tr_prim_app(prim, inst, fake, res_ty)
     }
 }

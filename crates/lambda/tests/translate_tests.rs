@@ -325,7 +325,10 @@ fn shared_coercions_reduce_size() {
     let memo = trans(src, &LambdaConfig::default());
     let nomemo = trans(
         src,
-        &LambdaConfig { memo_coercions: false, ..LambdaConfig::default() },
+        &LambdaConfig {
+            memo_coercions: false,
+            ..LambdaConfig::default()
+        },
     );
     assert!(
         memo.lexp.size() <= nomemo.lexp.size(),
@@ -409,7 +412,10 @@ fn structural_interning_still_correct() {
         &cfg,
     );
     assert!(type_of(&tr.lexp, &mut HashMap::new(), &mut tr.interner).is_ok());
-    assert!(tr.interner.deep_compares > 0, "structural mode exercises deep compares");
+    assert!(
+        tr.interner.deep_compares > 0,
+        "structural mode exercises deep compares"
+    );
     assert!(count_nodes(&tr.lexp) > 0);
 }
 
@@ -439,5 +445,8 @@ fn dense_matches_emit_switch() {
          val x = code B",
         &LambdaConfig::default(),
     );
-    assert!(has_switch(&tr.lexp), "dense constant match must compile to SwitchInt");
+    assert!(
+        has_switch(&tr.lexp),
+        "dense constant match must compile to SwitchInt"
+    );
 }

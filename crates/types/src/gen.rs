@@ -87,7 +87,10 @@ pub struct AntiUnifier {
 impl AntiUnifier {
     /// Creates an anti-unifier producing fresh variables at `level`.
     pub fn new(level: u32) -> AntiUnifier {
-        AntiUnifier { level, entries: Vec::new() }
+        AntiUnifier {
+            level,
+            entries: Vec::new(),
+        }
     }
 
     /// The least common generalization of `uses` (which must be
@@ -173,14 +176,17 @@ impl AntiUnifier {
     fn disagree(&mut self, heads: &[Ty]) -> Ty {
         let keys: Vec<String> = heads.iter().map(|h| format!("{:?}", h.zonk())).collect();
         for e in &self.entries {
-            let ekeys: Vec<String> =
-                e.uses.iter().map(|u| format!("{:?}", u.zonk())).collect();
+            let ekeys: Vec<String> = e.uses.iter().map(|u| format!("{:?}", u.zonk())).collect();
             if ekeys == keys {
                 return Ty::Var(e.var.clone());
             }
         }
         let var = TvRef::fresh(self.level);
-        self.entries.push(Disagreement { var: var.clone(), uses: heads.to_vec(), eq: false });
+        self.entries.push(Disagreement {
+            var: var.clone(),
+            uses: heads.to_vec(),
+            eq: false,
+        });
         Ty::Var(var)
     }
 
@@ -251,7 +257,10 @@ mod tests {
         // (int * int) vs (real * real): both positions disagree the same
         // way, so the LCG is 'a * 'a, not 'a * 'b.
         let mut au = AntiUnifier::new(0);
-        let t = au.lcg(&[Ty::pair(Ty::int(), Ty::int()), Ty::pair(Ty::real(), Ty::real())]);
+        let t = au.lcg(&[
+            Ty::pair(Ty::int(), Ty::int()),
+            Ty::pair(Ty::real(), Ty::real()),
+        ]);
         assert_eq!(au.disagreements().len(), 1);
         match t.head() {
             Ty::Record(fs) => match (fs[0].1.head(), fs[1].1.head()) {
@@ -266,7 +275,10 @@ mod tests {
     fn lcg_distinct_disagreements() {
         // (int * real) vs (real * int) yields 'a * 'b.
         let mut au = AntiUnifier::new(0);
-        let _ = au.lcg(&[Ty::pair(Ty::int(), Ty::real()), Ty::pair(Ty::real(), Ty::int())]);
+        let _ = au.lcg(&[
+            Ty::pair(Ty::int(), Ty::real()),
+            Ty::pair(Ty::real(), Ty::int()),
+        ]);
         assert_eq!(au.disagreements().len(), 2);
     }
 
@@ -283,8 +295,10 @@ mod tests {
     fn lcg_generalizes_each_use() {
         // Property: the LCG unifies with (a fresh copy of) each use.
         let reg = TyconRegistry::with_builtins();
-        let uses =
-            vec![Ty::list(Ty::pair(Ty::int(), Ty::real())), Ty::list(Ty::pair(Ty::bool(), Ty::real()))];
+        let uses = vec![
+            Ty::list(Ty::pair(Ty::int(), Ty::real())),
+            Ty::list(Ty::pair(Ty::bool(), Ty::real())),
+        ];
         let mut au = AntiUnifier::new(1);
         let lcg = au.lcg(&uses);
         // lcg = ('a * real) list; generalize the disagreement var and

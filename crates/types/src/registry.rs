@@ -115,7 +115,12 @@ pub fn assign_reps(cons: &[(Symbol, Option<Ty>)]) -> Vec<ConDef> {
                     r
                 }
             };
-            ConDef { name: *name, payload: payload.clone(), rep, index }
+            ConDef {
+                name: *name,
+                payload: payload.clone(),
+                rep,
+                index,
+            }
         })
         .collect()
 }
@@ -141,7 +146,10 @@ impl TyconRegistry {
         reg.register_batch(vec![(
             Tycon::bool(),
             Vec::new(),
-            vec![(Symbol::intern("false"), None), (Symbol::intern("true"), None)],
+            vec![
+                (Symbol::intern("false"), None),
+                (Symbol::intern("true"), None),
+            ],
         )]);
 
         // datatype 'a list = nil | :: of 'a * 'a list
@@ -152,7 +160,10 @@ impl TyconRegistry {
         reg.register_batch(vec![(
             Tycon::list(),
             vec![p],
-            vec![(Symbol::intern("nil"), None), (Symbol::intern("::"), Some(payload))],
+            vec![
+                (Symbol::intern("nil"), None),
+                (Symbol::intern("::"), Some(payload)),
+            ],
         )]);
 
         // datatype 'a option = NONE | SOME of 'a
@@ -162,7 +173,10 @@ impl TyconRegistry {
         reg.register_batch(vec![(
             Tycon::option(),
             vec![p],
-            vec![(Symbol::intern("NONE"), None), (Symbol::intern("SOME"), Some(elem))],
+            vec![
+                (Symbol::intern("NONE"), None),
+                (Symbol::intern("SOME"), Some(elem)),
+            ],
         )]);
 
         // datatype order = LESS | EQUAL | GREATER
@@ -193,7 +207,8 @@ impl TyconRegistry {
                     continue;
                 }
                 let ok = cons.iter().all(|(_, p)| {
-                    p.as_ref().is_none_or(|t| self.payload_admits_eq(t, &admits))
+                    p.as_ref()
+                        .is_none_or(|t| self.payload_admits_eq(t, &admits))
                 });
                 if !ok {
                     admits.insert(tycon.stamp, false);
@@ -209,7 +224,12 @@ impl TyconRegistry {
             let admits_eq = admits[&tycon.stamp];
             self.map.insert(
                 tycon.stamp,
-                DatatypeDef { tycon, params, cons: defs, admits_eq },
+                DatatypeDef {
+                    tycon,
+                    params,
+                    cons: defs,
+                    admits_eq,
+                },
             );
         }
     }
@@ -265,7 +285,11 @@ mod tests {
         let reg = TyconRegistry::with_builtins();
         let list = reg.datatype(Tycon::list().stamp).unwrap();
         assert_eq!(list.cons[0].rep, ConRep::Constant(0), "nil");
-        assert_eq!(list.cons[1].rep, ConRep::Transparent, "cons cell is transparent");
+        assert_eq!(
+            list.cons[1].rep,
+            ConRep::Transparent,
+            "cons cell is transparent"
+        );
         assert!(list.admits_eq);
     }
 
@@ -320,7 +344,10 @@ mod tests {
             Vec::new(),
             vec![
                 (Symbol::intern("Leaf"), None),
-                (Symbol::intern("Node"), Some(Ty::pair(rec_ty.clone(), rec_ty))),
+                (
+                    Symbol::intern("Node"),
+                    Some(Ty::pair(rec_ty.clone(), rec_ty)),
+                ),
             ],
         )]);
         assert!(reg.datatype_admits_eq(t2.stamp));

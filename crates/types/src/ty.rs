@@ -121,7 +121,13 @@ impl Tycon {
 
     /// Creates a fresh datatype tycon.
     pub fn fresh_data(name: Symbol, arity: usize, eq: EqProp) -> Tycon {
-        Tycon { stamp: Stamp::fresh(), name, arity, kind: TyconKind::Data, eq }
+        Tycon {
+            stamp: Stamp::fresh(),
+            name,
+            arity,
+            kind: TyconKind::Data,
+            eq,
+        }
     }
 
     /// Creates a fresh abstract (flexible) tycon, as introduced by a
@@ -282,7 +288,11 @@ impl Ty {
     /// An n-tuple with numeric labels (already in order).
     pub fn tuple(parts: Vec<Ty>) -> Ty {
         Ty::Record(
-            parts.into_iter().enumerate().map(|(i, t)| (Symbol::numeric(i + 1), t)).collect(),
+            parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| (Symbol::numeric(i + 1), t))
+                .collect(),
         )
     }
 
@@ -365,9 +375,7 @@ impl Ty {
                 }
                 Ty::Var(v)
             }
-            Ty::Con(c, args) => {
-                Ty::Con(c, args.iter().map(|a| a.subst_gen(subst)).collect())
-            }
+            Ty::Con(c, args) => Ty::Con(c, args.iter().map(|a| a.subst_gen(subst)).collect()),
             Ty::Record(fs) => {
                 Ty::Record(fs.iter().map(|(l, t)| (*l, t.subst_gen(subst))).collect())
             }
@@ -411,7 +419,12 @@ pub struct Scheme {
 impl Scheme {
     /// A monomorphic scheme.
     pub fn mono(ty: Ty) -> Scheme {
-        Scheme { arity: 0, eq_flags: Vec::new(), cells: Vec::new(), body: ty }
+        Scheme {
+            arity: 0,
+            eq_flags: Vec::new(),
+            cells: Vec::new(),
+            body: ty,
+        }
     }
 
     /// The identity instantiation: each generic variable maps to itself.
@@ -535,7 +548,10 @@ mod tests {
         assert_eq!(Ty::int().to_string(), "int");
         assert_eq!(Ty::arrow(Ty::int(), Ty::real()).to_string(), "int -> real");
         assert_eq!(Ty::pair(Ty::real(), Ty::real()).to_string(), "real * real");
-        assert_eq!(Ty::list(Ty::pair(Ty::int(), Ty::int())).to_string(), "(int * int) list");
+        assert_eq!(
+            Ty::list(Ty::pair(Ty::int(), Ty::int())).to_string(),
+            "(int * int) list"
+        );
         assert_eq!(Ty::unit().to_string(), "unit");
         assert_eq!(
             Ty::arrow(Ty::arrow(Ty::int(), Ty::int()), Ty::int()).to_string(),
@@ -565,7 +581,12 @@ mod tests {
         let v = TvRef::fresh(0);
         *v.0.borrow_mut() = Tv::Gen(0);
         let body = Ty::arrow(Ty::Var(v.clone()), Ty::Var(v.clone()));
-        let s = Scheme { arity: 1, eq_flags: vec![false], cells: vec![v], body };
+        let s = Scheme {
+            arity: 1,
+            eq_flags: vec![false],
+            cells: vec![v],
+            body,
+        };
         let (t1, inst1) = s.instantiate(0);
         let (_t2, inst2) = s.instantiate(0);
         assert_eq!(inst1.len(), 1);
@@ -584,7 +605,11 @@ mod tests {
         let ten = Symbol::numeric(10);
         let a = Symbol::intern("a");
         assert_eq!(label_cmp(one, two), Ordering::Less);
-        assert_eq!(label_cmp(two, ten), Ordering::Less, "numeric labels compare numerically");
+        assert_eq!(
+            label_cmp(two, ten),
+            Ordering::Less,
+            "numeric labels compare numerically"
+        );
         assert_eq!(label_cmp(one, a), Ordering::Less);
         assert_eq!(label_cmp(a, Symbol::intern("b")), Ordering::Less);
     }

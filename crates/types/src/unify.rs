@@ -238,7 +238,12 @@ mod tests {
         let r = reg();
         let ev = TvRef::fresh_eq(0, true);
         // 'a ref admits equality even when 'a doesn't (here: a function type).
-        unify(&r, &Ty::Var(ev), &Ty::reference(Ty::arrow(Ty::int(), Ty::int()))).unwrap();
+        unify(
+            &r,
+            &Ty::Var(ev),
+            &Ty::reference(Ty::arrow(Ty::int(), Ty::int())),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -250,7 +255,12 @@ mod tests {
         unify(&r, &t1, &t2).unwrap();
         assert_eq!(t1.zonk().to_string(), "int * real");
         // Different widths fail.
-        assert!(unify(&r, &Ty::tuple(vec![Ty::int()]), &Ty::pair(Ty::int(), Ty::int())).is_err());
+        assert!(unify(
+            &r,
+            &Ty::tuple(vec![Ty::int()]),
+            &Ty::pair(Ty::int(), Ty::int())
+        )
+        .is_err());
     }
 
     #[test]
@@ -266,7 +276,12 @@ mod tests {
         let r = reg();
         let t1 = Tycon::fresh_abstract(sml_ast::Symbol::intern("t"), 0, false);
         let t2 = Tycon::fresh_abstract(sml_ast::Symbol::intern("t"), 0, false);
-        assert!(unify(&r, &Ty::Con(t1.clone(), vec![]), &Ty::Con(t1.clone(), vec![])).is_ok());
+        assert!(unify(
+            &r,
+            &Ty::Con(t1.clone(), vec![]),
+            &Ty::Con(t1.clone(), vec![])
+        )
+        .is_ok());
         assert!(unify(&r, &Ty::Con(t1, vec![]), &Ty::Con(t2, vec![])).is_err());
     }
 }

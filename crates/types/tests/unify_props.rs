@@ -1,80 +1,98 @@
-//! Property tests for unification and generalization.
+//! Property tests for unification and generalization (driven by the
+//! std-only `sml-testkit` harness).
 
-use proptest::prelude::*;
+use sml_testkit::{run_cases, Rng};
 use sml_types::{generalize, unify, Ty, TyconRegistry};
 
 /// Generator of closed (variable-free) types.
-fn arb_closed_ty() -> impl Strategy<Value = Ty> {
-    let leaf = prop_oneof![
-        Just(Ty::int()),
-        Just(Ty::real()),
-        Just(Ty::string()),
-        Just(Ty::bool()),
-        Just(Ty::unit()),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::arrow(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::pair(a, b)),
-            inner.clone().prop_map(Ty::list),
-            inner.clone().prop_map(Ty::reference),
-        ]
-    })
+fn gen_closed_ty(rng: &mut Rng, depth: usize) -> Ty {
+    if depth == 0 || rng.range_usize(0, 10) < 4 {
+        return match rng.range_usize(0, 5) {
+            0 => Ty::int(),
+            1 => Ty::real(),
+            2 => Ty::string(),
+            3 => Ty::bool(),
+            _ => Ty::unit(),
+        };
+    }
+    let d = depth - 1;
+    match rng.range_usize(0, 4) {
+        0 => Ty::arrow(gen_closed_ty(rng, d), gen_closed_ty(rng, d)),
+        1 => Ty::pair(gen_closed_ty(rng, d), gen_closed_ty(rng, d)),
+        2 => Ty::list(gen_closed_ty(rng, d)),
+        _ => Ty::reference(gen_closed_ty(rng, d)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn unify_is_reflexive(t in arb_closed_ty()) {
+#[test]
+fn unify_is_reflexive() {
+    run_cases("unify_is_reflexive", 128, |rng| {
+        let t = gen_closed_ty(rng, 3);
         let reg = TyconRegistry::with_builtins();
-        prop_assert!(unify(&reg, &t, &t).is_ok());
-    }
+        assert!(unify(&reg, &t, &t).is_ok());
+    });
+}
 
-    #[test]
-    fn unify_with_fresh_var_links(t in arb_closed_ty()) {
+#[test]
+fn unify_with_fresh_var_links() {
+    run_cases("unify_with_fresh_var_links", 128, |rng| {
+        let t = gen_closed_ty(rng, 3);
         let reg = TyconRegistry::with_builtins();
         let v = Ty::Var(sml_types::TvRef::fresh(0));
         unify(&reg, &v, &t).unwrap();
-        prop_assert_eq!(v.zonk().to_string(), t.zonk().to_string());
-    }
+        assert_eq!(v.zonk().to_string(), t.zonk().to_string());
+    });
+}
 
-    #[test]
-    fn unify_symmetric_on_distinct_types(a in arb_closed_ty(), b in arb_closed_ty()) {
+#[test]
+fn unify_symmetric_on_distinct_types() {
+    run_cases("unify_symmetric_on_distinct_types", 128, |rng| {
+        let a = gen_closed_ty(rng, 3);
+        let b = gen_closed_ty(rng, 3);
         let reg = TyconRegistry::with_builtins();
         let ab = unify(&reg, &a, &b).is_ok();
         let ba = unify(&reg, &b, &a).is_ok();
-        prop_assert_eq!(ab, ba);
-    }
+        assert_eq!(ab, ba);
+    });
+}
 
-    #[test]
-    fn generalize_then_instantiate_unifies(t in arb_closed_ty()) {
+#[test]
+fn generalize_then_instantiate_unifies() {
+    run_cases("generalize_then_instantiate_unifies", 128, |rng| {
         // A scheme instantiated with fresh variables must unify with its
         // own body shape.
+        let t = gen_closed_ty(rng, 3);
         let reg = TyconRegistry::with_builtins();
         let v = Ty::Var(sml_types::TvRef::fresh(5));
         let pair = Ty::pair(v, t.clone());
         let scheme = generalize(&pair, 0);
-        prop_assert_eq!(scheme.arity, 1);
+        assert_eq!(scheme.arity, 1);
         let (inst, fresh) = scheme.instantiate(1);
-        prop_assert_eq!(fresh.len(), 1);
-        prop_assert!(unify(&reg, &inst, &Ty::pair(Ty::int(), t)).is_ok());
-    }
+        assert_eq!(fresh.len(), 1);
+        assert!(unify(&reg, &inst, &Ty::pair(Ty::int(), t)).is_ok());
+    });
+}
 
-    #[test]
-    fn zonk_is_idempotent(t in arb_closed_ty()) {
-        prop_assert_eq!(t.zonk().to_string(), t.zonk().zonk().to_string());
-    }
+#[test]
+fn zonk_is_idempotent() {
+    run_cases("zonk_is_idempotent", 128, |rng| {
+        let t = gen_closed_ty(rng, 3);
+        assert_eq!(t.zonk().to_string(), t.zonk().zonk().to_string());
+    });
+}
 
-    #[test]
-    fn display_roundtrips_structure(a in arb_closed_ty(), b in arb_closed_ty()) {
+#[test]
+fn display_roundtrips_structure() {
+    run_cases("display_roundtrips_structure", 128, |rng| {
         // Types that display identically must unify; types that unify
         // and are closed display identically.
+        let a = gen_closed_ty(rng, 3);
+        let b = gen_closed_ty(rng, 3);
         let reg = TyconRegistry::with_builtins();
         if a.to_string() == b.to_string() {
-            prop_assert!(unify(&reg, &a, &b).is_ok());
+            assert!(unify(&reg, &a, &b).is_ok());
         } else {
-            prop_assert!(unify(&reg, &a, &b).is_err());
+            assert!(unify(&reg, &a, &b).is_err());
         }
-    }
+    });
 }

@@ -11,8 +11,9 @@
 //! move with scratch-register cycle breaking.
 
 use crate::isa::*;
-use sml_cps::{AllocOp, BranchOp, CVar, Cexp, ClosedProgram, Cty, FunDef, LookOp, PureOp, SetOp,
-    Value};
+use sml_cps::{
+    AllocOp, BranchOp, CVar, Cexp, ClosedProgram, Cty, FunDef, LookOp, PureOp, SetOp, Value,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Maximum word parameters before trailing parameters are packed into a
@@ -39,7 +40,10 @@ pub fn codegen(prog: &ClosedProgram) -> MachineProgram {
     // Parameter CTYs per label (for call-site argument placement).
     let mut params_of: HashMap<u32, Vec<Cty>> = HashMap::new();
     for f in &prog.funs {
-        params_of.insert(label_of[&f.name], f.params.iter().map(|(_, c)| *c).collect());
+        params_of.insert(
+            label_of[&f.name],
+            f.params.iter().map(|(_, c)| *c).collect(),
+        );
     }
 
     let mut blocks = Vec::new();
@@ -58,7 +62,10 @@ pub fn codegen(prog: &ClosedProgram) -> MachineProgram {
                 .rev()
                 .chain((1..CSCRATCH).rev())
                 .collect(),
-            free_f: (FSCRATCH + 1..MAX_REGS).rev().chain((0..FSCRATCH).rev()).collect(),
+            free_f: (FSCRATCH + 1..MAX_REGS)
+                .rev()
+                .chain((0..FSCRATCH).rev())
+                .collect(),
         };
         // handler closure = [label(uncaught)]
         g.instrs.push(Instr::LoadLabel { d: 1, label: 1 });
@@ -71,7 +78,10 @@ pub fn codegen(prog: &ClosedProgram) -> MachineProgram {
         g.instrs.push(Instr::SetHdlr { s: 2 });
         let entry = std::mem::replace(&mut prog.entry, Cexp::Halt { v: Value::Int(0) });
         g.gen(entry);
-        blocks.push(CodeBlock { name: "entry".into(), instrs: g.instrs });
+        blocks.push(CodeBlock {
+            name: "entry".into(),
+            instrs: g.instrs,
+        });
     }
 
     // Block 1: uncaught-exception stub. Convention: packet arrives in r2
@@ -119,10 +129,17 @@ pub fn codegen(prog: &ClosedProgram) -> MachineProgram {
             .filter(|r| !used_f.contains(r))
             .collect();
         g.gen((*f.body).clone());
-        blocks.push(CodeBlock { name: format!("f{}", f.name), instrs: g.instrs });
+        blocks.push(CodeBlock {
+            name: format!("f{}", f.name),
+            instrs: g.instrs,
+        });
     }
 
-    MachineProgram { blocks, entry: 0, pool }
+    MachineProgram {
+        blocks,
+        entry: 0,
+        pool,
+    }
 }
 
 /// Packs trailing parameters of over-wide functions into records.
@@ -181,11 +198,20 @@ fn limit_params(prog: &ClosedProgram) -> ClosedProgram {
             }
             let mut params = kept;
             params.push((pk, Cty::Ptr(None)));
-            FunDef { kind: f.kind, name: f.name, params, body: Box::new(body) }
+            FunDef {
+                kind: f.kind,
+                name: f.name,
+                params,
+                body: Box::new(body),
+            }
         })
         .collect();
     let entry = rewrite_calls(&prog.entry, &packed, &mut next);
-    ClosedProgram { funs, entry, next_var: next }
+    ClosedProgram {
+        funs,
+        entry,
+        next_var: next,
+    }
 }
 
 fn rewrite_calls(e: &Cexp, packed: &HashMap<CVar, usize>, next: &mut u32) -> Cexp {
@@ -221,19 +247,34 @@ fn rewrite_calls(e: &Cexp, packed: &HashMap<CVar, usize>, next: &mut u32) -> Cex
                         fields,
                         nflt,
                         dst: pk,
-                        rest: Box::new(Cexp::App { f: f.clone(), args: new_args }),
+                        rest: Box::new(Cexp::App {
+                            f: f.clone(),
+                            args: new_args,
+                        }),
                     };
                 }
             }
             e.clone()
         }
-        Cexp::Record { fields, nflt, dst, rest } => Cexp::Record {
+        Cexp::Record {
+            fields,
+            nflt,
+            dst,
+            rest,
+        } => Cexp::Record {
             fields: fields.clone(),
             nflt: *nflt,
             dst: *dst,
             rest: Box::new(rewrite_calls(rest, packed, next)),
         },
-        Cexp::Select { rec, word_off, flt, dst, cty, rest } => Cexp::Select {
+        Cexp::Select {
+            rec,
+            word_off,
+            flt,
+            dst,
+            cty,
+            rest,
+        } => Cexp::Select {
             rec: rec.clone(),
             word_off: *word_off,
             flt: *flt,
@@ -241,20 +282,37 @@ fn rewrite_calls(e: &Cexp, packed: &HashMap<CVar, usize>, next: &mut u32) -> Cex
             cty: *cty,
             rest: Box::new(rewrite_calls(rest, packed, next)),
         },
-        Cexp::Pure { op, args, dst, cty, rest } => Cexp::Pure {
+        Cexp::Pure {
+            op,
+            args,
+            dst,
+            cty,
+            rest,
+        } => Cexp::Pure {
             op: *op,
             args: args.clone(),
             dst: *dst,
             cty: *cty,
             rest: Box::new(rewrite_calls(rest, packed, next)),
         },
-        Cexp::Alloc { op, args, dst, rest } => Cexp::Alloc {
+        Cexp::Alloc {
+            op,
+            args,
+            dst,
+            rest,
+        } => Cexp::Alloc {
             op: *op,
             args: args.clone(),
             dst: *dst,
             rest: Box::new(rewrite_calls(rest, packed, next)),
         },
-        Cexp::Look { op, args, dst, cty, rest } => Cexp::Look {
+        Cexp::Look {
+            op,
+            args,
+            dst,
+            cty,
+            rest,
+        } => Cexp::Look {
             op: *op,
             args: args.clone(),
             dst: *dst,
@@ -266,10 +324,18 @@ fn rewrite_calls(e: &Cexp, packed: &HashMap<CVar, usize>, next: &mut u32) -> Cex
             args: args.clone(),
             rest: Box::new(rewrite_calls(rest, packed, next)),
         },
-        Cexp::Switch { v, lo, arms, default } => Cexp::Switch {
+        Cexp::Switch {
+            v,
+            lo,
+            arms,
+            default,
+        } => Cexp::Switch {
             v: v.clone(),
             lo: *lo,
-            arms: arms.iter().map(|a| rewrite_calls(a, packed, next)).collect(),
+            arms: arms
+                .iter()
+                .map(|a| rewrite_calls(a, packed, next))
+                .collect(),
             default: Box::new(rewrite_calls(default, packed, next)),
         },
         Cexp::Branch { op, args, tru, fls } => Cexp::Branch {
@@ -304,11 +370,15 @@ struct Gen<'a> {
 
 impl Gen<'_> {
     fn alloc_r(&mut self) -> Reg {
-        self.free_r.pop().expect("out of integer registers (including spill slots)")
+        self.free_r
+            .pop()
+            .expect("out of integer registers (including spill slots)")
     }
 
     fn alloc_f(&mut self) -> FReg {
-        self.free_f.pop().expect("out of float registers (including spill slots)")
+        self.free_f
+            .pop()
+            .expect("out of float registers (including spill slots)")
     }
 
     fn release(&mut self, v: CVar) {
@@ -321,9 +391,19 @@ impl Gen<'_> {
     }
 
     /// Releases every variable not live in `live`.
+    ///
+    /// Dead variables are released in sorted order: `loc` is a hash map,
+    /// and releasing in its iteration order would push registers onto the
+    /// free lists in a run-dependent order, making spill decisions — and
+    /// therefore code size and cycle counts — nondeterministic.
     fn prune(&mut self, live: &HashSet<CVar>) {
-        let dead: Vec<CVar> =
-            self.loc.keys().copied().filter(|v| !live.contains(v)).collect();
+        let mut dead: Vec<CVar> = self
+            .loc
+            .keys()
+            .copied()
+            .filter(|v| !live.contains(v))
+            .collect();
+        dead.sort_unstable();
         for v in dead {
             self.release(v);
         }
@@ -410,7 +490,12 @@ impl Gen<'_> {
         let live = free_vars(&e);
         self.prune(&live);
         match e {
-            Cexp::Record { fields, nflt, dst, rest } => {
+            Cexp::Record {
+                fields,
+                nflt,
+                dst,
+                rest,
+            } => {
                 let _ = nflt;
                 let mut words = Vec::new();
                 let mut flts = Vec::new();
@@ -434,27 +519,58 @@ impl Gen<'_> {
                     self.free_ftemp(t);
                 }
                 let d = self.bind_r(dst);
-                self.instrs.push(Instr::Alloc { d, kind: AllocKind::Record, words, flts });
+                self.instrs.push(Instr::Alloc {
+                    d,
+                    kind: AllocKind::Record,
+                    words,
+                    flts,
+                });
                 self.gen(*rest);
             }
-            Cexp::Select { rec, word_off, flt, dst, cty, rest } => {
+            Cexp::Select {
+                rec,
+                word_off,
+                flt,
+                dst,
+                cty,
+                rest,
+            } => {
                 let (base, t) = self.word_reg(&rec);
                 self.free_temp(t);
                 let _ = cty;
                 if flt {
                     let d = self.bind_f(dst);
-                    self.instrs.push(Instr::FLoad { d, base, off: word_off as u16 });
+                    self.instrs.push(Instr::FLoad {
+                        d,
+                        base,
+                        off: word_off as u16,
+                    });
                 } else {
                     let d = self.bind_r(dst);
-                    self.instrs.push(Instr::Load { d, base, off: word_off as u16 });
+                    self.instrs.push(Instr::Load {
+                        d,
+                        base,
+                        off: word_off as u16,
+                    });
                 }
                 self.gen(*rest);
             }
-            Cexp::Pure { op, args, dst, cty, rest } => {
+            Cexp::Pure {
+                op,
+                args,
+                dst,
+                cty,
+                rest,
+            } => {
                 self.gen_pure(op, &args, dst, cty);
                 self.gen(*rest);
             }
-            Cexp::Alloc { op, args, dst, rest } => {
+            Cexp::Alloc {
+                op,
+                args,
+                dst,
+                rest,
+            } => {
                 match op {
                     AllocOp::MakeRef => {
                         let (s, t) = self.word_reg(&args[0]);
@@ -478,7 +594,13 @@ impl Gen<'_> {
                 }
                 self.gen(*rest);
             }
-            Cexp::Look { op, args, dst, cty, rest } => {
+            Cexp::Look {
+                op,
+                args,
+                dst,
+                cty,
+                rest,
+            } => {
                 let _ = cty;
                 match op {
                     LookOp::Deref => {
@@ -541,7 +663,12 @@ impl Gen<'_> {
                 }
                 self.gen(*rest);
             }
-            Cexp::Switch { v, lo, arms, default } => {
+            Cexp::Switch {
+                v,
+                lo,
+                arms,
+                default,
+            } => {
                 let (r, t) = self.word_reg(&v);
                 self.free_temp(t);
                 let sw_at = self.instrs.len();
@@ -619,7 +746,12 @@ impl Gen<'_> {
                 let zero = self.alloc_r();
                 self.instrs.push(Instr::LoadI { d: zero, imm: 0 });
                 let d = self.bind_r(dst);
-                self.instrs.push(Instr::Arith { op: AOp::Sub, d, a: zero, b: a });
+                self.instrs.push(Instr::Arith {
+                    op: AOp::Sub,
+                    d,
+                    a: zero,
+                    b: a,
+                });
                 self.free_r.push(zero);
             }
             FAdd | FSub | FMul | FDiv => {
@@ -688,7 +820,13 @@ impl Gen<'_> {
                 let (a, t) = self.word_reg(&args[0]);
                 self.free_temp(t);
                 let d = self.bind_r(dst);
-                self.instrs.push(Instr::Rt { op: RtOp::StrSize, d, a, b: 0, fa: 0 });
+                self.instrs.push(Instr::Rt {
+                    op: RtOp::StrSize,
+                    d,
+                    a,
+                    b: 0,
+                    fa: 0,
+                });
             }
             StrSub => {
                 let (a, t1) = self.word_reg(&args[0]);
@@ -696,7 +834,13 @@ impl Gen<'_> {
                 self.free_temp(t1);
                 self.free_temp(t2);
                 let d = self.bind_r(dst);
-                self.instrs.push(Instr::Rt { op: RtOp::StrSub, d, a, b, fa: 0 });
+                self.instrs.push(Instr::Rt {
+                    op: RtOp::StrSub,
+                    d,
+                    a,
+                    b,
+                    fa: 0,
+                });
             }
             StrCat => {
                 let (a, t1) = self.word_reg(&args[0]);
@@ -704,19 +848,37 @@ impl Gen<'_> {
                 self.free_temp(t1);
                 self.free_temp(t2);
                 let d = self.bind_r(dst);
-                self.instrs.push(Instr::Rt { op: RtOp::StrCat, d, a, b, fa: 0 });
+                self.instrs.push(Instr::Rt {
+                    op: RtOp::StrCat,
+                    d,
+                    a,
+                    b,
+                    fa: 0,
+                });
             }
             IntToString => {
                 let (a, t) = self.word_reg(&args[0]);
                 self.free_temp(t);
                 let d = self.bind_r(dst);
-                self.instrs.push(Instr::Rt { op: RtOp::IntToString, d, a, b: 0, fa: 0 });
+                self.instrs.push(Instr::Rt {
+                    op: RtOp::IntToString,
+                    d,
+                    a,
+                    b: 0,
+                    fa: 0,
+                });
             }
             RealToString => {
                 let (fa, t) = self.float_reg(&args[0]);
                 self.free_ftemp(t);
                 let d = self.bind_r(dst);
-                self.instrs.push(Instr::Rt { op: RtOp::RealToString, d, a: 0, b: 0, fa });
+                self.instrs.push(Instr::Rt {
+                    op: RtOp::RealToString,
+                    d,
+                    a: 0,
+                    b: 0,
+                    fa,
+                });
             }
             ArrayLength => {
                 let (a, t) = self.word_reg(&args[0]);
@@ -731,7 +893,7 @@ impl Gen<'_> {
     /// target must be patched to the false-branch position.
     fn gen_branch_test(&mut self, op: BranchOp, args: &[Value]) -> usize {
         use BranchOp::*;
-        
+
         match op {
             ILt | ILe | IGt | IGe | IEq | INe | PtrEq => {
                 let (a, t1) = self.word_reg(&args[0]);
@@ -746,13 +908,23 @@ impl Gen<'_> {
                     INe => BrOp::Ne,
                     _ => BrOp::Eq,
                 };
-                self.instrs.push(Instr::Branch { op: bop, a, b, target: 0 });
+                self.instrs.push(Instr::Branch {
+                    op: bop,
+                    a,
+                    b,
+                    target: 0,
+                });
                 self.instrs.len() - 1
             }
             IsBoxed => {
                 let (a, t) = self.word_reg(&args[0]);
                 self.free_temp(t);
-                self.instrs.push(Instr::Branch { op: BrOp::Boxed, a, b: a, target: 0 });
+                self.instrs.push(Instr::Branch {
+                    op: BrOp::Boxed,
+                    a,
+                    b: a,
+                    target: 0,
+                });
                 self.instrs.len() - 1
             }
             FLt | FLe | FGt | FGe | FEq | FNe => {
@@ -768,7 +940,12 @@ impl Gen<'_> {
                     FEq => FBrOp::Eq,
                     _ => FBrOp::Ne,
                 };
-                self.instrs.push(Instr::FBranch { op: fop, a, b, target: 0 });
+                self.instrs.push(Instr::FBranch {
+                    op: fop,
+                    a,
+                    b,
+                    target: 0,
+                });
                 self.instrs.len() - 1
             }
             StrEq | StrNe | StrLt | StrLe | StrGt | StrGe => {
@@ -784,7 +961,12 @@ impl Gen<'_> {
                     StrGt => SBrOp::Gt,
                     _ => SBrOp::Ge,
                 };
-                self.instrs.push(Instr::SBranch { op: sop, a, b, target: 0 });
+                self.instrs.push(Instr::SBranch {
+                    op: sop,
+                    a,
+                    b,
+                    target: 0,
+                });
                 self.instrs.len() - 1
             }
             PolyEq => {
@@ -813,16 +995,14 @@ impl Gen<'_> {
         // save it to scratch first.
         let callee_reg: Option<Reg> = if let Value::Var(x) = &f {
             if let Some(Loc::R(r)) = self.loc.get(x) {
-                let n_word_args =
-                    args.iter()
-                        .filter(|a| match a {
-                            Value::Real(_) => false,
-                            Value::Var(y) => {
-                                !matches!(self.loc.get(y), Some(Loc::F(_)))
-                            }
-                            _ => true,
-                        })
-                        .count() as u8;
+                let n_word_args = args
+                    .iter()
+                    .filter(|a| match a {
+                        Value::Real(_) => false,
+                        Value::Var(y) => !matches!(self.loc.get(y), Some(Loc::F(_))),
+                        _ => true,
+                    })
+                    .count() as u8;
                 if *r >= 1 && *r <= n_word_args {
                     self.instrs.push(Instr::Move { d: CSCRATCH, s: *r });
                     Some(CSCRATCH)
@@ -861,7 +1041,10 @@ impl Gen<'_> {
             match v {
                 Value::Var(x) => {
                     let Some(Loc::R(s)) = self.loc.get(x).copied() else {
-                        panic!("call argument v{x} not in an int register ({:?})", self.loc.get(x))
+                        panic!(
+                            "call argument v{x} not in an int register ({:?})",
+                            self.loc.get(x)
+                        )
                     };
                     if s != *d {
                         moves.push((s, *d));
@@ -891,7 +1074,9 @@ impl Gen<'_> {
         for (v, d) in &dest_flts {
             match v {
                 Value::Var(x) => {
-                    let Loc::F(s) = self.loc[x] else { panic!("cty mismatch") };
+                    let Loc::F(s) = self.loc[x] else {
+                        panic!("cty mismatch")
+                    };
                     if s != *d {
                         fmoves.push((s, *d));
                     }
@@ -991,7 +1176,9 @@ fn free_vars(e: &Cexp) -> HashSet<CVar> {
             }
         };
         match e {
-            Cexp::Record { fields, dst, rest, .. } => {
+            Cexp::Record {
+                fields, dst, rest, ..
+            } => {
                 fields.iter().for_each(|(v, _)| val(v, bound, free));
                 bound.insert(*dst);
                 go(rest, bound, free);
@@ -1001,9 +1188,15 @@ fn free_vars(e: &Cexp) -> HashSet<CVar> {
                 bound.insert(*dst);
                 go(rest, bound, free);
             }
-            Cexp::Pure { args, dst, rest, .. }
-            | Cexp::Alloc { args, dst, rest, .. }
-            | Cexp::Look { args, dst, rest, .. } => {
+            Cexp::Pure {
+                args, dst, rest, ..
+            }
+            | Cexp::Alloc {
+                args, dst, rest, ..
+            }
+            | Cexp::Look {
+                args, dst, rest, ..
+            } => {
                 args.iter().for_each(|v| val(v, bound, free));
                 bound.insert(*dst);
                 go(rest, bound, free);
@@ -1012,7 +1205,9 @@ fn free_vars(e: &Cexp) -> HashSet<CVar> {
                 args.iter().for_each(|v| val(v, bound, free));
                 go(rest, bound, free);
             }
-            Cexp::Switch { v, arms, default, .. } => {
+            Cexp::Switch {
+                v, arms, default, ..
+            } => {
                 val(v, bound, free);
                 arms.iter().for_each(|a| go(a, &mut bound.clone(), free));
                 go(default, &mut bound.clone(), free);

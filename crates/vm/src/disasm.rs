@@ -8,8 +8,7 @@
 use std::fmt;
 
 use crate::isa::{
-    AOp, AllocKind, BrOp, CodeBlock, FBrOp, FOp, FUOp, Instr, MachineProgram, RtOp, SBrOp,
-    HW_REGS,
+    AOp, AllocKind, BrOp, CodeBlock, FBrOp, FOp, FUOp, Instr, MachineProgram, RtOp, SBrOp, HW_REGS,
 };
 
 /// A displayable integer register: hardware registers as `rN`, spill
@@ -166,7 +165,12 @@ impl fmt::Display for Instr {
             Instr::StoreIdxWB { s, base, idx } => {
                 write!(f, "swx.wb  {}, {}[{}]", R(*s), R(*base), R(*idx))
             }
-            Instr::Alloc { d, kind, words, flts } => {
+            Instr::Alloc {
+                d,
+                kind,
+                words,
+                flts,
+            } => {
                 let kind = match kind {
                     AllocKind::Record => "record",
                     AllocKind::Ref => "ref",
@@ -204,7 +208,12 @@ impl fmt::Display for Instr {
             Instr::PolyEqBranch { a, b, target } => {
                 write!(f, "br.!peq {}, {} -> @{target}", R(*a), R(*b))
             }
-            Instr::Switch { r, lo, table, default } => {
+            Instr::Switch {
+                r,
+                lo,
+                table,
+                default,
+            } => {
                 write!(f, "switch  {}, lo={lo} [", R(*r))?;
                 for (i, t) in table.iter().enumerate() {
                     if i > 0 {
@@ -260,7 +269,11 @@ impl fmt::Display for MachineProgram {
             writeln!(f)?;
         }
         for (i, b) in self.blocks.iter().enumerate() {
-            let entry = if i as u32 == self.entry { "  ; entry" } else { "" };
+            let entry = if i as u32 == self.entry {
+                "  ; entry"
+            } else {
+                ""
+            };
             writeln!(f, "L{i}: <{}>{entry}", b.name)?;
             write!(f, "{b}")?;
         }
@@ -282,9 +295,19 @@ mod tests {
 
     #[test]
     fn instr_rendering() {
-        let i = Instr::Arith { op: AOp::Add, d: 3, a: 1, b: 2 };
+        let i = Instr::Arith {
+            op: AOp::Add,
+            d: 3,
+            a: 1,
+            b: 2,
+        };
         assert_eq!(format!("{i}"), "add     r3, r1, r2");
-        let i = Instr::Branch { op: BrOp::Lt, a: 1, b: 2, target: 9 };
+        let i = Instr::Branch {
+            op: BrOp::Lt,
+            a: 1,
+            b: 2,
+            target: 9,
+        };
         assert_eq!(format!("{i}"), "br.!lt   r1, r2 -> @9");
         let i = Instr::Alloc {
             d: 4,
@@ -293,7 +316,12 @@ mod tests {
             flts: vec![0],
         };
         assert_eq!(format!("{i}"), "alloc   r4, record [r1, r2, f0]");
-        let i = Instr::Switch { r: 1, lo: 0, table: vec![3, 5], default: 7 };
+        let i = Instr::Switch {
+            r: 1,
+            lo: 0,
+            table: vec![3, 5],
+            default: 7,
+        };
         assert_eq!(format!("{i}"), "switch  r1, lo=0 [@3, @5] default @7");
     }
 

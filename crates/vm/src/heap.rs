@@ -73,6 +73,9 @@ pub struct Heap {
     pub nursery_words: usize,
     /// Total words ever allocated (the heap-allocation metric).
     pub alloc_words: u64,
+    /// Total objects ever allocated (bump-pointer allocations, including
+    /// strings; excludes the immortal literal pool).
+    pub n_allocs: u64,
     /// Total words copied by the collector.
     pub copied_words: u64,
     /// Number of collections.
@@ -94,6 +97,7 @@ impl Heap {
             since_gc: 0,
             nursery_words: 64 * 1024,
             alloc_words: 0,
+            n_allocs: 0,
             copied_words: 0,
             n_gcs: 0,
         }
@@ -153,6 +157,7 @@ impl Heap {
         self.free += total_words + 1;
         self.since_gc += total_words + 1;
         self.alloc_words += (total_words + 1) as u64;
+        self.n_allocs += 1;
         at
     }
 
@@ -174,7 +179,10 @@ impl Heap {
     /// Panics if the string exceeds the descriptor's length field.
     pub fn alloc_string(&mut self, s: &str) -> u32 {
         let bytes = s.as_bytes();
-        assert!(bytes.len() < (1 << SCAN_BITS), "string too long for descriptor");
+        assert!(
+            bytes.len() < (1 << SCAN_BITS),
+            "string too long for descriptor"
+        );
         let nraw = bytes.len().div_ceil(4);
         let at = self.bump(nraw.max(1));
         self.mem[at - 1] = (ObjKind::Str as u32) | ((bytes.len() as u32) << SCAN_SHIFT);

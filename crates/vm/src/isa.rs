@@ -150,7 +150,12 @@ pub enum Instr {
     StoreIdxWB { s: Reg, base: Reg, idx: Reg },
     /// Allocate a record: scanned word fields from `words`, raw float
     /// fields from `flts`; `d` receives the pointer.
-    Alloc { d: Reg, kind: AllocKind, words: Vec<Reg>, flts: Vec<FReg> },
+    Alloc {
+        d: Reg,
+        kind: AllocKind,
+        words: Vec<Reg>,
+        flts: Vec<FReg>,
+    },
     /// Allocate an array of `len` (tagged int register) elements, all
     /// initialized to `init`.
     AllocArr { d: Reg, len: Reg, init: Reg },
@@ -162,24 +167,50 @@ pub enum Instr {
     FUnbox { d: FReg, s: Reg },
     /// Conditional branch: if the comparison is FALSE, jump to `target`
     /// (instruction index within this block); otherwise fall through.
-    Branch { op: BrOp, a: Reg, b: Reg, target: u32 },
+    Branch {
+        op: BrOp,
+        a: Reg,
+        b: Reg,
+        target: u32,
+    },
     /// Float conditional branch (if false, jump).
-    FBranch { op: FBrOp, a: FReg, b: FReg, target: u32 },
+    FBranch {
+        op: FBrOp,
+        a: FReg,
+        b: FReg,
+        target: u32,
+    },
     /// String conditional branch (if false, jump); runtime compare.
-    SBranch { op: SBrOp, a: Reg, b: Reg, target: u32 },
+    SBranch {
+        op: SBrOp,
+        a: Reg,
+        b: Reg,
+        target: u32,
+    },
     /// Structural (polymorphic) equality; if UNEQUAL, jump. Runtime
     /// traversal, cost proportional to the structure visited.
     PolyEqBranch { a: Reg, b: Reg, target: u32 },
     /// Dense jump table on a tagged integer: jump to
     /// `table[value - lo]` (an instruction index within this block), or
     /// to `default` when out of range. Costs ~3 cycles.
-    Switch { r: Reg, lo: i64, table: Vec<u32>, default: u32 },
+    Switch {
+        r: Reg,
+        lo: i64,
+        table: Vec<u32>,
+        default: u32,
+    },
     /// Tail jump to a known code block (arguments already placed).
     Jump { label: u32 },
     /// Indirect tail jump: code label (tagged int) in `r`.
     JumpReg { r: Reg },
     /// Runtime call producing a value.
-    Rt { op: RtOp, d: Reg, a: Reg, b: Reg, fa: FReg },
+    Rt {
+        op: RtOp,
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        fa: FReg,
+    },
     /// Read the exception-handler register.
     GetHdlr { d: Reg },
     /// Write the exception-handler register.
@@ -190,6 +221,116 @@ pub enum Instr {
     Halt { s: Reg },
     /// Stop with an uncaught exception whose packet is in `s`.
     Uncaught { s: Reg },
+}
+
+/// Coarse classification of instructions for cycle accounting (the
+/// breakdown behind the paper's Figure 7 discussion: where do the
+/// cycles go — arithmetic, memory traffic, allocation, or control?).
+///
+/// [`InstrClass::Gc`] is a pseudo-class: no instruction maps to it, but
+/// the interpreter attributes collector cycles there so the per-class
+/// cycle counts always sum to the total.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstrClass {
+    /// Register-to-register and constant moves.
+    Move = 0,
+    /// Integer ALU operations.
+    IntArith = 1,
+    /// Float ALU, unary float ops, and int/float conversions.
+    FloatArith = 2,
+    /// Loads and stores (word, float, indexed), descriptor reads.
+    Memory = 3,
+    /// Heap allocation (records, arrays, float boxing).
+    Alloc = 4,
+    /// Conditional branches, including string and polymorphic equality.
+    Branch = 5,
+    /// Direct and indirect jumps (inter-block control transfer).
+    Jump = 6,
+    /// Runtime calls (string ops, number formatting, printing).
+    Runtime = 7,
+    /// Handler bookkeeping and termination.
+    Control = 8,
+    /// Cheney-collector work (pseudo-class; see type docs).
+    Gc = 9,
+}
+
+/// Number of instruction classes (the length of per-class counter
+/// arrays in `RunStats`).
+pub const N_INSTR_CLASSES: usize = 10;
+
+impl InstrClass {
+    /// All classes, in discriminant order.
+    pub fn all() -> [InstrClass; N_INSTR_CLASSES] {
+        [
+            InstrClass::Move,
+            InstrClass::IntArith,
+            InstrClass::FloatArith,
+            InstrClass::Memory,
+            InstrClass::Alloc,
+            InstrClass::Branch,
+            InstrClass::Jump,
+            InstrClass::Runtime,
+            InstrClass::Control,
+            InstrClass::Gc,
+        ]
+    }
+
+    /// A stable kebab-case name (used as the JSON key in `--stats=json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            InstrClass::Move => "move",
+            InstrClass::IntArith => "int-arith",
+            InstrClass::FloatArith => "float-arith",
+            InstrClass::Memory => "memory",
+            InstrClass::Alloc => "alloc",
+            InstrClass::Branch => "branch",
+            InstrClass::Jump => "jump",
+            InstrClass::Runtime => "runtime",
+            InstrClass::Control => "control",
+            InstrClass::Gc => "gc",
+        }
+    }
+}
+
+impl Instr {
+    /// The accounting class of this instruction.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::Move { .. }
+            | Instr::FMove { .. }
+            | Instr::LoadI { .. }
+            | Instr::LoadF { .. }
+            | Instr::LoadStr { .. }
+            | Instr::LoadLabel { .. } => InstrClass::Move,
+            Instr::Arith { .. } => InstrClass::IntArith,
+            Instr::FArith { .. }
+            | Instr::FUnary { .. }
+            | Instr::Floor { .. }
+            | Instr::IntToReal { .. } => InstrClass::FloatArith,
+            Instr::Load { .. }
+            | Instr::Store { .. }
+            | Instr::StoreWB { .. }
+            | Instr::FLoad { .. }
+            | Instr::FStore { .. }
+            | Instr::LoadIdx { .. }
+            | Instr::StoreIdx { .. }
+            | Instr::StoreIdxWB { .. }
+            | Instr::ArrLen { .. }
+            | Instr::FUnbox { .. } => InstrClass::Memory,
+            Instr::Alloc { .. } | Instr::AllocArr { .. } | Instr::FBox { .. } => InstrClass::Alloc,
+            Instr::Branch { .. }
+            | Instr::FBranch { .. }
+            | Instr::SBranch { .. }
+            | Instr::PolyEqBranch { .. }
+            | Instr::Switch { .. } => InstrClass::Branch,
+            Instr::Jump { .. } | Instr::JumpReg { .. } => InstrClass::Jump,
+            Instr::Rt { .. } | Instr::Print { .. } => InstrClass::Runtime,
+            Instr::GetHdlr { .. }
+            | Instr::SetHdlr { .. }
+            | Instr::Halt { .. }
+            | Instr::Uncaught { .. } => InstrClass::Control,
+        }
+    }
 }
 
 /// What kind of object an `Alloc` creates (drives the descriptor).

@@ -13,5 +13,5 @@ pub mod vm;
 
 pub use codegen::codegen;
 pub use heap::{Heap, ObjKind};
-pub use isa::{CodeBlock, Instr, MachineProgram};
+pub use isa::{CodeBlock, Instr, InstrClass, MachineProgram, N_INSTR_CLASSES};
 pub use vm::{run, Outcome, RunStats, VmConfig, VmResult};

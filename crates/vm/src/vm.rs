@@ -56,10 +56,21 @@ pub struct RunStats {
     pub instrs: u64,
     /// Words allocated (the heap-allocation metric).
     pub alloc_words: u64,
+    /// Objects allocated (each `Alloc`/`AllocArr`/`FBox`/string alloc).
+    pub n_allocs: u64,
     /// Words copied by the collector.
     pub gc_copied_words: u64,
     /// Number of collections.
     pub n_gcs: u64,
+    /// Cycles spent inside the Cheney collector (also mirrored in
+    /// `cycles_by_class[InstrClass::Gc]`).
+    pub gc_cycles: u64,
+    /// Cycle breakdown indexed by [`InstrClass`] discriminant; sums to
+    /// `cycles`.
+    pub cycles_by_class: [u64; crate::isa::N_INSTR_CLASSES],
+    /// Executed-instruction breakdown indexed by [`InstrClass`]
+    /// discriminant; the `Gc` pseudo-class entry stays zero.
+    pub instrs_by_class: [u64; crate::isa::N_INSTR_CLASSES],
 }
 
 /// The outcome of running a program.
@@ -99,11 +110,23 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
 
     loop {
         if stats.cycles > cfg.max_cycles {
-            return Outcome { result: VmResult::OutOfFuel, stats, output };
+            return Outcome {
+                result: VmResult::OutOfFuel,
+                stats,
+                output,
+            };
         }
         let instr = &prog.blocks[block].instrs[pc];
         pc += 1;
         stats.instrs += 1;
+        // Per-class accounting: everything the match arm adds to
+        // `cycles` lands in the instruction's class, except collector
+        // work (`gc` bumps `gc_cycles`), which lands in the Gc
+        // pseudo-class so the breakdown still sums to `cycles`.
+        let class = instr.class() as usize;
+        stats.instrs_by_class[class] += 1;
+        let cycles_before = stats.cycles;
+        let gc_cycles_before = stats.gc_cycles;
         match instr {
             Instr::Move { d, s } => {
                 spillcost!(*d, *s);
@@ -230,7 +253,12 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                 let i = untag_int(regs[*idx as usize]) as usize;
                 heap.store(regs[*base as usize], i, regs[*s as usize]);
             }
-            Instr::Alloc { d, kind, words, flts } => {
+            Instr::Alloc {
+                d,
+                kind,
+                words,
+                flts,
+            } => {
                 spillcost!(*d);
                 let total = words.len() + 2 * flts.len();
                 if heap.needs_gc(total) {
@@ -347,7 +375,12 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                     pc = *target as usize;
                 }
             }
-            Instr::Switch { r, lo, table, default } => {
+            Instr::Switch {
+                r,
+                lo,
+                table,
+                default,
+            } => {
                 spillcost!(*r);
                 stats.cycles += 3; // bounds check + table load + indirect jump
                 let n = untag_int(regs[*r as usize]);
@@ -404,14 +437,12 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                     }
                     RtOp::StrSize => {
                         stats.cycles += 2;
-                        regs[*d as usize] =
-                            tag_int(heap.string_len(regs[*a as usize]) as i64);
+                        regs[*d as usize] = tag_int(heap.string_len(regs[*a as usize]) as i64);
                     }
                     RtOp::StrSub => {
                         stats.cycles += 3;
                         let i = untag_int(regs[*b as usize]) as usize;
-                        regs[*d as usize] =
-                            tag_int(heap.string_byte(regs[*a as usize], i) as i64);
+                        regs[*d as usize] = tag_int(heap.string_byte(regs[*a as usize], i) as i64);
                     }
                     RtOp::IntToString => {
                         let s = untag_int(regs[*a as usize]).to_string();
@@ -450,14 +481,20 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             }
             Instr::Halt { s } => {
                 stats.alloc_words = heap.alloc_words;
+                stats.n_allocs = heap.n_allocs;
                 stats.gc_copied_words = heap.copied_words;
                 stats.n_gcs = heap.n_gcs;
                 let w = regs[*s as usize];
                 let v = if is_ptr(w) { w as i64 } else { untag_int(w) };
-                return Outcome { result: VmResult::Value(v), stats, output };
+                return Outcome {
+                    result: VmResult::Value(v),
+                    stats,
+                    output,
+                };
             }
             Instr::Uncaught { s } => {
                 stats.alloc_words = heap.alloc_words;
+                stats.n_allocs = heap.n_allocs;
                 stats.gc_copied_words = heap.copied_words;
                 stats.n_gcs = heap.n_gcs;
                 // The packet is either a constant-exception tag record
@@ -484,9 +521,16 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                 } else {
                     "?".into()
                 };
-                return Outcome { result: VmResult::Uncaught(name), stats, output };
+                return Outcome {
+                    result: VmResult::Uncaught(name),
+                    stats,
+                    output,
+                };
             }
         }
+        let gc_delta = stats.gc_cycles - gc_cycles_before;
+        stats.cycles_by_class[class] += stats.cycles - cycles_before - gc_delta;
+        stats.cycles_by_class[InstrClass::Gc as usize] += gc_delta;
     }
 }
 
@@ -501,5 +545,7 @@ fn gc(heap: &mut Heap, regs: &mut [u32], handler: &mut u32, stats: &mut RunStats
         roots.push(handler);
         heap.collect(&mut roots);
     }
-    stats.cycles += 200 + 3 * (heap.copied_words - before);
+    let cost = 200 + 3 * (heap.copied_words - before);
+    stats.cycles += cost;
+    stats.gc_cycles += cost;
 }

@@ -32,7 +32,10 @@ fn known_call_passes_extra_args() {
     };
     let prog = sml_cps::ClosedProgram {
         funs: vec![f],
-        entry: Cexp::App { f: Value::Label(10), args: vec![Value::Int(50), Value::Int(8)] },
+        entry: Cexp::App {
+            f: Value::Label(10),
+            args: vec![Value::Int(50), Value::Int(8)],
+        },
         next_var: 100,
     };
     let (r, _, _) = halted(prog);
@@ -74,7 +77,11 @@ fn flat_float_record_roundtrip() {
             }),
         }),
     };
-    let prog = sml_cps::ClosedProgram { funs: vec![], entry, next_var: 100 };
+    let prog = sml_cps::ClosedProgram {
+        funs: vec![],
+        entry,
+        next_var: 100,
+    };
     let (r, stats, _) = halted(prog);
     assert_eq!(r, VmResult::Value(9)); // floor 2.5 + 7
     assert!(stats.alloc_words >= 4, "desc + word + 2 float words");
@@ -89,7 +96,11 @@ fn switch_dispatch() {
         arms: vec![arm(50), arm(60), arm(70), arm(80)],
         default: Box::new(arm(-1)),
     };
-    let prog = sml_cps::ClosedProgram { funs: vec![], entry, next_var: 100 };
+    let prog = sml_cps::ClosedProgram {
+        funs: vec![],
+        entry,
+        next_var: 100,
+    };
     assert_eq!(halted(prog).0, VmResult::Value(70));
 
     let entry = Cexp::Switch {
@@ -98,7 +109,11 @@ fn switch_dispatch() {
         arms: vec![arm(50), arm(60)],
         default: Box::new(arm(-1)),
     };
-    let prog = sml_cps::ClosedProgram { funs: vec![], entry, next_var: 100 };
+    let prog = sml_cps::ClosedProgram {
+        funs: vec![],
+        entry,
+        next_var: 100,
+    };
     assert_eq!(halted(prog).0, VmResult::Value(-1));
 }
 
@@ -148,7 +163,11 @@ fn refs_arrays_and_barriers() {
             }),
         }),
     };
-    let prog = sml_cps::ClosedProgram { funs: vec![], entry, next_var: 100 };
+    let prog = sml_cps::ClosedProgram {
+        funs: vec![],
+        entry,
+        next_var: 100,
+    };
     assert_eq!(halted(prog).0, VmResult::Value(9));
 }
 
@@ -188,7 +207,11 @@ fn handler_register_roundtrip() {
             }),
         }),
     };
-    let prog = sml_cps::ClosedProgram { funs: vec![handler], entry, next_var: 100 };
+    let prog = sml_cps::ClosedProgram {
+        funs: vec![handler],
+        entry,
+        next_var: 100,
+    };
     assert_eq!(halted(prog).0, VmResult::Value(123));
 }
 
@@ -216,7 +239,11 @@ fn string_runtime_ops() {
             }),
         }),
     };
-    let prog = sml_cps::ClosedProgram { funs: vec![], entry, next_var: 100 };
+    let prog = sml_cps::ClosedProgram {
+        funs: vec![],
+        entry,
+        next_var: 100,
+    };
     let (r, _, out) = halted(prog);
     assert_eq!(r, VmResult::Value(6));
     assert_eq!(out, "foobar");
@@ -245,11 +272,19 @@ fn many_params_pack_into_spill_record() {
             rest: Box::new(body),
         };
     }
-    let f = FunDef { kind: FunKind::Known, name: 200, params, body: Box::new(body) };
+    let f = FunDef {
+        kind: FunKind::Known,
+        name: 200,
+        params,
+        body: Box::new(body),
+    };
     let args: Vec<Value> = (1..=n as i64).map(Value::Int).collect();
     let prog = sml_cps::ClosedProgram {
         funs: vec![f],
-        entry: Cexp::App { f: Value::Label(200), args },
+        entry: Cexp::App {
+            f: Value::Label(200),
+            args,
+        },
         next_var: 1000,
     };
     let (r, _, _) = halted(prog);

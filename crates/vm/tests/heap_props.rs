@@ -1,7 +1,7 @@
 //! Property tests for the heap and collector: random object graphs
 //! survive collections intact.
 
-use proptest::prelude::*;
+use sml_testkit::{run_cases, Rng};
 use sml_vm::heap::{tag_int, untag_int, Heap, ObjKind};
 
 /// A recipe for building a small object graph.
@@ -13,15 +13,16 @@ enum Node {
     Str(String),
 }
 
-fn arb_node() -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![
-        (-1000i32..1000).prop_map(Node::Int),
-        (-1e6f64..1e6).prop_map(Node::Float),
-        "[a-z]{0,12}".prop_map(Node::Str),
-    ];
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        proptest::collection::vec(inner, 0..4).prop_map(Node::Record)
-    })
+fn gen_node(rng: &mut Rng, depth: usize) -> Node {
+    if depth == 0 || rng.range_usize(0, 10) < 4 {
+        return match rng.range_usize(0, 3) {
+            0 => Node::Int(rng.range_i32(-1000, 1000)),
+            1 => Node::Float(rng.f64_in(-1e6, 1e6)),
+            _ => Node::Str(rng.lowercase_string(12)),
+        };
+    }
+    let n = rng.range_usize(0, 4);
+    Node::Record((0..n).map(|_| gen_node(rng, depth - 1)).collect())
 }
 
 /// Builds the graph in the heap; returns the root word.
@@ -36,10 +37,14 @@ fn build(h: &mut Heap, n: &Node) -> u32 {
         Node::Str(s) => h.alloc_string(s),
         Node::Record(fields) => {
             // Words first, floats raw after (the record layout).
-            let words: Vec<&Node> =
-                fields.iter().filter(|f| !matches!(f, Node::Float(_))).collect();
-            let floats: Vec<&Node> =
-                fields.iter().filter(|f| matches!(f, Node::Float(_))).collect();
+            let words: Vec<&Node> = fields
+                .iter()
+                .filter(|f| !matches!(f, Node::Float(_)))
+                .collect();
+            let floats: Vec<&Node> = fields
+                .iter()
+                .filter(|f| matches!(f, Node::Float(_)))
+                .collect();
             let built: Vec<u32> = words.iter().map(|f| build(h, f)).collect();
             let p = h.alloc(ObjKind::Record, words.len() as u32, floats.len() as u32);
             for (i, w) in built.iter().enumerate() {
@@ -81,10 +86,14 @@ fn verify(h: &Heap, n: &Node, w: u32) -> Result<(), String> {
             }
         }
         Node::Record(fields) => {
-            let words: Vec<&Node> =
-                fields.iter().filter(|f| !matches!(f, Node::Float(_))).collect();
-            let floats: Vec<&Node> =
-                fields.iter().filter(|f| matches!(f, Node::Float(_))).collect();
+            let words: Vec<&Node> = fields
+                .iter()
+                .filter(|f| !matches!(f, Node::Float(_)))
+                .collect();
+            let floats: Vec<&Node> = fields
+                .iter()
+                .filter(|f| matches!(f, Node::Float(_)))
+                .collect();
             for (i, f) in words.iter().enumerate() {
                 verify(h, f, h.load(w, i))?;
             }
@@ -100,11 +109,11 @@ fn verify(h: &Heap, n: &Node, w: u32) -> Result<(), String> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn graphs_survive_collection(n in arb_node(), garbage in 0usize..200) {
+#[test]
+fn graphs_survive_collection() {
+    run_cases("graphs_survive_collection", 48, |rng| {
+        let n = gen_node(rng, 4);
+        let garbage = rng.range_usize(0, 200);
         let mut h = Heap::new(1 << 16, 1 << 10);
         let mut root = build(&mut h, &n);
         // Interleave garbage.
@@ -113,21 +122,25 @@ proptest! {
             h.store(g, 0, tag_int(i as i64));
         }
         h.collect(&mut [&mut root]);
-        prop_assert!(verify(&h, &n, root).is_ok(), "{:?}", verify(&h, &n, root));
+        assert!(verify(&h, &n, root).is_ok(), "{:?}", verify(&h, &n, root));
         // A second collection must also preserve everything.
         h.collect(&mut [&mut root]);
-        prop_assert!(verify(&h, &n, root).is_ok());
-    }
+        assert!(verify(&h, &n, root).is_ok());
+    });
+}
 
-    #[test]
-    fn poly_eq_agrees_with_recipe_equality(a in arb_node(), b in arb_node()) {
+#[test]
+fn poly_eq_agrees_with_recipe_equality() {
+    run_cases("poly_eq_agrees_with_recipe_equality", 48, |rng| {
+        let a = gen_node(rng, 4);
+        let b = gen_node(rng, 4);
         let mut h = Heap::new(1 << 16, 1 << 10);
         let wa = build(&mut h, &a);
         let wa2 = build(&mut h, &a);
         let wb = build(&mut h, &b);
         // Structural equality must at least be reflexive across copies.
-        prop_assert!(h.poly_eq(wa, wa2).0, "copies of the same recipe are equal");
+        assert!(h.poly_eq(wa, wa2).0, "copies of the same recipe are equal");
         // And symmetric with b.
-        prop_assert_eq!(h.poly_eq(wa, wb).0, h.poly_eq(wb, wa).0);
-    }
+        assert_eq!(h.poly_eq(wa, wb).0, h.poly_eq(wb, wa).0);
+    });
 }

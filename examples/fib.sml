@@ -1,0 +1,5 @@
+(* Classic doubly-recursive Fibonacci; try:
+   cargo run --release -p smlc --bin smlc -- --stats=json examples/fib.sml *)
+fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+val _ = print (itos (fib 20))
+val _ = print "\n"

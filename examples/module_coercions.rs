@@ -65,6 +65,9 @@ fn main() {
              {} record rebuilds, {} shared-coercion hits",
             c.requests, c.identities, c.wraps, c.fn_wrappers, c.record_rebuilds, c.shared_hits
         );
-        println!("cycles {}  alloc {} words\n", o.stats.cycles, o.stats.alloc_words);
+        println!(
+            "cycles {}  alloc {} words\n",
+            o.stats.cycles, o.stats.alloc_words
+        );
     }
 }

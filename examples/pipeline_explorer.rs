@@ -12,16 +12,25 @@ use smlc::Variant;
 fn main() {
     let default = "fun twice f x = f (f x)  val y = twice (fn n => n + 1) 40 \
                    val _ = print (itos y)";
-    let src = std::env::args().nth(1).unwrap_or_else(|| default.to_owned());
+    let src = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| default.to_owned());
     let variant = Variant::Ffb;
 
     println!("source ({} bytes):\n{src}\n", src.len());
 
     let prog = sml_ast::parse(&src).expect("parse");
-    println!("[parse]            {} top-level declarations", prog.decs.len());
+    println!(
+        "[parse]            {} top-level declarations",
+        prog.decs.len()
+    );
 
     let mut elab = sml_elab::elaborate(&prog).expect("elaborate");
-    println!("[elaborate]        {} typed declarations, {} variables", elab.decs.len(), elab.vars.len());
+    println!(
+        "[elaborate]        {} typed declarations, {} variables",
+        elab.decs.len(),
+        elab.vars.len()
+    );
 
     sml_elab::minimum_typing(&mut elab);
     println!("[mtd]              minimum typing derivations applied");
@@ -50,10 +59,17 @@ fn main() {
     );
 
     let closed = close(cps);
-    println!("[closure-convert]  {} first-order functions", closed.funs.len());
+    println!(
+        "[closure-convert]  {} first-order functions",
+        closed.funs.len()
+    );
 
     let machine = sml_vm::codegen(&closed);
-    println!("[codegen]          {} instructions in {} blocks\n", machine.code_size(), machine.blocks.len());
+    println!(
+        "[codegen]          {} instructions in {} blocks\n",
+        machine.code_size(),
+        machine.blocks.len()
+    );
 
     print!("{machine}");
 

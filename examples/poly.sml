@@ -1,0 +1,12 @@
+(* Polymorphism exercising the observability counters: repeated
+   instantiations drive LTY hash-cons hits; float uses force WRAPs
+   under the type-based variants. Try:
+   cargo run --release -p smlc --bin smlc -- --all --stats=json examples/poly.sml *)
+fun id x = x
+fun compose f g x = f (g x)
+fun twice f = compose f f
+val inc = fn n => n + 1
+val four = twice twice inc 0
+val half = id 0.5
+val _ = print (itos (id four))
+val _ = print "\n"

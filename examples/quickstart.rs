@@ -37,7 +37,10 @@ fn main() {
         other => panic!("abnormal termination: {other:?}"),
     }
     println!("---");
-    println!("machine code size : {} instructions", compiled.stats.code_size);
+    println!(
+        "machine code size : {} instructions",
+        compiled.stats.code_size
+    );
     println!("compile time      : {:?}", compiled.stats.compile_time);
     println!("cycles executed   : {}", outcome.stats.cycles);
     println!("heap allocated    : {} words", outcome.stats.alloc_words);

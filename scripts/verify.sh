@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification gate: the tier-1 test suite plus formatting and
+# lint checks. Run from anywhere inside the repository; CI and
+# pre-merge checks should pass this script exactly as-is.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build (release) =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all gates passed"

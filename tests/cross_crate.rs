@@ -7,7 +7,9 @@ use smlc::{compile, compile_and_run, Variant, VmResult};
 fn output_all_variants(src: &str) -> String {
     let mut first: Option<String> = None;
     for v in Variant::all() {
-        let o = compile(src, v).unwrap_or_else(|e| panic!("[{v}] {e}")).run();
+        let o = compile(src, v)
+            .unwrap_or_else(|e| panic!("[{v}] {e}"))
+            .run();
         assert!(
             matches!(o.result, VmResult::Value(_)),
             "[{v}] abnormal: {:?}",
@@ -138,7 +140,7 @@ fn compile_errors_render_with_locations() {
 
 mod props {
     use super::*;
-    use proptest::prelude::*;
+    use sml_testkit::{run_cases, Rng};
 
     /// A tiny arithmetic-expression AST shared by the SML pretty-printer
     /// and the Rust oracle.
@@ -151,25 +153,22 @@ mod props {
         IfLt(Box<E>, Box<E>, Box<E>, Box<E>),
     }
 
-    fn arb_e() -> impl Strategy<Value = E> {
-        let leaf = (-50i32..50).prop_map(E::Lit);
-        leaf.prop_recursive(4, 24, 3, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone(), inner.clone(), inner)
-                    .prop_map(|(a, b, c, d)| E::IfLt(
-                        Box::new(a),
-                        Box::new(b),
-                        Box::new(c),
-                        Box::new(d)
-                    )),
-            ]
-        })
+    fn gen_e(rng: &mut Rng, depth: usize) -> E {
+        if depth == 0 || rng.range_usize(0, 10) < 3 {
+            return E::Lit(rng.range_i32(-50, 50));
+        }
+        let d = depth - 1;
+        match rng.range_usize(0, 4) {
+            0 => E::Add(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
+            1 => E::Sub(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
+            2 => E::Mul(Box::new(gen_e(rng, d)), Box::new(gen_e(rng, d))),
+            _ => E::IfLt(
+                Box::new(gen_e(rng, d)),
+                Box::new(gen_e(rng, d)),
+                Box::new(gen_e(rng, d)),
+                Box::new(gen_e(rng, d)),
+            ),
+        }
     }
 
     fn to_sml(e: &E) -> String {
@@ -242,17 +241,24 @@ mod props {
         go(e).is_some()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
-        fn compiled_arithmetic_matches_oracle(e in arb_e().prop_filter("fits", fits_31)) {
+    #[test]
+    fn compiled_arithmetic_matches_oracle() {
+        run_cases("compiled_arithmetic_matches_oracle", 24, |rng| {
+            // Regenerate until every subterm fits the tagged 31-bit range
+            // (the analogue of proptest's `prop_filter`).
+            let e = loop {
+                let e = gen_e(rng, 4);
+                if fits_31(&e) {
+                    break e;
+                }
+            };
             let src = format!("val _ = print (itos {})", to_sml(&e));
             let expect = eval(&e).to_string();
             // nrp and ffb bracket the variant space.
             for v in [Variant::Nrp, Variant::Ffb] {
                 let o = compile(&src, v).unwrap().run();
-                prop_assert_eq!(&o.output, &expect, "variant {}", v.name());
+                assert_eq!(&o.output, &expect, "variant {}", v.name());
             }
-        }
+        });
     }
 }

@@ -30,7 +30,10 @@ fn type_based_compilers_beat_nrp_on_floats() {
     let rep = cycles(FLOAT_LOOP, Variant::Rep);
     let ffb = cycles(FLOAT_LOOP, Variant::Ffb);
     assert!(rep <= nrp, "rep {rep} vs nrp {nrp}");
-    assert!(ffb < rep, "unboxed floats must beat boxed floats: ffb {ffb} vs rep {rep}");
+    assert!(
+        ffb < rep,
+        "unboxed floats must beat boxed floats: ffb {ffb} vs rep {rep}"
+    );
     assert!(
         (ffb as f64) < 0.85 * nrp as f64,
         "the float win must be substantial: ffb {ffb} vs nrp {nrp}"
@@ -130,7 +133,10 @@ fn recursive_datatypes_use_standard_boxed_elements() {
     for v in Variant::all() {
         outs.push(compile(src, v).unwrap().run().output);
     }
-    assert!(outs.windows(2).all(|w| w[0] == w[1]), "all variants agree: {outs:?}");
+    assert!(
+        outs.windows(2).all(|w| w[0] == w[1]),
+        "all variants agree: {outs:?}"
+    );
 }
 
 #[test]
@@ -189,5 +195,9 @@ fn hash_consing_keeps_type_count_constant() {
         let tr = translate(&elab, &LambdaConfig::default());
         tr.interner.len()
     };
-    assert_eq!(count(4), count(64), "LTY count independent of functor applications");
+    assert_eq!(
+        count(4),
+        count(64),
+        "LTY count independent of functor applications"
+    );
 }
