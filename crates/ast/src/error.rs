@@ -10,6 +10,10 @@ pub struct ParseError {
     pub span: Span,
     /// Human-readable description, lowercase, no trailing punctuation.
     pub msg: String,
+    /// True when the error reports a resource budget (such as the
+    /// recursion-depth limit) rather than malformed syntax; the driver
+    /// classifies these separately.
+    pub limit: bool,
 }
 
 impl ParseError {

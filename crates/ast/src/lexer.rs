@@ -94,6 +94,7 @@ impl<'src> Lexer<'src> {
         ParseError {
             span: Span::new(at as u32, self.pos as u32),
             msg: msg.into(),
+            limit: false,
         }
     }
 

@@ -55,14 +55,28 @@ fn fixity(name: &str) -> Option<(u8, bool)> {
     }
 }
 
+/// Budget on nested recursive-descent calls, keeping adversarially
+/// nested input (e.g. ten thousand open parentheses) from overflowing
+/// the stack. One budget level costs up to ~10 parser frames, which in
+/// unoptimized builds run to several KB each, so 64 levels stays safely
+/// under a default 2 MiB thread stack while comfortably exceeding the
+/// nesting of real programs (the paper's benchmark suite peaks below
+/// 20).
+const MAX_PARSE_DEPTH: u32 = 64;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: u32,
 }
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Parser {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+        }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -102,7 +116,25 @@ impl Parser {
         Err(ParseError {
             span: self.span(),
             msg: msg.into(),
+            limit: false,
         })
+    }
+
+    /// Enters one level of recursive parsing, failing with a
+    /// budget-class [`ParseError`] once the nesting budget is exhausted.
+    /// Every grammar cycle passes through one of the budgeted
+    /// nonterminals (`exp`, `pat`, `ty`, `strexp`, `sigexp`), so this
+    /// bounds the parser's stack depth on adversarial input.
+    fn enter(&mut self) -> ParseResult<()> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(ParseError {
+                span: self.span(),
+                msg: format!("expression nesting exceeds the depth budget of {MAX_PARSE_DEPTH}"),
+                limit: true,
+            });
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn expect(&mut self, kind: TokenKind) -> ParseResult<()> {
@@ -473,6 +505,13 @@ impl Parser {
     // ----- module expressions ---------------------------------------------
 
     fn strexp(&mut self) -> ParseResult<StrExp> {
+        self.enter()?;
+        let r = self.strexp0();
+        self.depth -= 1;
+        r
+    }
+
+    fn strexp0(&mut self) -> ParseResult<StrExp> {
         let start = self.span();
         let mut s = match self.peek().clone() {
             TokenKind::Struct => {
@@ -512,6 +551,13 @@ impl Parser {
     }
 
     fn sigexp(&mut self) -> ParseResult<SigExp> {
+        self.enter()?;
+        let r = self.sigexp0();
+        self.depth -= 1;
+        r
+    }
+
+    fn sigexp0(&mut self) -> ParseResult<SigExp> {
         let start = self.span();
         match self.peek().clone() {
             TokenKind::Sig => {
@@ -587,6 +633,13 @@ impl Parser {
     // ----- types ------------------------------------------------------------
 
     fn ty(&mut self) -> ParseResult<Ty> {
+        self.enter()?;
+        let r = self.ty0();
+        self.depth -= 1;
+        r
+    }
+
+    fn ty0(&mut self) -> ParseResult<Ty> {
         let start = self.span();
         let t = self.ty_prod()?;
         if self.eat(TokenKind::Arrow) {
@@ -725,6 +778,13 @@ impl Parser {
     // ----- patterns ---------------------------------------------------------
 
     fn pat(&mut self) -> ParseResult<Pat> {
+        self.enter()?;
+        let r = self.pat0();
+        self.depth -= 1;
+        r
+    }
+
+    fn pat0(&mut self) -> ParseResult<Pat> {
         let start = self.span();
         // Layered pattern: `x as pat`.
         if let TokenKind::Ident(s) = *self.peek() {
@@ -755,7 +815,9 @@ impl Parser {
         let cons = Symbol::intern("::");
         if matches!(self.peek(), TokenKind::SymIdent(s) if *s == cons) {
             self.bump();
+            self.enter()?;
             let right = self.pat_cons()?;
+            self.depth -= 1;
             let span = start.to(self.prev_span());
             Ok(Pat {
                 kind: PatKind::Con(
@@ -925,6 +987,13 @@ impl Parser {
     }
 
     fn exp(&mut self) -> ParseResult<Exp> {
+        self.enter()?;
+        let r = self.exp0();
+        self.depth -= 1;
+        r
+    }
+
+    fn exp0(&mut self) -> ParseResult<Exp> {
         let start = self.span();
         let mk = |kind, span| Exp { kind, span };
         match self.peek().clone() {
@@ -1048,7 +1117,12 @@ impl Parser {
             let op_span = self.span();
             self.bump();
             let next_min = if right { prec } else { prec + 1 };
+            // Right-associative chains (`a :: b :: ...`) recurse here
+            // without passing through `exp`, so they count against the
+            // same nesting budget.
+            self.enter()?;
             let rhs = self.exp_infix(next_min)?;
+            self.depth -= 1;
             let span = start.to(self.prev_span());
             let opexp = Exp {
                 kind: ExpKind::Var(Path::simple(sym)),

@@ -6,9 +6,13 @@
 //! cargo run --release -p smlc-bench --bin figure7 -- --json  # + BENCH_pr1.json
 //! cargo run --release -p smlc-bench --bin figure7 -- --json=out.json
 //! ```
+//!
+//! A degraded cell (compile error, VM trap, panic, or output
+//! divergence) prints as `--` and its row is left out of the averages;
+//! the JSON trajectory records the failure explicitly.
 
 use smlc::Variant;
-use smlc_bench::{geomean, json_path_from_args, run_matrix, write_bench_json};
+use smlc_bench::{degraded_cells, geomean, json_path_from_args, run_matrix, write_bench_json};
 
 fn main() {
     let json_path = json_path_from_args(std::env::args().skip(1));
@@ -21,12 +25,20 @@ fn main() {
     println!();
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 6];
     for row in &matrix {
-        let base = row[0].outcome.stats.cycles as f64;
-        print!("{:10}", row[0].name);
-        for (i, r) in row.iter().enumerate() {
-            let ratio = r.outcome.stats.cycles as f64 / base;
-            ratios[i].push(ratio);
-            print!("  {ratio:>8.3}");
+        let clean_row = row.iter().all(|c| c.ok().is_some());
+        let base = row[0].ok().map(|r| r.outcome.stats.cycles as f64);
+        print!("{:10}", row[0].name());
+        for (i, c) in row.iter().enumerate() {
+            match (c.ok(), base) {
+                (Some(r), Some(b)) => {
+                    let ratio = r.outcome.stats.cycles as f64 / b;
+                    if clean_row {
+                        ratios[i].push(ratio);
+                    }
+                    print!("  {ratio:>8.3}");
+                }
+                _ => print!("  {:>8}", "--"),
+            }
         }
         println!();
     }
@@ -35,6 +47,19 @@ fn main() {
         print!("  {:>8.3}", geomean(r));
     }
     println!();
+    let bad = degraded_cells(&matrix);
+    if !bad.is_empty() {
+        println!();
+        for d in &bad {
+            println!(
+                "degraded: {} under {} [{}] {}",
+                d.name,
+                d.variant.name(),
+                d.kind,
+                d.detail
+            );
+        }
+    }
     if let Some(path) = json_path {
         write_bench_json(&path, &matrix, "figure7")
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

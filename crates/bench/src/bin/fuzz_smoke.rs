@@ -1,0 +1,121 @@
+//! Differential fuzz smoke: generates seeded, well-typed SML programs
+//! and runs each under all six compiler variants, demanding (a) no
+//! panic escapes the pipeline, (b) every variant halts with a `Value`,
+//! and (c) all variants agree on the result and printed output.
+//!
+//! ```sh
+//! cargo run --release -p smlc-bench --bin fuzz_smoke                # 200 seeds
+//! cargo run --release -p smlc-bench --bin fuzz_smoke -- --seeds=40
+//! cargo run --release -p smlc-bench --bin fuzz_smoke -- --seeds=40 --items=3
+//! ```
+//!
+//! Seeds are fixed (0..N with a constant salt), so a failure report's
+//! seed reproduces the exact program on any machine. Failures are
+//! collected, not fatal: the sweep always completes, prints every
+//! divergence with its source, and exits 1 if anything failed — the
+//! same containment discipline as the benchmark matrix (see
+//! `docs/ROBUSTNESS.md`).
+
+use sml_testkit::progen::{gen_program, GenConfig};
+use sml_testkit::Rng;
+use smlc::{compile, Variant, VmResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Mixed into every seed so the corpus is disjoint from the unit tests'
+/// `run_cases`-derived seeds.
+const SALT: u64 = 0x5eed_f00d_cafe_0001;
+
+fn usage() -> ! {
+    eprintln!("usage: fuzz_smoke [--seeds=N] [--items=N]");
+    std::process::exit(2);
+}
+
+/// One variant's view of a program: Ok((result, output)) or a contained
+/// failure description.
+fn run_variant(src: &str, v: Variant) -> Result<(VmResult, String), String> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| match compile(src, v) {
+        Ok(c) => {
+            let o = c.run();
+            Ok((o.result, o.output))
+        }
+        Err(e) => Err(format!("compile failed: {e}")),
+    }));
+    match attempt {
+        Ok(r) => r,
+        Err(_) => Err("PANIC escaped the pipeline".to_owned()),
+    }
+}
+
+fn main() {
+    let mut n_seeds: u64 = 200;
+    let mut items: usize = 5;
+    for a in std::env::args().skip(1) {
+        if let Some(n) = a.strip_prefix("--seeds=") {
+            n_seeds = n.parse().unwrap_or_else(|_| usage());
+        } else if let Some(n) = a.strip_prefix("--items=") {
+            items = n.parse().unwrap_or_else(|_| usage());
+        } else {
+            usage();
+        }
+    }
+    let cfg = GenConfig {
+        items,
+        ..GenConfig::default()
+    };
+
+    // The default hook prints a backtrace banner per contained panic;
+    // we report failures ourselves, with the seed and source attached.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut failures: Vec<String> = Vec::new();
+    for seed in 0..n_seeds {
+        let src = gen_program(&mut Rng::new(seed ^ SALT), &cfg);
+        let mut reference: Option<(VmResult, String, &'static str)> = None;
+        for v in Variant::all() {
+            match run_variant(&src, v) {
+                Err(why) => {
+                    failures.push(format!("seed {seed} [{}]: {why}\n{src}", v.name()));
+                }
+                Ok((result, output)) => {
+                    if !matches!(result, VmResult::Value(_)) {
+                        failures.push(format!(
+                            "seed {seed} [{}]: abnormal result {result:?}\n{src}",
+                            v.name()
+                        ));
+                        continue;
+                    }
+                    match &reference {
+                        None => reference = Some((result, output, v.name())),
+                        Some((r_res, r_out, r_name)) => {
+                            if &result != r_res || &output != r_out {
+                                failures.push(format!(
+                                    "seed {seed} [{}]: diverges from {r_name} \
+                                     ({result:?} {output:?} vs {r_res:?} {r_out:?})\n{src}",
+                                    v.name()
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = std::panic::take_hook();
+
+    let n_variants = Variant::all().len() as u64;
+    if failures.is_empty() {
+        println!(
+            "fuzz smoke: {n_seeds} seeds x {n_variants} variants, \
+             no panics, no traps, no divergence"
+        );
+    } else {
+        for f in &failures {
+            eprintln!("FAIL {f}\n");
+        }
+        eprintln!(
+            "fuzz smoke: {} failure(s) over {n_seeds} seeds x {n_variants} variants",
+            failures.len()
+        );
+        std::process::exit(1);
+    }
+}

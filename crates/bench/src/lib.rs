@@ -15,6 +15,13 @@
 //! differential test compares against. [`matrix_json`] turns a result
 //! matrix into the `BENCH_*.json` trajectory document described in
 //! `docs/OBSERVABILITY.md`.
+//!
+//! A matrix is a grid of [`BenchCell`]s, not bare results: a cell whose
+//! compilation errors, whose VM run traps, or whose worker panics is
+//! isolated and recorded as [`BenchCell::Degraded`] — it shows up
+//! explicitly in the trajectory document and is excluded from the
+//! geomean summary, but it never kills the rest of the matrix (see
+//! `docs/ROBUSTNESS.md`).
 
 #![warn(missing_docs)]
 
@@ -130,7 +137,8 @@ impl BenchResult {
 /// # Panics
 ///
 /// Panics on compile errors or abnormal termination — the benchmarks are
-/// fixed programs that must run cleanly.
+/// fixed programs that must run cleanly. Matrix drivers use the
+/// fault-containing [`run_cell`] instead.
 pub fn run_one(b: &Benchmark, v: Variant) -> BenchResult {
     let src = b.source();
     let compiled =
@@ -151,28 +159,149 @@ pub fn run_one(b: &Benchmark, v: Variant) -> BenchResult {
     }
 }
 
+/// A matrix cell that failed: the failure class and enough detail to
+/// reproduce, kept in the trajectory instead of aborting the run.
+#[derive(Clone, Debug)]
+pub struct Degraded {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Compiler variant.
+    pub variant: Variant,
+    /// Failure class: `"compile-error"`, `"vm-trap"`, `"panic"`, or
+    /// `"output-divergence"`.
+    pub kind: &'static str,
+    /// Human-readable detail: the compile error, the trap, the panic
+    /// message, or the variant the output diverged from.
+    pub detail: String,
+}
+
+/// One cell of the benchmark matrix: a clean `Value` run, or an
+/// isolated failure recorded in place.
+#[derive(Clone, Debug)]
+pub enum BenchCell {
+    /// The benchmark compiled and halted normally.
+    Ok(Box<BenchResult>),
+    /// The cell failed; the failure is contained here.
+    Degraded(Degraded),
+}
+
+impl BenchCell {
+    /// The successful result, if this cell ran cleanly.
+    pub fn ok(&self) -> Option<&BenchResult> {
+        match self {
+            BenchCell::Ok(r) => Some(r.as_ref()),
+            BenchCell::Degraded(_) => None,
+        }
+    }
+
+    /// The failure record, if this cell degraded.
+    pub fn degraded(&self) -> Option<&Degraded> {
+        match self {
+            BenchCell::Ok(_) => None,
+            BenchCell::Degraded(d) => Some(d),
+        }
+    }
+
+    /// Benchmark name (present in both arms).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchCell::Ok(r) => r.name,
+            BenchCell::Degraded(d) => d.name,
+        }
+    }
+
+    /// Compiler variant (present in both arms).
+    pub fn variant(&self) -> Variant {
+        match self {
+            BenchCell::Ok(r) => r.variant,
+            BenchCell::Degraded(d) => d.variant,
+        }
+    }
+
+    /// The trajectory-document JSON for this cell: full [`Metrics`] for
+    /// a clean run, or an explicit `{"degraded": true, ...}` record.
+    pub fn to_json(&self) -> Json {
+        match self {
+            BenchCell::Ok(r) => r.metrics().to_json(),
+            BenchCell::Degraded(d) => Json::obj()
+                .field("variant", d.variant.name())
+                .field("degraded", true)
+                .field("kind", d.kind)
+                .field("detail", d.detail.as_str()),
+        }
+    }
+}
+
+/// Best-effort rendering of a panic payload.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_owned()
+    }
+}
+
+/// Compiles and runs one benchmark under one variant with full fault
+/// containment: compile errors, VM traps, and even panics that escape
+/// the pipeline all come back as [`BenchCell::Degraded`] instead of
+/// propagating.
+pub fn run_cell(b: &Benchmark, v: Variant) -> BenchCell {
+    let src = b.source();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compile(&src, v).map(|c| {
+            let outcome = c.run();
+            (c.stats, outcome)
+        })
+    }));
+    let degraded = |kind, detail| {
+        BenchCell::Degraded(Degraded {
+            name: b.name,
+            variant: v,
+            kind,
+            detail,
+        })
+    };
+    match attempt {
+        Err(payload) => degraded("panic", panic_detail(payload)),
+        Ok(Err(e)) => degraded("compile-error", e.to_string()),
+        Ok(Ok((stats, outcome))) => match outcome.result {
+            VmResult::Value(_) => BenchCell::Ok(Box::new(BenchResult {
+                name: b.name,
+                variant: v,
+                compile: stats,
+                outcome,
+            })),
+            ref trap => degraded("vm-trap", format!("{}: {trap:?}", result_tag(trap))),
+        },
+    }
+}
+
 /// Runs every benchmark under every variant in parallel, checking that
 /// all variants agree on the printed output (a differential-correctness
-/// harness), and returns the full result matrix indexed
+/// harness), and returns the full cell matrix indexed
 /// `[benchmark][variant]`.
 ///
 /// Cells are handed to worker threads through an atomic work queue;
 /// the matrix comes back in the same deterministic order as
 /// [`run_matrix_serial`], and compilation/execution is fully
 /// deterministic per cell (each compilation owns its LTY interner), so
-/// the two produce identical outputs and counters.
-pub fn run_matrix() -> Vec<Vec<BenchResult>> {
+/// the two produce identical outputs and counters. A cell that fails in
+/// any way degrades in place (see [`run_cell`]); it never aborts the
+/// matrix.
+pub fn run_matrix() -> Vec<Vec<BenchCell>> {
     run_matrix_of(&benchmarks())
 }
 
 /// Single-threaded reference implementation of [`run_matrix`].
-pub fn run_matrix_serial() -> Vec<Vec<BenchResult>> {
+pub fn run_matrix_serial() -> Vec<Vec<BenchCell>> {
     run_matrix_serial_of(&benchmarks())
 }
 
 /// Parallel matrix run over an explicit benchmark list (see
 /// [`run_matrix`]).
-pub fn run_matrix_of(benches: &[Benchmark]) -> Vec<Vec<BenchResult>> {
+pub fn run_matrix_of(benches: &[Benchmark]) -> Vec<Vec<BenchCell>> {
     let variants = Variant::all();
     let n_cells = benches.len() * variants.len();
     if n_cells == 0 {
@@ -184,7 +313,7 @@ pub fn run_matrix_of(benches: &[Benchmark]) -> Vec<Vec<BenchResult>> {
         .unwrap_or(1)
         .min(n_cells);
 
-    let mut done: Vec<(usize, BenchResult)> = std::thread::scope(|s| {
+    let mut done: Vec<(usize, BenchCell)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..n_workers)
             .map(|_| {
                 s.spawn(|| {
@@ -196,7 +325,7 @@ pub fn run_matrix_of(benches: &[Benchmark]) -> Vec<Vec<BenchResult>> {
                         }
                         let b = &benches[i / variants.len()];
                         let v = variants[i % variants.len()];
-                        out.push((i, run_one(b, v)));
+                        out.push((i, run_cell(b, v)));
                     }
                     out
                 })
@@ -209,37 +338,61 @@ pub fn run_matrix_of(benches: &[Benchmark]) -> Vec<Vec<BenchResult>> {
     });
     done.sort_by_key(|(i, _)| *i);
 
-    let cells: Vec<BenchResult> = done.into_iter().map(|(_, r)| r).collect();
-    let matrix: Vec<Vec<BenchResult>> = cells
+    let cells: Vec<BenchCell> = done.into_iter().map(|(_, r)| r).collect();
+    let mut matrix: Vec<Vec<BenchCell>> = cells
         .chunks(variants.len())
         .map(|row| row.to_vec())
         .collect();
-    assert_differential(&matrix);
+    mark_divergence(&mut matrix);
     matrix
 }
 
 /// Single-threaded matrix run over an explicit benchmark list.
-pub fn run_matrix_serial_of(benches: &[Benchmark]) -> Vec<Vec<BenchResult>> {
-    let matrix: Vec<Vec<BenchResult>> = benches
+pub fn run_matrix_serial_of(benches: &[Benchmark]) -> Vec<Vec<BenchCell>> {
+    let mut matrix: Vec<Vec<BenchCell>> = benches
         .iter()
-        .map(|b| Variant::all().iter().map(|v| run_one(b, *v)).collect())
+        .map(|b| Variant::all().iter().map(|v| run_cell(b, *v)).collect())
         .collect();
-    assert_differential(&matrix);
+    mark_divergence(&mut matrix);
     matrix
 }
 
-/// The differential-correctness check: every variant of a benchmark must
-/// print byte-identical output.
-fn assert_differential(matrix: &[Vec<BenchResult>]) {
+/// The differential-correctness check: every clean variant of a
+/// benchmark must print byte-identical output. The first clean cell of
+/// a row is the reference; a clean cell that disagrees with it degrades
+/// to an `"output-divergence"` record rather than killing the matrix.
+fn mark_divergence(matrix: &mut [Vec<BenchCell>]) {
     for row in matrix {
-        for r in &row[1..] {
-            assert_eq!(
-                r.outcome.output, row[0].outcome.output,
-                "{}: {} disagrees with {}",
-                r.name, r.variant, row[0].variant
-            );
+        let Some((ref_idx, ref_out, ref_variant)) = row
+            .iter()
+            .enumerate()
+            .find_map(|(i, c)| c.ok().map(|r| (i, r.outcome.output.clone(), r.variant)))
+        else {
+            continue;
+        };
+        for (i, cell) in row.iter_mut().enumerate() {
+            if i == ref_idx {
+                continue;
+            }
+            let diverged = cell.ok().is_some_and(|r| r.outcome.output != ref_out);
+            if diverged {
+                *cell = BenchCell::Degraded(Degraded {
+                    name: cell.name(),
+                    variant: cell.variant(),
+                    kind: "output-divergence",
+                    detail: format!("printed output differs from {}", ref_variant.name()),
+                });
+            }
         }
     }
+}
+
+/// All degraded cells of a matrix, in row-major order.
+pub fn degraded_cells(matrix: &[Vec<BenchCell>]) -> Vec<&Degraded> {
+    matrix
+        .iter()
+        .flat_map(|row| row.iter().filter_map(BenchCell::degraded))
+        .collect()
 }
 
 /// Geometric mean of a slice of ratios.
@@ -254,16 +407,23 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (s / xs.len() as f64).exp()
 }
 
-/// Renders a result matrix as the `BENCH_*.json` trajectory document
-/// (schema in `docs/OBSERVABILITY.md`): full per-cell [`Metrics`] plus
-/// the Figure 8 geomean summary against the `sml.nrp` baseline.
-pub fn matrix_json(matrix: &[Vec<BenchResult>], generator: &str) -> Json {
+/// Renders a cell matrix as the `BENCH_*.json` trajectory document
+/// (schema in `docs/OBSERVABILITY.md`): full per-cell [`Metrics`] for
+/// clean runs, explicit `degraded` records for failed cells, plus the
+/// Figure 8 geomean summary against the `sml.nrp` baseline.
+///
+/// A row contributes to the geomean summary only when every one of its
+/// cells ran cleanly — a degraded baseline makes ratios meaningless,
+/// and dropping whole rows keeps every per-variant geomean computed
+/// over the same benchmark set. The summary's `degraded_cells` count
+/// says how much was excluded; nothing is folded in silently.
+pub fn matrix_json(matrix: &[Vec<BenchCell>], generator: &str) -> Json {
     let benches: Vec<Json> = matrix
         .iter()
         .map(|row| {
-            let cells: Vec<Json> = row.iter().map(|r| r.metrics().to_json()).collect();
+            let cells: Vec<Json> = row.iter().map(BenchCell::to_json).collect();
             Json::obj()
-                .field("name", row[0].name)
+                .field("name", row[0].name())
                 .field("variants", Json::Arr(cells))
         })
         .collect();
@@ -274,18 +434,24 @@ pub fn matrix_json(matrix: &[Vec<BenchResult>], generator: &str) -> Json {
     let mut code: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
     let mut ctime: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
     for row in matrix {
-        let be = row[0].outcome.stats.cycles as f64;
-        let ba = row[0].outcome.stats.alloc_words as f64;
-        let bc = row[0].compile.code_size as f64;
-        let bt = row[0].compile.compile_time.as_secs_f64();
-        for (i, r) in row.iter().enumerate() {
+        let clean: Vec<&BenchResult> = row.iter().filter_map(BenchCell::ok).collect();
+        if clean.len() != row.len() {
+            continue;
+        }
+        let be = clean[0].outcome.stats.cycles as f64;
+        let ba = clean[0].outcome.stats.alloc_words as f64;
+        let bc = clean[0].compile.code_size as f64;
+        let bt = clean[0].compile.compile_time.as_secs_f64();
+        for (i, r) in clean.iter().enumerate() {
             exec[i].push(r.outcome.stats.cycles as f64 / be);
             alloc[i].push(r.outcome.stats.alloc_words as f64 / ba);
             code[i].push(r.compile.code_size as f64 / bc);
             ctime[i].push(r.compile.compile_time.as_secs_f64() / bt);
         }
     }
-    let mut summary = Json::obj().field("baseline", Variant::all()[0].name());
+    let mut summary = Json::obj()
+        .field("baseline", Variant::all()[0].name())
+        .field("degraded_cells", degraded_cells(matrix).len());
     for (i, v) in Variant::all().iter().enumerate() {
         summary = summary.field(
             v.name(),
@@ -312,7 +478,7 @@ pub fn matrix_json(matrix: &[Vec<BenchResult>], generator: &str) -> Json {
 /// Propagates I/O errors from writing `path`.
 pub fn write_bench_json(
     path: &str,
-    matrix: &[Vec<BenchResult>],
+    matrix: &[Vec<BenchCell>],
     generator: &str,
 ) -> std::io::Result<()> {
     let mut doc = matrix_json(matrix, generator).to_string_pretty();
@@ -376,7 +542,9 @@ mod tests {
         let ser = run_matrix_serial_of(&benches);
         assert_eq!(par.len(), ser.len());
         for (prow, srow) in par.iter().zip(&ser) {
-            for (p, s) in prow.iter().zip(srow) {
+            for (pc, sc) in prow.iter().zip(srow) {
+                let p = pc.ok().expect("benchmark cell should run cleanly");
+                let s = sc.ok().expect("benchmark cell should run cleanly");
                 assert_eq!(p.name, s.name);
                 assert_eq!(p.variant, s.variant);
                 assert_eq!(p.outcome.output, s.outcome.output);
@@ -397,5 +565,53 @@ mod tests {
         let doc = matrix_json(&[], "test").to_string_compact();
         assert!(doc.contains("\"benchmarks\":[]"));
         assert!(doc.contains("\"schema_version\":1"));
+        assert!(doc.contains("\"degraded_cells\":0"));
+    }
+
+    /// A cell whose compilation fails degrades in place; the rest of
+    /// the matrix still runs, and the trajectory document records the
+    /// failure explicitly while excluding the row from the geomeans.
+    #[test]
+    fn broken_benchmark_degrades_without_killing_the_matrix() {
+        let benches = [
+            Benchmark {
+                name: "Bad",
+                body: "val x = 1 + \"not an int\"",
+            },
+            Benchmark {
+                name: "Sieve",
+                body: include_str!("../benchmarks/sieve.sml"),
+            },
+        ];
+        let matrix = run_matrix_of(&benches);
+        assert_eq!(matrix.len(), 2);
+        let bad = degraded_cells(&matrix);
+        assert_eq!(bad.len(), Variant::all().len(), "every Bad cell degrades");
+        assert!(bad
+            .iter()
+            .all(|d| d.name == "Bad" && d.kind == "compile-error"));
+        assert!(matrix[1].iter().all(|c| c.ok().is_some()));
+
+        let doc = matrix_json(&matrix, "test").to_string_compact();
+        assert!(doc.contains("\"degraded\":true"));
+        assert!(doc.contains("\"kind\":\"compile-error\""));
+        assert!(doc.contains(&format!("\"degraded_cells\":{}", bad.len())));
+        // The clean Sieve row is its own baseline, so every summary
+        // ratio is computed and finite.
+        assert!(!doc.contains("NaN"));
+    }
+
+    /// A trapping run (uncaught exception) is recorded as a `vm-trap`
+    /// degraded cell with the stable metric tag in its detail.
+    #[test]
+    fn trapping_cell_is_recorded_as_vm_trap() {
+        let b = Benchmark {
+            name: "Boom",
+            body: "exception Boom val _ = raise Boom",
+        };
+        let cell = run_cell(&b, Variant::all()[0]);
+        let d = cell.degraded().expect("raise Boom must degrade the cell");
+        assert_eq!(d.kind, "vm-trap");
+        assert!(d.detail.starts_with("uncaught:"), "detail: {}", d.detail);
     }
 }

@@ -15,8 +15,27 @@
 //! `docs/OBSERVABILITY.md` — the same schema the bench harness writes
 //! into `BENCH_*.json` trajectory files.
 
-use smlc::{compile, Metrics, Variant, VmResult};
+use smlc::{compile, error_json, CompileError, Metrics, Variant, VmResult};
 use std::process::ExitCode;
+
+/// Exit codes, documented in `docs/ROBUSTNESS.md`: syntax errors (and
+/// usage mistakes) exit 2, type errors 3, exceeded resource budgets 4,
+/// abnormal VM terminations 5, and contained internal compiler errors
+/// 101.
+const EXIT_PARSE: u8 = 2;
+const EXIT_ELAB: u8 = 3;
+const EXIT_LIMIT: u8 = 4;
+const EXIT_VM_TRAP: u8 = 5;
+const EXIT_ICE: u8 = 101;
+
+fn exit_code_of(e: &CompileError) -> u8 {
+    match e {
+        CompileError::Parse(..) => EXIT_PARSE,
+        CompileError::Elab(..) => EXIT_ELAB,
+        CompileError::Limit { .. } => EXIT_LIMIT,
+        CompileError::Internal { .. } => EXIT_ICE,
+    }
+}
 
 /// How much statistics reporting the user asked for.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -113,7 +132,12 @@ fn main() -> ExitCode {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("smlc: {e}");
-                return ExitCode::FAILURE;
+                // Structured output is emitted on failure paths too, so
+                // JSON consumers never have to parse stderr.
+                if stats == StatsMode::Json {
+                    println!("{}", error_json(v, &e).to_string_pretty());
+                }
+                return ExitCode::from(exit_code_of(&e));
             }
         };
         for w in &compiled.stats.warnings {
@@ -135,6 +159,14 @@ fn main() -> ExitCode {
             }
             VmResult::OutOfFuel => {
                 eprintln!("smlc: cycle budget exhausted");
+                true
+            }
+            VmResult::HeapExhausted => {
+                eprintln!("smlc: heap exhausted");
+                true
+            }
+            VmResult::Fault(why) => {
+                eprintln!("smlc: vm fault: {why}");
                 true
             }
         };
@@ -161,7 +193,7 @@ fn main() -> ExitCode {
             }
         }
         if failed {
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_VM_TRAP);
         }
     }
     ExitCode::SUCCESS

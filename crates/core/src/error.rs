@@ -1,4 +1,11 @@
 //! Compiler driver errors.
+//!
+//! The taxonomy (documented in `docs/ROBUSTNESS.md`) distinguishes four
+//! failure classes so drivers can react appropriately: user-input
+//! errors ([`CompileError::Parse`], [`CompileError::Elab`]), resource
+//! budgets exceeded ([`CompileError::Limit`]), and internal compiler
+//! errors ([`CompileError::Internal`]) — contained panics that indicate
+//! a bug in the compiler itself, never in the input program.
 
 use std::fmt;
 
@@ -9,6 +16,46 @@ pub enum CompileError {
     Parse(sml_ast::ParseError, String),
     /// Type error, with the source for location rendering.
     Elab(sml_elab::ElabError, String),
+    /// A resource budget was exceeded (recursion depth, source size,
+    /// intermediate-form size). The input may be well-formed; it is
+    /// simply too large for the configured limits.
+    Limit {
+        /// Pipeline phase that hit the budget.
+        phase: &'static str,
+        /// What budget, and by how much.
+        msg: String,
+    },
+    /// An internal compiler error: a panic in some phase, contained and
+    /// reported instead of aborting the process. Always a compiler bug.
+    Internal {
+        /// Pipeline phase whose invariant broke.
+        phase: &'static str,
+        /// The contained panic message.
+        msg: String,
+    },
+}
+
+impl CompileError {
+    /// Stable machine-readable class tag: `"parse"`, `"elab"`,
+    /// `"limit"`, or `"internal"` (mirrored in the metrics schema and
+    /// the `smlc` exit codes).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CompileError::Parse(..) => "parse",
+            CompileError::Elab(..) => "elab",
+            CompileError::Limit { .. } => "limit",
+            CompileError::Internal { .. } => "internal",
+        }
+    }
+
+    /// The pipeline phase the failure is attributed to.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            CompileError::Parse(..) => "parse",
+            CompileError::Elab(..) => "elaborate",
+            CompileError::Limit { phase, .. } | CompileError::Internal { phase, .. } => phase,
+        }
+    }
 }
 
 impl fmt::Display for CompileError {
@@ -16,6 +63,12 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Parse(e, src) => f.write_str(&e.render(src)),
             CompileError::Elab(e, src) => f.write_str(&e.render(src)),
+            CompileError::Limit { phase, msg } => {
+                write!(f, "limit exceeded in {phase}: {msg}")
+            }
+            CompileError::Internal { phase, msg } => {
+                write!(f, "internal compiler error in {phase}: {msg}")
+            }
         }
     }
 }

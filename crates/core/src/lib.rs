@@ -36,7 +36,9 @@ pub mod pipeline;
 pub use config::Variant;
 pub use error::CompileError;
 pub use json::Json;
-pub use metrics::{result_tag, Metrics, RunMetrics, METRICS_SCHEMA_VERSION};
-pub use pipeline::{compile, compile_and_run, compile_with, CompileStats, Compiled};
+pub use metrics::{error_json, result_tag, Metrics, RunMetrics, METRICS_SCHEMA_VERSION};
+pub use pipeline::{
+    compile, compile_and_run, compile_full, compile_with, CompileStats, Compiled, Limits,
+};
 pub use sml_cps::OptConfig;
-pub use sml_vm::{InstrClass, Outcome, RunStats, VmConfig, VmResult};
+pub use sml_vm::{FaultInject, InstrClass, Outcome, RunStats, VmConfig, VmResult};

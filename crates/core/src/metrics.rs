@@ -33,7 +33,8 @@ pub struct Metrics {
 /// Run-side portion of a [`Metrics`] snapshot.
 #[derive(Clone, Debug)]
 pub struct RunMetrics {
-    /// How the run ended: `"value"`, `"uncaught"`, or `"out-of-fuel"`.
+    /// How the run ended: `"value"`, `"uncaught"`, `"out-of-fuel"`,
+    /// `"heap-exhausted"`, or `"fault"`.
     pub result: &'static str,
     /// The VM's performance counters.
     pub stats: RunStats,
@@ -61,7 +62,28 @@ pub fn result_tag(r: &VmResult) -> &'static str {
         VmResult::Value(_) => "value",
         VmResult::Uncaught(_) => "uncaught",
         VmResult::OutOfFuel => "out-of-fuel",
+        VmResult::HeapExhausted => "heap-exhausted",
+        VmResult::Fault(_) => "fault",
     }
+}
+
+/// Renders a compile failure as a metrics-schema document: same
+/// `schema_version`/`variant` envelope as a successful run, with an
+/// `error` object instead of `compile`/`run` payloads, so `--stats=json`
+/// consumers see structured output on every path.
+pub fn error_json(variant: crate::Variant, e: &crate::CompileError) -> Json {
+    Json::obj()
+        .field("schema_version", METRICS_SCHEMA_VERSION)
+        .field("variant", variant.name())
+        .field(
+            "error",
+            Json::obj()
+                .field("kind", e.kind())
+                .field("phase", e.phase())
+                .field("message", e.to_string()),
+        )
+        .field("compile", Json::Null)
+        .field("run", Json::Null)
 }
 
 impl Metrics {

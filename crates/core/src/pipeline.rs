@@ -6,7 +6,54 @@ use sml_cps::{close, convert, optimize, OptConfig, OptStats};
 use sml_lambda::{translate, type_of, CoerceStats, LtyStats};
 use sml_vm::{codegen, run as vm_run, MachineProgram, Outcome, VmConfig};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+/// Resource budgets for one compilation (see `docs/ROBUSTNESS.md`).
+/// Exceeding one yields [`CompileError::Limit`], never a crash; the
+/// defaults are far above anything the paper's benchmark suite needs.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Largest accepted source text, in bytes.
+    pub max_source_bytes: usize,
+    /// Largest accepted LEXP after translation, in nodes.
+    pub max_lexp_nodes: usize,
+    /// Largest accepted CPS program before optimization, in operators.
+    pub max_cps_ops: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_source_bytes: 16 << 20,
+            max_lexp_nodes: 4_000_000,
+            max_cps_ops: 8_000_000,
+        }
+    }
+}
+
+/// Extracts a printable message from a contained panic payload.
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_owned()
+    }
+}
+
+/// Runs one phase with panic containment: a panic inside `f` becomes
+/// [`CompileError::Internal`] carrying the phase name, so a compiler bug
+/// is reported as a typed error instead of aborting the process.
+/// (Stack overflow is not catchable this way — recursion-heavy phases
+/// bound their depth up front; see the parser's nesting budget.)
+fn contain<T>(phase: &'static str, f: impl FnOnce() -> T) -> Result<T, CompileError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| CompileError::Internal {
+        phase,
+        msg: panic_msg(p),
+    })
+}
 
 /// Per-phase and summary statistics of one compilation.
 #[derive(Clone, Debug, Default)]
@@ -72,45 +119,111 @@ pub fn compile_with(
     variant: Variant,
     opt_cfg: &OptConfig,
 ) -> Result<Compiled, CompileError> {
+    compile_full(src, variant, opt_cfg, &Limits::default())
+}
+
+/// Compiles with explicit optimizer settings and resource budgets.
+/// Every phase runs under panic containment, so the only ways out are a
+/// [`Compiled`] program or a typed [`CompileError`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on syntax or type errors
+/// ([`CompileError::Parse`] / [`CompileError::Elab`]), exceeded budgets
+/// ([`CompileError::Limit`]), or contained compiler bugs
+/// ([`CompileError::Internal`]).
+pub fn compile_full(
+    src: &str,
+    variant: Variant,
+    opt_cfg: &OptConfig,
+    limits: &Limits,
+) -> Result<Compiled, CompileError> {
+    if src.len() > limits.max_source_bytes {
+        return Err(CompileError::Limit {
+            phase: "parse",
+            msg: format!(
+                "source of {} bytes exceeds the {}-byte budget",
+                src.len(),
+                limits.max_source_bytes
+            ),
+        });
+    }
     let t0 = Instant::now();
     let mut phases = Vec::new();
 
     let t = Instant::now();
-    let prog = sml_ast::parse(src).map_err(|e| CompileError::Parse(e, src.to_owned()))?;
+    let prog = contain("parse", || sml_ast::parse(src))?.map_err(|e| {
+        if e.limit {
+            CompileError::Limit {
+                phase: "parse",
+                msg: e.msg,
+            }
+        } else {
+            CompileError::Parse(e, src.to_owned())
+        }
+    })?;
     phases.push(("parse", t.elapsed()));
 
     let t = Instant::now();
-    let mut elab = sml_elab::elaborate(&prog).map_err(|e| CompileError::Elab(e, src.to_owned()))?;
-    if variant.uses_mtd() {
-        sml_elab::minimum_typing(&mut elab);
-    }
+    let elab = contain("elaborate", || {
+        let mut e = sml_elab::elaborate(&prog)?;
+        if variant.uses_mtd() {
+            sml_elab::minimum_typing(&mut e);
+        }
+        Ok(e)
+    })?
+    .map_err(|e: sml_elab::ElabError| CompileError::Elab(e, src.to_owned()))?;
     phases.push(("elaborate", t.elapsed()));
 
     let t = Instant::now();
-    let mut tr = translate(&elab, &variant.lambda_config());
+    let mut tr = contain("translate", || translate(&elab, &variant.lambda_config()))?;
     phases.push(("translate", t.elapsed()));
     let lexp_size = tr.lexp.size();
-    debug_assert!(
-        type_of(&tr.lexp, &mut HashMap::new(), &mut tr.interner).is_ok(),
-        "internal: translated LEXP is ill-typed"
-    );
+    if lexp_size > limits.max_lexp_nodes {
+        return Err(CompileError::Limit {
+            phase: "translate",
+            msg: format!(
+                "LEXP of {lexp_size} nodes exceeds the {}-node budget",
+                limits.max_lexp_nodes
+            ),
+        });
+    }
+    if cfg!(debug_assertions) {
+        contain("translate", || {
+            assert!(
+                type_of(&tr.lexp, &mut HashMap::new(), &mut tr.interner).is_ok(),
+                "translated LEXP is ill-typed"
+            );
+        })?;
+    }
 
     let t = Instant::now();
-    let mut cps = convert(&tr.lexp, &mut tr.interner, tr.n_vars, &variant.cps_config());
+    let mut cps = contain("cps-convert", || {
+        convert(&tr.lexp, &mut tr.interner, tr.n_vars, &variant.cps_config())
+    })?;
     phases.push(("cps-convert", t.elapsed()));
     let cps_size_before = cps.body.size();
+    if cps_size_before > limits.max_cps_ops {
+        return Err(CompileError::Limit {
+            phase: "cps-convert",
+            msg: format!(
+                "CPS program of {cps_size_before} operators exceeds the {}-operator budget",
+                limits.max_cps_ops
+            ),
+        });
+    }
 
     let t = Instant::now();
-    let opt = optimize(&mut cps, opt_cfg);
+    let opt = contain("cps-optimize", || optimize(&mut cps, opt_cfg))?;
     phases.push(("cps-optimize", t.elapsed()));
     let cps_size_after = cps.body.size();
 
     let t = Instant::now();
-    let closed = close(cps);
+    let closed = contain("closure-convert", || close(cps))?;
     phases.push(("closure-convert", t.elapsed()));
 
     let t = Instant::now();
-    let machine = codegen(&closed);
+    let machine = contain("codegen", || codegen(&closed))?;
     phases.push(("codegen", t.elapsed()));
 
     let stats = CompileStats {

@@ -1,0 +1,206 @@
+//! End-to-end fault containment: adversarial and resource-hungry inputs
+//! produce typed errors or traps — never a panic, abort, or stack
+//! overflow — and trap paths leave the VM counters consistent.
+
+use smlc::{
+    compile, compile_full, CompileError, FaultInject, InstrClass, Limits, OptConfig, RunStats,
+    Variant, VmConfig, VmResult,
+};
+
+fn assert_consistent(stats: &RunStats) {
+    assert_eq!(
+        stats.cycles_by_class.iter().sum::<u64>(),
+        stats.cycles,
+        "cycles_by_class must sum to cycles"
+    );
+    assert_eq!(
+        stats.instrs_by_class.iter().sum::<u64>(),
+        stats.instrs,
+        "instrs_by_class must sum to instrs"
+    );
+    assert_eq!(
+        stats.cycles_by_class[InstrClass::Gc as usize],
+        stats.gc_cycles
+    );
+}
+
+#[test]
+fn deeply_nested_parens_hit_the_depth_budget() {
+    // Ten thousand nesting levels would overflow the parser's stack
+    // without the depth budget; with it, compilation fails fast with a
+    // Limit error.
+    let depth = 10_000;
+    let src = format!("val x = {}1{}", "(".repeat(depth), ")".repeat(depth));
+    match compile(&src, Variant::Ffb) {
+        Err(CompileError::Limit { phase, msg }) => {
+            assert_eq!(phase, "parse");
+            assert!(msg.contains("depth budget"), "unexpected message: {msg}");
+        }
+        other => panic!("expected a parse-limit error, got {other:?}"),
+    }
+}
+
+#[test]
+fn deeply_nested_let_hits_the_depth_budget() {
+    let depth = 10_000;
+    let src = format!(
+        "val x = {}0{}",
+        "let val y = 1 in ".repeat(depth),
+        " end".repeat(depth)
+    );
+    match compile(&src, Variant::Nrp) {
+        Err(CompileError::Limit { phase, .. }) => assert_eq!(phase, "parse"),
+        other => panic!("expected a parse-limit error, got {other:?}"),
+    }
+}
+
+#[test]
+fn long_cons_chain_hits_the_depth_budget() {
+    let src = format!("val x = {}nil", "1 :: ".repeat(10_000));
+    match compile(&src, Variant::Ffb) {
+        Err(CompileError::Limit { phase, .. }) => assert_eq!(phase, "parse"),
+        other => panic!("expected a parse-limit error, got {other:?}"),
+    }
+}
+
+#[test]
+fn reasonable_nesting_still_parses() {
+    let depth = 50;
+    let src = format!("val x = {}1{}", "(".repeat(depth), ")".repeat(depth));
+    compile(&src, Variant::Ffb).expect("100 levels is well within budget");
+}
+
+#[test]
+fn source_size_budget_is_enforced() {
+    let limits = Limits {
+        max_source_bytes: 64,
+        ..Limits::default()
+    };
+    let src = format!("val x = {}", "1 + ".repeat(50));
+    match compile_full(&src, Variant::Ffb, &OptConfig::default(), &limits) {
+        Err(CompileError::Limit { phase, msg }) => {
+            assert_eq!(phase, "parse");
+            assert!(msg.contains("byte"), "unexpected message: {msg}");
+        }
+        other => panic!("expected a source-size limit error, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_taxonomy_tags_are_stable() {
+    let parse = compile("val = =", Variant::Ffb).unwrap_err();
+    assert_eq!(parse.kind(), "parse");
+    assert_eq!(parse.phase(), "parse");
+
+    let elab = compile("val x = 1 + \"s\"", Variant::Ffb).unwrap_err();
+    assert_eq!(elab.kind(), "elab");
+    assert_eq!(elab.phase(), "elaborate");
+
+    let limit = CompileError::Limit {
+        phase: "translate",
+        msg: "x".into(),
+    };
+    assert_eq!(limit.kind(), "limit");
+    let ice = CompileError::Internal {
+        phase: "codegen",
+        msg: "x".into(),
+    };
+    assert_eq!(ice.kind(), "internal");
+    assert_eq!(ice.phase(), "codegen");
+    assert!(ice.to_string().contains("internal compiler error"));
+}
+
+#[test]
+fn error_document_covers_every_failure_class() {
+    let e = compile("val = =", Variant::Ffb).unwrap_err();
+    let doc = smlc::error_json(Variant::Ffb, &e).to_string_compact();
+    assert!(doc.contains("\"schema_version\":1"));
+    assert!(doc.contains("\"error\":"));
+    assert!(doc.contains("\"kind\":\"parse\""));
+    assert!(doc.contains("\"phase\":\"parse\""));
+    assert!(doc.contains("\"message\":"));
+    assert!(doc.contains("\"compile\":null"));
+    assert!(doc.contains("\"run\":null"));
+}
+
+#[test]
+fn uncaught_exception_keeps_counters_consistent() {
+    let c = compile("exception Boom val _ = raise Boom", Variant::Ffb).unwrap();
+    let o = c.run();
+    assert_eq!(o.result, VmResult::Uncaught("Boom".into()));
+    assert_consistent(&o.stats);
+}
+
+#[test]
+fn out_of_fuel_keeps_counters_consistent() {
+    let c = compile("fun loop n = loop (n + 1) val _ = loop 0", Variant::Ffb).unwrap();
+    let o = c.run_with(&VmConfig {
+        max_cycles: 50_000,
+        ..VmConfig::default()
+    });
+    assert_eq!(o.result, VmResult::OutOfFuel);
+    assert!(o.stats.cycles > 50_000);
+    assert_consistent(&o.stats);
+}
+
+const LIST_BUILDER: &str = "
+    fun build n = if n = 0 then nil else n :: build (n - 1)
+    fun len nil = 0 | len (_ :: t) = 1 + len t
+    val _ = print (itos (len (build 2000)))
+";
+
+#[test]
+fn heap_ceiling_traps_instead_of_aborting() {
+    let c = compile(LIST_BUILDER, Variant::Ffb).unwrap();
+    let o = c.run_with(&VmConfig {
+        semi_words: 2_048,
+        nursery_words: 512,
+        ..VmConfig::default()
+    });
+    assert_eq!(o.result, VmResult::HeapExhausted);
+    assert!(o.stats.n_gcs >= 1);
+    assert_consistent(&o.stats);
+}
+
+#[test]
+fn injected_alloc_failure_traps_deterministically() {
+    let c = compile(LIST_BUILDER, Variant::Ffb).unwrap();
+    let o = c.run_with(&VmConfig {
+        fault: FaultInject {
+            fail_alloc_at: Some(40),
+            gc_every_n_allocs: None,
+        },
+        ..VmConfig::default()
+    });
+    assert_eq!(o.result, VmResult::HeapExhausted);
+    assert_eq!(o.stats.n_allocs, 39);
+    assert_consistent(&o.stats);
+}
+
+#[test]
+fn forced_gc_stress_does_not_change_program_behavior() {
+    let c = compile(LIST_BUILDER, Variant::Ffb).unwrap();
+    let quiet = c.run();
+    assert_eq!(quiet.result, VmResult::Value(0));
+    assert_eq!(quiet.output, "2000");
+    for k in [1, 2, 7] {
+        let stressed = c.run_with(&VmConfig {
+            fault: FaultInject {
+                fail_alloc_at: None,
+                gc_every_n_allocs: Some(k),
+            },
+            ..VmConfig::default()
+        });
+        assert_eq!(stressed.result, quiet.result, "gc_every_n_allocs={k}");
+        assert_eq!(stressed.output, quiet.output, "gc_every_n_allocs={k}");
+        assert!(stressed.stats.n_gcs > quiet.stats.n_gcs);
+        assert_consistent(&stressed.stats);
+    }
+}
+
+#[test]
+fn trap_results_have_stable_metric_tags() {
+    assert_eq!(smlc::result_tag(&VmResult::HeapExhausted), "heap-exhausted");
+    assert_eq!(smlc::result_tag(&VmResult::Fault("x".into())), "fault");
+    assert_eq!(smlc::result_tag(&VmResult::OutOfFuel), "out-of-fuel");
+}

@@ -19,6 +19,8 @@
 
 #![warn(missing_docs)]
 
+pub mod progen;
+
 /// A deterministic pseudo-random number generator (splitmix64 core).
 ///
 /// Good enough statistical quality for test-case generation, trivially

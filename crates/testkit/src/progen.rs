@@ -1,0 +1,326 @@
+//! A seeded generator of well-typed SML programs for differential
+//! fuzzing.
+//!
+//! Programs are well-typed *by construction*: every generated item is a
+//! closed, terminating declaration sequence built from templates that
+//! only combine values of known types. The intended oracle is
+//! *variant equivalence* — compile one generated program under all six
+//! compiler variants and demand the identical result value and print
+//! output. No reference interpreter is needed: integer overflow, `div`
+//! by zero, and float formatting are all defined (identically) by the
+//! shared VM, so any divergence indicts a representation, convention,
+//! or optimization bug in some variant's pipeline, which is exactly
+//! what the paper's Figure 7/8 matrix implicitly assumes away.
+//!
+//! Generation is deterministic from the [`Rng`] seed — the same seed
+//! yields byte-identical source on every platform.
+
+use crate::Rng;
+use std::fmt::Write as _;
+
+/// Knobs for [`gen_program`].
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// How many top-level items (declaration groups, each ending in a
+    /// `print`) to generate. Each item draws an independent feature.
+    pub items: usize,
+    /// Depth bound for generated integer expressions.
+    pub expr_depth: usize,
+    /// Include real-typed items (boxed/unboxed float paths).
+    pub floats: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            items: 5,
+            expr_depth: 3,
+            floats: true,
+        }
+    }
+}
+
+/// Generator state: the integer-typed names currently in scope.
+struct Gen<'a> {
+    rng: &'a mut Rng,
+    int_vars: Vec<String>,
+    out: String,
+}
+
+impl Gen<'_> {
+    /// A literal with SML negation syntax (`~5`).
+    fn int_lit(&mut self, lo: i64, hi: i64) -> String {
+        let n = self.rng.range_i64(lo, hi);
+        if n < 0 {
+            format!("~{}", n.unsigned_abs())
+        } else {
+            n.to_string()
+        }
+    }
+
+    /// A closed integer expression over the in-scope variables.
+    /// Division and `mod` keep literal divisors, so every operation is
+    /// total (and `div`/`mod` by zero cannot arise).
+    fn int_exp(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.range_usize(0, 10) < 3 {
+            return if !self.int_vars.is_empty() && self.rng.flip() {
+                self.rng.pick(&self.int_vars).clone()
+            } else {
+                self.int_lit(-100, 100)
+            };
+        }
+        let d = depth - 1;
+        match self.rng.range_usize(0, 8) {
+            0 => format!("({} + {})", self.int_exp(d), self.int_exp(d)),
+            1 => format!("({} - {})", self.int_exp(d), self.int_exp(d)),
+            2 => format!("({} * {})", self.int_exp(d), self.int_exp(d)),
+            3 => {
+                let divisor = self.int_lit(1, 50);
+                format!("({} div {divisor})", self.int_exp(d))
+            }
+            4 => {
+                let divisor = self.int_lit(2, 50);
+                format!("({} mod {divisor})", self.int_exp(d))
+            }
+            5 => {
+                let c = self.bool_exp(d);
+                format!("(if {c} then {} else {})", self.int_exp(d), self.int_exp(d))
+            }
+            6 => {
+                let k = self.int_lit(-20, 20);
+                format!("((fn z => z + {k}) {})", self.int_exp(d))
+            }
+            _ => {
+                let first = self.rng.flip();
+                format!(
+                    "(#{} ({}, {}))",
+                    if first { 1 } else { 2 },
+                    self.int_exp(d),
+                    self.int_exp(d)
+                )
+            }
+        }
+    }
+
+    fn bool_exp(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.flip() {
+            let op = *self.rng.pick(&["<", "<=", ">", ">=", "=", "<>"]);
+            return format!("({} {op} {})", self.int_exp(1), self.int_exp(1));
+        }
+        match self.rng.range_usize(0, 3) {
+            0 => format!(
+                "({} andalso {})",
+                self.bool_exp(depth - 1),
+                self.bool_exp(depth - 1)
+            ),
+            1 => format!(
+                "({} orelse {})",
+                self.bool_exp(depth - 1),
+                self.bool_exp(depth - 1)
+            ),
+            _ => format!("({} = false)", self.bool_exp(depth - 1)),
+        }
+    }
+
+    /// A real-typed expression over exact half-integral literals, so
+    /// every intermediate is exact in f64 and formatting is stable.
+    fn real_exp(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.range_usize(0, 10) < 3 {
+            let v = self.rng.range_i64(-32, 32) as f64 / 2.0;
+            return if v < 0.0 {
+                format!("~{:?}", -v)
+            } else {
+                format!("{v:?}")
+            };
+        }
+        let d = depth - 1;
+        match self.rng.range_usize(0, 5) {
+            0 => format!("({} + {})", self.real_exp(d), self.real_exp(d)),
+            1 => format!("({} - {})", self.real_exp(d), self.real_exp(d)),
+            2 => format!("({} * {})", self.real_exp(d), self.real_exp(d)),
+            3 => format!(
+                "(if {} < {} then {} else {})",
+                self.real_exp(d),
+                self.real_exp(d),
+                self.real_exp(d),
+                self.real_exp(d)
+            ),
+            _ => {
+                let k = self.real_exp(0);
+                format!("((fn (x : real) => x * {k}) {})", self.real_exp(d))
+            }
+        }
+    }
+
+    fn print_int(&mut self, e: &str) {
+        let _ = writeln!(self.out, "val _ = print (itos ({e}))");
+        let _ = writeln!(self.out, "val _ = print \"|\"");
+    }
+
+    /// Emits one feature item. `i` uniquifies declared names; `depth`
+    /// bounds nested expressions.
+    fn item(&mut self, i: usize, depth: usize, floats: bool) {
+        let n_features = if floats { 10 } else { 9 };
+        match self.rng.range_usize(0, n_features) {
+            // A val binding whose name stays in scope for later items.
+            0 => {
+                let e = self.int_exp(depth);
+                let _ = writeln!(self.out, "val a{i} = {e}");
+                self.int_vars.push(format!("a{i}"));
+                self.print_int(&format!("a{i}"));
+            }
+            // A terminating recursive function (argument strictly
+            // decreases; base case at <= 0).
+            1 => {
+                let base = self.int_lit(-10, 10);
+                let step = self.int_exp(1);
+                let arg = self.rng.range_usize(0, 15);
+                let _ = writeln!(
+                    self.out,
+                    "fun f{i} n = if n <= 0 then {base} else (n * {step}) + f{i} (n - 1)"
+                );
+                self.print_int(&format!("f{i} {arg}"));
+            }
+            // List build + structural fold.
+            2 => {
+                let m = self.rng.range_usize(2, 9);
+                let k = self.rng.range_usize(0, 30);
+                let _ = writeln!(
+                    self.out,
+                    "fun build{i} n = if n = 0 then nil else (n mod {m}) :: build{i} (n - 1)"
+                );
+                let _ = writeln!(
+                    self.out,
+                    "fun sum{i} nil = 0 | sum{i} (h :: t) = h + sum{i} t"
+                );
+                self.print_int(&format!("sum{i} (build{i} {k})"));
+            }
+            // Dense/sparse integer case dispatch.
+            3 => {
+                let n_arms = self.rng.range_usize(1, 8);
+                let scrutinee = self.rng.range_usize(0, 12);
+                let mut arms = Vec::new();
+                let mut keys = Vec::new();
+                for _ in 0..n_arms {
+                    let key = self.rng.range_usize(0, 12);
+                    if keys.contains(&key) {
+                        continue;
+                    }
+                    let lit = self.int_lit(-500, 500);
+                    keys.push(key);
+                    arms.push(format!("{key} => {lit}"));
+                }
+                let dflt = self.int_lit(-500, 500);
+                arms.push(format!("_ => {dflt}"));
+                let _ = writeln!(self.out, "fun g{i} n = case n of {}", arms.join(" | "));
+                self.print_int(&format!("g{i} {scrutinee}"));
+            }
+            // String building: concatenation, size, comparison.
+            4 => {
+                let s1 = self.rng.lowercase_string(6);
+                let s2 = self.rng.lowercase_string(6);
+                let _ = writeln!(self.out, "val s{i} = \"{s1}\" ^ \"{s2}\"");
+                let _ = writeln!(self.out, "val _ = print s{i}");
+                let _ = writeln!(self.out, "val _ = print \"|\"");
+                self.print_int(&format!("size s{i}"));
+                self.print_int(&format!("if s{i} < \"{s2}\" then 1 else 0"));
+            }
+            // Exception raise across a call, caught by a handler.
+            5 => {
+                let threshold = self.rng.range_usize(0, 10);
+                let arg = self.rng.range_usize(0, 10);
+                let fallback = self.int_lit(-99, 99);
+                let _ = writeln!(self.out, "exception E{i}");
+                let _ = writeln!(
+                    self.out,
+                    "fun h{i} n = if n < {threshold} then raise E{i} else n * 3"
+                );
+                let _ = writeln!(
+                    self.out,
+                    "val r{i} = (h{i} {arg}) handle E{i} => {fallback}"
+                );
+                self.int_vars.push(format!("r{i}"));
+                self.print_int(&format!("r{i}"));
+            }
+            // Curried higher-order application (closure chains).
+            6 => {
+                let c = self.int_lit(-9, 9);
+                let a = self.int_exp(depth.min(2));
+                let b = self.int_exp(depth.min(2));
+                let _ = writeln!(
+                    self.out,
+                    "val k{i} = (fn x => fn y => x + y * {c}) ({a}) ({b})"
+                );
+                self.int_vars.push(format!("k{i}"));
+                self.print_int(&format!("k{i}"));
+            }
+            // Tuple construction and selection.
+            7 => {
+                let e1 = self.int_exp(depth.min(2));
+                let e2 = self.int_exp(depth.min(2));
+                let e3 = self.int_exp(depth.min(2));
+                let sel = self.rng.range_usize(1, 4);
+                let _ = writeln!(self.out, "val t{i} = ({e1}, {e2}, {e3})");
+                self.print_int(&format!("#{sel} t{i}"));
+            }
+            // Polymorphic equality on structured data.
+            8 => {
+                let e1 = self.int_exp(1);
+                let e2 = self.int_exp(1);
+                let e3 = self.int_exp(1);
+                let e4 = self.int_exp(1);
+                self.print_int(&format!(
+                    "if (({e1}), ({e2})) = (({e3}), ({e4})) then 1 else 0"
+                ));
+            }
+            // Real arithmetic (boxed under nrp/rep, unboxed under ffb):
+            // print both the formatted value and its floor.
+            _ => {
+                let e = self.real_exp(depth.min(3));
+                let _ = writeln!(self.out, "val w{i} : real = {e}");
+                let _ = writeln!(self.out, "val _ = print (rtos w{i})");
+                let _ = writeln!(self.out, "val _ = print \"|\"");
+                self.print_int(&format!("floor (w{i} * 0.5)"));
+            }
+        }
+    }
+}
+
+/// Generates one closed, well-typed, terminating SML program. The same
+/// `rng` state yields the same source; drive it from [`crate::run_cases`]
+/// or a fixed seed loop for reproducibility.
+pub fn gen_program(rng: &mut Rng, cfg: &GenConfig) -> String {
+    let mut g = Gen {
+        rng,
+        int_vars: Vec::new(),
+        out: String::new(),
+    };
+    for i in 0..cfg.items.max(1) {
+        g.item(i, cfg.expr_depth, cfg.floats);
+    }
+    g.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = gen_program(&mut Rng::new(7), &cfg);
+        let b = gen_program(&mut Rng::new(7), &cfg);
+        assert_eq!(a, b);
+        let c = gen_program(&mut Rng::new(8), &cfg);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn programs_are_nonempty_and_print() {
+        for seed in 0..50 {
+            let src = gen_program(&mut Rng::new(seed), &GenConfig::default());
+            assert!(src.contains("print"), "no print in\n{src}");
+            assert!(src.lines().count() >= 2);
+        }
+    }
+}

@@ -147,44 +147,62 @@ impl Heap {
             || self.free + want + 1 > self.from_base + self.semi_words
     }
 
-    fn bump(&mut self, total_words: usize) -> usize {
-        assert!(
-            self.free + total_words < self.from_base + self.semi_words,
-            "smlc VM heap exhausted: semispace of {} words too small (live data too large)",
-            self.semi_words
-        );
+    /// True if the current semispace can hold `want` more body words
+    /// (plus a descriptor). When this still fails right after a
+    /// collection, the live data genuinely does not fit: the heap is
+    /// exhausted.
+    pub fn has_room(&self, want: usize) -> bool {
+        self.free + want < self.from_base + self.semi_words
+    }
+
+    fn bump(&mut self, total_words: usize) -> Option<usize> {
+        if self.free + total_words >= self.from_base + self.semi_words {
+            return None; // semispace exhausted; caller traps
+        }
         let at = self.free + 1; // descriptor goes at `free`
         self.free += total_words + 1;
         self.since_gc += total_words + 1;
         self.alloc_words += (total_words + 1) as u64;
         self.n_allocs += 1;
-        at
+        Some(at)
     }
 
     /// Allocates an object with `nscan` scanned one-word fields and
     /// `nraw` raw float fields (two words each), uninitialized; returns
-    /// the pointer.
-    pub fn alloc(&mut self, kind: ObjKind, nscan: u32, nraw: u32) -> u32 {
+    /// the pointer, or `None` when the semispace is exhausted (the VM
+    /// turns that into a [`HeapExhausted`](crate::VmResult::HeapExhausted)
+    /// trap after a final collection attempt).
+    pub fn alloc(&mut self, kind: ObjKind, nscan: u32, nraw: u32) -> Option<u32> {
         // Zero-length objects still get one body word so the collector
         // has room for a forwarding pointer.
-        let at = self.bump(((nscan + 2 * nraw) as usize).max(1));
+        let at = self.bump(((nscan + 2 * nraw) as usize).max(1))?;
         self.mem[at - 1] = descriptor(kind, nscan, nraw);
-        Heap::ptr_of(at)
+        Some(Heap::ptr_of(at))
     }
 
-    /// Allocates a string in the collected heap.
+    /// The longest string the descriptor encoding can represent, in
+    /// bytes. Longer strings must be rejected before allocation.
+    pub const MAX_STRING_BYTES: usize = (1 << SCAN_BITS) - 1;
+
+    /// The longest array the descriptor encoding can represent, in
+    /// elements (the scanned-field count doubles as the length).
+    pub const MAX_ARRAY_LEN: usize = (1 << SCAN_BITS) - 1;
+
+    /// Allocates a string in the collected heap; `None` when the
+    /// semispace is exhausted.
     ///
     /// # Panics
     ///
-    /// Panics if the string exceeds the descriptor's length field.
-    pub fn alloc_string(&mut self, s: &str) -> u32 {
+    /// Panics if the string exceeds [`Heap::MAX_STRING_BYTES`] — callers
+    /// must check first and trap rather than allocate.
+    pub fn alloc_string(&mut self, s: &str) -> Option<u32> {
         let bytes = s.as_bytes();
         assert!(
-            bytes.len() < (1 << SCAN_BITS),
+            bytes.len() <= Heap::MAX_STRING_BYTES,
             "string too long for descriptor"
         );
         let nraw = bytes.len().div_ceil(4);
-        let at = self.bump(nraw.max(1));
+        let at = self.bump(nraw.max(1))?;
         self.mem[at - 1] = (ObjKind::Str as u32) | ((bytes.len() as u32) << SCAN_SHIFT);
         for (i, chunk) in bytes.chunks(4).enumerate() {
             let mut w = 0u32;
@@ -193,7 +211,7 @@ impl Heap {
             }
             self.mem[at + i] = w;
         }
-        Heap::ptr_of(at)
+        Some(Heap::ptr_of(at))
     }
 
     /// Allocates a string in the immortal region (for pooled literals).
@@ -241,6 +259,67 @@ impl Heap {
         let at = Heap::idx_of(ptr);
         let w = self.mem[at + i / 4];
         ((w >> (8 * (i % 4))) & 0xff) as u8
+    }
+
+    /// Body words occupied by an object with the given decoded
+    /// descriptor (empty objects pad to one word of forwarding space).
+    fn body_words(kind: u32, nscan: u32, nraw: u32) -> usize {
+        let n = if kind == ObjKind::Str as u32 {
+            (nscan as usize).div_ceil(4)
+        } else if kind == ObjKind::Array as u32 {
+            nscan as usize
+        } else {
+            (nscan + nraw * 2) as usize
+        };
+        n.max(1)
+    }
+
+    /// Validates that `ptr` is a plausible object pointer and that the
+    /// word range `[off, off + words)` lies inside that object's body.
+    /// Returns the violation reason on failure; the VM converts it into
+    /// a [`Fault`](crate::VmResult::Fault) trap instead of indexing out
+    /// of bounds.
+    pub fn check_access(&self, ptr: u32, off: usize, words: usize) -> Result<(), String> {
+        if !is_ptr(ptr) {
+            return Err(format!("memory access through non-pointer {ptr:#x}"));
+        }
+        let at = Heap::idx_of(ptr);
+        if at == 0 || at >= self.mem.len() {
+            return Err(format!("pointer {ptr:#x} outside the heap"));
+        }
+        let desc = self.mem[at - 1];
+        let (kind, nscan, nraw) = decode(desc);
+        if kind == FORWARD {
+            return Err(format!("access to forwarded object at {ptr:#x}"));
+        }
+        let total = Heap::body_words(kind, nscan, nraw);
+        if off + words > total {
+            return Err(format!(
+                "access to words [{off}, {}) outside object of {total} body words at {ptr:#x}",
+                off + words
+            ));
+        }
+        if at + total > self.mem.len() {
+            return Err(format!("object at {ptr:#x} extends past the heap end"));
+        }
+        Ok(())
+    }
+
+    /// Validates that `ptr` refers to a string object whose bytes lie in
+    /// bounds; returns the violation reason otherwise.
+    pub fn check_string(&self, ptr: u32) -> Result<(), String> {
+        self.check_access(ptr, 0, 0)?;
+        let (kind, nscan, _) = decode(self.desc(ptr));
+        if kind != ObjKind::Str as u32 {
+            return Err(format!(
+                "string operation on non-string object (kind {kind}) at {ptr:#x}"
+            ));
+        }
+        let at = Heap::idx_of(ptr);
+        if at + (nscan as usize).div_ceil(4) > self.mem.len() {
+            return Err(format!("string at {ptr:#x} extends past the heap end"));
+        }
+        Ok(())
     }
 
     /// Cheney copying collection. `roots` are updated in place.
@@ -405,7 +484,7 @@ mod tests {
     #[test]
     fn alloc_and_access() {
         let mut h = Heap::new(4096, 128);
-        let p = h.alloc(ObjKind::Record, 2, 1);
+        let p = h.alloc(ObjKind::Record, 2, 1).unwrap();
         h.store(p, 0, tag_int(1));
         h.store(p, 1, tag_int(2));
         h.store_f64(p, 2, 3.25);
@@ -417,7 +496,7 @@ mod tests {
     #[test]
     fn strings() {
         let mut h = Heap::new(4096, 128);
-        let p = h.alloc_string("hello");
+        let p = h.alloc_string("hello").unwrap();
         assert_eq!(h.read_string(p), "hello");
         assert_eq!(h.string_len(p), 5);
         assert_eq!(h.string_byte(p, 1), b'e');
@@ -428,16 +507,16 @@ mod tests {
     #[test]
     fn gc_preserves_structure() {
         let mut h = Heap::new(4096, 128);
-        let inner = h.alloc(ObjKind::Record, 1, 1);
+        let inner = h.alloc(ObjKind::Record, 1, 1).unwrap();
         h.store(inner, 0, tag_int(9));
         h.store_f64(inner, 1, 2.5);
-        let outer = h.alloc(ObjKind::Record, 2, 0);
+        let outer = h.alloc(ObjKind::Record, 2, 0).unwrap();
         h.store(outer, 0, inner);
         h.store(outer, 1, tag_int(7));
         let mut root = outer;
         // Garbage to make the collection meaningful.
         for _ in 0..100 {
-            h.alloc(ObjKind::Record, 2, 0);
+            h.alloc(ObjKind::Record, 2, 0).unwrap();
         }
         h.collect(&mut [&mut root]);
         assert_ne!(root, outer, "object moved");
@@ -453,7 +532,7 @@ mod tests {
     fn gc_shares_copies() {
         // Two roots to the same object stay shared.
         let mut h = Heap::new(4096, 128);
-        let obj = h.alloc(ObjKind::Record, 1, 0);
+        let obj = h.alloc(ObjKind::Record, 1, 0).unwrap();
         h.store(obj, 0, tag_int(5));
         let mut r1 = obj;
         let mut r2 = obj;
@@ -474,25 +553,25 @@ mod tests {
     #[test]
     fn poly_eq_cases() {
         let mut h = Heap::new(4096, 128);
-        let a = h.alloc(ObjKind::Record, 1, 1);
+        let a = h.alloc(ObjKind::Record, 1, 1).unwrap();
         h.store(a, 0, tag_int(1));
         h.store_f64(a, 1, 2.5);
-        let b = h.alloc(ObjKind::Record, 1, 1);
+        let b = h.alloc(ObjKind::Record, 1, 1).unwrap();
         h.store(b, 0, tag_int(1));
         h.store_f64(b, 1, 2.5);
-        let c = h.alloc(ObjKind::Record, 1, 1);
+        let c = h.alloc(ObjKind::Record, 1, 1).unwrap();
         h.store(c, 0, tag_int(1));
         h.store_f64(c, 1, 9.0);
         assert!(h.poly_eq(a, b).0);
         assert!(!h.poly_eq(a, c).0);
-        let s1 = h.alloc_string("abc");
-        let s2 = h.alloc_string("abc");
-        let s3 = h.alloc_string("abd");
+        let s1 = h.alloc_string("abc").unwrap();
+        let s2 = h.alloc_string("abc").unwrap();
+        let s3 = h.alloc_string("abd").unwrap();
         assert!(h.poly_eq(s1, s2).0);
         assert!(!h.poly_eq(s1, s3).0);
         // Refs compare by identity.
-        let r1 = h.alloc(ObjKind::Ref, 1, 0);
-        let r2 = h.alloc(ObjKind::Ref, 1, 0);
+        let r1 = h.alloc(ObjKind::Ref, 1, 0).unwrap();
+        let r2 = h.alloc(ObjKind::Ref, 1, 0).unwrap();
         h.store(r1, 0, tag_int(1));
         h.store(r2, 0, tag_int(1));
         assert!(!h.poly_eq(r1, r2).0);
@@ -505,7 +584,7 @@ mod tests {
         h.nursery_words = 64;
         assert!(!h.needs_gc(10));
         for _ in 0..30 {
-            h.alloc(ObjKind::Record, 2, 0);
+            h.alloc(ObjKind::Record, 2, 0).unwrap();
         }
         assert!(h.needs_gc(10));
     }

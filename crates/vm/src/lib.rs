@@ -14,4 +14,4 @@ pub mod vm;
 pub use codegen::codegen;
 pub use heap::{Heap, ObjKind};
 pub use isa::{CodeBlock, Instr, InstrClass, MachineProgram, N_INSTR_CLASSES};
-pub use vm::{run, Outcome, RunStats, VmConfig, VmResult};
+pub use vm::{run, FaultInject, Outcome, RunStats, VmConfig, VmResult};

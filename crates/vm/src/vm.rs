@@ -8,8 +8,20 @@
 //! write-barriered stores pay 2 extra cycles; the copying collector pays
 //! 3 cycles per word copied. Accesses to spill-modelled registers
 //! (32..63) pay 2 extra cycles each, approximating spill loads/stores.
+//!
+//! # Fault containment
+//!
+//! The interpreter never panics on program behavior: every memory access
+//! is bounds-checked against the target object's descriptor and traps as
+//! [`VmResult::Fault`] on violation, heap exhaustion (a collection that
+//! still leaves no room) traps as [`VmResult::HeapExhausted`], and the
+//! cycle budget traps as [`VmResult::OutOfFuel`]. All exit paths —
+//! normal and trapping — finalize the heap counters in [`RunStats`], so
+//! `cycles_by_class` sums to `cycles` and allocation totals are accurate
+//! no matter how the run ended. [`FaultInject`] exposes the trap paths
+//! to tests deterministically.
 
-use crate::heap::{is_ptr, tag_int, untag_int, Heap, ObjKind};
+use crate::heap::{decode, is_ptr, tag_int, untag_int, Heap, ObjKind};
 use crate::isa::*;
 
 /// VM configuration.
@@ -21,8 +33,14 @@ pub struct VmConfig {
     /// Simulated nursery size (words): a collection runs each time this
     /// much has been allocated.
     pub nursery_words: usize,
-    /// Cycle budget; exceeded runs abort with [`VmResult::OutOfFuel`].
+    /// Cycle budget; exceeded runs trap with [`VmResult::OutOfFuel`].
     pub max_cycles: u64,
+    /// Semispace size in words — the heap ceiling. When a collection
+    /// still leaves no room for an allocation, the run traps with
+    /// [`VmResult::HeapExhausted`] instead of aborting the process.
+    pub semi_words: usize,
+    /// Fault-injection knobs for robustness testing.
+    pub fault: FaultInject,
 }
 
 impl Default for VmConfig {
@@ -31,8 +49,25 @@ impl Default for VmConfig {
             fp3_overhead: false,
             nursery_words: 64 * 1024,
             max_cycles: 20_000_000_000,
+            semi_words: 8 << 20,
+            fault: FaultInject::default(),
         }
     }
+}
+
+/// Deterministic fault-injection surface (see `docs/ROBUSTNESS.md`).
+///
+/// Together with a shrunken `max_cycles` or `semi_words`, these knobs
+/// let tests drive the VM down every trap path and assert that the
+/// [`RunStats`] counters stay internally consistent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultInject {
+    /// Simulate allocation failure at the Nth object allocation
+    /// (1-based): that allocation traps [`VmResult::HeapExhausted`].
+    pub fail_alloc_at: Option<u64>,
+    /// Force a collection before every kth object allocation, stressing
+    /// GC root handling far beyond what the nursery schedule would.
+    pub gc_every_n_allocs: Option<u64>,
 }
 
 /// How a run ended.
@@ -45,6 +80,14 @@ pub enum VmResult {
     Uncaught(String),
     /// The cycle budget was exhausted.
     OutOfFuel,
+    /// The heap ceiling was reached: after a collection there was still
+    /// no room for the requested allocation (or allocation failure was
+    /// injected via [`FaultInject::fail_alloc_at`]).
+    HeapExhausted,
+    /// A memory-safety or control-flow violation was contained: the
+    /// payload says what was attempted (out-of-bounds load/store, jump
+    /// through a non-label, oversized object, ...).
+    Fault(String),
 }
 
 /// Counters from a run.
@@ -66,7 +109,7 @@ pub struct RunStats {
     /// `cycles_by_class[InstrClass::Gc]`).
     pub gc_cycles: u64,
     /// Cycle breakdown indexed by [`InstrClass`] discriminant; sums to
-    /// `cycles`.
+    /// `cycles` on every exit path, normal or trapping.
     pub cycles_by_class: [u64; crate::isa::N_INSTR_CLASSES],
     /// Executed-instruction breakdown indexed by [`InstrClass`]
     /// discriminant; the `Gc` pseudo-class entry stays zero.
@@ -84,9 +127,54 @@ pub struct Outcome {
     pub output: String,
 }
 
-/// Runs a machine program to completion.
+/// Extracts the exception name from an uncaught-exception packet,
+/// defensively: any malformed link in the chain yields `"?"` rather
+/// than an out-of-bounds access.
+fn uncaught_name(heap: &Heap, pkt: u32) -> String {
+    // The packet is either a constant-exception tag record `[name]` or a
+    // carrying packet `[tag, v]` with `tag = [name]`.
+    if heap.check_access(pkt, 0, 1).is_err() {
+        return "?".into();
+    }
+    let f0 = heap.load(pkt, 0);
+    if heap.check_access(f0, 0, 1).is_err() {
+        return "?".into();
+    }
+    let (k, _, _) = decode(heap.desc(f0));
+    if k == ObjKind::Str as u32 {
+        return heap.read_string(f0);
+    }
+    let inner = heap.load(f0, 0);
+    if heap.check_string(inner).is_ok() {
+        heap.read_string(inner)
+    } else {
+        "?".into()
+    }
+}
+
+/// Runs a machine program to completion. Never panics on program
+/// behavior: abnormal executions end in a trapping [`VmResult`].
 pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
-    let mut heap = Heap::new(8 << 20, 64 * 1024);
+    // Size the immortal region to the literal pool so pool loading can
+    // never exhaust it; reject literals the descriptor cannot encode.
+    let static_need: usize = prog
+        .pool
+        .iter()
+        .map(|s| s.len().div_ceil(4).max(1) + 1)
+        .sum::<usize>()
+        + 1;
+    if let Some(s) = prog.pool.iter().find(|s| s.len() > Heap::MAX_STRING_BYTES) {
+        return Outcome {
+            result: VmResult::Fault(format!(
+                "string literal of {} bytes exceeds the descriptor limit of {}",
+                s.len(),
+                Heap::MAX_STRING_BYTES
+            )),
+            stats: RunStats::default(),
+            output: String::new(),
+        };
+    }
+    let mut heap = Heap::new(cfg.semi_words, static_need.max(64 * 1024));
     heap.nursery_words = cfg.nursery_words;
     let mut pool_ptrs = Vec::with_capacity(prog.pool.len());
     for s in &prog.pool {
@@ -108,10 +196,33 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
         };
     }
 
+    // Copies the heap's lifetime counters into the run's stats; every
+    // exit path goes through this so the counters are accurate no matter
+    // how the run ended.
+    macro_rules! sync_heap {
+        () => {
+            stats.alloc_words = heap.alloc_words;
+            stats.n_allocs = heap.n_allocs;
+            stats.gc_copied_words = heap.copied_words;
+            stats.n_gcs = heap.n_gcs;
+        };
+    }
+
     loop {
         if stats.cycles > cfg.max_cycles {
+            sync_heap!();
             return Outcome {
                 result: VmResult::OutOfFuel,
+                stats,
+                output,
+            };
+        }
+        if block >= prog.blocks.len() || pc >= prog.blocks[block].instrs.len() {
+            sync_heap!();
+            return Outcome {
+                result: VmResult::Fault(format!(
+                    "instruction fetch out of range: block {block} pc {pc}"
+                )),
                 stats,
                 output,
             };
@@ -127,6 +238,63 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
         stats.instrs_by_class[class] += 1;
         let cycles_before = stats.cycles;
         let gc_cycles_before = stats.gc_cycles;
+
+        // Ends the run mid-instruction: attributes the cycles this
+        // instruction accrued so far to its class (keeping the by-class
+        // breakdown summing to `cycles`), finalizes the heap counters,
+        // and returns.
+        macro_rules! trap {
+            ($result:expr) => {{
+                let gc_delta = stats.gc_cycles - gc_cycles_before;
+                stats.cycles_by_class[class] += stats.cycles - cycles_before - gc_delta;
+                stats.cycles_by_class[InstrClass::Gc as usize] += gc_delta;
+                sync_heap!();
+                return Outcome {
+                    result: $result,
+                    stats,
+                    output,
+                };
+            }};
+        }
+        // Bounds-checks one object access; traps as a Fault on
+        // violation.
+        macro_rules! mem {
+            ($ptr:expr, $off:expr, $n:expr) => {
+                if let Err(why) = heap.check_access($ptr, $off, $n) {
+                    trap!(VmResult::Fault(why));
+                }
+            };
+        }
+        // Validates a string operand; traps as a Fault on violation.
+        macro_rules! strchk {
+            ($ptr:expr) => {
+                if let Err(why) = heap.check_string($ptr) {
+                    trap!(VmResult::Fault(why));
+                }
+            };
+        }
+        // Runs the allocation protocol for `want` body words: injected
+        // failure, forced or scheduled collection, and the post-GC room
+        // check that turns true exhaustion into a HeapExhausted trap.
+        macro_rules! alloc_guard {
+            ($want:expr) => {{
+                let want: usize = $want;
+                if cfg.fault.fail_alloc_at == Some(heap.n_allocs + 1) {
+                    trap!(VmResult::HeapExhausted);
+                }
+                let forced = cfg
+                    .fault
+                    .gc_every_n_allocs
+                    .is_some_and(|k| k > 0 && (heap.n_allocs + 1) % k == 0);
+                if forced || heap.needs_gc(want) {
+                    gc(&mut heap, &mut regs, &mut handler, &mut stats);
+                    if !heap.has_room(want) {
+                        trap!(VmResult::HeapExhausted);
+                    }
+                }
+            }};
+        }
+
         match instr {
             Instr::Move { d, s } => {
                 spillcost!(*d, *s);
@@ -151,6 +319,11 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             Instr::LoadStr { d, pool } => {
                 spillcost!(*d);
                 stats.cycles += 1;
+                if *pool as usize >= pool_ptrs.len() {
+                    trap!(VmResult::Fault(format!(
+                        "string pool index {pool} out of range"
+                    )));
+                }
                 regs[*d as usize] = pool_ptrs[*pool as usize];
             }
             Instr::LoadLabel { d, label } => {
@@ -213,45 +386,62 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             Instr::Load { d, base, off } => {
                 spillcost!(*d, *base);
                 stats.cycles += 2;
+                mem!(regs[*base as usize], *off as usize, 1);
                 regs[*d as usize] = heap.load(regs[*base as usize], *off as usize);
             }
             Instr::Store { s, base, off } => {
                 spillcost!(*s, *base);
                 stats.cycles += 2;
+                mem!(regs[*base as usize], *off as usize, 1);
                 heap.store(regs[*base as usize], *off as usize, regs[*s as usize]);
             }
             Instr::StoreWB { s, base, off } => {
                 spillcost!(*s, *base);
                 stats.cycles += 4; // store + generational bookkeeping
+                mem!(regs[*base as usize], *off as usize, 1);
                 heap.store(regs[*base as usize], *off as usize, regs[*s as usize]);
             }
             Instr::FLoad { d, base, off } => {
                 spillcost!(*d, *base);
                 stats.cycles += 4; // two single-word loads
+                mem!(regs[*base as usize], *off as usize, 2);
                 fregs[*d as usize] = heap.load_f64(regs[*base as usize], *off as usize);
             }
             Instr::FStore { s, base, off } => {
                 spillcost!(*s, *base);
                 stats.cycles += 4;
+                mem!(regs[*base as usize], *off as usize, 2);
                 heap.store_f64(regs[*base as usize], *off as usize, fregs[*s as usize]);
             }
             Instr::LoadIdx { d, base, idx } => {
                 spillcost!(*d, *base, *idx);
                 stats.cycles += 3;
-                let i = untag_int(regs[*idx as usize]) as usize;
-                regs[*d as usize] = heap.load(regs[*base as usize], i);
+                let i = untag_int(regs[*idx as usize]);
+                if i < 0 {
+                    trap!(VmResult::Fault(format!("negative index {i}")));
+                }
+                mem!(regs[*base as usize], i as usize, 1);
+                regs[*d as usize] = heap.load(regs[*base as usize], i as usize);
             }
             Instr::StoreIdx { s, base, idx } => {
                 spillcost!(*s, *base, *idx);
                 stats.cycles += 3;
-                let i = untag_int(regs[*idx as usize]) as usize;
-                heap.store(regs[*base as usize], i, regs[*s as usize]);
+                let i = untag_int(regs[*idx as usize]);
+                if i < 0 {
+                    trap!(VmResult::Fault(format!("negative index {i}")));
+                }
+                mem!(regs[*base as usize], i as usize, 1);
+                heap.store(regs[*base as usize], i as usize, regs[*s as usize]);
             }
             Instr::StoreIdxWB { s, base, idx } => {
                 spillcost!(*s, *base, *idx);
                 stats.cycles += 5;
-                let i = untag_int(regs[*idx as usize]) as usize;
-                heap.store(regs[*base as usize], i, regs[*s as usize]);
+                let i = untag_int(regs[*idx as usize]);
+                if i < 0 {
+                    trap!(VmResult::Fault(format!("negative index {i}")));
+                }
+                mem!(regs[*base as usize], i as usize, 1);
+                heap.store(regs[*base as usize], i as usize, regs[*s as usize]);
             }
             Instr::Alloc {
                 d,
@@ -261,14 +451,14 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             } => {
                 spillcost!(*d);
                 let total = words.len() + 2 * flts.len();
-                if heap.needs_gc(total) {
-                    gc(&mut heap, &mut regs, &mut handler, &mut stats);
-                }
+                alloc_guard!(total);
                 let k = match kind {
                     AllocKind::Record => ObjKind::Record,
                     AllocKind::Ref => ObjKind::Ref,
                 };
-                let p = heap.alloc(k, words.len() as u32, flts.len() as u32);
+                let Some(p) = heap.alloc(k, words.len() as u32, flts.len() as u32) else {
+                    trap!(VmResult::HeapExhausted);
+                };
                 for (i, r) in words.iter().enumerate() {
                     heap.store(p, i, regs[*r as usize]);
                 }
@@ -281,10 +471,16 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             Instr::AllocArr { d, len, init } => {
                 spillcost!(*d, *len, *init);
                 let n = untag_int(regs[*len as usize]).max(0) as usize;
-                if heap.needs_gc(n) {
-                    gc(&mut heap, &mut regs, &mut handler, &mut stats);
+                if n > Heap::MAX_ARRAY_LEN {
+                    trap!(VmResult::Fault(format!(
+                        "array of {n} elements exceeds the descriptor limit of {}",
+                        Heap::MAX_ARRAY_LEN
+                    )));
                 }
-                let p = heap.alloc(ObjKind::Array, n as u32, 0);
+                alloc_guard!(n);
+                let Some(p) = heap.alloc(ObjKind::Array, n as u32, 0) else {
+                    trap!(VmResult::HeapExhausted);
+                };
                 let v = regs[*init as usize];
                 for i in 0..n {
                     heap.store(p, i, v);
@@ -295,15 +491,16 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             Instr::ArrLen { d, a } => {
                 spillcost!(*d, *a);
                 stats.cycles += 2;
+                mem!(regs[*a as usize], 0, 0);
                 let (_, nscan, _) = crate::heap::decode(heap.desc(regs[*a as usize]));
                 regs[*d as usize] = tag_int(nscan as i64);
             }
             Instr::FBox { d, s } => {
                 spillcost!(*d, *s);
-                if heap.needs_gc(2) {
-                    gc(&mut heap, &mut regs, &mut handler, &mut stats);
-                }
-                let p = heap.alloc(ObjKind::BoxedFloat, 0, 1);
+                alloc_guard!(2);
+                let Some(p) = heap.alloc(ObjKind::BoxedFloat, 0, 1) else {
+                    trap!(VmResult::HeapExhausted);
+                };
                 heap.store_f64(p, 0, fregs[*s as usize]);
                 stats.cycles += 1 + 2 + 4; // descriptor+bump, then two stores
                 regs[*d as usize] = p;
@@ -311,6 +508,7 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             Instr::FUnbox { d, s } => {
                 spillcost!(*d, *s);
                 stats.cycles += 4;
+                mem!(regs[*s as usize], 0, 2);
                 fregs[*d as usize] = heap.load_f64(regs[*s as usize], 0);
             }
             Instr::Branch { op, a, b, target } => {
@@ -350,6 +548,8 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             }
             Instr::SBranch { op, a, b, target } => {
                 spillcost!(*a, *b);
+                strchk!(regs[*a as usize]);
+                strchk!(regs[*b as usize]);
                 let sa = heap.read_string(regs[*a as usize]);
                 let sb = heap.read_string(regs[*b as usize]);
                 stats.cycles += 3 + (sa.len().min(sb.len()) as u64) / 4;
@@ -367,7 +567,14 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             }
             Instr::PolyEqBranch { a, b, target } => {
                 spillcost!(*a, *b);
-                let (eq, cost) = heap.poly_eq(regs[*a as usize], regs[*b as usize]);
+                let (wa, wb) = (regs[*a as usize], regs[*b as usize]);
+                if is_ptr(wa) {
+                    mem!(wa, 0, 0);
+                }
+                if is_ptr(wb) {
+                    mem!(wb, 0, 0);
+                }
+                let (eq, cost) = heap.poly_eq(wa, wb);
                 // Runtime-call overhead (save/restore, dispatch on the
                 // descriptor) plus the traversal.
                 stats.cycles += 15 + 3 * cost;
@@ -406,61 +613,83 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                     stats.cycles += 1;
                 }
                 let w = regs[*r as usize];
-                assert!(
-                    !is_ptr(w),
-                    "JumpReg to non-label {w:#x} from block {} ({}) pc {}",
-                    block,
-                    prog.blocks[block].name,
-                    pc - 1
-                );
-                block = untag_int(w) as usize;
-                assert!(
-                    block < prog.blocks.len(),
-                    "JumpReg out of range {block} from {}",
-                    prog.blocks[block.min(prog.blocks.len() - 1)].name
-                );
+                if is_ptr(w) {
+                    trap!(VmResult::Fault(format!(
+                        "jump through non-label {w:#x} from block {} ({})",
+                        block, prog.blocks[block].name
+                    )));
+                }
+                let target = untag_int(w);
+                if target < 0 || target as usize >= prog.blocks.len() {
+                    trap!(VmResult::Fault(format!(
+                        "jump target {target} out of range from block {} ({})",
+                        block, prog.blocks[block].name
+                    )));
+                }
+                block = target as usize;
                 pc = 0;
             }
             Instr::Rt { op, d, a, b, fa } => {
                 spillcost!(*d, *a, *b);
                 match op {
                     RtOp::StrCat => {
+                        strchk!(regs[*a as usize]);
+                        strchk!(regs[*b as usize]);
                         let sa = heap.read_string(regs[*a as usize]);
                         let sb = heap.read_string(regs[*b as usize]);
                         let joined = sa + &sb;
-                        let words = joined.len().div_ceil(4);
-                        if heap.needs_gc(words) {
-                            gc(&mut heap, &mut regs, &mut handler, &mut stats);
+                        if joined.len() > Heap::MAX_STRING_BYTES {
+                            trap!(VmResult::Fault(format!(
+                                "string of {} bytes exceeds the descriptor limit of {}",
+                                joined.len(),
+                                Heap::MAX_STRING_BYTES
+                            )));
                         }
+                        let words = joined.len().div_ceil(4);
+                        alloc_guard!(words);
                         stats.cycles += 5 + words as u64;
-                        regs[*d as usize] = heap.alloc_string(&joined);
+                        let Some(p) = heap.alloc_string(&joined) else {
+                            trap!(VmResult::HeapExhausted);
+                        };
+                        regs[*d as usize] = p;
                     }
                     RtOp::StrSize => {
                         stats.cycles += 2;
+                        strchk!(regs[*a as usize]);
                         regs[*d as usize] = tag_int(heap.string_len(regs[*a as usize]) as i64);
                     }
                     RtOp::StrSub => {
                         stats.cycles += 3;
-                        let i = untag_int(regs[*b as usize]) as usize;
-                        regs[*d as usize] = tag_int(heap.string_byte(regs[*a as usize], i) as i64);
+                        strchk!(regs[*a as usize]);
+                        let i = untag_int(regs[*b as usize]);
+                        let len = heap.string_len(regs[*a as usize]);
+                        if i < 0 || i as usize >= len {
+                            trap!(VmResult::Fault(format!(
+                                "string index {i} out of bounds for length {len}"
+                            )));
+                        }
+                        regs[*d as usize] =
+                            tag_int(heap.string_byte(regs[*a as usize], i as usize) as i64);
                     }
                     RtOp::IntToString => {
                         let s = untag_int(regs[*a as usize]).to_string();
                         let words = s.len().div_ceil(4);
-                        if heap.needs_gc(words) {
-                            gc(&mut heap, &mut regs, &mut handler, &mut stats);
-                        }
+                        alloc_guard!(words);
                         stats.cycles += 20;
-                        regs[*d as usize] = heap.alloc_string(&s);
+                        let Some(p) = heap.alloc_string(&s) else {
+                            trap!(VmResult::HeapExhausted);
+                        };
+                        regs[*d as usize] = p;
                     }
                     RtOp::RealToString => {
                         let s = format!("{:?}", fregs[*fa as usize]);
                         let words = s.len().div_ceil(4);
-                        if heap.needs_gc(words) {
-                            gc(&mut heap, &mut regs, &mut handler, &mut stats);
-                        }
+                        alloc_guard!(words);
                         stats.cycles += 40;
-                        regs[*d as usize] = heap.alloc_string(&s);
+                        let Some(p) = heap.alloc_string(&s) else {
+                            trap!(VmResult::HeapExhausted);
+                        };
+                        regs[*d as usize] = p;
                     }
                 }
             }
@@ -475,57 +704,19 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                 handler = regs[*s as usize];
             }
             Instr::Print { s } => {
+                strchk!(regs[*s as usize]);
                 let txt = heap.read_string(regs[*s as usize]);
                 stats.cycles += 5 + txt.len() as u64 / 4;
                 output.push_str(&txt);
             }
             Instr::Halt { s } => {
-                stats.alloc_words = heap.alloc_words;
-                stats.n_allocs = heap.n_allocs;
-                stats.gc_copied_words = heap.copied_words;
-                stats.n_gcs = heap.n_gcs;
                 let w = regs[*s as usize];
                 let v = if is_ptr(w) { w as i64 } else { untag_int(w) };
-                return Outcome {
-                    result: VmResult::Value(v),
-                    stats,
-                    output,
-                };
+                trap!(VmResult::Value(v));
             }
             Instr::Uncaught { s } => {
-                stats.alloc_words = heap.alloc_words;
-                stats.n_allocs = heap.n_allocs;
-                stats.gc_copied_words = heap.copied_words;
-                stats.n_gcs = heap.n_gcs;
-                // The packet is either a constant-exception tag record
-                // `[name]` or a carrying packet `[tag, v]` with
-                // `tag = [name]`.
-                let pkt = regs[*s as usize];
-                let name = if is_ptr(pkt) {
-                    let f0 = heap.load(pkt, 0);
-                    if is_ptr(f0) {
-                        let (k, _, _) = crate::heap::decode(heap.desc(f0));
-                        if k == ObjKind::Str as u32 {
-                            heap.read_string(f0)
-                        } else {
-                            let inner = heap.load(f0, 0);
-                            if is_ptr(inner) {
-                                heap.read_string(inner)
-                            } else {
-                                "?".into()
-                            }
-                        }
-                    } else {
-                        "?".into()
-                    }
-                } else {
-                    "?".into()
-                };
-                return Outcome {
-                    result: VmResult::Uncaught(name),
-                    stats,
-                    output,
-                };
+                let name = uncaught_name(&heap, regs[*s as usize]);
+                trap!(VmResult::Uncaught(name));
             }
         }
         let gc_delta = stats.gc_cycles - gc_cycles_before;

@@ -30,11 +30,11 @@ fn build(h: &mut Heap, n: &Node) -> u32 {
     match n {
         Node::Int(i) => tag_int(*i as i64),
         Node::Float(x) => {
-            let p = h.alloc(ObjKind::BoxedFloat, 0, 1);
+            let p = h.alloc(ObjKind::BoxedFloat, 0, 1).unwrap();
             h.store_f64(p, 0, *x);
             p
         }
-        Node::Str(s) => h.alloc_string(s),
+        Node::Str(s) => h.alloc_string(s).unwrap(),
         Node::Record(fields) => {
             // Words first, floats raw after (the record layout).
             let words: Vec<&Node> = fields
@@ -46,7 +46,9 @@ fn build(h: &mut Heap, n: &Node) -> u32 {
                 .filter(|f| matches!(f, Node::Float(_)))
                 .collect();
             let built: Vec<u32> = words.iter().map(|f| build(h, f)).collect();
-            let p = h.alloc(ObjKind::Record, words.len() as u32, floats.len() as u32);
+            let p = h
+                .alloc(ObjKind::Record, words.len() as u32, floats.len() as u32)
+                .unwrap();
             for (i, w) in built.iter().enumerate() {
                 h.store(p, i, *w);
             }
@@ -118,7 +120,7 @@ fn graphs_survive_collection() {
         let mut root = build(&mut h, &n);
         // Interleave garbage.
         for i in 0..garbage {
-            let g = h.alloc(ObjKind::Record, 1, 0);
+            let g = h.alloc(ObjKind::Record, 1, 0).unwrap();
             h.store(g, 0, tag_int(i as i64));
         }
         h.collect(&mut [&mut root]);

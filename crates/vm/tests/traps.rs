@@ -1,0 +1,425 @@
+//! Trap-path coverage: every abnormal [`VmResult`] variant is reachable,
+//! is contained (no panic, no abort), and leaves the [`RunStats`]
+//! counters internally consistent — `cycles_by_class` sums to `cycles`
+//! and `instrs_by_class` sums to `instrs` no matter how the run ended.
+
+use sml_vm::isa::{AOp, AllocKind, RtOp};
+use sml_vm::vm::FaultInject;
+use sml_vm::{
+    run, CodeBlock, Instr, InstrClass, MachineProgram, Outcome, RunStats, VmConfig, VmResult,
+};
+
+fn prog(instrs: Vec<Instr>) -> MachineProgram {
+    MachineProgram {
+        blocks: vec![CodeBlock {
+            name: "entry".into(),
+            instrs,
+        }],
+        entry: 0,
+        pool: Vec::new(),
+    }
+}
+
+fn assert_consistent(stats: &RunStats) {
+    assert_eq!(
+        stats.cycles_by_class.iter().sum::<u64>(),
+        stats.cycles,
+        "cycles_by_class must sum to cycles: {stats:?}"
+    );
+    assert_eq!(
+        stats.instrs_by_class.iter().sum::<u64>(),
+        stats.instrs,
+        "instrs_by_class must sum to instrs: {stats:?}"
+    );
+    assert_eq!(
+        stats.instrs_by_class[InstrClass::Gc as usize],
+        0,
+        "no instruction belongs to the Gc pseudo-class"
+    );
+    assert_eq!(
+        stats.cycles_by_class[InstrClass::Gc as usize],
+        stats.gc_cycles,
+        "Gc pseudo-class must carry exactly the collector cycles"
+    );
+}
+
+fn run_default(p: &MachineProgram) -> Outcome {
+    run(p, &VmConfig::default())
+}
+
+fn expect_fault(o: &Outcome, needle: &str) {
+    match &o.result {
+        VmResult::Fault(why) => assert!(
+            why.contains(needle),
+            "fault reason `{why}` should mention `{needle}`"
+        ),
+        other => panic!("expected Fault mentioning `{needle}`, got {other:?}"),
+    }
+    assert_consistent(&o.stats);
+}
+
+#[test]
+fn normal_halt_is_consistent() {
+    let o = run_default(&prog(vec![
+        Instr::LoadI { d: 1, imm: 42 },
+        Instr::Halt { s: 1 },
+    ]));
+    assert_eq!(o.result, VmResult::Value(42));
+    assert_consistent(&o.stats);
+}
+
+#[test]
+fn load_through_non_pointer_faults() {
+    let o = run_default(&prog(vec![
+        Instr::LoadI { d: 1, imm: 5 },
+        Instr::Load {
+            d: 2,
+            base: 1,
+            off: 0,
+        },
+        Instr::Halt { s: 2 },
+    ]));
+    expect_fault(&o, "non-pointer");
+}
+
+#[test]
+fn store_outside_object_faults() {
+    let o = run_default(&prog(vec![
+        Instr::LoadI { d: 1, imm: 7 },
+        Instr::Alloc {
+            d: 2,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        Instr::Store {
+            s: 1,
+            base: 2,
+            off: 5,
+        },
+        Instr::Halt { s: 1 },
+    ]));
+    expect_fault(&o, "outside object");
+}
+
+#[test]
+fn negative_index_faults() {
+    let o = run_default(&prog(vec![
+        Instr::LoadI { d: 1, imm: 4 },
+        Instr::Alloc {
+            d: 2,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        Instr::LoadI { d: 3, imm: -1 },
+        Instr::LoadIdx {
+            d: 4,
+            base: 2,
+            idx: 3,
+        },
+        Instr::Halt { s: 4 },
+    ]));
+    expect_fault(&o, "negative index");
+}
+
+#[test]
+fn jump_through_pointer_faults() {
+    let o = run_default(&prog(vec![
+        Instr::LoadI { d: 1, imm: 1 },
+        Instr::Alloc {
+            d: 2,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        Instr::JumpReg { r: 2 },
+    ]));
+    expect_fault(&o, "non-label");
+}
+
+#[test]
+fn jump_target_out_of_range_faults() {
+    let o = run_default(&prog(vec![
+        Instr::LoadI { d: 1, imm: 99 },
+        Instr::JumpReg { r: 1 },
+    ]));
+    expect_fault(&o, "out of range");
+}
+
+#[test]
+fn direct_jump_out_of_range_faults() {
+    let o = run_default(&prog(vec![Instr::Jump { label: 7 }]));
+    expect_fault(&o, "instruction fetch out of range");
+}
+
+#[test]
+fn falling_off_block_end_faults() {
+    let o = run_default(&prog(vec![Instr::LoadI { d: 1, imm: 1 }]));
+    expect_fault(&o, "instruction fetch out of range");
+}
+
+#[test]
+fn string_op_on_non_string_faults() {
+    let o = run_default(&prog(vec![
+        Instr::LoadI { d: 1, imm: 3 },
+        Instr::Rt {
+            op: RtOp::StrSize,
+            d: 2,
+            a: 1,
+            b: 0,
+            fa: 0,
+        },
+        Instr::Halt { s: 2 },
+    ]));
+    expect_fault(&o, "non-pointer");
+}
+
+#[test]
+fn string_index_out_of_bounds_faults() {
+    let mut p = prog(vec![
+        Instr::LoadStr { d: 1, pool: 0 },
+        Instr::LoadI { d: 2, imm: 10 },
+        Instr::Rt {
+            op: RtOp::StrSub,
+            d: 3,
+            a: 1,
+            b: 2,
+            fa: 0,
+        },
+        Instr::Halt { s: 3 },
+    ]);
+    p.pool.push("hi".into());
+    let o = run_default(&p);
+    expect_fault(&o, "out of bounds");
+}
+
+#[test]
+fn oversized_array_faults() {
+    let o = run_default(&prog(vec![
+        Instr::LoadI { d: 1, imm: 40_000 },
+        Instr::LoadI { d: 2, imm: 0 },
+        Instr::AllocArr {
+            d: 3,
+            len: 1,
+            init: 2,
+        },
+        Instr::Halt { s: 3 },
+    ]));
+    expect_fault(&o, "descriptor limit");
+}
+
+/// A loop that allocates a record chaining to the previous one, so live
+/// data grows without bound: `r1 := [r1]` forever.
+fn chain_alloc_loop() -> MachineProgram {
+    MachineProgram {
+        blocks: vec![
+            CodeBlock {
+                name: "entry".into(),
+                instrs: vec![Instr::LoadI { d: 1, imm: 0 }, Instr::Jump { label: 1 }],
+            },
+            CodeBlock {
+                name: "loop".into(),
+                instrs: vec![
+                    Instr::Alloc {
+                        d: 1,
+                        kind: AllocKind::Record,
+                        words: vec![1],
+                        flts: vec![],
+                    },
+                    Instr::Jump { label: 1 },
+                ],
+            },
+        ],
+        entry: 0,
+        pool: Vec::new(),
+    }
+}
+
+#[test]
+fn heap_ceiling_traps_heap_exhausted() {
+    let cfg = VmConfig {
+        semi_words: 256,
+        nursery_words: 64,
+        ..VmConfig::default()
+    };
+    let o = run(&chain_alloc_loop(), &cfg);
+    assert_eq!(o.result, VmResult::HeapExhausted);
+    assert!(o.stats.n_gcs >= 1, "ceiling should be found via a GC");
+    assert!(o.stats.n_allocs > 0);
+    assert_eq!(o.stats.alloc_words, 2 * o.stats.n_allocs); // 1 body + 1 descriptor each
+    assert_consistent(&o.stats);
+}
+
+#[test]
+fn out_of_fuel_syncs_counters() {
+    let cfg = VmConfig {
+        max_cycles: 5_000,
+        ..VmConfig::default()
+    };
+    let o = run(&chain_alloc_loop(), &cfg);
+    assert_eq!(o.result, VmResult::OutOfFuel);
+    assert!(
+        o.stats.alloc_words > 0 && o.stats.n_allocs > 0,
+        "heap counters must be synced even when fuel runs out: {:?}",
+        o.stats
+    );
+    assert_consistent(&o.stats);
+}
+
+#[test]
+fn injected_alloc_failure_traps_at_exactly_n() {
+    let mut instrs = Vec::new();
+    instrs.push(Instr::LoadI { d: 1, imm: 0 });
+    for _ in 0..10 {
+        instrs.push(Instr::Alloc {
+            d: 2,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        });
+    }
+    instrs.push(Instr::Halt { s: 1 });
+    let p = prog(instrs);
+
+    let cfg = VmConfig {
+        fault: FaultInject {
+            fail_alloc_at: Some(3),
+            gc_every_n_allocs: None,
+        },
+        ..VmConfig::default()
+    };
+    let o = run(&p, &cfg);
+    assert_eq!(o.result, VmResult::HeapExhausted);
+    assert_eq!(o.stats.n_allocs, 2, "the third allocation must fail");
+    assert_consistent(&o.stats);
+
+    // Without injection the same program halts normally.
+    let o = run_default(&p);
+    assert_eq!(o.result, VmResult::Value(0));
+    assert_eq!(o.stats.n_allocs, 10);
+    assert_consistent(&o.stats);
+}
+
+#[test]
+fn forced_gc_preserves_results_and_counts() {
+    // Build a small record chain, then read back through it.
+    let p = prog(vec![
+        Instr::LoadI { d: 1, imm: 17 },
+        Instr::Alloc {
+            d: 2,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        Instr::Alloc {
+            d: 3,
+            kind: AllocKind::Record,
+            words: vec![2],
+            flts: vec![],
+        },
+        Instr::Alloc {
+            d: 4,
+            kind: AllocKind::Record,
+            words: vec![3],
+            flts: vec![],
+        },
+        Instr::Load {
+            d: 5,
+            base: 4,
+            off: 0,
+        },
+        Instr::Load {
+            d: 6,
+            base: 5,
+            off: 0,
+        },
+        Instr::Load {
+            d: 7,
+            base: 6,
+            off: 0,
+        },
+        Instr::Halt { s: 7 },
+    ]);
+    let quiet = run_default(&p);
+    assert_eq!(quiet.result, VmResult::Value(17));
+
+    let cfg = VmConfig {
+        fault: FaultInject {
+            fail_alloc_at: None,
+            gc_every_n_allocs: Some(1),
+        },
+        ..VmConfig::default()
+    };
+    let stressed = run(&p, &cfg);
+    assert_eq!(
+        stressed.result, quiet.result,
+        "forced collections must not change the result"
+    );
+    assert!(
+        stressed.stats.n_gcs >= 3,
+        "a GC was forced before every allocation: {:?}",
+        stressed.stats
+    );
+    assert_consistent(&stressed.stats);
+}
+
+#[test]
+fn uncaught_with_malformed_packet_is_contained() {
+    let o = run_default(&prog(vec![
+        Instr::LoadI { d: 1, imm: 3 },
+        Instr::Uncaught { s: 1 },
+    ]));
+    assert_eq!(o.result, VmResult::Uncaught("?".into()));
+    assert_consistent(&o.stats);
+}
+
+#[test]
+fn division_by_zero_stays_defined() {
+    let o = run_default(&prog(vec![
+        Instr::LoadI { d: 1, imm: 9 },
+        Instr::LoadI { d: 2, imm: 0 },
+        Instr::Arith {
+            op: AOp::Div,
+            d: 3,
+            a: 1,
+            b: 2,
+        },
+        Instr::Halt { s: 3 },
+    ]));
+    assert_eq!(o.result, VmResult::Value(0));
+    assert_consistent(&o.stats);
+}
+
+#[test]
+fn string_pool_index_out_of_range_faults() {
+    let o = run_default(&prog(vec![
+        Instr::LoadStr { d: 1, pool: 4 },
+        Instr::Halt { s: 1 },
+    ]));
+    expect_fault(&o, "pool index");
+}
+
+#[test]
+fn heap_exhausted_when_one_object_exceeds_semispace() {
+    let cfg = VmConfig {
+        semi_words: 512,
+        nursery_words: 128,
+        ..VmConfig::default()
+    };
+    let o = run(
+        &prog(vec![
+            Instr::LoadI { d: 1, imm: 1_000 },
+            Instr::LoadI { d: 2, imm: 0 },
+            Instr::AllocArr {
+                d: 3,
+                len: 1,
+                init: 2,
+            },
+            Instr::Halt { s: 3 },
+        ]),
+        &cfg,
+    );
+    assert_eq!(o.result, VmResult::HeapExhausted);
+    assert_consistent(&o.stats);
+}

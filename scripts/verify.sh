@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Full verification gate: the tier-1 test suite plus formatting and
-# lint checks. Run from anywhere inside the repository; CI and
+# Full verification gate: the tier-1 test suite plus formatting, lint,
+# and fuzz checks. Run from anywhere inside the repository; CI and
 # pre-merge checks should pass this script exactly as-is.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,5 +16,15 @@ cargo fmt --check
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Differential fuzz smoke (docs/ROBUSTNESS.md): seeded well-typed
+# programs under all six variants, demanding no panic, no trap, and
+# identical output. First a short dev-profile pass so debug assertions
+# in the compiler and VM are live, then the full release sweep.
+echo "== fuzz smoke (dev profile, debug assertions) =="
+cargo run -q -p smlc-bench --bin fuzz_smoke -- --seeds=40
+
+echo "== fuzz smoke (release, 200 seeds) =="
+cargo run -q --release -p smlc-bench --bin fuzz_smoke
 
 echo "verify: all gates passed"
