@@ -10,7 +10,7 @@
 //! `cargo run -p smlc-bench --bin figure7` / `figure8`; this bench
 //! provides wall-clock medians on the same workloads.
 
-use smlc::{compile, Variant};
+use smlc::{Session, Variant};
 use smlc_bench::benchmarks;
 use std::time::Instant;
 
@@ -28,6 +28,13 @@ fn median_secs(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    // Cache and warm-table reuse are off: the compile column must time
+    // a genuine cold compile every iteration, not a cache lookup.
+    let session = Session::builder()
+        .cache(false)
+        .reuse_types(false)
+        .build()
+        .expect("bench session configuration is valid");
     println!(
         "{:24} {:>12} {:>12}",
         "workload", "execute (s)", "compile (s)"
@@ -37,13 +44,16 @@ fn main() {
         // Only the extreme variants in the timed benches; the full 6x12
         // matrix is the figure binaries' job.
         for v in [Variant::Nrp, Variant::Ffb] {
-            let compiled = compile(&src, v).expect("benchmarks compile");
+            let compiled = session
+                .compile_variant(&src, v)
+                .expect("benchmarks compile");
             let exec = median_secs(5, || {
-                let o = compiled.run();
+                let o = session.run(&compiled);
                 assert!(o.stats.cycles > 0);
             });
             let comp = median_secs(5, || {
-                assert!(compile(&src, v).expect("compiles").stats.code_size > 0);
+                let c = session.compile_variant(&src, v).expect("compiles");
+                assert!(c.stats.code_size > 0 && !c.from_cache);
             });
             println!(
                 "{:24} {exec:>12.4} {comp:>12.4}",

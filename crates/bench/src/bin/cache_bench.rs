@@ -1,0 +1,195 @@
+//! Measures the session artifact cache on the full 12×6 benchmark
+//! matrix and writes the `BENCH_pr3.json` trajectory document.
+//!
+//! ```sh
+//! cargo run --release -p smlc-bench --bin cache_bench              # writes BENCH_pr3.json
+//! cargo run --release -p smlc-bench --bin cache_bench -- --json=out.json
+//! ```
+//!
+//! Three configurations run the identical benchmark×variant grid:
+//!
+//! 1. a cache-disabled session (the pre-session cost baseline),
+//! 2. a reused caching session, twice — the cold pass populates the
+//!    cache (every cell a miss), the warm pass must be served entirely
+//!    from it (every cell a hit),
+//! 3. the single-threaded serial reference ([`run_matrix_serial_of`]).
+//!
+//! The binary asserts the cache accounting (72 misses cold, 72 hits
+//! warm, zero warm misses) and that all four matrices agree on every
+//! deterministic per-cell field — outputs, VM counters, code size, LTY
+//! stats — i.e. the cache and the parallel driver are outcome-invisible.
+//! Wall-clock times and the cache counters land in `BENCH_pr3.json`.
+
+use std::time::Instant;
+
+use smlc::{CacheStats, Json, Session, Variant, METRICS_SCHEMA_VERSION};
+use smlc_bench::{
+    benchmarks, degraded_cells, matrix_session, run_matrix_in, run_matrix_serial_of, BenchCell,
+};
+
+/// Runs `f`, returning its result and the elapsed wall-clock in ms.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Asserts two matrices agree on every deterministic per-cell field.
+/// Wall-clock fields (phase spans, compile time) are excluded: they are
+/// the only fields allowed to differ between configurations.
+fn assert_identical(label: &str, a: &[Vec<BenchCell>], b: &[Vec<BenchCell>]) {
+    assert_eq!(a.len(), b.len(), "{label}: row counts differ");
+    for (ra, rb) in a.iter().zip(b) {
+        for (ca, cb) in ra.iter().zip(rb) {
+            let clean = |c: &BenchCell| {
+                c.ok()
+                    .unwrap_or_else(|| {
+                        panic!("{label}: {} under {} degraded", c.name(), c.variant())
+                    })
+                    .clone()
+            };
+            let (x, y) = (clean(ca), clean(cb));
+            let cell = format!("{label}: {} under {}", x.name, x.variant);
+            assert_eq!(x.variant, y.variant, "{cell}: variant order");
+            assert_eq!(x.outcome.output, y.outcome.output, "{cell}: output");
+            assert_eq!(
+                x.outcome.stats.cycles, y.outcome.stats.cycles,
+                "{cell}: cycles"
+            );
+            assert_eq!(
+                x.outcome.stats.alloc_words, y.outcome.stats.alloc_words,
+                "{cell}: alloc"
+            );
+            assert_eq!(
+                x.outcome.stats.cycles_by_class, y.outcome.stats.cycles_by_class,
+                "{cell}: cycle classes"
+            );
+            assert_eq!(
+                x.compile.code_size, y.compile.code_size,
+                "{cell}: code size"
+            );
+            assert_eq!(x.compile.lty, y.compile.lty, "{cell}: lty counters");
+        }
+    }
+}
+
+fn cache_json(c: &CacheStats) -> Json {
+    Json::obj()
+        .field("enabled", c.enabled)
+        .field("hits", c.hits)
+        .field("misses", c.misses)
+        .field("evictions", c.evictions)
+        .field("insertions", c.insertions)
+        .field("entries", c.entries)
+        .field("capacity", c.capacity)
+}
+
+fn main() {
+    let mut path = "BENCH_pr3.json".to_owned();
+    for a in std::env::args().skip(1) {
+        if let Some(p) = a.strip_prefix("--json=") {
+            path = p.to_owned();
+        } else {
+            eprintln!("unknown argument `{a}` (only --json=PATH)");
+            std::process::exit(2);
+        }
+    }
+
+    let benches = benchmarks();
+    let n_cells = (benches.len() * Variant::ALL.len()) as u64;
+
+    eprintln!("serial reference pass ...");
+    let (serial, serial_ms) = timed(|| run_matrix_serial_of(&benches));
+    assert!(
+        degraded_cells(&serial).is_empty(),
+        "reference matrix must be fully clean"
+    );
+
+    eprintln!("cache-off pass ...");
+    let off_session = Session::builder()
+        .cache(false)
+        .build()
+        .expect("cache-off session configuration is valid");
+    let (off, off_ms) = timed(|| run_matrix_in(&off_session, &benches));
+
+    eprintln!("cache-on cold pass ...");
+    let session = matrix_session();
+    let (cold, cold_ms) = timed(|| run_matrix_in(&session, &benches));
+    let after_cold = session.cache_stats();
+
+    eprintln!("cache-on warm pass (same session) ...");
+    let (warm, warm_ms) = timed(|| run_matrix_in(&session, &benches));
+    let after_warm = session.cache_stats();
+
+    // Cache accounting: the cold pass misses and stores every cell, the
+    // warm pass is served entirely from the cache.
+    assert_eq!(after_cold.hits, 0, "cold pass must not hit");
+    assert_eq!(after_cold.misses, n_cells, "cold pass misses every cell");
+    assert_eq!(
+        after_cold.insertions, n_cells,
+        "cold pass stores every cell"
+    );
+    assert_eq!(after_cold.evictions, 0, "capacity must hold the full grid");
+    let warm_hits = after_warm.hits - after_cold.hits;
+    let warm_misses = after_warm.misses - after_cold.misses;
+    assert_eq!(warm_hits, n_cells, "warm pass must hit every cell");
+    assert_eq!(warm_misses, 0, "warm pass must not recompile");
+
+    // Outcome invariance: cache-off, cold, and warm all byte-identical
+    // (on deterministic fields) to the serial cold reference.
+    assert_identical("cache-off vs serial", &off, &serial);
+    assert_identical("cold vs serial", &cold, &serial);
+    assert_identical("warm vs serial", &warm, &serial);
+
+    println!("cache_bench: {n_cells} cells (12 benchmarks x 6 variants)");
+    println!("  serial reference  {serial_ms:9.1} ms");
+    println!("  cache-off         {off_ms:9.1} ms");
+    println!(
+        "  cache-on cold     {cold_ms:9.1} ms  ({} misses)",
+        after_cold.misses
+    );
+    println!("  cache-on warm     {warm_ms:9.1} ms  ({warm_hits} hits, {warm_misses} misses)");
+    println!("  warm/cold wall    {:9.3}", warm_ms / cold_ms);
+    println!("  outcomes: byte-identical to serial cold path");
+
+    let doc = Json::obj()
+        .field("schema_version", METRICS_SCHEMA_VERSION)
+        .field("generator", "cache_bench")
+        .field(
+            "grid",
+            Json::obj()
+                .field("benchmarks", benches.len())
+                .field("variants", Variant::ALL.len())
+                .field("cells", n_cells),
+        )
+        .field(
+            "passes",
+            Json::obj()
+                .field("serial_reference", Json::obj().field("wall_ms", serial_ms))
+                .field("cache_off", Json::obj().field("wall_ms", off_ms))
+                .field(
+                    "cache_on_cold",
+                    Json::obj()
+                        .field("wall_ms", cold_ms)
+                        .field("cache", cache_json(&after_cold)),
+                )
+                .field(
+                    "cache_on_warm",
+                    Json::obj()
+                        .field("wall_ms", warm_ms)
+                        .field("warm_hits", warm_hits)
+                        .field("warm_misses", warm_misses)
+                        .field("cache", cache_json(&after_warm)),
+                ),
+        )
+        .field("warm_over_cold_wall", warm_ms / cold_ms)
+        .field("identical_to_serial", true)
+        .field("degraded_cells", degraded_cells(&warm).len());
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+}

@@ -19,7 +19,7 @@ fn main() {
     let matrix = run_matrix();
     println!("Figure 7: execution time relative to sml.nrp (lower is better)\n");
     print!("{:10}", "program");
-    for v in Variant::all() {
+    for v in Variant::ALL {
         print!("  {:>8}", v.name());
     }
     println!();

@@ -17,7 +17,7 @@ use smlc_bench::{degraded_cells, geomean, json_path_from_args, run_matrix, write
 fn main() {
     let json_path = json_path_from_args(std::env::args().skip(1));
     let matrix = run_matrix();
-    let n_variants = Variant::all().len();
+    let n_variants = Variant::ALL.len();
 
     let mut exec: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
     let mut alloc: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
@@ -43,7 +43,7 @@ fn main() {
 
     println!("Figure 8: summary comparisons of resource usage (ratios vs sml.nrp)\n");
     print!("{:18}", "Program");
-    for v in Variant::all() {
+    for v in Variant::ALL {
         print!("  {:>8}", v.name());
     }
     println!();

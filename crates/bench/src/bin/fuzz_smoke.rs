@@ -7,7 +7,15 @@
 //! cargo run --release -p smlc-bench --bin fuzz_smoke                # 200 seeds
 //! cargo run --release -p smlc-bench --bin fuzz_smoke -- --seeds=40
 //! cargo run --release -p smlc-bench --bin fuzz_smoke -- --seeds=40 --items=3
+//! cargo run --release -p smlc-bench --bin fuzz_smoke -- --variants=nrp,ffb
 //! ```
+//!
+//! The whole seed×variant grid is compiled by one
+//! [`Session::compile_batch`] call and the compiled programs are run
+//! under the same parallel driver; failures are keyed by seed, so the
+//! report is identical to a serial sweep. The session's artifact cache
+//! is disabled — every generated program is distinct, so caching would
+//! only buy allocation churn.
 //!
 //! Seeds are fixed (0..N with a constant salt), so a failure report's
 //! seed reproduces the exact program on any machine. Failures are
@@ -18,7 +26,7 @@
 
 use sml_testkit::progen::{gen_program, GenConfig};
 use sml_testkit::Rng;
-use smlc::{compile, Variant, VmResult};
+use smlc::{par_map, Job, Session, Variant, VmResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Mixed into every seed so the corpus is disjoint from the unit tests'
@@ -26,34 +34,32 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 const SALT: u64 = 0x5eed_f00d_cafe_0001;
 
 fn usage() -> ! {
-    eprintln!("usage: fuzz_smoke [--seeds=N] [--items=N]");
+    eprintln!("usage: fuzz_smoke [--seeds=N] [--items=N] [--variants=v1,v2,...]");
     std::process::exit(2);
-}
-
-/// One variant's view of a program: Ok((result, output)) or a contained
-/// failure description.
-fn run_variant(src: &str, v: Variant) -> Result<(VmResult, String), String> {
-    let attempt = catch_unwind(AssertUnwindSafe(|| match compile(src, v) {
-        Ok(c) => {
-            let o = c.run();
-            Ok((o.result, o.output))
-        }
-        Err(e) => Err(format!("compile failed: {e}")),
-    }));
-    match attempt {
-        Ok(r) => r,
-        Err(_) => Err("PANIC escaped the pipeline".to_owned()),
-    }
 }
 
 fn main() {
     let mut n_seeds: u64 = 200;
     let mut items: usize = 5;
+    let mut variants: Vec<Variant> = Variant::ALL.to_vec();
     for a in std::env::args().skip(1) {
         if let Some(n) = a.strip_prefix("--seeds=") {
             n_seeds = n.parse().unwrap_or_else(|_| usage());
         } else if let Some(n) = a.strip_prefix("--items=") {
             items = n.parse().unwrap_or_else(|_| usage());
+        } else if let Some(list) = a.strip_prefix("--variants=") {
+            variants = list
+                .split(',')
+                .map(|s| {
+                    s.parse().unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage()
+                    })
+                })
+                .collect();
+            if variants.is_empty() {
+                usage()
+            }
         } else {
             usage();
         }
@@ -63,16 +69,43 @@ fn main() {
         ..GenConfig::default()
     };
 
+    let sources: Vec<String> = (0..n_seeds)
+        .map(|seed| gen_program(&mut Rng::new(seed ^ SALT), &cfg))
+        .collect();
+    let jobs: Vec<Job> = sources
+        .iter()
+        .flat_map(|src| variants.iter().map(|&v| Job::with_variant(src.clone(), v)))
+        .collect();
+
     // The default hook prints a backtrace banner per contained panic;
     // we report failures ourselves, with the seed and source attached.
     std::panic::set_hook(Box::new(|_| {}));
 
+    let session = Session::builder()
+        .cache(false)
+        .build()
+        .expect("fuzz session configuration is valid");
+    let compiled = session.compile_batch(&jobs);
+    // Run phase: fault-contained, order-preserving, same worker pool
+    // sizing as the compile batch.
+    let runs: Vec<Result<(VmResult, String), String>> =
+        par_map(&compiled, session.batch_workers(), |_, result| {
+            let c = match result {
+                Err(e) => return Err(format!("compile failed: {e}")),
+                Ok(c) => c,
+            };
+            match catch_unwind(AssertUnwindSafe(|| session.run(c))) {
+                Ok(o) => Ok((o.result, o.output)),
+                Err(_) => Err("PANIC escaped the pipeline".to_owned()),
+            }
+        });
+    let _ = std::panic::take_hook();
+
     let mut failures: Vec<String> = Vec::new();
-    for seed in 0..n_seeds {
-        let src = gen_program(&mut Rng::new(seed ^ SALT), &cfg);
-        let mut reference: Option<(VmResult, String, &'static str)> = None;
-        for v in Variant::all() {
-            match run_variant(&src, v) {
+    for (seed, (src, row)) in sources.iter().zip(runs.chunks(variants.len())).enumerate() {
+        let mut reference: Option<(&VmResult, &String, &'static str)> = None;
+        for (v, outcome) in variants.iter().zip(row) {
+            match outcome {
                 Err(why) => {
                     failures.push(format!("seed {seed} [{}]: {why}\n{src}", v.name()));
                 }
@@ -100,9 +133,8 @@ fn main() {
             }
         }
     }
-    let _ = std::panic::take_hook();
 
-    let n_variants = Variant::all().len() as u64;
+    let n_variants = variants.len() as u64;
     if failures.is_empty() {
         println!(
             "fuzz smoke: {n_seeds} seeds x {n_variants} variants, \

@@ -9,11 +9,14 @@
 //! equality in its inner loop, Boyer rewrites terms, Lexgen chews
 //! strings, and Yacc parses token streams.
 //!
-//! [`run_matrix`] fans the 12×6 grid out across worker threads (each
-//! compilation owns its LTY interner, so cells are independent);
+//! [`run_matrix`] fans the 12×6 grid out through
+//! [`Session::compile_batch`] (batch compilations start from cold LTY
+//! tables, so cells are independent and scheduling-invariant), then
+//! runs the compiled artifacts under the same parallel driver;
 //! [`run_matrix_serial`] is the single-threaded reference the
-//! differential test compares against. [`matrix_json`] turns a result
-//! matrix into the `BENCH_*.json` trajectory document described in
+//! differential test compares against — a one-worker [`Session`] over
+//! the identical job list. [`matrix_json`] turns a result matrix into
+//! the `BENCH_*.json` trajectory document described in
 //! `docs/OBSERVABILITY.md`.
 //!
 //! A matrix is a grid of [`BenchCell`]s, not bare results: a cell whose
@@ -26,10 +29,9 @@
 #![warn(missing_docs)]
 
 use smlc::{
-    compile, result_tag, CompileStats, Json, Metrics, Outcome, RunMetrics, Variant, VmResult,
-    METRICS_SCHEMA_VERSION,
+    par_map, result_tag, CompileError, CompileStats, Compiled, Job, Json, Metrics, Outcome,
+    RunMetrics, Session, Variant, VmResult, METRICS_SCHEMA_VERSION,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The shared prelude compiled in front of every benchmark.
 pub const PRELUDE: &str = include_str!("../benchmarks/prelude.sml");
@@ -128,6 +130,7 @@ impl BenchResult {
                 result: result_tag(&self.outcome.result),
                 stats: self.outcome.stats,
             }),
+            cache: None,
         }
     }
 }
@@ -140,10 +143,11 @@ impl BenchResult {
 /// fixed programs that must run cleanly. Matrix drivers use the
 /// fault-containing [`run_cell`] instead.
 pub fn run_one(b: &Benchmark, v: Variant) -> BenchResult {
-    let src = b.source();
-    let compiled =
-        compile(&src, v).unwrap_or_else(|e| panic!("{} failed to compile under {v}: {e}", b.name));
-    let outcome = compiled.run();
+    let session = Session::with_variant(v);
+    let compiled = session
+        .compile(&b.source())
+        .unwrap_or_else(|e| panic!("{} failed to compile under {v}: {e}", b.name));
+    let outcome = session.run(&compiled);
     assert!(
         matches!(outcome.result, VmResult::Value(_)),
         "{} under {v} ended abnormally: {:?} (output {:?})",
@@ -243,18 +247,16 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Compiles and runs one benchmark under one variant with full fault
-/// containment: compile errors, VM traps, and even panics that escape
-/// the pipeline all come back as [`BenchCell::Degraded`] instead of
-/// propagating.
-pub fn run_cell(b: &Benchmark, v: Variant) -> BenchCell {
-    let src = b.source();
-    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        compile(&src, v).map(|c| {
-            let outcome = c.run();
-            (c.stats, outcome)
-        })
-    }));
+/// Turns one batch compilation result into a matrix cell by running it
+/// under `session`'s VM configuration with full fault containment: the
+/// compile error, the VM trap, or even a panic that escapes the VM all
+/// come back as [`BenchCell::Degraded`] instead of propagating.
+fn cell_of(
+    session: &Session,
+    b: &Benchmark,
+    v: Variant,
+    compiled: &Result<Compiled, CompileError>,
+) -> BenchCell {
     let degraded = |kind, detail| {
         BenchCell::Degraded(Degraded {
             name: b.name,
@@ -263,14 +265,18 @@ pub fn run_cell(b: &Benchmark, v: Variant) -> BenchCell {
             detail,
         })
     };
+    let c = match compiled {
+        Err(e) => return degraded("compile-error", e.to_string()),
+        Ok(c) => c,
+    };
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.run(c)));
     match attempt {
         Err(payload) => degraded("panic", panic_detail(payload)),
-        Ok(Err(e)) => degraded("compile-error", e.to_string()),
-        Ok(Ok((stats, outcome))) => match outcome.result {
+        Ok(outcome) => match outcome.result {
             VmResult::Value(_) => BenchCell::Ok(Box::new(BenchResult {
                 name: b.name,
                 variant: v,
-                compile: stats,
+                compile: c.stats.clone(),
                 outcome,
             })),
             ref trap => degraded("vm-trap", format!("{}: {trap:?}", result_tag(trap))),
@@ -278,18 +284,46 @@ pub fn run_cell(b: &Benchmark, v: Variant) -> BenchCell {
     }
 }
 
+/// Compiles and runs one benchmark under one variant with full fault
+/// containment (see [`cell_of`]) in an ephemeral single-cell session.
+pub fn run_cell(b: &Benchmark, v: Variant) -> BenchCell {
+    let session = Session::with_variant(v);
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        session.compile(&b.source())
+    }));
+    match attempt {
+        Err(payload) => BenchCell::Degraded(Degraded {
+            name: b.name,
+            variant: v,
+            kind: "panic",
+            detail: panic_detail(payload),
+        }),
+        Ok(compiled) => cell_of(&session, b, v, &compiled),
+    }
+}
+
+/// The session the parallel matrix drivers use: default knobs plus an
+/// artifact cache big enough that a repeated matrix (the cache bench's
+/// warm pass) is served entirely from cache.
+pub fn matrix_session() -> Session {
+    Session::builder()
+        .cache_capacity(256)
+        .build()
+        .expect("matrix session configuration is valid")
+}
+
 /// Runs every benchmark under every variant in parallel, checking that
 /// all variants agree on the printed output (a differential-correctness
 /// harness), and returns the full cell matrix indexed
 /// `[benchmark][variant]`.
 ///
-/// Cells are handed to worker threads through an atomic work queue;
-/// the matrix comes back in the same deterministic order as
-/// [`run_matrix_serial`], and compilation/execution is fully
-/// deterministic per cell (each compilation owns its LTY interner), so
-/// the two produce identical outputs and counters. A cell that fails in
-/// any way degrades in place (see [`run_cell`]); it never aborts the
-/// matrix.
+/// Cells are handed to worker threads through `Session::compile_batch`'s
+/// atomic work queue; the matrix comes back in the same deterministic
+/// order as [`run_matrix_serial`], and compilation/execution is fully
+/// deterministic per cell (batch compilations start from cold LTY
+/// tables), so the two produce identical outputs and counters. A cell
+/// that fails in any way degrades in place (see [`cell_of`]); it never
+/// aborts the matrix.
 pub fn run_matrix() -> Vec<Vec<BenchCell>> {
     run_matrix_of(&benchmarks())
 }
@@ -302,56 +336,50 @@ pub fn run_matrix_serial() -> Vec<Vec<BenchCell>> {
 /// Parallel matrix run over an explicit benchmark list (see
 /// [`run_matrix`]).
 pub fn run_matrix_of(benches: &[Benchmark]) -> Vec<Vec<BenchCell>> {
-    let variants = Variant::all();
-    let n_cells = benches.len() * variants.len();
-    if n_cells == 0 {
+    run_matrix_in(&matrix_session(), benches)
+}
+
+/// Single-threaded matrix run over an explicit benchmark list: the same
+/// job list through a one-worker session.
+pub fn run_matrix_serial_of(benches: &[Benchmark]) -> Vec<Vec<BenchCell>> {
+    let session = Session::builder()
+        .batch_workers(1)
+        .cache_capacity(256)
+        .build()
+        .expect("serial session configuration is valid");
+    run_matrix_in(&session, benches)
+}
+
+/// Matrix run over an explicit benchmark list through an explicit
+/// session: one `compile_batch` over the benchmark×variant job grid,
+/// then a run phase under the same worker count, then the differential
+/// output check ([`mark_divergence`]). Repeated sources hit the
+/// session's artifact cache; `session.cache_stats()` afterwards says
+/// how often.
+pub fn run_matrix_in(session: &Session, benches: &[Benchmark]) -> Vec<Vec<BenchCell>> {
+    let variants = Variant::ALL;
+    if benches.is_empty() {
         return Vec::new();
     }
-    let next = AtomicUsize::new(0);
-    let n_workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n_cells);
-
-    let mut done: Vec<(usize, BenchCell)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..n_workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n_cells {
-                            break;
-                        }
-                        let b = &benches[i / variants.len()];
-                        let v = variants[i % variants.len()];
-                        out.push((i, run_cell(b, v)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("benchmark worker panicked"))
-            .collect()
+    let jobs: Vec<Job> = benches
+        .iter()
+        .flat_map(|b| {
+            let src = b.source();
+            variants.map(|v| Job::with_variant(src.clone(), v))
+        })
+        .collect();
+    let compiled = session.compile_batch(&jobs);
+    let cells: Vec<BenchCell> = par_map(&compiled, session.batch_workers(), |i, result| {
+        cell_of(
+            session,
+            &benches[i / variants.len()],
+            variants[i % variants.len()],
+            result,
+        )
     });
-    done.sort_by_key(|(i, _)| *i);
-
-    let cells: Vec<BenchCell> = done.into_iter().map(|(_, r)| r).collect();
     let mut matrix: Vec<Vec<BenchCell>> = cells
         .chunks(variants.len())
         .map(|row| row.to_vec())
-        .collect();
-    mark_divergence(&mut matrix);
-    matrix
-}
-
-/// Single-threaded matrix run over an explicit benchmark list.
-pub fn run_matrix_serial_of(benches: &[Benchmark]) -> Vec<Vec<BenchCell>> {
-    let mut matrix: Vec<Vec<BenchCell>> = benches
-        .iter()
-        .map(|b| Variant::all().iter().map(|v| run_cell(b, *v)).collect())
         .collect();
     mark_divergence(&mut matrix);
     matrix
@@ -428,7 +456,7 @@ pub fn matrix_json(matrix: &[Vec<BenchCell>], generator: &str) -> Json {
         })
         .collect();
 
-    let n_variants = Variant::all().len();
+    let n_variants = Variant::ALL.len();
     let mut exec: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
     let mut alloc: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
     let mut code: Vec<Vec<f64>> = vec![Vec::new(); n_variants];
@@ -450,9 +478,9 @@ pub fn matrix_json(matrix: &[Vec<BenchCell>], generator: &str) -> Json {
         }
     }
     let mut summary = Json::obj()
-        .field("baseline", Variant::all()[0].name())
+        .field("baseline", Variant::ALL[0].name())
         .field("degraded_cells", degraded_cells(matrix).len());
-    for (i, v) in Variant::all().iter().enumerate() {
+    for (i, v) in Variant::ALL.iter().enumerate() {
         summary = summary.field(
             v.name(),
             Json::obj()
@@ -586,7 +614,7 @@ mod tests {
         let matrix = run_matrix_of(&benches);
         assert_eq!(matrix.len(), 2);
         let bad = degraded_cells(&matrix);
-        assert_eq!(bad.len(), Variant::all().len(), "every Bad cell degrades");
+        assert_eq!(bad.len(), Variant::ALL.len(), "every Bad cell degrades");
         assert!(bad
             .iter()
             .all(|d| d.name == "Bad" && d.kind == "compile-error"));
@@ -609,7 +637,7 @@ mod tests {
             name: "Boom",
             body: "exception Boom val _ = raise Boom",
         };
-        let cell = run_cell(&b, Variant::all()[0]);
+        let cell = run_cell(&b, Variant::ALL[0]);
         let d = cell.degraded().expect("raise Boom must degrade the cell");
         assert_eq!(d.kind, "vm-trap");
         assert!(d.detail.starts_with("uncaught:"), "detail: {}", d.detail);

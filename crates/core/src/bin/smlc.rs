@@ -6,16 +6,24 @@
 //! smlc --stats program.sml          # print compile/run statistics
 //! smlc --stats=json program.sml     # emit structured metrics as JSON
 //! smlc --all program.sml            # run under all six variants
+//! smlc --batch a.sml b.sml c.sml    # compile a batch in parallel, run in order
 //! smlc -e 'val _ = print "hi\n"'    # compile a command-line snippet
 //! smlc --emit asm program.sml       # disassemble instead of running
 //! ```
 //!
-//! `--stats=json` prints one JSON document per variant on stdout (after
+//! Every compile goes through one [`Session`]: `--batch` fans the
+//! file×variant job list out over [`Session::compile_batch`]'s parallel
+//! driver (results are reported in input order regardless of
+//! scheduling), and repeated sources are served from the session's
+//! artifact cache.
+//!
+//! `--stats=json` prints one JSON document per compile on stdout (after
 //! the program's own output) following the schema in
 //! `docs/OBSERVABILITY.md` — the same schema the bench harness writes
-//! into `BENCH_*.json` trajectory files.
+//! into `BENCH_*.json` trajectory files — including the session's
+//! artifact-cache counters under `"cache"`.
 
-use smlc::{compile, error_json, CompileError, Metrics, Variant, VmResult};
+use smlc::{error_json, CompileError, Job, Metrics, Session, Variant, VmResult};
 use std::process::ExitCode;
 
 /// Exit codes, documented in `docs/ROBUSTNESS.md`: syntax errors (and
@@ -48,24 +56,25 @@ enum StatsMode {
 fn usage() -> ! {
     eprintln!(
         "usage: smlc [--variant nrp|fag|rep|mtd|ffb|fp3] [--stats[=json]] [--all] \
-         [--emit asm] (<file.sml> | -e <source>)"
+         [--batch] [--emit asm] (<file.sml>... | -e <source>)"
     );
     std::process::exit(2)
 }
 
 fn parse_variant(s: &str) -> Variant {
-    match s {
-        "nrp" => Variant::Nrp,
-        "fag" => Variant::Fag,
-        "rep" => Variant::Rep,
-        "mtd" => Variant::Mtd,
-        "ffb" => Variant::Ffb,
-        "fp3" => Variant::Fp3,
-        other => {
-            eprintln!("unknown variant `{other}`");
+    match s.parse() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
             usage()
         }
     }
+}
+
+/// One source text plus the name we report it under.
+struct Input {
+    label: String,
+    src: String,
 }
 
 fn main() -> ExitCode {
@@ -73,8 +82,9 @@ fn main() -> ExitCode {
     let mut variant = Variant::Ffb;
     let mut stats = StatsMode::Off;
     let mut all = false;
+    let mut batch = false;
     let mut emit_asm = false;
-    let mut source: Option<String> = None;
+    let mut inputs: Vec<Input> = Vec::new();
 
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -92,6 +102,7 @@ fn main() -> ExitCode {
                 usage()
             }
             "--all" | "-a" => all = true,
+            "--batch" | "-b" => batch = true,
             "--emit" => {
                 let Some(what) = args.next() else { usage() };
                 match what.as_str() {
@@ -104,11 +115,17 @@ fn main() -> ExitCode {
             }
             "-e" => {
                 let Some(src) = args.next() else { usage() };
-                source = Some(src);
+                inputs.push(Input {
+                    label: "<cmdline>".to_owned(),
+                    src,
+                });
             }
             "--help" | "-h" => usage(),
             path => match std::fs::read_to_string(path) {
-                Ok(s) => source = Some(s),
+                Ok(src) => inputs.push(Input {
+                    label: path.to_owned(),
+                    src,
+                }),
                 Err(e) => {
                     eprintln!("smlc: cannot read {path}: {e}");
                     return ExitCode::from(2);
@@ -116,84 +133,117 @@ fn main() -> ExitCode {
             },
         }
     }
-    let Some(src) = source else { usage() };
+    if inputs.is_empty() {
+        usage()
+    }
+    if !batch && inputs.len() > 1 {
+        // Historic single-source behavior: the last input wins.
+        inputs.drain(..inputs.len() - 1);
+    }
 
     let variants: Vec<Variant> = if all {
-        Variant::all().to_vec()
+        Variant::ALL.to_vec()
     } else {
         vec![variant]
     };
 
-    for v in variants {
-        if all {
-            println!("== {} ==", v.name());
+    let session = match Session::builder().variant(variant).build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smlc: {e}");
+            return ExitCode::from(2);
         }
-        let compiled = match compile(&src, v) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("smlc: {e}");
-                // Structured output is emitted on failure paths too, so
-                // JSON consumers never have to parse stderr.
-                if stats == StatsMode::Json {
-                    println!("{}", error_json(v, &e).to_string_pretty());
+    };
+    let jobs: Vec<Job> = inputs
+        .iter()
+        .flat_map(|input| {
+            variants
+                .iter()
+                .map(|&v| Job::with_variant(input.src.clone(), v))
+        })
+        .collect();
+    let results = session.compile_batch(&jobs);
+
+    let mut job_ix = 0;
+    for input in &inputs {
+        if batch && inputs.len() > 1 {
+            println!("=== {} ===", input.label);
+        }
+        for &v in &variants {
+            if all {
+                println!("== {} ==", v.name());
+            }
+            let result = &results[job_ix];
+            job_ix += 1;
+            let compiled = match result {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("smlc: {e}");
+                    // Structured output is emitted on failure paths too, so
+                    // JSON consumers never have to parse stderr.
+                    if stats == StatsMode::Json {
+                        println!("{}", error_json(v, e).to_string_pretty());
+                    }
+                    return ExitCode::from(exit_code_of(e));
                 }
-                return ExitCode::from(exit_code_of(&e));
+            };
+            for w in &compiled.stats.warnings {
+                eprintln!("smlc: {w}");
             }
-        };
-        for w in &compiled.stats.warnings {
-            eprintln!("smlc: {w}");
-        }
-        if emit_asm {
-            print!("{}", compiled.machine);
-            continue;
-        }
-        let outcome = compiled.run();
-        print!("{}", outcome.output);
-        // Abnormal terminations still report statistics below (the
-        // metrics schema carries the result tag), but fail the process.
-        let failed = match &outcome.result {
-            VmResult::Value(_) => false,
-            VmResult::Uncaught(name) => {
-                eprintln!("smlc: uncaught exception {name}");
-                true
+            if emit_asm {
+                print!("{}", compiled.machine);
+                continue;
             }
-            VmResult::OutOfFuel => {
-                eprintln!("smlc: cycle budget exhausted");
-                true
+            let outcome = session.run(compiled);
+            print!("{}", outcome.output);
+            // Abnormal terminations still report statistics below (the
+            // metrics schema carries the result tag), but fail the process.
+            let failed = match &outcome.result {
+                VmResult::Value(_) => false,
+                VmResult::Uncaught(name) => {
+                    eprintln!("smlc: uncaught exception {name}");
+                    true
+                }
+                VmResult::OutOfFuel => {
+                    eprintln!("smlc: cycle budget exhausted");
+                    true
+                }
+                VmResult::HeapExhausted => {
+                    eprintln!("smlc: heap exhausted");
+                    true
+                }
+                VmResult::Fault(why) => {
+                    eprintln!("smlc: vm fault: {why}");
+                    true
+                }
+            };
+            match stats {
+                StatsMode::Off => {}
+                StatsMode::Human => eprintln!(
+                    "[{}] code {} instrs | compile {:?} | cycles {} | instrs {} | \
+                     alloc {} words | gcs {} | cache {}",
+                    v.name(),
+                    compiled.stats.code_size,
+                    compiled.stats.compile_time,
+                    outcome.stats.cycles,
+                    outcome.stats.instrs,
+                    outcome.stats.alloc_words,
+                    outcome.stats.n_gcs,
+                    if compiled.from_cache { "hit" } else { "miss" },
+                ),
+                StatsMode::Json => {
+                    println!(
+                        "{}",
+                        Metrics::of_run(compiled, &outcome)
+                            .with_cache(session.cache_stats())
+                            .to_json()
+                            .to_string_pretty()
+                    );
+                }
             }
-            VmResult::HeapExhausted => {
-                eprintln!("smlc: heap exhausted");
-                true
+            if failed {
+                return ExitCode::from(EXIT_VM_TRAP);
             }
-            VmResult::Fault(why) => {
-                eprintln!("smlc: vm fault: {why}");
-                true
-            }
-        };
-        match stats {
-            StatsMode::Off => {}
-            StatsMode::Human => eprintln!(
-                "[{}] code {} instrs | compile {:?} | cycles {} | instrs {} | \
-                 alloc {} words | gcs {}",
-                v.name(),
-                compiled.stats.code_size,
-                compiled.stats.compile_time,
-                outcome.stats.cycles,
-                outcome.stats.instrs,
-                outcome.stats.alloc_words,
-                outcome.stats.n_gcs
-            ),
-            StatsMode::Json => {
-                println!(
-                    "{}",
-                    Metrics::of_run(&compiled, &outcome)
-                        .to_json()
-                        .to_string_pretty()
-                );
-            }
-        }
-        if failed {
-            return ExitCode::from(EXIT_VM_TRAP);
         }
     }
     ExitCode::SUCCESS

@@ -60,15 +60,19 @@ pub enum Variant {
 
 impl Variant {
     /// All six, in the paper's order.
+    pub const ALL: [Variant; 6] = [
+        Variant::Nrp,
+        Variant::Fag,
+        Variant::Rep,
+        Variant::Mtd,
+        Variant::Ffb,
+        Variant::Fp3,
+    ];
+
+    /// All six, in the paper's order.
+    #[deprecated(since = "0.1.0", note = "use the `Variant::ALL` const")]
     pub fn all() -> [Variant; 6] {
-        [
-            Variant::Nrp,
-            Variant::Fag,
-            Variant::Rep,
-            Variant::Mtd,
-            Variant::Ffb,
-            Variant::Fp3,
-        ]
+        Variant::ALL
     }
 
     /// The paper's name for the variant.
@@ -138,5 +142,51 @@ impl Variant {
 impl std::fmt::Display for Variant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// The error of [`Variant::from_str`] on an unrecognized name; its
+/// message lists the accepted spellings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseVariantError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseVariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown variant {:?} (expected one of nrp, fag, rep, mtd, ffb, fp3, \
+             with or without the sml. prefix)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseVariantError {}
+
+impl std::str::FromStr for Variant {
+    type Err = ParseVariantError;
+
+    /// Parses either the short flag spelling (`ffb`) or the paper's
+    /// full name (`sml.ffb`), case-insensitively.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smlc::Variant;
+    /// assert_eq!("ffb".parse(), Ok(Variant::Ffb));
+    /// assert_eq!("sml.fp3".parse(), Ok(Variant::Fp3));
+    /// assert!("mlton".parse::<Variant>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Variant, ParseVariantError> {
+        let lower = s.to_ascii_lowercase();
+        let short = lower.strip_prefix("sml.").unwrap_or(&lower);
+        Variant::ALL
+            .into_iter()
+            .find(|v| v.name().strip_prefix("sml.") == Some(short))
+            .ok_or_else(|| ParseVariantError {
+                input: s.to_owned(),
+            })
     }
 }

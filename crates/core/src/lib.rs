@@ -11,34 +11,46 @@
 //! Six [`Variant`]s mirror the paper's measured compilers
 //! (`sml.nrp` … `sml.fp3`).
 //!
+//! The entry point is a [`Session`] (see `docs/API.md`): it bundles the
+//! configuration knobs, caches compiled artifacts by content, keeps the
+//! LTY hash-cons table warm across compiles, and drives parallel
+//! batches.
+//!
 //! # Examples
 //!
 //! ```
-//! use smlc::{compile, Variant, VmResult};
+//! use smlc::{Session, Variant, VmResult};
 //! let program = "
 //!     fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
 //!     val result = fib 10
 //! ";
-//! let compiled = compile(program, Variant::Ffb).unwrap();
-//! let outcome = compiled.run();
+//! let session = Session::with_variant(Variant::Ffb);
+//! let compiled = session.compile(program).unwrap();
+//! let outcome = session.run(&compiled);
 //! assert_eq!(outcome.result, VmResult::Value(0)); // programs return unit
 //! assert!(outcome.stats.cycles > 0);
+//! // The second compile of the same program is a cache hit.
+//! assert!(session.compile(program).unwrap().from_cache);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod error;
+pub mod fxhash;
 pub mod json;
 pub mod metrics;
 pub mod pipeline;
+pub mod session;
 
-pub use config::Variant;
+pub use config::{ParseVariantError, Variant};
 pub use error::CompileError;
 pub use json::Json;
 pub use metrics::{error_json, result_tag, Metrics, RunMetrics, METRICS_SCHEMA_VERSION};
-pub use pipeline::{
-    compile, compile_and_run, compile_full, compile_with, CompileStats, Compiled, Limits,
-};
+pub use pipeline::{CompileStats, Compiled, Limits};
+pub use session::{par_map, CacheStats, Job, Session, SessionBuilder, SessionError};
 pub use sml_cps::OptConfig;
 pub use sml_vm::{FaultInject, InstrClass, Outcome, RunStats, VmConfig, VmResult};
+
+#[allow(deprecated)]
+pub use pipeline::{compile, compile_and_run, compile_full, compile_with};

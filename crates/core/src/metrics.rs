@@ -11,6 +11,7 @@
 
 use crate::json::Json;
 use crate::pipeline::{CompileStats, Compiled};
+use crate::session::CacheStats;
 use sml_vm::{InstrClass, Outcome, RunStats, VmResult};
 
 /// Version stamped into every emitted document as `schema_version`;
@@ -28,6 +29,10 @@ pub struct Metrics {
     pub compile: CompileStats,
     /// Run-side counters, when the program was executed.
     pub run: Option<RunMetrics>,
+    /// Session artifact-cache counters, when the compile went through a
+    /// session whose counters were captured (see
+    /// `Session::cache_stats`); `None` serializes as `"cache": null`.
+    pub cache: Option<CacheStats>,
 }
 
 /// Run-side portion of a [`Metrics`] snapshot.
@@ -52,6 +57,7 @@ impl Default for Metrics {
                 result: "value",
                 stats: RunStats::default(),
             }),
+            cache: Some(CacheStats::default()),
         }
     }
 }
@@ -84,6 +90,7 @@ pub fn error_json(variant: crate::Variant, e: &crate::CompileError) -> Json {
         )
         .field("compile", Json::Null)
         .field("run", Json::Null)
+        .field("cache", Json::Null)
 }
 
 impl Metrics {
@@ -93,6 +100,7 @@ impl Metrics {
             variant: c.variant.name().to_owned(),
             compile: c.stats.clone(),
             run: None,
+            cache: None,
         }
     }
 
@@ -105,7 +113,14 @@ impl Metrics {
                 result: result_tag(&o.result),
                 stats: o.stats,
             }),
+            cache: None,
         }
+    }
+
+    /// Attaches a session's artifact-cache counters to the snapshot.
+    pub fn with_cache(mut self, stats: CacheStats) -> Metrics {
+        self.cache = Some(stats);
+        self
     }
 
     /// Renders the snapshot as a JSON document (see
@@ -119,8 +134,23 @@ impl Metrics {
             Some(run) => doc.field("run", run_json(run)),
             None => doc.field("run", Json::Null),
         };
+        doc = match &self.cache {
+            Some(cache) => doc.field("cache", cache_json(cache)),
+            None => doc.field("cache", Json::Null),
+        };
         doc
     }
+}
+
+fn cache_json(c: &CacheStats) -> Json {
+    Json::obj()
+        .field("enabled", c.enabled)
+        .field("hits", c.hits)
+        .field("misses", c.misses)
+        .field("evictions", c.evictions)
+        .field("insertions", c.insertions)
+        .field("entries", c.entries)
+        .field("capacity", c.capacity)
 }
 
 fn ms(d: std::time::Duration) -> f64 {

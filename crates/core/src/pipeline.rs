@@ -1,9 +1,13 @@
 //! The compilation pipeline (the paper's Figure 3), end to end.
+//!
+//! The engine here is driven by [`crate::session::Session`], which is
+//! the supported entry point; the free functions at the bottom of this
+//! module are deprecated shims kept for one release of migration.
 
 use crate::config::Variant;
 use crate::error::CompileError;
 use sml_cps::{close, convert, optimize, OptConfig, OptStats};
-use sml_lambda::{translate, type_of, CoerceStats, LtyStats};
+use sml_lambda::{translate, translate_seeded, type_of, CoerceStats, LtyInterner, LtyStats};
 use sml_vm::{codegen, run as vm_run, MachineProgram, Outcome, VmConfig};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -75,7 +79,10 @@ pub struct CompileStats {
     pub coerce: CoerceStats,
     /// Optimizer statistics.
     pub opt: OptStats,
-    /// LTY interner statistics (hash-cons hits/misses, distinct types).
+    /// LTY interner statistics. When a session reuses a warm table, the
+    /// counters (`intern_calls`, hits, misses, comparisons) are deltas
+    /// for this compile alone, while `interned` remains the total size
+    /// of the shared table.
     pub lty: LtyStats,
     /// Front-end warnings (nonexhaustive matches, redundant rules).
     pub warnings: Vec<String>,
@@ -90,54 +97,25 @@ pub struct Compiled {
     pub variant: Variant,
     /// Compilation statistics.
     pub stats: CompileStats,
+    /// Whether this artifact was served from a session's artifact cache
+    /// rather than freshly compiled (in which case `stats` describes
+    /// the original compilation, not this lookup).
+    pub from_cache: bool,
 }
 
-/// Compiles `src` with the given compiler variant.
-///
-/// # Errors
-///
-/// Returns [`CompileError`] on syntax or type errors.
-///
-/// # Examples
-///
-/// ```
-/// use smlc::{compile, Variant};
-/// let c = compile("val x = 1 + 2", Variant::Ffb).unwrap();
-/// assert!(c.stats.code_size > 0);
-/// ```
-pub fn compile(src: &str, variant: Variant) -> Result<Compiled, CompileError> {
-    compile_with(src, variant, &OptConfig::default())
-}
-
-/// Compiles with explicit optimizer settings.
-///
-/// # Errors
-///
-/// Returns [`CompileError`] on syntax or type errors.
-pub fn compile_with(
-    src: &str,
-    variant: Variant,
-    opt_cfg: &OptConfig,
-) -> Result<Compiled, CompileError> {
-    compile_full(src, variant, opt_cfg, &Limits::default())
-}
-
-/// Compiles with explicit optimizer settings and resource budgets.
-/// Every phase runs under panic containment, so the only ways out are a
-/// [`Compiled`] program or a typed [`CompileError`].
-///
-/// # Errors
-///
-/// Returns [`CompileError`] on syntax or type errors
-/// ([`CompileError::Parse`] / [`CompileError::Elab`]), exceeded budgets
-/// ([`CompileError::Limit`]), or contained compiler bugs
-/// ([`CompileError::Internal`]).
-pub fn compile_full(
+/// Compiles `src`, optionally seeding translation with a warm LTY
+/// hash-cons table, and hands the table back for reuse. Counter fields
+/// of `stats.lty` are reported as per-compile deltas against the seed;
+/// `interned` stays the total table size. Every phase runs under panic
+/// containment, so the only ways out are a [`Compiled`] program or a
+/// typed [`CompileError`].
+pub(crate) fn compile_engine(
     src: &str,
     variant: Variant,
     opt_cfg: &OptConfig,
     limits: &Limits,
-) -> Result<Compiled, CompileError> {
+    seed: Option<LtyInterner>,
+) -> Result<(Compiled, LtyInterner), CompileError> {
     if src.len() > limits.max_source_bytes {
         return Err(CompileError::Limit {
             phase: "parse",
@@ -176,7 +154,17 @@ pub fn compile_full(
     phases.push(("elaborate", t.elapsed()));
 
     let t = Instant::now();
-    let mut tr = contain("translate", || translate(&elab, &variant.lambda_config()))?;
+    let lambda_cfg = variant.lambda_config();
+    // `translate_seeded` falls back to a fresh table on a mode
+    // mismatch, so only a matching seed contributes a stats baseline.
+    let baseline = seed
+        .as_ref()
+        .filter(|s| s.mode() == lambda_cfg.intern_mode)
+        .map(|s| s.stats());
+    let mut tr = contain("translate", || match seed {
+        Some(s) => translate_seeded(&elab, &lambda_cfg, s),
+        None => translate(&elab, &lambda_cfg),
+    })?;
     phases.push(("translate", t.elapsed()));
     let lexp_size = tr.lexp.size();
     if lexp_size > limits.max_lexp_nodes {
@@ -226,6 +214,13 @@ pub fn compile_full(
     let machine = contain("codegen", || codegen(&closed))?;
     phases.push(("codegen", t.elapsed()));
 
+    let mut lty = tr.interner.stats();
+    if let Some(b) = baseline {
+        lty.intern_calls -= b.intern_calls;
+        lty.hashcons_hits -= b.hashcons_hits;
+        lty.hashcons_misses -= b.hashcons_misses;
+        lty.deep_compares -= b.deep_compares;
+    }
     let stats = CompileStats {
         compile_time: t0.elapsed(),
         phase_times: phases,
@@ -235,18 +230,25 @@ pub fn compile_full(
         code_size: machine.code_size(),
         coerce: tr.stats,
         opt,
-        lty: tr.interner.stats(),
+        lty,
         warnings: tr.warnings,
     };
-    Ok(Compiled {
-        machine,
-        variant,
-        stats,
-    })
+    Ok((
+        Compiled {
+            machine,
+            variant,
+            stats,
+            from_cache: false,
+        },
+        tr.interner,
+    ))
 }
 
 impl Compiled {
-    /// Runs the compiled program on the abstract machine.
+    /// Runs the compiled program on the abstract machine under the
+    /// producing variant's default VM configuration. Prefer
+    /// [`crate::session::Session::run`], which honors the session's
+    /// tuned VM configuration and fault overlay.
     pub fn run(&self) -> Outcome {
         vm_run(&self.machine, &self.variant.vm_config())
     }
@@ -257,12 +259,83 @@ impl Compiled {
     }
 }
 
-/// Convenience: compile with [`Variant::Ffb`] and run, returning the
-/// outcome.
+/// Compiles `src` with the given compiler variant.
 ///
 /// # Errors
 ///
 /// Returns [`CompileError`] on syntax or type errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Session` and use `Session::compile` / `Session::compile_variant`"
+)]
+pub fn compile(src: &str, variant: Variant) -> Result<Compiled, CompileError> {
+    compile_engine(
+        src,
+        variant,
+        &OptConfig::default(),
+        &Limits::default(),
+        None,
+    )
+    .map(|(c, _)| c)
+}
+
+/// Compiles with explicit optimizer settings.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on syntax or type errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Session` with `.opt_config(..)` and use `Session::compile`"
+)]
+pub fn compile_with(
+    src: &str,
+    variant: Variant,
+    opt_cfg: &OptConfig,
+) -> Result<Compiled, CompileError> {
+    compile_engine(src, variant, opt_cfg, &Limits::default(), None).map(|(c, _)| c)
+}
+
+/// Compiles with explicit optimizer settings and resource budgets.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on syntax or type errors
+/// ([`CompileError::Parse`] / [`CompileError::Elab`]), exceeded budgets
+/// ([`CompileError::Limit`]), or contained compiler bugs
+/// ([`CompileError::Internal`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Session` with `.opt_config(..).limits(..)` and use `Session::compile`"
+)]
+pub fn compile_full(
+    src: &str,
+    variant: Variant,
+    opt_cfg: &OptConfig,
+    limits: &Limits,
+) -> Result<Compiled, CompileError> {
+    compile_engine(src, variant, opt_cfg, limits, None).map(|(c, _)| c)
+}
+
+/// Convenience: compile with [`Variant::Ffb`] and run, returning the
+/// outcome. Note this always runs under the variant's default VM
+/// configuration; `Session::compile_and_run` honors the session's
+/// tuned `VmConfig` and fault overlay.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on syntax or type errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Session` and use `Session::compile_and_run`, which honors the session's VM configuration"
+)]
 pub fn compile_and_run(src: &str) -> Result<Outcome, CompileError> {
-    Ok(compile(src, Variant::Ffb)?.run())
+    compile_engine(
+        src,
+        Variant::Ffb,
+        &OptConfig::default(),
+        &Limits::default(),
+        None,
+    )
+    .map(|(c, _)| c.run())
 }

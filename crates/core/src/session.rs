@@ -1,0 +1,790 @@
+//! Long-lived compilation sessions (the service-shaped entry point).
+//!
+//! A [`Session`] consolidates the compiler's scattered knobs —
+//! [`Variant`], [`OptConfig`], [`Limits`], [`VmConfig`], and
+//! [`FaultInject`] — into one validated configuration object built by
+//! [`SessionBuilder`], and owns the state worth amortizing across
+//! compiles:
+//!
+//! * a **content-addressed artifact cache** keyed by `(source_hash,
+//!   variant, config_fingerprint)` — repeat compiles of the same source
+//!   under the same configuration return the cached [`Compiled`]
+//!   artifact and record a hit (see [`CacheStats`]);
+//! * a **warm LTY hash-cons table** per variant, handed back into the
+//!   pipeline on the serial [`Session::compile`] path so the paper's
+//!   global static hash-consing (§4.1, §4.5) is actually global across
+//!   compiles, not rebuilt per compile (the string interner is already
+//!   process-global, see `sml_ast::Symbol`);
+//! * a **deterministic parallel batch driver**,
+//!   [`Session::compile_batch`], which fans jobs out over a shared
+//!   atomic work queue and reassembles results in input order.
+//!
+//! Determinism contract: batch workers always start from a cold LTY
+//! table (warm tables would make per-cell interner statistics depend on
+//! scheduling), so a parallel batch is byte-identical to the same jobs
+//! compiled serially on a cold session — the property the bench matrix
+//! differential test pins. The serial path's warm table changes only
+//! interner accounting, never generated code: under hash-consing,
+//! structural equality is index equality whether or not the table is
+//! pre-seeded, and nothing downstream depends on raw index values (the
+//! session test suite verifies byte-identical output fresh vs. reused).
+//!
+//! # Examples
+//!
+//! ```
+//! use smlc::{Session, Variant, VmResult};
+//! let session = Session::builder()
+//!     .variant(Variant::Ffb)
+//!     .cache_capacity(64)
+//!     .build()
+//!     .unwrap();
+//! let a = session.compile("val _ = print (itos 42)").unwrap();
+//! let b = session.compile("val _ = print (itos 42)").unwrap();
+//! assert!(!a.from_cache && b.from_cache);
+//! assert_eq!(session.cache_stats().hits, 1);
+//! assert_eq!(session.run(&a).result, VmResult::Value(0));
+//! ```
+
+use crate::config::Variant;
+use crate::error::CompileError;
+use crate::fxhash::{hash_bytes, FxHasher};
+use crate::pipeline::{compile_engine, Compiled, Limits};
+use sml_cps::OptConfig;
+use sml_lambda::LtyInterner;
+use sml_vm::{FaultInject, Outcome, VmConfig};
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// An invalid session configuration, reported by
+/// [`SessionBuilder::build`] before any compilation runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionError {
+    msg: String,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid session configuration: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One unit of work for [`Session::compile_batch`].
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// The SML source text.
+    pub src: String,
+    /// Compiler variant; `None` uses the session's default.
+    pub variant: Option<Variant>,
+}
+
+impl Job {
+    /// A job compiled under the session's default variant.
+    pub fn new(src: impl Into<String>) -> Job {
+        Job {
+            src: src.into(),
+            variant: None,
+        }
+    }
+
+    /// A job with an explicit variant.
+    pub fn with_variant(src: impl Into<String>, variant: Variant) -> Job {
+        Job {
+            src: src.into(),
+            variant: Some(variant),
+        }
+    }
+}
+
+/// A snapshot of the artifact cache's counters (all zero and
+/// `enabled: false` for a cache-disabled session). These flow into the
+/// metrics schema; see `docs/OBSERVABILITY.md`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Whether the cache is enabled at all.
+    pub enabled: bool,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile (including compiles that then
+    /// failed — errors are never cached).
+    pub misses: u64,
+    /// Artifacts evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Artifacts stored.
+    pub insertions: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+    /// Maximum resident artifacts.
+    pub capacity: usize,
+}
+
+/// Content address of one compilation: source digest + length (the
+/// length guards 64-bit digest collisions cheaply; the full source is
+/// verified on lookup), the variant, and the session configuration
+/// fingerprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    src_hash: u64,
+    src_len: usize,
+    variant: Variant,
+    fingerprint: u64,
+}
+
+struct CacheEntry {
+    /// Full source text, compared on lookup so a digest collision costs
+    /// a recompile instead of returning the wrong artifact.
+    src: String,
+    artifact: Compiled,
+    last_used: u64,
+}
+
+struct ArtifactCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, CacheEntry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl ArtifactCache {
+    fn new(capacity: usize) -> ArtifactCache {
+        ArtifactCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            insertions: 0,
+        }
+    }
+
+    fn lookup(&mut self, key: &CacheKey, src: &str) -> Option<Compiled> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(e) if e.src == src => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                let mut artifact = e.artifact.clone();
+                artifact.from_cache = true;
+                Some(artifact)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, src: &str, artifact: &Compiled) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            // Evict the least-recently-used entry. The linear scan is
+            // fine at artifact-cache sizes (dozens to hundreds).
+            if let Some(&victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.insertions += 1;
+        self.map.insert(
+            key,
+            CacheEntry {
+                src: src.to_owned(),
+                artifact: artifact.clone(),
+                last_used: self.tick,
+            },
+        );
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            enabled: true,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            insertions: self.insertions,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Builder for [`Session`]; every knob of the old
+/// `compile`/`compile_with`/`compile_full` trio plus the VM surface in
+/// one place. `build` validates the whole configuration up front.
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    variant: Variant,
+    opt: OptConfig,
+    limits: Limits,
+    vm: Option<VmConfig>,
+    fault: Option<FaultInject>,
+    cache_enabled: bool,
+    cache_capacity: usize,
+    reuse_types: bool,
+    batch_workers: usize,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> SessionBuilder {
+        SessionBuilder {
+            variant: Variant::Ffb,
+            opt: OptConfig::default(),
+            limits: Limits::default(),
+            vm: None,
+            fault: None,
+            cache_enabled: true,
+            cache_capacity: 256,
+            reuse_types: true,
+            batch_workers: 0,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Default compiler variant ([`Variant::Ffb`] if never set).
+    pub fn variant(mut self, v: Variant) -> SessionBuilder {
+        self.variant = v;
+        self
+    }
+
+    /// Optimizer settings.
+    pub fn opt_config(mut self, opt: OptConfig) -> SessionBuilder {
+        self.opt = opt;
+        self
+    }
+
+    /// Resource budgets (see `docs/ROBUSTNESS.md`).
+    pub fn limits(mut self, limits: Limits) -> SessionBuilder {
+        self.limits = limits;
+        self
+    }
+
+    /// Explicit VM configuration for [`Session::run`] /
+    /// [`Session::compile_and_run`]. When never set, each run uses its
+    /// variant's default VM configuration (so `sml.fp3` keeps its
+    /// callee-save overhead).
+    pub fn vm_config(mut self, vm: VmConfig) -> SessionBuilder {
+        self.vm = Some(vm);
+        self
+    }
+
+    /// Fault-injection overlay applied to whatever VM configuration a
+    /// run uses (explicit or variant-derived).
+    pub fn fault_inject(mut self, fault: FaultInject) -> SessionBuilder {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Enables or disables the artifact cache (enabled by default).
+    pub fn cache(mut self, enabled: bool) -> SessionBuilder {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// Maximum cached artifacts (default 256); least-recently-used
+    /// artifacts are evicted beyond this.
+    pub fn cache_capacity(mut self, capacity: usize) -> SessionBuilder {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Whether the serial compile path reuses the session's warm LTY
+    /// hash-cons table (default true). Batch workers always start cold;
+    /// see the module docs for the determinism contract.
+    pub fn reuse_types(mut self, reuse: bool) -> SessionBuilder {
+        self.reuse_types = reuse;
+        self
+    }
+
+    /// Worker-thread count for [`Session::compile_batch`]; `0` (the
+    /// default) uses the machine's available parallelism, `1` degrades
+    /// to a serial in-order loop (the differential-testing reference).
+    pub fn batch_workers(mut self, workers: usize) -> SessionBuilder {
+        self.batch_workers = workers;
+        self
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] when a knob is out of range: a zero
+    /// resource budget, a zero cache capacity with the cache enabled, a
+    /// degenerate VM geometry (zero-sized nursery or semispace, nursery
+    /// larger than the heap), or a zero fault-injection threshold
+    /// (both are 1-based).
+    pub fn build(self) -> Result<Session, SessionError> {
+        let err = |msg: String| Err(SessionError { msg });
+        if self.limits.max_source_bytes == 0 {
+            return err("limits.max_source_bytes must be nonzero".into());
+        }
+        if self.limits.max_lexp_nodes == 0 {
+            return err("limits.max_lexp_nodes must be nonzero".into());
+        }
+        if self.limits.max_cps_ops == 0 {
+            return err("limits.max_cps_ops must be nonzero".into());
+        }
+        if self.opt.max_rounds == 0 {
+            return err("opt.max_rounds must be nonzero".into());
+        }
+        if self.cache_enabled && self.cache_capacity == 0 {
+            return err("cache_capacity must be nonzero when the cache is enabled".into());
+        }
+        if let Some(vm) = &self.vm {
+            if vm.nursery_words == 0 || vm.semi_words == 0 {
+                return err("vm nursery and semispace must be nonzero".into());
+            }
+            if vm.nursery_words > vm.semi_words {
+                return err(format!(
+                    "vm nursery ({} words) exceeds the semispace ({} words)",
+                    vm.nursery_words, vm.semi_words
+                ));
+            }
+            if vm.max_cycles == 0 {
+                return err("vm.max_cycles must be nonzero".into());
+            }
+        }
+        let faults = [self.fault, self.vm.map(|v| v.fault)];
+        for fault in faults.into_iter().flatten() {
+            if fault.fail_alloc_at == Some(0) {
+                return err("fault.fail_alloc_at is 1-based; 0 would never fire".into());
+            }
+            if fault.gc_every_n_allocs == Some(0) {
+                return err("fault.gc_every_n_allocs must be nonzero".into());
+            }
+        }
+        let fingerprint = fingerprint(&self);
+        Ok(Session {
+            variant: self.variant,
+            opt: self.opt,
+            limits: self.limits,
+            vm: self.vm,
+            fault: self.fault,
+            reuse_types: self.reuse_types,
+            batch_workers: self.batch_workers,
+            fingerprint,
+            cache: self
+                .cache_enabled
+                .then(|| Mutex::new(ArtifactCache::new(self.cache_capacity))),
+            warm: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// Stable digest of every compilation-relevant knob. Folded into each
+/// cache key so artifacts can never leak between configurations, even
+/// if caches are ever shared or persisted.
+fn fingerprint(b: &SessionBuilder) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(b.opt.max_rounds);
+    h.write_usize(b.opt.inline_size);
+    h.write_usize(b.opt.inline_passes);
+    h.write_usize(b.limits.max_source_bytes);
+    h.write_usize(b.limits.max_lexp_nodes);
+    h.write_usize(b.limits.max_cps_ops);
+    match &b.vm {
+        None => h.write_u8(0),
+        Some(vm) => {
+            h.write_u8(1);
+            h.write_u8(vm.fp3_overhead as u8);
+            h.write_usize(vm.nursery_words);
+            h.write_u64(vm.max_cycles);
+            h.write_usize(vm.semi_words);
+            h.write_u64(vm.fault.fail_alloc_at.map_or(0, |n| n ^ u64::MAX));
+            h.write_u64(vm.fault.gc_every_n_allocs.map_or(0, |n| n ^ u64::MAX));
+        }
+    }
+    match &b.fault {
+        None => h.write_u8(0),
+        Some(f) => {
+            h.write_u8(1);
+            h.write_u64(f.fail_alloc_at.map_or(0, |n| n ^ u64::MAX));
+            h.write_u64(f.gc_every_n_allocs.map_or(0, |n| n ^ u64::MAX));
+        }
+    }
+    h.finish()
+}
+
+/// A reusable compilation session; see the module docs. Cheap to share
+/// across threads (`&Session` is all [`Session::compile_batch`]'s
+/// workers need), expensive state lives behind internal locks.
+pub struct Session {
+    variant: Variant,
+    opt: OptConfig,
+    limits: Limits,
+    vm: Option<VmConfig>,
+    fault: Option<FaultInject>,
+    reuse_types: bool,
+    batch_workers: usize,
+    fingerprint: u64,
+    cache: Option<Mutex<ArtifactCache>>,
+    warm: Mutex<HashMap<Variant, LtyInterner>>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::builder()
+            .build()
+            .expect("default session configuration is valid")
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("variant", &self.variant)
+            .field("fingerprint", &self.fingerprint)
+            .field("cache", &self.cache_stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// A default session for the given variant (never fails — every
+    /// default knob validates).
+    pub fn with_variant(variant: Variant) -> Session {
+        Session::builder()
+            .variant(variant)
+            .build()
+            .expect("default session configuration is valid")
+    }
+
+    /// The session's default variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The optimizer settings every compile uses.
+    pub fn opt_config(&self) -> &OptConfig {
+        &self.opt
+    }
+
+    /// The resource budgets every compile runs under.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// The configuration fingerprint folded into every cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The configured batch worker count (`0` = available parallelism);
+    /// see [`SessionBuilder::batch_workers`].
+    pub fn batch_workers(&self) -> usize {
+        self.batch_workers
+    }
+
+    /// The VM configuration a run of `variant` would use: the explicit
+    /// [`SessionBuilder::vm_config`] if one was given (otherwise the
+    /// variant's default), with the [`SessionBuilder::fault_inject`]
+    /// overlay applied.
+    pub fn vm_config(&self, variant: Variant) -> VmConfig {
+        let mut vm = self.vm.unwrap_or_else(|| variant.vm_config());
+        if let Some(fault) = self.fault {
+            vm.fault = fault;
+        }
+        vm
+    }
+
+    /// Compiles under the session's default variant, consulting the
+    /// artifact cache first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] on syntax or type errors, exceeded
+    /// budgets, or contained compiler bugs. Errors are never cached: a
+    /// failed source recompiles (and re-fails) on every request.
+    pub fn compile(&self, src: &str) -> Result<Compiled, CompileError> {
+        self.compile_inner(src, self.variant, true)
+    }
+
+    /// Compiles under an explicit variant (same caching and errors as
+    /// [`Session::compile`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`]; see [`Session::compile`].
+    pub fn compile_variant(&self, src: &str, variant: Variant) -> Result<Compiled, CompileError> {
+        self.compile_inner(src, variant, true)
+    }
+
+    /// Runs a compiled program under the session's VM configuration
+    /// (see [`Session::vm_config`]) — this is how heap ceilings and
+    /// fault injection configured on the session reach the VM.
+    pub fn run(&self, compiled: &Compiled) -> Outcome {
+        compiled.run_with(&self.vm_config(compiled.variant))
+    }
+
+    /// Compiles and runs in one call, honoring the session's VM
+    /// configuration (unlike the deprecated free `compile_and_run`,
+    /// which always ran under `VmConfig::default()`-shaped settings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`]; see [`Session::compile`].
+    pub fn compile_and_run(&self, src: &str) -> Result<Outcome, CompileError> {
+        Ok(self.run(&self.compile(src)?))
+    }
+
+    /// Current artifact-cache counters (all zero, `enabled: false`,
+    /// when the cache is off).
+    pub fn cache_stats(&self) -> CacheStats {
+        match &self.cache {
+            Some(cache) => cache.lock().expect("artifact cache poisoned").stats(),
+            None => CacheStats::default(),
+        }
+    }
+
+    /// Compiles a batch of jobs in parallel, returning results in job
+    /// order. Duplicate jobs (same source, variant, and configuration)
+    /// are compiled once and served to the remaining indices from the
+    /// cache. Workers pull from a shared atomic queue (work stealing by
+    /// idleness); each worker compiles from a cold LTY table, so the
+    /// result vector is byte-identical to a serial cold run of the same
+    /// jobs regardless of scheduling — see the module docs.
+    pub fn compile_batch(&self, jobs: &[Job]) -> Vec<Result<Compiled, CompileError>> {
+        // Within-batch dedup only makes sense when hits can be served
+        // from the cache; without it every job compiles independently.
+        let class_of: Vec<usize> = if self.cache.is_some() {
+            let mut first: HashMap<CacheKey, usize> = HashMap::new();
+            jobs.iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    let key = self.key_of(&job.src, job.variant.unwrap_or(self.variant));
+                    *first.entry(key).or_insert(i)
+                })
+                .collect()
+        } else {
+            (0..jobs.len()).collect()
+        };
+        let unique: Vec<usize> = class_of
+            .iter()
+            .enumerate()
+            .filter(|&(i, &c)| i == c)
+            .map(|(i, _)| i)
+            .collect();
+        let mut compiled: Vec<Option<Result<Compiled, CompileError>>> =
+            par_map(&unique, self.batch_workers, |_, &ji| {
+                let job = &jobs[ji];
+                self.compile_inner(&job.src, job.variant.unwrap_or(self.variant), false)
+            })
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut slot_of: HashMap<usize, usize> =
+            unique.iter().enumerate().map(|(s, &ji)| (ji, s)).collect();
+        class_of
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                if let Some(slot) = slot_of.remove(&i) {
+                    compiled[slot].take().expect("each unique slot taken once")
+                } else {
+                    // A duplicate of job `c`: served from the cache when
+                    // the original succeeded (a hit by construction), or
+                    // recompiled to reproduce its error.
+                    let job = &jobs[c];
+                    self.compile_inner(&job.src, job.variant.unwrap_or(self.variant), false)
+                }
+            })
+            .collect()
+    }
+
+    fn key_of(&self, src: &str, variant: Variant) -> CacheKey {
+        CacheKey {
+            src_hash: hash_bytes(src.as_bytes()),
+            src_len: src.len(),
+            variant,
+            fingerprint: self.fingerprint,
+        }
+    }
+
+    /// The compile path behind every public entry point: cache lookup,
+    /// then a pipeline run (optionally seeded with the warm LTY table),
+    /// then cache insertion.
+    fn compile_inner(
+        &self,
+        src: &str,
+        variant: Variant,
+        allow_warm: bool,
+    ) -> Result<Compiled, CompileError> {
+        let key = self.key_of(src, variant);
+        if let Some(cache) = &self.cache {
+            let hit = cache
+                .lock()
+                .expect("artifact cache poisoned")
+                .lookup(&key, src);
+            if let Some(artifact) = hit {
+                return Ok(artifact);
+            }
+        }
+        let seed = if allow_warm && self.reuse_types {
+            self.warm
+                .lock()
+                .expect("warm table poisoned")
+                .remove(&variant)
+        } else {
+            None
+        };
+        let result = compile_engine(src, variant, &self.opt, &self.limits, seed);
+        match result {
+            Ok((artifact, interner)) => {
+                if allow_warm && self.reuse_types {
+                    self.warm
+                        .lock()
+                        .expect("warm table poisoned")
+                        .insert(variant, interner);
+                }
+                if let Some(cache) = &self.cache {
+                    cache
+                        .lock()
+                        .expect("artifact cache poisoned")
+                        .insert(key, src, &artifact);
+                }
+                Ok(artifact)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Order-preserving parallel map over a slice: `workers` scoped threads
+/// (0 = available parallelism) pull indices from a shared atomic
+/// counter and results are reassembled in input order, so the output is
+/// deterministic for a deterministic `f`. With one worker (or one
+/// item) this degrades to a plain in-order loop. This is the driver
+/// under [`Session::compile_batch`] and the bench matrix's run phase.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all workers finish.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+    .min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut done: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    done.sort_by_key(|(i, _)| *i);
+    done.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [0, 1, 3, 16] {
+            let out = par_map(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let base = fingerprint(&SessionBuilder::default());
+        let tighter = fingerprint(&SessionBuilder::default().limits(Limits {
+            max_source_bytes: 1,
+            ..Limits::default()
+        }));
+        assert_ne!(base, tighter);
+        let faulty = fingerprint(&SessionBuilder::default().fault_inject(FaultInject {
+            fail_alloc_at: Some(1),
+            gc_every_n_allocs: None,
+        }));
+        assert_ne!(base, faulty);
+        // `Some(0)` is rejected by validation, but the fingerprint must
+        // still not confuse `None` with any `Some` encoding.
+        let zeroish = fingerprint(&SessionBuilder::default().fault_inject(FaultInject {
+            fail_alloc_at: None,
+            gc_every_n_allocs: None,
+        }));
+        assert_ne!(base, zeroish);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_knobs() {
+        assert!(Session::builder()
+            .limits(Limits {
+                max_lexp_nodes: 0,
+                ..Limits::default()
+            })
+            .build()
+            .is_err());
+        assert!(Session::builder().cache_capacity(0).build().is_err());
+        assert!(Session::builder()
+            .cache(false)
+            .cache_capacity(0)
+            .build()
+            .is_ok());
+        assert!(Session::builder()
+            .fault_inject(FaultInject {
+                fail_alloc_at: Some(0),
+                gc_every_n_allocs: None,
+            })
+            .build()
+            .is_err());
+        let vm = VmConfig {
+            nursery_words: 1024,
+            semi_words: 512,
+            ..VmConfig::default()
+        };
+        assert!(Session::builder().vm_config(vm).build().is_err());
+    }
+}

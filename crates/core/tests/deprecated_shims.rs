@@ -1,0 +1,65 @@
+//! The deprecated free-function shims must keep compiling callers and
+//! producing the same artifacts as the session API they forward to.
+//! This file is the one sanctioned user of the old surface; everything
+//! else in the workspace builds warning-free against the new one.
+
+#![allow(deprecated)]
+
+use smlc::{
+    compile, compile_and_run, compile_full, compile_with, Limits, OptConfig, Session, Variant,
+    VmResult,
+};
+
+const SRC: &str = r#"
+    fun twice f x = f (f x)
+    val _ = print (itos (twice (fn n => n + 3) 10))
+"#;
+
+#[test]
+fn shims_match_session_output() {
+    let old = compile(SRC, Variant::Ffb).expect("compiles");
+    let new = Session::with_variant(Variant::Ffb)
+        .compile(SRC)
+        .expect("compiles");
+    assert_eq!(format!("{:?}", old.machine), format!("{:?}", new.machine));
+    assert_eq!(old.stats.code_size, new.stats.code_size);
+    assert_eq!(old.run().output, "16");
+}
+
+#[test]
+fn compile_with_applies_optimizer_config() {
+    let none = OptConfig {
+        max_rounds: 1,
+        ..OptConfig::default()
+    };
+    let c = compile_with(SRC, Variant::Ffb, &none).expect("compiles");
+    assert_eq!(c.run().output, "16");
+}
+
+#[test]
+fn compile_full_enforces_limits() {
+    let c = compile_full(SRC, Variant::Nrp, &OptConfig::default(), &Limits::default())
+        .expect("compiles");
+    assert_eq!(c.run().output, "16");
+    let tiny = Limits {
+        max_cps_ops: 1,
+        ..Limits::default()
+    };
+    let err = compile_full(SRC, Variant::Nrp, &OptConfig::default(), &tiny).unwrap_err();
+    assert_eq!(err.kind(), "limit");
+}
+
+#[test]
+fn compile_and_run_uses_default_vm() {
+    // The shim's historic behavior: sml.ffb under the *default* VM
+    // configuration, whatever the caller might have tuned elsewhere.
+    // `Session::compile_and_run` is the fixed replacement.
+    let o = compile_and_run(SRC).expect("compiles");
+    assert!(matches!(o.result, VmResult::Value(_)));
+    assert_eq!(o.output, "16");
+}
+
+#[test]
+fn variant_all_shim_matches_const() {
+    assert_eq!(Variant::all(), Variant::ALL);
+}

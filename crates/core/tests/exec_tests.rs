@@ -2,12 +2,18 @@
 //! same output for the same program, and that output must be the correct
 //! one.
 
-use smlc::{compile, Variant, VmResult};
+use smlc::{CompileError, Compiled, Session, Variant, VmResult};
+
+/// Compiles through a fresh single-variant session (the supported API;
+/// the old free `compile` is a deprecated shim over the same engine).
+fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
+    Session::with_variant(v).compile(src)
+}
 
 /// Compiles and runs under every variant; asserts all outputs equal
 /// `expect` and the result is a normal halt.
 fn check(src: &str, expect: &str) {
-    for v in Variant::all() {
+    for v in Variant::ALL {
         let c = compile(src, v).unwrap_or_else(|e| panic!("[{v}] compile failed: {e}\n{src}"));
         let o = c.run();
         assert!(
@@ -21,7 +27,7 @@ fn check(src: &str, expect: &str) {
 
 /// Expects an uncaught exception with the given name under every variant.
 fn check_uncaught(src: &str, name: &str) {
-    for v in Variant::all() {
+    for v in Variant::ALL {
         let c = compile(src, v).unwrap_or_else(|e| panic!("[{v}] compile failed: {e}"));
         let o = c.run();
         assert_eq!(

@@ -5,7 +5,13 @@
 //! VM). Any divergence pinpoints a representation or convention bug.
 
 use sml_testkit::{run_cases, Rng};
-use smlc::{compile, Variant, VmResult};
+use smlc::{CompileError, Compiled, Session, Variant, VmResult};
+
+/// Compiles through a fresh single-variant session (the supported API;
+/// the old free `compile` is a deprecated shim over the same engine).
+fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
+    Session::with_variant(v).compile(src)
+}
 
 /// A generated integer expression. Division/mod keep a nonzero literal
 /// divisor so evaluation is total.
@@ -298,7 +304,7 @@ fn variants_agree_with_reference() {
         sml(&e, 0, &mut src);
         src.push(')');
 
-        for v in Variant::all() {
+        for v in Variant::ALL {
             let compiled = compile(&src, v)
                 .unwrap_or_else(|err| panic!("[{}] compile failed: {err}\n{src}", v.name()));
             let out = compiled.run();
@@ -430,7 +436,7 @@ fn float_variants_agree() {
         src.push(')');
 
         let mut reference: Option<String> = None;
-        for v in Variant::all() {
+        for v in Variant::ALL {
             let compiled = compile(&src, v)
                 .unwrap_or_else(|err| panic!("[{}] compile failed: {err}\n{src}", v.name()));
             let out = compiled.run();
@@ -492,7 +498,7 @@ fn switch_dispatch_matches_reference() {
         ));
 
         let expected = arms.remove(&scrutinee).unwrap_or(default);
-        for v in Variant::all() {
+        for v in Variant::ALL {
             let compiled = compile(&src, v)
                 .unwrap_or_else(|err| panic!("[{}] compile failed: {err}\n{src}", v.name()));
             let out = compiled.run();

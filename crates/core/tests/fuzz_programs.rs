@@ -7,8 +7,14 @@
 
 use sml_testkit::progen::{gen_program, GenConfig};
 use sml_testkit::{run_cases, Rng};
-use smlc::{compile, Variant, VmResult};
+use smlc::{CompileError, Compiled, Session, Variant, VmResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Compiles through a fresh single-variant session (the supported API;
+/// the old free `compile` is a deprecated shim over the same engine).
+fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
+    Session::with_variant(v).compile(src)
+}
 
 /// Compiles and runs `src` under `v`, catching any panic that escapes.
 /// Returns `(result, output)` or panics with a seed-reproducible report.
@@ -33,7 +39,7 @@ fn generated_programs_agree_across_variants() {
     run_cases("generated_programs_agree_across_variants", 60, |rng| {
         let src = gen_program(rng, &cfg);
         let mut reference: Option<(VmResult, String, &'static str)> = None;
-        for v in Variant::all() {
+        for v in Variant::ALL {
             let (result, output) = run_variant(&src, v);
             assert!(
                 matches!(result, VmResult::Value(_)),
@@ -73,7 +79,7 @@ fn generated_programs_survive_fault_injection() {
     };
     run_cases("generated_programs_survive_fault_injection", 12, |rng| {
         let src = gen_program(rng, &cfg);
-        for v in Variant::all() {
+        for v in Variant::ALL {
             let c = compile(&src, v)
                 .unwrap_or_else(|e| panic!("[{}] compile failed: {e}\n{src}", v.name()));
             let quiet = c.run();

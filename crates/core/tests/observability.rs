@@ -4,7 +4,14 @@
 
 use std::collections::BTreeSet;
 
-use smlc::{compile, Json, Metrics, Variant, METRICS_SCHEMA_VERSION};
+use smlc::{CompileError, Compiled, Json, Metrics, Session, Variant, METRICS_SCHEMA_VERSION};
+
+/// Compiles through a fresh single-variant session. The LTY counters
+/// asserted below are per-compile totals, which a fresh session
+/// reports exactly (its warm table is empty on the first compile).
+fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
+    Session::with_variant(v).compile(src)
+}
 
 /// Every object key reachable in `j`, recursively.
 fn collect_keys(j: &Json, out: &mut BTreeSet<String>) {
@@ -80,7 +87,9 @@ fn golden_default_metrics_document() {
         "\"control\":0,\"gc\":0},",
         "\"instrs_by_class\":{\"move\":0,\"int-arith\":0,\"float-arith\":0,",
         "\"memory\":0,\"alloc\":0,\"branch\":0,\"jump\":0,\"runtime\":0,",
-        "\"control\":0,\"gc\":0}}}"
+        "\"control\":0,\"gc\":0}},",
+        "\"cache\":{\"enabled\":false,\"hits\":0,\"misses\":0,",
+        "\"evictions\":0,\"insertions\":0,\"entries\":0,\"capacity\":0}}"
     );
     assert_eq!(compact, expected);
 }

@@ -3,9 +3,31 @@
 //! overflow — and trap paths leave the VM counters consistent.
 
 use smlc::{
-    compile, compile_full, CompileError, FaultInject, InstrClass, Limits, OptConfig, RunStats,
-    Variant, VmConfig, VmResult,
+    CompileError, Compiled, FaultInject, InstrClass, Limits, OptConfig, RunStats, Session, Variant,
+    VmConfig, VmResult,
 };
+
+/// Compiles through a fresh single-variant session (the supported API;
+/// the old free `compile` is a deprecated shim over the same engine).
+fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
+    Session::with_variant(v).compile(src)
+}
+
+/// Session-based replacement for the old free `compile_full`.
+fn compile_full(
+    src: &str,
+    v: Variant,
+    opt: &OptConfig,
+    limits: &Limits,
+) -> Result<Compiled, CompileError> {
+    Session::builder()
+        .variant(v)
+        .opt_config(*opt)
+        .limits(*limits)
+        .build()
+        .expect("test limits are valid")
+        .compile(src)
+}
 
 fn assert_consistent(stats: &RunStats) {
     assert_eq!(

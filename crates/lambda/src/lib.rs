@@ -29,4 +29,4 @@ pub use coerce::{coerce_exp, is_identity, CoerceStats, CoercionCache, VarGen};
 pub use exhaustive::{check_rules, irrefutable};
 pub use lexp::{compat, type_of, LVar, Lexp, Primop};
 pub use lty::{InternMode, Lty, LtyInterner, LtyKind, LtyStats};
-pub use translate::{translate, LambdaConfig, Translation};
+pub use translate::{translate, translate_seeded, LambdaConfig, Translation};

@@ -167,6 +167,11 @@ impl LtyInterner {
         }
     }
 
+    /// Which interning discipline this table uses.
+    pub fn mode(&self) -> InternMode {
+        self.mode
+    }
+
     /// The structure of `t`.
     pub fn kind(&self, t: Lty) -> &LtyKind {
         &self.kinds[t.0 as usize]

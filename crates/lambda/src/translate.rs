@@ -64,10 +64,26 @@ pub struct Translation {
 
 /// Translates an elaborated program into LEXP.
 pub fn translate(elab: &Elaboration, cfg: &LambdaConfig) -> Translation {
+    translate_seeded(elab, cfg, LtyInterner::new(cfg.intern_mode))
+}
+
+/// Translates with a pre-seeded type interner, so a long-lived driver
+/// (a compilation session) can amortize the hash-cons table across
+/// compiles. Hash-consing guarantees structural equality iff index
+/// equality whether or not the table is warm, so a warm table changes
+/// only the interner's hit/miss accounting, never the translation. A
+/// seed whose mode disagrees with `cfg.intern_mode` is discarded and
+/// replaced by a fresh interner.
+pub fn translate_seeded(elab: &Elaboration, cfg: &LambdaConfig, seed: LtyInterner) -> Translation {
+    let interner = if seed.mode() == cfg.intern_mode {
+        seed
+    } else {
+        LtyInterner::new(cfg.intern_mode)
+    };
     let mut tr = Translator {
         elab,
         cfg: *cfg,
-        interner: LtyInterner::new(cfg.intern_mode),
+        interner,
         vg: VarGen::new(),
         vmap: HashMap::new(),
         cache: CoercionCache::new(cfg.memo_coercions),

@@ -6,7 +6,7 @@
 //! cargo run --release --example compare_variants
 //! ```
 
-use smlc::{compile, Variant};
+use smlc::{Session, Variant};
 
 fn main() {
     // A projectile integrator: float pairs flow through a tail-recursive
@@ -25,10 +25,11 @@ fn main() {
         "{:10} {:>12} {:>12} {:>10} {:>8} {:>8}",
         "variant", "cycles", "alloc words", "code size", "exec", "alloc"
     );
+    let session = Session::default();
     let mut base: Option<(u64, u64)> = None;
-    for v in Variant::all() {
-        let compiled = compile(program, v).expect("compiles");
-        let o = compiled.run();
+    for v in Variant::ALL {
+        let compiled = session.compile_variant(program, v).expect("compiles");
+        let o = session.run(&compiled);
         let (bc, ba) = *base.get_or_insert((o.stats.cycles, o.stats.alloc_words));
         println!(
             "{:10} {:>12} {:>12} {:>10} {:>8.2} {:>8.2}",

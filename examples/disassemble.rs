@@ -12,7 +12,7 @@
 //! cargo run --example disassemble
 //! ```
 
-use smlc::{compile, Variant};
+use smlc::{Session, Variant};
 
 const QUAD: &str = "
 fun double f x = f (f x)
@@ -23,11 +23,12 @@ val _ = print (rtos (quad inc 1.0))
 
 fn main() {
     println!("source:\n{QUAD}");
+    let session = Session::default();
     for variant in [Variant::Nrp, Variant::Ffb] {
-        let compiled = compile(QUAD, variant).expect("compile");
+        let compiled = session.compile_variant(QUAD, variant).expect("compile");
         println!("================ {} ================", variant.name());
         print!("{}", compiled.machine);
-        let out = compiled.run();
+        let out = session.run(&compiled);
         println!(
             "\noutput {:?} | cycles {} | alloc {} words\n",
             out.output, out.stats.cycles, out.stats.alloc_words

@@ -8,7 +8,7 @@
 //! cargo run --example module_coercions
 //! ```
 
-use smlc::{compile, Variant};
+use smlc::{Session, Variant};
 
 fn main() {
     let program = r#"
@@ -54,9 +54,10 @@ fn main() {
         val _ = print ("dot (abstract)   = " ^ rtos abs_n ^ "\n")
     "#;
 
+    let session = Session::default();
     for v in [Variant::Nrp, Variant::Ffb] {
-        let compiled = compile(program, v).expect("compiles");
-        let o = compiled.run();
+        let compiled = session.compile_variant(program, v).expect("compiles");
+        let o = session.run(&compiled);
         println!("== {} ==", v.name());
         print!("{}", o.output);
         let c = &compiled.stats.coerce;

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use smlc::{compile, Variant, VmResult};
+use smlc::{Session, Variant, VmResult};
 
 fn main() {
     let program = r#"
@@ -27,9 +27,11 @@ fn main() {
     "#;
 
     // `Variant::Ffb` is the paper's best compiler: representation
-    // analysis + minimum typing derivations + unboxed floats.
-    let compiled = compile(program, Variant::Ffb).expect("the program type checks");
-    let outcome = compiled.run();
+    // analysis + minimum typing derivations + unboxed floats. A session
+    // carries the configuration and caches artifacts across compiles.
+    let session = Session::with_variant(Variant::Ffb);
+    let compiled = session.compile(program).expect("the program type checks");
+    let outcome = session.run(&compiled);
 
     print!("{}", outcome.output);
     match outcome.result {

@@ -5,6 +5,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The `pub` surface of the smlc crate, one canonical line per item
+# (see docs/API.md and the snapshot gate below).
+api_snapshot() {
+  grep -rhoE '^[[:space:]]*pub (fn|struct|enum|trait|const|type) [A-Za-z_][A-Za-z0-9_]*' crates/core/src \
+    | sed -E 's/^[[:space:]]+//' | LC_ALL=C sort -u
+}
+
+if [[ "${1:-}" == "--update-api-surface" ]]; then
+  api_snapshot > tests/api_surface.txt
+  echo "updated tests/api_surface.txt ($(wc -l < tests/api_surface.txt) items)"
+  exit 0
+fi
+
 echo "== tier-1: build (release) =="
 cargo build --release
 
@@ -17,6 +30,23 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Public-API snapshot: the `pub` surface of the smlc crate is pinned in
+# tests/api_surface.txt (see docs/API.md). An intentional surface change
+# regenerates the file with the same recipe; an accidental one fails
+# here.
+echo "== public API surface =="
+if ! diff -u tests/api_surface.txt <(api_snapshot); then
+  echo "error: public API surface drifted from tests/api_surface.txt" >&2
+  echo "  regenerate with: scripts/verify.sh --update-api-surface" >&2
+  exit 1
+fi
+
+# The deprecated free-function shims must keep building warning-free:
+# tests/deprecated_shims.rs is the one sanctioned caller, and nothing
+# else in the workspace may trip a deprecation warning.
+echo "== deprecated shim path (deny warnings) =="
+RUSTFLAGS="-D warnings" cargo check -q -p smlc --all-targets
+
 # Differential fuzz smoke (docs/ROBUSTNESS.md): seeded well-typed
 # programs under all six variants, demanding no panic, no trap, and
 # identical output. First a short dev-profile pass so debug assertions
@@ -26,5 +56,12 @@ cargo run -q -p smlc-bench --bin fuzz_smoke -- --seeds=40
 
 echo "== fuzz smoke (release, 200 seeds) =="
 cargo run -q --release -p smlc-bench --bin fuzz_smoke
+
+# Artifact-cache benchmark: runs the 12x6 matrix cache-off, cold, and
+# warm in one reused session, asserts the warm pass is served entirely
+# from cache with outcomes byte-identical to the serial cold path, and
+# writes the BENCH_pr3.json trajectory.
+echo "== cache bench (BENCH_pr3.json) =="
+cargo run -q --release -p smlc-bench --bin cache_bench
 
 echo "verify: all gates passed"

@@ -2,11 +2,22 @@
 //! exercising several subsystems at once, and property-test the
 //! compiler's end-to-end arithmetic against a Rust oracle.
 
-use smlc::{compile, compile_and_run, Variant, VmResult};
+use smlc::{CompileError, Compiled, Outcome, Session, Variant, VmResult};
+
+/// Compiles through a fresh single-variant session (the supported API;
+/// the old free `compile` is a deprecated shim over the same engine).
+fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
+    Session::with_variant(v).compile(src)
+}
+
+/// Session-based replacement for the old free `compile_and_run`.
+fn compile_and_run(src: &str) -> Result<Outcome, CompileError> {
+    Session::default().compile_and_run(src)
+}
 
 fn output_all_variants(src: &str) -> String {
     let mut first: Option<String> = None;
-    for v in Variant::all() {
+    for v in Variant::ALL {
         let o = compile(src, v)
             .unwrap_or_else(|e| panic!("[{v}] {e}"))
             .run();

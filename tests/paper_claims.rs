@@ -3,7 +3,13 @@
 //! substrate-dependent (see DESIGN.md), but these directional properties
 //! must hold for the reproduction to be faithful.
 
-use smlc::{compile, Variant};
+use smlc::{CompileError, Compiled, Session, Variant};
+
+/// Compiles through a fresh single-variant session (the supported API;
+/// the old free `compile` is a deprecated shim over the same engine).
+fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
+    Session::with_variant(v).compile(src)
+}
 
 fn cycles(src: &str, v: Variant) -> u64 {
     compile(src, v).expect("compiles").run().stats.cycles
@@ -130,7 +136,7 @@ fn recursive_datatypes_use_standard_boxed_elements() {
         val _ = print (rtos (suml xs + suml ys))
     "#;
     let mut outs = Vec::new();
-    for v in Variant::all() {
+    for v in Variant::ALL {
         outs.push(compile(src, v).unwrap().run().output);
     }
     assert!(
