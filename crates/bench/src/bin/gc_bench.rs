@@ -1,0 +1,179 @@
+//! Compares the generational collector against the semispace baseline
+//! on the figure benchmarks and writes the `BENCH_pr4.json` trajectory
+//! document.
+//!
+//! ```sh
+//! cargo run --release -p smlc-bench --bin gc_bench               # writes BENCH_pr4.json
+//! cargo run --release -p smlc-bench --bin gc_bench -- --json=out.json
+//! ```
+//!
+//! Each benchmark is compiled once (under `sml.ffb`, the variant the
+//! paper uses for its allocation study) and then run four times on the
+//! same artifact:
+//!
+//! 1. the `Semispace` baseline — the PR 2 collector, bit for bit, and
+//! 2. the generational collector at three nursery sizes (16 Ki, 64 Ki,
+//!    256 Ki words), the middle one being the default configuration.
+//!
+//! The binary asserts that every configuration produces the identical
+//! result and printed output (the collector must be outcome-invisible),
+//! and that the generational default copies fewer total words than the
+//! semispace baseline over the benchmarks where the baseline collects
+//! at all — long-lived data (the prelude's closures, memo tables) is
+//! re-copied by every semispace collection but settles into tenured
+//! space under the generational scheme. A regression on either count
+//! exits nonzero.
+
+use smlc::{GcMode, Json, Outcome, Session, Variant, VmConfig, VmResult, METRICS_SCHEMA_VERSION};
+use smlc_bench::benchmarks;
+
+/// The three nursery sizes swept (words per half). The middle entry is
+/// `VmConfig::default().nursery_words`.
+const NURSERY_SWEEP: [usize; 3] = [16 << 10, 64 << 10, 256 << 10];
+
+/// The nursery size whose totals gate the copied-words regression check.
+const DEFAULT_NURSERY: usize = 64 << 10;
+
+fn gc_stats_json(o: &Outcome) -> Json {
+    let s = &o.stats;
+    Json::obj()
+        .field("cycles", s.cycles)
+        .field("alloc_words", s.alloc_words)
+        .field("collections", s.n_gcs)
+        .field("minor_collections", s.n_minor_gcs)
+        .field("major_collections", s.n_major_gcs)
+        .field("copied_words", s.gc_copied_words)
+        .field("promoted_words", s.promoted_words)
+        .field("remembered_set_peak", s.remembered_peak)
+        .field("gc_cycles", s.gc_cycles)
+        .field("max_minor_pause_cycles", s.max_minor_pause)
+        .field("max_major_pause_cycles", s.max_major_pause)
+}
+
+fn main() {
+    let mut path = "BENCH_pr4.json".to_owned();
+    for a in std::env::args().skip(1) {
+        if let Some(p) = a.strip_prefix("--json=") {
+            path = p.to_owned();
+        } else {
+            eprintln!("unknown argument `{a}` (only --json=PATH)");
+            std::process::exit(2);
+        }
+    }
+
+    let variant = Variant::Ffb;
+    let base_cfg = variant.vm_config();
+    let semispace = VmConfig {
+        gc_mode: GcMode::Semispace,
+        ..base_cfg
+    };
+
+    let session = Session::with_variant(variant);
+    let mut rows: Vec<Json> = Vec::new();
+    // Totals over benchmarks where the baseline actually collects.
+    let mut base_copied_total: u64 = 0;
+    let mut gen_copied_total: u64 = 0;
+    let mut gating_benchmarks = 0usize;
+
+    for b in benchmarks() {
+        let compiled = session
+            .compile(&b.source())
+            .unwrap_or_else(|e| panic!("{} failed to compile under {variant}: {e}", b.name));
+
+        let base = compiled.run_with(&semispace);
+        assert!(
+            matches!(base.result, VmResult::Value(_)),
+            "{} ended abnormally under the semispace baseline: {:?}",
+            b.name,
+            base.result
+        );
+
+        let mut row = Json::obj()
+            .field("name", b.name)
+            .field("semispace", gc_stats_json(&base));
+        let mut sweep = Vec::new();
+        for nursery in NURSERY_SWEEP {
+            let gen = compiled.run_with(&VmConfig {
+                gc_mode: GcMode::Generational,
+                nursery_words: nursery,
+                ..base_cfg
+            });
+            assert_eq!(
+                gen.result, base.result,
+                "{} @ nursery {nursery}: result diverges from the semispace baseline",
+                b.name
+            );
+            assert_eq!(
+                gen.output, base.output,
+                "{} @ nursery {nursery}: output diverges from the semispace baseline",
+                b.name
+            );
+            if nursery == DEFAULT_NURSERY && base.stats.n_gcs > 0 {
+                base_copied_total += base.stats.gc_copied_words;
+                gen_copied_total += gen.stats.gc_copied_words;
+                gating_benchmarks += 1;
+            }
+            sweep.push(
+                Json::obj()
+                    .field("nursery_words", nursery)
+                    .field("stats", gc_stats_json(&gen)),
+            );
+        }
+        row = row.field("generational", Json::Arr(sweep));
+        rows.push(row);
+
+        println!(
+            "{:8}  alloc {:>10}  semispace: {:>3} gcs / {:>9} copied",
+            b.name, base.stats.alloc_words, base.stats.n_gcs, base.stats.gc_copied_words
+        );
+    }
+
+    println!(
+        "gc_bench: outputs byte-identical across all collector configurations ({} benchmarks x {} runs)",
+        rows.len(),
+        NURSERY_SWEEP.len() + 1
+    );
+    println!(
+        "copied words over the {gating_benchmarks} collecting benchmarks: semispace {base_copied_total}, generational {gen_copied_total}"
+    );
+    let copied_ok = gating_benchmarks == 0 || gen_copied_total < base_copied_total;
+    if !copied_ok {
+        eprintln!(
+            "REGRESSION: generational collector copied {gen_copied_total} words, \
+             semispace baseline {base_copied_total}"
+        );
+    }
+
+    let doc = Json::obj()
+        .field("schema_version", METRICS_SCHEMA_VERSION)
+        .field("generator", "gc_bench")
+        .field("variant", variant.name())
+        .field(
+            "config",
+            Json::obj()
+                .field("nursery_sweep_words", NURSERY_SWEEP.to_vec())
+                .field("default_nursery_words", DEFAULT_NURSERY)
+                .field("tenured_words", base_cfg.tenured_words)
+                .field("promote_after", u64::from(base_cfg.promote_after)),
+        )
+        .field("benchmarks", Json::Arr(rows))
+        .field(
+            "summary",
+            Json::obj()
+                .field("gating_benchmarks", gating_benchmarks)
+                .field("semispace_copied_words", base_copied_total)
+                .field("generational_copied_words", gen_copied_total)
+                .field("generational_copies_less", copied_ok)
+                .field("outputs_identical", true),
+        );
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+    if !copied_ok {
+        std::process::exit(1);
+    }
+}

@@ -221,7 +221,7 @@ fn main() -> ExitCode {
                 StatsMode::Off => {}
                 StatsMode::Human => eprintln!(
                     "[{}] code {} instrs | compile {:?} | cycles {} | instrs {} | \
-                     alloc {} words | gcs {} | cache {}",
+                     alloc {} words | gcs {} ({} minor, {} major) | cache {}",
                     v.name(),
                     compiled.stats.code_size,
                     compiled.stats.compile_time,
@@ -229,6 +229,8 @@ fn main() -> ExitCode {
                     outcome.stats.instrs,
                     outcome.stats.alloc_words,
                     outcome.stats.n_gcs,
+                    outcome.stats.n_minor_gcs,
+                    outcome.stats.n_major_gcs,
                     if compiled.from_cache { "hit" } else { "miss" },
                 ),
                 StatsMode::Json => {

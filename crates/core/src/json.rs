@@ -162,14 +162,17 @@ impl From<i64> for Json {
 }
 
 impl From<u64> for Json {
+    /// Saturates at `i64::MAX` instead of wrapping: counter totals near
+    /// the top of the `u64` range must never serialize negative.
     fn from(n: u64) -> Json {
-        Json::Int(n as i64)
+        Json::Int(i64::try_from(n).unwrap_or(i64::MAX))
     }
 }
 
 impl From<usize> for Json {
+    /// Saturates at `i64::MAX` instead of wrapping (see `From<u64>`).
     fn from(n: usize) -> Json {
-        Json::Int(n as i64)
+        Json::Int(i64::try_from(n).unwrap_or(i64::MAX))
     }
 }
 
@@ -217,6 +220,25 @@ mod tests {
             j.to_string_compact(),
             r#"{"s":"a\"b\\c\nd\u0001","n":42,"f":1.5,"whole":2.0,"neg":-7,"arr":[1,2,3],"nested":{"ok":true},"empty":{},"nan":null}"#
         );
+    }
+
+    #[test]
+    fn unsigned_conversions_saturate_instead_of_wrapping() {
+        // `u64::MAX as i64` would be -1; counters must never serialize
+        // negative, so the conversion saturates.
+        assert_eq!(
+            Json::from(u64::MAX).to_string_compact(),
+            i64::MAX.to_string()
+        );
+        assert_eq!(
+            Json::from(i64::MAX as u64 + 1).to_string_compact(),
+            i64::MAX.to_string()
+        );
+        assert_eq!(
+            Json::from(usize::MAX).to_string_compact(),
+            i64::MAX.to_string()
+        );
+        assert_eq!(Json::from(42u64).to_string_compact(), "42");
     }
 
     #[test]

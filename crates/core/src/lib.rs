@@ -50,7 +50,7 @@ pub use metrics::{error_json, result_tag, Metrics, RunMetrics, METRICS_SCHEMA_VE
 pub use pipeline::{CompileStats, Compiled, Limits};
 pub use session::{par_map, CacheStats, Job, Session, SessionBuilder, SessionError};
 pub use sml_cps::OptConfig;
-pub use sml_vm::{FaultInject, InstrClass, Outcome, RunStats, VmConfig, VmResult};
+pub use sml_vm::{FaultInject, GcMode, InstrClass, Outcome, RunStats, VmConfig, VmResult};
 
 #[allow(deprecated)]
 pub use pipeline::{compile, compile_and_run, compile_full, compile_with};

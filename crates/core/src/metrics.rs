@@ -208,7 +208,15 @@ fn run_json(r: &RunMetrics) -> Json {
             Json::obj()
                 .field("collections", s.n_gcs)
                 .field("copied_words", s.gc_copied_words)
-                .field("cycles", s.gc_cycles),
+                .field("cycles", s.gc_cycles)
+                .field("minor_collections", s.n_minor_gcs)
+                .field("major_collections", s.n_major_gcs)
+                .field("promoted_words", s.promoted_words)
+                .field("remembered_set_peak", s.remembered_peak)
+                .field("minor_cycles", s.minor_gc_cycles)
+                .field("major_cycles", s.major_gc_cycles)
+                .field("max_minor_pause_cycles", s.max_minor_pause)
+                .field("max_major_pause_cycles", s.max_major_pause),
         )
         .field("cycles_by_class", by_class_json(&s.cycles_by_class))
         .field("instrs_by_class", by_class_json(&s.instrs_by_class))

@@ -343,14 +343,17 @@ impl SessionBuilder {
             return err("cache_capacity must be nonzero when the cache is enabled".into());
         }
         if let Some(vm) = &self.vm {
-            if vm.nursery_words == 0 || vm.semi_words == 0 {
-                return err("vm nursery and semispace must be nonzero".into());
+            if vm.nursery_words == 0 || vm.tenured_words == 0 {
+                return err("vm nursery and tenured space must be nonzero".into());
             }
-            if vm.nursery_words > vm.semi_words {
+            if vm.nursery_words > vm.tenured_words {
                 return err(format!(
-                    "vm nursery ({} words) exceeds the semispace ({} words)",
-                    vm.nursery_words, vm.semi_words
+                    "vm nursery ({} words) exceeds the tenured space ({} words)",
+                    vm.nursery_words, vm.tenured_words
                 ));
+            }
+            if vm.promote_after == 0 {
+                return err("vm.promote_after is 1-based; it must be nonzero".into());
             }
             if vm.max_cycles == 0 {
                 return err("vm.max_cycles must be nonzero".into());
@@ -399,9 +402,14 @@ fn fingerprint(b: &SessionBuilder) -> u64 {
         Some(vm) => {
             h.write_u8(1);
             h.write_u8(vm.fp3_overhead as u8);
+            h.write_u8(match vm.gc_mode {
+                sml_vm::GcMode::Generational => 0,
+                sml_vm::GcMode::Semispace => 1,
+            });
             h.write_usize(vm.nursery_words);
             h.write_u64(vm.max_cycles);
-            h.write_usize(vm.semi_words);
+            h.write_usize(vm.tenured_words);
+            h.write_u32(vm.promote_after);
             h.write_u64(vm.fault.fail_alloc_at.map_or(0, |n| n ^ u64::MAX));
             h.write_u64(vm.fault.gc_every_n_allocs.map_or(0, |n| n ^ u64::MAX));
         }
@@ -782,7 +790,12 @@ mod tests {
             .is_err());
         let vm = VmConfig {
             nursery_words: 1024,
-            semi_words: 512,
+            tenured_words: 512,
+            ..VmConfig::default()
+        };
+        assert!(Session::builder().vm_config(vm).build().is_err());
+        let vm = VmConfig {
+            promote_after: 0,
             ..VmConfig::default()
         };
         assert!(Session::builder().vm_config(vm).build().is_err());

@@ -107,6 +107,64 @@ fn generated_programs_survive_fault_injection() {
 }
 
 #[test]
+fn generated_programs_agree_across_collector_modes() {
+    // Collector-mode differential: the same compiled program must
+    // behave byte-identically under the default generational
+    // configuration, the semispace baseline collector, and a
+    // pathological generational setup (tiny nursery, immediate
+    // promotion) that maximizes minor-collection and promotion traffic.
+    use smlc::{GcMode, VmConfig};
+    let cfg = GenConfig {
+        items: 3,
+        ..GenConfig::default()
+    };
+    run_cases(
+        "generated_programs_agree_across_collector_modes",
+        10,
+        |rng| {
+            let src = gen_program(rng, &cfg);
+            for v in Variant::ALL {
+                let c = compile(&src, v)
+                    .unwrap_or_else(|e| panic!("[{}] compile failed: {e}\n{src}", v.name()));
+                let reference = c.run();
+                let modes: [(&str, VmConfig); 2] = [
+                    (
+                        "semispace",
+                        VmConfig {
+                            gc_mode: GcMode::Semispace,
+                            ..v.vm_config()
+                        },
+                    ),
+                    (
+                        "tiny-nursery",
+                        VmConfig {
+                            nursery_words: 1 << 10,
+                            promote_after: 1,
+                            ..v.vm_config()
+                        },
+                    ),
+                ];
+                for (name, vm) in modes {
+                    let alt = c.run_with(&vm);
+                    assert_eq!(
+                        reference.result,
+                        alt.result,
+                        "[{} / {name}] collector mode changed the result for\n{src}",
+                        v.name()
+                    );
+                    assert_eq!(
+                        reference.output,
+                        alt.output,
+                        "[{} / {name}] collector mode changed the output for\n{src}",
+                        v.name()
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
 fn seeded_corpus_is_stable() {
     // The generator is part of the reproducibility story: the corpus a
     // seed denotes must never drift silently. Pin one program's shape.

@@ -81,7 +81,7 @@ fn golden_default_metrics_document() {
         "\"beta\":0,\"inlined\":0,\"dead\":0},\"warnings\":0},",
         "\"run\":{\"result\":\"value\",\"cycles\":0,\"instrs\":0,",
         "\"alloc_words\":0,\"n_allocs\":0,",
-        "\"gc\":{\"collections\":0,\"copied_words\":0,\"cycles\":0},",
+        "\"gc\":{\"collections\":0,\"copied_words\":0,\"cycles\":0,\"minor_collections\":0,\"major_collections\":0,\"promoted_words\":0,\"remembered_set_peak\":0,\"minor_cycles\":0,\"major_cycles\":0,\"max_minor_pause_cycles\":0,\"max_major_pause_cycles\":0},",
         "\"cycles_by_class\":{\"move\":0,\"int-arith\":0,\"float-arith\":0,",
         "\"memory\":0,\"alloc\":0,\"branch\":0,\"jump\":0,\"runtime\":0,",
         "\"control\":0,\"gc\":0},",

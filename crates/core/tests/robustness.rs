@@ -175,7 +175,7 @@ const LIST_BUILDER: &str = "
 fn heap_ceiling_traps_instead_of_aborting() {
     let c = compile(LIST_BUILDER, Variant::Ffb).unwrap();
     let o = c.run_with(&VmConfig {
-        semi_words: 2_048,
+        tenured_words: 2_048,
         nursery_words: 512,
         ..VmConfig::default()
     });

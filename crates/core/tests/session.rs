@@ -245,7 +245,7 @@ fn compile_and_run_honors_session_vm_config() {
     // that bug now lives only in the deprecated shim).
     let tiny = VmConfig {
         nursery_words: 128,
-        semi_words: 512,
+        tenured_words: 512,
         ..VmConfig::default()
     };
     let session = Session::builder().vm_config(tiny).build().expect("valid");
@@ -303,7 +303,7 @@ fn builder_rejects_invalid_configurations() {
     assert!(Session::builder().vm_config(zero_cycles).build().is_err());
     let inverted = VmConfig {
         nursery_words: 1024,
-        semi_words: 512,
+        tenured_words: 512,
         ..VmConfig::default()
     };
     assert!(

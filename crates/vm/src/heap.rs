@@ -1,5 +1,5 @@
 //! The runtime heap: tagged values, two-part object descriptors (paper
-//! Figure 1c), and a Cheney semispace copying collector.
+//! Figure 1c), and a two-generation copying collector.
 //!
 //! A value is one 32-bit word: a tagged 31-bit integer (low bit set) or a
 //! 4-byte-aligned pointer (low bit clear). An object is a descriptor word
@@ -7,6 +7,29 @@
 //! (unboxed floats, string bytes); the descriptor records both lengths,
 //! exactly the "two short integers" of the paper's reordered flat
 //! records.
+//!
+//! # Collector
+//!
+//! In [`GcMode::Generational`] (the default) the collected heap is a
+//! nursery plus a tenured space, each a Cheney semispace pair. New
+//! objects are bump-allocated in the nursery (objects too large for it
+//! go straight to tenured space). A *minor* collection evacuates live
+//! nursery objects, promoting those that have survived
+//! [`HeapConfig::promote_after`] minor collections into tenured space
+//! and copying the rest to the nursery to-space. Minor collections
+//! never scan tenured space: the only tenured words they visit are the
+//! slots in the *remembered set*, maintained by
+//! [`Heap::store_barriered`] whenever a mutation creates a
+//! tenured→nursery pointer. A *major* collection copies everything
+//! live — both generations — into a fresh tenured semispace; it is the
+//! final attempt before the VM traps with `HeapExhausted`.
+//!
+//! [`GcMode::Semispace`] keeps the pre-generational single-semispace
+//! collector (every collection copies the whole live set on a fixed
+//! allocation schedule) as a reference baseline for differential
+//! testing and the `gc_bench` comparison.
+
+use std::collections::HashSet;
 
 /// Object classification stored in the descriptor's low bits.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,51 +78,148 @@ pub fn is_ptr(w: u32) -> bool {
     w & 1 == 0 && w != 0
 }
 
-/// The heap. The low `static_end` words form an immortal region for
-/// pooled string literals; the rest is split into two semispaces.
+/// Collector selection for a [`Heap`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum GcMode {
+    /// Two generations: nursery minor collections with promotion into a
+    /// tenured space, write barrier, remembered set.
+    #[default]
+    Generational,
+    /// The single Cheney semispace of earlier revisions: every
+    /// collection copies the entire live set. The `nursery_words` knob
+    /// becomes a pure allocation schedule (collect every N words).
+    Semispace,
+}
+
+/// Which collection to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GcKind {
+    /// Evacuate the nursery, promoting survivors per the age policy.
+    /// In [`GcMode::Semispace`] this degrades to a full collection.
+    Minor,
+    /// Collect both generations into a fresh tenured semispace.
+    Major,
+}
+
+/// Geometry and policy knobs for [`Heap::new`].
+#[derive(Clone, Copy, Debug)]
+pub struct HeapConfig {
+    /// Collector selection.
+    pub mode: GcMode,
+    /// Nursery semispace size in words (generational mode); in
+    /// semispace mode, the allocation interval between collections.
+    pub nursery_words: usize,
+    /// Tenured semispace size in words — the heap ceiling.
+    pub tenured_words: usize,
+    /// Minor collections an object must survive before promotion
+    /// (1-based; clamped to at least 1).
+    pub promote_after: u32,
+    /// Immortal literal-pool region capacity in words.
+    pub static_words: usize,
+}
+
+impl Default for HeapConfig {
+    fn default() -> HeapConfig {
+        HeapConfig {
+            mode: GcMode::Generational,
+            nursery_words: 64 * 1024,
+            tenured_words: 8 << 20,
+            promote_after: 2,
+            static_words: 64 * 1024,
+        }
+    }
+}
+
+/// Allocation target for a given request size.
+enum Space {
+    Nursery,
+    Tenured,
+}
+
+/// The heap. Word layout: the low `static_end` words form an immortal
+/// region for pooled string literals, followed by the two nursery
+/// halves (absent in semispace mode) and the two tenured halves.
 pub struct Heap {
     mem: Vec<u32>,
     static_free: usize,
     static_end: usize,
-    semi_words: usize,
-    /// Current allocation space base (word index).
-    from_base: usize,
-    /// Next free word in the current space.
-    free: usize,
-    /// Words allocated since the last collection (minor-GC trigger).
+    mode: GcMode,
+    /// Nursery semispace size in words (0 in semispace mode).
+    nursery_words: usize,
+    /// Semispace-mode collection schedule: collect once this many words
+    /// have been allocated since the last collection.
+    trigger_words: usize,
+    /// Tenured semispace size in words.
+    tenured_words: usize,
+    /// Minor collections an object must survive before promotion.
+    promote_after: u32,
+    /// Current nursery from-space base and bump pointer.
+    n_base: usize,
+    n_free: usize,
+    /// Current tenured from-space base and bump pointer.
+    t_base: usize,
+    t_free: usize,
+    /// Words allocated since the last collection (semispace trigger).
     since_gc: usize,
-    /// Simulated nursery size in words: a collection runs whenever this
-    /// many words have been allocated.
-    pub nursery_words: usize,
+    /// Minor collections survived, per nursery body index (relative to
+    /// `static_end`; covers both halves).
+    ages: Vec<u8>,
+    /// Remembered set: tenured slots holding nursery pointers, in
+    /// insertion order (determinism), deduplicated via `rs_member`.
+    remembered: Vec<usize>,
+    rs_member: HashSet<usize>,
     /// Total words ever allocated (the heap-allocation metric).
     pub alloc_words: u64,
     /// Total objects ever allocated (bump-pointer allocations, including
     /// strings; excludes the immortal literal pool).
     pub n_allocs: u64,
-    /// Total words copied by the collector.
+    /// Total words copied by the collector (minor and major).
     pub copied_words: u64,
-    /// Number of collections.
+    /// Number of collections (minor + major).
     pub n_gcs: u64,
+    /// Number of minor collections.
+    pub n_minor_gcs: u64,
+    /// Number of major collections.
+    pub n_major_gcs: u64,
+    /// Words moved from the nursery into tenured space.
+    pub promoted_words: u64,
+    /// High-water mark of the remembered set, in slots.
+    pub rs_peak: u64,
 }
 
 impl Heap {
-    /// Creates a heap with the given semispace size (words) and immortal
-    /// region capacity.
-    pub fn new(semi_words: usize, static_words: usize) -> Heap {
-        let total = static_words + 2 * semi_words;
+    /// Creates a heap with the given geometry.
+    pub fn new(cfg: &HeapConfig) -> Heap {
+        let n = match cfg.mode {
+            GcMode::Generational => cfg.nursery_words,
+            GcMode::Semispace => 0,
+        };
+        let t_lo = cfg.static_words + 2 * n;
         Heap {
-            mem: vec![0; total],
+            mem: vec![0; t_lo + 2 * cfg.tenured_words],
             static_free: 1, // keep address 0 invalid
-            static_end: static_words,
-            semi_words,
-            from_base: static_words,
-            free: static_words,
+            static_end: cfg.static_words,
+            mode: cfg.mode,
+            nursery_words: n,
+            trigger_words: cfg.nursery_words,
+            tenured_words: cfg.tenured_words,
+            promote_after: cfg.promote_after.max(1),
+            n_base: cfg.static_words,
+            n_free: cfg.static_words,
+            t_base: t_lo,
+            t_free: t_lo,
             since_gc: 0,
-            nursery_words: 64 * 1024,
+            ages: vec![0; 2 * n],
+            remembered: Vec::new(),
+            rs_member: HashSet::new(),
             alloc_words: 0,
             n_allocs: 0,
             copied_words: 0,
             n_gcs: 0,
+            n_minor_gcs: 0,
+            n_major_gcs: 0,
+            promoted_words: 0,
+            rs_peak: 0,
         }
     }
 
@@ -111,14 +231,92 @@ impl Heap {
         (ptr >> 2) as usize
     }
 
+    /// Words an allocation of `want` body words actually occupies: the
+    /// body, padded to at least one word so the collector always has
+    /// room for a forwarding pointer, plus the descriptor. The single
+    /// accounting predicate shared by [`Heap::needs_gc`],
+    /// [`Heap::has_room`], and the allocator.
+    fn footprint(want: usize) -> usize {
+        want.max(1) + 1
+    }
+
+    fn in_range(at: usize, base: usize, len: usize) -> bool {
+        at >= base && at < base + len
+    }
+
+    fn in_tenured(&self, at: usize) -> bool {
+        at >= self.static_end + 2 * self.nursery_words
+    }
+
+    /// Where an allocation of `want` body words goes: the nursery, or —
+    /// for objects too large to ever fit there, and for everything in
+    /// semispace mode — directly into tenured space.
+    fn target_space(&self, want: usize) -> Space {
+        if self.mode == GcMode::Generational && Heap::footprint(want) <= self.nursery_words {
+            Space::Nursery
+        } else {
+            Space::Tenured
+        }
+    }
+
     /// Reads the word at `ptr + off` words.
     pub fn load(&self, ptr: u32, off: usize) -> u32 {
         self.mem[Heap::idx_of(ptr) + off]
     }
 
-    /// Writes the word at `ptr + off`.
+    /// Writes the word at `ptr + off` with no write barrier. Only for
+    /// stores that can never create a tenured→nursery pointer:
+    /// initializing stores into just-allocated nursery objects and
+    /// unboxed (non-pointer) mutations.
     pub fn store(&mut self, ptr: u32, off: usize, v: u32) {
         self.mem[Heap::idx_of(ptr) + off] = v;
+    }
+
+    /// Stores through the generational write barrier (the `:=` and
+    /// array-update paths): when the store creates a tenured→nursery
+    /// pointer, the slot joins the remembered set so the next minor
+    /// collection finds it without scanning tenured space.
+    pub fn store_barriered(&mut self, ptr: u32, off: usize, v: u32) {
+        let base = Heap::idx_of(ptr);
+        self.mem[base + off] = v;
+        if is_ptr(v)
+            && self.in_tenured(base)
+            && Heap::in_range(Heap::idx_of(v), self.static_end, 2 * self.nursery_words)
+        {
+            self.remember(base + off);
+        }
+    }
+
+    /// True when storing `v` into the object at `ptr` would create a
+    /// tenured→nursery edge, i.e. the write barrier is required. The VM
+    /// debug-asserts this is false on its unbarriered unboxed stores.
+    pub fn would_need_barrier(&self, ptr: u32, v: u32) -> bool {
+        is_ptr(ptr)
+            && is_ptr(v)
+            && self.in_tenured(Heap::idx_of(ptr))
+            && Heap::in_range(Heap::idx_of(v), self.static_end, 2 * self.nursery_words)
+    }
+
+    fn remember(&mut self, slot: usize) {
+        if self.rs_member.insert(slot) {
+            self.remembered.push(slot);
+            self.rs_peak = self.rs_peak.max(self.remembered.len() as u64);
+        }
+    }
+
+    /// Current remembered-set size in slots.
+    pub fn remembered_len(&self) -> usize {
+        self.remembered.len()
+    }
+
+    /// True in generational mode.
+    pub fn is_generational(&self) -> bool {
+        self.mode == GcMode::Generational
+    }
+
+    /// True when `ptr` points into tenured space.
+    pub fn is_tenured_ptr(&self, ptr: u32) -> bool {
+        is_ptr(ptr) && self.in_tenured(Heap::idx_of(ptr))
     }
 
     /// Reads a raw float at word offset `off`.
@@ -141,41 +339,63 @@ impl Heap {
         self.mem[Heap::idx_of(ptr) - 1]
     }
 
-    /// True if a collection should run before allocating `want` words.
+    /// True if a collection should run before allocating `want` body
+    /// words: the target space cannot fit the allocation (plus, in
+    /// semispace mode, the fixed allocation schedule has elapsed).
     pub fn needs_gc(&self, want: usize) -> bool {
-        self.since_gc + want + 1 > self.nursery_words
-            || self.free + want + 1 > self.from_base + self.semi_words
-    }
-
-    /// True if the current semispace can hold `want` more body words
-    /// (plus a descriptor). When this still fails right after a
-    /// collection, the live data genuinely does not fit: the heap is
-    /// exhausted.
-    pub fn has_room(&self, want: usize) -> bool {
-        self.free + want < self.from_base + self.semi_words
-    }
-
-    fn bump(&mut self, total_words: usize) -> Option<usize> {
-        if self.free + total_words >= self.from_base + self.semi_words {
-            return None; // semispace exhausted; caller traps
+        match self.mode {
+            GcMode::Generational => !self.has_room(want),
+            GcMode::Semispace => {
+                self.since_gc + Heap::footprint(want) > self.trigger_words || !self.has_room(want)
+            }
         }
-        let at = self.free + 1; // descriptor goes at `free`
-        self.free += total_words + 1;
-        self.since_gc += total_words + 1;
-        self.alloc_words += (total_words + 1) as u64;
+    }
+
+    /// True if the space an allocation of `want` body words targets can
+    /// hold its full footprint (body plus descriptor, empty objects
+    /// padded). Exactly the predicate [`Heap::alloc`] uses, so
+    /// `has_room(want)` ⇔ the next `alloc` of that size succeeds. When
+    /// this still fails right after a major collection, the live data
+    /// genuinely does not fit: the heap is exhausted.
+    pub fn has_room(&self, want: usize) -> bool {
+        let (free, limit) = match self.target_space(want) {
+            Space::Nursery => (self.n_free, self.n_base + self.nursery_words),
+            Space::Tenured => (self.t_free, self.t_base + self.tenured_words),
+        };
+        Heap::footprint(want) <= limit - free
+    }
+
+    fn bump(&mut self, want: usize) -> Option<usize> {
+        if !self.has_room(want) {
+            return None; // space exhausted; caller collects or traps
+        }
+        let total = Heap::footprint(want);
+        let at = match self.target_space(want) {
+            Space::Nursery => {
+                let at = self.n_free + 1;
+                self.n_free += total;
+                self.ages[at - self.static_end] = 0;
+                at
+            }
+            Space::Tenured => {
+                let at = self.t_free + 1;
+                self.t_free += total;
+                at
+            }
+        };
+        self.since_gc += total;
+        self.alloc_words += total as u64;
         self.n_allocs += 1;
         Some(at)
     }
 
     /// Allocates an object with `nscan` scanned one-word fields and
     /// `nraw` raw float fields (two words each), uninitialized; returns
-    /// the pointer, or `None` when the semispace is exhausted (the VM
+    /// the pointer, or `None` when the target space is exhausted (the VM
     /// turns that into a [`HeapExhausted`](crate::VmResult::HeapExhausted)
     /// trap after a final collection attempt).
     pub fn alloc(&mut self, kind: ObjKind, nscan: u32, nraw: u32) -> Option<u32> {
-        // Zero-length objects still get one body word so the collector
-        // has room for a forwarding pointer.
-        let at = self.bump(((nscan + 2 * nraw) as usize).max(1))?;
+        let at = self.bump((nscan + 2 * nraw) as usize)?;
         self.mem[at - 1] = descriptor(kind, nscan, nraw);
         Some(Heap::ptr_of(at))
     }
@@ -188,8 +408,8 @@ impl Heap {
     /// elements (the scanned-field count doubles as the length).
     pub const MAX_ARRAY_LEN: usize = (1 << SCAN_BITS) - 1;
 
-    /// Allocates a string in the collected heap; `None` when the
-    /// semispace is exhausted.
+    /// Allocates a string in the collected heap; `None` when the target
+    /// space is exhausted.
     ///
     /// # Panics
     ///
@@ -201,8 +421,7 @@ impl Heap {
             bytes.len() <= Heap::MAX_STRING_BYTES,
             "string too long for descriptor"
         );
-        let nraw = bytes.len().div_ceil(4);
-        let at = self.bump(nraw.max(1))?;
+        let at = self.bump(bytes.len().div_ceil(4))?;
         self.mem[at - 1] = (ObjKind::Str as u32) | ((bytes.len() as u32) << SCAN_SHIFT);
         for (i, chunk) in bytes.chunks(4).enumerate() {
             let mut w = 0u32;
@@ -274,6 +493,15 @@ impl Heap {
         n.max(1)
     }
 
+    /// Pointer-valued field count of an object (strings are all raw).
+    fn scanned_fields(kind: u32, nscan: u32) -> usize {
+        if kind == ObjKind::Str as u32 {
+            0
+        } else {
+            nscan as usize
+        }
+    }
+
     /// Validates that `ptr` is a plausible object pointer and that the
     /// word range `[off, off + words)` lies inside that object's body.
     /// Returns the violation reason on failure; the VM converts it into
@@ -322,87 +550,212 @@ impl Heap {
         Ok(())
     }
 
-    /// Cheney copying collection. `roots` are updated in place.
-    pub fn collect(&mut self, roots: &mut [&mut u32]) {
+    /// Runs a collection; `roots` are updated in place. Returns `false`
+    /// only when a major collection overflowed its to-space — the live
+    /// data exceeds one tenured semispace — in which case the heap is
+    /// no longer usable and the caller must trap immediately. Minor
+    /// collections cannot fail: survivors always fit in the nursery
+    /// to-space (promotion falls back to keeping objects young when
+    /// tenured space is full).
+    pub fn collect(&mut self, roots: &mut [&mut u32], kind: GcKind) -> bool {
+        match (self.mode, kind) {
+            (GcMode::Generational, GcKind::Minor) => {
+                self.collect_minor(roots);
+                true
+            }
+            _ => self.collect_major(roots),
+        }
+    }
+
+    /// Minor collection: Cheney over the nursery only. Roots are the
+    /// VM roots plus the remembered set; copy targets are the nursery
+    /// to-space and (for promotion) the tenured bump frontier.
+    fn collect_minor(&mut self, roots: &mut [&mut u32]) {
         self.n_gcs += 1;
-        let to_base = if self.from_base == self.static_end {
-            self.static_end + self.semi_words
+        self.n_minor_gcs += 1;
+        let to_base = if self.n_base == self.static_end {
+            self.static_end + self.nursery_words
         } else {
             self.static_end
         };
-        let mut free = to_base;
-        let mut scan = to_base;
+        let mut n_free = to_base;
+        let mut n_scan = to_base;
+        let mut t_scan = self.t_free; // promoted objects land from here
 
-        // Forward the roots.
         for r in roots.iter_mut() {
-            **r = self.forward(**r, &mut free);
+            **r = self.forward_minor(**r, &mut n_free);
         }
-        // Scan copied objects.
-        while scan < free {
-            let desc = self.mem[scan];
-            let (kind, nscan, nraw) = decode(desc);
-            let fields = scan + 1;
-            let n = if kind == ObjKind::Str as u32 {
-                // Strings: descriptor stores byte length; all raw.
-                (nscan as usize).div_ceil(4)
-            } else if kind == ObjKind::Array as u32 {
-                let len = nscan as usize;
-                for i in 0..len {
-                    let v = self.mem[fields + i];
-                    self.mem[fields + i] = self.forward(v, &mut free);
-                }
-                len
+        // Remembered slots are the only tenured words a minor collection
+        // visits; keep the ones whose target is still young.
+        let slots = std::mem::take(&mut self.remembered);
+        self.rs_member.clear();
+        for &slot in &slots {
+            let nv = self.forward_minor(self.mem[slot], &mut n_free);
+            self.mem[slot] = nv;
+            if is_ptr(nv) && Heap::in_range(Heap::idx_of(nv), to_base, self.nursery_words) {
+                self.remember(slot);
+            }
+        }
+        // Scan both copy targets to a fixpoint: scanning promoted
+        // objects can copy more into the nursery and vice versa.
+        while n_scan < n_free || t_scan < self.t_free {
+            if n_scan < n_free {
+                n_scan = self.scan_minor(n_scan, &mut n_free, to_base, false);
             } else {
-                for i in 0..nscan as usize {
-                    let v = self.mem[fields + i];
-                    self.mem[fields + i] = self.forward(v, &mut free);
-                }
-                (nscan + nraw * 2) as usize
-            };
-            let _ = n;
-            let total = match kind {
-                k if k == ObjKind::Str as u32 => (nscan as usize).div_ceil(4),
-                k if k == ObjKind::Array as u32 => nscan as usize,
-                _ => (nscan + nraw * 2) as usize,
-            };
-            // Empty objects occupy one pad word (forwarding space).
-            scan = fields + total.max(1);
+                t_scan = self.scan_minor(t_scan, &mut n_free, to_base, true);
+            }
         }
-        self.from_base = to_base;
-        self.free = free;
+        self.n_base = to_base;
+        self.n_free = n_free;
         self.since_gc = 0;
     }
 
-    fn forward(&mut self, v: u32, free: &mut usize) -> u32 {
+    /// Scans one object during a minor collection; `promoted` marks
+    /// objects living in tenured space, whose still-young fields must
+    /// join the remembered set. Returns the next scan position.
+    fn scan_minor(
+        &mut self,
+        at: usize,
+        n_free: &mut usize,
+        to_base: usize,
+        promoted: bool,
+    ) -> usize {
+        let desc = self.mem[at];
+        let (kind, nscan, nraw) = decode(desc);
+        let fields = at + 1;
+        for i in 0..Heap::scanned_fields(kind, nscan) {
+            let nv = self.forward_minor(self.mem[fields + i], n_free);
+            self.mem[fields + i] = nv;
+            if promoted
+                && is_ptr(nv)
+                && Heap::in_range(Heap::idx_of(nv), to_base, self.nursery_words)
+            {
+                self.remember(fields + i);
+            }
+        }
+        fields + Heap::body_words(kind, nscan, nraw)
+    }
+
+    fn forward_minor(&mut self, v: u32, n_free: &mut usize) -> u32 {
         if !is_ptr(v) {
             return v;
         }
         let at = Heap::idx_of(v);
-        if at < self.static_end {
-            return v; // immortal
+        if !Heap::in_range(at, self.n_base, self.nursery_words) {
+            return v; // static, tenured, or already evacuated
         }
         let desc = self.mem[at - 1];
         if desc & KIND_MASK == FORWARD {
             return self.mem[at]; // already copied; new addr in field 0
         }
         let (kind, nscan, nraw) = decode(desc);
-        let total = match kind {
-            k if k == ObjKind::Str as u32 => (nscan as usize).div_ceil(4),
-            k if k == ObjKind::Array as u32 => nscan as usize,
-            _ => (nscan + nraw * 2) as usize,
+        let total = Heap::body_words(kind, nscan, nraw);
+        let age = self.ages[at - self.static_end].saturating_add(1);
+        // Promotion needs `total` body words plus the descriptor.
+        let tenure = u32::from(age) >= self.promote_after
+            && total < self.t_base + self.tenured_words - self.t_free;
+        let new_at = if tenure {
+            let na = self.t_free + 1;
+            self.t_free += total + 1;
+            self.promoted_words += (total + 1) as u64;
+            na
+        } else {
+            // Not old enough — or tenured space is full, in which case
+            // the object stays young: survivors always fit in the
+            // to-space, so a minor collection cannot fail.
+            let na = *n_free + 1;
+            *n_free += total + 1;
+            self.ages[na - self.static_end] = age;
+            na
         };
+        self.mem[new_at - 1] = desc;
+        for i in 0..total {
+            self.mem[new_at + i] = self.mem[at + i];
+        }
+        self.copied_words += (total + 1) as u64;
+        let new_ptr = Heap::ptr_of(new_at);
+        self.mem[at - 1] = FORWARD;
+        self.mem[at] = new_ptr;
+        new_ptr
+    }
+
+    /// Major collection: Cheney over both generations into the other
+    /// tenured semispace. Returns `false` on to-space overflow (live
+    /// data exceeds one tenured semispace); the heap is then corrupt
+    /// mid-copy and the caller must end the run.
+    fn collect_major(&mut self, roots: &mut [&mut u32]) -> bool {
+        self.n_gcs += 1;
+        self.n_major_gcs += 1;
+        let t_lo = self.static_end + 2 * self.nursery_words;
+        let to_base = if self.t_base == t_lo {
+            t_lo + self.tenured_words
+        } else {
+            t_lo
+        };
+        let limit = to_base + self.tenured_words;
+        let mut free = to_base;
+        let mut scan = to_base;
+        for r in roots.iter_mut() {
+            let Some(nv) = self.forward_major(**r, &mut free, limit) else {
+                return false;
+            };
+            **r = nv;
+        }
+        while scan < free {
+            let desc = self.mem[scan];
+            let (kind, nscan, nraw) = decode(desc);
+            let fields = scan + 1;
+            for i in 0..Heap::scanned_fields(kind, nscan) {
+                let Some(nv) = self.forward_major(self.mem[fields + i], &mut free, limit) else {
+                    return false;
+                };
+                self.mem[fields + i] = nv;
+            }
+            scan = fields + Heap::body_words(kind, nscan, nraw);
+        }
+        self.t_base = to_base;
+        self.t_free = free;
+        self.n_free = self.n_base; // nursery is empty after a major
+        self.remembered.clear();
+        self.rs_member.clear();
+        self.since_gc = 0;
+        true
+    }
+
+    /// Forwards one value during a major collection; `None` when the
+    /// to-space overflowed.
+    fn forward_major(&mut self, v: u32, free: &mut usize, limit: usize) -> Option<u32> {
+        if !is_ptr(v) {
+            return Some(v);
+        }
+        let at = Heap::idx_of(v);
+        let young = Heap::in_range(at, self.n_base, self.nursery_words);
+        if !young && !Heap::in_range(at, self.t_base, self.tenured_words) {
+            return Some(v); // immortal
+        }
+        let desc = self.mem[at - 1];
+        if desc & KIND_MASK == FORWARD {
+            return Some(self.mem[at]);
+        }
+        let (kind, nscan, nraw) = decode(desc);
+        let total = Heap::body_words(kind, nscan, nraw);
+        if *free + total + 1 > limit {
+            return None;
+        }
         let new_at = *free + 1;
         self.mem[*free] = desc;
         for i in 0..total {
             self.mem[new_at + i] = self.mem[at + i];
         }
-        // Keep the one-word pad of empty objects (forwarding space).
-        *free = new_at + total.max(1);
-        self.copied_words += (total.max(1) + 1) as u64;
+        *free = new_at + total;
+        self.copied_words += (total + 1) as u64;
+        if young {
+            self.promoted_words += (total + 1) as u64;
+        }
         let new_ptr = Heap::ptr_of(new_at);
         self.mem[at - 1] = FORWARD;
         self.mem[at] = new_ptr;
-        new_ptr
+        Some(new_ptr)
     }
 
     /// Structural equality on standard-representation values; returns
@@ -467,6 +820,26 @@ impl Heap {
 mod tests {
     use super::*;
 
+    fn gen_heap(nursery: usize, tenured: usize) -> Heap {
+        Heap::new(&HeapConfig {
+            mode: GcMode::Generational,
+            nursery_words: nursery,
+            tenured_words: tenured,
+            promote_after: 2,
+            static_words: 128,
+        })
+    }
+
+    fn semi_heap(tenured: usize, trigger: usize) -> Heap {
+        Heap::new(&HeapConfig {
+            mode: GcMode::Semispace,
+            nursery_words: trigger,
+            tenured_words: tenured,
+            promote_after: 2,
+            static_words: 128,
+        })
+    }
+
     #[test]
     fn tagging_roundtrip() {
         assert_eq!(untag_int(tag_int(42)), 42);
@@ -483,7 +856,7 @@ mod tests {
 
     #[test]
     fn alloc_and_access() {
-        let mut h = Heap::new(4096, 128);
+        let mut h = gen_heap(4096, 4096);
         let p = h.alloc(ObjKind::Record, 2, 1).unwrap();
         h.store(p, 0, tag_int(1));
         h.store(p, 1, tag_int(2));
@@ -495,7 +868,7 @@ mod tests {
 
     #[test]
     fn strings() {
-        let mut h = Heap::new(4096, 128);
+        let mut h = gen_heap(4096, 4096);
         let p = h.alloc_string("hello").unwrap();
         assert_eq!(h.read_string(p), "hello");
         assert_eq!(h.string_len(p), 5);
@@ -506,7 +879,7 @@ mod tests {
 
     #[test]
     fn gc_preserves_structure() {
-        let mut h = Heap::new(4096, 128);
+        let mut h = gen_heap(4096, 4096);
         let inner = h.alloc(ObjKind::Record, 1, 1).unwrap();
         h.store(inner, 0, tag_int(9));
         h.store_f64(inner, 1, 2.5);
@@ -518,7 +891,7 @@ mod tests {
         for _ in 0..100 {
             h.alloc(ObjKind::Record, 2, 0).unwrap();
         }
-        h.collect(&mut [&mut root]);
+        h.collect(&mut [&mut root], GcKind::Minor);
         assert_ne!(root, outer, "object moved");
         let inner2 = h.load(root, 0);
         assert_eq!(untag_int(h.load(root, 1)), 7);
@@ -526,33 +899,203 @@ mod tests {
         assert_eq!(h.load_f64(inner2, 1), 2.5);
         assert!(h.copied_words >= 7);
         assert_eq!(h.n_gcs, 1);
+        assert_eq!(h.n_minor_gcs, 1);
     }
 
     #[test]
     fn gc_shares_copies() {
         // Two roots to the same object stay shared.
-        let mut h = Heap::new(4096, 128);
+        let mut h = gen_heap(4096, 4096);
         let obj = h.alloc(ObjKind::Record, 1, 0).unwrap();
         h.store(obj, 0, tag_int(5));
         let mut r1 = obj;
         let mut r2 = obj;
-        h.collect(&mut [&mut r1, &mut r2]);
+        h.collect(&mut [&mut r1, &mut r2], GcKind::Minor);
         assert_eq!(r1, r2);
     }
 
     #[test]
     fn gc_skips_static() {
-        let mut h = Heap::new(4096, 128);
+        let mut h = gen_heap(4096, 4096);
         let s = h.alloc_static_string("immortal");
         let mut root = s;
-        h.collect(&mut [&mut root]);
+        h.collect(&mut [&mut root], GcKind::Minor);
         assert_eq!(root, s, "static strings never move");
+        h.collect(&mut [&mut root], GcKind::Major);
+        assert_eq!(root, s);
         assert_eq!(h.read_string(root), "immortal");
     }
 
     #[test]
+    fn has_room_agrees_with_alloc() {
+        // The shared accounting predicate: has_room(want) answers
+        // exactly whether the next alloc of that size succeeds, at every
+        // fill level, including the zero-length padding case.
+        for want in 0..4u32 {
+            for (gen, mk) in [(true, 0), (false, 1)] {
+                let mut h = if mk == 0 {
+                    gen_heap(16, 16)
+                } else {
+                    semi_heap(16, 1 << 20)
+                };
+                loop {
+                    let room = h.has_room(want as usize);
+                    let got = h.alloc(ObjKind::Record, want, 0);
+                    assert_eq!(room, got.is_some(), "want={want} gen={gen}");
+                    if got.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_full_nursery() {
+        let mut h = gen_heap(6, 64);
+        assert!(h.alloc(ObjKind::Record, 2, 0).is_some()); // 3 words
+        assert!(h.alloc(ObjKind::Record, 2, 0).is_some()); // nursery exactly full
+        assert!(!h.has_room(0));
+        assert!(h.needs_gc(0));
+        assert!(h.alloc(ObjKind::Record, 0, 0).is_none());
+        // Objects that can never fit the nursery pre-tenure instead.
+        let big = h.alloc(ObjKind::Record, 10, 0).unwrap();
+        assert!(h.is_tenured_ptr(big));
+    }
+
+    #[test]
+    fn zero_field_objects_survive_collection() {
+        let mut h = gen_heap(64, 64);
+        let p = h.alloc(ObjKind::Record, 0, 0).unwrap();
+        let q = h.alloc(ObjKind::Record, 1, 0).unwrap();
+        h.store(q, 0, p);
+        assert_eq!(h.alloc_words, 4, "empty objects pad to one body word");
+        let (mut r1, mut r2) = (p, q);
+        h.collect(&mut [&mut r1, &mut r2], GcKind::Minor);
+        assert_eq!(h.load(r2, 0), r1, "sharing survives via the pad word");
+        h.collect(&mut [&mut r1, &mut r2], GcKind::Major);
+        assert_eq!(h.load(r2, 0), r1);
+    }
+
+    #[test]
+    fn empty_and_max_strings() {
+        let mut h = gen_heap(1 << 13, 1 << 14);
+        let e = h.alloc_string("").unwrap();
+        assert_eq!(h.read_string(e), "");
+        assert_eq!(h.string_len(e), 0);
+        let big = "x".repeat(Heap::MAX_STRING_BYTES);
+        let p = h.alloc_string(&big).unwrap();
+        // 8192 body words + descriptor exceed the 8192-word nursery.
+        assert!(h.is_tenured_ptr(p), "oversized strings pre-tenure");
+        let mut roots = [e, p];
+        {
+            let [r0, r1] = &mut roots;
+            h.collect(&mut [r0, r1], GcKind::Minor);
+        }
+        assert_eq!(h.read_string(roots[0]), "");
+        assert_eq!(roots[1], p, "tenured objects do not move in a minor");
+        assert_eq!(h.read_string(roots[1]), big);
+    }
+
+    #[test]
+    fn max_array_survives_major() {
+        let mut h = gen_heap(256, 1 << 16);
+        let n = Heap::MAX_ARRAY_LEN as u32;
+        let p = h.alloc(ObjKind::Array, n, 0).unwrap();
+        for i in 0..n as usize {
+            h.store(p, i, tag_int(1));
+        }
+        let mut root = p;
+        assert!(h.collect(&mut [&mut root], GcKind::Major));
+        assert_eq!(decode(h.desc(root)).1, n);
+        assert_eq!(untag_int(h.load(root, n as usize - 1)), 1);
+    }
+
+    #[test]
+    fn promotion_after_surviving_minors() {
+        let mut h = gen_heap(64, 256);
+        let p = h.alloc(ObjKind::Record, 1, 0).unwrap();
+        h.store(p, 0, tag_int(42));
+        let mut root = p;
+        h.collect(&mut [&mut root], GcKind::Minor);
+        assert!(!h.is_tenured_ptr(root), "one survival: still young");
+        assert_eq!(h.promoted_words, 0);
+        h.collect(&mut [&mut root], GcKind::Minor);
+        assert!(h.is_tenured_ptr(root), "promote_after=2 survivals");
+        assert_eq!(h.promoted_words, 2, "one field plus descriptor");
+        assert_eq!(untag_int(h.load(root, 0)), 42);
+        // With everything tenured, a minor collection copies nothing.
+        let before = h.copied_words;
+        h.collect(&mut [&mut root], GcKind::Minor);
+        assert_eq!(h.copied_words, before, "minors never scan tenured");
+    }
+
+    #[test]
+    fn write_barrier_keeps_young_reachable() {
+        let mut h = gen_heap(64, 256);
+        let r = h.alloc(ObjKind::Ref, 1, 0).unwrap();
+        h.store(r, 0, tag_int(0));
+        let mut root = r;
+        h.collect(&mut [&mut root], GcKind::Minor);
+        h.collect(&mut [&mut root], GcKind::Minor);
+        assert!(h.is_tenured_ptr(root));
+        let young = h.alloc(ObjKind::Record, 1, 0).unwrap();
+        h.store(young, 0, tag_int(7));
+        assert!(h.would_need_barrier(root, young));
+        h.store_barriered(root, 0, young);
+        assert_eq!(h.remembered_len(), 1);
+        // The young object is reachable only through the remembered
+        // slot: the minor collection must still find and move it.
+        h.collect(&mut [&mut root], GcKind::Minor);
+        let moved = h.load(root, 0);
+        assert!(is_ptr(moved) && !h.is_tenured_ptr(moved));
+        assert_eq!(untag_int(h.load(moved, 0)), 7);
+        assert_eq!(h.remembered_len(), 1, "slot re-remembered while young");
+        // Once the target promotes, the slot leaves the remembered set.
+        h.collect(&mut [&mut root], GcKind::Minor);
+        assert!(h.is_tenured_ptr(h.load(root, 0)));
+        assert_eq!(h.remembered_len(), 0);
+        assert!(h.rs_peak >= 1);
+    }
+
+    #[test]
+    fn major_collect_reports_overflow() {
+        let mut h = gen_heap(256, 64);
+        let mut head = tag_int(0);
+        for i in 0..40 {
+            let cell = h.alloc(ObjKind::Record, 2, 0).unwrap();
+            h.store(cell, 0, tag_int(i));
+            h.store(cell, 1, head);
+            head = cell;
+        }
+        // 120 live words cannot fit a 64-word tenured semispace.
+        let mut root = head;
+        assert!(!h.collect(&mut [&mut root], GcKind::Major));
+    }
+
+    #[test]
+    fn semispace_mode_full_collections() {
+        let mut h = semi_heap(1 << 16, 64);
+        assert!(!h.needs_gc(10));
+        for _ in 0..30 {
+            h.alloc(ObjKind::Record, 2, 0).unwrap();
+        }
+        assert!(h.needs_gc(10), "allocation schedule elapsed");
+        let obj = h.alloc(ObjKind::Record, 1, 0).unwrap();
+        h.store(obj, 0, tag_int(5));
+        let mut root = obj;
+        h.collect(&mut [&mut root], GcKind::Minor);
+        assert_ne!(root, obj, "semispace collections move everything");
+        assert_eq!(untag_int(h.load(root, 0)), 5);
+        assert_eq!(h.n_major_gcs, 1, "minor degrades to a full collection");
+        assert_eq!(h.n_minor_gcs, 0);
+        assert_eq!(h.promoted_words, 0);
+        assert!(!h.needs_gc(10), "schedule reset");
+    }
+
+    #[test]
     fn poly_eq_cases() {
-        let mut h = Heap::new(4096, 128);
+        let mut h = gen_heap(4096, 4096);
         let a = h.alloc(ObjKind::Record, 1, 1).unwrap();
         h.store(a, 0, tag_int(1));
         h.store_f64(a, 1, 2.5);
@@ -576,16 +1119,5 @@ mod tests {
         h.store(r2, 0, tag_int(1));
         assert!(!h.poly_eq(r1, r2).0);
         assert!(h.poly_eq(r1, r1).0);
-    }
-
-    #[test]
-    fn nursery_triggers() {
-        let mut h = Heap::new(1 << 20, 128);
-        h.nursery_words = 64;
-        assert!(!h.needs_gc(10));
-        for _ in 0..30 {
-            h.alloc(ObjKind::Record, 2, 0).unwrap();
-        }
-        assert!(h.needs_gc(10));
     }
 }

@@ -1,7 +1,7 @@
 //! The execution substrate: code generation to a MIPS-like abstract
 //! machine, the runtime heap with two-part object descriptors and a
-//! Cheney copying collector, and the cycle-accounting interpreter
-//! standing in for the paper's DECstation 5000.
+//! two-generation copying collector, and the cycle-accounting
+//! interpreter standing in for the paper's DECstation 5000.
 
 #![warn(missing_docs)]
 
@@ -12,6 +12,6 @@ pub mod isa;
 pub mod vm;
 
 pub use codegen::codegen;
-pub use heap::{Heap, ObjKind};
+pub use heap::{GcKind, GcMode, Heap, HeapConfig, ObjKind};
 pub use isa::{CodeBlock, Instr, InstrClass, MachineProgram, N_INSTR_CLASSES};
 pub use vm::{run, FaultInject, Outcome, RunStats, VmConfig, VmResult};

@@ -6,7 +6,9 @@
 //! operations, paper footnote 7); float add/sub 2, mul 4, div 12,
 //! transcendental 20; allocation is 1 + one cycle per word written;
 //! write-barriered stores pay 2 extra cycles; the copying collector pays
-//! 3 cycles per word copied. Accesses to spill-modelled registers
+//! 3 cycles per word copied on top of a fixed pause (150 cycles for a
+//! minor collection plus 1 per remembered-set slot scanned, 200 for a
+//! major or semispace collection). Accesses to spill-modelled registers
 //! (32..63) pay 2 extra cycles each, approximating spill loads/stores.
 //!
 //! # Fault containment
@@ -21,7 +23,7 @@
 //! no matter how the run ended. [`FaultInject`] exposes the trap paths
 //! to tests deterministically.
 
-use crate::heap::{decode, is_ptr, tag_int, untag_int, Heap, ObjKind};
+use crate::heap::{decode, is_ptr, tag_int, untag_int, GcKind, GcMode, Heap, HeapConfig, ObjKind};
 use crate::isa::*;
 
 /// VM configuration.
@@ -30,15 +32,21 @@ pub struct VmConfig {
     /// Model the three floating-point callee-save registers of `sml.fp3`:
     /// every inter-function control transfer pays 3 extra float moves.
     pub fp3_overhead: bool,
-    /// Simulated nursery size (words): a collection runs each time this
-    /// much has been allocated.
+    /// Collector selection (see [`GcMode`]); generational by default.
+    pub gc_mode: GcMode,
+    /// Nursery semispace size in words (generational mode); in
+    /// [`GcMode::Semispace`], the allocation interval between
+    /// collections.
     pub nursery_words: usize,
     /// Cycle budget; exceeded runs trap with [`VmResult::OutOfFuel`].
     pub max_cycles: u64,
-    /// Semispace size in words — the heap ceiling. When a collection
-    /// still leaves no room for an allocation, the run traps with
-    /// [`VmResult::HeapExhausted`] instead of aborting the process.
-    pub semi_words: usize,
+    /// Tenured semispace size in words — the heap ceiling. When a major
+    /// collection still leaves no room for an allocation, the run traps
+    /// with [`VmResult::HeapExhausted`] instead of aborting the process.
+    pub tenured_words: usize,
+    /// Minor collections an object must survive before promotion into
+    /// tenured space (generational mode; at least 1).
+    pub promote_after: u32,
     /// Fault-injection knobs for robustness testing.
     pub fault: FaultInject,
 }
@@ -47,9 +55,11 @@ impl Default for VmConfig {
     fn default() -> VmConfig {
         VmConfig {
             fp3_overhead: false,
+            gc_mode: GcMode::Generational,
             nursery_words: 64 * 1024,
             max_cycles: 20_000_000_000,
-            semi_words: 8 << 20,
+            tenured_words: 8 << 20,
+            promote_after: 2,
             fault: FaultInject::default(),
         }
     }
@@ -57,7 +67,7 @@ impl Default for VmConfig {
 
 /// Deterministic fault-injection surface (see `docs/ROBUSTNESS.md`).
 ///
-/// Together with a shrunken `max_cycles` or `semi_words`, these knobs
+/// Together with a shrunken `max_cycles` or `tenured_words`, these knobs
 /// let tests drive the VM down every trap path and assert that the
 /// [`RunStats`] counters stay internally consistent.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -80,9 +90,10 @@ pub enum VmResult {
     Uncaught(String),
     /// The cycle budget was exhausted.
     OutOfFuel,
-    /// The heap ceiling was reached: after a collection there was still
-    /// no room for the requested allocation (or allocation failure was
-    /// injected via [`FaultInject::fail_alloc_at`]).
+    /// The heap ceiling was reached: after a major collection — the
+    /// final attempt — there was still no room for the requested
+    /// allocation (or allocation failure was injected via
+    /// [`FaultInject::fail_alloc_at`]).
     HeapExhausted,
     /// A memory-safety or control-flow violation was contained: the
     /// payload says what was attempted (out-of-bounds load/store, jump
@@ -101,13 +112,30 @@ pub struct RunStats {
     pub alloc_words: u64,
     /// Objects allocated (each `Alloc`/`AllocArr`/`FBox`/string alloc).
     pub n_allocs: u64,
-    /// Words copied by the collector.
+    /// Words copied by the collector (minor plus major).
     pub gc_copied_words: u64,
-    /// Number of collections.
+    /// Number of collections (minor plus major).
     pub n_gcs: u64,
-    /// Cycles spent inside the Cheney collector (also mirrored in
-    /// `cycles_by_class[InstrClass::Gc]`).
+    /// Minor (nursery) collections.
+    pub n_minor_gcs: u64,
+    /// Major (full) collections, including every collection in
+    /// [`GcMode::Semispace`].
+    pub n_major_gcs: u64,
+    /// Words moved from the nursery into tenured space.
+    pub promoted_words: u64,
+    /// High-water mark of the remembered set, in slots.
+    pub remembered_peak: u64,
+    /// Cycles spent inside the collector (minor plus major; also
+    /// mirrored in `cycles_by_class[InstrClass::Gc]`).
     pub gc_cycles: u64,
+    /// Cycles spent in minor collections.
+    pub minor_gc_cycles: u64,
+    /// Cycles spent in major collections.
+    pub major_gc_cycles: u64,
+    /// Longest single minor-collection pause, in cycles.
+    pub max_minor_pause: u64,
+    /// Longest single major-collection pause, in cycles.
+    pub max_major_pause: u64,
     /// Cycle breakdown indexed by [`InstrClass`] discriminant; sums to
     /// `cycles` on every exit path, normal or trapping.
     pub cycles_by_class: [u64; crate::isa::N_INSTR_CLASSES],
@@ -174,8 +202,13 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             output: String::new(),
         };
     }
-    let mut heap = Heap::new(cfg.semi_words, static_need.max(64 * 1024));
-    heap.nursery_words = cfg.nursery_words;
+    let mut heap = Heap::new(&HeapConfig {
+        mode: cfg.gc_mode,
+        nursery_words: cfg.nursery_words,
+        tenured_words: cfg.tenured_words,
+        promote_after: cfg.promote_after,
+        static_words: static_need.max(64 * 1024),
+    });
     let mut pool_ptrs = Vec::with_capacity(prog.pool.len());
     for s in &prog.pool {
         pool_ptrs.push(heap.alloc_static_string(s));
@@ -205,6 +238,10 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             stats.n_allocs = heap.n_allocs;
             stats.gc_copied_words = heap.copied_words;
             stats.n_gcs = heap.n_gcs;
+            stats.n_minor_gcs = heap.n_minor_gcs;
+            stats.n_major_gcs = heap.n_major_gcs;
+            stats.promoted_words = heap.promoted_words;
+            stats.remembered_peak = heap.rs_peak;
         };
     }
 
@@ -274,8 +311,8 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
             };
         }
         // Runs the allocation protocol for `want` body words: injected
-        // failure, forced or scheduled collection, and the post-GC room
-        // check that turns true exhaustion into a HeapExhausted trap.
+        // failure, forced or scheduled minor collection, then a major
+        // collection as the final attempt before the HeapExhausted trap.
         macro_rules! alloc_guard {
             ($want:expr) => {{
                 let want: usize = $want;
@@ -287,9 +324,24 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                     .gc_every_n_allocs
                     .is_some_and(|k| k > 0 && (heap.n_allocs + 1) % k == 0);
                 if forced || heap.needs_gc(want) {
-                    gc(&mut heap, &mut regs, &mut handler, &mut stats);
+                    gc(
+                        &mut heap,
+                        &mut regs,
+                        &mut handler,
+                        &mut stats,
+                        GcKind::Minor,
+                    );
                     if !heap.has_room(want) {
-                        trap!(VmResult::HeapExhausted);
+                        let complete = gc(
+                            &mut heap,
+                            &mut regs,
+                            &mut handler,
+                            &mut stats,
+                            GcKind::Major,
+                        );
+                        if !complete || !heap.has_room(want) {
+                            trap!(VmResult::HeapExhausted);
+                        }
                     }
                 }
             }};
@@ -393,13 +445,19 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                 spillcost!(*s, *base);
                 stats.cycles += 2;
                 mem!(regs[*base as usize], *off as usize, 1);
+                // Unboxed stores skip the barrier; the compiler must
+                // prove the value is a non-pointer (paper §4.4).
+                debug_assert!(
+                    !heap.would_need_barrier(regs[*base as usize], regs[*s as usize]),
+                    "unbarriered Store created a tenured→nursery pointer"
+                );
                 heap.store(regs[*base as usize], *off as usize, regs[*s as usize]);
             }
             Instr::StoreWB { s, base, off } => {
                 spillcost!(*s, *base);
                 stats.cycles += 4; // store + generational bookkeeping
                 mem!(regs[*base as usize], *off as usize, 1);
-                heap.store(regs[*base as usize], *off as usize, regs[*s as usize]);
+                heap.store_barriered(regs[*base as usize], *off as usize, regs[*s as usize]);
             }
             Instr::FLoad { d, base, off } => {
                 spillcost!(*d, *base);
@@ -431,6 +489,10 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                     trap!(VmResult::Fault(format!("negative index {i}")));
                 }
                 mem!(regs[*base as usize], i as usize, 1);
+                debug_assert!(
+                    !heap.would_need_barrier(regs[*base as usize], regs[*s as usize]),
+                    "unbarriered StoreIdx created a tenured→nursery pointer"
+                );
                 heap.store(regs[*base as usize], i as usize, regs[*s as usize]);
             }
             Instr::StoreIdxWB { s, base, idx } => {
@@ -441,7 +503,7 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                     trap!(VmResult::Fault(format!("negative index {i}")));
                 }
                 mem!(regs[*base as usize], i as usize, 1);
-                heap.store(regs[*base as usize], i as usize, regs[*s as usize]);
+                heap.store_barriered(regs[*base as usize], i as usize, regs[*s as usize]);
             }
             Instr::Alloc {
                 d,
@@ -459,8 +521,11 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                 let Some(p) = heap.alloc(k, words.len() as u32, flts.len() as u32) else {
                     trap!(VmResult::HeapExhausted);
                 };
+                // Initializing stores go through the barrier too: large
+                // objects allocate directly in tenured space and may be
+                // initialized with nursery pointers.
                 for (i, r) in words.iter().enumerate() {
-                    heap.store(p, i, regs[*r as usize]);
+                    heap.store_barriered(p, i, regs[*r as usize]);
                 }
                 for (j, f) in flts.iter().enumerate() {
                     heap.store_f64(p, words.len() + 2 * j, fregs[*f as usize]);
@@ -483,7 +548,7 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
                 };
                 let v = regs[*init as usize];
                 for i in 0..n {
-                    heap.store(p, i, v);
+                    heap.store_barriered(p, i, v);
                 }
                 stats.cycles += 1 + n as u64;
                 regs[*d as usize] = p;
@@ -725,18 +790,45 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
     }
 }
 
-fn gc(heap: &mut Heap, regs: &mut [u32], handler: &mut u32, stats: &mut RunStats) {
+/// Runs one collection with the VM roots (all registers plus the
+/// handler), charges the pause to the stats, and reports whether the
+/// collection completed (`false` only when a major collection
+/// overflowed: live data exceeds one tenured semispace).
+fn gc(
+    heap: &mut Heap,
+    regs: &mut [u32],
+    handler: &mut u32,
+    stats: &mut RunStats,
+    kind: GcKind,
+) -> bool {
     let before = heap.copied_words;
-    {
+    let rs_slots = heap.remembered_len() as u64;
+    let complete = {
         let mut roots: Vec<&mut u32> = Vec::with_capacity(regs.len() + 1);
         let mut iter = regs.iter_mut();
         for r in &mut iter {
             roots.push(r);
         }
         roots.push(handler);
-        heap.collect(&mut roots);
-    }
-    let cost = 200 + 3 * (heap.copied_words - before);
+        heap.collect(&mut roots, kind)
+    };
+    let copied = heap.copied_words - before;
+    // In semispace mode every collection is a full one and pays the
+    // major-pause cost.
+    let minor_ran = kind == GcKind::Minor && heap.is_generational();
+    let cost = if minor_ran {
+        150 + 3 * copied + rs_slots
+    } else {
+        200 + 3 * copied
+    };
     stats.cycles += cost;
     stats.gc_cycles += cost;
+    if minor_ran {
+        stats.minor_gc_cycles += cost;
+        stats.max_minor_pause = stats.max_minor_pause.max(cost);
+    } else {
+        stats.major_gc_cycles += cost;
+        stats.max_major_pause = stats.max_major_pause.max(cost);
+    }
+    complete
 }

@@ -2,7 +2,27 @@
 //! survive collections intact.
 
 use sml_testkit::{run_cases, Rng};
-use sml_vm::heap::{tag_int, untag_int, Heap, ObjKind};
+use sml_vm::heap::{tag_int, untag_int, GcKind, GcMode, Heap, HeapConfig, ObjKind};
+
+/// A randomly configured heap: generational (with a small nursery and a
+/// random promotion threshold, so collections promote eagerly) or the
+/// semispace reference collector.
+fn gen_heap(rng: &mut Rng) -> Heap {
+    let generational = rng.range_usize(0, 4) > 0;
+    Heap::new(&HeapConfig {
+        mode: if generational {
+            GcMode::Generational
+        } else {
+            GcMode::Semispace
+        },
+        // Large enough that building the graph plus garbage never fills
+        // the nursery (the builder only collects explicitly).
+        nursery_words: 1 << rng.range_usize(11, 14),
+        tenured_words: 1 << 16,
+        promote_after: rng.range_usize(1, 4) as u32,
+        static_words: 1 << 10,
+    })
+}
 
 /// A recipe for building a small object graph.
 #[derive(Debug, Clone)]
@@ -116,18 +136,24 @@ fn graphs_survive_collection() {
     run_cases("graphs_survive_collection", 48, |rng| {
         let n = gen_node(rng, 4);
         let garbage = rng.range_usize(0, 200);
-        let mut h = Heap::new(1 << 16, 1 << 10);
+        let mut h = gen_heap(rng);
         let mut root = build(&mut h, &n);
         // Interleave garbage.
         for i in 0..garbage {
             let g = h.alloc(ObjKind::Record, 1, 0).unwrap();
             h.store(g, 0, tag_int(i as i64));
         }
-        h.collect(&mut [&mut root]);
-        assert!(verify(&h, &n, root).is_ok(), "{:?}", verify(&h, &n, root));
-        // A second collection must also preserve everything.
-        h.collect(&mut [&mut root]);
-        assert!(verify(&h, &n, root).is_ok());
+        // A random interleaving of minor and major collections (with
+        // promotion in between) must preserve the whole graph.
+        for _ in 0..rng.range_usize(2, 5) {
+            let kind = if rng.range_usize(0, 3) == 0 {
+                GcKind::Major
+            } else {
+                GcKind::Minor
+            };
+            assert!(h.collect(&mut [&mut root], kind), "collection overflowed");
+            assert!(verify(&h, &n, root).is_ok(), "{:?}", verify(&h, &n, root));
+        }
     });
 }
 
@@ -136,7 +162,7 @@ fn poly_eq_agrees_with_recipe_equality() {
     run_cases("poly_eq_agrees_with_recipe_equality", 48, |rng| {
         let a = gen_node(rng, 4);
         let b = gen_node(rng, 4);
-        let mut h = Heap::new(1 << 16, 1 << 10);
+        let mut h = gen_heap(rng);
         let wa = build(&mut h, &a);
         let wa2 = build(&mut h, &a);
         let wb = build(&mut h, &b);

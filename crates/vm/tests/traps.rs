@@ -41,6 +41,21 @@ fn assert_consistent(stats: &RunStats) {
         stats.gc_cycles,
         "Gc pseudo-class must carry exactly the collector cycles"
     );
+    assert_eq!(
+        stats.n_gcs,
+        stats.n_minor_gcs + stats.n_major_gcs,
+        "every collection is either minor or major: {stats:?}"
+    );
+    assert_eq!(
+        stats.gc_cycles,
+        stats.minor_gc_cycles + stats.major_gc_cycles,
+        "collector cycles split exactly into minor + major: {stats:?}"
+    );
+    assert!(
+        stats.max_minor_pause <= stats.minor_gc_cycles
+            && stats.max_major_pause <= stats.major_gc_cycles,
+        "a single pause cannot exceed its class total: {stats:?}"
+    );
 }
 
 fn run_default(p: &MachineProgram) -> Outcome {
@@ -239,13 +254,18 @@ fn chain_alloc_loop() -> MachineProgram {
 #[test]
 fn heap_ceiling_traps_heap_exhausted() {
     let cfg = VmConfig {
-        semi_words: 256,
+        tenured_words: 256,
         nursery_words: 64,
         ..VmConfig::default()
     };
     let o = run(&chain_alloc_loop(), &cfg);
     assert_eq!(o.result, VmResult::HeapExhausted);
     assert!(o.stats.n_gcs >= 1, "ceiling should be found via a GC");
+    assert!(
+        o.stats.n_major_gcs >= 1,
+        "a major collection is the final attempt before trapping: {:?}",
+        o.stats
+    );
     assert!(o.stats.n_allocs > 0);
     assert_eq!(o.stats.alloc_words, 2 * o.stats.n_allocs); // 1 body + 1 descriptor each
     assert_consistent(&o.stats);
@@ -400,10 +420,269 @@ fn string_pool_index_out_of_range_faults() {
     expect_fault(&o, "pool index");
 }
 
+/// Promotion plus the write barrier, driven end-to-end through the VM:
+/// a record is promoted to tenured space by forced minor collections,
+/// then mutated (via `StoreWB`, the barriered store the compiler emits
+/// for ref assignment) to point at a freshly allocated — hence young —
+/// record. The young object is reachable *only* through the tenured
+/// one, so only the remembered set keeps it alive across the next
+/// forced collection.
+#[test]
+fn write_barrier_keeps_promoted_to_young_edge_alive() {
+    let p = prog(vec![
+        Instr::LoadI { d: 1, imm: 0 },
+        // The soon-to-be-tenured cell, initially holding 0.
+        Instr::Alloc {
+            d: 2,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        // Padding allocations: with `gc_every_n_allocs: Some(1)` each
+        // one forces a minor collection, aging r2 past promotion.
+        Instr::Alloc {
+            d: 3,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        Instr::Alloc {
+            d: 3,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        Instr::Alloc {
+            d: 3,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        // A young record holding 23, stored into the (now tenured) cell.
+        Instr::LoadI { d: 4, imm: 23 },
+        Instr::Alloc {
+            d: 5,
+            kind: AllocKind::Record,
+            words: vec![4],
+            flts: vec![],
+        },
+        Instr::StoreWB {
+            s: 5,
+            base: 2,
+            off: 0,
+        },
+        // Drop the direct young reference; the remembered set is now the
+        // only root keeping it alive. Force one more collection.
+        Instr::LoadI { d: 5, imm: 0 },
+        Instr::Alloc {
+            d: 3,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        // Read back through the tenured cell.
+        Instr::Load {
+            d: 6,
+            base: 2,
+            off: 0,
+        },
+        Instr::Load {
+            d: 7,
+            base: 6,
+            off: 0,
+        },
+        Instr::Halt { s: 7 },
+    ]);
+
+    let quiet = run_default(&p);
+    assert_eq!(quiet.result, VmResult::Value(23));
+    assert_consistent(&quiet.stats);
+
+    let cfg = VmConfig {
+        fault: FaultInject {
+            fail_alloc_at: None,
+            gc_every_n_allocs: Some(1),
+        },
+        ..VmConfig::default()
+    };
+    let stressed = run(&p, &cfg);
+    assert_eq!(
+        stressed.result, quiet.result,
+        "barrier-maintained edge must survive forced collections: {:?}",
+        stressed.stats
+    );
+    assert!(
+        stressed.stats.n_minor_gcs >= 3,
+        "a minor collection was forced before every allocation: {:?}",
+        stressed.stats
+    );
+    assert!(
+        stressed.stats.promoted_words > 0,
+        "the cell must actually reach tenured space: {:?}",
+        stressed.stats
+    );
+    assert!(
+        stressed.stats.remembered_peak >= 1,
+        "the tenured-to-young store must be remembered: {:?}",
+        stressed.stats
+    );
+    assert_consistent(&stressed.stats);
+}
+
+/// Same shape through `StoreIdxWB`, the barriered indexed store the
+/// compiler emits for array update.
+#[test]
+fn indexed_write_barrier_keeps_young_element_alive() {
+    let p = prog(vec![
+        Instr::LoadI { d: 1, imm: 0 },
+        Instr::LoadI { d: 8, imm: 1 },
+        // A one-element array, aged into tenured space by forced minors.
+        Instr::AllocArr {
+            d: 2,
+            len: 8,
+            init: 1,
+        },
+        Instr::Alloc {
+            d: 3,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        Instr::Alloc {
+            d: 3,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        Instr::Alloc {
+            d: 3,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        // arr[0] := young record holding 31.
+        Instr::LoadI { d: 4, imm: 31 },
+        Instr::Alloc {
+            d: 5,
+            kind: AllocKind::Record,
+            words: vec![4],
+            flts: vec![],
+        },
+        Instr::StoreIdxWB {
+            s: 5,
+            base: 2,
+            idx: 1,
+        },
+        Instr::LoadI { d: 5, imm: 0 },
+        Instr::Alloc {
+            d: 3,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        },
+        Instr::LoadIdx {
+            d: 6,
+            base: 2,
+            idx: 1,
+        },
+        Instr::Load {
+            d: 7,
+            base: 6,
+            off: 0,
+        },
+        Instr::Halt { s: 7 },
+    ]);
+
+    let quiet = run_default(&p);
+    assert_eq!(quiet.result, VmResult::Value(31));
+
+    let cfg = VmConfig {
+        fault: FaultInject {
+            fail_alloc_at: None,
+            gc_every_n_allocs: Some(1),
+        },
+        ..VmConfig::default()
+    };
+    let stressed = run(&p, &cfg);
+    assert_eq!(stressed.result, quiet.result);
+    assert_consistent(&stressed.stats);
+}
+
+/// An allocation pattern that exactly fills the nursery: each 1-field
+/// record costs 2 words, so a 8-word nursery holds exactly four. The
+/// fifth forces a minor collection rather than a bump past the limit,
+/// and the program's answer is unaffected.
+#[test]
+fn exactly_full_nursery_collects_instead_of_overflowing() {
+    let mut instrs = vec![Instr::LoadI { d: 1, imm: 11 }];
+    for _ in 0..5 {
+        instrs.push(Instr::Alloc {
+            d: 2,
+            kind: AllocKind::Record,
+            words: vec![1],
+            flts: vec![],
+        });
+    }
+    instrs.push(Instr::Load {
+        d: 3,
+        base: 2,
+        off: 0,
+    });
+    instrs.push(Instr::Halt { s: 3 });
+    let p = prog(instrs);
+
+    let cfg = VmConfig {
+        nursery_words: 8,
+        tenured_words: 4_096,
+        ..VmConfig::default()
+    };
+    let o = run(&p, &cfg);
+    assert_eq!(o.result, VmResult::Value(11));
+    assert!(
+        o.stats.n_minor_gcs >= 1,
+        "the fifth record cannot fit without a collection: {:?}",
+        o.stats
+    );
+    assert_consistent(&o.stats);
+}
+
+/// Objects too large for the nursery pre-tenure: the program still runs
+/// (tenured space has room) even though the array never fits the
+/// nursery, and no minor collection is needed for it.
+#[test]
+fn big_object_pre_tenures_instead_of_thrashing_the_nursery() {
+    let cfg = VmConfig {
+        nursery_words: 64,
+        tenured_words: 4_096,
+        ..VmConfig::default()
+    };
+    let o = run(
+        &prog(vec![
+            Instr::LoadI { d: 1, imm: 500 },
+            Instr::LoadI { d: 2, imm: 7 },
+            Instr::AllocArr {
+                d: 3,
+                len: 1,
+                init: 2,
+            },
+            Instr::LoadI { d: 4, imm: 499 },
+            Instr::LoadIdx {
+                d: 5,
+                base: 3,
+                idx: 4,
+            },
+            Instr::Halt { s: 5 },
+        ]),
+        &cfg,
+    );
+    assert_eq!(o.result, VmResult::Value(7));
+    assert_consistent(&o.stats);
+}
+
 #[test]
 fn heap_exhausted_when_one_object_exceeds_semispace() {
     let cfg = VmConfig {
-        semi_words: 512,
+        tenured_words: 512,
         nursery_words: 128,
         ..VmConfig::default()
     };

@@ -64,4 +64,11 @@ cargo run -q --release -p smlc-bench --bin fuzz_smoke
 echo "== cache bench (BENCH_pr3.json) =="
 cargo run -q --release -p smlc-bench --bin cache_bench
 
+# Generational-GC benchmark: sweeps nursery sizes over the figure
+# benchmarks against the semispace baseline collector, asserts outputs
+# stay byte-identical and that the generational default copies fewer
+# total words, and writes the BENCH_pr4.json trajectory.
+echo "== gc bench (BENCH_pr4.json) =="
+cargo run -q --release -p smlc-bench --bin gc_bench
+
 echo "verify: all gates passed"
