@@ -9,6 +9,7 @@
 //! smlc --batch a.sml b.sml c.sml    # compile a batch in parallel, run in order
 //! smlc -e 'val _ = print "hi\n"'    # compile a command-line snippet
 //! smlc --emit asm program.sml       # disassemble instead of running
+//! smlc --verify-ir always prog.sml  # re-check every IR behind each phase
 //! ```
 //!
 //! Every compile goes through one [`Session`]: `--batch` fans the
@@ -23,13 +24,13 @@
 //! into `BENCH_*.json` trajectory files — including the session's
 //! artifact-cache counters under `"cache"`.
 
-use smlc::{error_json, CompileError, Job, Metrics, Session, Variant, VmResult};
+use smlc::{error_json, CompileError, Job, Metrics, Session, Variant, VerifyIr, VmResult};
 use std::process::ExitCode;
 
 /// Exit codes, documented in `docs/ROBUSTNESS.md`: syntax errors (and
-/// usage mistakes) exit 2, type errors 3, exceeded resource budgets 4,
-/// abnormal VM terminations 5, and contained internal compiler errors
-/// 101.
+/// usage mistakes) exit 2, type errors 3, exceeded resource budgets and
+/// rejected configuration 4, abnormal VM terminations 5, and contained
+/// internal compiler errors (including IR-verifier rejections) 101.
 const EXIT_PARSE: u8 = 2;
 const EXIT_ELAB: u8 = 3;
 const EXIT_LIMIT: u8 = 4;
@@ -40,7 +41,7 @@ fn exit_code_of(e: &CompileError) -> u8 {
     match e {
         CompileError::Parse(..) => EXIT_PARSE,
         CompileError::Elab(..) => EXIT_ELAB,
-        CompileError::Limit { .. } => EXIT_LIMIT,
+        CompileError::Config(..) | CompileError::Limit { .. } => EXIT_LIMIT,
         CompileError::Internal { .. } => EXIT_ICE,
     }
 }
@@ -55,8 +56,8 @@ enum StatsMode {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: smlc [--variant nrp|fag|rep|mtd|ffb|fp3] [--stats[=json]] [--all] \
-         [--batch] [--emit asm] (<file.sml>... | -e <source>)"
+        "usage: smlc [--variant nrp|fag|rep|mtd|ffb|fp3] [--verify-ir off|debug|always] \
+         [--stats[=json]] [--all] [--batch] [--emit asm] (<file.sml>... | -e <source>)"
     );
     std::process::exit(2)
 }
@@ -80,6 +81,7 @@ struct Input {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut variant = Variant::Ffb;
+    let mut verify: Option<VerifyIr> = None;
     let mut stats = StatsMode::Off;
     let mut all = false;
     let mut batch = false;
@@ -91,6 +93,16 @@ fn main() -> ExitCode {
             "--variant" | "-v" => {
                 let Some(v) = args.next() else { usage() };
                 variant = parse_variant(&v);
+            }
+            "--verify-ir" => {
+                let Some(m) = args.next() else { usage() };
+                match m.parse() {
+                    Ok(m) => verify = Some(m),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage()
+                    }
+                }
             }
             "--stats" | "-s" => stats = StatsMode::Human,
             "--stats=json" => stats = StatsMode::Json,
@@ -147,11 +159,19 @@ fn main() -> ExitCode {
         vec![variant]
     };
 
-    let session = match Session::builder().variant(variant).build() {
+    let mut builder = Session::builder().variant(variant);
+    if let Some(mode) = verify {
+        builder = builder.verify_ir(mode);
+    }
+    let session = match builder.build() {
         Ok(s) => s,
         Err(e) => {
+            let e: CompileError = e.into();
             eprintln!("smlc: {e}");
-            return ExitCode::from(2);
+            if stats == StatsMode::Json {
+                println!("{}", error_json(variant, &e).to_string_pretty());
+            }
+            return ExitCode::from(exit_code_of(&e));
         }
     };
     let jobs: Vec<Job> = inputs

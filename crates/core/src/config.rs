@@ -69,12 +69,6 @@ impl Variant {
         Variant::Fp3,
     ];
 
-    /// All six, in the paper's order.
-    #[deprecated(since = "0.1.0", note = "use the `Variant::ALL` const")]
-    pub fn all() -> [Variant; 6] {
-        Variant::ALL
-    }
-
     /// The paper's name for the variant.
     pub fn name(self) -> &'static str {
         match self {
@@ -154,11 +148,17 @@ pub struct ParseVariantError {
 
 impl std::fmt::Display for ParseVariantError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Derive the accepted spellings from `Variant::ALL` so this
+        // message can never fall out of sync with the enum.
+        let shorts: Vec<&str> = Variant::ALL
+            .iter()
+            .filter_map(|v| v.name().strip_prefix("sml."))
+            .collect();
         write!(
             f,
-            "unknown variant {:?} (expected one of nrp, fag, rep, mtd, ffb, fp3, \
-             with or without the sml. prefix)",
-            self.input
+            "unknown variant {:?} (expected one of {}, with or without the sml. prefix)",
+            self.input,
+            shorts.join(", ")
         )
     }
 }
@@ -188,5 +188,34 @@ impl std::str::FromStr for Variant {
             .ok_or_else(|| ParseVariantError {
                 input: s.to_owned(),
             })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Display → FromStr round-trips for every variant, under every
+    /// spelling `from_str` documents: the full `sml.x` name, the short
+    /// flag, and arbitrary ASCII case of either.
+    #[test]
+    fn variant_display_fromstr_round_trip() {
+        for v in Variant::ALL {
+            let full = v.to_string();
+            assert_eq!(full.parse::<Variant>(), Ok(v), "full name {full}");
+            let short = full.strip_prefix("sml.").expect("names are sml.-prefixed");
+            assert_eq!(short.parse::<Variant>(), Ok(v), "short name {short}");
+            assert_eq!(full.to_ascii_uppercase().parse::<Variant>(), Ok(v));
+            assert_eq!(short.to_ascii_uppercase().parse::<Variant>(), Ok(v));
+        }
+    }
+
+    #[test]
+    fn parse_error_lists_every_variant() {
+        let msg = "mlton".parse::<Variant>().unwrap_err().to_string();
+        for v in Variant::ALL {
+            let short = v.name().strip_prefix("sml.").unwrap();
+            assert!(msg.contains(short), "{msg:?} should list {short}");
+        }
     }
 }

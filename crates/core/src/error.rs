@@ -1,13 +1,113 @@
 //! Compiler driver errors.
 //!
-//! The taxonomy (documented in `docs/ROBUSTNESS.md`) distinguishes four
+//! The taxonomy (documented in `docs/ROBUSTNESS.md`) distinguishes five
 //! failure classes so drivers can react appropriately: user-input
-//! errors ([`CompileError::Parse`], [`CompileError::Elab`]), resource
-//! budgets exceeded ([`CompileError::Limit`]), and internal compiler
-//! errors ([`CompileError::Internal`]) — contained panics that indicate
-//! a bug in the compiler itself, never in the input program.
+//! errors ([`CompileError::Parse`], [`CompileError::Elab`]), rejected
+//! driver configuration ([`CompileError::Config`]), resource budgets
+//! exceeded ([`CompileError::Limit`]), and internal compiler errors
+//! ([`CompileError::Internal`]) — contained panics or IR-verifier
+//! rejections that indicate a bug in the compiler itself, never in the
+//! input program.
 
 use std::fmt;
+
+/// A structured IR-verification violation, attached to
+/// [`CompileError::Internal`] when a `verify_ir` stage rejects the
+/// compiler's own output (schema in `docs/VERIFY_IR.md`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which verifier flagged it: `"lexp"`, `"cps"`, or `"bytecode"`.
+    pub stage: &'static str,
+    /// Optimizer pass index, when the CPS checker ran between passes.
+    pub pass: Option<u32>,
+    /// Stable rule tag from the stage's verifier (e.g. `"app-arity"`).
+    pub rule: &'static str,
+    /// Human-readable description of the offending IR.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} verifier: [{}] {}",
+            self.stage, self.rule, self.detail
+        )?;
+        if let Some(p) = self.pass {
+            write!(f, " (after optimizer pass {p})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A rejected `Session` / `VmConfig` / `Limits` knob: which field, what
+/// value was given, and what the allowed range is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A count or size knob that must be at least 1 was zero.
+    MustBeNonzero {
+        /// Dotted field path, e.g. `"limits.max_lexp_nodes"`.
+        field: &'static str,
+    },
+    /// A knob fell outside the range permitted by other knobs.
+    OutOfRange {
+        /// Dotted field path, e.g. `"vm.nursery_words"`.
+        field: &'static str,
+        /// The rejected value.
+        given: u64,
+        /// Smallest allowed value.
+        min: u64,
+        /// Largest allowed value.
+        max: u64,
+    },
+}
+
+impl ConfigError {
+    /// The dotted path of the rejected field (also carried in
+    /// `error_json` under `"field"`).
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::MustBeNonzero { field } | ConfigError::OutOfRange { field, .. } => field,
+        }
+    }
+
+    /// The rejected value.
+    pub fn given(&self) -> u64 {
+        match self {
+            ConfigError::MustBeNonzero { .. } => 0,
+            ConfigError::OutOfRange { given, .. } => *given,
+        }
+    }
+
+    /// The allowed range, rendered for messages (`"1.."` or
+    /// `"min..=max"`).
+    pub fn allowed(&self) -> String {
+        match self {
+            ConfigError::MustBeNonzero { .. } => "1..".into(),
+            ConfigError::OutOfRange { min, max, .. } => format!("{min}..={max}"),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid configuration: {} = {} (allowed {})",
+            self.field(),
+            self.given(),
+            self.allowed()
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for CompileError {
+    fn from(e: ConfigError) -> CompileError {
+        CompileError::Config(e)
+    }
+}
 
 /// A compilation failure.
 #[derive(Debug)]
@@ -16,6 +116,9 @@ pub enum CompileError {
     Parse(sml_ast::ParseError, String),
     /// Type error, with the source for location rendering.
     Elab(sml_elab::ElabError, String),
+    /// The driver configuration itself was rejected before any source
+    /// was compiled.
+    Config(ConfigError),
     /// A resource budget was exceeded (recursion depth, source size,
     /// intermediate-form size). The input may be well-formed; it is
     /// simply too large for the configured limits.
@@ -25,24 +128,29 @@ pub enum CompileError {
         /// What budget, and by how much.
         msg: String,
     },
-    /// An internal compiler error: a panic in some phase, contained and
-    /// reported instead of aborting the process. Always a compiler bug.
+    /// An internal compiler error: a panic in some phase — or an IR
+    /// verifier rejecting the phase's output — contained and reported
+    /// instead of aborting the process. Always a compiler bug.
     Internal {
         /// Pipeline phase whose invariant broke.
         phase: &'static str,
-        /// The contained panic message.
+        /// The contained panic message or verifier report.
         msg: String,
+        /// Structured payload when an IR verifier raised the error;
+        /// `None` for contained panics.
+        violation: Option<Violation>,
     },
 }
 
 impl CompileError {
     /// Stable machine-readable class tag: `"parse"`, `"elab"`,
-    /// `"limit"`, or `"internal"` (mirrored in the metrics schema and
-    /// the `smlc` exit codes).
+    /// `"config"`, `"limit"`, or `"internal"` (mirrored in the metrics
+    /// schema and the `smlc` exit codes).
     pub fn kind(&self) -> &'static str {
         match self {
             CompileError::Parse(..) => "parse",
             CompileError::Elab(..) => "elab",
+            CompileError::Config(..) => "config",
             CompileError::Limit { .. } => "limit",
             CompileError::Internal { .. } => "internal",
         }
@@ -53,7 +161,17 @@ impl CompileError {
         match self {
             CompileError::Parse(..) => "parse",
             CompileError::Elab(..) => "elaborate",
+            CompileError::Config(..) => "config",
             CompileError::Limit { phase, .. } | CompileError::Internal { phase, .. } => phase,
+        }
+    }
+
+    /// The structured verifier payload, when this error came from a
+    /// `verify_ir` stage.
+    pub fn violation(&self) -> Option<&Violation> {
+        match self {
+            CompileError::Internal { violation, .. } => violation.as_ref(),
+            _ => None,
         }
     }
 }
@@ -63,10 +181,11 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Parse(e, src) => f.write_str(&e.render(src)),
             CompileError::Elab(e, src) => f.write_str(&e.render(src)),
+            CompileError::Config(e) => write!(f, "{e}"),
             CompileError::Limit { phase, msg } => {
                 write!(f, "limit exceeded in {phase}: {msg}")
             }
-            CompileError::Internal { phase, msg } => {
+            CompileError::Internal { phase, msg, .. } => {
                 write!(f, "internal compiler error in {phase}: {msg}")
             }
         }

@@ -44,13 +44,10 @@ pub mod pipeline;
 pub mod session;
 
 pub use config::{ParseVariantError, Variant};
-pub use error::CompileError;
+pub use error::{CompileError, ConfigError, Violation};
 pub use json::Json;
 pub use metrics::{error_json, result_tag, Metrics, RunMetrics, METRICS_SCHEMA_VERSION};
-pub use pipeline::{CompileStats, Compiled, Limits};
-pub use session::{par_map, CacheStats, Job, Session, SessionBuilder, SessionError};
+pub use pipeline::{CompileStats, Compiled, Limits, ParseVerifyIrError, VerifyIr, VerifyStats};
+pub use session::{par_map, CacheStats, Job, Session, SessionBuilder};
 pub use sml_cps::OptConfig;
 pub use sml_vm::{FaultInject, GcMode, InstrClass, Outcome, RunStats, VmConfig, VmResult};
-
-#[allow(deprecated)]
-pub use pipeline::{compile, compile_and_run, compile_full, compile_with};

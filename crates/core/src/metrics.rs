@@ -78,16 +78,34 @@ pub fn result_tag(r: &VmResult) -> &'static str {
 /// `error` object instead of `compile`/`run` payloads, so `--stats=json`
 /// consumers see structured output on every path.
 pub fn error_json(variant: crate::Variant, e: &crate::CompileError) -> Json {
+    let mut err = Json::obj()
+        .field("kind", e.kind())
+        .field("phase", e.phase())
+        .field("message", e.to_string());
+    if let crate::CompileError::Config(c) = e {
+        err = err
+            .field("field", c.field())
+            .field("given", c.given())
+            .field("allowed", c.allowed());
+    }
+    err = match e.violation() {
+        Some(v) => err.field(
+            "violation",
+            Json::obj()
+                .field("stage", v.stage)
+                .field(
+                    "pass",
+                    v.pass.map(|p| Json::Int(p.into())).unwrap_or(Json::Null),
+                )
+                .field("rule", v.rule)
+                .field("detail", v.detail.as_str()),
+        ),
+        None => err.field("violation", Json::Null),
+    };
     Json::obj()
         .field("schema_version", METRICS_SCHEMA_VERSION)
         .field("variant", variant.name())
-        .field(
-            "error",
-            Json::obj()
-                .field("kind", e.kind())
-                .field("phase", e.phase())
-                .field("message", e.to_string()),
-        )
+        .field("error", err)
         .field("compile", Json::Null)
         .field("run", Json::Null)
         .field("cache", Json::Null)
@@ -184,6 +202,15 @@ fn compile_json(s: &CompileStats) -> Json {
         .field("lty", lty)
         .field("coerce", counters_json(&s.coerce.counters()))
         .field("opt", counters_json(&s.opt.rules()))
+        .field(
+            "verify",
+            Json::obj()
+                .field("mode", s.verify.mode.as_str())
+                .field("lexp_checks", s.verify.lexp_checks)
+                .field("cps_checks", s.verify.cps_checks)
+                .field("bytecode_checks", s.verify.bytecode_checks)
+                .field("ms", ms(s.verify.time)),
+        )
         .field("warnings", s.warnings.len())
 }
 

@@ -1,16 +1,22 @@
 //! The compilation pipeline (the paper's Figure 3), end to end.
 //!
 //! The engine here is driven by [`crate::session::Session`], which is
-//! the supported entry point; the free functions at the bottom of this
-//! module are deprecated shims kept for one release of migration.
+//! the only entry point. When the session's [`VerifyIr`] mode is
+//! active, each intermediate form is re-checked after the phase that
+//! produced it (see `docs/VERIFY_IR.md`): the typed LEXP after
+//! translation, the CPS term after conversion and after every
+//! optimizer pass, the closed program after closure conversion, and
+//! the bytecode after code generation.
 
 use crate::config::Variant;
-use crate::error::CompileError;
-use sml_cps::{close, convert, optimize, OptConfig, OptStats};
-use sml_lambda::{translate, translate_seeded, type_of, CoerceStats, LtyInterner, LtyStats};
+use crate::error::{CompileError, Violation};
+use sml_cps::{close, convert, optimize, optimize_instrumented, OptConfig, OptStats};
+use sml_lambda::{translate, translate_seeded, CoerceStats, LtyInterner, LtyStats};
 use sml_vm::{codegen, run as vm_run, MachineProgram, Outcome, VmConfig};
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 /// Resource budgets for one compilation (see `docs/ROBUSTNESS.md`).
@@ -36,6 +42,107 @@ impl Default for Limits {
     }
 }
 
+/// When the typed-IR verification pipeline runs (see
+/// `docs/VERIFY_IR.md`). Verification only ever *checks* — it never
+/// rewrites an IR — so the emitted code is byte-identical across
+/// modes; the modes trade compile time for earlier, phase-attributed
+/// detection of compiler bugs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum VerifyIr {
+    /// Never verify. Zero overhead; miscompilations surface only as
+    /// downstream crashes or wrong answers.
+    Off,
+    /// Verify in debug builds, skip in release builds (the default:
+    /// tests and development get the full checks, production builds
+    /// pay nothing).
+    #[default]
+    Debug,
+    /// Verify in every build.
+    Always,
+}
+
+impl VerifyIr {
+    /// Whether verification actually runs in this build.
+    pub fn is_active(self) -> bool {
+        match self {
+            VerifyIr::Off => false,
+            VerifyIr::Debug => cfg!(debug_assertions),
+            VerifyIr::Always => true,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`FromStr`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerifyIr::Off => "off",
+            VerifyIr::Debug => "debug",
+            VerifyIr::Always => "always",
+        }
+    }
+}
+
+impl fmt::Display for VerifyIr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error from parsing a [`VerifyIr`] name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseVerifyIrError {
+    given: String,
+}
+
+impl fmt::Display for ParseVerifyIrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown verify-ir mode `{}` (expected off, debug, or always)",
+            self.given
+        )
+    }
+}
+
+impl std::error::Error for ParseVerifyIrError {}
+
+impl FromStr for VerifyIr {
+    type Err = ParseVerifyIrError;
+
+    fn from_str(s: &str) -> Result<VerifyIr, ParseVerifyIrError> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Ok(VerifyIr::Off),
+            "debug" => Ok(VerifyIr::Debug),
+            "always" => Ok(VerifyIr::Always),
+            _ => Err(ParseVerifyIrError {
+                given: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// Counters from one compilation's IR-verification runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VerifyStats {
+    /// The session's configured mode.
+    pub mode: VerifyIr,
+    /// LEXP type-checker runs (0 or 1).
+    pub lexp_checks: u64,
+    /// CPS invariant-checker runs: one after conversion, one per
+    /// optimizer pass, one on the closed program.
+    pub cps_checks: u64,
+    /// Bytecode verifier runs (0 or 1).
+    pub bytecode_checks: u64,
+    /// Wall-clock spent verifying, across all stages.
+    pub time: Duration,
+}
+
+impl VerifyStats {
+    /// Total verifier runs across all three stages.
+    pub fn total_checks(&self) -> u64 {
+        self.lexp_checks + self.cps_checks + self.bytecode_checks
+    }
+}
+
 /// Extracts a printable message from a contained panic payload.
 fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
@@ -56,7 +163,30 @@ fn contain<T>(phase: &'static str, f: impl FnOnce() -> T) -> Result<T, CompileEr
     catch_unwind(AssertUnwindSafe(f)).map_err(|p| CompileError::Internal {
         phase,
         msg: panic_msg(p),
+        violation: None,
     })
+}
+
+/// Wraps a verifier rejection as [`CompileError::Internal`] attributed
+/// to the phase whose output failed, with the structured payload.
+fn verify_error(
+    phase: &'static str,
+    stage: &'static str,
+    pass: Option<u32>,
+    rule: &'static str,
+    detail: String,
+) -> CompileError {
+    let violation = Violation {
+        stage,
+        pass,
+        rule,
+        detail,
+    };
+    CompileError::Internal {
+        phase,
+        msg: format!("IR verification failed: {violation}"),
+        violation: Some(violation),
+    }
 }
 
 /// Per-phase and summary statistics of one compilation.
@@ -84,6 +214,8 @@ pub struct CompileStats {
     /// for this compile alone, while `interned` remains the total size
     /// of the shared table.
     pub lty: LtyStats,
+    /// IR-verification counters (all zero when verification is off).
+    pub verify: VerifyStats,
     /// Front-end warnings (nonexhaustive matches, redundant rules).
     pub warnings: Vec<String>,
 }
@@ -114,6 +246,7 @@ pub(crate) fn compile_engine(
     variant: Variant,
     opt_cfg: &OptConfig,
     limits: &Limits,
+    verify: VerifyIr,
     seed: Option<LtyInterner>,
 ) -> Result<(Compiled, LtyInterner), CompileError> {
     if src.len() > limits.max_source_bytes {
@@ -128,6 +261,11 @@ pub(crate) fn compile_engine(
     }
     let t0 = Instant::now();
     let mut phases = Vec::new();
+    let verifying = verify.is_active();
+    let mut vstats = VerifyStats {
+        mode: verify,
+        ..VerifyStats::default()
+    };
 
     let t = Instant::now();
     let prog = contain("parse", || sml_ast::parse(src))?.map_err(|e| {
@@ -176,13 +314,16 @@ pub(crate) fn compile_engine(
             ),
         });
     }
-    if cfg!(debug_assertions) {
-        contain("translate", || {
-            assert!(
-                type_of(&tr.lexp, &mut HashMap::new(), &mut tr.interner).is_ok(),
-                "translated LEXP is ill-typed"
-            );
+    if verifying {
+        let tv = Instant::now();
+        let res = contain("translate", || {
+            sml_lambda::verify_lexp(&tr.lexp, &mut tr.interner)
         })?;
+        vstats.lexp_checks += 1;
+        vstats.time += tv.elapsed();
+        if let Err(v) = res {
+            return Err(verify_error("translate", "lexp", None, v.rule, v.detail));
+        }
     }
 
     let t = Instant::now();
@@ -200,19 +341,84 @@ pub(crate) fn compile_engine(
             ),
         });
     }
+    if verifying {
+        let tv = Instant::now();
+        let res = contain("cps-convert", || sml_cps::verify_cps(&cps))?;
+        vstats.cps_checks += 1;
+        vstats.time += tv.elapsed();
+        if let Err(v) = res {
+            return Err(verify_error("cps-convert", "cps", None, v.rule, v.detail));
+        }
+    }
 
     let t = Instant::now();
-    let opt = contain("cps-optimize", || optimize(&mut cps, opt_cfg))?;
+    let opt = if verifying {
+        // Re-check the CPS term after every optimizer pass, so a bad
+        // rewrite is pinned to the pass that introduced it.
+        let checks = Cell::new(0u64);
+        let vtime = Cell::new(Duration::ZERO);
+        let res = contain("cps-optimize", || {
+            optimize_instrumented(&mut cps, opt_cfg, |pass, p| {
+                let tv = Instant::now();
+                let r = sml_cps::verify_cps(p);
+                checks.set(checks.get() + 1);
+                vtime.set(vtime.get() + tv.elapsed());
+                r.map(|_| ()).map_err(|v| (pass, v))
+            })
+        })?;
+        vstats.cps_checks += checks.get();
+        vstats.time += vtime.get();
+        match res {
+            Ok(s) => s,
+            Err((pass, v)) => {
+                return Err(verify_error(
+                    "cps-optimize",
+                    "cps",
+                    Some(pass as u32),
+                    v.rule,
+                    v.detail,
+                ));
+            }
+        }
+    } else {
+        contain("cps-optimize", || optimize(&mut cps, opt_cfg))?
+    };
     phases.push(("cps-optimize", t.elapsed()));
     let cps_size_after = cps.body.size();
 
     let t = Instant::now();
     let closed = contain("closure-convert", || close(cps))?;
     phases.push(("closure-convert", t.elapsed()));
+    if verifying {
+        let tv = Instant::now();
+        let res = contain("closure-convert", || {
+            sml_cps::verify_closed_program(&closed)
+        })?;
+        vstats.cps_checks += 1;
+        vstats.time += tv.elapsed();
+        if let Err(v) = res {
+            return Err(verify_error(
+                "closure-convert",
+                "cps",
+                None,
+                v.rule,
+                v.detail,
+            ));
+        }
+    }
 
     let t = Instant::now();
     let machine = contain("codegen", || codegen(&closed))?;
     phases.push(("codegen", t.elapsed()));
+    if verifying {
+        let tv = Instant::now();
+        let res = contain("codegen", || sml_vm::verify_bytecode(&machine))?;
+        vstats.bytecode_checks += 1;
+        vstats.time += tv.elapsed();
+        if let Err(v) = res {
+            return Err(verify_error("codegen", "bytecode", None, v.rule, v.detail));
+        }
+    }
 
     let mut lty = tr.interner.stats();
     if let Some(b) = baseline {
@@ -231,6 +437,7 @@ pub(crate) fn compile_engine(
         coerce: tr.stats,
         opt,
         lty,
+        verify: vstats,
         warnings: tr.warnings,
     };
     Ok((
@@ -257,85 +464,4 @@ impl Compiled {
     pub fn run_with(&self, cfg: &VmConfig) -> Outcome {
         vm_run(&self.machine, cfg)
     }
-}
-
-/// Compiles `src` with the given compiler variant.
-///
-/// # Errors
-///
-/// Returns [`CompileError`] on syntax or type errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `Session` and use `Session::compile` / `Session::compile_variant`"
-)]
-pub fn compile(src: &str, variant: Variant) -> Result<Compiled, CompileError> {
-    compile_engine(
-        src,
-        variant,
-        &OptConfig::default(),
-        &Limits::default(),
-        None,
-    )
-    .map(|(c, _)| c)
-}
-
-/// Compiles with explicit optimizer settings.
-///
-/// # Errors
-///
-/// Returns [`CompileError`] on syntax or type errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `Session` with `.opt_config(..)` and use `Session::compile`"
-)]
-pub fn compile_with(
-    src: &str,
-    variant: Variant,
-    opt_cfg: &OptConfig,
-) -> Result<Compiled, CompileError> {
-    compile_engine(src, variant, opt_cfg, &Limits::default(), None).map(|(c, _)| c)
-}
-
-/// Compiles with explicit optimizer settings and resource budgets.
-///
-/// # Errors
-///
-/// Returns [`CompileError`] on syntax or type errors
-/// ([`CompileError::Parse`] / [`CompileError::Elab`]), exceeded budgets
-/// ([`CompileError::Limit`]), or contained compiler bugs
-/// ([`CompileError::Internal`]).
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `Session` with `.opt_config(..).limits(..)` and use `Session::compile`"
-)]
-pub fn compile_full(
-    src: &str,
-    variant: Variant,
-    opt_cfg: &OptConfig,
-    limits: &Limits,
-) -> Result<Compiled, CompileError> {
-    compile_engine(src, variant, opt_cfg, limits, None).map(|(c, _)| c)
-}
-
-/// Convenience: compile with [`Variant::Ffb`] and run, returning the
-/// outcome. Note this always runs under the variant's default VM
-/// configuration; `Session::compile_and_run` honors the session's
-/// tuned `VmConfig` and fault overlay.
-///
-/// # Errors
-///
-/// Returns [`CompileError`] on syntax or type errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `Session` and use `Session::compile_and_run`, which honors the session's VM configuration"
-)]
-pub fn compile_and_run(src: &str) -> Result<Outcome, CompileError> {
-    compile_engine(
-        src,
-        Variant::Ffb,
-        &OptConfig::default(),
-        &Limits::default(),
-        None,
-    )
-    .map(|(c, _)| c.run())
 }

@@ -46,9 +46,9 @@
 //! ```
 
 use crate::config::Variant;
-use crate::error::CompileError;
+use crate::error::{CompileError, ConfigError};
 use crate::fxhash::{hash_bytes, FxHasher};
-use crate::pipeline::{compile_engine, Compiled, Limits};
+use crate::pipeline::{compile_engine, Compiled, Limits, VerifyIr};
 use sml_cps::OptConfig;
 use sml_lambda::LtyInterner;
 use sml_vm::{FaultInject, Outcome, VmConfig};
@@ -56,21 +56,6 @@ use std::collections::HashMap;
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-
-/// An invalid session configuration, reported by
-/// [`SessionBuilder::build`] before any compilation runs.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SessionError {
-    msg: String,
-}
-
-impl std::fmt::Display for SessionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid session configuration: {}", self.msg)
-    }
-}
-
-impl std::error::Error for SessionError {}
 
 /// One unit of work for [`Session::compile_batch`].
 #[derive(Clone, Debug)]
@@ -220,9 +205,9 @@ impl ArtifactCache {
     }
 }
 
-/// Builder for [`Session`]; every knob of the old
-/// `compile`/`compile_with`/`compile_full` trio plus the VM surface in
-/// one place. `build` validates the whole configuration up front.
+/// Builder for [`Session`]; every compilation knob plus the VM surface
+/// in one place. `build` validates the whole configuration up front and
+/// reports the first bad field as a [`ConfigError`].
 #[derive(Clone, Debug)]
 pub struct SessionBuilder {
     variant: Variant,
@@ -234,10 +219,21 @@ pub struct SessionBuilder {
     cache_capacity: usize,
     reuse_types: bool,
     batch_workers: usize,
+    verify: VerifyIr,
 }
 
 impl Default for SessionBuilder {
     fn default() -> SessionBuilder {
+        // The `SMLC_VERIFY_IR` environment variable (off / debug /
+        // always) overrides the default verification mode, so a test
+        // harness can force `always` across a whole run without
+        // plumbing a flag through every driver. An explicit
+        // `.verify_ir(..)` call still wins, and an unparsable value
+        // falls back to the default.
+        let verify = std::env::var("SMLC_VERIFY_IR")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_default();
         SessionBuilder {
             variant: Variant::Ffb,
             opt: OptConfig::default(),
@@ -248,6 +244,7 @@ impl Default for SessionBuilder {
             cache_capacity: 256,
             reuse_types: true,
             batch_workers: 0,
+            verify,
         }
     }
 }
@@ -316,56 +313,70 @@ impl SessionBuilder {
         self
     }
 
+    /// When the typed-IR verification pipeline runs (default
+    /// [`VerifyIr::Debug`]: active in debug builds, skipped in release
+    /// builds). See `docs/VERIFY_IR.md`. The mode is part of the
+    /// session fingerprint, so cached artifacts never cross modes.
+    pub fn verify_ir(mut self, mode: VerifyIr) -> SessionBuilder {
+        self.verify = mode;
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
     ///
-    /// Returns [`SessionError`] when a knob is out of range: a zero
-    /// resource budget, a zero cache capacity with the cache enabled, a
-    /// degenerate VM geometry (zero-sized nursery or semispace, nursery
-    /// larger than the heap), or a zero fault-injection threshold
-    /// (both are 1-based).
-    pub fn build(self) -> Result<Session, SessionError> {
-        let err = |msg: String| Err(SessionError { msg });
+    /// Returns [`ConfigError`] naming the offending field when a knob
+    /// is out of range: a zero resource budget, a zero cache capacity
+    /// with the cache enabled, a degenerate VM geometry (zero-sized
+    /// nursery or semispace, nursery larger than the heap), or a zero
+    /// fault-injection threshold (both are 1-based).
+    pub fn build(self) -> Result<Session, ConfigError> {
+        let nonzero = |field: &'static str| Err(ConfigError::MustBeNonzero { field });
         if self.limits.max_source_bytes == 0 {
-            return err("limits.max_source_bytes must be nonzero".into());
+            return nonzero("limits.max_source_bytes");
         }
         if self.limits.max_lexp_nodes == 0 {
-            return err("limits.max_lexp_nodes must be nonzero".into());
+            return nonzero("limits.max_lexp_nodes");
         }
         if self.limits.max_cps_ops == 0 {
-            return err("limits.max_cps_ops must be nonzero".into());
+            return nonzero("limits.max_cps_ops");
         }
         if self.opt.max_rounds == 0 {
-            return err("opt.max_rounds must be nonzero".into());
+            return nonzero("opt.max_rounds");
         }
         if self.cache_enabled && self.cache_capacity == 0 {
-            return err("cache_capacity must be nonzero when the cache is enabled".into());
+            return nonzero("cache_capacity");
         }
         if let Some(vm) = &self.vm {
-            if vm.nursery_words == 0 || vm.tenured_words == 0 {
-                return err("vm nursery and tenured space must be nonzero".into());
+            if vm.nursery_words == 0 {
+                return nonzero("vm.nursery_words");
+            }
+            if vm.tenured_words == 0 {
+                return nonzero("vm.tenured_words");
             }
             if vm.nursery_words > vm.tenured_words {
-                return err(format!(
-                    "vm nursery ({} words) exceeds the tenured space ({} words)",
-                    vm.nursery_words, vm.tenured_words
-                ));
+                return Err(ConfigError::OutOfRange {
+                    field: "vm.nursery_words",
+                    given: vm.nursery_words as u64,
+                    min: 1,
+                    max: vm.tenured_words as u64,
+                });
             }
             if vm.promote_after == 0 {
-                return err("vm.promote_after is 1-based; it must be nonzero".into());
+                return nonzero("vm.promote_after");
             }
             if vm.max_cycles == 0 {
-                return err("vm.max_cycles must be nonzero".into());
+                return nonzero("vm.max_cycles");
             }
         }
         let faults = [self.fault, self.vm.map(|v| v.fault)];
         for fault in faults.into_iter().flatten() {
             if fault.fail_alloc_at == Some(0) {
-                return err("fault.fail_alloc_at is 1-based; 0 would never fire".into());
+                return nonzero("fault.fail_alloc_at");
             }
             if fault.gc_every_n_allocs == Some(0) {
-                return err("fault.gc_every_n_allocs must be nonzero".into());
+                return nonzero("fault.gc_every_n_allocs");
             }
         }
         let fingerprint = fingerprint(&self);
@@ -377,6 +388,7 @@ impl SessionBuilder {
             fault: self.fault,
             reuse_types: self.reuse_types,
             batch_workers: self.batch_workers,
+            verify: self.verify,
             fingerprint,
             cache: self
                 .cache_enabled
@@ -391,6 +403,14 @@ impl SessionBuilder {
 /// if caches are ever shared or persisted.
 fn fingerprint(b: &SessionBuilder) -> u64 {
     let mut h = FxHasher::default();
+    // The verification mode never changes generated code, but a mode
+    // byte keeps cache diagnostics honest if artifacts are ever shared
+    // or persisted across differently-verified sessions.
+    h.write_u8(match b.verify {
+        VerifyIr::Off => 0,
+        VerifyIr::Debug => 1,
+        VerifyIr::Always => 2,
+    });
     h.write_usize(b.opt.max_rounds);
     h.write_usize(b.opt.inline_size);
     h.write_usize(b.opt.inline_passes);
@@ -436,6 +456,7 @@ pub struct Session {
     fault: Option<FaultInject>,
     reuse_types: bool,
     batch_workers: usize,
+    verify: VerifyIr,
     fingerprint: u64,
     cache: Option<Mutex<ArtifactCache>>,
     warm: Mutex<HashMap<Variant, LtyInterner>>,
@@ -500,6 +521,12 @@ impl Session {
         self.batch_workers
     }
 
+    /// The configured IR-verification mode; see
+    /// [`SessionBuilder::verify_ir`].
+    pub fn verify_ir(&self) -> VerifyIr {
+        self.verify
+    }
+
     /// The VM configuration a run of `variant` would use: the explicit
     /// [`SessionBuilder::vm_config`] if one was given (otherwise the
     /// variant's default), with the [`SessionBuilder::fault_inject`]
@@ -542,8 +569,8 @@ impl Session {
     }
 
     /// Compiles and runs in one call, honoring the session's VM
-    /// configuration (unlike the deprecated free `compile_and_run`,
-    /// which always ran under `VmConfig::default()`-shaped settings).
+    /// configuration — heap sizing and fault injection configured on
+    /// the builder reach the run.
     ///
     /// # Errors
     ///
@@ -652,7 +679,7 @@ impl Session {
         } else {
             None
         };
-        let result = compile_engine(src, variant, &self.opt, &self.limits, seed);
+        let result = compile_engine(src, variant, &self.opt, &self.limits, self.verify, seed);
         match result {
             Ok((artifact, interner)) => {
                 if allow_warm && self.reuse_types {
@@ -764,40 +791,93 @@ mod tests {
             gc_every_n_allocs: None,
         }));
         assert_ne!(base, zeroish);
+        let verified = fingerprint(&SessionBuilder::default().verify_ir(VerifyIr::Always));
+        let unverified = fingerprint(&SessionBuilder::default().verify_ir(VerifyIr::Off));
+        assert_ne!(verified, unverified);
     }
 
     #[test]
     fn builder_rejects_degenerate_knobs() {
-        assert!(Session::builder()
+        let e = Session::builder()
             .limits(Limits {
                 max_lexp_nodes: 0,
                 ..Limits::default()
             })
             .build()
-            .is_err());
-        assert!(Session::builder().cache_capacity(0).build().is_err());
+            .unwrap_err();
+        assert_eq!(e.field(), "limits.max_lexp_nodes");
+        assert_eq!(
+            e,
+            ConfigError::MustBeNonzero {
+                field: "limits.max_lexp_nodes"
+            }
+        );
+        let e = Session::builder().cache_capacity(0).build().unwrap_err();
+        assert_eq!(e.field(), "cache_capacity");
         assert!(Session::builder()
             .cache(false)
             .cache_capacity(0)
             .build()
             .is_ok());
-        assert!(Session::builder()
+        let e = Session::builder()
             .fault_inject(FaultInject {
                 fail_alloc_at: Some(0),
                 gc_every_n_allocs: None,
             })
             .build()
-            .is_err());
+            .unwrap_err();
+        assert_eq!(e.field(), "fault.fail_alloc_at");
         let vm = VmConfig {
             nursery_words: 1024,
             tenured_words: 512,
             ..VmConfig::default()
         };
-        assert!(Session::builder().vm_config(vm).build().is_err());
+        let e = Session::builder().vm_config(vm).build().unwrap_err();
+        assert_eq!(
+            e,
+            ConfigError::OutOfRange {
+                field: "vm.nursery_words",
+                given: 1024,
+                min: 1,
+                max: 512,
+            }
+        );
+        assert_eq!(e.allowed(), "1..=512");
         let vm = VmConfig {
             promote_after: 0,
             ..VmConfig::default()
         };
-        assert!(Session::builder().vm_config(vm).build().is_err());
+        let e = Session::builder().vm_config(vm).build().unwrap_err();
+        assert_eq!(e.field(), "vm.promote_after");
+    }
+
+    #[test]
+    fn config_error_converts_into_compile_error() {
+        let e = Session::builder().cache_capacity(0).build().unwrap_err();
+        let ce: CompileError = e.into();
+        assert_eq!(ce.kind(), "config");
+        assert_eq!(ce.phase(), "config");
+        assert!(ce.to_string().contains("cache_capacity"));
+    }
+
+    #[test]
+    fn verify_ir_mode_is_recorded_and_counted() {
+        let session = Session::builder()
+            .verify_ir(VerifyIr::Always)
+            .build()
+            .unwrap();
+        assert_eq!(session.verify_ir(), VerifyIr::Always);
+        let c = session.compile("val _ = print (itos 42)").unwrap();
+        assert_eq!(c.stats.verify.mode, VerifyIr::Always);
+        assert_eq!(c.stats.verify.lexp_checks, 1);
+        assert_eq!(c.stats.verify.bytecode_checks, 1);
+        // Post-convert + at least one optimizer pass + closed program.
+        assert!(c.stats.verify.cps_checks >= 3);
+
+        let off = Session::builder().verify_ir(VerifyIr::Off).build().unwrap();
+        let c_off = off.compile("val _ = print (itos 42)").unwrap();
+        assert_eq!(c_off.stats.verify.total_checks(), 0);
+        // Verification never rewrites: identical code either way.
+        assert_eq!(format!("{}", c.machine), format!("{}", c_off.machine));
     }
 }

@@ -10,8 +10,7 @@ use sml_testkit::{run_cases, Rng};
 use smlc::{CompileError, Compiled, Session, Variant, VmResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Compiles through a fresh single-variant session (the supported API;
-/// the old free `compile` is a deprecated shim over the same engine).
+/// Compiles through a fresh single-variant session.
 fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
     Session::with_variant(v).compile(src)
 }

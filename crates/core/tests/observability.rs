@@ -78,7 +78,9 @@ fn golden_default_metrics_document() {
         "\"coerce\":{\"requests\":0,\"identities\":0,\"wraps\":0,",
         "\"fn_wrappers\":0,\"record_rebuilds\":0,\"memo_hits\":0},",
         "\"opt\":{\"rounds\":0,\"wrap_cancelled\":0,\"record_copies\":0,",
-        "\"beta\":0,\"inlined\":0,\"dead\":0},\"warnings\":0},",
+        "\"beta\":0,\"inlined\":0,\"dead\":0},",
+        "\"verify\":{\"mode\":\"debug\",\"lexp_checks\":0,\"cps_checks\":0,",
+        "\"bytecode_checks\":0,\"ms\":0.0},\"warnings\":0},",
         "\"run\":{\"result\":\"value\",\"cycles\":0,\"instrs\":0,",
         "\"alloc_words\":0,\"n_allocs\":0,",
         "\"gc\":{\"collections\":0,\"copied_words\":0,\"cycles\":0,\"minor_collections\":0,\"major_collections\":0,\"promoted_words\":0,\"remembered_set_peak\":0,\"minor_cycles\":0,\"major_cycles\":0,\"max_minor_pause_cycles\":0,\"max_major_pause_cycles\":0},",

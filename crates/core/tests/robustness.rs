@@ -7,13 +7,12 @@ use smlc::{
     VmConfig, VmResult,
 };
 
-/// Compiles through a fresh single-variant session (the supported API;
-/// the old free `compile` is a deprecated shim over the same engine).
+/// Compiles through a fresh single-variant session.
 fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
     Session::with_variant(v).compile(src)
 }
 
-/// Session-based replacement for the old free `compile_full`.
+/// Compiles with an explicit optimizer configuration and limits.
 fn compile_full(
     src: &str,
     v: Variant,
@@ -126,10 +125,18 @@ fn error_taxonomy_tags_are_stable() {
     let ice = CompileError::Internal {
         phase: "codegen",
         msg: "x".into(),
+        violation: None,
     };
     assert_eq!(ice.kind(), "internal");
     assert_eq!(ice.phase(), "codegen");
     assert!(ice.to_string().contains("internal compiler error"));
+
+    let config = CompileError::Config(smlc::ConfigError::MustBeNonzero {
+        field: "cache_capacity",
+    });
+    assert_eq!(config.kind(), "config");
+    assert_eq!(config.phase(), "config");
+    assert!(config.to_string().contains("cache_capacity"));
 }
 
 #[test]

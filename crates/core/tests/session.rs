@@ -241,8 +241,7 @@ fn compile_batch_contains_per_job_errors() {
 #[test]
 fn compile_and_run_honors_session_vm_config() {
     // A heap far too small for ALLOCATOR: the session's tuned VM config
-    // must reach the run (the old free `compile_and_run` ignored it —
-    // that bug now lives only in the deprecated shim).
+    // must reach the run.
     let tiny = VmConfig {
         nursery_words: 128,
         tenured_words: 512,

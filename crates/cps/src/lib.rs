@@ -25,10 +25,12 @@ pub mod closure;
 pub mod convert;
 pub mod cps;
 pub mod optimize;
+pub mod verify;
 
 pub use closure::{close, ClosedProgram};
 pub use convert::{convert, CpsConfig, CpsProgram, SpreadMode};
 pub use cps::{
     cty_of_lty, AllocOp, BranchOp, CVar, Cexp, Cty, FunDef, FunKind, LookOp, PureOp, SetOp, Value,
 };
-pub use optimize::{optimize, OptConfig, OptStats};
+pub use optimize::{optimize, optimize_instrumented, OptConfig, OptStats};
+pub use verify::{verify_closed_program, verify_cps, CpsVerifySummary, CpsViolation};

@@ -66,6 +66,26 @@ impl OptStats {
 
 /// Optimizes a CPS program in place; returns statistics.
 pub fn optimize(prog: &mut crate::convert::CpsProgram, cfg: &OptConfig) -> OptStats {
+    match optimize_instrumented(prog, cfg, |_, _| Ok::<(), std::convert::Infallible>(())) {
+        Ok(stats) => stats,
+        Err(never) => match never {},
+    }
+}
+
+/// [`optimize`] with a per-pass observation hook, used by the pipeline's
+/// IR verifier.
+///
+/// `check` runs after every optimizer pass (one contraction fixpoint
+/// plus the inline expansion that follows it, if any) with the pass
+/// index and the program as rewritten so far; returning an error stops
+/// optimization immediately and propagates the error. The hook is
+/// observational — it receives `&CpsProgram` and cannot mutate it — so
+/// a run whose hook never fails rewrites exactly as [`optimize`] does.
+pub fn optimize_instrumented<E>(
+    prog: &mut crate::convert::CpsProgram,
+    cfg: &OptConfig,
+    mut check: impl FnMut(usize, &crate::convert::CpsProgram) -> Result<(), E>,
+) -> Result<OptStats, E> {
     let mut stats = OptStats::default();
     for pass in 0..=cfg.inline_passes {
         // Contraction fixpoint.
@@ -94,8 +114,9 @@ pub fn optimize(prog: &mut crate::convert::CpsProgram, cfg: &OptConfig) -> OptSt
             prog.body = inliner.go(body);
             prog.next_var = inliner.next;
         }
+        check(pass, prog)?;
     }
-    stats
+    Ok(stats)
 }
 
 /// What a variable is known to be bound to.

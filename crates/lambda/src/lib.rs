@@ -24,9 +24,11 @@ pub mod lexp;
 pub mod lty;
 pub mod matchcomp;
 pub mod translate;
+pub mod verify;
 
 pub use coerce::{coerce_exp, is_identity, CoerceStats, CoercionCache, VarGen};
 pub use exhaustive::{check_rules, irrefutable};
 pub use lexp::{compat, type_of, LVar, Lexp, Primop};
 pub use lty::{InternMode, Lty, LtyInterner, LtyKind, LtyStats};
 pub use translate::{translate, translate_seeded, LambdaConfig, Translation};
+pub use verify::{verify_lexp, LexpVerifySummary, LexpViolation};

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod mutate;
 pub mod progen;
 
 /// A deterministic pseudo-random number generator (splitmix64 core).

@@ -281,6 +281,403 @@ impl fmt::Display for MachineProgram {
     }
 }
 
+// ----- parsing ------------------------------------------------------------
+
+fn parse_reg(tok: &str) -> Result<u8, String> {
+    let t = tok.trim().trim_end_matches(',');
+    match t.as_bytes().first() {
+        Some(b'r') | Some(b's') => t[1..].parse().map_err(|_| format!("bad register `{t}`")),
+        _ => Err(format!("expected integer register, got `{t}`")),
+    }
+}
+
+fn parse_freg(tok: &str) -> Result<u8, String> {
+    let t = tok.trim().trim_end_matches(',');
+    match t.as_bytes().first() {
+        Some(b'f') => t[1..]
+            .parse()
+            .map_err(|_| format!("bad float register `{t}`")),
+        _ => Err(format!("expected float register, got `{t}`")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(tok: &str) -> Result<T, String> {
+    tok.trim()
+        .trim_end_matches(',')
+        .parse()
+        .map_err(|_| format!("bad number `{}`", tok.trim()))
+}
+
+/// Parses `base[off]` into the base-register token and the bracketed
+/// text.
+fn parse_indexed(tok: &str) -> Result<(&str, &str), String> {
+    let t = tok.trim().trim_end_matches(',');
+    let open = t
+        .find('[')
+        .ok_or_else(|| format!("expected `base[off]`, got `{t}`"))?;
+    let close = t
+        .rfind(']')
+        .filter(|&c| c > open)
+        .ok_or_else(|| format!("unterminated `[` in `{t}`"))?;
+    Ok((&t[..open], &t[open + 1..close]))
+}
+
+fn parse_target(tok: &str) -> Result<u32, String> {
+    let t = tok.trim().trim_end_matches(',');
+    let t = t
+        .strip_prefix('@')
+        .ok_or_else(|| format!("expected `@target`, got `{t}`"))?;
+    parse_num(t)
+}
+
+fn parse_label(tok: &str) -> Result<u32, String> {
+    let t = tok.trim().trim_end_matches(',');
+    let t = t
+        .strip_prefix('L')
+        .ok_or_else(|| format!("expected `L<label>`, got `{t}`"))?;
+    parse_num(t)
+}
+
+/// Parses one instruction back from its [`Display`] rendering.
+///
+/// The disassembly grammar is regular, so every line the disassembler
+/// prints re-parses to an instruction that renders identically; the
+/// bytecode verifier relies on this to cite violations by disassembly
+/// line. Leading whitespace and a `<pc>:` margin (as printed by block
+/// listings) are accepted and ignored.
+pub fn parse_instr(line: &str) -> Result<Instr, String> {
+    let mut text = line.trim();
+    // Strip the listing margin, e.g. `  12:  move ...`.
+    if let Some((margin, rest)) = text.split_once(':') {
+        if margin.chars().all(|c| c.is_ascii_digit()) && !margin.is_empty() {
+            text = rest.trim_start();
+        }
+    }
+    let (mn, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let rest = rest.trim();
+    let toks: Vec<&str> = rest.split_whitespace().collect();
+    let tok = |i: usize| -> Result<&str, String> {
+        toks.get(i)
+            .copied()
+            .ok_or_else(|| format!("missing operand {i} in `{line}`"))
+    };
+
+    match mn {
+        "move" => Ok(Instr::Move {
+            d: parse_reg(tok(0)?)?,
+            s: parse_reg(tok(1)?)?,
+        }),
+        "fmove" => Ok(Instr::FMove {
+            d: parse_freg(tok(0)?)?,
+            s: parse_freg(tok(1)?)?,
+        }),
+        "li" => Ok(Instr::LoadI {
+            d: parse_reg(tok(0)?)?,
+            imm: parse_num(tok(1)?)?,
+        }),
+        "lf" => Ok(Instr::LoadF {
+            d: parse_freg(tok(0)?)?,
+            imm: parse_num(tok(1)?)?,
+        }),
+        "lstr" => {
+            let (pool, ix) = parse_indexed(tok(1)?)?;
+            if pool != "pool" {
+                return Err(format!("expected `pool[..]`, got `{pool}`"));
+            }
+            Ok(Instr::LoadStr {
+                d: parse_reg(tok(0)?)?,
+                pool: parse_num(ix)?,
+            })
+        }
+        "llabel" => Ok(Instr::LoadLabel {
+            d: parse_reg(tok(0)?)?,
+            label: parse_label(tok(1)?)?,
+        }),
+        "add" | "sub" | "mul" | "div" | "mod" => {
+            let op = match mn {
+                "add" => AOp::Add,
+                "sub" => AOp::Sub,
+                "mul" => AOp::Mul,
+                "div" => AOp::Div,
+                _ => AOp::Mod,
+            };
+            Ok(Instr::Arith {
+                op,
+                d: parse_reg(tok(0)?)?,
+                a: parse_reg(tok(1)?)?,
+                b: parse_reg(tok(2)?)?,
+            })
+        }
+        "fadd" | "fsub" | "fmul" | "fdiv" => {
+            let op = match mn {
+                "fadd" => FOp::Add,
+                "fsub" => FOp::Sub,
+                "fmul" => FOp::Mul,
+                _ => FOp::Div,
+            };
+            Ok(Instr::FArith {
+                op,
+                d: parse_freg(tok(0)?)?,
+                a: parse_freg(tok(1)?)?,
+                b: parse_freg(tok(2)?)?,
+            })
+        }
+        "fneg" | "fsqrt" | "fsin" | "fcos" | "fatan" | "fexp" | "fln" => {
+            let op = match mn {
+                "fneg" => FUOp::Neg,
+                "fsqrt" => FUOp::Sqrt,
+                "fsin" => FUOp::Sin,
+                "fcos" => FUOp::Cos,
+                "fatan" => FUOp::Atan,
+                "fexp" => FUOp::Exp,
+                _ => FUOp::Ln,
+            };
+            Ok(Instr::FUnary {
+                op,
+                d: parse_freg(tok(0)?)?,
+                a: parse_freg(tok(1)?)?,
+            })
+        }
+        "floor" => Ok(Instr::Floor {
+            d: parse_reg(tok(0)?)?,
+            a: parse_freg(tok(1)?)?,
+        }),
+        "i2r" => Ok(Instr::IntToReal {
+            d: parse_freg(tok(0)?)?,
+            a: parse_reg(tok(1)?)?,
+        }),
+        "lw" | "sw" | "sw.wb" => {
+            let (base, off) = parse_indexed(tok(1)?)?;
+            let r = parse_reg(tok(0)?)?;
+            let base = parse_reg(base)?;
+            let off = parse_num(off)?;
+            Ok(match mn {
+                "lw" => Instr::Load { d: r, base, off },
+                "sw" => Instr::Store { s: r, base, off },
+                _ => Instr::StoreWB { s: r, base, off },
+            })
+        }
+        "lw.f" | "sw.f" => {
+            let (base, off) = parse_indexed(tok(1)?)?;
+            let fr = parse_freg(tok(0)?)?;
+            let base = parse_reg(base)?;
+            let off = parse_num(off)?;
+            Ok(if mn == "lw.f" {
+                Instr::FLoad { d: fr, base, off }
+            } else {
+                Instr::FStore { s: fr, base, off }
+            })
+        }
+        "lwx" | "swx" | "swx.wb" => {
+            let (base, idx) = parse_indexed(tok(1)?)?;
+            let r = parse_reg(tok(0)?)?;
+            let base = parse_reg(base)?;
+            let idx = parse_reg(idx)?;
+            Ok(match mn {
+                "lwx" => Instr::LoadIdx { d: r, base, idx },
+                "swx" => Instr::StoreIdx { s: r, base, idx },
+                _ => Instr::StoreIdxWB { s: r, base, idx },
+            })
+        }
+        "alloc" => {
+            let open = rest.find('[').ok_or("alloc without field list")?;
+            let close = rest.rfind(']').ok_or("alloc without `]`")?;
+            let head: Vec<&str> = rest[..open].split(',').map(str::trim).collect();
+            if head.len() < 2 {
+                return Err(format!("bad alloc head in `{line}`"));
+            }
+            let d = parse_reg(head[0])?;
+            let kind = match head[1] {
+                "record" => AllocKind::Record,
+                "ref" => AllocKind::Ref,
+                other => return Err(format!("unknown alloc kind `{other}`")),
+            };
+            let mut words = Vec::new();
+            let mut flts = Vec::new();
+            for field in rest[open + 1..close].split(',') {
+                let field = field.trim();
+                if field.is_empty() {
+                    continue;
+                }
+                if field.starts_with('f') {
+                    flts.push(parse_freg(field)?);
+                } else {
+                    words.push(parse_reg(field)?);
+                }
+            }
+            Ok(Instr::Alloc {
+                d,
+                kind,
+                words,
+                flts,
+            })
+        }
+        "allocarr" => {
+            let len = tok(1)?
+                .strip_prefix("len=")
+                .ok_or_else(|| format!("expected `len=`, got `{}`", tok(1).unwrap_or("")))?;
+            let init = tok(2)?
+                .strip_prefix("init=")
+                .ok_or_else(|| format!("expected `init=`, got `{}`", tok(2).unwrap_or("")))?;
+            Ok(Instr::AllocArr {
+                d: parse_reg(tok(0)?)?,
+                len: parse_reg(len)?,
+                init: parse_reg(init)?,
+            })
+        }
+        "arrlen" => Ok(Instr::ArrLen {
+            d: parse_reg(tok(0)?)?,
+            a: parse_reg(tok(1)?)?,
+        }),
+        "fbox" => Ok(Instr::FBox {
+            d: parse_reg(tok(0)?)?,
+            s: parse_freg(tok(1)?)?,
+        }),
+        "funbox" => Ok(Instr::FUnbox {
+            d: parse_freg(tok(0)?)?,
+            s: parse_reg(tok(1)?)?,
+        }),
+        "switch" => {
+            let open = rest.find('[').ok_or("switch without table")?;
+            let close = rest.rfind(']').ok_or("switch without `]`")?;
+            let head: Vec<&str> = rest[..open].split(',').map(str::trim).collect();
+            if head.len() < 2 {
+                return Err(format!("bad switch head in `{line}`"));
+            }
+            let r = parse_reg(head[0])?;
+            let lo = parse_num(
+                head[1]
+                    .strip_prefix("lo=")
+                    .ok_or_else(|| format!("expected `lo=`, got `{}`", head[1]))?,
+            )?;
+            let mut table = Vec::new();
+            for t in rest[open + 1..close].split(',') {
+                let t = t.trim();
+                if !t.is_empty() {
+                    table.push(parse_target(t)?);
+                }
+            }
+            let tail: Vec<&str> = rest[close + 1..].split_whitespace().collect();
+            if tail.first() != Some(&"default") || tail.len() != 2 {
+                return Err(format!("bad switch default in `{line}`"));
+            }
+            let default = parse_target(tail[1])?;
+            Ok(Instr::Switch {
+                r,
+                lo,
+                table,
+                default,
+            })
+        }
+        "j" => Ok(Instr::Jump {
+            label: parse_label(tok(0)?)?,
+        }),
+        "jr" => Ok(Instr::JumpReg {
+            r: parse_reg(tok(0)?)?,
+        }),
+        "gethdlr" => Ok(Instr::GetHdlr {
+            d: parse_reg(tok(0)?)?,
+        }),
+        "sethdlr" => Ok(Instr::SetHdlr {
+            s: parse_reg(tok(0)?)?,
+        }),
+        "print" => Ok(Instr::Print {
+            s: parse_reg(tok(0)?)?,
+        }),
+        "halt" => Ok(Instr::Halt {
+            s: parse_reg(tok(0)?)?,
+        }),
+        "uncaught" => Ok(Instr::Uncaught {
+            s: parse_reg(tok(0)?)?,
+        }),
+        _ if mn.starts_with("br.!") => {
+            let op = &mn[4..];
+            let (a, b) = (tok(0)?, tok(1)?);
+            if tok(2)? != "->" {
+                return Err(format!("expected `->` in `{line}`"));
+            }
+            let target = parse_target(tok(3)?)?;
+            if op == "peq" {
+                return Ok(Instr::PolyEqBranch {
+                    a: parse_reg(a)?,
+                    b: parse_reg(b)?,
+                    target,
+                });
+            }
+            if let Some(fop) = match op {
+                "flt" => Some(FBrOp::Lt),
+                "fle" => Some(FBrOp::Le),
+                "fgt" => Some(FBrOp::Gt),
+                "fge" => Some(FBrOp::Ge),
+                "feq" => Some(FBrOp::Eq),
+                "fne" => Some(FBrOp::Ne),
+                _ => None,
+            } {
+                return Ok(Instr::FBranch {
+                    op: fop,
+                    a: parse_freg(a)?,
+                    b: parse_freg(b)?,
+                    target,
+                });
+            }
+            if let Some(sop) = match op {
+                "seq" => Some(SBrOp::Eq),
+                "sne" => Some(SBrOp::Ne),
+                "slt" => Some(SBrOp::Lt),
+                "sle" => Some(SBrOp::Le),
+                "sgt" => Some(SBrOp::Gt),
+                "sge" => Some(SBrOp::Ge),
+                _ => None,
+            } {
+                return Ok(Instr::SBranch {
+                    op: sop,
+                    a: parse_reg(a)?,
+                    b: parse_reg(b)?,
+                    target,
+                });
+            }
+            let bop = match op {
+                "lt" => BrOp::Lt,
+                "le" => BrOp::Le,
+                "gt" => BrOp::Gt,
+                "ge" => BrOp::Ge,
+                "eq" => BrOp::Eq,
+                "ne" => BrOp::Ne,
+                "boxed" => BrOp::Boxed,
+                other => return Err(format!("unknown branch op `{other}`")),
+            };
+            Ok(Instr::Branch {
+                op: bop,
+                a: parse_reg(a)?,
+                b: parse_reg(b)?,
+                target,
+            })
+        }
+        _ if mn.starts_with("rt.") => {
+            let op = match &mn[3..] {
+                "strcat" => RtOp::StrCat,
+                "strsize" => RtOp::StrSize,
+                "strsub" => RtOp::StrSub,
+                "itos" => RtOp::IntToString,
+                "rtos" => RtOp::RealToString,
+                other => return Err(format!("unknown runtime op `{other}`")),
+            };
+            let d = parse_reg(tok(0)?)?;
+            let (mut a, mut b, mut fa) = (0, 0, 0);
+            match op {
+                RtOp::RealToString => fa = parse_freg(tok(1)?)?,
+                RtOp::StrSize | RtOp::IntToString => a = parse_reg(tok(1)?)?,
+                _ => {
+                    a = parse_reg(tok(1)?)?;
+                    b = parse_reg(tok(2)?)?;
+                }
+            }
+            Ok(Instr::Rt { op, d, a, b, fa })
+        }
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +720,82 @@ mod tests {
             default: 7,
         };
         assert_eq!(format!("{i}"), "switch  r1, lo=0 [@3, @5] default @7");
+    }
+
+    #[test]
+    fn parse_roundtrips_representative_instrs() {
+        // Instr has no PartialEq (f64 fields), so round-trips compare
+        // the re-rendered text.
+        let cases = [
+            "move    r1, r2",
+            "fmove   f1, f2",
+            "li      r1, -42",
+            "lf      f3, 2.5",
+            "lstr    r2, pool[7]",
+            "llabel  r2, L9",
+            "add     r3, r1, r2",
+            "mod     r3, s33, r2",
+            "fadd    f3, f1, f2",
+            "fsqrt   f1, f2",
+            "floor   r1, f2",
+            "i2r     f1, r2",
+            "lw      r1, r2[3]",
+            "sw      r1, r2[3]",
+            "sw.wb   r1, r2[3]",
+            "lw.f    f1, r2[4]",
+            "sw.f    f1, r2[4]",
+            "lwx     r1, r2[r3]",
+            "swx     r1, r2[r3]",
+            "swx.wb  r1, r2[r3]",
+            "alloc   r4, record [r1, r2, f0]",
+            "alloc   r4, record []",
+            "alloc   r4, ref [r1]",
+            "allocarr r1, len=r2, init=r3",
+            "arrlen  r1, r2",
+            "fbox    r1, f2",
+            "funbox  f1, r2",
+            "br.!lt   r1, r2 -> @9",
+            "br.!boxed r1, r1 -> @4",
+            "br.!flt  f1, f2 -> @3",
+            "br.!seq  r1, r2 -> @3",
+            "br.!peq r1, r2 -> @3",
+            "switch  r1, lo=0 [@3, @5] default @7",
+            "switch  r1, lo=-2 [] default @1",
+            "j       L2",
+            "jr      r5",
+            "rt.strcat r1, r2, r3",
+            "rt.strsize  r1, r2",
+            "rt.strsub r1, r2, r3",
+            "rt.itos     r1, r2",
+            "rt.rtos  r1, f2",
+            "gethdlr r1",
+            "sethdlr r1",
+            "print   r1",
+            "halt    r1",
+            "uncaught r1",
+        ];
+        for line in cases {
+            let ins = parse_instr(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            let back = format!("{ins}");
+            assert_eq!(
+                back.split_whitespace().collect::<Vec<_>>(),
+                line.split_whitespace().collect::<Vec<_>>(),
+                "round-trip drift for `{line}`"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_accepts_listing_margin() {
+        let ins = parse_instr("  12:  li      r1, 42").expect("margin stripped");
+        assert_eq!(format!("{ins}"), "li      r1, 42");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_instr("frobnicate r1").is_err());
+        assert!(parse_instr("br.!zz r1, r2 -> @0").is_err());
+        assert!(parse_instr("li r1").is_err());
     }
 
     #[test]

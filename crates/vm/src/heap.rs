@@ -48,6 +48,13 @@ const SCAN_SHIFT: u32 = 3;
 const SCAN_BITS: u32 = 15;
 const RAW_SHIFT: u32 = 18;
 
+/// Largest scanned-field count a descriptor can record (the bytecode
+/// verifier rejects `Alloc`s beyond this: the GC scanner could not
+/// describe them).
+pub const MAX_SCAN_FIELDS: u32 = (1 << SCAN_BITS) - 1;
+/// Largest raw-word count a descriptor can record.
+pub const MAX_RAW_WORDS: u32 = (1 << (32 - RAW_SHIFT)) - 1;
+
 /// Builds a descriptor word.
 pub fn descriptor(kind: ObjKind, nscan: u32, nraw: u32) -> u32 {
     debug_assert!(nscan < (1 << SCAN_BITS));

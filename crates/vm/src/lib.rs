@@ -9,9 +9,12 @@ pub mod codegen;
 pub mod disasm;
 pub mod heap;
 pub mod isa;
+pub mod verify;
 pub mod vm;
 
 pub use codegen::codegen;
+pub use disasm::parse_instr;
 pub use heap::{GcKind, GcMode, Heap, HeapConfig, ObjKind};
 pub use isa::{CodeBlock, Instr, InstrClass, MachineProgram, N_INSTR_CLASSES};
+pub use verify::{verify_bytecode, BytecodeVerifySummary, BytecodeViolation};
 pub use vm::{run, FaultInject, Outcome, RunStats, VmConfig, VmResult};

@@ -1,0 +1,407 @@
+//! Bytecode verifier.
+//!
+//! Statically validates a [`MachineProgram`] before it reaches the
+//! interpreter: control-flow targets, register discipline, string-pool
+//! references, and — tying into the generational collector — that every
+//! `Alloc` describes an object layout the GC scanner can represent in a
+//! descriptor word. Violations carry a stable `rule` tag and cite the
+//! offending instruction by its disassembly line (`L<block> @<pc>`),
+//! the same rendering `--emit asm` prints (schema in
+//! `docs/VERIFY_IR.md`).
+//!
+//! The interpreter re-checks most of these properties dynamically and
+//! faults; the verifier's value is flagging them *statically*, for all
+//! paths, at compile time — including paths a given input never drives
+//! the VM down.
+
+use crate::heap::{decode, descriptor, Heap, ObjKind, MAX_RAW_WORDS, MAX_SCAN_FIELDS};
+use crate::isa::{AllocKind, CodeBlock, FReg, Instr, MachineProgram, Reg, MAX_REGS};
+
+/// A structured well-formedness violation found by [`verify_bytecode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BytecodeViolation {
+    /// Stable rule tag, e.g. `"branch-target"`.
+    pub rule: &'static str,
+    /// What went wrong; instruction-level violations cite the
+    /// disassembly line as `L<block> @<pc>: <instr>`.
+    pub detail: String,
+}
+
+impl std::fmt::Display for BytecodeViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+/// Work counters reported by a successful [`verify_bytecode`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BytecodeVerifySummary {
+    /// Instructions checked.
+    pub instrs: u64,
+    /// `Alloc` descriptors validated against the GC object layout.
+    pub allocs: u64,
+}
+
+fn violation(rule: &'static str, detail: String) -> BytecodeViolation {
+    BytecodeViolation { rule, detail }
+}
+
+/// True for instructions that end a block (control never falls past
+/// them); codegen guarantees every block terminates in one.
+fn is_terminator(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::Jump { .. }
+            | Instr::JumpReg { .. }
+            | Instr::Switch { .. }
+            | Instr::Halt { .. }
+            | Instr::Uncaught { .. }
+    )
+}
+
+/// Collects the integer- and float-register operands of an instruction.
+fn operand_regs(i: &Instr, regs: &mut Vec<Reg>, fregs: &mut Vec<FReg>) {
+    match i {
+        Instr::Move { d, s } => regs.extend([*d, *s]),
+        Instr::FMove { d, s } => fregs.extend([*d, *s]),
+        Instr::LoadI { d, .. } => regs.push(*d),
+        Instr::LoadF { d, .. } => fregs.push(*d),
+        Instr::LoadStr { d, .. } | Instr::LoadLabel { d, .. } => regs.push(*d),
+        Instr::Arith { d, a, b, .. } => regs.extend([*d, *a, *b]),
+        Instr::FArith { d, a, b, .. } => fregs.extend([*d, *a, *b]),
+        Instr::FUnary { d, a, .. } => fregs.extend([*d, *a]),
+        Instr::Floor { d, a } => {
+            regs.push(*d);
+            fregs.push(*a);
+        }
+        Instr::IntToReal { d, a } => {
+            fregs.push(*d);
+            regs.push(*a);
+        }
+        Instr::Load { d, base, .. } => regs.extend([*d, *base]),
+        Instr::Store { s, base, .. } | Instr::StoreWB { s, base, .. } => regs.extend([*s, *base]),
+        Instr::FLoad { d, base, .. } => {
+            fregs.push(*d);
+            regs.push(*base);
+        }
+        Instr::FStore { s, base, .. } => {
+            fregs.push(*s);
+            regs.push(*base);
+        }
+        Instr::LoadIdx { d, base, idx } => regs.extend([*d, *base, *idx]),
+        Instr::StoreIdx { s, base, idx } | Instr::StoreIdxWB { s, base, idx } => {
+            regs.extend([*s, *base, *idx])
+        }
+        Instr::Alloc { d, words, flts, .. } => {
+            regs.push(*d);
+            regs.extend(words.iter().copied());
+            fregs.extend(flts.iter().copied());
+        }
+        Instr::AllocArr { d, len, init } => regs.extend([*d, *len, *init]),
+        Instr::ArrLen { d, a } => regs.extend([*d, *a]),
+        Instr::FBox { d, s } => {
+            regs.push(*d);
+            fregs.push(*s);
+        }
+        Instr::FUnbox { d, s } => {
+            fregs.push(*d);
+            regs.push(*s);
+        }
+        Instr::Branch { a, b, .. } => regs.extend([*a, *b]),
+        Instr::FBranch { a, b, .. } => fregs.extend([*a, *b]),
+        Instr::SBranch { a, b, .. } | Instr::PolyEqBranch { a, b, .. } => regs.extend([*a, *b]),
+        Instr::Switch { r, .. } => regs.push(*r),
+        Instr::Jump { .. } => {}
+        Instr::JumpReg { r } => regs.push(*r),
+        Instr::Rt { op, d, a, b, fa } => {
+            use crate::isa::RtOp;
+            regs.push(*d);
+            match op {
+                RtOp::StrCat | RtOp::StrSub => regs.extend([*a, *b]),
+                RtOp::StrSize | RtOp::IntToString => regs.push(*a),
+                RtOp::RealToString => fregs.push(*fa),
+            }
+        }
+        Instr::GetHdlr { d } => regs.push(*d),
+        Instr::SetHdlr { s } | Instr::Print { s } | Instr::Halt { s } | Instr::Uncaught { s } => {
+            regs.push(*s)
+        }
+    }
+}
+
+/// The intra-block jump targets an instruction may transfer to.
+fn branch_targets(i: &Instr, targets: &mut Vec<u32>) {
+    match i {
+        Instr::Branch { target, .. }
+        | Instr::FBranch { target, .. }
+        | Instr::SBranch { target, .. }
+        | Instr::PolyEqBranch { target, .. } => targets.push(*target),
+        Instr::Switch { table, default, .. } => {
+            targets.extend(table.iter().copied());
+            targets.push(*default);
+        }
+        _ => {}
+    }
+}
+
+fn check_instr(
+    block_ix: usize,
+    pc: usize,
+    ins: &Instr,
+    block_len: usize,
+    n_blocks: usize,
+    pool_len: usize,
+    sum: &mut BytecodeVerifySummary,
+) -> Result<(), BytecodeViolation> {
+    let cite = || format!("L{block_ix} @{pc}: {ins}");
+
+    let mut regs = Vec::new();
+    let mut fregs = Vec::new();
+    operand_regs(ins, &mut regs, &mut fregs);
+    if let Some(r) = regs.iter().find(|&&r| r >= MAX_REGS) {
+        return Err(violation(
+            "reg-range",
+            format!(
+                "register r{r} out of range (max {}) at {}",
+                MAX_REGS - 1,
+                cite()
+            ),
+        ));
+    }
+    if let Some(f) = fregs.iter().find(|&&f| f >= MAX_REGS) {
+        return Err(violation(
+            "reg-range",
+            format!(
+                "float register f{f} out of range (max {}) at {}",
+                MAX_REGS - 1,
+                cite()
+            ),
+        ));
+    }
+
+    let mut targets = Vec::new();
+    branch_targets(ins, &mut targets);
+    if let Some(t) = targets.iter().find(|&&t| t as usize >= block_len) {
+        return Err(violation(
+            "branch-target",
+            format!(
+                "branch target @{t} outside block of {block_len} instructions at {}",
+                cite()
+            ),
+        ));
+    }
+
+    match ins {
+        Instr::Jump { label } | Instr::LoadLabel { label, .. } if *label as usize >= n_blocks => {
+            return Err(violation(
+                "jump-range",
+                format!(
+                    "label L{label} outside program of {n_blocks} blocks at {}",
+                    cite()
+                ),
+            ));
+        }
+        Instr::LoadStr { pool, .. } if *pool as usize >= pool_len => {
+            return Err(violation(
+                "pool-range",
+                format!(
+                    "string pool index {pool} outside pool of {pool_len} entries at {}",
+                    cite()
+                ),
+            ));
+        }
+        Instr::Alloc {
+            kind, words, flts, ..
+        } => {
+            sum.allocs += 1;
+            let obj_kind = match kind {
+                AllocKind::Record => ObjKind::Record,
+                AllocKind::Ref => ObjKind::Ref,
+            };
+            if *kind == AllocKind::Ref && (words.len() != 1 || !flts.is_empty()) {
+                return Err(violation(
+                    "ref-shape",
+                    format!(
+                        "ref cell allocated with {} scanned / {} raw fields at {}",
+                        words.len(),
+                        flts.len(),
+                        cite()
+                    ),
+                ));
+            }
+            // Raw float fields occupy two words each, exactly as the
+            // interpreter will build the descriptor.
+            let nscan = words.len() as u64;
+            let nraw = 2 * flts.len() as u64;
+            if nscan > MAX_SCAN_FIELDS as u64 || nraw > MAX_RAW_WORDS as u64 {
+                return Err(violation(
+                    "alloc-descriptor",
+                    format!(
+                        "object layout ({nscan} scanned, {nraw} raw) exceeds descriptor \
+                         capacity ({MAX_SCAN_FIELDS} scanned, {MAX_RAW_WORDS} raw) at {}",
+                        cite()
+                    ),
+                ));
+            }
+            let desc = descriptor(obj_kind, nscan as u32, nraw as u32);
+            if decode(desc) != (obj_kind as u32, nscan as u32, nraw as u32) {
+                return Err(violation(
+                    "alloc-descriptor",
+                    format!("descriptor round-trip failed at {}", cite()),
+                ));
+            }
+        }
+        _ => {}
+    }
+    sum.instrs += 1;
+    Ok(())
+}
+
+fn check_block(
+    block_ix: usize,
+    b: &CodeBlock,
+    n_blocks: usize,
+    pool_len: usize,
+    sum: &mut BytecodeVerifySummary,
+) -> Result<(), BytecodeViolation> {
+    let Some(last) = b.instrs.last() else {
+        return Err(violation(
+            "block-terminator",
+            format!("block L{block_ix} <{}> is empty", b.name),
+        ));
+    };
+    if !is_terminator(last) {
+        return Err(violation(
+            "block-terminator",
+            format!(
+                "block L{block_ix} <{}> ends in non-terminator L{block_ix} @{}: {last}",
+                b.name,
+                b.instrs.len() - 1
+            ),
+        ));
+    }
+    for (pc, ins) in b.instrs.iter().enumerate() {
+        check_instr(block_ix, pc, ins, b.instrs.len(), n_blocks, pool_len, sum)?;
+    }
+    Ok(())
+}
+
+/// Verifies a machine program.
+///
+/// Returns work counters on success and the first [`BytecodeViolation`]
+/// otherwise. Never mutates the program.
+pub fn verify_bytecode(prog: &MachineProgram) -> Result<BytecodeVerifySummary, BytecodeViolation> {
+    let mut sum = BytecodeVerifySummary::default();
+    if prog.entry as usize >= prog.blocks.len() {
+        return Err(violation(
+            "entry-range",
+            format!(
+                "entry block {} outside program of {} blocks",
+                prog.entry,
+                prog.blocks.len()
+            ),
+        ));
+    }
+    for (ix, s) in prog.pool.iter().enumerate() {
+        if s.len() > Heap::MAX_STRING_BYTES {
+            return Err(violation(
+                "pool-string-size",
+                format!(
+                    "string pool entry {ix} is {} bytes (max {})",
+                    s.len(),
+                    Heap::MAX_STRING_BYTES
+                ),
+            ));
+        }
+    }
+    for (ix, b) in prog.blocks.iter().enumerate() {
+        check_block(ix, b, prog.blocks.len(), prog.pool.len(), &mut sum)?;
+    }
+    Ok(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_block(instrs: Vec<Instr>) -> MachineProgram {
+        MachineProgram {
+            blocks: vec![CodeBlock {
+                name: "main".into(),
+                instrs,
+            }],
+            entry: 0,
+            pool: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn accepts_minimal_program() {
+        let p = one_block(vec![Instr::LoadI { d: 1, imm: 42 }, Instr::Halt { s: 1 }]);
+        let sum = verify_bytecode(&p).expect("well-formed");
+        assert_eq!(sum.instrs, 2);
+    }
+
+    #[test]
+    fn rejects_branch_past_block_end() {
+        let p = one_block(vec![
+            Instr::Branch {
+                op: crate::isa::BrOp::Lt,
+                a: 1,
+                b: 2,
+                target: 9,
+            },
+            Instr::Halt { s: 1 },
+        ]);
+        let v = verify_bytecode(&p).unwrap_err();
+        assert_eq!(v.rule, "branch-target");
+        assert!(v.detail.contains("L0 @0"), "{}", v.detail);
+    }
+
+    #[test]
+    fn rejects_register_out_of_range() {
+        let p = one_block(vec![Instr::LoadI { d: 200, imm: 1 }, Instr::Halt { s: 1 }]);
+        assert_eq!(verify_bytecode(&p).unwrap_err().rule, "reg-range");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let p = one_block(vec![Instr::LoadI { d: 1, imm: 1 }]);
+        assert_eq!(verify_bytecode(&p).unwrap_err().rule, "block-terminator");
+    }
+
+    #[test]
+    fn rejects_ref_with_wrong_shape() {
+        let p = one_block(vec![
+            Instr::Alloc {
+                d: 2,
+                kind: AllocKind::Ref,
+                words: vec![1, 1],
+                flts: vec![],
+            },
+            Instr::Halt { s: 2 },
+        ]);
+        assert_eq!(verify_bytecode(&p).unwrap_err().rule, "ref-shape");
+    }
+
+    #[test]
+    fn rejects_oversized_alloc_descriptor() {
+        let p = one_block(vec![
+            Instr::Alloc {
+                d: 2,
+                kind: AllocKind::Record,
+                words: vec![1; MAX_SCAN_FIELDS as usize + 1],
+                flts: vec![],
+            },
+            Instr::Halt { s: 2 },
+        ]);
+        assert_eq!(verify_bytecode(&p).unwrap_err().rule, "alloc-descriptor");
+    }
+
+    #[test]
+    fn rejects_bad_entry() {
+        let mut p = one_block(vec![Instr::Halt { s: 1 }]);
+        p.entry = 5;
+        assert_eq!(verify_bytecode(&p).unwrap_err().rule, "entry-range");
+    }
+}

