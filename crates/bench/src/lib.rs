@@ -10,8 +10,9 @@
 //! strings, and Yacc parses token streams.
 //!
 //! [`run_matrix`] fans the 12×6 grid out through
-//! [`Session::compile_batch`] (batch compilations start from cold LTY
-//! tables, so cells are independent and scheduling-invariant), then
+//! [`Session::compile_batch`] (workers share the session's LTY
+//! hash-cons arena, which is insertion-order-independent, so cells
+//! stay scheduling-invariant even warm), then
 //! runs the compiled artifacts under the same parallel driver;
 //! [`run_matrix_serial`] is the single-threaded reference the
 //! differential test compares against — a one-worker [`Session`] over
@@ -131,6 +132,7 @@ impl BenchResult {
                 stats: self.outcome.stats,
             }),
             cache: None,
+            arena: None,
         }
     }
 }
@@ -320,8 +322,9 @@ pub fn matrix_session() -> Session {
 /// Cells are handed to worker threads through `Session::compile_batch`'s
 /// atomic work queue; the matrix comes back in the same deterministic
 /// order as [`run_matrix_serial`], and compilation/execution is fully
-/// deterministic per cell (batch compilations start from cold LTY
-/// tables), so the two produce identical outputs and counters. A cell
+/// deterministic per cell (the shared LTY arena is insertion-order-
+/// independent and per-cell counters come from per-compile views), so
+/// the two produce identical outputs and counters. A cell
 /// that fails in any way degrades in place (see [`cell_of`]); it never
 /// aborts the matrix.
 pub fn run_matrix() -> Vec<Vec<BenchCell>> {
@@ -592,7 +595,7 @@ mod tests {
     fn empty_matrix_serializes() {
         let doc = matrix_json(&[], "test").to_string_compact();
         assert!(doc.contains("\"benchmarks\":[]"));
-        assert!(doc.contains("\"schema_version\":1"));
+        assert!(doc.contains("\"schema_version\":2"));
         assert!(doc.contains("\"degraded_cells\":0"));
     }
 

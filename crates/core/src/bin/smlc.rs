@@ -258,6 +258,7 @@ fn main() -> ExitCode {
                         "{}",
                         Metrics::of_run(compiled, &outcome)
                             .with_cache(session.cache_stats())
+                            .with_arena(session.arena_stats())
                             .to_json()
                             .to_string_pretty()
                     );

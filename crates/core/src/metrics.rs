@@ -12,12 +12,20 @@
 use crate::json::Json;
 use crate::pipeline::{CompileStats, Compiled};
 use crate::session::CacheStats;
+use sml_lambda::InternStats;
 use sml_vm::{InstrClass, Outcome, RunStats, VmResult};
 
 /// Version stamped into every emitted document as `schema_version`;
 /// bump when a field is renamed, removed, or changes meaning (pure
 /// additions keep the version).
-pub const METRICS_SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: **1** — initial schema. **2** — `compile.lty`
+/// counters became strictly per-compile (a warm session no longer
+/// reports `interned` as the shared-table total, so `interned ==
+/// hashcons_misses` now holds for every compile, not just a session's
+/// first) and the top-level `arena` object (shared LTY arena totals)
+/// was added.
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 /// A structured snapshot of one compilation and (optionally) one run.
 #[derive(Clone, Debug)]
@@ -33,6 +41,12 @@ pub struct Metrics {
     /// session whose counters were captured (see
     /// `Session::cache_stats`); `None` serializes as `"cache": null`.
     pub cache: Option<CacheStats>,
+    /// Shared LTY arena totals, when captured from a session (see
+    /// `Session::arena_stats`); `None` serializes as `"arena": null`.
+    /// Arena totals span every compile of the session and their
+    /// per-shard split is scheduling-dependent — only the per-compile
+    /// `compile.lty` counters are deterministic.
+    pub arena: Option<InternStats>,
 }
 
 /// Run-side portion of a [`Metrics`] snapshot.
@@ -58,6 +72,7 @@ impl Default for Metrics {
                 stats: RunStats::default(),
             }),
             cache: Some(CacheStats::default()),
+            arena: Some(InternStats::default()),
         }
     }
 }
@@ -109,6 +124,7 @@ pub fn error_json(variant: crate::Variant, e: &crate::CompileError) -> Json {
         .field("compile", Json::Null)
         .field("run", Json::Null)
         .field("cache", Json::Null)
+        .field("arena", Json::Null)
 }
 
 impl Metrics {
@@ -119,6 +135,7 @@ impl Metrics {
             compile: c.stats.clone(),
             run: None,
             cache: None,
+            arena: None,
         }
     }
 
@@ -132,12 +149,21 @@ impl Metrics {
                 stats: o.stats,
             }),
             cache: None,
+            arena: None,
         }
     }
 
     /// Attaches a session's artifact-cache counters to the snapshot.
     pub fn with_cache(mut self, stats: CacheStats) -> Metrics {
         self.cache = Some(stats);
+        self
+    }
+
+    /// Attaches a session's shared-arena counters to the snapshot
+    /// (usually from `Session::arena_stats`; `None` is a valid input
+    /// for `reuse_types(false)` sessions and keeps `"arena": null`).
+    pub fn with_arena(mut self, stats: Option<InternStats>) -> Metrics {
+        self.arena = stats;
         self
     }
 
@@ -156,8 +182,33 @@ impl Metrics {
             Some(cache) => doc.field("cache", cache_json(cache)),
             None => doc.field("cache", Json::Null),
         };
+        doc = match &self.arena {
+            Some(arena) => doc.field("arena", arena_json(arena)),
+            None => doc.field("arena", Json::Null),
+        };
         doc
     }
+}
+
+fn arena_json(a: &InternStats) -> Json {
+    let shards: Vec<Json> = a
+        .shards
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .field("resident", s.resident)
+                .field("hits", s.hits)
+                .field("misses", s.misses)
+                .field("retries", s.retries)
+        })
+        .collect();
+    Json::obj()
+        .field("resident", a.resident())
+        .field("hits", a.hits())
+        .field("misses", a.misses())
+        .field("retries", a.retries())
+        .field("queries", a.queries())
+        .field("shards", Json::Arr(shards))
 }
 
 fn cache_json(c: &CacheStats) -> Json {

@@ -11,7 +11,7 @@
 use crate::config::Variant;
 use crate::error::{CompileError, Violation};
 use sml_cps::{close, convert, optimize, optimize_instrumented, OptConfig, OptStats};
-use sml_lambda::{translate, translate_seeded, CoerceStats, LtyInterner, LtyStats};
+use sml_lambda::{translate_seeded, CoerceStats, LtyInterner, LtyStats};
 use sml_vm::{codegen, run as vm_run, MachineProgram, Outcome, VmConfig};
 use std::cell::Cell;
 use std::fmt;
@@ -209,10 +209,11 @@ pub struct CompileStats {
     pub coerce: CoerceStats,
     /// Optimizer statistics.
     pub opt: OptStats,
-    /// LTY interner statistics. When a session reuses a warm table, the
-    /// counters (`intern_calls`, hits, misses, comparisons) are deltas
-    /// for this compile alone, while `interned` remains the total size
-    /// of the shared table.
+    /// LTY interner statistics for this compile's private view: the
+    /// types and intern calls attributable to this compilation alone.
+    /// Deterministic by construction — identical whether the session's
+    /// shared arena was cold or warm, serial or parallel — and
+    /// `interned == hashcons_misses` always holds.
     pub lty: LtyStats,
     /// IR-verification counters (all zero when verification is off).
     pub verify: VerifyStats,
@@ -235,10 +236,12 @@ pub struct Compiled {
     pub from_cache: bool,
 }
 
-/// Compiles `src`, optionally seeding translation with a warm LTY
-/// hash-cons table, and hands the table back for reuse. Counter fields
-/// of `stats.lty` are reported as per-compile deltas against the seed;
-/// `interned` stays the total table size. Every phase runs under panic
+/// Compiles `src` through the given LTY interner view — typically one
+/// opened on the session's shared [`sml_lambda::LtyArena`], so the
+/// hash-cons table is warm across compiles (and across batch workers)
+/// while `stats.lty` still reports exactly this compile's activity.
+/// A view whose mode disagrees with the variant's is replaced by a
+/// fresh one inside `translate_seeded`. Every phase runs under panic
 /// containment, so the only ways out are a [`Compiled`] program or a
 /// typed [`CompileError`].
 pub(crate) fn compile_engine(
@@ -247,8 +250,8 @@ pub(crate) fn compile_engine(
     opt_cfg: &OptConfig,
     limits: &Limits,
     verify: VerifyIr,
-    seed: Option<LtyInterner>,
-) -> Result<(Compiled, LtyInterner), CompileError> {
+    interner: LtyInterner,
+) -> Result<Compiled, CompileError> {
     if src.len() > limits.max_source_bytes {
         return Err(CompileError::Limit {
             phase: "parse",
@@ -293,15 +296,8 @@ pub(crate) fn compile_engine(
 
     let t = Instant::now();
     let lambda_cfg = variant.lambda_config();
-    // `translate_seeded` falls back to a fresh table on a mode
-    // mismatch, so only a matching seed contributes a stats baseline.
-    let baseline = seed
-        .as_ref()
-        .filter(|s| s.mode() == lambda_cfg.intern_mode)
-        .map(|s| s.stats());
-    let mut tr = contain("translate", || match seed {
-        Some(s) => translate_seeded(&elab, &lambda_cfg, s),
-        None => translate(&elab, &lambda_cfg),
+    let mut tr = contain("translate", || {
+        translate_seeded(&elab, &lambda_cfg, interner)
     })?;
     phases.push(("translate", t.elapsed()));
     let lexp_size = tr.lexp.size();
@@ -420,13 +416,7 @@ pub(crate) fn compile_engine(
         }
     }
 
-    let mut lty = tr.interner.stats();
-    if let Some(b) = baseline {
-        lty.intern_calls -= b.intern_calls;
-        lty.hashcons_hits -= b.hashcons_hits;
-        lty.hashcons_misses -= b.hashcons_misses;
-        lty.deep_compares -= b.deep_compares;
-    }
+    let lty = tr.interner.stats();
     let stats = CompileStats {
         compile_time: t0.elapsed(),
         phase_times: phases,
@@ -440,15 +430,12 @@ pub(crate) fn compile_engine(
         verify: vstats,
         warnings: tr.warnings,
     };
-    Ok((
-        Compiled {
-            machine,
-            variant,
-            stats,
-            from_cache: false,
-        },
-        tr.interner,
-    ))
+    Ok(Compiled {
+        machine,
+        variant,
+        stats,
+        from_cache: false,
+    })
 }
 
 impl Compiled {

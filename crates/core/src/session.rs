@@ -10,24 +10,30 @@
 //!   variant, config_fingerprint)` — repeat compiles of the same source
 //!   under the same configuration return the cached [`Compiled`]
 //!   artifact and record a hit (see [`CacheStats`]);
-//! * a **warm LTY hash-cons table** per variant, handed back into the
-//!   pipeline on the serial [`Session::compile`] path so the paper's
-//!   global static hash-consing (§4.1, §4.5) is actually global across
-//!   compiles, not rebuilt per compile (the string interner is already
-//!   process-global, see `sml_ast::Symbol`);
+//! * a **shared LTY hash-cons arena** ([`sml_lambda::LtyArena`]):
+//!   every compile — the serial path *and* every batch worker — opens
+//!   a private per-compile view onto one sharded concurrent arena, so
+//!   the paper's global static hash-consing (§4.1, §4.5) is actually
+//!   global across compiles, not rebuilt per compile (the string
+//!   interner is already process-global, see `sml_ast::Symbol`);
 //! * a **deterministic parallel batch driver**,
 //!   [`Session::compile_batch`], which fans jobs out over a shared
 //!   atomic work queue and reassembles results in input order.
 //!
-//! Determinism contract: batch workers always start from a cold LTY
-//! table (warm tables would make per-cell interner statistics depend on
-//! scheduling), so a parallel batch is byte-identical to the same jobs
-//! compiled serially on a cold session — the property the bench matrix
-//! differential test pins. The serial path's warm table changes only
-//! interner accounting, never generated code: under hash-consing,
-//! structural equality is index equality whether or not the table is
-//! pre-seeded, and nothing downstream depends on raw index values (the
-//! session test suite verifies byte-identical output fresh vs. reused).
+//! Determinism contract: compilation output is a pure function of
+//! `(source, variant, configuration)`. The arena hands equal type
+//! structures equal handles no matter which thread interns them first
+//! (children are interned before parents, so a parent's kind is
+//! canonical on arrival — insertion-order independence), and nothing
+//! downstream reads a raw handle value, so a *warm parallel* batch is
+//! byte-identical to the same jobs compiled serially on a cold session
+//! regardless of scheduling — the property the scheduling-permutation
+//! differential test pins across thread counts and shuffled job
+//! orders. Per-compile LTY statistics come from the compile's private
+//! view, never the shared arena, so even the reported counters are
+//! warmth- and schedule-invariant (arena-wide totals are a separate,
+//! explicitly nondeterministic surface: [`Session::arena_stats`]).
+//! The full argument lives in `docs/ARCHITECTURE.md`.
 //!
 //! # Examples
 //!
@@ -50,12 +56,12 @@ use crate::error::{CompileError, ConfigError};
 use crate::fxhash::{hash_bytes, FxHasher};
 use crate::pipeline::{compile_engine, Compiled, Limits, VerifyIr};
 use sml_cps::OptConfig;
-use sml_lambda::LtyInterner;
+use sml_lambda::{InternMode, InternStats, LtyArena, LtyInterner};
 use sml_vm::{FaultInject, Outcome, VmConfig};
 use std::collections::HashMap;
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One unit of work for [`Session::compile_batch`].
 #[derive(Clone, Debug)]
@@ -297,9 +303,11 @@ impl SessionBuilder {
         self
     }
 
-    /// Whether the serial compile path reuses the session's warm LTY
-    /// hash-cons table (default true). Batch workers always start cold;
-    /// see the module docs for the determinism contract.
+    /// Whether compiles share the session's LTY hash-cons arena
+    /// (default true) — the serial path and batch workers alike. When
+    /// disabled, every compile builds a private cold arena; output is
+    /// byte-identical either way (see the module docs), sharing only
+    /// changes interning speed.
     pub fn reuse_types(mut self, reuse: bool) -> SessionBuilder {
         self.reuse_types = reuse;
         self
@@ -386,14 +394,13 @@ impl SessionBuilder {
             limits: self.limits,
             vm: self.vm,
             fault: self.fault,
-            reuse_types: self.reuse_types,
             batch_workers: self.batch_workers,
             verify: self.verify,
             fingerprint,
             cache: self
                 .cache_enabled
                 .then(|| Mutex::new(ArtifactCache::new(self.cache_capacity))),
-            warm: Mutex::new(HashMap::new()),
+            arena: self.reuse_types.then(|| Arc::new(LtyArena::new())),
         })
     }
 }
@@ -454,12 +461,13 @@ pub struct Session {
     limits: Limits,
     vm: Option<VmConfig>,
     fault: Option<FaultInject>,
-    reuse_types: bool,
     batch_workers: usize,
     verify: VerifyIr,
     fingerprint: u64,
     cache: Option<Mutex<ArtifactCache>>,
-    warm: Mutex<HashMap<Variant, LtyInterner>>,
+    /// The shared hash-cons arena (`None` when `reuse_types(false)`
+    /// forces every compile onto a private cold arena).
+    arena: Option<Arc<LtyArena>>,
 }
 
 impl Default for Session {
@@ -548,7 +556,7 @@ impl Session {
     /// budgets, or contained compiler bugs. Errors are never cached: a
     /// failed source recompiles (and re-fails) on every request.
     pub fn compile(&self, src: &str) -> Result<Compiled, CompileError> {
-        self.compile_inner(src, self.variant, true)
+        self.compile_inner(src, self.variant)
     }
 
     /// Compiles under an explicit variant (same caching and errors as
@@ -558,7 +566,7 @@ impl Session {
     ///
     /// Returns [`CompileError`]; see [`Session::compile`].
     pub fn compile_variant(&self, src: &str, variant: Variant) -> Result<Compiled, CompileError> {
-        self.compile_inner(src, variant, true)
+        self.compile_inner(src, variant)
     }
 
     /// Runs a compiled program under the session's VM configuration
@@ -588,13 +596,28 @@ impl Session {
         }
     }
 
+    /// A per-shard snapshot of the shared LTY arena's counters
+    /// (resident kinds, hits, misses, contention retries), or `None`
+    /// for a `reuse_types(false)` session, whose compiles use private
+    /// arenas. Unlike every per-compile statistic, these arena-wide
+    /// totals aggregate *all* compiles so far, and the per-shard split
+    /// of hits vs. retries depends on thread scheduling; the totals
+    /// balance exactly at quiescence (`hits + misses == queries`,
+    /// `misses == resident`). Surfaced as the `arena` object of
+    /// `smlc --stats=json`; see `docs/OBSERVABILITY.md`.
+    pub fn arena_stats(&self) -> Option<InternStats> {
+        self.arena.as_ref().map(|a| a.stats())
+    }
+
     /// Compiles a batch of jobs in parallel, returning results in job
     /// order. Duplicate jobs (same source, variant, and configuration)
     /// are compiled once and served to the remaining indices from the
     /// cache. Workers pull from a shared atomic queue (work stealing by
-    /// idleness); each worker compiles from a cold LTY table, so the
-    /// result vector is byte-identical to a serial cold run of the same
-    /// jobs regardless of scheduling — see the module docs.
+    /// idleness) and all intern through the session's shared LTY arena,
+    /// so later jobs reuse every type earlier jobs interned — yet the
+    /// result vector stays byte-identical to a serial cold run of the
+    /// same jobs regardless of worker count, scheduling, or submission
+    /// order (see the module docs' determinism contract).
     pub fn compile_batch(&self, jobs: &[Job]) -> Vec<Result<Compiled, CompileError>> {
         // Within-batch dedup only makes sense when hits can be served
         // from the cache; without it every job compiles independently.
@@ -619,7 +642,7 @@ impl Session {
         let mut compiled: Vec<Option<Result<Compiled, CompileError>>> =
             par_map(&unique, self.batch_workers, |_, &ji| {
                 let job = &jobs[ji];
-                self.compile_inner(&job.src, job.variant.unwrap_or(self.variant), false)
+                self.compile_inner(&job.src, job.variant.unwrap_or(self.variant))
             })
             .into_iter()
             .map(Some)
@@ -637,7 +660,7 @@ impl Session {
                     // the original succeeded (a hit by construction), or
                     // recompiled to reproduce its error.
                     let job = &jobs[c];
-                    self.compile_inner(&job.src, job.variant.unwrap_or(self.variant), false)
+                    self.compile_inner(&job.src, job.variant.unwrap_or(self.variant))
                 }
             })
             .collect()
@@ -653,14 +676,9 @@ impl Session {
     }
 
     /// The compile path behind every public entry point: cache lookup,
-    /// then a pipeline run (optionally seeded with the warm LTY table),
-    /// then cache insertion.
-    fn compile_inner(
-        &self,
-        src: &str,
-        variant: Variant,
-        allow_warm: bool,
-    ) -> Result<Compiled, CompileError> {
+    /// then a pipeline run through a fresh view on the shared LTY
+    /// arena, then cache insertion.
+    fn compile_inner(&self, src: &str, variant: Variant) -> Result<Compiled, CompileError> {
         let key = self.key_of(src, variant);
         if let Some(cache) = &self.cache {
             let hit = cache
@@ -671,23 +689,18 @@ impl Session {
                 return Ok(artifact);
             }
         }
-        let seed = if allow_warm && self.reuse_types {
-            self.warm
-                .lock()
-                .expect("warm table poisoned")
-                .remove(&variant)
-        } else {
-            None
+        // Every compile gets its own interner view; with type reuse on
+        // (and a hash-consing variant — all of them today) the views
+        // share the session arena, otherwise each is a private cold
+        // store. Views are cheap: the arena holds the actual kinds.
+        let mode = variant.lambda_config().intern_mode;
+        let view = match (&self.arena, mode) {
+            (Some(arena), InternMode::HashCons) => LtyInterner::with_arena(Arc::clone(arena)),
+            _ => LtyInterner::new(mode),
         };
-        let result = compile_engine(src, variant, &self.opt, &self.limits, self.verify, seed);
+        let result = compile_engine(src, variant, &self.opt, &self.limits, self.verify, view);
         match result {
-            Ok((artifact, interner)) => {
-                if allow_warm && self.reuse_types {
-                    self.warm
-                        .lock()
-                        .expect("warm table poisoned")
-                        .insert(variant, interner);
-                }
+            Ok(artifact) => {
                 if let Some(cache) = &self.cache {
                     cache
                         .lock()

@@ -7,8 +7,8 @@ use std::collections::BTreeSet;
 use smlc::{CompileError, Compiled, Json, Metrics, Session, Variant, METRICS_SCHEMA_VERSION};
 
 /// Compiles through a fresh single-variant session. The LTY counters
-/// asserted below are per-compile totals, which a fresh session
-/// reports exactly (its warm table is empty on the first compile).
+/// asserted below are per-compile by construction (each compile's
+/// private view counts them), warm or cold arena alike.
 fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
     Session::with_variant(v).compile(src)
 }
@@ -67,10 +67,10 @@ fn metrics_doc_cross_check() {
 /// changed meaning.
 #[test]
 fn golden_default_metrics_document() {
-    assert_eq!(METRICS_SCHEMA_VERSION, 1);
+    assert_eq!(METRICS_SCHEMA_VERSION, 2);
     let compact = Metrics::default().to_json().to_string_compact();
     let expected = concat!(
-        "{\"schema_version\":1,\"variant\":\"sml.nrp\",",
+        "{\"schema_version\":2,\"variant\":\"sml.nrp\",",
         "\"compile\":{\"total_ms\":0.0,\"phases\":[],",
         "\"sizes\":{\"lexp\":0,\"cps_before\":0,\"cps_after\":0,\"code\":0},",
         "\"lty\":{\"interned\":0,\"intern_calls\":0,\"hashcons_hits\":0,",
@@ -91,7 +91,9 @@ fn golden_default_metrics_document() {
         "\"memory\":0,\"alloc\":0,\"branch\":0,\"jump\":0,\"runtime\":0,",
         "\"control\":0,\"gc\":0}},",
         "\"cache\":{\"enabled\":false,\"hits\":0,\"misses\":0,",
-        "\"evictions\":0,\"insertions\":0,\"entries\":0,\"capacity\":0}}"
+        "\"evictions\":0,\"insertions\":0,\"entries\":0,\"capacity\":0},",
+        "\"arena\":{\"resident\":0,\"hits\":0,\"misses\":0,\"retries\":0,",
+        "\"queries\":0,\"shards\":[]}}"
     );
     assert_eq!(compact, expected);
 }

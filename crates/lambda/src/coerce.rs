@@ -4,8 +4,10 @@
 //! `coerce(t1, t2)` produces a lambda-term transformer converting a value
 //! with representation `t1` into one with representation `t2`:
 //!
-//! * equal types need no coercion (a constant-time test thanks to LTY
-//!   hash-consing);
+//! * equal types need no coercion (a constant-time handle comparison:
+//!   LTYs are hash-consed in the shared [`crate::lty::LtyArena`], so
+//!   equal structure means equal handle no matter which compile — or
+//!   which batch worker thread — interned the type first);
 //! * `BOXED` on either side is a primitive `WRAP`/`UNWRAP`;
 //! * `RBOXED` recursively coerces through `dup` (Leroy-style recursive
 //!   wrapping);
@@ -34,7 +36,7 @@ impl VarGen {
 }
 
 /// Counters describing the coercions a translation inserted.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CoerceStats {
     /// Total `coerce` requests.
     pub requests: u64,
@@ -223,6 +225,11 @@ fn coerce_inner(
 /// the same pair of (hash-consed) LTYs share one generated function
 /// instead of being inlined at every functor application or signature
 /// match.
+///
+/// The memo key is the `(from, to)` handle pair. Handles are canonical
+/// within the arena, so the key is exactly "this pair of structures";
+/// the cache itself is per-compile (insertion-ordered `defs` keep
+/// emitted output deterministic), only type *identity* is shared.
 #[derive(Debug, Default)]
 pub struct CoercionCache {
     enabled: bool,

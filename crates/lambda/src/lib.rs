@@ -1,6 +1,7 @@
 //! The typed lambda middle end of the `smlc` compiler (paper §4).
 //!
-//! Provides hash-consed lambda types (LTY), the typed lambda language
+//! Provides hash-consed lambda types (LTY) backed by a sharded
+//! concurrent arena, the typed lambda language
 //! (LEXP), the `coerce` compilation function with memo-ized module
 //! coercions, pattern-match compilation, and the translation from typed
 //! abstract syntax into LEXP with representation-analysis coercions
@@ -16,7 +17,7 @@
 //! assert!(tr.lexp.size() > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod coerce;
 pub mod exhaustive;
@@ -29,6 +30,6 @@ pub mod verify;
 pub use coerce::{coerce_exp, is_identity, CoerceStats, CoercionCache, VarGen};
 pub use exhaustive::{check_rules, irrefutable};
 pub use lexp::{compat, type_of, LVar, Lexp, Primop};
-pub use lty::{InternMode, Lty, LtyInterner, LtyKind, LtyStats};
+pub use lty::{InternMode, InternStats, Lty, LtyArena, LtyInterner, LtyKind, LtyStats, ShardStats};
 pub use translate::{translate, translate_seeded, LambdaConfig, Translation};
 pub use verify::{verify_lexp, LexpVerifySummary, LexpViolation};

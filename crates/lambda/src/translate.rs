@@ -67,11 +67,13 @@ pub fn translate(elab: &Elaboration, cfg: &LambdaConfig) -> Translation {
     translate_seeded(elab, cfg, LtyInterner::new(cfg.intern_mode))
 }
 
-/// Translates with a pre-seeded type interner, so a long-lived driver
-/// (a compilation session) can amortize the hash-cons table across
-/// compiles. Hash-consing guarantees structural equality iff index
-/// equality whether or not the table is warm, so a warm table changes
-/// only the interner's hit/miss accounting, never the translation. A
+/// Translates through the given interner view, so a long-lived driver
+/// (a compilation session) can amortize the hash-cons arena across
+/// compiles by opening each compile's view on one shared
+/// [`crate::lty::LtyArena`]. Hash-consing guarantees structural
+/// equality iff handle equality whether or not the arena is warm, so a
+/// warm arena changes only interning speed, never the translation —
+/// and the view's hit/miss accounting stays per-compile either way. A
 /// seed whose mode disagrees with `cfg.intern_mode` is discarded and
 /// replaced by a fresh interner.
 pub fn translate_seeded(elab: &Elaboration, cfg: &LambdaConfig, seed: LtyInterner) -> Translation {

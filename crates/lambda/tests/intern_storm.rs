@@ -1,0 +1,157 @@
+//! Concurrency property tests for the shared LTY hash-cons arena.
+//!
+//! The arena promises *exact* global accounting under contention: after
+//! any number of threads intern any mix of types, the per-shard counters
+//! must balance — `hits + misses == queries`, `misses == resident`
+//! (every miss installed exactly one kind), `retries <= hits` (a retry
+//! is a write-lock re-check that found the kind, which also counts as a
+//! hit), and the query total must equal the number of `intern` calls
+//! issued across all threads. These invariants are what make the
+//! `arena` block of the metrics schema trustworthy; see
+//! `docs/OBSERVABILITY.md`.
+
+use std::sync::Arc;
+use std::thread;
+
+use sml_lambda::{InternMode, LtyArena, LtyInterner, LtyKind};
+
+/// Number of atoms the arena pre-interns at construction (`Int`, `Real`,
+/// `Boxed`, `RBoxed`, `Bottom`).
+const N_ATOMS: u64 = 5;
+
+/// Interns a deterministic family of `depth` nested arrow/record types
+/// directly into the arena, returning how many `intern` calls were made.
+///
+/// Every thread builds the *same* family, so across T threads the
+/// arena's resident set must equal a single thread's distinct-kind
+/// count while hits absorb the other (T - 1) rounds.
+fn storm(arena: &LtyArena, depth: u32) -> u64 {
+    let mut calls = 0u64;
+    let mut t = arena.intern(&LtyKind::Int);
+    calls += 1;
+    let r = arena.intern(&LtyKind::Real);
+    calls += 1;
+    for i in 0..depth {
+        // Alternate shapes so kinds spread across shards.
+        let next = if i % 3 == 0 {
+            LtyKind::Arrow(t, r)
+        } else if i % 3 == 1 {
+            LtyKind::Record(vec![t, r, t])
+        } else {
+            LtyKind::SRecord(vec![r, t])
+        };
+        t = arena.intern(&next);
+        calls += 1;
+    }
+    calls
+}
+
+/// The number of *distinct* kinds `storm` touches: the two atoms plus
+/// one new composite per loop iteration (each iteration's kind embeds
+/// the previous handle, so no two iterations collide).
+fn storm_distinct(depth: u32) -> u64 {
+    2 + depth as u64
+}
+
+#[test]
+fn multi_thread_storm_keeps_exact_stats() {
+    const THREADS: usize = 8;
+    const DEPTH: u32 = 2_000;
+
+    let arena = Arc::new(LtyArena::new());
+    let calls: u64 = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let arena = Arc::clone(&arena);
+                s.spawn(move || storm(&arena, DEPTH))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    let stats = arena.stats();
+    // Construction pre-interns the atoms: those count as misses and
+    // queries too, so fold them into the expected totals.
+    assert_eq!(
+        stats.queries(),
+        calls + N_ATOMS,
+        "every intern call is exactly one arena query"
+    );
+    assert_eq!(stats.hits() + stats.misses(), stats.queries());
+    assert_eq!(
+        stats.misses(),
+        stats.resident() as u64,
+        "every miss installs exactly one kind"
+    );
+    // All threads intern the same family, so the resident set is the
+    // 5 pre-interned atoms plus one composite per loop iteration (the
+    // `Int`/`Real` calls inside `storm` hit kinds already resident from
+    // construction).
+    assert_eq!(stats.resident() as u64, N_ATOMS + storm_distinct(DEPTH) - 2);
+    assert!(
+        stats.retries() <= stats.hits(),
+        "a retry is a hit discovered under the write lock"
+    );
+
+    // Shard totals are consistent with the rollup.
+    let by_shard: u64 = stats.shards.iter().map(|s| s.hits + s.misses).sum();
+    assert_eq!(by_shard, stats.queries());
+    let resident_by_shard: usize = stats.shards.iter().map(|s| s.resident).sum();
+    assert_eq!(resident_by_shard, stats.resident());
+}
+
+#[test]
+fn concurrent_views_agree_on_handles_and_kinds() {
+    // Two views on one arena, driven from different threads, must map
+    // equal structures to equal handles (child-before-parent interning
+    // makes handle equality structural equality).
+    let arena = Arc::new(LtyArena::new());
+    let build = |arena: Arc<LtyArena>| {
+        thread::spawn(move || {
+            let mut view = LtyInterner::with_arena(arena);
+            let int = view.int();
+            let real = view.real();
+            let pair = view.record(vec![int, real]);
+            let f = view.arrow(pair, int);
+            view.record(vec![f, f, pair])
+        })
+    };
+    let a = build(Arc::clone(&arena)).join().unwrap();
+    let b = build(Arc::clone(&arena)).join().unwrap();
+    assert_eq!(a, b, "equal structures must get equal handles");
+
+    let check = LtyInterner::with_arena(Arc::clone(&arena));
+    match check.kind(a).clone() {
+        LtyKind::Record(fs) => {
+            assert_eq!(fs.len(), 3);
+            assert_eq!(fs[0], fs[1]);
+        }
+        other => panic!("expected a record kind, got {other:?}"),
+    }
+}
+
+#[test]
+fn structural_mode_still_works_single_threaded() {
+    // The `InternMode::Structural` ablation (paper Table: hash-cons
+    // off) bypasses the arena entirely: types live in a private local
+    // store, equality falls back to deep comparison, and the ablation
+    // still type-checks the same programs.
+    let mut s = LtyInterner::new(InternMode::Structural);
+    assert!(s.arena().is_none(), "structural views never share an arena");
+
+    let int = s.int();
+    let real = s.real();
+    let a1 = s.arrow(int, real);
+    let a2 = s.arrow(int, real);
+    // Structural mode does not deduplicate handles...
+    assert_ne!(a1, a2, "structural mode must not hash-cons");
+    // ...but `same` still proves them equal, via deep comparison.
+    assert!(s.same(a1, a2));
+    let st = s.stats();
+    assert!(
+        st.deep_compares > 0,
+        "structural equality must deep-compare"
+    );
+    assert_eq!(st.hashcons_hits, 0);
+    assert_eq!(st.hashcons_misses as usize, s.len());
+}

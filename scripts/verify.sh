@@ -81,4 +81,24 @@ cargo run -q --release -p smlc-bench --bin cache_bench
 echo "== gc bench (BENCH_pr4.json) =="
 cargo run -q --release -p smlc-bench --bin gc_bench
 
+# Shared LTY arena gate (docs/ARCHITECTURE.md): the scheduling-
+# permutation differential test pins that warm parallel batches are
+# byte-identical to the serial cold reference across worker counts and
+# shuffled job orders; the intern-storm property test pins exact arena
+# accounting under contention; the benchmark asserts warm interning
+# beats cold and writes the BENCH_pr6.json trajectory.
+echo "== arena: scheduling-permutation differential =="
+cargo test -q -p smlc --test arena_determinism
+
+echo "== arena: intern-storm accounting =="
+cargo test -q -p sml-lambda --test intern_storm
+
+echo "== arena bench (BENCH_pr6.json) =="
+cargo run -q --release -p smlc-bench --bin arena_bench
+
+# Documentation gate: every relative Markdown link in README.md and
+# docs/*.md must resolve (first-party checker, no external deps).
+echo "== docs: relative-link check =="
+cargo run -q --release -p smlc-bench --bin docs_lint
+
 echo "verify: all gates passed"
