@@ -1,0 +1,355 @@
+//! Pause-budget and tenant-isolation gate: exercises the bounded-pause
+//! incremental major collector and the multi-tenant scheduler, then
+//! writes the `BENCH_pr7.json` trajectory document.
+//!
+//! ```sh
+//! cargo run --release -p smlc-bench --bin gc_pause_bench            # writes BENCH_pr7.json
+//! cargo run --release -p smlc-bench --bin gc_pause_bench -- --json=out.json --seeds=50
+//! ```
+//!
+//! Three gating stages, each of which exits nonzero on regression:
+//!
+//! 1. **Figure benchmarks.** Every benchmark is compiled once (under
+//!    `sml.ffb`) and run three ways on a shrunken generational geometry
+//!    that forces real major collections: stop-the-world
+//!    (`max_pause_cycles = 0`, the differential baseline), incremental
+//!    with a pause budget, and the semispace baseline. Outputs must be
+//!    byte-identical, the budgeted run must promote exactly the words
+//!    the stop-the-world run promotes, and **every recorded pause must
+//!    fit the budget** (`pause_overruns == 0`). The document records the
+//!    worst pause before/after and both pause histograms.
+//! 2. **Progen differential.** The same three-way comparison over a
+//!    seeded generated corpus (default 200 seeds) — the fuzz analogue
+//!    of the figure gate.
+//! 3. **16-tenant storm.** Fifteen well-behaved tenants plus one
+//!    hostile tenant (unbounded live-list growth) on a starved heap
+//!    quota are co-scheduled round-robin. The hostile tenant must trap
+//!    `HeapExhausted` alone; the other fifteen must finish with results
+//!    and output byte-identical to their solo runs.
+
+use sml_testkit::progen::{gen_program, GenConfig};
+use sml_testkit::Rng;
+use sml_vm::{TenantOutcome, VmScheduler, N_PAUSE_BUCKETS, PAUSE_BUCKET_LIMITS};
+use smlc::{
+    GcMode, Json, Outcome, RunStats, Session, Variant, VmConfig, VmResult, METRICS_SCHEMA_VERSION,
+};
+use smlc_bench::benchmarks;
+
+/// Seed salt: disjoint from both the unit tests' corpus and
+/// `fuzz_smoke`'s.
+const SALT: u64 = 0x5eed_f00d_cafe_0007;
+
+/// Nursery for the major-forcing geometry (words per half).
+const NURSERY: usize = 384;
+
+/// Tenured semispace for the major-forcing geometry. Small enough that
+/// promotion traffic forces repeated majors on the figure benchmarks,
+/// large enough to hold every benchmark's live set.
+const TENURED: usize = 8 << 10;
+
+/// The pause budget under test, in cycles. Chosen so the nursery clamp
+/// is inert (`4 * NURSERY + 150 <= BUDGET`) — minor-collection
+/// scheduling is then identical to the stop-the-world baseline and the
+/// promoted-words comparison is exact.
+const BUDGET: u64 = 2048;
+
+/// Shrunken geometry shared by the stop-the-world and budgeted runs.
+fn small(base: &VmConfig, budget: u64) -> VmConfig {
+    VmConfig {
+        nursery_words: NURSERY,
+        tenured_words: TENURED,
+        promote_after: 1,
+        max_pause_cycles: budget,
+        ..*base
+    }
+}
+
+fn hist_json(hist: &[u64; N_PAUSE_BUCKETS]) -> Json {
+    Json::Arr(hist.iter().map(|&c| Json::from(c)).collect())
+}
+
+fn pause_stats_json(o: &Outcome) -> Json {
+    let s = &o.stats;
+    Json::obj()
+        .field("cycles", s.cycles)
+        .field("collections", s.n_gcs)
+        .field("major_collections", s.n_major_gcs)
+        .field("major_slices", s.major_slices)
+        .field("promoted_words", s.promoted_words)
+        .field("copied_words", s.gc_copied_words)
+        .field("barrier_words", s.barrier_words)
+        .field("max_minor_pause_cycles", s.max_minor_pause)
+        .field("max_major_pause_cycles", s.max_major_pause)
+        .field("pause_overruns", s.pause_overruns)
+        .field("pause_hist_minor", hist_json(&s.pause_hist_minor))
+        .field("pause_hist_major", hist_json(&s.pause_hist_major))
+}
+
+/// The worst pause of either class in one run.
+fn worst_pause(s: &RunStats) -> u64 {
+    s.max_minor_pause.max(s.max_major_pause)
+}
+
+/// Checks one stop-the-world / budgeted / semispace triple; pushes any
+/// violation into `failures` keyed by `what`.
+fn check_triple(
+    what: &str,
+    stw: &Outcome,
+    incr: &Outcome,
+    semi: &Outcome,
+    failures: &mut Vec<String>,
+) {
+    if !matches!(stw.result, VmResult::Value(_) | VmResult::Uncaught(_)) {
+        failures.push(format!("{what}: abnormal baseline result {:?}", stw.result));
+        return;
+    }
+    if incr.result != stw.result || incr.output != stw.output {
+        failures.push(format!("{what}: budgeted run diverges from stop-the-world"));
+    }
+    if semi.result != stw.result || semi.output != stw.output {
+        failures.push(format!(
+            "{what}: semispace run diverges from stop-the-world"
+        ));
+    }
+    if incr.stats.promoted_words != stw.stats.promoted_words {
+        failures.push(format!(
+            "{what}: promoted_words {} (budgeted) != {} (stop-the-world)",
+            incr.stats.promoted_words, stw.stats.promoted_words
+        ));
+    }
+    if incr.stats.pause_overruns != 0 {
+        failures.push(format!(
+            "{what}: {} pause(s) above the {BUDGET}-cycle budget",
+            incr.stats.pause_overruns
+        ));
+    }
+    if worst_pause(&incr.stats) > BUDGET {
+        failures.push(format!(
+            "{what}: worst pause {} exceeds budget {BUDGET}",
+            worst_pause(&incr.stats)
+        ));
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: gc_pause_bench [--json=PATH] [--seeds=N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut path = "BENCH_pr7.json".to_owned();
+    let mut n_seeds: u64 = 200;
+    for a in std::env::args().skip(1) {
+        if let Some(p) = a.strip_prefix("--json=") {
+            path = p.to_owned();
+        } else if let Some(n) = a.strip_prefix("--seeds=") {
+            n_seeds = n.parse().unwrap_or_else(|_| usage());
+        } else {
+            usage();
+        }
+    }
+
+    let variant = Variant::Ffb;
+    let base = variant.vm_config();
+    let session = Session::with_variant(variant);
+    let mut failures: Vec<String> = Vec::new();
+
+    // Stage 1: figure benchmarks.
+    let mut rows: Vec<Json> = Vec::new();
+    let mut total_majors = 0u64;
+    let mut worst_before = 0u64;
+    let mut worst_after = 0u64;
+    for b in benchmarks() {
+        let compiled = session
+            .compile(&b.source())
+            .unwrap_or_else(|e| panic!("{} failed to compile under {variant}: {e}", b.name));
+        let stw = compiled.run_with(&small(&base, 0));
+        let incr = compiled.run_with(&small(&base, BUDGET));
+        let semi = compiled.run_with(&VmConfig {
+            gc_mode: GcMode::Semispace,
+            ..base
+        });
+        check_triple(b.name, &stw, &incr, &semi, &mut failures);
+        total_majors += stw.stats.n_major_gcs;
+        worst_before = worst_before.max(worst_pause(&stw.stats));
+        worst_after = worst_after.max(worst_pause(&incr.stats));
+        println!(
+            "{:10}  majors {:>3}  worst pause {:>7} -> {:>6}  slices {:>4}  barrier {:>7}",
+            b.name,
+            stw.stats.n_major_gcs,
+            worst_pause(&stw.stats),
+            worst_pause(&incr.stats),
+            incr.stats.major_slices,
+            incr.stats.barrier_words,
+        );
+        rows.push(
+            Json::obj()
+                .field("name", b.name)
+                .field("stop_the_world", pause_stats_json(&stw))
+                .field("incremental", pause_stats_json(&incr)),
+        );
+    }
+    if total_majors == 0 {
+        failures.push(format!(
+            "geometry too generous: no benchmark forced a major collection \
+             (nursery {NURSERY}, tenured {TENURED})"
+        ));
+    }
+    if worst_before <= BUDGET {
+        failures.push(format!(
+            "stop-the-world worst pause {worst_before} already fits the budget \
+             {BUDGET}; the benchmark is not exercising the slicer"
+        ));
+    }
+
+    // Stage 2: progen differential.
+    let gen_cfg = GenConfig {
+        items: 3,
+        ..GenConfig::default()
+    };
+    let mut fuzz_failures = 0usize;
+    for seed in 0..n_seeds {
+        let src = gen_program(&mut Rng::new(seed ^ SALT), &gen_cfg);
+        let compiled = match session.compile(&src) {
+            Ok(c) => c,
+            Err(e) => {
+                failures.push(format!("seed {seed}: compile failed: {e}"));
+                fuzz_failures += 1;
+                continue;
+            }
+        };
+        let stw = compiled.run_with(&small(&base, 0));
+        let incr = compiled.run_with(&small(&base, BUDGET));
+        let semi = compiled.run_with(&VmConfig {
+            gc_mode: GcMode::Semispace,
+            ..base
+        });
+        let before = failures.len();
+        check_triple(&format!("seed {seed}"), &stw, &incr, &semi, &mut failures);
+        if failures.len() > before {
+            fuzz_failures += 1;
+        }
+    }
+    println!(
+        "gc_pause_bench: progen differential over {n_seeds} seeds, {fuzz_failures} failure(s)"
+    );
+
+    // Stage 3: 16-tenant storm. The hostile tenant retains everything
+    // it allocates, so any finite heap quota must trap; the good
+    // tenants churn with a bounded live set and must be unaffected.
+    let good_src = "
+        fun build n = if n = 0 then [] else n :: build (n - 1)
+        fun sum [] = 0 | sum (x :: r) = x + sum r
+        fun churn 0 acc = acc
+          | churn n acc = churn (n - 1) (acc + sum (build 40))
+        val _ = print (itos (churn 200 0))
+    ";
+    let hostile_src = "
+        fun grow l = grow (1 :: l)
+        val _ = grow []
+    ";
+    let good = session
+        .compile(good_src)
+        .unwrap_or_else(|e| panic!("storm tenant failed to compile: {e}"));
+    let hostile = session
+        .compile(hostile_src)
+        .unwrap_or_else(|e| panic!("hostile tenant failed to compile: {e}"));
+    let good_cfg = small(&base, BUDGET);
+    let hostile_cfg = VmConfig {
+        tenured_words: 4096,
+        ..small(&base, BUDGET)
+    };
+    let solo = good.run_with(&good_cfg);
+    let mut sched = VmScheduler::new(10_000);
+    const STORM_TENANTS: usize = 16;
+    const HOSTILE_SLOT: usize = 7;
+    for slot in 0..STORM_TENANTS {
+        if slot == HOSTILE_SLOT {
+            sched.spawn(&hostile.machine, &hostile_cfg);
+        } else {
+            sched.spawn(&good.machine, &good_cfg);
+        }
+    }
+    let (reports, stats) = sched.run_all();
+    for (slot, r) in reports.iter().enumerate() {
+        if slot == HOSTILE_SLOT {
+            if r.outcome != TenantOutcome::HeapExhausted {
+                failures.push(format!(
+                    "storm: hostile tenant ended {:?}, expected HeapExhausted",
+                    r.outcome
+                ));
+            }
+        } else if r.outcome != TenantOutcome::Done
+            || r.result != solo.result
+            || r.output != solo.output
+        {
+            failures.push(format!(
+                "storm: tenant {slot} degraded alongside the hostile tenant \
+                 ({:?}, result {:?})",
+                r.outcome, r.result
+            ));
+        }
+    }
+    println!(
+        "storm: {} tenants, {} done / {} heap-exhausted in {} rounds \
+         (max overshoot {} cycles)",
+        stats.tenants, stats.done, stats.heap_exhausted, stats.rounds, stats.max_overshoot
+    );
+
+    let doc = Json::obj()
+        .field("schema_version", METRICS_SCHEMA_VERSION)
+        .field("generator", "gc_pause_bench")
+        .field("variant", variant.name())
+        .field(
+            "config",
+            Json::obj()
+                .field("nursery_words", NURSERY)
+                .field("tenured_words", TENURED)
+                .field("promote_after", 1u64)
+                .field("max_pause_cycles", BUDGET)
+                .field(
+                    "pause_bucket_limits",
+                    Json::Arr(PAUSE_BUCKET_LIMITS.iter().map(|&l| Json::from(l)).collect()),
+                ),
+        )
+        .field("benchmarks", Json::Arr(rows))
+        .field(
+            "summary",
+            Json::obj()
+                .field("major_collections", total_majors)
+                .field("worst_pause_before", worst_before)
+                .field("worst_pause_after", worst_after)
+                .field("fuzz_seeds", n_seeds)
+                .field("fuzz_failures", fuzz_failures)
+                .field(
+                    "storm",
+                    Json::obj()
+                        .field("tenants", stats.tenants)
+                        .field("done", stats.done)
+                        .field("heap_exhausted", stats.heap_exhausted)
+                        .field("rounds", stats.rounds)
+                        .field("slices", stats.slices)
+                        .field("preemptions", stats.preemptions)
+                        .field("max_overshoot", stats.max_overshoot),
+                )
+                .field("failures", failures.len()),
+        );
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "gc_pause_bench: worst pause {worst_before} -> {worst_after} cycles \
+         under a {BUDGET}-cycle budget; all outputs byte-identical"
+    );
+}

@@ -133,6 +133,7 @@ impl BenchResult {
             }),
             cache: None,
             arena: None,
+            sched: None,
         }
     }
 }

@@ -24,6 +24,7 @@
 //! into `BENCH_*.json` trajectory files — including the session's
 //! artifact-cache counters under `"cache"`.
 
+use sml_vm::VmScheduler;
 use smlc::{error_json, CompileError, Job, Metrics, Session, Variant, VerifyIr, VmResult};
 use std::process::ExitCode;
 
@@ -57,7 +58,8 @@ enum StatsMode {
 fn usage() -> ! {
     eprintln!(
         "usage: smlc [--variant nrp|fag|rep|mtd|ffb|fp3] [--verify-ir off|debug|always] \
-         [--stats[=json]] [--all] [--batch] [--emit asm] (<file.sml>... | -e <source>)"
+         [--stats[=json]] [--all] [--batch] [--emit asm] [--tenants=N] \
+         (<file.sml>... | -e <source>)"
     );
     std::process::exit(2)
 }
@@ -86,6 +88,7 @@ fn main() -> ExitCode {
     let mut all = false;
     let mut batch = false;
     let mut emit_asm = false;
+    let mut tenants: usize = 1;
     let mut inputs: Vec<Input> = Vec::new();
 
     while let Some(a) = args.next() {
@@ -113,6 +116,13 @@ fn main() -> ExitCode {
                 );
                 usage()
             }
+            s if s.starts_with("--tenants=") => match s["--tenants=".len()..].parse::<usize>() {
+                Ok(n) if (1..=1024).contains(&n) => tenants = n,
+                _ => {
+                    eprintln!("--tenants takes a count between 1 and 1024");
+                    usage()
+                }
+            },
             "--all" | "-a" => all = true,
             "--batch" | "-b" => batch = true,
             "--emit" => {
@@ -214,7 +224,30 @@ fn main() -> ExitCode {
                 print!("{}", compiled.machine);
                 continue;
             }
-            let outcome = session.run(compiled);
+            // With --tenants=N the compiled program runs as N
+            // identically configured tenants under the round-robin VM
+            // scheduler; tenant 0's outcome (identical to a solo run)
+            // is reported and the scheduler counters land in the
+            // metrics document under "sched".
+            let (outcome, sched) = if tenants > 1 {
+                let cfg = session.vm_config(compiled.variant);
+                let mut sched = VmScheduler::new(10_000);
+                for _ in 0..tenants {
+                    sched.spawn(&compiled.machine, &cfg);
+                }
+                let (mut reports, stats) = sched.run_all();
+                let first = reports.swap_remove(0);
+                (
+                    smlc::Outcome {
+                        result: first.result,
+                        stats: first.stats,
+                        output: first.output,
+                    },
+                    Some(stats),
+                )
+            } else {
+                (session.run(compiled), None)
+            };
             print!("{}", outcome.output);
             // Abnormal terminations still report statistics below (the
             // metrics schema carries the result tag), but fail the process.
@@ -254,14 +287,13 @@ fn main() -> ExitCode {
                     if compiled.from_cache { "hit" } else { "miss" },
                 ),
                 StatsMode::Json => {
-                    println!(
-                        "{}",
-                        Metrics::of_run(compiled, &outcome)
-                            .with_cache(session.cache_stats())
-                            .with_arena(session.arena_stats())
-                            .to_json()
-                            .to_string_pretty()
-                    );
+                    let mut m = Metrics::of_run(compiled, &outcome)
+                        .with_cache(session.cache_stats())
+                        .with_arena(session.arena_stats());
+                    if let Some(sched) = sched {
+                        m = m.with_sched(sched);
+                    }
+                    println!("{}", m.to_json().to_string_pretty());
                 }
             }
             if failed {

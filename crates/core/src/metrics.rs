@@ -13,7 +13,7 @@ use crate::json::Json;
 use crate::pipeline::{CompileStats, Compiled};
 use crate::session::CacheStats;
 use sml_lambda::InternStats;
-use sml_vm::{InstrClass, Outcome, RunStats, VmResult};
+use sml_vm::{InstrClass, Outcome, RunStats, SchedStats, VmResult};
 
 /// Version stamped into every emitted document as `schema_version`;
 /// bump when a field is renamed, removed, or changes meaning (pure
@@ -24,7 +24,9 @@ use sml_vm::{InstrClass, Outcome, RunStats, VmResult};
 /// reports `interned` as the shared-table total, so `interned ==
 /// hashcons_misses` now holds for every compile, not just a session's
 /// first) and the top-level `arena` object (shared LTY arena totals)
-/// was added.
+/// was added. Still 2 after the bounded-pause GC work: the `gc` pause
+/// histograms/slice counters and the top-level `sched` object are pure
+/// additions.
 pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 /// A structured snapshot of one compilation and (optionally) one run.
@@ -47,6 +49,10 @@ pub struct Metrics {
     /// per-shard split is scheduling-dependent — only the per-compile
     /// `compile.lty` counters are deterministic.
     pub arena: Option<InternStats>,
+    /// Multi-tenant scheduler fairness counters, when the run went
+    /// through a `VmScheduler` (see `smlc --tenants`); `None`
+    /// serializes as `"sched": null`.
+    pub sched: Option<SchedStats>,
 }
 
 /// Run-side portion of a [`Metrics`] snapshot.
@@ -73,6 +79,7 @@ impl Default for Metrics {
             }),
             cache: Some(CacheStats::default()),
             arena: Some(InternStats::default()),
+            sched: Some(SchedStats::default()),
         }
     }
 }
@@ -125,6 +132,7 @@ pub fn error_json(variant: crate::Variant, e: &crate::CompileError) -> Json {
         .field("run", Json::Null)
         .field("cache", Json::Null)
         .field("arena", Json::Null)
+        .field("sched", Json::Null)
 }
 
 impl Metrics {
@@ -136,6 +144,7 @@ impl Metrics {
             run: None,
             cache: None,
             arena: None,
+            sched: None,
         }
     }
 
@@ -150,6 +159,7 @@ impl Metrics {
             }),
             cache: None,
             arena: None,
+            sched: None,
         }
     }
 
@@ -164,6 +174,13 @@ impl Metrics {
     /// for `reuse_types(false)` sessions and keeps `"arena": null`).
     pub fn with_arena(mut self, stats: Option<InternStats>) -> Metrics {
         self.arena = stats;
+        self
+    }
+
+    /// Attaches multi-tenant scheduler counters to the snapshot (from
+    /// `VmScheduler::run_all`).
+    pub fn with_sched(mut self, stats: SchedStats) -> Metrics {
+        self.sched = Some(stats);
         self
     }
 
@@ -185,6 +202,10 @@ impl Metrics {
         doc = match &self.arena {
             Some(arena) => doc.field("arena", arena_json(arena)),
             None => doc.field("arena", Json::Null),
+        };
+        doc = match &self.sched {
+            Some(sched) => doc.field("sched", sched_json(sched)),
+            None => doc.field("sched", Json::Null),
         };
         doc
     }
@@ -294,10 +315,33 @@ fn run_json(r: &RunMetrics) -> Json {
                 .field("minor_cycles", s.minor_gc_cycles)
                 .field("major_cycles", s.major_gc_cycles)
                 .field("max_minor_pause_cycles", s.max_minor_pause)
-                .field("max_major_pause_cycles", s.max_major_pause),
+                .field("max_major_pause_cycles", s.max_major_pause)
+                .field("major_slices", s.major_slices)
+                .field("barrier_words", s.barrier_words)
+                .field("pause_overruns", s.pause_overruns)
+                .field("pause_hist_minor", hist_json(&s.pause_hist_minor))
+                .field("pause_hist_major", hist_json(&s.pause_hist_major)),
         )
         .field("cycles_by_class", by_class_json(&s.cycles_by_class))
         .field("instrs_by_class", by_class_json(&s.instrs_by_class))
+}
+
+fn hist_json(hist: &[u64; sml_vm::N_PAUSE_BUCKETS]) -> Json {
+    Json::Arr(hist.iter().map(|&c| Json::from(c)).collect())
+}
+
+fn sched_json(s: &SchedStats) -> Json {
+    Json::obj()
+        .field("quantum", s.quantum)
+        .field("tenants", s.tenants)
+        .field("rounds", s.rounds)
+        .field("slices", s.slices)
+        .field("preemptions", s.preemptions)
+        .field("max_overshoot", s.max_overshoot)
+        .field("done", s.done)
+        .field("heap_exhausted", s.heap_exhausted)
+        .field("fault", s.fault)
+        .field("out_of_fuel", s.out_of_fuel)
 }
 
 fn by_class_json(counts: &[u64; sml_vm::N_INSTR_CLASSES]) -> Json {

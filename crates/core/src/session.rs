@@ -377,6 +377,16 @@ impl SessionBuilder {
             if vm.max_cycles == 0 {
                 return nonzero("vm.max_cycles");
             }
+            // 0 means unbounded; a nonzero budget below the fixed
+            // per-collection cost could never be met, so reject it.
+            if vm.max_pause_cycles != 0 && vm.max_pause_cycles < 256 {
+                return Err(ConfigError::OutOfRange {
+                    field: "vm.max_pause_cycles",
+                    given: vm.max_pause_cycles,
+                    min: 256,
+                    max: u64::MAX,
+                });
+            }
         }
         let faults = [self.fault, self.vm.map(|v| v.fault)];
         for fault in faults.into_iter().flatten() {
@@ -385,6 +395,9 @@ impl SessionBuilder {
             }
             if fault.gc_every_n_allocs == Some(0) {
                 return nonzero("fault.gc_every_n_allocs");
+            }
+            if fault.yield_every_n_slices == Some(0) {
+                return nonzero("fault.yield_every_n_slices");
             }
         }
         let fingerprint = fingerprint(&self);
@@ -437,8 +450,10 @@ fn fingerprint(b: &SessionBuilder) -> u64 {
             h.write_u64(vm.max_cycles);
             h.write_usize(vm.tenured_words);
             h.write_u32(vm.promote_after);
+            h.write_u64(vm.max_pause_cycles);
             h.write_u64(vm.fault.fail_alloc_at.map_or(0, |n| n ^ u64::MAX));
             h.write_u64(vm.fault.gc_every_n_allocs.map_or(0, |n| n ^ u64::MAX));
+            h.write_u64(vm.fault.yield_every_n_slices.map_or(0, |n| n ^ u64::MAX));
         }
     }
     match &b.fault {
@@ -447,6 +462,7 @@ fn fingerprint(b: &SessionBuilder) -> u64 {
             h.write_u8(1);
             h.write_u64(f.fail_alloc_at.map_or(0, |n| n ^ u64::MAX));
             h.write_u64(f.gc_every_n_allocs.map_or(0, |n| n ^ u64::MAX));
+            h.write_u64(f.yield_every_n_slices.map_or(0, |n| n ^ u64::MAX));
         }
     }
     h.finish()
@@ -795,6 +811,7 @@ mod tests {
         let faulty = fingerprint(&SessionBuilder::default().fault_inject(FaultInject {
             fail_alloc_at: Some(1),
             gc_every_n_allocs: None,
+            yield_every_n_slices: None,
         }));
         assert_ne!(base, faulty);
         // `Some(0)` is rejected by validation, but the fingerprint must
@@ -802,6 +819,7 @@ mod tests {
         let zeroish = fingerprint(&SessionBuilder::default().fault_inject(FaultInject {
             fail_alloc_at: None,
             gc_every_n_allocs: None,
+            yield_every_n_slices: None,
         }));
         assert_ne!(base, zeroish);
         let verified = fingerprint(&SessionBuilder::default().verify_ir(VerifyIr::Always));
@@ -836,6 +854,7 @@ mod tests {
             .fault_inject(FaultInject {
                 fail_alloc_at: Some(0),
                 gc_every_n_allocs: None,
+                yield_every_n_slices: None,
             })
             .build()
             .unwrap_err();
@@ -862,6 +881,75 @@ mod tests {
         };
         let e = Session::builder().vm_config(vm).build().unwrap_err();
         assert_eq!(e.field(), "vm.promote_after");
+    }
+
+    #[test]
+    fn builder_validates_pause_budget_and_yield_knobs() {
+        // A nonzero budget below the fixed minor-pause floor could never
+        // be honored; reject it up front. Zero (unbounded) and anything
+        // at or above the floor are fine.
+        let vm = VmConfig {
+            max_pause_cycles: 100,
+            ..VmConfig::default()
+        };
+        let e = Session::builder().vm_config(vm).build().unwrap_err();
+        assert_eq!(
+            e,
+            ConfigError::OutOfRange {
+                field: "vm.max_pause_cycles",
+                given: 100,
+                min: 256,
+                max: u64::MAX,
+            }
+        );
+        for ok in [0, 256, 1200, u64::MAX] {
+            let vm = VmConfig {
+                max_pause_cycles: ok,
+                ..VmConfig::default()
+            };
+            assert!(
+                Session::builder().vm_config(vm).build().is_ok(),
+                "budget {ok} wrongly rejected"
+            );
+        }
+        let e = Session::builder()
+            .fault_inject(FaultInject {
+                fail_alloc_at: None,
+                gc_every_n_allocs: None,
+                yield_every_n_slices: Some(0),
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(e.field(), "fault.yield_every_n_slices");
+        assert!(Session::builder()
+            .fault_inject(FaultInject {
+                fail_alloc_at: None,
+                gc_every_n_allocs: None,
+                yield_every_n_slices: Some(1),
+            })
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_pause_budget_and_yield() {
+        let base = fingerprint(&SessionBuilder::default());
+        let budgeted = fingerprint(&SessionBuilder::default().vm_config(VmConfig {
+            max_pause_cycles: 4096,
+            ..VmConfig::default()
+        }));
+        assert_ne!(base, budgeted);
+        let yielding = fingerprint(&SessionBuilder::default().fault_inject(FaultInject {
+            fail_alloc_at: None,
+            gc_every_n_allocs: None,
+            yield_every_n_slices: Some(1),
+        }));
+        let quiet = fingerprint(&SessionBuilder::default().fault_inject(FaultInject {
+            fail_alloc_at: None,
+            gc_every_n_allocs: None,
+            yield_every_n_slices: None,
+        }));
+        assert_ne!(yielding, quiet);
     }
 
     #[test]

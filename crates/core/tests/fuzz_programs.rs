@@ -86,6 +86,7 @@ fn generated_programs_survive_fault_injection() {
                 fault: FaultInject {
                     fail_alloc_at: None,
                     gc_every_n_allocs: Some(2),
+                    yield_every_n_slices: None,
                 },
                 ..v.vm_config()
             });
@@ -161,6 +162,89 @@ fn generated_programs_agree_across_collector_modes() {
             }
         },
     );
+}
+
+#[test]
+fn generated_programs_agree_across_pause_budgets() {
+    // Pause-budget differential: over the generated corpus, a bounded
+    // incremental major collector must be observationally identical to
+    // the stop-the-world collector it slices up — byte-identical result
+    // and output, the same words promoted — and must actually honor its
+    // budget (no recorded pause above `max_pause_cycles`). The
+    // semispace baseline rides along as a third, structurally unrelated
+    // oracle. Geometry is shrunk (256-word nursery, immediate
+    // promotion) so the corpus forces real major collections; the
+    // budget of 1200 exceeds 4 * nursery + 150, so the nursery clamp is
+    // inert and minor-collection scheduling is identical across modes.
+    use smlc::{GcMode, VmConfig};
+    let cfg = GenConfig {
+        items: 3,
+        ..GenConfig::default()
+    };
+    run_cases("generated_programs_agree_across_pause_budgets", 16, |rng| {
+        let src = gen_program(rng, &cfg);
+        for v in Variant::ALL {
+            let c = compile(&src, v)
+                .unwrap_or_else(|e| panic!("[{}] compile failed: {e}\n{src}", v.name()));
+            let small = VmConfig {
+                nursery_words: 256,
+                promote_after: 1,
+                ..v.vm_config()
+            };
+            let stw = c.run_with(&small);
+            let incr = c.run_with(&VmConfig {
+                max_pause_cycles: 1200,
+                ..small
+            });
+            let semi = c.run_with(&VmConfig {
+                gc_mode: GcMode::Semispace,
+                ..v.vm_config()
+            });
+            assert_eq!(
+                stw.result,
+                incr.result,
+                "[{}] pause budget changed the result for\n{src}",
+                v.name()
+            );
+            assert_eq!(
+                stw.output,
+                incr.output,
+                "[{}] pause budget changed the output for\n{src}",
+                v.name()
+            );
+            assert_eq!(
+                stw.stats.promoted_words,
+                incr.stats.promoted_words,
+                "[{}] pause budget changed promotion traffic for\n{src}",
+                v.name()
+            );
+            assert_eq!(
+                stw.result,
+                semi.result,
+                "[{}] semispace diverges from generational for\n{src}",
+                v.name()
+            );
+            assert_eq!(
+                stw.output,
+                semi.output,
+                "[{}] semispace diverges from generational for\n{src}",
+                v.name()
+            );
+            assert_eq!(
+                incr.stats.pause_overruns,
+                0,
+                "[{}] over-budget pause recorded for\n{src}",
+                v.name()
+            );
+            assert!(
+                incr.stats.max_minor_pause <= 1200 && incr.stats.max_major_pause <= 1200,
+                "[{}] pause above budget (minor {}, major {}) for\n{src}",
+                v.name(),
+                incr.stats.max_minor_pause,
+                incr.stats.max_major_pause
+            );
+        }
+    });
 }
 
 #[test]

@@ -83,7 +83,7 @@ fn golden_default_metrics_document() {
         "\"bytecode_checks\":0,\"ms\":0.0},\"warnings\":0},",
         "\"run\":{\"result\":\"value\",\"cycles\":0,\"instrs\":0,",
         "\"alloc_words\":0,\"n_allocs\":0,",
-        "\"gc\":{\"collections\":0,\"copied_words\":0,\"cycles\":0,\"minor_collections\":0,\"major_collections\":0,\"promoted_words\":0,\"remembered_set_peak\":0,\"minor_cycles\":0,\"major_cycles\":0,\"max_minor_pause_cycles\":0,\"max_major_pause_cycles\":0},",
+        "\"gc\":{\"collections\":0,\"copied_words\":0,\"cycles\":0,\"minor_collections\":0,\"major_collections\":0,\"promoted_words\":0,\"remembered_set_peak\":0,\"minor_cycles\":0,\"major_cycles\":0,\"max_minor_pause_cycles\":0,\"max_major_pause_cycles\":0,\"major_slices\":0,\"barrier_words\":0,\"pause_overruns\":0,\"pause_hist_minor\":[0,0,0,0,0,0,0,0],\"pause_hist_major\":[0,0,0,0,0,0,0,0]},",
         "\"cycles_by_class\":{\"move\":0,\"int-arith\":0,\"float-arith\":0,",
         "\"memory\":0,\"alloc\":0,\"branch\":0,\"jump\":0,\"runtime\":0,",
         "\"control\":0,\"gc\":0},",
@@ -93,7 +93,10 @@ fn golden_default_metrics_document() {
         "\"cache\":{\"enabled\":false,\"hits\":0,\"misses\":0,",
         "\"evictions\":0,\"insertions\":0,\"entries\":0,\"capacity\":0},",
         "\"arena\":{\"resident\":0,\"hits\":0,\"misses\":0,\"retries\":0,",
-        "\"queries\":0,\"shards\":[]}}"
+        "\"queries\":0,\"shards\":[]},",
+        "\"sched\":{\"quantum\":0,\"tenants\":0,\"rounds\":0,\"slices\":0,",
+        "\"preemptions\":0,\"max_overshoot\":0,\"done\":0,",
+        "\"heap_exhausted\":0,\"fault\":0,\"out_of_fuel\":0}}"
     );
     assert_eq!(compact, expected);
 }

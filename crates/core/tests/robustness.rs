@@ -198,6 +198,7 @@ fn injected_alloc_failure_traps_deterministically() {
         fault: FaultInject {
             fail_alloc_at: Some(40),
             gc_every_n_allocs: None,
+            yield_every_n_slices: None,
         },
         ..VmConfig::default()
     });
@@ -217,6 +218,7 @@ fn forced_gc_stress_does_not_change_program_behavior() {
             fault: FaultInject {
                 fail_alloc_at: None,
                 gc_every_n_allocs: Some(k),
+                yield_every_n_slices: None,
             },
             ..VmConfig::default()
         });

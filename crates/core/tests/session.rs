@@ -68,6 +68,7 @@ fn cache_correct_under_fault_injection_config() {
     let fault = FaultInject {
         fail_alloc_at: None,
         gc_every_n_allocs: Some(7),
+        yield_every_n_slices: None,
     };
     let build = || {
         Session::builder()
@@ -392,6 +393,7 @@ fn builder_rejects_invalid_configurations() {
     let bad_fault = FaultInject {
         fail_alloc_at: Some(0),
         gc_every_n_allocs: None,
+        yield_every_n_slices: None,
     };
     assert!(
         Session::builder().fault_inject(bad_fault).build().is_err(),

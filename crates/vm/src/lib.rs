@@ -9,12 +9,17 @@ pub mod codegen;
 pub mod disasm;
 pub mod heap;
 pub mod isa;
+pub mod sched;
 pub mod verify;
 pub mod vm;
 
 pub use codegen::codegen;
 pub use disasm::parse_instr;
-pub use heap::{GcKind, GcMode, Heap, HeapConfig, ObjKind};
+pub use heap::{GcKind, GcMode, Heap, HeapConfig, ObjKind, SliceOutcome};
 pub use isa::{CodeBlock, Instr, InstrClass, MachineProgram, N_INSTR_CLASSES};
+pub use sched::{SchedStats, TenantOutcome, TenantReport, VmScheduler};
 pub use verify::{verify_bytecode, BytecodeVerifySummary, BytecodeViolation};
-pub use vm::{run, FaultInject, Outcome, RunStats, VmConfig, VmResult};
+pub use vm::{
+    pause_bucket, run, FaultInject, Outcome, RunStats, VmConfig, VmInstance, VmResult,
+    N_PAUSE_BUCKETS, PAUSE_BUCKET_LIMITS,
+};

@@ -1,0 +1,211 @@
+//! Multi-tenant VM scheduling: time-slicing N concurrent
+//! [`VmInstance`]s round-robin on a cycle quantum.
+//!
+//! Each tenant is an independent program + [`VmConfig`] pair with its
+//! own heap — the per-tenant `tenured_words` ceiling *is* the heap
+//! quota, and `max_cycles` is the fuel quota. The scheduler's isolation
+//! guarantee is the whole point: a tenant that exhausts its quota,
+//! faults, or runs out of fuel degrades **alone**
+//! ([`TenantOutcome::HeapExhausted`] / [`TenantOutcome::Fault`] /
+//! [`TenantOutcome::OutOfFuel`]) while every other tenant runs to
+//! completion with exactly the results it would have produced running
+//! solo — tenant heaps share nothing, and preemption sits between
+//! instructions, so interleaving cannot change per-tenant behavior.
+//!
+//! Fairness is bounded, not merely statistical: in every round each
+//! runnable tenant advances at most `quantum` cycles plus one bounded
+//! overshoot (the cycle cost of the single instruction, or GC pause,
+//! straddling the quantum edge). The largest observed overshoot is
+//! reported in [`SchedStats::max_overshoot`]; with a GC pause budget
+//! set ([`VmConfig::max_pause_cycles`]) the overshoot is itself
+//! bounded by the pause budget plus the costliest single instruction.
+
+use crate::isa::MachineProgram;
+use crate::vm::{Outcome, RunStats, VmConfig, VmInstance, VmResult};
+
+/// How a tenant's run ended, from the scheduler's governance
+/// perspective. [`VmResult::Value`] and [`VmResult::Uncaught`] are both
+/// [`TenantOutcome::Done`]: an uncaught ML exception is a normal,
+/// well-defined program result, not a governance event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TenantOutcome {
+    /// The program ran to completion (normal halt or uncaught ML
+    /// exception).
+    Done,
+    /// The tenant exhausted its heap quota.
+    HeapExhausted,
+    /// The tenant tripped a contained memory-safety / control-flow
+    /// fault.
+    Fault,
+    /// The tenant exhausted its cycle (fuel) quota.
+    OutOfFuel,
+}
+
+impl TenantOutcome {
+    /// Classifies a final [`VmResult`].
+    pub fn of(result: &VmResult) -> TenantOutcome {
+        match result {
+            VmResult::Value(_) | VmResult::Uncaught(_) => TenantOutcome::Done,
+            VmResult::HeapExhausted => TenantOutcome::HeapExhausted,
+            VmResult::Fault(_) => TenantOutcome::Fault,
+            VmResult::OutOfFuel => TenantOutcome::OutOfFuel,
+        }
+    }
+}
+
+/// One tenant's final report: governance outcome plus the full
+/// [`Outcome`] fields it would have produced running solo.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Governance classification of `result`.
+    pub outcome: TenantOutcome,
+    /// The tenant's final result, byte-identical to a solo run.
+    pub result: VmResult,
+    /// Everything the tenant printed.
+    pub output: String,
+    /// The tenant's own counters (per-tenant `RunStats`).
+    pub stats: RunStats,
+    /// Scheduler slices this tenant consumed.
+    pub slices: u64,
+}
+
+/// Scheduler-level fairness and outcome counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedStats {
+    /// The cycle quantum tenants were sliced on.
+    pub quantum: u64,
+    /// Number of tenants scheduled.
+    pub tenants: u64,
+    /// Round-robin passes over the runnable set.
+    pub rounds: u64,
+    /// Total slices handed out.
+    pub slices: u64,
+    /// Slices that ended by preemption (quantum expiry) rather than by
+    /// the tenant finishing.
+    pub preemptions: u64,
+    /// Largest single-slice overshoot past the quantum, in cycles: the
+    /// cost of the instruction or GC pause straddling the quantum edge.
+    pub max_overshoot: u64,
+    /// Tenants that finished [`TenantOutcome::Done`].
+    pub done: u64,
+    /// Tenants that ended [`TenantOutcome::HeapExhausted`].
+    pub heap_exhausted: u64,
+    /// Tenants that ended [`TenantOutcome::Fault`].
+    pub fault: u64,
+    /// Tenants that ended [`TenantOutcome::OutOfFuel`].
+    pub out_of_fuel: u64,
+}
+
+/// A round-robin scheduler over N tenant VM instances.
+///
+/// ```
+/// # use sml_vm::{VmConfig, VmScheduler, TenantOutcome};
+/// # fn demo(prog: &sml_vm::MachineProgram) {
+/// let mut sched = VmScheduler::new(10_000);
+/// sched.spawn(prog, &VmConfig::default());
+/// sched.spawn(prog, &VmConfig { tenured_words: 4096, ..VmConfig::default() });
+/// let (reports, stats) = sched.run_all();
+/// assert_eq!(reports.len(), 2);
+/// assert_eq!(stats.done + stats.heap_exhausted, 2);
+/// # }
+/// ```
+pub struct VmScheduler<'p> {
+    quantum: u64,
+    tenants: Vec<VmInstance<'p>>,
+    slices: Vec<u64>,
+}
+
+impl<'p> VmScheduler<'p> {
+    /// Creates a scheduler with the given cycle quantum per slice (at
+    /// least 1; 0 is treated as 1).
+    pub fn new(quantum: u64) -> VmScheduler<'p> {
+        VmScheduler {
+            quantum: quantum.max(1),
+            tenants: Vec::new(),
+            slices: Vec::new(),
+        }
+    }
+
+    /// Adds a tenant: a program plus its own config (heap quota, fuel
+    /// quota, GC mode, pause budget, fault injection). Returns the
+    /// tenant's index, which is also its position in the
+    /// [`VmScheduler::run_all`] report vector.
+    pub fn spawn(&mut self, prog: &'p MachineProgram, cfg: &VmConfig) -> usize {
+        self.tenants.push(VmInstance::new(prog, cfg));
+        self.slices.push(0);
+        self.tenants.len() - 1
+    }
+
+    /// Number of tenants spawned.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenants have been spawned.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Runs every tenant to completion, round-robin on the quantum, and
+    /// returns the per-tenant reports (indexed by spawn order) plus the
+    /// scheduler's fairness counters. Deterministic: the schedule is a
+    /// pure function of the tenant set and the quantum.
+    pub fn run_all(mut self) -> (Vec<TenantReport>, SchedStats) {
+        let mut stats = SchedStats {
+            quantum: self.quantum,
+            tenants: self.tenants.len() as u64,
+            ..SchedStats::default()
+        };
+        loop {
+            let mut ran_any = false;
+            for (i, vm) in self.tenants.iter_mut().enumerate() {
+                if vm.finished() {
+                    continue;
+                }
+                ran_any = true;
+                let before = vm.stats().cycles;
+                let finished = vm.run_slice(self.quantum);
+                let used = vm.stats().cycles - before;
+                self.slices[i] += 1;
+                stats.slices += 1;
+                if !finished {
+                    stats.preemptions += 1;
+                }
+                stats.max_overshoot = stats.max_overshoot.max(used.saturating_sub(self.quantum));
+            }
+            if !ran_any {
+                break;
+            }
+            stats.rounds += 1;
+        }
+        let slices = std::mem::take(&mut self.slices);
+        let reports: Vec<TenantReport> = self
+            .tenants
+            .into_iter()
+            .zip(slices)
+            .map(|(vm, slices)| {
+                let Outcome {
+                    result,
+                    stats,
+                    output,
+                } = vm.into_outcome();
+                TenantReport {
+                    outcome: TenantOutcome::of(&result),
+                    result,
+                    output,
+                    stats,
+                    slices,
+                }
+            })
+            .collect();
+        for r in &reports {
+            match r.outcome {
+                TenantOutcome::Done => stats.done += 1,
+                TenantOutcome::HeapExhausted => stats.heap_exhausted += 1,
+                TenantOutcome::Fault => stats.fault += 1,
+                TenantOutcome::OutOfFuel => stats.out_of_fuel += 1,
+            }
+        }
+        (reports, stats)
+    }
+}

@@ -23,7 +23,9 @@
 //! no matter how the run ended. [`FaultInject`] exposes the trap paths
 //! to tests deterministically.
 
-use crate::heap::{decode, is_ptr, tag_int, untag_int, GcKind, GcMode, Heap, HeapConfig, ObjKind};
+use crate::heap::{
+    decode, is_ptr, tag_int, untag_int, GcKind, GcMode, Heap, HeapConfig, ObjKind, SliceOutcome,
+};
 use crate::isa::*;
 
 /// VM configuration.
@@ -47,6 +49,15 @@ pub struct VmConfig {
     /// Minor collections an object must survive before promotion into
     /// tenured space (generational mode; at least 1).
     pub promote_after: u32,
+    /// GC pause budget in cycles; `0` means unbounded, i.e. today's
+    /// stop-the-world major collections. When nonzero, major
+    /// collections run as incremental slices sized to the budget and
+    /// the nursery is clamped so minor pauses fit it too. The invariant
+    /// is mutator-visible: no recorded pause exceeds the budget except
+    /// for a single oversized object (or an outsized remembered set),
+    /// which is *reported* in [`RunStats::pause_overruns`] rather than
+    /// silently violated.
+    pub max_pause_cycles: u64,
     /// Fault-injection knobs for robustness testing.
     pub fault: FaultInject,
 }
@@ -60,6 +71,7 @@ impl Default for VmConfig {
             max_cycles: 20_000_000_000,
             tenured_words: 8 << 20,
             promote_after: 2,
+            max_pause_cycles: 0,
             fault: FaultInject::default(),
         }
     }
@@ -77,7 +89,16 @@ pub struct FaultInject {
     pub fail_alloc_at: Option<u64>,
     /// Force a collection before every kth object allocation, stressing
     /// GC root handling far beyond what the nursery schedule would.
+    /// While an incremental major is active this pumps one slice batch
+    /// instead (minors are forbidden mid-major).
     pub gc_every_n_allocs: Option<u64>,
+    /// Yield control back to the mutator after every Nth
+    /// incremental-major slice (when the pending allocation already
+    /// fits), instead of pumping slices back-to-back to completion.
+    /// This deterministically forces allocation, loads, and stores to
+    /// interleave with an active major — the test hook for the
+    /// read-barrier, black-allocation, and write-during-slice paths.
+    pub yield_every_n_slices: Option<u64>,
 }
 
 /// How a run ended.
@@ -134,14 +155,50 @@ pub struct RunStats {
     pub major_gc_cycles: u64,
     /// Longest single minor-collection pause, in cycles.
     pub max_minor_pause: u64,
-    /// Longest single major-collection pause, in cycles.
+    /// Longest single major-collection pause, in cycles. With a pause
+    /// budget set this is the longest *slice*, not the whole major.
     pub max_major_pause: u64,
+    /// Major-collection slices run (a stop-the-world major counts as
+    /// one slice, so without a budget this equals `n_major_gcs`).
+    pub major_slices: u64,
+    /// Words copied by the incremental-major read barrier during
+    /// mutator time. Charged to GC cycles but to no recorded pause —
+    /// this is the smeared-out copy work that bounded pauses buy.
+    pub barrier_words: u64,
+    /// Recorded pauses that exceeded the configured pause budget
+    /// (always 0 when no budget is set). Overruns can only come from a
+    /// single oversized object or an outsized remembered set; they are
+    /// reported here rather than silently violating the bound.
+    pub pause_overruns: u64,
+    /// Histogram of minor-collection pause lengths; bucket `i` counts
+    /// pauses below [`PAUSE_BUCKET_LIMITS`]`[i]` cycles (last bucket
+    /// unbounded).
+    pub pause_hist_minor: [u64; N_PAUSE_BUCKETS],
+    /// Histogram of major-collection pause lengths (per slice when
+    /// incremental), bucketed like `pause_hist_minor`.
+    pub pause_hist_major: [u64; N_PAUSE_BUCKETS],
     /// Cycle breakdown indexed by [`InstrClass`] discriminant; sums to
     /// `cycles` on every exit path, normal or trapping.
     pub cycles_by_class: [u64; crate::isa::N_INSTR_CLASSES],
     /// Executed-instruction breakdown indexed by [`InstrClass`]
     /// discriminant; the `Gc` pseudo-class entry stays zero.
     pub instrs_by_class: [u64; crate::isa::N_INSTR_CLASSES],
+}
+
+/// Number of buckets in the GC pause histograms.
+pub const N_PAUSE_BUCKETS: usize = 8;
+
+/// Exclusive upper bounds of the first seven pause-histogram buckets,
+/// in cycles; the eighth bucket is unbounded.
+pub const PAUSE_BUCKET_LIMITS: [u64; N_PAUSE_BUCKETS - 1] =
+    [256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576];
+
+/// The histogram bucket a pause of the given length falls into.
+pub fn pause_bucket(cycles: u64) -> usize {
+    PAUSE_BUCKET_LIMITS
+        .iter()
+        .position(|&lim| cycles < lim)
+        .unwrap_or(N_PAUSE_BUCKETS - 1)
 }
 
 /// The outcome of running a program.
@@ -160,11 +217,14 @@ pub struct Outcome {
 /// than an out-of-bounds access.
 fn uncaught_name(heap: &Heap, pkt: u32) -> String {
     // The packet is either a constant-exception tag record `[name]` or a
-    // carrying packet `[tag, v]` with `tag = [name]`.
+    // carrying packet `[tag, v]` with `tag = [name]`. Every pointer is
+    // resolved first: mid-incremental-major (or after an overflow
+    // finalization) a link may still be a from-space forwarding stub.
+    let pkt = heap.resolve(pkt);
     if heap.check_access(pkt, 0, 1).is_err() {
         return "?".into();
     }
-    let f0 = heap.load(pkt, 0);
+    let f0 = heap.resolve(heap.load(pkt, 0));
     if heap.check_access(f0, 0, 1).is_err() {
         return "?".into();
     }
@@ -172,7 +232,7 @@ fn uncaught_name(heap: &Heap, pkt: u32) -> String {
     if k == ObjKind::Str as u32 {
         return heap.read_string(f0);
     }
-    let inner = heap.load(f0, 0);
+    let inner = heap.resolve(heap.load(f0, 0));
     if heap.check_string(inner).is_ok() {
         heap.read_string(inner)
     } else {
@@ -183,623 +243,901 @@ fn uncaught_name(heap: &Heap, pkt: u32) -> String {
 /// Runs a machine program to completion. Never panics on program
 /// behavior: abnormal executions end in a trapping [`VmResult`].
 pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
-    // Size the immortal region to the literal pool so pool loading can
-    // never exhaust it; reject literals the descriptor cannot encode.
-    let static_need: usize = prog
-        .pool
-        .iter()
-        .map(|s| s.len().div_ceil(4).max(1) + 1)
-        .sum::<usize>()
-        + 1;
-    if let Some(s) = prog.pool.iter().find(|s| s.len() > Heap::MAX_STRING_BYTES) {
-        return Outcome {
-            result: VmResult::Fault(format!(
-                "string literal of {} bytes exceeds the descriptor limit of {}",
-                s.len(),
-                Heap::MAX_STRING_BYTES
-            )),
+    let mut vm = VmInstance::new(prog, cfg);
+    while !vm.run_slice(u64::MAX) {}
+    vm.into_outcome()
+}
+
+/// A resumable VM instance: one tenant's program, heap, registers, and
+/// counters. [`run`] drives one to completion in a single call; the
+/// [`VmScheduler`](crate::sched::VmScheduler) time-slices many of them
+/// on a cycle quantum, each against its own heap quota.
+pub struct VmInstance<'p> {
+    prog: &'p MachineProgram,
+    cfg: VmConfig,
+    heap: Heap,
+    pool_ptrs: Vec<u32>,
+    regs: [u32; MAX_REGS as usize],
+    fregs: [f64; MAX_REGS as usize],
+    handler: u32,
+    stats: RunStats,
+    output: String,
+    block: usize,
+    pc: usize,
+    /// Incremental-major slices run since the last fault-injected
+    /// yield (drives [`FaultInject::yield_every_n_slices`]).
+    yield_ctr: u64,
+    finished: Option<VmResult>,
+}
+
+impl<'p> VmInstance<'p> {
+    /// Prepares a run: builds the heap (sizing the immortal region to
+    /// the literal pool so pool loading can never exhaust it) and loads
+    /// the literals. A literal the descriptor cannot encode marks the
+    /// instance finished with a `Fault` before the first step.
+    pub fn new(prog: &'p MachineProgram, cfg: &VmConfig) -> VmInstance<'p> {
+        let static_need: usize = prog
+            .pool
+            .iter()
+            .map(|s| s.len().div_ceil(4).max(1) + 1)
+            .sum::<usize>()
+            + 1;
+        let finished = prog
+            .pool
+            .iter()
+            .find(|s| s.len() > Heap::MAX_STRING_BYTES)
+            .map(|s| {
+                VmResult::Fault(format!(
+                    "string literal of {} bytes exceeds the descriptor limit of {}",
+                    s.len(),
+                    Heap::MAX_STRING_BYTES
+                ))
+            });
+        let mut heap = Heap::new(&HeapConfig {
+            mode: cfg.gc_mode,
+            nursery_words: cfg.nursery_words,
+            tenured_words: cfg.tenured_words,
+            promote_after: cfg.promote_after,
+            static_words: static_need.max(64 * 1024),
+            max_pause_cycles: cfg.max_pause_cycles,
+        });
+        let mut pool_ptrs = Vec::with_capacity(prog.pool.len());
+        if finished.is_none() {
+            for s in &prog.pool {
+                pool_ptrs.push(heap.alloc_static_string(s));
+            }
+        }
+        VmInstance {
+            prog,
+            cfg: *cfg,
+            heap,
+            pool_ptrs,
+            regs: [tag_int(0); MAX_REGS as usize],
+            fregs: [0.0f64; MAX_REGS as usize],
+            handler: tag_int(0),
             stats: RunStats::default(),
             output: String::new(),
-        };
-    }
-    let mut heap = Heap::new(&HeapConfig {
-        mode: cfg.gc_mode,
-        nursery_words: cfg.nursery_words,
-        tenured_words: cfg.tenured_words,
-        promote_after: cfg.promote_after,
-        static_words: static_need.max(64 * 1024),
-    });
-    let mut pool_ptrs = Vec::with_capacity(prog.pool.len());
-    for s in &prog.pool {
-        pool_ptrs.push(heap.alloc_static_string(s));
+            block: prog.entry as usize,
+            pc: 0,
+            yield_ctr: 0,
+            finished,
+        }
     }
 
-    let mut regs = [tag_int(0); MAX_REGS as usize];
-    let mut fregs = [0.0f64; MAX_REGS as usize];
-    let mut handler = tag_int(0);
-    let mut stats = RunStats::default();
-    let mut output = String::new();
-
-    let mut block = prog.entry as usize;
-    let mut pc = 0usize;
-
-    macro_rules! spillcost {
-        ($($r:expr),*) => {
-            $( if $r >= HW_REGS { stats.cycles += 2; } )*
-        };
+    /// True once the run has ended (normally or by trap).
+    pub fn finished(&self) -> bool {
+        self.finished.is_some()
     }
 
-    // Copies the heap's lifetime counters into the run's stats; every
-    // exit path goes through this so the counters are accurate no matter
-    // how the run ended.
-    macro_rules! sync_heap {
-        () => {
-            stats.alloc_words = heap.alloc_words;
-            stats.n_allocs = heap.n_allocs;
-            stats.gc_copied_words = heap.copied_words;
-            stats.n_gcs = heap.n_gcs;
-            stats.n_minor_gcs = heap.n_minor_gcs;
-            stats.n_major_gcs = heap.n_major_gcs;
-            stats.promoted_words = heap.promoted_words;
-            stats.remembered_peak = heap.rs_peak;
-        };
+    /// The final result, once finished.
+    pub fn result(&self) -> Option<&VmResult> {
+        self.finished.as_ref()
     }
 
-    loop {
-        if stats.cycles > cfg.max_cycles {
-            sync_heap!();
-            return Outcome {
-                result: VmResult::OutOfFuel,
-                stats,
-                output,
+    /// Counters so far (heap counters are synced at every slice exit).
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Everything printed so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// The instance's heap (tests use this to assert consistency on
+    /// trap paths).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Consumes a finished instance into an [`Outcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has not finished.
+    pub fn into_outcome(self) -> Outcome {
+        Outcome {
+            result: self.finished.expect("VM instance still running"),
+            stats: self.stats,
+            output: self.output,
+        }
+    }
+
+    /// Executes until roughly `quantum` more cycles have been charged
+    /// (preemption is checked between instructions, so a slice overruns
+    /// by at most one instruction's cost — including its GC pause,
+    /// which a pause budget keeps bounded) or the run ends. Returns
+    /// `true` when the run is finished, `false` when preempted.
+    pub fn run_slice(&mut self, quantum: u64) -> bool {
+        if self.finished.is_some() {
+            return true;
+        }
+        let stop_at = self.stats.cycles.saturating_add(quantum);
+        // Split borrows: block/pc/handler are copied into locals (the
+        // hot interpreter state) and written back at every exit.
+        let prog = self.prog;
+        let cfg = &self.cfg;
+        let heap = &mut self.heap;
+        let pool_ptrs = &self.pool_ptrs;
+        let regs = &mut self.regs;
+        let fregs = &mut self.fregs;
+        let stats = &mut self.stats;
+        let output = &mut self.output;
+        let yield_ctr = &mut self.yield_ctr;
+        let mut block = self.block;
+        let mut pc = self.pc;
+        let mut handler = self.handler;
+        // `None` = preempted mid-run; `Some` = the run ended.
+        let mut out: Option<VmResult> = None;
+
+        macro_rules! spillcost {
+            ($($r:expr),*) => {
+                $( if $r >= HW_REGS { stats.cycles += 2; } )*
             };
         }
-        if block >= prog.blocks.len() || pc >= prog.blocks[block].instrs.len() {
-            sync_heap!();
-            return Outcome {
-                result: VmResult::Fault(format!(
+
+        loop {
+            if stats.cycles > cfg.max_cycles {
+                out = Some(VmResult::OutOfFuel);
+                break;
+            }
+            if stats.cycles >= stop_at {
+                break; // quantum spent: preempted between instructions
+            }
+            if block >= prog.blocks.len() || pc >= prog.blocks[block].instrs.len() {
+                out = Some(VmResult::Fault(format!(
                     "instruction fetch out of range: block {block} pc {pc}"
-                )),
-                stats,
-                output,
-            };
-        }
-        let instr = &prog.blocks[block].instrs[pc];
-        pc += 1;
-        stats.instrs += 1;
-        // Per-class accounting: everything the match arm adds to
-        // `cycles` lands in the instruction's class, except collector
-        // work (`gc` bumps `gc_cycles`), which lands in the Gc
-        // pseudo-class so the breakdown still sums to `cycles`.
-        let class = instr.class() as usize;
-        stats.instrs_by_class[class] += 1;
-        let cycles_before = stats.cycles;
-        let gc_cycles_before = stats.gc_cycles;
+                )));
+                break;
+            }
+            let instr = &prog.blocks[block].instrs[pc];
+            pc += 1;
+            stats.instrs += 1;
+            // Per-class accounting: everything the match arm adds to
+            // `cycles` lands in the instruction's class, except collector
+            // work (`gc` bumps `gc_cycles`), which lands in the Gc
+            // pseudo-class so the breakdown still sums to `cycles`.
+            let class = instr.class() as usize;
+            stats.instrs_by_class[class] += 1;
+            let cycles_before = stats.cycles;
+            let gc_cycles_before = stats.gc_cycles;
 
-        // Ends the run mid-instruction: attributes the cycles this
-        // instruction accrued so far to its class (keeping the by-class
-        // breakdown summing to `cycles`), finalizes the heap counters,
-        // and returns.
-        macro_rules! trap {
-            ($result:expr) => {{
-                let gc_delta = stats.gc_cycles - gc_cycles_before;
-                stats.cycles_by_class[class] += stats.cycles - cycles_before - gc_delta;
-                stats.cycles_by_class[InstrClass::Gc as usize] += gc_delta;
-                sync_heap!();
-                return Outcome {
-                    result: $result,
-                    stats,
-                    output,
+            // Ends the run mid-instruction: attributes the cycles this
+            // instruction accrued so far to its class (keeping the
+            // by-class breakdown summing to `cycles`) and breaks out.
+            macro_rules! trap {
+                ($result:expr) => {{
+                    drain_barrier(heap, stats);
+                    let gc_delta = stats.gc_cycles - gc_cycles_before;
+                    stats.cycles_by_class[class] += stats.cycles - cycles_before - gc_delta;
+                    stats.cycles_by_class[InstrClass::Gc as usize] += gc_delta;
+                    out = Some($result);
+                    break;
+                }};
+            }
+            // Bounds-checks one object access; traps as a Fault on
+            // violation.
+            macro_rules! mem {
+                ($ptr:expr, $off:expr, $n:expr) => {
+                    if let Err(why) = heap.check_access($ptr, $off, $n) {
+                        trap!(VmResult::Fault(why));
+                    }
                 };
-            }};
-        }
-        // Bounds-checks one object access; traps as a Fault on
-        // violation.
-        macro_rules! mem {
-            ($ptr:expr, $off:expr, $n:expr) => {
-                if let Err(why) = heap.check_access($ptr, $off, $n) {
-                    trap!(VmResult::Fault(why));
-                }
-            };
-        }
-        // Validates a string operand; traps as a Fault on violation.
-        macro_rules! strchk {
-            ($ptr:expr) => {
-                if let Err(why) = heap.check_string($ptr) {
-                    trap!(VmResult::Fault(why));
-                }
-            };
-        }
-        // Runs the allocation protocol for `want` body words: injected
-        // failure, forced or scheduled minor collection, then a major
-        // collection as the final attempt before the HeapExhausted trap.
-        macro_rules! alloc_guard {
-            ($want:expr) => {{
-                let want: usize = $want;
-                if cfg.fault.fail_alloc_at == Some(heap.n_allocs + 1) {
-                    trap!(VmResult::HeapExhausted);
-                }
-                let forced = cfg
-                    .fault
-                    .gc_every_n_allocs
-                    .is_some_and(|k| k > 0 && (heap.n_allocs + 1) % k == 0);
-                if forced || heap.needs_gc(want) {
-                    gc(
-                        &mut heap,
-                        &mut regs,
-                        &mut handler,
-                        &mut stats,
-                        GcKind::Minor,
-                    );
-                    if !heap.has_room(want) {
-                        let complete = gc(
-                            &mut heap,
-                            &mut regs,
+            }
+            // Validates a string operand; traps as a Fault on violation.
+            macro_rules! strchk {
+                ($ptr:expr) => {
+                    if let Err(why) = heap.check_string($ptr) {
+                        trap!(VmResult::Fault(why));
+                    }
+                };
+            }
+            // Runs the allocation protocol for `want` body words:
+            // injected failure, forced or scheduled minor collection
+            // (or slice pumping while an incremental major is active),
+            // then a major collection — pumped to completion unless a
+            // fault-injected yield interleaves the mutator — as the
+            // final attempt before the HeapExhausted trap.
+            macro_rules! alloc_guard {
+                ($want:expr) => {{
+                    let want: usize = $want;
+                    if cfg.fault.fail_alloc_at == Some(heap.n_allocs + 1) {
+                        trap!(VmResult::HeapExhausted);
+                    }
+                    if heap.is_exhausted() {
+                        trap!(VmResult::HeapExhausted);
+                    }
+                    let forced = cfg
+                        .fault
+                        .gc_every_n_allocs
+                        .is_some_and(|k| k > 0 && (heap.n_allocs + 1) % k == 0);
+                    // `true` once a full major has finished in this
+                    // guard: if room is still short after that, the
+                    // heap is genuinely exhausted.
+                    let mut major_done = false;
+                    if heap.major_active() {
+                        // Resume the yielded incremental major.
+                        match pump_major(
+                            heap,
+                            &mut regs[..],
                             &mut handler,
-                            &mut stats,
-                            GcKind::Major,
-                        );
-                        if !complete || !heap.has_room(want) {
+                            stats,
+                            cfg,
+                            yield_ctr,
+                            want,
+                        ) {
+                            Pump::Overflow => trap!(VmResult::HeapExhausted),
+                            Pump::Done => major_done = true,
+                            Pump::Yielded => {}
+                        }
+                    } else if forced || heap.needs_gc(want) {
+                        if heap.is_generational() || cfg.max_pause_cycles == 0 {
+                            gc(
+                                heap,
+                                &mut regs[..],
+                                &mut handler,
+                                stats,
+                                GcKind::Minor,
+                                cfg.max_pause_cycles,
+                            );
+                        } else {
+                            // Semispace with a pause budget: the
+                            // scheduled full collection is sliced too.
+                            match pump_major(
+                                heap,
+                                &mut regs[..],
+                                &mut handler,
+                                stats,
+                                cfg,
+                                yield_ctr,
+                                want,
+                            ) {
+                                Pump::Overflow => trap!(VmResult::HeapExhausted),
+                                Pump::Done => major_done = true,
+                                Pump::Yielded => {}
+                            }
+                        }
+                    }
+                    if !heap.has_room(want) {
+                        if major_done {
+                            trap!(VmResult::HeapExhausted);
+                        }
+                        match pump_major(
+                            heap,
+                            &mut regs[..],
+                            &mut handler,
+                            stats,
+                            cfg,
+                            yield_ctr,
+                            want,
+                        ) {
+                            Pump::Overflow => trap!(VmResult::HeapExhausted),
+                            _ => {}
+                        }
+                        if !heap.has_room(want) {
                             trap!(VmResult::HeapExhausted);
                         }
                     }
+                }};
+            }
+
+            match instr {
+                Instr::Move { d, s } => {
+                    spillcost!(*d, *s);
+                    stats.cycles += 1;
+                    regs[*d as usize] = regs[*s as usize];
                 }
-            }};
+                Instr::FMove { d, s } => {
+                    spillcost!(*d, *s);
+                    stats.cycles += 1;
+                    fregs[*d as usize] = fregs[*s as usize];
+                }
+                Instr::LoadI { d, imm } => {
+                    spillcost!(*d);
+                    stats.cycles += 1;
+                    regs[*d as usize] = tag_int(*imm);
+                }
+                Instr::LoadF { d, imm } => {
+                    spillcost!(*d);
+                    stats.cycles += 2;
+                    fregs[*d as usize] = *imm;
+                }
+                Instr::LoadStr { d, pool } => {
+                    spillcost!(*d);
+                    stats.cycles += 1;
+                    if *pool as usize >= pool_ptrs.len() {
+                        trap!(VmResult::Fault(format!(
+                            "string pool index {pool} out of range"
+                        )));
+                    }
+                    regs[*d as usize] = pool_ptrs[*pool as usize];
+                }
+                Instr::LoadLabel { d, label } => {
+                    spillcost!(*d);
+                    stats.cycles += 1;
+                    regs[*d as usize] = tag_int(*label as i64);
+                }
+                Instr::Arith { op, d, a, b } => {
+                    spillcost!(*d, *a, *b);
+                    let x = untag_int(regs[*a as usize]);
+                    let y = untag_int(regs[*b as usize]);
+                    let (v, cost) = match op {
+                        AOp::Add => (x.wrapping_add(y), 1),
+                        AOp::Sub => (x.wrapping_sub(y), 1),
+                        AOp::Mul => (x.wrapping_mul(y), 4),
+                        AOp::Div => (if y == 0 { 0 } else { x.wrapping_div(y) }, 12),
+                        AOp::Mod => (if y == 0 { 0 } else { x.rem_euclid(y) }, 12),
+                    };
+                    stats.cycles += cost;
+                    regs[*d as usize] = tag_int(v);
+                }
+                Instr::FArith { op, d, a, b } => {
+                    spillcost!(*d, *a, *b);
+                    let x = fregs[*a as usize];
+                    let y = fregs[*b as usize];
+                    let (v, cost) = match op {
+                        FOp::Add => (x + y, 2),
+                        FOp::Sub => (x - y, 2),
+                        FOp::Mul => (x * y, 4),
+                        FOp::Div => (x / y, 12),
+                    };
+                    stats.cycles += cost;
+                    fregs[*d as usize] = v;
+                }
+                Instr::FUnary { op, d, a } => {
+                    spillcost!(*d, *a);
+                    let x = fregs[*a as usize];
+                    let (v, cost) = match op {
+                        FUOp::Neg => (-x, 2),
+                        FUOp::Sqrt => (x.sqrt(), 20),
+                        FUOp::Sin => (x.sin(), 20),
+                        FUOp::Cos => (x.cos(), 20),
+                        FUOp::Atan => (x.atan(), 20),
+                        FUOp::Exp => (x.exp(), 20),
+                        FUOp::Ln => (x.ln(), 20),
+                    };
+                    stats.cycles += cost;
+                    fregs[*d as usize] = v;
+                }
+                Instr::Floor { d, a } => {
+                    spillcost!(*d, *a);
+                    stats.cycles += 3;
+                    regs[*d as usize] = tag_int(fregs[*a as usize].floor() as i64);
+                }
+                Instr::IntToReal { d, a } => {
+                    spillcost!(*d, *a);
+                    stats.cycles += 3;
+                    fregs[*d as usize] = untag_int(regs[*a as usize]) as f64;
+                }
+                Instr::Load { d, base, off } => {
+                    spillcost!(*d, *base);
+                    stats.cycles += 2;
+                    mem!(regs[*base as usize], *off as usize, 1);
+                    // Through the read barrier: during an active
+                    // incremental major a from-space target is evacuated
+                    // and the slot healed, so registers only ever hold
+                    // to-space pointers.
+                    regs[*d as usize] = heap.load_healed(regs[*base as usize], *off as usize);
+                }
+                Instr::Store { s, base, off } => {
+                    spillcost!(*s, *base);
+                    stats.cycles += 2;
+                    mem!(regs[*base as usize], *off as usize, 1);
+                    // Unboxed stores skip the barrier; the compiler must
+                    // prove the value is a non-pointer (paper §4.4).
+                    debug_assert!(
+                        !heap.would_need_barrier(regs[*base as usize], regs[*s as usize]),
+                        "unbarriered Store created a tenured→nursery pointer"
+                    );
+                    heap.store(regs[*base as usize], *off as usize, regs[*s as usize]);
+                }
+                Instr::StoreWB { s, base, off } => {
+                    spillcost!(*s, *base);
+                    stats.cycles += 4; // store + generational bookkeeping
+                    mem!(regs[*base as usize], *off as usize, 1);
+                    heap.store_barriered(regs[*base as usize], *off as usize, regs[*s as usize]);
+                }
+                Instr::FLoad { d, base, off } => {
+                    spillcost!(*d, *base);
+                    stats.cycles += 4; // two single-word loads
+                    mem!(regs[*base as usize], *off as usize, 2);
+                    fregs[*d as usize] = heap.load_f64(regs[*base as usize], *off as usize);
+                }
+                Instr::FStore { s, base, off } => {
+                    spillcost!(*s, *base);
+                    stats.cycles += 4;
+                    mem!(regs[*base as usize], *off as usize, 2);
+                    heap.store_f64(regs[*base as usize], *off as usize, fregs[*s as usize]);
+                }
+                Instr::LoadIdx { d, base, idx } => {
+                    spillcost!(*d, *base, *idx);
+                    stats.cycles += 3;
+                    let i = untag_int(regs[*idx as usize]);
+                    if i < 0 {
+                        trap!(VmResult::Fault(format!("negative index {i}")));
+                    }
+                    mem!(regs[*base as usize], i as usize, 1);
+                    regs[*d as usize] = heap.load_healed(regs[*base as usize], i as usize);
+                }
+                Instr::StoreIdx { s, base, idx } => {
+                    spillcost!(*s, *base, *idx);
+                    stats.cycles += 3;
+                    let i = untag_int(regs[*idx as usize]);
+                    if i < 0 {
+                        trap!(VmResult::Fault(format!("negative index {i}")));
+                    }
+                    mem!(regs[*base as usize], i as usize, 1);
+                    debug_assert!(
+                        !heap.would_need_barrier(regs[*base as usize], regs[*s as usize]),
+                        "unbarriered StoreIdx created a tenured→nursery pointer"
+                    );
+                    heap.store(regs[*base as usize], i as usize, regs[*s as usize]);
+                }
+                Instr::StoreIdxWB { s, base, idx } => {
+                    spillcost!(*s, *base, *idx);
+                    stats.cycles += 5;
+                    let i = untag_int(regs[*idx as usize]);
+                    if i < 0 {
+                        trap!(VmResult::Fault(format!("negative index {i}")));
+                    }
+                    mem!(regs[*base as usize], i as usize, 1);
+                    heap.store_barriered(regs[*base as usize], i as usize, regs[*s as usize]);
+                }
+                Instr::Alloc {
+                    d,
+                    kind,
+                    words,
+                    flts,
+                } => {
+                    spillcost!(*d);
+                    let total = words.len() + 2 * flts.len();
+                    alloc_guard!(total);
+                    let k = match kind {
+                        AllocKind::Record => ObjKind::Record,
+                        AllocKind::Ref => ObjKind::Ref,
+                    };
+                    let Some(p) = heap.alloc(k, words.len() as u32, flts.len() as u32) else {
+                        trap!(VmResult::HeapExhausted);
+                    };
+                    // Initializing stores go through the barrier too: large
+                    // objects allocate directly in tenured space and may be
+                    // initialized with nursery pointers.
+                    for (i, r) in words.iter().enumerate() {
+                        heap.store_barriered(p, i, regs[*r as usize]);
+                    }
+                    for (j, f) in flts.iter().enumerate() {
+                        heap.store_f64(p, words.len() + 2 * j, fregs[*f as usize]);
+                    }
+                    stats.cycles += 1 + total as u64 + 2 * flts.len() as u64;
+                    regs[*d as usize] = p;
+                }
+                Instr::AllocArr { d, len, init } => {
+                    spillcost!(*d, *len, *init);
+                    let n = untag_int(regs[*len as usize]).max(0) as usize;
+                    if n > Heap::MAX_ARRAY_LEN {
+                        trap!(VmResult::Fault(format!(
+                            "array of {n} elements exceeds the descriptor limit of {}",
+                            Heap::MAX_ARRAY_LEN
+                        )));
+                    }
+                    alloc_guard!(n);
+                    let Some(p) = heap.alloc(ObjKind::Array, n as u32, 0) else {
+                        trap!(VmResult::HeapExhausted);
+                    };
+                    let v = regs[*init as usize];
+                    for i in 0..n {
+                        heap.store_barriered(p, i, v);
+                    }
+                    stats.cycles += 1 + n as u64;
+                    regs[*d as usize] = p;
+                }
+                Instr::ArrLen { d, a } => {
+                    spillcost!(*d, *a);
+                    stats.cycles += 2;
+                    mem!(regs[*a as usize], 0, 0);
+                    let (_, nscan, _) = crate::heap::decode(heap.desc(regs[*a as usize]));
+                    regs[*d as usize] = tag_int(nscan as i64);
+                }
+                Instr::FBox { d, s } => {
+                    spillcost!(*d, *s);
+                    alloc_guard!(2);
+                    let Some(p) = heap.alloc(ObjKind::BoxedFloat, 0, 1) else {
+                        trap!(VmResult::HeapExhausted);
+                    };
+                    heap.store_f64(p, 0, fregs[*s as usize]);
+                    stats.cycles += 1 + 2 + 4; // descriptor+bump, then two stores
+                    regs[*d as usize] = p;
+                }
+                Instr::FUnbox { d, s } => {
+                    spillcost!(*d, *s);
+                    stats.cycles += 4;
+                    mem!(regs[*s as usize], 0, 2);
+                    fregs[*d as usize] = heap.load_f64(regs[*s as usize], 0);
+                }
+                Instr::Branch { op, a, b, target } => {
+                    spillcost!(*a, *b);
+                    stats.cycles += 1;
+                    let x = regs[*a as usize];
+                    let y = regs[*b as usize];
+                    let taken = match op {
+                        BrOp::Lt => untag_int(x) < untag_int(y),
+                        BrOp::Le => untag_int(x) <= untag_int(y),
+                        BrOp::Gt => untag_int(x) > untag_int(y),
+                        BrOp::Ge => untag_int(x) >= untag_int(y),
+                        BrOp::Eq => x == y,
+                        BrOp::Ne => x != y,
+                        BrOp::Boxed => is_ptr(x),
+                    };
+                    if !taken {
+                        pc = *target as usize;
+                    }
+                }
+                Instr::FBranch { op, a, b, target } => {
+                    spillcost!(*a, *b);
+                    stats.cycles += 2;
+                    let x = fregs[*a as usize];
+                    let y = fregs[*b as usize];
+                    let taken = match op {
+                        FBrOp::Lt => x < y,
+                        FBrOp::Le => x <= y,
+                        FBrOp::Gt => x > y,
+                        FBrOp::Ge => x >= y,
+                        FBrOp::Eq => x == y,
+                        FBrOp::Ne => x != y,
+                    };
+                    if !taken {
+                        pc = *target as usize;
+                    }
+                }
+                Instr::SBranch { op, a, b, target } => {
+                    spillcost!(*a, *b);
+                    strchk!(regs[*a as usize]);
+                    strchk!(regs[*b as usize]);
+                    let sa = heap.read_string(regs[*a as usize]);
+                    let sb = heap.read_string(regs[*b as usize]);
+                    stats.cycles += 3 + (sa.len().min(sb.len()) as u64) / 4;
+                    let taken = match op {
+                        SBrOp::Eq => sa == sb,
+                        SBrOp::Ne => sa != sb,
+                        SBrOp::Lt => sa < sb,
+                        SBrOp::Le => sa <= sb,
+                        SBrOp::Gt => sa > sb,
+                        SBrOp::Ge => sa >= sb,
+                    };
+                    if !taken {
+                        pc = *target as usize;
+                    }
+                }
+                Instr::PolyEqBranch { a, b, target } => {
+                    spillcost!(*a, *b);
+                    let (wa, wb) = (regs[*a as usize], regs[*b as usize]);
+                    if is_ptr(wa) {
+                        mem!(wa, 0, 0);
+                    }
+                    if is_ptr(wb) {
+                        mem!(wb, 0, 0);
+                    }
+                    let (eq, cost) = heap.poly_eq(wa, wb);
+                    // Runtime-call overhead (save/restore, dispatch on the
+                    // descriptor) plus the traversal.
+                    stats.cycles += 15 + 3 * cost;
+                    if !eq {
+                        pc = *target as usize;
+                    }
+                }
+                Instr::Switch {
+                    r,
+                    lo,
+                    table,
+                    default,
+                } => {
+                    spillcost!(*r);
+                    stats.cycles += 3; // bounds check + table load + indirect jump
+                    let n = untag_int(regs[*r as usize]);
+                    let idx = n - lo;
+                    pc = if idx >= 0 && (idx as usize) < table.len() {
+                        table[idx as usize] as usize
+                    } else {
+                        *default as usize
+                    };
+                }
+                Instr::Jump { label } => {
+                    stats.cycles += 1;
+                    if cfg.fp3_overhead {
+                        stats.cycles += 1;
+                    }
+                    block = *label as usize;
+                    pc = 0;
+                }
+                Instr::JumpReg { r } => {
+                    spillcost!(*r);
+                    stats.cycles += 2;
+                    if cfg.fp3_overhead {
+                        stats.cycles += 1;
+                    }
+                    let w = regs[*r as usize];
+                    if is_ptr(w) {
+                        trap!(VmResult::Fault(format!(
+                            "jump through non-label {w:#x} from block {} ({})",
+                            block, prog.blocks[block].name
+                        )));
+                    }
+                    let target = untag_int(w);
+                    if target < 0 || target as usize >= prog.blocks.len() {
+                        trap!(VmResult::Fault(format!(
+                            "jump target {target} out of range from block {} ({})",
+                            block, prog.blocks[block].name
+                        )));
+                    }
+                    block = target as usize;
+                    pc = 0;
+                }
+                Instr::Rt { op, d, a, b, fa } => {
+                    spillcost!(*d, *a, *b);
+                    match op {
+                        RtOp::StrCat => {
+                            strchk!(regs[*a as usize]);
+                            strchk!(regs[*b as usize]);
+                            let sa = heap.read_string(regs[*a as usize]);
+                            let sb = heap.read_string(regs[*b as usize]);
+                            let joined = sa + &sb;
+                            if joined.len() > Heap::MAX_STRING_BYTES {
+                                trap!(VmResult::Fault(format!(
+                                    "string of {} bytes exceeds the descriptor limit of {}",
+                                    joined.len(),
+                                    Heap::MAX_STRING_BYTES
+                                )));
+                            }
+                            let words = joined.len().div_ceil(4);
+                            alloc_guard!(words);
+                            stats.cycles += 5 + words as u64;
+                            let Some(p) = heap.alloc_string(&joined) else {
+                                trap!(VmResult::HeapExhausted);
+                            };
+                            regs[*d as usize] = p;
+                        }
+                        RtOp::StrSize => {
+                            stats.cycles += 2;
+                            strchk!(regs[*a as usize]);
+                            regs[*d as usize] = tag_int(heap.string_len(regs[*a as usize]) as i64);
+                        }
+                        RtOp::StrSub => {
+                            stats.cycles += 3;
+                            strchk!(regs[*a as usize]);
+                            let i = untag_int(regs[*b as usize]);
+                            let len = heap.string_len(regs[*a as usize]);
+                            if i < 0 || i as usize >= len {
+                                trap!(VmResult::Fault(format!(
+                                    "string index {i} out of bounds for length {len}"
+                                )));
+                            }
+                            regs[*d as usize] =
+                                tag_int(heap.string_byte(regs[*a as usize], i as usize) as i64);
+                        }
+                        RtOp::IntToString => {
+                            let s = untag_int(regs[*a as usize]).to_string();
+                            let words = s.len().div_ceil(4);
+                            alloc_guard!(words);
+                            stats.cycles += 20;
+                            let Some(p) = heap.alloc_string(&s) else {
+                                trap!(VmResult::HeapExhausted);
+                            };
+                            regs[*d as usize] = p;
+                        }
+                        RtOp::RealToString => {
+                            let s = format!("{:?}", fregs[*fa as usize]);
+                            let words = s.len().div_ceil(4);
+                            alloc_guard!(words);
+                            stats.cycles += 40;
+                            let Some(p) = heap.alloc_string(&s) else {
+                                trap!(VmResult::HeapExhausted);
+                            };
+                            regs[*d as usize] = p;
+                        }
+                    }
+                }
+                Instr::GetHdlr { d } => {
+                    spillcost!(*d);
+                    stats.cycles += 1;
+                    regs[*d as usize] = handler;
+                }
+                Instr::SetHdlr { s } => {
+                    spillcost!(*s);
+                    stats.cycles += 1;
+                    handler = regs[*s as usize];
+                }
+                Instr::Print { s } => {
+                    strchk!(regs[*s as usize]);
+                    let txt = heap.read_string(regs[*s as usize]);
+                    stats.cycles += 5 + txt.len() as u64 / 4;
+                    output.push_str(&txt);
+                }
+                Instr::Halt { s } => {
+                    // Resolve so a pointer-valued result is reported at its
+                    // canonical address (identity outside an active major).
+                    let w = heap.resolve(regs[*s as usize]);
+                    let v = if is_ptr(w) { w as i64 } else { untag_int(w) };
+                    trap!(VmResult::Value(v));
+                }
+                Instr::Uncaught { s } => {
+                    let name = uncaught_name(heap, regs[*s as usize]);
+                    trap!(VmResult::Uncaught(name));
+                }
+            }
+            // Mutator-time barrier copies (if any) land in the Gc
+            // pseudo-class via the same delta mechanism as pauses.
+            drain_barrier(heap, stats);
+            let gc_delta = stats.gc_cycles - gc_cycles_before;
+            stats.cycles_by_class[class] += stats.cycles - cycles_before - gc_delta;
+            stats.cycles_by_class[InstrClass::Gc as usize] += gc_delta;
         }
 
-        match instr {
-            Instr::Move { d, s } => {
-                spillcost!(*d, *s);
-                stats.cycles += 1;
-                regs[*d as usize] = regs[*s as usize];
-            }
-            Instr::FMove { d, s } => {
-                spillcost!(*d, *s);
-                stats.cycles += 1;
-                fregs[*d as usize] = fregs[*s as usize];
-            }
-            Instr::LoadI { d, imm } => {
-                spillcost!(*d);
-                stats.cycles += 1;
-                regs[*d as usize] = tag_int(*imm);
-            }
-            Instr::LoadF { d, imm } => {
-                spillcost!(*d);
-                stats.cycles += 2;
-                fregs[*d as usize] = *imm;
-            }
-            Instr::LoadStr { d, pool } => {
-                spillcost!(*d);
-                stats.cycles += 1;
-                if *pool as usize >= pool_ptrs.len() {
-                    trap!(VmResult::Fault(format!(
-                        "string pool index {pool} out of range"
-                    )));
-                }
-                regs[*d as usize] = pool_ptrs[*pool as usize];
-            }
-            Instr::LoadLabel { d, label } => {
-                spillcost!(*d);
-                stats.cycles += 1;
-                regs[*d as usize] = tag_int(*label as i64);
-            }
-            Instr::Arith { op, d, a, b } => {
-                spillcost!(*d, *a, *b);
-                let x = untag_int(regs[*a as usize]);
-                let y = untag_int(regs[*b as usize]);
-                let (v, cost) = match op {
-                    AOp::Add => (x.wrapping_add(y), 1),
-                    AOp::Sub => (x.wrapping_sub(y), 1),
-                    AOp::Mul => (x.wrapping_mul(y), 4),
-                    AOp::Div => (if y == 0 { 0 } else { x.wrapping_div(y) }, 12),
-                    AOp::Mod => (if y == 0 { 0 } else { x.rem_euclid(y) }, 12),
-                };
-                stats.cycles += cost;
-                regs[*d as usize] = tag_int(v);
-            }
-            Instr::FArith { op, d, a, b } => {
-                spillcost!(*d, *a, *b);
-                let x = fregs[*a as usize];
-                let y = fregs[*b as usize];
-                let (v, cost) = match op {
-                    FOp::Add => (x + y, 2),
-                    FOp::Sub => (x - y, 2),
-                    FOp::Mul => (x * y, 4),
-                    FOp::Div => (x / y, 12),
-                };
-                stats.cycles += cost;
-                fregs[*d as usize] = v;
-            }
-            Instr::FUnary { op, d, a } => {
-                spillcost!(*d, *a);
-                let x = fregs[*a as usize];
-                let (v, cost) = match op {
-                    FUOp::Neg => (-x, 2),
-                    FUOp::Sqrt => (x.sqrt(), 20),
-                    FUOp::Sin => (x.sin(), 20),
-                    FUOp::Cos => (x.cos(), 20),
-                    FUOp::Atan => (x.atan(), 20),
-                    FUOp::Exp => (x.exp(), 20),
-                    FUOp::Ln => (x.ln(), 20),
-                };
-                stats.cycles += cost;
-                fregs[*d as usize] = v;
-            }
-            Instr::Floor { d, a } => {
-                spillcost!(*d, *a);
-                stats.cycles += 3;
-                regs[*d as usize] = tag_int(fregs[*a as usize].floor() as i64);
-            }
-            Instr::IntToReal { d, a } => {
-                spillcost!(*d, *a);
-                stats.cycles += 3;
-                fregs[*d as usize] = untag_int(regs[*a as usize]) as f64;
-            }
-            Instr::Load { d, base, off } => {
-                spillcost!(*d, *base);
-                stats.cycles += 2;
-                mem!(regs[*base as usize], *off as usize, 1);
-                regs[*d as usize] = heap.load(regs[*base as usize], *off as usize);
-            }
-            Instr::Store { s, base, off } => {
-                spillcost!(*s, *base);
-                stats.cycles += 2;
-                mem!(regs[*base as usize], *off as usize, 1);
-                // Unboxed stores skip the barrier; the compiler must
-                // prove the value is a non-pointer (paper §4.4).
-                debug_assert!(
-                    !heap.would_need_barrier(regs[*base as usize], regs[*s as usize]),
-                    "unbarriered Store created a tenured→nursery pointer"
-                );
-                heap.store(regs[*base as usize], *off as usize, regs[*s as usize]);
-            }
-            Instr::StoreWB { s, base, off } => {
-                spillcost!(*s, *base);
-                stats.cycles += 4; // store + generational bookkeeping
-                mem!(regs[*base as usize], *off as usize, 1);
-                heap.store_barriered(regs[*base as usize], *off as usize, regs[*s as usize]);
-            }
-            Instr::FLoad { d, base, off } => {
-                spillcost!(*d, *base);
-                stats.cycles += 4; // two single-word loads
-                mem!(regs[*base as usize], *off as usize, 2);
-                fregs[*d as usize] = heap.load_f64(regs[*base as usize], *off as usize);
-            }
-            Instr::FStore { s, base, off } => {
-                spillcost!(*s, *base);
-                stats.cycles += 4;
-                mem!(regs[*base as usize], *off as usize, 2);
-                heap.store_f64(regs[*base as usize], *off as usize, fregs[*s as usize]);
-            }
-            Instr::LoadIdx { d, base, idx } => {
-                spillcost!(*d, *base, *idx);
-                stats.cycles += 3;
-                let i = untag_int(regs[*idx as usize]);
-                if i < 0 {
-                    trap!(VmResult::Fault(format!("negative index {i}")));
-                }
-                mem!(regs[*base as usize], i as usize, 1);
-                regs[*d as usize] = heap.load(regs[*base as usize], i as usize);
-            }
-            Instr::StoreIdx { s, base, idx } => {
-                spillcost!(*s, *base, *idx);
-                stats.cycles += 3;
-                let i = untag_int(regs[*idx as usize]);
-                if i < 0 {
-                    trap!(VmResult::Fault(format!("negative index {i}")));
-                }
-                mem!(regs[*base as usize], i as usize, 1);
-                debug_assert!(
-                    !heap.would_need_barrier(regs[*base as usize], regs[*s as usize]),
-                    "unbarriered StoreIdx created a tenured→nursery pointer"
-                );
-                heap.store(regs[*base as usize], i as usize, regs[*s as usize]);
-            }
-            Instr::StoreIdxWB { s, base, idx } => {
-                spillcost!(*s, *base, *idx);
-                stats.cycles += 5;
-                let i = untag_int(regs[*idx as usize]);
-                if i < 0 {
-                    trap!(VmResult::Fault(format!("negative index {i}")));
-                }
-                mem!(regs[*base as usize], i as usize, 1);
-                heap.store_barriered(regs[*base as usize], i as usize, regs[*s as usize]);
-            }
-            Instr::Alloc {
-                d,
-                kind,
-                words,
-                flts,
-            } => {
-                spillcost!(*d);
-                let total = words.len() + 2 * flts.len();
-                alloc_guard!(total);
-                let k = match kind {
-                    AllocKind::Record => ObjKind::Record,
-                    AllocKind::Ref => ObjKind::Ref,
-                };
-                let Some(p) = heap.alloc(k, words.len() as u32, flts.len() as u32) else {
-                    trap!(VmResult::HeapExhausted);
-                };
-                // Initializing stores go through the barrier too: large
-                // objects allocate directly in tenured space and may be
-                // initialized with nursery pointers.
-                for (i, r) in words.iter().enumerate() {
-                    heap.store_barriered(p, i, regs[*r as usize]);
-                }
-                for (j, f) in flts.iter().enumerate() {
-                    heap.store_f64(p, words.len() + 2 * j, fregs[*f as usize]);
-                }
-                stats.cycles += 1 + total as u64 + 2 * flts.len() as u64;
-                regs[*d as usize] = p;
-            }
-            Instr::AllocArr { d, len, init } => {
-                spillcost!(*d, *len, *init);
-                let n = untag_int(regs[*len as usize]).max(0) as usize;
-                if n > Heap::MAX_ARRAY_LEN {
-                    trap!(VmResult::Fault(format!(
-                        "array of {n} elements exceeds the descriptor limit of {}",
-                        Heap::MAX_ARRAY_LEN
-                    )));
-                }
-                alloc_guard!(n);
-                let Some(p) = heap.alloc(ObjKind::Array, n as u32, 0) else {
-                    trap!(VmResult::HeapExhausted);
-                };
-                let v = regs[*init as usize];
-                for i in 0..n {
-                    heap.store_barriered(p, i, v);
-                }
-                stats.cycles += 1 + n as u64;
-                regs[*d as usize] = p;
-            }
-            Instr::ArrLen { d, a } => {
-                spillcost!(*d, *a);
-                stats.cycles += 2;
-                mem!(regs[*a as usize], 0, 0);
-                let (_, nscan, _) = crate::heap::decode(heap.desc(regs[*a as usize]));
-                regs[*d as usize] = tag_int(nscan as i64);
-            }
-            Instr::FBox { d, s } => {
-                spillcost!(*d, *s);
-                alloc_guard!(2);
-                let Some(p) = heap.alloc(ObjKind::BoxedFloat, 0, 1) else {
-                    trap!(VmResult::HeapExhausted);
-                };
-                heap.store_f64(p, 0, fregs[*s as usize]);
-                stats.cycles += 1 + 2 + 4; // descriptor+bump, then two stores
-                regs[*d as usize] = p;
-            }
-            Instr::FUnbox { d, s } => {
-                spillcost!(*d, *s);
-                stats.cycles += 4;
-                mem!(regs[*s as usize], 0, 2);
-                fregs[*d as usize] = heap.load_f64(regs[*s as usize], 0);
-            }
-            Instr::Branch { op, a, b, target } => {
-                spillcost!(*a, *b);
-                stats.cycles += 1;
-                let x = regs[*a as usize];
-                let y = regs[*b as usize];
-                let taken = match op {
-                    BrOp::Lt => untag_int(x) < untag_int(y),
-                    BrOp::Le => untag_int(x) <= untag_int(y),
-                    BrOp::Gt => untag_int(x) > untag_int(y),
-                    BrOp::Ge => untag_int(x) >= untag_int(y),
-                    BrOp::Eq => x == y,
-                    BrOp::Ne => x != y,
-                    BrOp::Boxed => is_ptr(x),
-                };
-                if !taken {
-                    pc = *target as usize;
-                }
-            }
-            Instr::FBranch { op, a, b, target } => {
-                spillcost!(*a, *b);
-                stats.cycles += 2;
-                let x = fregs[*a as usize];
-                let y = fregs[*b as usize];
-                let taken = match op {
-                    FBrOp::Lt => x < y,
-                    FBrOp::Le => x <= y,
-                    FBrOp::Gt => x > y,
-                    FBrOp::Ge => x >= y,
-                    FBrOp::Eq => x == y,
-                    FBrOp::Ne => x != y,
-                };
-                if !taken {
-                    pc = *target as usize;
-                }
-            }
-            Instr::SBranch { op, a, b, target } => {
-                spillcost!(*a, *b);
-                strchk!(regs[*a as usize]);
-                strchk!(regs[*b as usize]);
-                let sa = heap.read_string(regs[*a as usize]);
-                let sb = heap.read_string(regs[*b as usize]);
-                stats.cycles += 3 + (sa.len().min(sb.len()) as u64) / 4;
-                let taken = match op {
-                    SBrOp::Eq => sa == sb,
-                    SBrOp::Ne => sa != sb,
-                    SBrOp::Lt => sa < sb,
-                    SBrOp::Le => sa <= sb,
-                    SBrOp::Gt => sa > sb,
-                    SBrOp::Ge => sa >= sb,
-                };
-                if !taken {
-                    pc = *target as usize;
-                }
-            }
-            Instr::PolyEqBranch { a, b, target } => {
-                spillcost!(*a, *b);
-                let (wa, wb) = (regs[*a as usize], regs[*b as usize]);
-                if is_ptr(wa) {
-                    mem!(wa, 0, 0);
-                }
-                if is_ptr(wb) {
-                    mem!(wb, 0, 0);
-                }
-                let (eq, cost) = heap.poly_eq(wa, wb);
-                // Runtime-call overhead (save/restore, dispatch on the
-                // descriptor) plus the traversal.
-                stats.cycles += 15 + 3 * cost;
-                if !eq {
-                    pc = *target as usize;
-                }
-            }
-            Instr::Switch {
-                r,
-                lo,
-                table,
-                default,
-            } => {
-                spillcost!(*r);
-                stats.cycles += 3; // bounds check + table load + indirect jump
-                let n = untag_int(regs[*r as usize]);
-                let idx = n - lo;
-                pc = if idx >= 0 && (idx as usize) < table.len() {
-                    table[idx as usize] as usize
-                } else {
-                    *default as usize
-                };
-            }
-            Instr::Jump { label } => {
-                stats.cycles += 1;
-                if cfg.fp3_overhead {
-                    stats.cycles += 1;
-                }
-                block = *label as usize;
-                pc = 0;
-            }
-            Instr::JumpReg { r } => {
-                spillcost!(*r);
-                stats.cycles += 2;
-                if cfg.fp3_overhead {
-                    stats.cycles += 1;
-                }
-                let w = regs[*r as usize];
-                if is_ptr(w) {
-                    trap!(VmResult::Fault(format!(
-                        "jump through non-label {w:#x} from block {} ({})",
-                        block, prog.blocks[block].name
-                    )));
-                }
-                let target = untag_int(w);
-                if target < 0 || target as usize >= prog.blocks.len() {
-                    trap!(VmResult::Fault(format!(
-                        "jump target {target} out of range from block {} ({})",
-                        block, prog.blocks[block].name
-                    )));
-                }
-                block = target as usize;
-                pc = 0;
-            }
-            Instr::Rt { op, d, a, b, fa } => {
-                spillcost!(*d, *a, *b);
-                match op {
-                    RtOp::StrCat => {
-                        strchk!(regs[*a as usize]);
-                        strchk!(regs[*b as usize]);
-                        let sa = heap.read_string(regs[*a as usize]);
-                        let sb = heap.read_string(regs[*b as usize]);
-                        let joined = sa + &sb;
-                        if joined.len() > Heap::MAX_STRING_BYTES {
-                            trap!(VmResult::Fault(format!(
-                                "string of {} bytes exceeds the descriptor limit of {}",
-                                joined.len(),
-                                Heap::MAX_STRING_BYTES
-                            )));
-                        }
-                        let words = joined.len().div_ceil(4);
-                        alloc_guard!(words);
-                        stats.cycles += 5 + words as u64;
-                        let Some(p) = heap.alloc_string(&joined) else {
-                            trap!(VmResult::HeapExhausted);
-                        };
-                        regs[*d as usize] = p;
-                    }
-                    RtOp::StrSize => {
-                        stats.cycles += 2;
-                        strchk!(regs[*a as usize]);
-                        regs[*d as usize] = tag_int(heap.string_len(regs[*a as usize]) as i64);
-                    }
-                    RtOp::StrSub => {
-                        stats.cycles += 3;
-                        strchk!(regs[*a as usize]);
-                        let i = untag_int(regs[*b as usize]);
-                        let len = heap.string_len(regs[*a as usize]);
-                        if i < 0 || i as usize >= len {
-                            trap!(VmResult::Fault(format!(
-                                "string index {i} out of bounds for length {len}"
-                            )));
-                        }
-                        regs[*d as usize] =
-                            tag_int(heap.string_byte(regs[*a as usize], i as usize) as i64);
-                    }
-                    RtOp::IntToString => {
-                        let s = untag_int(regs[*a as usize]).to_string();
-                        let words = s.len().div_ceil(4);
-                        alloc_guard!(words);
-                        stats.cycles += 20;
-                        let Some(p) = heap.alloc_string(&s) else {
-                            trap!(VmResult::HeapExhausted);
-                        };
-                        regs[*d as usize] = p;
-                    }
-                    RtOp::RealToString => {
-                        let s = format!("{:?}", fregs[*fa as usize]);
-                        let words = s.len().div_ceil(4);
-                        alloc_guard!(words);
-                        stats.cycles += 40;
-                        let Some(p) = heap.alloc_string(&s) else {
-                            trap!(VmResult::HeapExhausted);
-                        };
-                        regs[*d as usize] = p;
-                    }
-                }
-            }
-            Instr::GetHdlr { d } => {
-                spillcost!(*d);
-                stats.cycles += 1;
-                regs[*d as usize] = handler;
-            }
-            Instr::SetHdlr { s } => {
-                spillcost!(*s);
-                stats.cycles += 1;
-                handler = regs[*s as usize];
-            }
-            Instr::Print { s } => {
-                strchk!(regs[*s as usize]);
-                let txt = heap.read_string(regs[*s as usize]);
-                stats.cycles += 5 + txt.len() as u64 / 4;
-                output.push_str(&txt);
-            }
-            Instr::Halt { s } => {
-                let w = regs[*s as usize];
-                let v = if is_ptr(w) { w as i64 } else { untag_int(w) };
-                trap!(VmResult::Value(v));
-            }
-            Instr::Uncaught { s } => {
-                let name = uncaught_name(&heap, regs[*s as usize]);
-                trap!(VmResult::Uncaught(name));
-            }
-        }
-        let gc_delta = stats.gc_cycles - gc_cycles_before;
-        stats.cycles_by_class[class] += stats.cycles - cycles_before - gc_delta;
-        stats.cycles_by_class[InstrClass::Gc as usize] += gc_delta;
+        // Common exit: persist the interpreter state and sync the
+        // heap's lifetime counters so the stats are accurate whether
+        // the run ended or was merely preempted.
+        self.block = block;
+        self.pc = pc;
+        self.handler = handler;
+        self.stats.alloc_words = self.heap.alloc_words;
+        self.stats.n_allocs = self.heap.n_allocs;
+        self.stats.gc_copied_words = self.heap.copied_words;
+        self.stats.n_gcs = self.heap.n_gcs;
+        self.stats.n_minor_gcs = self.heap.n_minor_gcs;
+        self.stats.n_major_gcs = self.heap.n_major_gcs;
+        self.stats.promoted_words = self.heap.promoted_words;
+        self.stats.remembered_peak = self.heap.rs_peak;
+        self.finished = out;
+        self.finished.is_some()
     }
 }
 
-/// Runs one collection with the VM roots (all registers plus the
-/// handler), charges the pause to the stats, and reports whether the
-/// collection completed (`false` only when a major collection
-/// overflowed: live data exceeds one tenured semispace).
+/// How a [`pump_major`] call ended.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pump {
+    /// The major collection completed.
+    Done,
+    /// A fault-injected yield handed control back to the mutator with
+    /// the collection still active (only when the pending allocation
+    /// already fits).
+    Yielded,
+    /// To-space overflow: the heap is finalized exhausted.
+    Overflow,
+}
+
+/// Flips into a major collection (if one is not already active) and
+/// pumps slices. Without a pause budget this is the stop-the-world
+/// collector: flip plus one unbounded slice under a single recorded
+/// pause, byte-for-byte the pre-incremental behavior. With a budget,
+/// the flip and every slice are separate recorded pauses sized by
+/// [`Heap::slice_words`]; slices run back-to-back (identical copy order
+/// and placement to stop-the-world) unless
+/// [`FaultInject::yield_every_n_slices`] interleaves the mutator.
+fn pump_major(
+    heap: &mut Heap,
+    regs: &mut [u32],
+    handler: &mut u32,
+    stats: &mut RunStats,
+    cfg: &VmConfig,
+    yield_ctr: &mut u64,
+    want: usize,
+) -> Pump {
+    let budget = cfg.max_pause_cycles;
+    let slice_words = Heap::slice_words(budget);
+    if !heap.major_active() {
+        if budget == 0 {
+            let before = heap.copied_words;
+            let ok = begin_with_roots(heap, regs, handler)
+                && heap.major_slice(u64::MAX) == SliceOutcome::Done;
+            stats.major_slices += 1;
+            record_pause(stats, false, 200 + 3 * (heap.copied_words - before), budget);
+            return if ok { Pump::Done } else { Pump::Overflow };
+        }
+        // The flip (root forwarding) is the one atomic step and its own
+        // recorded pause; roots are few, so it only overruns the budget
+        // on a genuinely oversized root object (reported, not hidden).
+        let before = heap.copied_words;
+        let ok = begin_with_roots(heap, regs, handler);
+        record_pause(stats, false, 200 + 3 * (heap.copied_words - before), budget);
+        if !ok {
+            return Pump::Overflow;
+        }
+    }
+    loop {
+        let before = heap.copied_words;
+        let outcome = heap.major_slice(slice_words);
+        stats.major_slices += 1;
+        record_pause(stats, false, 200 + 3 * (heap.copied_words - before), budget);
+        match outcome {
+            SliceOutcome::Done => return Pump::Done,
+            SliceOutcome::Overflow => return Pump::Overflow,
+            SliceOutcome::More => {
+                *yield_ctr += 1;
+                if let Some(n) = cfg.fault.yield_every_n_slices {
+                    if n > 0 && (*yield_ctr).is_multiple_of(n) && heap.has_room(want) {
+                        return Pump::Yielded;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forwards all VM roots (registers plus the handler) into a fresh
+/// major collection.
+fn begin_with_roots(heap: &mut Heap, regs: &mut [u32], handler: &mut u32) -> bool {
+    let mut roots: Vec<&mut u32> = Vec::with_capacity(regs.len() + 1);
+    for r in regs.iter_mut() {
+        roots.push(r);
+    }
+    roots.push(handler);
+    heap.begin_major(&mut roots)
+}
+
+/// Charges one recorded GC pause: total and per-class cycle counters,
+/// the max-pause watermark, the pause histogram, and — when a budget is
+/// set — the overrun counter for pauses that exceed it.
+fn record_pause(stats: &mut RunStats, minor: bool, cost: u64, budget: u64) {
+    stats.cycles += cost;
+    stats.gc_cycles += cost;
+    if minor {
+        stats.minor_gc_cycles += cost;
+        stats.max_minor_pause = stats.max_minor_pause.max(cost);
+        stats.pause_hist_minor[pause_bucket(cost)] += 1;
+    } else {
+        stats.major_gc_cycles += cost;
+        stats.max_major_pause = stats.max_major_pause.max(cost);
+        stats.pause_hist_major[pause_bucket(cost)] += 1;
+    }
+    if budget > 0 && cost > budget {
+        stats.pause_overruns += 1;
+    }
+}
+
+/// Charges read-barrier copy work accumulated since the last drain to
+/// GC time (it belongs to no recorded pause — that is the point of the
+/// barrier: the copy happens during mutator time).
+fn drain_barrier(heap: &mut Heap, stats: &mut RunStats) {
+    let words = heap.take_barrier_words();
+    if words > 0 {
+        let cost = 3 * words;
+        stats.cycles += cost;
+        stats.gc_cycles += cost;
+        stats.major_gc_cycles += cost;
+        stats.barrier_words += words;
+    }
+}
+
+/// Runs one stop-the-world collection with the VM roots (all registers
+/// plus the handler), charges the pause to the stats, and reports
+/// whether the collection completed (`false` only when a major
+/// collection overflowed: live data exceeds one tenured semispace).
 fn gc(
     heap: &mut Heap,
     regs: &mut [u32],
     handler: &mut u32,
     stats: &mut RunStats,
     kind: GcKind,
+    budget: u64,
 ) -> bool {
     let before = heap.copied_words;
     let rs_slots = heap.remembered_len() as u64;
@@ -821,14 +1159,9 @@ fn gc(
     } else {
         200 + 3 * copied
     };
-    stats.cycles += cost;
-    stats.gc_cycles += cost;
-    if minor_ran {
-        stats.minor_gc_cycles += cost;
-        stats.max_minor_pause = stats.max_minor_pause.max(cost);
-    } else {
-        stats.major_gc_cycles += cost;
-        stats.max_major_pause = stats.max_major_pause.max(cost);
+    if !minor_ran {
+        stats.major_slices += 1;
     }
+    record_pause(stats, minor_ran, cost, budget);
     complete
 }

@@ -21,6 +21,7 @@ fn gen_heap(rng: &mut Rng) -> Heap {
         tenured_words: 1 << 16,
         promote_after: rng.range_usize(1, 4) as u32,
         static_words: 1 << 10,
+        max_pause_cycles: 0,
     })
 }
 

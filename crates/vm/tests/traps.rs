@@ -306,6 +306,7 @@ fn injected_alloc_failure_traps_at_exactly_n() {
         fault: FaultInject {
             fail_alloc_at: Some(3),
             gc_every_n_allocs: None,
+            yield_every_n_slices: None,
         },
         ..VmConfig::default()
     };
@@ -368,6 +369,7 @@ fn forced_gc_preserves_results_and_counts() {
         fault: FaultInject {
             fail_alloc_at: None,
             gc_every_n_allocs: Some(1),
+            yield_every_n_slices: None,
         },
         ..VmConfig::default()
     };
@@ -502,6 +504,7 @@ fn write_barrier_keeps_promoted_to_young_edge_alive() {
         fault: FaultInject {
             fail_alloc_at: None,
             gc_every_n_allocs: Some(1),
+            yield_every_n_slices: None,
         },
         ..VmConfig::default()
     };
@@ -600,6 +603,7 @@ fn indexed_write_barrier_keeps_young_element_alive() {
         fault: FaultInject {
             fail_alloc_at: None,
             gc_every_n_allocs: Some(1),
+            yield_every_n_slices: None,
         },
         ..VmConfig::default()
     };

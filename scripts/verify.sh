@@ -81,6 +81,20 @@ cargo run -q --release -p smlc-bench --bin cache_bench
 echo "== gc bench (BENCH_pr4.json) =="
 cargo run -q --release -p smlc-bench --bin gc_bench
 
+# Bounded-pause / tenant-isolation gate (docs/ROBUSTNESS.md): the
+# figure benchmarks and a 200-seed progen corpus are run three ways —
+# generational stop-the-world, generational with a pause budget, and
+# the semispace baseline — demanding byte-identical outputs, identical
+# promotion traffic, and zero over-budget pauses; a 16-tenant storm
+# with one hostile tenant must exhaust only that tenant's quota while
+# the other fifteen finish with their solo results. Writes the
+# BENCH_pr7.json trajectory.
+echo "== gc pause bench (BENCH_pr7.json) =="
+cargo run -q --release -p smlc-bench --bin gc_pause_bench
+
+echo "== incremental GC / scheduler differential =="
+cargo test -q -p sml-vm --test incremental
+
 # Shared LTY arena gate (docs/ARCHITECTURE.md): the scheduling-
 # permutation differential test pins that warm parallel batches are
 # byte-identical to the serial cold reference across worker counts and
