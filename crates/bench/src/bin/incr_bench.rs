@@ -1,0 +1,168 @@
+//! Measures SCC-incremental elaboration and writes `BENCH_pr8.json`.
+//!
+//! ```sh
+//! cargo run --release -p smlc-bench --bin incr_bench            # writes BENCH_pr8.json
+//! cargo run --release -p smlc-bench --bin incr_bench -- --json=out.json
+//! ```
+//!
+//! Two experiments, both differential-gated against whole-program
+//! elaboration (`SessionBuilder::incremental(false)`):
+//!
+//! 1. **Edit replay.** A 40-declaration dependency chain is compiled
+//!    cold, then recompiled after editing one middle declaration. The
+//!    binary asserts only the dirtied suffix re-elaborates (the
+//!    `components.recompiled` counter), that the warm output is
+//!    byte-identical to the whole-program compile of the edited source,
+//!    and reports the warm/cold wall-clock ratio.
+//! 2. **Progen sweep.** 200 seeded well-typed programs each compile
+//!    through the incremental path and the whole-program path; every
+//!    pair must be byte-identical, cold and again after a synthesized
+//!    append (which exercises the warm checkpoint-replay path).
+
+use std::time::Instant;
+
+use sml_testkit::progen::{gen_program, GenConfig};
+use sml_testkit::Rng;
+use smlc::{Json, Session, Variant, METRICS_SCHEMA_VERSION};
+
+const CHAIN_DECS: usize = 40;
+const EDIT_AT: usize = 20;
+const SEEDS: u64 = 200;
+
+/// Runs `f`, returning its result and the elapsed wall-clock in ms.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// A `CHAIN_DECS`-declaration chain `val x0 = k` … each reading its
+/// predecessor, closed by a `print`. `edited` bumps one literal.
+fn chain_program(edited: bool) -> String {
+    let mut src = String::from("val x0 = 1\n");
+    for i in 1..CHAIN_DECS {
+        let k = if edited && i == EDIT_AT { 5 } else { 1 };
+        src.push_str(&format!("val x{i} = x{} + {k}\n", i - 1));
+    }
+    src.push_str(&format!("val _ = print (itos x{})\n", CHAIN_DECS - 1));
+    src
+}
+
+fn session_pair(v: Variant) -> (Session, Session) {
+    let incr = Session::builder().variant(v).build().unwrap();
+    let whole = Session::builder()
+        .variant(v)
+        .incremental(false)
+        .build()
+        .unwrap();
+    (incr, whole)
+}
+
+fn main() {
+    let mut path = "BENCH_pr8.json".to_owned();
+    for a in std::env::args().skip(1) {
+        if let Some(p) = a.strip_prefix("--json=") {
+            path = p.to_owned();
+        } else {
+            eprintln!("unknown argument `{a}` (only --json=PATH)");
+            std::process::exit(2);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Experiment 1: single-declaration edit on a dependency chain.
+    // ------------------------------------------------------------------
+    let (incr, whole) = session_pair(Variant::Ffb);
+    let base = chain_program(false);
+    let edited = chain_program(true);
+
+    let (cold, cold_ms) = timed(|| incr.compile(&base).unwrap());
+    let n = cold.stats.components.scc_count;
+    assert_eq!(cold.stats.components.recompiled, n, "cold compiles all");
+
+    let (warm, warm_ms) = timed(|| incr.compile(&edited).unwrap());
+    let recompiled = warm.stats.components.recompiled;
+    let dirtied = n - EDIT_AT; // the edited dec and everything after it
+    assert_eq!(
+        recompiled, dirtied,
+        "editing dec {EDIT_AT} of {n} must replay exactly the suffix"
+    );
+    assert_eq!(warm.stats.components.cache_hits, EDIT_AT);
+
+    let reference = whole.compile(&edited).unwrap();
+    assert_eq!(
+        format!("{}", warm.machine),
+        format!("{}", reference.machine),
+        "warm incremental output diverged from whole-program"
+    );
+
+    let ratio = recompiled as f64 / n as f64;
+    println!("incr_bench: edit replay ({n} components, edit at {EDIT_AT})");
+    println!("  cold compile      {cold_ms:9.2} ms  ({n}/{n} recompiled)");
+    println!("  warm recompile    {warm_ms:9.2} ms  ({recompiled}/{n} recompiled)");
+    println!("  recompiled ratio  {ratio:9.3}");
+    println!("  warm/cold wall    {:9.3}", warm_ms / cold_ms);
+
+    // ------------------------------------------------------------------
+    // Experiment 2: 200-seed progen differential, cold + warm.
+    // ------------------------------------------------------------------
+    let cfg = GenConfig::default();
+    let (_, sweep_ms) = timed(|| {
+        for seed in 0..SEEDS {
+            let mut rng = Rng::new(seed);
+            let src = gen_program(&mut rng, &cfg);
+            let v = *Rng::new(seed ^ 0xC0FFEE).pick(&Variant::ALL);
+            let (incr, whole) = session_pair(v);
+            let a = incr.compile(&src).unwrap();
+            let b = whole.compile(&src).unwrap();
+            assert_eq!(
+                format!("{}", a.machine),
+                format!("{}", b.machine),
+                "seed {seed} ({v}): cold incremental output diverged"
+            );
+            let appended = format!("{src}\nval zz_{seed} = {seed}");
+            let a2 = incr.compile(&appended).unwrap();
+            let b2 = whole.compile(&appended).unwrap();
+            assert!(
+                a2.stats.components.cache_hits > 0,
+                "seed {seed}: append did not replay from checkpoints"
+            );
+            assert_eq!(
+                format!("{}", a2.machine),
+                format!("{}", b2.machine),
+                "seed {seed} ({v}): warm incremental output diverged"
+            );
+        }
+    });
+    println!("  progen sweep      {sweep_ms:9.1} ms  ({SEEDS} seeds, cold+warm, byte-identical)");
+
+    let doc = Json::obj()
+        .field("schema_version", METRICS_SCHEMA_VERSION)
+        .field("generator", "incr_bench")
+        .field(
+            "edit_replay",
+            Json::obj()
+                .field("components", n)
+                .field("edit_at", EDIT_AT)
+                .field("recompiled", recompiled)
+                .field("recompiled_ratio", ratio)
+                .field("cold_wall_ms", cold_ms)
+                .field("warm_wall_ms", warm_ms)
+                .field("warm_over_cold_wall", warm_ms / cold_ms)
+                .field("byte_identical", true),
+        )
+        .field(
+            "progen_sweep",
+            Json::obj()
+                .field("seeds", SEEDS)
+                .field("wall_ms", sweep_ms)
+                .field("byte_identical", true),
+        );
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+}

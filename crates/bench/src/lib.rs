@@ -134,6 +134,7 @@ impl BenchResult {
             cache: None,
             arena: None,
             sched: None,
+            server: None,
         }
     }
 }
@@ -596,7 +597,7 @@ mod tests {
     fn empty_matrix_serializes() {
         let doc = matrix_json(&[], "test").to_string_compact();
         assert!(doc.contains("\"benchmarks\":[]"));
-        assert!(doc.contains("\"schema_version\":2"));
+        assert!(doc.contains("\"schema_version\":3"));
         assert!(doc.contains("\"degraded_cells\":0"));
     }
 

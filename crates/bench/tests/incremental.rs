@@ -1,0 +1,58 @@
+//! Figure-benchmark differential for SCC-incremental elaboration: the
+//! suffix-replay path must produce byte-identical machine code to
+//! whole-program elaboration on every Figure 7 benchmark, cold and
+//! after a single-declaration edit (the warm path). Variants rotate
+//! through all six across the twelve benchmarks so the sweep covers
+//! each variant twice without compiling the full 12x6 matrix in debug.
+
+use smlc::{Session, Variant};
+use smlc_bench::benchmarks;
+
+fn pair(v: Variant) -> (Session, Session) {
+    let incr = Session::builder().variant(v).build().unwrap();
+    let whole = Session::builder()
+        .variant(v)
+        .incremental(false)
+        .build()
+        .unwrap();
+    (incr, whole)
+}
+
+#[test]
+fn figure_benchmarks_byte_identical_cold_and_edited() {
+    for (i, b) in benchmarks().iter().enumerate() {
+        let v = Variant::ALL[i % Variant::ALL.len()];
+        let (incr, whole) = pair(v);
+        let src = b.source();
+
+        let a = incr.compile(&src).unwrap();
+        let c = whole.compile(&src).unwrap();
+        assert!(a.stats.components.enabled);
+        assert!(a.stats.components.scc_count > 1, "{}: one big SCC?", b.name);
+        assert_eq!(
+            format!("{}", a.machine),
+            format!("{}", c.machine),
+            "{} ({v}): cold incremental output diverged",
+            b.name
+        );
+
+        // Single-declaration edit: append one val dec. The prefix (the
+        // entire original program) must replay from checkpoints.
+        let edited = format!("{src}\nval edited_probe = 42");
+        let a2 = incr.compile(&edited).unwrap();
+        let c2 = whole.compile(&edited).unwrap();
+        let cs = &a2.stats.components;
+        assert_eq!(
+            cs.recompiled, 1,
+            "{} ({v}): edit dirtied {} of {} components",
+            b.name, cs.recompiled, cs.scc_count
+        );
+        assert_eq!(cs.cache_hits, cs.scc_count - 1);
+        assert_eq!(
+            format!("{}", a2.machine),
+            format!("{}", c2.machine),
+            "{} ({v}): warm incremental output diverged",
+            b.name
+        );
+    }
+}

@@ -1,7 +1,12 @@
 //! The `smlc` command-line compiler driver.
 //!
 //! ```sh
-//! smlc program.sml                  # compile with sml.ffb and run
+//! smlc run program.sml              # compile with sml.ffb and run
+//! smlc compile program.sml          # compile only (type-check + codegen)
+//! smlc bench program.sml            # compile and run under all six variants
+//! smlc serve --socket /tmp/smlc.sock   # start a compile server
+//! smlc client --socket /tmp/smlc.sock --run program.sml
+//! smlc program.sml                  # no subcommand = `run` (legacy spelling)
 //! smlc --variant nrp program.sml    # pick a compiler variant
 //! smlc --stats program.sml          # print compile/run statistics
 //! smlc --stats=json program.sml     # emit structured metrics as JSON
@@ -12,11 +17,20 @@
 //! smlc --verify-ir always prog.sml  # re-check every IR behind each phase
 //! ```
 //!
+//! The first argument picks a subcommand — `compile`, `run`, `bench`,
+//! `serve`, or `client`; anything else falls through to the legacy
+//! flag-only spelling, which behaves exactly like `run` (every old
+//! invocation keeps working, with the same exit codes and the same
+//! `--stats=json` schema).
+//!
 //! Every compile goes through one [`Session`]: `--batch` fans the
 //! file×variant job list out over [`Session::compile_batch`]'s parallel
 //! driver (results are reported in input order regardless of
 //! scheduling), and repeated sources are served from the session's
-//! artifact cache.
+//! artifact cache. `serve` keeps that session resident and shares it
+//! between every client of a stdio or Unix-socket server speaking
+//! newline-delimited JSON (`docs/SERVER.md`); `client` is the matching
+//! wire client.
 //!
 //! `--stats=json` prints one JSON document per compile on stdout (after
 //! the program's own output) following the schema in
@@ -25,27 +39,19 @@
 //! artifact-cache counters under `"cache"`.
 
 use sml_vm::VmScheduler;
-use smlc::{error_json, CompileError, Job, Metrics, Session, Variant, VerifyIr, VmResult};
+use smlc::{
+    error_json, CompileError, CompileServer, Job, Json, Metrics, Session, Variant, VerifyIr,
+    VmResult,
+};
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Exit codes, documented in `docs/ROBUSTNESS.md`: syntax errors (and
 /// usage mistakes) exit 2, type errors 3, exceeded resource budgets and
 /// rejected configuration 4, abnormal VM terminations 5, and contained
 /// internal compiler errors (including IR-verifier rejections) 101.
-const EXIT_PARSE: u8 = 2;
-const EXIT_ELAB: u8 = 3;
-const EXIT_LIMIT: u8 = 4;
 const EXIT_VM_TRAP: u8 = 5;
-const EXIT_ICE: u8 = 101;
-
-fn exit_code_of(e: &CompileError) -> u8 {
-    match e {
-        CompileError::Parse(..) => EXIT_PARSE,
-        CompileError::Elab(..) => EXIT_ELAB,
-        CompileError::Config(..) | CompileError::Limit { .. } => EXIT_LIMIT,
-        CompileError::Internal { .. } => EXIT_ICE,
-    }
-}
 
 /// How much statistics reporting the user asked for.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -55,10 +61,24 @@ enum StatsMode {
     Json,
 }
 
+/// What the driver subcommand does after compiling.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DriveMode {
+    /// `smlc compile`: stop after code generation.
+    CompileOnly,
+    /// `smlc run` (and the legacy flag-only spelling): compile and run.
+    Run,
+    /// `smlc bench`: `run` forced across all six variants.
+    Bench,
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: smlc [--variant nrp|fag|rep|mtd|ffb|fp3] [--verify-ir off|debug|always] \
-         [--stats[=json]] [--all] [--batch] [--emit asm] [--tenants=N] \
+        "usage: smlc [compile|run|bench] [--variant nrp|fag|rep|mtd|ffb|fp3] \
+         [--verify-ir off|debug|always] [--stats[=json]] [--all] [--batch] [--emit asm] \
+         [--tenants=N] (<file.sml>... | -e <source>)\n\
+         \x20      smlc serve [--socket <path>] [--workers=N] [--variant V] [--verify-ir M]\n\
+         \x20      smlc client --socket <path> [--run] [--stats] [--variant V] \
          (<file.sml>... | -e <source>)"
     );
     std::process::exit(2)
@@ -80,12 +100,45 @@ struct Input {
     src: String,
 }
 
+/// Reads positional inputs shared by every subcommand (`<file>` or
+/// `-e <source>`).
+fn read_input(inputs: &mut Vec<Input>, path: &str) -> Result<(), ExitCode> {
+    match std::fs::read_to_string(path) {
+        Ok(src) => {
+            inputs.push(Input {
+                label: path.to_owned(),
+                src,
+            });
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("smlc: cannot read {path}: {e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compile") => drive(&args[1..], DriveMode::CompileOnly),
+        Some("run") => drive(&args[1..], DriveMode::Run),
+        Some("bench") => drive(&args[1..], DriveMode::Bench),
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
+        // Legacy flag-only spelling: identical to `run`.
+        _ => drive(&args, DriveMode::Run),
+    }
+}
+
+/// The `compile` / `run` / `bench` driver (and the legacy no-subcommand
+/// path).
+fn drive(args: &[String], mode: DriveMode) -> ExitCode {
+    let mut args = args.iter();
     let mut variant = Variant::Ffb;
     let mut verify: Option<VerifyIr> = None;
     let mut stats = StatsMode::Off;
-    let mut all = false;
+    let mut all = mode == DriveMode::Bench;
     let mut batch = false;
     let mut emit_asm = false;
     let mut tenants: usize = 1;
@@ -95,7 +148,7 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--variant" | "-v" => {
                 let Some(v) = args.next() else { usage() };
-                variant = parse_variant(&v);
+                variant = parse_variant(v);
             }
             "--verify-ir" => {
                 let Some(m) = args.next() else { usage() };
@@ -139,20 +192,15 @@ fn main() -> ExitCode {
                 let Some(src) = args.next() else { usage() };
                 inputs.push(Input {
                     label: "<cmdline>".to_owned(),
-                    src,
+                    src: src.clone(),
                 });
             }
             "--help" | "-h" => usage(),
-            path => match std::fs::read_to_string(path) {
-                Ok(src) => inputs.push(Input {
-                    label: path.to_owned(),
-                    src,
-                }),
-                Err(e) => {
-                    eprintln!("smlc: cannot read {path}: {e}");
-                    return ExitCode::from(2);
+            path => {
+                if let Err(code) = read_input(&mut inputs, path) {
+                    return code;
                 }
-            },
+            }
         }
     }
     if inputs.is_empty() {
@@ -181,7 +229,7 @@ fn main() -> ExitCode {
             if stats == StatsMode::Json {
                 println!("{}", error_json(variant, &e).to_string_pretty());
             }
-            return ExitCode::from(exit_code_of(&e));
+            return ExitCode::from(e.exit_code());
         }
     };
     let jobs: Vec<Job> = inputs
@@ -214,7 +262,7 @@ fn main() -> ExitCode {
                     if stats == StatsMode::Json {
                         println!("{}", error_json(v, e).to_string_pretty());
                     }
-                    return ExitCode::from(exit_code_of(e));
+                    return ExitCode::from(e.exit_code());
                 }
             };
             for w in &compiled.stats.warnings {
@@ -222,6 +270,28 @@ fn main() -> ExitCode {
             }
             if emit_asm {
                 print!("{}", compiled.machine);
+                continue;
+            }
+            if mode == DriveMode::CompileOnly {
+                match stats {
+                    StatsMode::Off => {}
+                    StatsMode::Human => eprintln!(
+                        "[{}] code {} instrs | compile {:?} | components {}/{} recompiled | \
+                         cache {}",
+                        v.name(),
+                        compiled.stats.code_size,
+                        compiled.stats.compile_time,
+                        compiled.stats.components.recompiled,
+                        compiled.stats.components.scc_count,
+                        if compiled.from_cache { "hit" } else { "miss" },
+                    ),
+                    StatsMode::Json => {
+                        let m = Metrics::of_compile(compiled)
+                            .with_cache(session.cache_stats())
+                            .with_arena(session.arena_stats());
+                        println!("{}", m.to_json().to_string_pretty());
+                    }
+                }
                 continue;
             }
             // With --tenants=N the compiled program runs as N
@@ -302,4 +372,233 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Raised by the SIGTERM handler; polled by the Unix-socket accept
+/// loop so `kill -TERM` drains in-flight jobs and flushes final stats
+/// instead of killing the process mid-compile.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM handler through libc's `signal` (declared by
+/// hand — the build environment has no `libc` crate; the symbol is
+/// always present because std links libc on this platform).
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+/// The `serve` subcommand: a newline-delimited-JSON compile server on
+/// stdio (default) or a Unix socket (`--socket`).
+fn serve(args: &[String]) -> ExitCode {
+    let mut args = args.iter();
+    let mut variant = Variant::Ffb;
+    let mut verify: Option<VerifyIr> = None;
+    let mut socket: Option<String> = None;
+    let mut workers: usize = 0;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--variant" | "-v" => {
+                let Some(v) = args.next() else { usage() };
+                variant = parse_variant(v);
+            }
+            "--verify-ir" => {
+                let Some(m) = args.next() else { usage() };
+                match m.parse() {
+                    Ok(m) => verify = Some(m),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage()
+                    }
+                }
+            }
+            "--socket" => {
+                let Some(p) = args.next() else { usage() };
+                socket = Some(p.clone());
+            }
+            s if s.starts_with("--workers=") => match s["--workers=".len()..].parse::<usize>() {
+                Ok(n) => workers = n,
+                Err(_) => {
+                    eprintln!("--workers takes a count");
+                    usage()
+                }
+            },
+            _ => usage(),
+        }
+    }
+    let mut builder = Session::builder().variant(variant);
+    if let Some(mode) = verify {
+        builder = builder.verify_ir(mode);
+    }
+    let session = match builder.build() {
+        Ok(s) => s,
+        Err(e) => {
+            let e: CompileError = e.into();
+            eprintln!("smlc: {e}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    let server = CompileServer::new(session).workers(workers);
+    install_sigterm_handler();
+    let stats = match socket {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            match server.serve_unix(&path, &SHUTDOWN) {
+                Ok(stats) => stats,
+                Err(e) => {
+                    eprintln!("smlc: serve: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => server.serve_stdio(),
+    };
+    // The final stats flush promised by the shutdown contract: one JSON
+    // line on stderr (stdout belongs to the wire protocol).
+    eprintln!(
+        "{}",
+        Json::obj()
+            .field(
+                "server",
+                Json::obj()
+                    .field("jobs", stats.jobs)
+                    .field("clients", stats.clients)
+                    .field("queue_depth_peak", stats.queue_depth_peak),
+            )
+            .to_string_compact()
+    );
+    ExitCode::SUCCESS
+}
+
+/// The `client` subcommand: sends one compile request per input to a
+/// running `smlc serve --socket` and reports the responses.
+fn client(args: &[String]) -> ExitCode {
+    let mut args = args.iter();
+    let mut socket: Option<String> = None;
+    let mut variant: Option<Variant> = None;
+    let mut run = false;
+    let mut stats = false;
+    let mut inputs: Vec<Input> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => {
+                let Some(p) = args.next() else { usage() };
+                socket = Some(p.clone());
+            }
+            "--variant" | "-v" => {
+                let Some(v) = args.next() else { usage() };
+                variant = Some(parse_variant(v));
+            }
+            "--run" => run = true,
+            "--stats" => stats = true,
+            "-e" => {
+                let Some(src) = args.next() else { usage() };
+                inputs.push(Input {
+                    label: "<cmdline>".to_owned(),
+                    src: src.clone(),
+                });
+            }
+            path => {
+                if let Err(code) = read_input(&mut inputs, path) {
+                    return code;
+                }
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("smlc: client requires --socket <path>");
+        usage()
+    };
+    if inputs.is_empty() {
+        usage()
+    }
+    let stream = match std::os::unix::net::UnixStream::connect(&socket) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smlc: cannot connect to {socket}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut writer = &stream;
+    for (i, input) in inputs.iter().enumerate() {
+        let mut req = Json::obj()
+            .field("id", i as i64)
+            .field("op", "compile")
+            .field("src", input.src.as_str())
+            .field("run", run)
+            .field("stats", stats);
+        if let Some(v) = variant {
+            req = req.field("variant", v.name());
+        }
+        if writeln!(writer, "{}", req.to_string_compact()).is_err() {
+            eprintln!("smlc: server went away");
+            return ExitCode::from(2);
+        }
+    }
+    // Half-close so the server sees EOF after the last request; the
+    // responses still flow back on the read half, in request order.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let reader = BufReader::new(&stream);
+    let mut code = ExitCode::SUCCESS;
+    let mut seen = 0usize;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = match Json::parse(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("smlc: bad response: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let id = resp.get("id").and_then(Json::as_i64).unwrap_or(0) as usize;
+        let label = inputs.get(id).map_or("<unknown>", |i| i.label.as_str());
+        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            if let Some(output) = resp.get("output").and_then(Json::as_str) {
+                print!("{output}");
+            }
+            if let Some(result) = resp.get("result").and_then(Json::as_str) {
+                if result != "value" {
+                    eprintln!("smlc: {label}: abnormal termination: {result}");
+                    code = ExitCode::from(EXIT_VM_TRAP);
+                }
+            }
+            if stats {
+                if let Some(metrics) = resp.get("metrics") {
+                    println!("{}", metrics.to_string_pretty());
+                }
+            }
+        } else {
+            let msg = resp
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error");
+            eprintln!("smlc: {label}: {msg}");
+            let exit = resp.get("exit_code").and_then(Json::as_i64).unwrap_or(2);
+            code = ExitCode::from(u8::try_from(exit).unwrap_or(2));
+        }
+        seen += 1;
+        if seen == inputs.len() {
+            break;
+        }
+    }
+    if seen < inputs.len() {
+        eprintln!(
+            "smlc: server closed after {seen} of {} responses",
+            inputs.len()
+        );
+        return ExitCode::from(2);
+    }
+    code
 }

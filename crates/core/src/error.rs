@@ -174,6 +174,21 @@ impl CompileError {
             _ => None,
         }
     }
+
+    /// The process exit code the `smlc` CLI maps this failure class to
+    /// (documented in `docs/ROBUSTNESS.md`): syntax errors 2, type
+    /// errors 3, exceeded budgets and rejected configuration 4, and
+    /// contained internal compiler errors 101. The compile server
+    /// reports the same codes in its error responses, so wire clients
+    /// and CLI consumers see one taxonomy.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CompileError::Parse(..) => 2,
+            CompileError::Elab(..) => 3,
+            CompileError::Config(..) | CompileError::Limit { .. } => 4,
+            CompileError::Internal { .. } => 101,
+        }
+    }
 }
 
 impl fmt::Display for CompileError {

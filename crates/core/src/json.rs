@@ -1,11 +1,12 @@
-//! A minimal hand-rolled JSON document builder and serializer.
+//! A minimal hand-rolled JSON document builder, serializer, and parser.
 //!
 //! The build environment has no network access to crates.io, so the
 //! observability layer cannot depend on `serde`; this module provides
 //! the small subset we need: building a [`Json`] tree and rendering it
 //! with deterministic field order (insertion order — objects are
 //! ordered pairs, not maps), correct string escaping, and a stable
-//! float format.
+//! float format. [`Json::parse`] is the inverse, used by the compile
+//! server's newline-delimited-JSON wire protocol (`docs/SERVER.md`).
 
 use std::fmt::Write as _;
 
@@ -47,6 +48,63 @@ impl Json {
             other => panic!("Json::field on non-object {other:?}"),
         }
         self
+    }
+
+    /// Parses a JSON document (the whole input must be one value plus
+    /// optional surrounding whitespace). Numbers without `.`/`e` parse
+    /// as [`Json::Int`], everything else numeric as [`Json::Float`];
+    /// duplicate object keys are kept in order (last-wins under
+    /// [`Json::get`] would be surprising, so `get` returns the first).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with a byte offset and a short message
+    /// on malformed input.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(value)
+    }
+
+    /// The value of the first field named `key`, if `self` is an object
+    /// that has one.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if `self` is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if `self` is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
     }
 
     /// Serializes compactly (no whitespace).
@@ -96,6 +154,230 @@ impl Json {
                     v.write(out, indent, level + 1);
                 });
             }
+        }
+    }
+}
+
+/// A JSON parse error: what went wrong and the byte offset where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Short description of the problem.
+    pub message: &'static str,
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError {
+            message,
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.pos += 1; // consume `[`
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.pos += 1; // consume `{`
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped runs wholesale; the input is valid UTF-8
+            // by construction (`&str`), so any non-escape, non-quote
+            // run is safe to append as-is.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("valid utf-8"));
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut n = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.err("expected four hex digits in \\u escape"))?;
+            n = n * 16 + d;
+            self.pos += 1;
+        }
+        Ok(n)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        // Surrogate pairs arrive as two consecutive \u escapes.
+        if (0xD800..0xDC00).contains(&hi) {
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if !(0xDC00..0xE000).contains(&lo) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+            }
+            return Err(self.err("unpaired high surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("valid utf-8");
+        if float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("invalid number"))
         }
     }
 }
@@ -239,6 +521,75 @@ mod tests {
             i64::MAX.to_string()
         );
         assert_eq!(Json::from(42u64).to_string_compact(), "42");
+    }
+
+    #[test]
+    fn parse_roundtrips_builder_output() {
+        let j = Json::obj()
+            .field("s", "a\"b\\c\nd\u{1}é")
+            .field("n", 42u64)
+            .field("f", 1.5)
+            .field("neg", -7i64)
+            .field("big", i64::MAX)
+            .field("arr", vec![1u64, 2, 3])
+            .field("nested", Json::obj().field("ok", true).field("no", false))
+            .field("empty", Json::obj())
+            .field("nothing", Json::Null);
+        assert_eq!(Json::parse(&j.to_string_compact()).unwrap(), j);
+        assert_eq!(Json::parse(&j.to_string_pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_accepts_standard_forms() {
+        assert_eq!(Json::parse(" null ").unwrap(), Json::Null);
+        assert_eq!(Json::parse("-0").unwrap(), Json::Int(0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("2.5E-1").unwrap(), Json::Float(0.25));
+        assert_eq!(
+            Json::parse(r#""\u0041\/""#).unwrap(),
+            Json::Str("A/".into())
+        );
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("😀".into())
+        );
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{ }").unwrap(), Json::obj());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"ab",
+            "{\"a\"1}",
+            "1 2",
+            "{\"a\":}",
+            "\"\\q\"",
+            "nullx",
+            "\"\\ud800\"",
+            "01a",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} wrongly accepted");
+        }
+        let e = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(e.to_string().contains("at byte 4"));
+    }
+
+    #[test]
+    fn get_and_scalar_accessors() {
+        let j = Json::parse(r#"{"op":"compile","id":7,"run":true,"x":null}"#).unwrap();
+        assert_eq!(j.get("op").and_then(Json::as_str), Some("compile"));
+        assert_eq!(j.get("id").and_then(Json::as_i64), Some(7));
+        assert_eq!(j.get("run").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("x"), Some(&Json::Null));
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Null.get("op"), None);
     }
 
     #[test]

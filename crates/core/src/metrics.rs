@@ -11,6 +11,7 @@
 
 use crate::json::Json;
 use crate::pipeline::{CompileStats, Compiled};
+use crate::server::ServerStats;
 use crate::session::CacheStats;
 use sml_lambda::InternStats;
 use sml_vm::{InstrClass, Outcome, RunStats, SchedStats, VmResult};
@@ -26,8 +27,12 @@ use sml_vm::{InstrClass, Outcome, RunStats, SchedStats, VmResult};
 /// first) and the top-level `arena` object (shared LTY arena totals)
 /// was added. Still 2 after the bounded-pause GC work: the `gc` pause
 /// histograms/slice counters and the top-level `sched` object are pure
-/// additions.
-pub const METRICS_SCHEMA_VERSION: u64 = 2;
+/// additions. **3** — the top-level `components` object
+/// (SCC-incremental elaboration counters, always present) and the
+/// top-level `server` object (compile-server counters, `null` outside
+/// `smlc serve`) were added; bumped because `components` changes what
+/// a "complete" document looks like for schema-checking consumers.
+pub const METRICS_SCHEMA_VERSION: u64 = 3;
 
 /// A structured snapshot of one compilation and (optionally) one run.
 #[derive(Clone, Debug)]
@@ -53,6 +58,10 @@ pub struct Metrics {
     /// through a `VmScheduler` (see `smlc --tenants`); `None`
     /// serializes as `"sched": null`.
     pub sched: Option<SchedStats>,
+    /// Compile-server counters, when the compile was served by `smlc
+    /// serve` (see `docs/SERVER.md`); `None` serializes as
+    /// `"server": null`.
+    pub server: Option<ServerStats>,
 }
 
 /// Run-side portion of a [`Metrics`] snapshot.
@@ -80,6 +89,7 @@ impl Default for Metrics {
             cache: Some(CacheStats::default()),
             arena: Some(InternStats::default()),
             sched: Some(SchedStats::default()),
+            server: Some(ServerStats::default()),
         }
     }
 }
@@ -133,6 +143,8 @@ pub fn error_json(variant: crate::Variant, e: &crate::CompileError) -> Json {
         .field("cache", Json::Null)
         .field("arena", Json::Null)
         .field("sched", Json::Null)
+        .field("components", Json::Null)
+        .field("server", Json::Null)
 }
 
 impl Metrics {
@@ -145,6 +157,7 @@ impl Metrics {
             cache: None,
             arena: None,
             sched: None,
+            server: None,
         }
     }
 
@@ -160,6 +173,7 @@ impl Metrics {
             cache: None,
             arena: None,
             sched: None,
+            server: None,
         }
     }
 
@@ -181,6 +195,13 @@ impl Metrics {
     /// `VmScheduler::run_all`).
     pub fn with_sched(mut self, stats: SchedStats) -> Metrics {
         self.sched = Some(stats);
+        self
+    }
+
+    /// Attaches compile-server counters to the snapshot (from
+    /// `CompileServer::stats`).
+    pub fn with_server(mut self, stats: ServerStats) -> Metrics {
+        self.server = Some(stats);
         self
     }
 
@@ -207,8 +228,32 @@ impl Metrics {
             Some(sched) => doc.field("sched", sched_json(sched)),
             None => doc.field("sched", Json::Null),
         };
+        // Always present (unlike the optional session attachments):
+        // every compile reports its component counters, zeroed with
+        // `enabled: false` when elaboration ran whole-program.
+        doc = doc.field("components", components_json(&self.compile.components));
+        doc = match &self.server {
+            Some(server) => doc.field("server", server_json(server)),
+            None => doc.field("server", Json::Null),
+        };
         doc
     }
+}
+
+fn components_json(c: &crate::component::ComponentStats) -> Json {
+    Json::obj()
+        .field("enabled", c.enabled)
+        .field("scc_count", c.scc_count)
+        .field("recompiled", c.recompiled)
+        .field("cache_hits", c.cache_hits)
+        .field("topo_depth", c.topo_depth)
+}
+
+fn server_json(s: &ServerStats) -> Json {
+    Json::obj()
+        .field("jobs", s.jobs)
+        .field("clients", s.clients)
+        .field("queue_depth_peak", s.queue_depth_peak)
 }
 
 fn arena_json(a: &InternStats) -> Json {

@@ -51,6 +51,7 @@
 //! assert_eq!(session.run(&a).result, VmResult::Value(0));
 //! ```
 
+use crate::component::{ComponentCache, IncrCtx};
 use crate::config::Variant;
 use crate::error::{CompileError, ConfigError};
 use crate::fxhash::{hash_bytes, FxHasher};
@@ -63,21 +64,47 @@ use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// One unit of work for [`Session::compile_batch`].
-#[derive(Clone, Debug)]
+/// The description of one compilation — the single unit of work every
+/// compile entry point reduces to.
+///
+/// [`Session::compile`] and [`Session::compile_variant`] are thin
+/// wrappers that build a `Job` and call [`Session::compile_job`];
+/// [`Session::compile_batch`] fans a slice of jobs out in parallel. A
+/// job can override the session's variant, IR-verification mode,
+/// resource budgets, and optimizer settings per compile; every `None`
+/// field inherits the session's value. Overrides fold into the job's
+/// effective configuration fingerprint, so cached artifacts never leak
+/// between differently-configured jobs.
+///
+/// # Examples
+///
+/// ```
+/// use smlc::{Job, Session, Variant, VerifyIr};
+/// let session = Session::default();
+/// let job = Job::with_variant("val x = 1 + 2", Variant::Mtd).verify_ir(VerifyIr::Always);
+/// let compiled = session.compile_job(&job).unwrap();
+/// assert_eq!(compiled.variant, Variant::Mtd);
+/// ```
+#[derive(Clone, Debug, Default)]
 pub struct Job {
     /// The SML source text.
     pub src: String,
     /// Compiler variant; `None` uses the session's default.
     pub variant: Option<Variant>,
+    /// IR-verification mode; `None` uses the session's mode.
+    pub verify_ir: Option<VerifyIr>,
+    /// Resource budgets; `None` uses the session's limits.
+    pub limits: Option<Limits>,
+    /// Optimizer settings; `None` uses the session's settings.
+    pub opt: Option<OptConfig>,
 }
 
 impl Job {
-    /// A job compiled under the session's default variant.
+    /// A job compiled under the session's default configuration.
     pub fn new(src: impl Into<String>) -> Job {
         Job {
             src: src.into(),
-            variant: None,
+            ..Job::default()
         }
     }
 
@@ -86,7 +113,42 @@ impl Job {
         Job {
             src: src.into(),
             variant: Some(variant),
+            ..Job::default()
         }
+    }
+
+    /// Overrides the session's variant for this job.
+    pub fn variant(mut self, v: Variant) -> Job {
+        self.variant = Some(v);
+        self
+    }
+
+    /// Overrides the session's IR-verification mode for this job.
+    pub fn verify_ir(mut self, mode: VerifyIr) -> Job {
+        self.verify_ir = Some(mode);
+        self
+    }
+
+    /// Overrides the session's resource budgets for this job. Validated
+    /// by [`Session::compile_job`] exactly like the builder's knobs.
+    pub fn limits(mut self, limits: Limits) -> Job {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Overrides the session's optimizer settings for this job.
+    /// Validated by [`Session::compile_job`] exactly like the builder's
+    /// knobs.
+    pub fn opt_config(mut self, opt: OptConfig) -> Job {
+        self.opt = Some(opt);
+        self
+    }
+
+    /// Whether any per-job configuration override is set (the variant
+    /// is dispatch, not configuration — it is part of every cache key
+    /// already).
+    fn has_overrides(&self) -> bool {
+        self.verify_ir.is_some() || self.limits.is_some() || self.opt.is_some()
     }
 }
 
@@ -226,6 +288,8 @@ pub struct SessionBuilder {
     reuse_types: bool,
     batch_workers: usize,
     verify: VerifyIr,
+    incremental: bool,
+    component_cache_capacity: usize,
 }
 
 impl Default for SessionBuilder {
@@ -251,6 +315,8 @@ impl Default for SessionBuilder {
             reuse_types: true,
             batch_workers: 0,
             verify,
+            incremental: true,
+            component_cache_capacity: 64,
         }
     }
 }
@@ -330,6 +396,26 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables or disables SCC-incremental elaboration (enabled by
+    /// default). When on, the session keeps elaborator checkpoints per
+    /// top-level component (see [`crate::component`]) so recompiling an
+    /// edited program replays only the dirtied suffix of components.
+    /// Output is byte-identical either way — the flag is deliberately
+    /// *not* part of the configuration fingerprint, so warm incremental
+    /// and cold whole-program compiles share the artifact cache.
+    pub fn incremental(mut self, enabled: bool) -> SessionBuilder {
+        self.incremental = enabled;
+        self
+    }
+
+    /// Maximum retained component checkpoints (default 64);
+    /// least-recently-used checkpoints are evicted beyond this. Only
+    /// meaningful with [`SessionBuilder::incremental`] enabled.
+    pub fn component_cache_capacity(mut self, capacity: usize) -> SessionBuilder {
+        self.component_cache_capacity = capacity;
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -355,6 +441,9 @@ impl SessionBuilder {
         }
         if self.cache_enabled && self.cache_capacity == 0 {
             return nonzero("cache_capacity");
+        }
+        if self.incremental && self.component_cache_capacity == 0 {
+            return nonzero("component_cache_capacity");
         }
         if let Some(vm) = &self.vm {
             if vm.nursery_words == 0 {
@@ -414,30 +503,51 @@ impl SessionBuilder {
                 .cache_enabled
                 .then(|| Mutex::new(ArtifactCache::new(self.cache_capacity))),
             arena: self.reuse_types.then(|| Arc::new(LtyArena::new())),
+            incr: self
+                .incremental
+                .then(|| Mutex::new(ComponentCache::new(self.component_cache_capacity))),
         })
     }
 }
 
-/// Stable digest of every compilation-relevant knob. Folded into each
-/// cache key so artifacts can never leak between configurations, even
-/// if caches are ever shared or persisted.
+/// Stable digest of every compilation-relevant knob, computed over the
+/// builder's settings. Folded into each cache key so artifacts can
+/// never leak between configurations, even if caches are ever shared
+/// or persisted.
 fn fingerprint(b: &SessionBuilder) -> u64 {
+    fingerprint_of(b.verify, &b.opt, &b.limits, &b.vm, &b.fault)
+}
+
+/// The digest behind [`fingerprint`], parameterized so a [`Job`] with
+/// per-job overrides can compute its *effective* fingerprint from the
+/// same encoding the session used — an overridden job whose effective
+/// knobs equal the session's hashes identically, so it still hits the
+/// session's cached artifacts. The `incremental` flag is deliberately
+/// excluded: incremental and whole-program compiles are byte-identical
+/// and must share cache entries.
+fn fingerprint_of(
+    verify: VerifyIr,
+    opt: &OptConfig,
+    limits: &Limits,
+    vm: &Option<VmConfig>,
+    fault: &Option<FaultInject>,
+) -> u64 {
     let mut h = FxHasher::default();
     // The verification mode never changes generated code, but a mode
     // byte keeps cache diagnostics honest if artifacts are ever shared
     // or persisted across differently-verified sessions.
-    h.write_u8(match b.verify {
+    h.write_u8(match verify {
         VerifyIr::Off => 0,
         VerifyIr::Debug => 1,
         VerifyIr::Always => 2,
     });
-    h.write_usize(b.opt.max_rounds);
-    h.write_usize(b.opt.inline_size);
-    h.write_usize(b.opt.inline_passes);
-    h.write_usize(b.limits.max_source_bytes);
-    h.write_usize(b.limits.max_lexp_nodes);
-    h.write_usize(b.limits.max_cps_ops);
-    match &b.vm {
+    h.write_usize(opt.max_rounds);
+    h.write_usize(opt.inline_size);
+    h.write_usize(opt.inline_passes);
+    h.write_usize(limits.max_source_bytes);
+    h.write_usize(limits.max_lexp_nodes);
+    h.write_usize(limits.max_cps_ops);
+    match vm {
         None => h.write_u8(0),
         Some(vm) => {
             h.write_u8(1);
@@ -456,7 +566,7 @@ fn fingerprint(b: &SessionBuilder) -> u64 {
             h.write_u64(vm.fault.yield_every_n_slices.map_or(0, |n| n ^ u64::MAX));
         }
     }
-    match &b.fault {
+    match fault {
         None => h.write_u8(0),
         Some(f) => {
             h.write_u8(1);
@@ -484,6 +594,9 @@ pub struct Session {
     /// The shared hash-cons arena (`None` when `reuse_types(false)`
     /// forces every compile onto a private cold arena).
     arena: Option<Arc<LtyArena>>,
+    /// Elaborator checkpoints per component chain (`None` when
+    /// `incremental(false)` forces whole-program elaboration).
+    incr: Option<Mutex<ComponentCache>>,
 }
 
 impl Default for Session {
@@ -551,6 +664,12 @@ impl Session {
         self.verify
     }
 
+    /// Whether SCC-incremental elaboration is on; see
+    /// [`SessionBuilder::incremental`].
+    pub fn incremental(&self) -> bool {
+        self.incr.is_some()
+    }
+
     /// The VM configuration a run of `variant` would use: the explicit
     /// [`SessionBuilder::vm_config`] if one was given (otherwise the
     /// variant's default), with the [`SessionBuilder::fault_inject`]
@@ -564,7 +683,8 @@ impl Session {
     }
 
     /// Compiles under the session's default variant, consulting the
-    /// artifact cache first.
+    /// artifact cache first. Equivalent to
+    /// `compile_job(&Job::new(src))`.
     ///
     /// # Errors
     ///
@@ -572,17 +692,65 @@ impl Session {
     /// budgets, or contained compiler bugs. Errors are never cached: a
     /// failed source recompiles (and re-fails) on every request.
     pub fn compile(&self, src: &str) -> Result<Compiled, CompileError> {
-        self.compile_inner(src, self.variant)
+        self.compile_job(&Job::new(src))
     }
 
     /// Compiles under an explicit variant (same caching and errors as
-    /// [`Session::compile`]).
+    /// [`Session::compile`]). Equivalent to
+    /// `compile_job(&Job::with_variant(src, variant))`.
     ///
     /// # Errors
     ///
     /// Returns [`CompileError`]; see [`Session::compile`].
     pub fn compile_variant(&self, src: &str, variant: Variant) -> Result<Compiled, CompileError> {
-        self.compile_inner(src, variant)
+        self.compile_job(&Job::with_variant(src, variant))
+    }
+
+    /// Compiles one [`Job`] — the single entry point every other
+    /// compile surface reduces to. Applies the job's configuration
+    /// overrides on top of the session's (validating them exactly like
+    /// [`SessionBuilder::build`]), computes the job's effective
+    /// configuration fingerprint, and consults the artifact cache under
+    /// that fingerprint, so overridden jobs never collide with plain
+    /// ones and two jobs with equal effective configurations share
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Config`] for a degenerate override (a
+    /// zero resource budget or zero `opt.max_rounds`), otherwise
+    /// exactly the errors of [`Session::compile`].
+    pub fn compile_job(&self, job: &Job) -> Result<Compiled, CompileError> {
+        let nonzero =
+            |field: &'static str| Err(CompileError::Config(ConfigError::MustBeNonzero { field }));
+        if let Some(limits) = &job.limits {
+            if limits.max_source_bytes == 0 {
+                return nonzero("job.limits.max_source_bytes");
+            }
+            if limits.max_lexp_nodes == 0 {
+                return nonzero("job.limits.max_lexp_nodes");
+            }
+            if limits.max_cps_ops == 0 {
+                return nonzero("job.limits.max_cps_ops");
+            }
+        }
+        if let Some(opt) = &job.opt {
+            if opt.max_rounds == 0 {
+                return nonzero("job.opt.max_rounds");
+            }
+        }
+        let variant = job.variant.unwrap_or(self.variant);
+        let verify = job.verify_ir.unwrap_or(self.verify);
+        let opt = job.opt.as_ref().unwrap_or(&self.opt);
+        let limits = job.limits.as_ref().unwrap_or(&self.limits);
+        self.compile_inner(
+            &job.src,
+            variant,
+            verify,
+            opt,
+            limits,
+            self.job_fingerprint(job),
+        )
     }
 
     /// Runs a compiled program under the session's VM configuration
@@ -642,7 +810,11 @@ impl Session {
             jobs.iter()
                 .enumerate()
                 .map(|(i, job)| {
-                    let key = self.key_of(&job.src, job.variant.unwrap_or(self.variant));
+                    let key = self.key_of(
+                        &job.src,
+                        job.variant.unwrap_or(self.variant),
+                        self.job_fingerprint(job),
+                    );
                     *first.entry(key).or_insert(i)
                 })
                 .collect()
@@ -657,8 +829,7 @@ impl Session {
             .collect();
         let mut compiled: Vec<Option<Result<Compiled, CompileError>>> =
             par_map(&unique, self.batch_workers, |_, &ji| {
-                let job = &jobs[ji];
-                self.compile_inner(&job.src, job.variant.unwrap_or(self.variant))
+                self.compile_job(&jobs[ji])
             })
             .into_iter()
             .map(Some)
@@ -675,27 +846,52 @@ impl Session {
                     // A duplicate of job `c`: served from the cache when
                     // the original succeeded (a hit by construction), or
                     // recompiled to reproduce its error.
-                    let job = &jobs[c];
-                    self.compile_inner(&job.src, job.variant.unwrap_or(self.variant))
+                    self.compile_job(&jobs[c])
                 }
             })
             .collect()
     }
 
-    fn key_of(&self, src: &str, variant: Variant) -> CacheKey {
+    fn key_of(&self, src: &str, variant: Variant, fingerprint: u64) -> CacheKey {
         CacheKey {
             src_hash: hash_bytes(src.as_bytes()),
             src_len: src.len(),
             variant,
-            fingerprint: self.fingerprint,
+            fingerprint,
         }
+    }
+
+    /// A job's effective configuration fingerprint: the session's when
+    /// nothing is overridden (the overwhelmingly common case, free),
+    /// otherwise recomputed from the effective knobs — which makes an
+    /// override whose values equal the session's hash identically.
+    fn job_fingerprint(&self, job: &Job) -> u64 {
+        if !job.has_overrides() {
+            return self.fingerprint;
+        }
+        fingerprint_of(
+            job.verify_ir.unwrap_or(self.verify),
+            job.opt.as_ref().unwrap_or(&self.opt),
+            job.limits.as_ref().unwrap_or(&self.limits),
+            &self.vm,
+            &self.fault,
+        )
     }
 
     /// The compile path behind every public entry point: cache lookup,
     /// then a pipeline run through a fresh view on the shared LTY
-    /// arena, then cache insertion.
-    fn compile_inner(&self, src: &str, variant: Variant) -> Result<Compiled, CompileError> {
-        let key = self.key_of(src, variant);
+    /// arena (resuming from component checkpoints when incremental
+    /// elaboration is on), then cache insertion.
+    fn compile_inner(
+        &self,
+        src: &str,
+        variant: Variant,
+        verify: VerifyIr,
+        opt: &OptConfig,
+        limits: &Limits,
+        fingerprint: u64,
+    ) -> Result<Compiled, CompileError> {
+        let key = self.key_of(src, variant, fingerprint);
         if let Some(cache) = &self.cache {
             let hit = cache
                 .lock()
@@ -714,7 +910,16 @@ impl Session {
             (Some(arena), InternMode::HashCons) => LtyInterner::with_arena(Arc::clone(arena)),
             _ => LtyInterner::new(mode),
         };
-        let result = compile_engine(src, variant, &self.opt, &self.limits, self.verify, view);
+        // Checkpoints are keyed by variant + effective fingerprint (MTD
+        // variants mutate schemes in place; differently-limited jobs
+        // may observe different elaborator behavior at the budget), so
+        // the component cache never resumes across configurations.
+        let incr = self.incr.as_ref().map(|cache| IncrCtx {
+            cache,
+            variant,
+            fingerprint,
+        });
+        let result = compile_engine(src, variant, opt, limits, verify, view, incr.as_ref());
         match result {
             Ok(artifact) => {
                 if let Some(cache) = &self.cache {

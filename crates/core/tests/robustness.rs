@@ -143,13 +143,15 @@ fn error_taxonomy_tags_are_stable() {
 fn error_document_covers_every_failure_class() {
     let e = compile("val = =", Variant::Ffb).unwrap_err();
     let doc = smlc::error_json(Variant::Ffb, &e).to_string_compact();
-    assert!(doc.contains("\"schema_version\":2"));
+    assert!(doc.contains("\"schema_version\":3"));
     assert!(doc.contains("\"error\":"));
     assert!(doc.contains("\"kind\":\"parse\""));
     assert!(doc.contains("\"phase\":\"parse\""));
     assert!(doc.contains("\"message\":"));
     assert!(doc.contains("\"compile\":null"));
     assert!(doc.contains("\"run\":null"));
+    assert!(doc.contains("\"components\":null"));
+    assert!(doc.contains("\"server\":null"));
 }
 
 #[test]

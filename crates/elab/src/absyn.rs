@@ -49,7 +49,7 @@ impl Access {
 /// Side table of all term variables created during elaboration.
 #[derive(Debug, Default)]
 pub struct VarTable {
-    infos: Vec<VarInfo>,
+    pub(crate) infos: Vec<VarInfo>,
 }
 
 /// Everything known about one term variable.

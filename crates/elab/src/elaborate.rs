@@ -42,50 +42,26 @@ pub struct Elaboration {
 /// assert!(!elab.decs.is_empty());
 /// ```
 pub fn elaborate(prog: &ast::Program) -> ElabResult<Elaboration> {
-    let registry = TyconRegistry::with_builtins();
-    let mut vars = VarTable::new();
-    let (mut env, builtins) = builtin_env(&registry, &mut vars);
-    let mut elab = Elaborator {
-        reg: registry,
-        vars,
-        level: 0,
-        overloads: Vec::new(),
-        flex: Vec::new(),
-        tyvar_scopes: vec![HashMap::new()],
-        fct_roots: HashMap::new(),
-    };
-    let mut decs: Vec<TDec> = builtins
-        .all()
-        .into_iter()
-        .map(|(var, name)| TDec::Exception {
-            var,
-            name: Symbol::intern(name),
-        })
-        .collect();
+    let mut session = crate::incremental::ElabSession::new();
     for dec in &prog.decs {
-        elab.elab_dec(&mut env, dec, &mut decs)?;
+        session.elab_dec(dec)?;
     }
-    elab.resolve_pending(0, 0, Span::dummy())?;
-    Ok(Elaboration {
-        decs,
-        vars: elab.vars,
-        registry: elab.reg,
-        builtins,
-    })
+    session.finish()
 }
 
 /// A pending flexible-record constraint: the record type, the fields the
 /// pattern listed, and the span to report if the record never closes.
-type FlexConstraint = (Ty, Vec<(Symbol, Ty)>, Span);
+pub(crate) type FlexConstraint = (Ty, Vec<(Symbol, Ty)>, Span);
 
+#[derive(Debug)]
 pub(crate) struct Elaborator {
     pub(crate) reg: TyconRegistry,
     pub(crate) vars: VarTable,
     pub(crate) level: u32,
     /// Pending overload constraints `(instance var, class, span)`.
-    overloads: Vec<(Ty, OvClass, Span)>,
+    pub(crate) overloads: Vec<(Ty, OvClass, Span)>,
     /// Pending flexible-record constraints.
-    flex: Vec<FlexConstraint>,
+    pub(crate) flex: Vec<FlexConstraint>,
     /// Stack of implicit/explicit type-variable scopes for `'a` syntax.
     pub(crate) tyvar_scopes: Vec<HashMap<Symbol, Ty>>,
     /// Placeholder root variables of functor result environments, keyed

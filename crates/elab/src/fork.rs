@@ -1,0 +1,593 @@
+//! Identity-preserving deep copies of elaboration state.
+//!
+//! Elaboration state is a graph, not a tree: one unification cell
+//! ([`TvRef`], an `Rc<RefCell<_>>`) is typically shared between the
+//! variable table, the environment, and every typed term that mentions
+//! the variable, and unification resolves all of them at once by
+//! mutating the cell in place. A plain `clone()` would *preserve* that
+//! sharing — with the original — so later unification (or the MTD
+//! pass's in-place scheme re-linking) in the live session would bleed
+//! into the snapshot.
+//!
+//! [`Forker`] instead rebuilds the graph: every cell, `Rc<Env>`, and
+//! `Rc<SigInstance>` is copied exactly once (memoized by pointer
+//! identity) and all references are redirected to the copies. The
+//! result is isomorphic to the original — same shape, same sharing,
+//! same `Unbound` ids and tycon stamps — but *closed*: no `Rc` in the
+//! copy is reachable from outside it. That closedness is what lets the
+//! incremental driver in `crates/core` stash snapshots in a
+//! mutex-guarded cache shared across worker threads.
+//!
+//! Cyclic `Link` chains (possible transiently mid-unification; never at
+//! a declaration boundary, but cheap to be safe about) terminate via
+//! the insert-placeholder-then-fill pattern in [`Forker::tvref`].
+
+use crate::absyn::CompTy;
+use crate::absyn::{
+    ConInfo, Export, ExportItem, StrTy, TDec, TExp, TExpKind, TPat, TPatKind, TRule, TStrExp,
+    ThinItem, VarInfo, VarTable,
+};
+use crate::elaborate::Elaborator;
+use crate::env::{Env, FctDef, SigDef, SigInstance, SigItem, StrEntry, TyFun, TyconBind, ValBind};
+use crate::incremental::ElabSession;
+use sml_types::{ConDef, DatatypeDef, Scheme, Tv, TvRef, Ty, TyconRegistry};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A single deep-copy traversal. One instance must be used for an
+/// entire session fork so that sharing is preserved *across* the
+/// registry, environment, variable table, and typed program.
+#[derive(Default)]
+pub(crate) struct Forker {
+    /// Forked unification cells, keyed by original cell address.
+    cells: HashMap<usize, TvRef>,
+    /// Forked shared environments, keyed by original `Rc<Env>` address.
+    envs: HashMap<usize, Rc<Env>>,
+    /// Forked shared signature instances, keyed by original address.
+    sigs: HashMap<usize, Rc<SigInstance>>,
+}
+
+impl Forker {
+    pub(crate) fn session(mut self, s: &ElabSession) -> ElabSession {
+        let elab = &s.elab;
+        let forked_elab = Elaborator {
+            reg: self.registry(&elab.reg),
+            vars: VarTable {
+                infos: elab
+                    .vars
+                    .infos
+                    .iter()
+                    .map(|i| VarInfo {
+                        name: i.name,
+                        scheme: self.scheme(&i.scheme),
+                        exported: i.exported,
+                    })
+                    .collect(),
+            },
+            level: elab.level,
+            overloads: elab
+                .overloads
+                .iter()
+                .map(|(ty, class, span)| (self.ty(ty), *class, *span))
+                .collect(),
+            flex: elab
+                .flex
+                .iter()
+                .map(|(ty, fields, span)| {
+                    (
+                        self.ty(ty),
+                        fields.iter().map(|(n, t)| (*n, self.ty(t))).collect(),
+                        *span,
+                    )
+                })
+                .collect(),
+            tyvar_scopes: elab
+                .tyvar_scopes
+                .iter()
+                .map(|scope| scope.iter().map(|(n, t)| (*n, self.ty(t))).collect())
+                .collect(),
+            fct_roots: elab.fct_roots.clone(),
+        };
+        ElabSession {
+            elab: forked_elab,
+            env: self.env(&s.env),
+            decs: s.decs.iter().map(|d| self.tdec(d)).collect(),
+            builtins: s.builtins,
+        }
+    }
+
+    // ----- types ---------------------------------------------------------
+
+    fn tvref(&mut self, v: &TvRef) -> TvRef {
+        let key = Rc::as_ptr(&v.0) as usize;
+        if let Some(copy) = self.cells.get(&key) {
+            return copy.clone();
+        }
+        // Memoize a placeholder *before* descending so that a `Link`
+        // cycle back to this cell resolves to the copy instead of
+        // recursing (or re-borrowing the original) forever.
+        let copy = TvRef(Rc::new(RefCell::new(Tv::Gen(u32::MAX))));
+        self.cells.insert(key, copy.clone());
+        let forked = match &*v.0.borrow() {
+            Tv::Unbound { id, level, eq } => Tv::Unbound {
+                id: *id,
+                level: *level,
+                eq: *eq,
+            },
+            Tv::Link(ty) => Tv::Link(self.ty(ty)),
+            Tv::Gen(i) => Tv::Gen(*i),
+        };
+        *copy.0.borrow_mut() = forked;
+        copy
+    }
+
+    fn ty(&mut self, t: &Ty) -> Ty {
+        match t {
+            Ty::Var(v) => Ty::Var(self.tvref(v)),
+            Ty::Con(tycon, args) => {
+                Ty::Con(tycon.clone(), args.iter().map(|a| self.ty(a)).collect())
+            }
+            Ty::Record(fields) => {
+                Ty::Record(fields.iter().map(|(n, t)| (*n, self.ty(t))).collect())
+            }
+            Ty::Arrow(a, b) => Ty::Arrow(Box::new(self.ty(a)), Box::new(self.ty(b))),
+        }
+    }
+
+    fn opt_ty(&mut self, t: &Option<Ty>) -> Option<Ty> {
+        t.as_ref().map(|t| self.ty(t))
+    }
+
+    fn tys(&mut self, ts: &[Ty]) -> Vec<Ty> {
+        ts.iter().map(|t| self.ty(t)).collect()
+    }
+
+    fn scheme(&mut self, s: &Scheme) -> Scheme {
+        Scheme {
+            arity: s.arity,
+            eq_flags: s.eq_flags.clone(),
+            cells: s.cells.iter().map(|c| self.tvref(c)).collect(),
+            body: self.ty(&s.body),
+        }
+    }
+
+    fn registry(&mut self, reg: &TyconRegistry) -> TyconRegistry {
+        let mut out = TyconRegistry::new();
+        for def in reg.iter() {
+            out.insert_def(DatatypeDef {
+                tycon: def.tycon.clone(),
+                params: def.params.iter().map(|c| self.tvref(c)).collect(),
+                cons: def
+                    .cons
+                    .iter()
+                    .map(|c| ConDef {
+                        name: c.name,
+                        payload: self.opt_ty(&c.payload),
+                        rep: c.rep,
+                        index: c.index,
+                    })
+                    .collect(),
+                admits_eq: def.admits_eq,
+            });
+        }
+        out
+    }
+
+    // ----- environments --------------------------------------------------
+
+    fn con_info(&mut self, c: &ConInfo) -> ConInfo {
+        ConInfo {
+            name: c.name,
+            dt_stamp: c.dt_stamp,
+            index: c.index,
+            span: c.span,
+            rep: c.rep,
+            scheme: self.scheme(&c.scheme),
+            origin: c.origin.as_ref().map(|s| self.scheme(s)),
+            tag: c.tag.clone(),
+        }
+    }
+
+    fn val_bind(&mut self, b: &ValBind) -> ValBind {
+        match b {
+            ValBind::Var { access, scheme } => ValBind::Var {
+                access: access.clone(),
+                scheme: self.scheme(scheme),
+            },
+            ValBind::Con(info) => ValBind::Con(self.con_info(info)),
+            ValBind::Prim {
+                prim,
+                scheme,
+                overload,
+            } => ValBind::Prim {
+                prim: *prim,
+                scheme: self.scheme(scheme),
+                overload: *overload,
+            },
+        }
+    }
+
+    fn tyfun(&mut self, f: &TyFun) -> TyFun {
+        TyFun {
+            params: f.params.iter().map(|c| self.tvref(c)).collect(),
+            body: self.ty(&f.body),
+        }
+    }
+
+    fn tycon_bind(&mut self, b: &TyconBind) -> TyconBind {
+        match b {
+            TyconBind::Tycon(t) => TyconBind::Tycon(t.clone()),
+            TyconBind::Abbrev(f) => TyconBind::Abbrev(self.tyfun(f)),
+        }
+    }
+
+    fn str_ty(&mut self, s: &StrTy) -> StrTy {
+        StrTy(s.0.iter().map(|(n, c)| (*n, self.comp_ty(c))).collect())
+    }
+
+    fn comp_ty(&mut self, c: &CompTy) -> CompTy {
+        match c {
+            CompTy::Val(s) => CompTy::Val(self.scheme(s)),
+            CompTy::Exn => CompTy::Exn,
+            CompTy::Str(s) => CompTy::Str(self.str_ty(s)),
+        }
+    }
+
+    fn rc_env(&mut self, e: &Rc<Env>) -> Rc<Env> {
+        let key = Rc::as_ptr(e) as usize;
+        if let Some(copy) = self.envs.get(&key) {
+            return copy.clone();
+        }
+        let copy = Rc::new(self.env(e));
+        self.envs.insert(key, copy.clone());
+        copy
+    }
+
+    fn sig_item(&mut self, i: &SigItem) -> SigItem {
+        match i {
+            SigItem::Val { name, scheme } => SigItem::Val {
+                name: *name,
+                scheme: self.scheme(scheme),
+            },
+            SigItem::Type { name, bind } => SigItem::Type {
+                name: *name,
+                bind: self.tycon_bind(bind),
+            },
+            SigItem::Datatype { name, tycon, cons } => SigItem::Datatype {
+                name: *name,
+                tycon: tycon.clone(),
+                cons: cons.iter().map(|c| self.con_info(c)).collect(),
+            },
+            SigItem::Exn { name, payload } => SigItem::Exn {
+                name: *name,
+                payload: self.opt_ty(payload),
+            },
+            SigItem::Str { name, sig } => SigItem::Str {
+                name: *name,
+                sig: self.sig_instance(sig),
+            },
+        }
+    }
+
+    fn sig_instance(&mut self, s: &SigInstance) -> SigInstance {
+        SigInstance {
+            items: s.items.iter().map(|i| self.sig_item(i)).collect(),
+            flex: s.flex.clone(),
+        }
+    }
+
+    fn rc_sig_instance(&mut self, s: &Rc<SigInstance>) -> Rc<SigInstance> {
+        let key = Rc::as_ptr(s) as usize;
+        if let Some(copy) = self.sigs.get(&key) {
+            return copy.clone();
+        }
+        let copy = Rc::new(self.sig_instance(s));
+        self.sigs.insert(key, copy.clone());
+        copy
+    }
+
+    fn env(&mut self, e: &Env) -> Env {
+        Env {
+            vals: e.vals.iter().map(|(n, b)| (*n, self.val_bind(b))).collect(),
+            tycons: e
+                .tycons
+                .iter()
+                .map(|(n, b)| (*n, self.tycon_bind(b)))
+                .collect(),
+            strs: e
+                .strs
+                .iter()
+                .map(|(n, s)| {
+                    (
+                        *n,
+                        StrEntry {
+                            access: s.access.clone(),
+                            env: self.rc_env(&s.env),
+                            ty: self.str_ty(&s.ty),
+                        },
+                    )
+                })
+                .collect(),
+            sigs: e
+                .sigs
+                .iter()
+                .map(|(n, s)| {
+                    (
+                        *n,
+                        SigDef {
+                            // The syntax is immutable, but the `Rc` must
+                            // not be shared with the original or the
+                            // fork would not be a closed graph (and so
+                            // not safe to move across threads).
+                            ast: Rc::new((*s.ast).clone()),
+                            env: self.env(&s.env),
+                        },
+                    )
+                })
+                .collect(),
+            fcts: e
+                .fcts
+                .iter()
+                .map(|(n, f)| {
+                    (
+                        *n,
+                        FctDef {
+                            access: f.access.clone(),
+                            param_sig: self.rc_sig_instance(&f.param_sig),
+                            result_env: self.rc_env(&f.result_env),
+                            result_ty: self.str_ty(&f.result_ty),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    // ----- typed terms ---------------------------------------------------
+
+    fn tdec(&mut self, d: &TDec) -> TDec {
+        match d {
+            TDec::Val { pat, exp } => TDec::Val {
+                pat: self.tpat(pat),
+                exp: self.texp(exp),
+            },
+            TDec::PolyVal { var, exp } => TDec::PolyVal {
+                var: *var,
+                exp: self.texp(exp),
+            },
+            TDec::Fun { vars, exps } => TDec::Fun {
+                vars: vars.clone(),
+                exps: exps.iter().map(|e| self.texp(e)).collect(),
+            },
+            TDec::Exception { var, name } => TDec::Exception {
+                var: *var,
+                name: *name,
+            },
+            TDec::Structure { var, def } => TDec::Structure {
+                var: *var,
+                def: self.tstr_exp(def),
+            },
+            TDec::Functor {
+                var,
+                param,
+                param_ty,
+                result_ty,
+                body,
+            } => TDec::Functor {
+                var: *var,
+                param: *param,
+                param_ty: self.str_ty(param_ty),
+                result_ty: self.str_ty(result_ty),
+                body: self.tstr_exp(body),
+            },
+        }
+    }
+
+    fn tstr_exp(&mut self, s: &TStrExp) -> TStrExp {
+        match s {
+            TStrExp::Struct { decs, exports } => TStrExp::Struct {
+                decs: decs.iter().map(|d| self.tdec(d)).collect(),
+                exports: exports
+                    .iter()
+                    .map(|e| Export {
+                        name: e.name,
+                        item: match &e.item {
+                            ExportItem::Val { access, scheme } => ExportItem::Val {
+                                access: access.clone(),
+                                scheme: self.scheme(scheme),
+                            },
+                            ExportItem::Str { access, ty } => ExportItem::Str {
+                                access: access.clone(),
+                                ty: self.str_ty(ty),
+                            },
+                            ExportItem::Exn { access } => ExportItem::Exn {
+                                access: access.clone(),
+                            },
+                        },
+                    })
+                    .collect(),
+            },
+            TStrExp::Access(a) => TStrExp::Access(a.clone()),
+            TStrExp::Thin { base, items, to } => TStrExp::Thin {
+                base: Box::new(self.tstr_exp(base)),
+                items: items.iter().map(|i| self.thin_item(i)).collect(),
+                to: self.str_ty(to),
+            },
+            TStrExp::FctApp { fct, arg, from, to } => TStrExp::FctApp {
+                fct: fct.clone(),
+                arg: Box::new(self.tstr_exp(arg)),
+                from: self.str_ty(from),
+                to: self.str_ty(to),
+            },
+        }
+    }
+
+    fn thin_item(&mut self, i: &ThinItem) -> ThinItem {
+        match i {
+            ThinItem::Val { slot, from, to } => ThinItem::Val {
+                slot: *slot,
+                from: self.scheme(from),
+                to: self.scheme(to),
+            },
+            ThinItem::Str { slot, items, to } => ThinItem::Str {
+                slot: *slot,
+                items: items.iter().map(|i| self.thin_item(i)).collect(),
+                to: self.str_ty(to),
+            },
+            ThinItem::Exn { slot } => ThinItem::Exn { slot: *slot },
+        }
+    }
+
+    fn trules(&mut self, rules: &[TRule]) -> Vec<TRule> {
+        rules
+            .iter()
+            .map(|r| TRule {
+                pat: self.tpat(&r.pat),
+                exp: self.texp(&r.exp),
+            })
+            .collect()
+    }
+
+    fn texp(&mut self, e: &TExp) -> TExp {
+        let kind = match &e.kind {
+            TExpKind::Int(n) => TExpKind::Int(*n),
+            TExpKind::Real(r) => TExpKind::Real(*r),
+            TExpKind::Str(s) => TExpKind::Str(s.clone()),
+            TExpKind::Char(c) => TExpKind::Char(*c),
+            TExpKind::Var {
+                access,
+                scheme,
+                inst,
+            } => TExpKind::Var {
+                access: access.clone(),
+                scheme: self.scheme(scheme),
+                inst: self.tys(inst),
+            },
+            TExpKind::Prim { prim, inst } => TExpKind::Prim {
+                prim: *prim,
+                inst: self.tys(inst),
+            },
+            TExpKind::Con { con, inst } => TExpKind::Con {
+                con: self.con_info(con),
+                inst: self.tys(inst),
+            },
+            TExpKind::Record(fields) => {
+                TExpKind::Record(fields.iter().map(|(n, e)| (*n, self.texp(e))).collect())
+            }
+            TExpKind::Select { label, arg } => TExpKind::Select {
+                label: *label,
+                arg: Box::new(self.texp(arg)),
+            },
+            TExpKind::App(f, a) => TExpKind::App(Box::new(self.texp(f)), Box::new(self.texp(a))),
+            TExpKind::Fn { rules, arg_ty } => TExpKind::Fn {
+                rules: self.trules(rules),
+                arg_ty: self.ty(arg_ty),
+            },
+            TExpKind::Case(scrut, rules) => {
+                TExpKind::Case(Box::new(self.texp(scrut)), self.trules(rules))
+            }
+            TExpKind::If(c, t, f) => TExpKind::If(
+                Box::new(self.texp(c)),
+                Box::new(self.texp(t)),
+                Box::new(self.texp(f)),
+            ),
+            TExpKind::While(c, b) => {
+                TExpKind::While(Box::new(self.texp(c)), Box::new(self.texp(b)))
+            }
+            TExpKind::Seq(parts) => TExpKind::Seq(parts.iter().map(|e| self.texp(e)).collect()),
+            TExpKind::Let(decs, body) => TExpKind::Let(
+                decs.iter().map(|d| self.tdec(d)).collect(),
+                Box::new(self.texp(body)),
+            ),
+            TExpKind::Raise(inner) => TExpKind::Raise(Box::new(self.texp(inner))),
+            TExpKind::Handle(body, rules) => {
+                TExpKind::Handle(Box::new(self.texp(body)), self.trules(rules))
+            }
+        };
+        TExp {
+            kind,
+            ty: self.ty(&e.ty),
+        }
+    }
+
+    fn tpat(&mut self, p: &TPat) -> TPat {
+        let kind = match &p.kind {
+            TPatKind::Wild => TPatKind::Wild,
+            TPatKind::Var(v) => TPatKind::Var(*v),
+            TPatKind::Int(n) => TPatKind::Int(*n),
+            TPatKind::Str(s) => TPatKind::Str(s.clone()),
+            TPatKind::Char(c) => TPatKind::Char(*c),
+            TPatKind::Con { con, inst, arg } => TPatKind::Con {
+                con: self.con_info(con),
+                inst: self.tys(inst),
+                arg: arg.as_ref().map(|a| Box::new(self.tpat(a))),
+            },
+            TPatKind::Record { fields, flexible } => TPatKind::Record {
+                fields: fields.iter().map(|(n, p)| (*n, self.tpat(p))).collect(),
+                flexible: *flexible,
+            },
+            TPatKind::As(v, inner) => TPatKind::As(*v, Box::new(self.tpat(inner))),
+        };
+        TPat {
+            kind,
+            ty: self.ty(&p.ty),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::ElabSession;
+    use sml_ast::parse;
+
+    /// Forking must preserve *sharing*: the cell behind a polymorphic
+    /// variable's scheme appears in the variable table and in the
+    /// environment, and the copies must again be one cell.
+    #[test]
+    fn fork_preserves_cell_sharing() {
+        let prog = parse("fun id x = x").unwrap();
+        let mut s = ElabSession::new();
+        for d in &prog.decs {
+            s.elab_dec(d).unwrap();
+        }
+        let f = s.fork();
+        let id = sml_ast::Symbol::intern("id");
+        let ValBind::Var { scheme: env_s, .. } = &f.env.vals[&id] else {
+            panic!("id should be a plain variable");
+        };
+        // Find the same variable in the table by name.
+        let table_s = (0..f.elab.vars.len())
+            .map(|i| f.elab.vars.info(crate::absyn::VarId(i as u32)))
+            .find(|i| i.name == id)
+            .map(|i| &i.scheme)
+            .unwrap();
+        assert_eq!(env_s.arity, 1);
+        assert!(
+            env_s.cells[0].same(&table_s.cells[0]),
+            "env and var-table must share the forked generic cell"
+        );
+    }
+
+    /// The fork must not alias any cell of the original.
+    #[test]
+    fn fork_shares_nothing_with_original() {
+        let prog = parse("fun id x = x").unwrap();
+        let mut s = ElabSession::new();
+        for d in &prog.decs {
+            s.elab_dec(d).unwrap();
+        }
+        let f = s.fork();
+        let id = sml_ast::Symbol::intern("id");
+        let (ValBind::Var { scheme: a, .. }, ValBind::Var { scheme: b, .. }) =
+            (&s.env.vals[&id], &f.env.vals[&id])
+        else {
+            panic!("id should be a plain variable");
+        };
+        assert!(
+            !a.cells[0].same(&b.cells[0]),
+            "fork must rebuild cells, not alias them"
+        );
+    }
+}

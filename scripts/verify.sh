@@ -110,6 +110,23 @@ cargo test -q -p sml-lambda --test intern_storm
 echo "== arena bench (BENCH_pr6.json) =="
 cargo run -q --release -p smlc-bench --bin arena_bench
 
+# SCC-incremental compilation gate (docs/ARCHITECTURE.md §Incremental
+# elaboration, docs/SERVER.md): partitioner edge cases, the
+# recompiled-counter contract, and incremental-vs-whole-program
+# byte-identity on edits, progen seeds, and the figure benchmarks; the
+# server suite drives concurrent clients, the wire protocol's error
+# taxonomy, and EOF/SIGTERM shutdown of the `smlc serve` binary.
+echo "== scc: components + server =="
+cargo test -q -p smlc --test components --test server
+cargo test -q -p smlc-bench --test incremental
+
+# Incremental-elaboration benchmark: a single-declaration edit on a
+# 40-dec chain must replay only the dirtied suffix, and a 200-seed
+# progen sweep must stay byte-identical to whole-program elaboration,
+# cold and warm. Writes the BENCH_pr8.json trajectory.
+echo "== incremental bench (BENCH_pr8.json) =="
+cargo run -q --release -p smlc-bench --bin incr_bench
+
 # Documentation gate: every relative Markdown link in README.md and
 # docs/*.md must resolve (first-party checker, no external deps).
 echo "== docs: relative-link check =="
