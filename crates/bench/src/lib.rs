@@ -131,6 +131,7 @@ impl BenchResult {
                 result: result_tag(&self.outcome.result),
                 stats: self.outcome.stats,
             }),
+            dispatch: Some(self.outcome.dispatch),
             cache: None,
             arena: None,
             sched: None,
@@ -597,7 +598,7 @@ mod tests {
     fn empty_matrix_serializes() {
         let doc = matrix_json(&[], "test").to_string_compact();
         assert!(doc.contains("\"benchmarks\":[]"));
-        assert!(doc.contains("\"schema_version\":3"));
+        assert!(doc.contains("\"schema_version\":4"));
         assert!(doc.contains("\"degraded_cells\":0"));
     }
 

@@ -14,6 +14,7 @@
 //! smlc --batch a.sml b.sml c.sml    # compile a batch in parallel, run in order
 //! smlc -e 'val _ = print "hi\n"'    # compile a command-line snippet
 //! smlc --emit asm program.sml       # disassemble instead of running
+//! smlc run --dispatch=threaded p.sml   # pre-decoded threaded dispatch engine
 //! smlc --verify-ir always prog.sml  # re-check every IR behind each phase
 //! ```
 //!
@@ -40,8 +41,8 @@
 
 use sml_vm::VmScheduler;
 use smlc::{
-    error_json, CompileError, CompileServer, Job, Json, Metrics, Session, Variant, VerifyIr,
-    VmResult,
+    error_json, CompileError, CompileServer, Dispatch, Job, Json, Metrics, Session, Variant,
+    VerifyIr, VmResult,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
@@ -76,7 +77,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: smlc [compile|run|bench] [--variant nrp|fag|rep|mtd|ffb|fp3] \
          [--verify-ir off|debug|always] [--stats[=json]] [--all] [--batch] [--emit asm] \
-         [--tenants=N] (<file.sml>... | -e <source>)\n\
+         [--tenants=N] [--dispatch=decode|threaded] (<file.sml>... | -e <source>)\n\
          \x20      smlc serve [--socket <path>] [--workers=N] [--variant V] [--verify-ir M]\n\
          \x20      smlc client --socket <path> [--run] [--stats] [--variant V] \
          (<file.sml>... | -e <source>)"
@@ -142,6 +143,7 @@ fn drive(args: &[String], mode: DriveMode) -> ExitCode {
     let mut batch = false;
     let mut emit_asm = false;
     let mut tenants: usize = 1;
+    let mut dispatch = Dispatch::default();
     let mut inputs: Vec<Input> = Vec::new();
 
     while let Some(a) = args.next() {
@@ -173,6 +175,13 @@ fn drive(args: &[String], mode: DriveMode) -> ExitCode {
                 Ok(n) if (1..=1024).contains(&n) => tenants = n,
                 _ => {
                     eprintln!("--tenants takes a count between 1 and 1024");
+                    usage()
+                }
+            },
+            s if s.starts_with("--dispatch=") => match s["--dispatch=".len()..].parse() {
+                Ok(d) => dispatch = d,
+                Err(e) => {
+                    eprintln!("{e}");
                     usage()
                 }
             },
@@ -299,8 +308,9 @@ fn drive(args: &[String], mode: DriveMode) -> ExitCode {
             // scheduler; tenant 0's outcome (identical to a solo run)
             // is reported and the scheduler counters land in the
             // metrics document under "sched".
+            let mut cfg = session.vm_config(compiled.variant);
+            cfg.dispatch = dispatch;
             let (outcome, sched) = if tenants > 1 {
-                let cfg = session.vm_config(compiled.variant);
                 let mut sched = VmScheduler::new(10_000);
                 for _ in 0..tenants {
                     sched.spawn(&compiled.machine, &cfg);
@@ -312,11 +322,12 @@ fn drive(args: &[String], mode: DriveMode) -> ExitCode {
                         result: first.result,
                         stats: first.stats,
                         output: first.output,
+                        dispatch: first.dispatch,
                     },
                     Some(stats),
                 )
             } else {
-                (session.run(compiled), None)
+                (compiled.run_with(&cfg), None)
             };
             print!("{}", outcome.output);
             // Abnormal terminations still report statistics below (the

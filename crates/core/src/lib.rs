@@ -54,4 +54,6 @@ pub use pipeline::{CompileStats, Compiled, Limits, ParseVerifyIrError, VerifyIr,
 pub use server::{CompileServer, ServerStats};
 pub use session::{par_map, CacheStats, Job, Session, SessionBuilder};
 pub use sml_cps::OptConfig;
-pub use sml_vm::{FaultInject, GcMode, InstrClass, Outcome, RunStats, VmConfig, VmResult};
+pub use sml_vm::{
+    Dispatch, DispatchStats, FaultInject, GcMode, InstrClass, Outcome, RunStats, VmConfig, VmResult,
+};

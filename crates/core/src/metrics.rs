@@ -14,7 +14,7 @@ use crate::pipeline::{CompileStats, Compiled};
 use crate::server::ServerStats;
 use crate::session::CacheStats;
 use sml_lambda::InternStats;
-use sml_vm::{InstrClass, Outcome, RunStats, SchedStats, VmResult};
+use sml_vm::{DispatchStats, InstrClass, Outcome, RunStats, SchedStats, VmResult};
 
 /// Version stamped into every emitted document as `schema_version`;
 /// bump when a field is renamed, removed, or changes meaning (pure
@@ -32,7 +32,13 @@ use sml_vm::{InstrClass, Outcome, RunStats, SchedStats, VmResult};
 /// top-level `server` object (compile-server counters, `null` outside
 /// `smlc serve`) were added; bumped because `components` changes what
 /// a "complete" document looks like for schema-checking consumers.
-pub const METRICS_SCHEMA_VERSION: u64 = 3;
+/// **4** — the top-level `dispatch` object (execution engine, fused
+/// superinstruction count, pre-decoded stream length; `null` for
+/// compile-only documents) was added, and `run` counters can now
+/// reflect the floor-semantics div/mod (a `"fault"` result where
+/// division by zero previously produced a value); bumped because the
+/// arithmetic-semantics change alters the meaning of existing runs.
+pub const METRICS_SCHEMA_VERSION: u64 = 4;
 
 /// A structured snapshot of one compilation and (optionally) one run.
 #[derive(Clone, Debug)]
@@ -44,6 +50,10 @@ pub struct Metrics {
     pub compile: CompileStats,
     /// Run-side counters, when the program was executed.
     pub run: Option<RunMetrics>,
+    /// Which execution engine ran the program and its pre-decode facts
+    /// (fused superinstruction count, threaded stream length), when the
+    /// program was executed; `None` serializes as `"dispatch": null`.
+    pub dispatch: Option<DispatchStats>,
     /// Session artifact-cache counters, when the compile went through a
     /// session whose counters were captured (see
     /// `Session::cache_stats`); `None` serializes as `"cache": null`.
@@ -86,6 +96,7 @@ impl Default for Metrics {
                 result: "value",
                 stats: RunStats::default(),
             }),
+            dispatch: Some(DispatchStats::default()),
             cache: Some(CacheStats::default()),
             arena: Some(InternStats::default()),
             sched: Some(SchedStats::default()),
@@ -140,6 +151,7 @@ pub fn error_json(variant: crate::Variant, e: &crate::CompileError) -> Json {
         .field("error", err)
         .field("compile", Json::Null)
         .field("run", Json::Null)
+        .field("dispatch", Json::Null)
         .field("cache", Json::Null)
         .field("arena", Json::Null)
         .field("sched", Json::Null)
@@ -154,6 +166,7 @@ impl Metrics {
             variant: c.variant.name().to_owned(),
             compile: c.stats.clone(),
             run: None,
+            dispatch: None,
             cache: None,
             arena: None,
             sched: None,
@@ -170,6 +183,7 @@ impl Metrics {
                 result: result_tag(&o.result),
                 stats: o.stats,
             }),
+            dispatch: Some(o.dispatch),
             cache: None,
             arena: None,
             sched: None,
@@ -215,6 +229,10 @@ impl Metrics {
         doc = match &self.run {
             Some(run) => doc.field("run", run_json(run)),
             None => doc.field("run", Json::Null),
+        };
+        doc = match &self.dispatch {
+            Some(dispatch) => doc.field("dispatch", dispatch_json(dispatch)),
+            None => doc.field("dispatch", Json::Null),
         };
         doc = match &self.cache {
             Some(cache) => doc.field("cache", cache_json(cache)),
@@ -369,6 +387,13 @@ fn run_json(r: &RunMetrics) -> Json {
         )
         .field("cycles_by_class", by_class_json(&s.cycles_by_class))
         .field("instrs_by_class", by_class_json(&s.instrs_by_class))
+}
+
+fn dispatch_json(d: &DispatchStats) -> Json {
+    Json::obj()
+        .field("engine", d.engine.name())
+        .field("superinstructions", d.superinstructions)
+        .field("stream_len", d.stream_len)
 }
 
 fn hist_json(hist: &[u64; sml_vm::N_PAUSE_BUCKETS]) -> Json {

@@ -131,7 +131,8 @@ pub struct VerifyStats {
     /// CPS invariant-checker runs: one after conversion, one per
     /// optimizer pass, one on the closed program.
     pub cps_checks: u64,
-    /// Bytecode verifier runs (0 or 1).
+    /// Bytecode verifier runs (0 or 1); each run also verifies the
+    /// pre-decoded threaded dispatch stream.
     pub bytecode_checks: u64,
     /// Wall-clock spent verifying, across all stages.
     pub time: Duration,
@@ -425,6 +426,14 @@ pub(crate) fn compile_engine(
         let tv = Instant::now();
         let res = contain("codegen", || sml_vm::verify_bytecode(&machine))?;
         vstats.bytecode_checks += 1;
+        if let Err(v) = res {
+            vstats.time += tv.elapsed();
+            return Err(verify_error("codegen", "bytecode", None, v.rule, v.detail));
+        }
+        // Also verify the pre-decoded threaded stream (round-trip,
+        // coordinate maps, fused-operand bounds) so the typed chain
+        // covers what `Dispatch::Threaded` actually executes.
+        let res = contain("codegen", || sml_vm::verify_threaded(&machine))?;
         vstats.time += tv.elapsed();
         if let Err(v) = res {
             return Err(verify_error("codegen", "bytecode", None, v.rule, v.detail));

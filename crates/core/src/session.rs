@@ -561,6 +561,10 @@ fn fingerprint_of(
             h.write_usize(vm.tenured_words);
             h.write_u32(vm.promote_after);
             h.write_u64(vm.max_pause_cycles);
+            h.write_u8(match vm.dispatch {
+                sml_vm::Dispatch::Decode => 0,
+                sml_vm::Dispatch::Threaded => 1,
+            });
             h.write_u64(vm.fault.fail_alloc_at.map_or(0, |n| n ^ u64::MAX));
             h.write_u64(vm.fault.gc_every_n_allocs.map_or(0, |n| n ^ u64::MAX));
             h.write_u64(vm.fault.yield_every_n_slices.map_or(0, |n| n ^ u64::MAX));
@@ -1030,6 +1034,12 @@ mod tests {
         let verified = fingerprint(&SessionBuilder::default().verify_ir(VerifyIr::Always));
         let unverified = fingerprint(&SessionBuilder::default().verify_ir(VerifyIr::Off));
         assert_ne!(verified, unverified);
+        let threaded = fingerprint(&SessionBuilder::default().vm_config(VmConfig {
+            dispatch: sml_vm::Dispatch::Threaded,
+            ..VmConfig::default()
+        }));
+        let decode = fingerprint(&SessionBuilder::default().vm_config(VmConfig::default()));
+        assert_ne!(threaded, decode, "dispatch engine must be fingerprinted");
     }
 
     #[test]

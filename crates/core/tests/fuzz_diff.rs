@@ -3,27 +3,33 @@
 //! compiler variant must produce the same answer through the full
 //! pipeline (parse → elaborate → translate → CPS → closure → codegen →
 //! VM). Any divergence pinpoints a representation or convention bug.
+//!
+//! `div`/`mod` divisors are arbitrary subexpressions — negative,
+//! variable, and occasionally zero — so the floor-division semantics
+//! (DESIGN.md §8) and the `Div` exception path are both under
+//! differential test, before and after constant folding. Every case
+//! additionally runs under the pre-decoded threaded dispatch engine and
+//! must match the decode loop counter-for-counter.
 
 use sml_testkit::{run_cases, Rng};
-use smlc::{CompileError, Compiled, Session, Variant, VmResult};
+use smlc::{CompileError, Compiled, Dispatch, Session, Variant, VmConfig, VmResult};
 
 /// Compiles through a fresh single-variant session.
 fn compile(src: &str, v: Variant) -> Result<Compiled, CompileError> {
     Session::with_variant(v).compile(src)
 }
 
-/// A generated integer expression. Division/mod keep a nonzero literal
-/// divisor so evaluation is total.
+/// A generated integer expression. Division and mod take arbitrary
+/// subexpressions on both sides: divisors may be negative, variable,
+/// or zero (in which case the program must raise `Div`).
 #[derive(Clone, Debug)]
 enum E {
     Lit(i32),
     Add(Box<E>, Box<E>),
     Sub(Box<E>, Box<E>),
     Mul(Box<E>, Box<E>),
-    Div(Box<E>, i32),
-    /// `mod` with a positive literal divisor (the one case where the
-    /// VM's semantics, SML's floor-mod, and `rem_euclid` all coincide).
-    Mod(Box<E>, i32),
+    Div(Box<E>, Box<E>),
+    Mod(Box<E>, Box<E>),
     If(Box<B>, Box<E>, Box<E>),
     Let(Box<E>, Box<E>),
     /// Apply `fn x => x + k` — exercises closures and calls.
@@ -41,49 +47,83 @@ enum B {
     And(Box<B>, Box<B>),
 }
 
+/// Why reference evaluation stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stop {
+    /// Division or mod by zero: the program raises the `Div` exception.
+    Div,
+}
+
+/// SML floor division, written independently of the compiler's
+/// `sml_cps::floor_div` so the fuzzer is a genuine cross-check: start
+/// from Rust's truncating quotient and step down when the signs differ
+/// and the division is inexact.
+fn ref_floor_div(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Floor mod via the quotient-remainder law `a = b*q + r`.
+fn ref_floor_mod(a: i64, b: i64) -> i64 {
+    a - b.wrapping_mul(ref_floor_div(a, b))
+}
+
 /// Reference evaluation. `env` is the stack of `Let`-bound values; the
-/// innermost binding is `last()`.
-fn eval(e: &E, env: &mut Vec<i64>) -> i64 {
+/// innermost binding is `last()`. `Err(Stop::Div)` means the program
+/// raises `Div` at this point — matching the compiler's `CheckedDiv`
+/// lowering, which binds and tests the **divisor first**, so a zero
+/// divisor raises before the dividend is ever evaluated.
+fn eval(e: &E, env: &mut Vec<i64>) -> Result<i64, Stop> {
     match e {
-        E::Lit(n) => *n as i64,
-        E::Add(a, b) => eval(a, env).wrapping_add(eval(b, env)),
-        E::Sub(a, b) => eval(a, env).wrapping_sub(eval(b, env)),
-        E::Mul(a, b) => eval(a, env).wrapping_mul(eval(b, env)),
-        // The VM's `div` truncates (DESIGN.md §8); match it here.
-        E::Div(a, d) => eval(a, env) / (*d as i64),
-        E::Mod(a, d) => eval(a, env).rem_euclid(*d as i64),
+        E::Lit(n) => Ok(*n as i64),
+        E::Add(a, b) => Ok(eval(a, env)?.wrapping_add(eval(b, env)?)),
+        E::Sub(a, b) => Ok(eval(a, env)?.wrapping_sub(eval(b, env)?)),
+        E::Mul(a, b) => Ok(eval(a, env)?.wrapping_mul(eval(b, env)?)),
+        E::Div(a, d) | E::Mod(a, d) => {
+            let dv = eval(d, env)?;
+            if dv == 0 {
+                return Err(Stop::Div);
+            }
+            let av = eval(a, env)?;
+            Ok(match e {
+                E::Div(..) => ref_floor_div(av, dv),
+                _ => ref_floor_mod(av, dv),
+            })
+        }
         E::If(c, t, f) => {
-            if beval(c, env) {
+            if beval(c, env)? {
                 eval(t, env)
             } else {
                 eval(f, env)
             }
         }
         E::Let(bind, body) => {
-            let v = eval(bind, env);
+            let v = eval(bind, env)?;
             env.push(v);
             let r = eval(body, env);
             env.pop();
             r
         }
-        E::App(k, a) => eval(a, env).wrapping_add(*k as i64),
+        E::App(k, a) => Ok(eval(a, env)?.wrapping_add(*k as i64)),
         E::Pair(a, b, first) => {
-            let (va, vb) = (eval(a, env), eval(b, env));
-            if *first {
-                va
-            } else {
-                vb
-            }
+            let (va, vb) = (eval(a, env)?, eval(b, env)?);
+            Ok(if *first { va } else { vb })
         }
     }
 }
 
-fn beval(b: &B, env: &mut Vec<i64>) -> bool {
+fn beval(b: &B, env: &mut Vec<i64>) -> Result<bool, Stop> {
     match b {
-        B::Lt(a, c) => eval(a, env) < eval(c, env),
-        B::Eq(a, c) => eval(a, env) == eval(c, env),
-        B::Not(x) => !beval(x, env),
-        B::And(x, y) => beval(x, env) && beval(y, env),
+        B::Lt(a, c) => Ok(eval(a, env)? < eval(c, env)?),
+        B::Eq(a, c) => Ok(eval(a, env)? == eval(c, env)?),
+        B::Not(x) => Ok(!beval(x, env)?),
+        // `andalso` short-circuits: a raising right-hand side is never
+        // reached when the left is false.
+        B::And(x, y) => Ok(beval(x, env)? && beval(y, env)?),
     }
 }
 
@@ -100,20 +140,8 @@ fn sml(e: &E, depth: usize, out: &mut String) {
         E::Add(a, b) => bin(a, "+", b, depth, out),
         E::Sub(a, b) => bin(a, "-", b, depth, out),
         E::Mul(a, b) => bin(a, "*", b, depth, out),
-        E::Div(a, d) => {
-            out.push('(');
-            sml(a, depth, out);
-            if *d < 0 {
-                out.push_str(&format!(" div ~{})", (*d as i64).unsigned_abs()));
-            } else {
-                out.push_str(&format!(" div {d})"));
-            }
-        }
-        E::Mod(a, d) => {
-            out.push('(');
-            sml(a, depth, out);
-            out.push_str(&format!(" mod {d})"));
-        }
+        E::Div(a, d) => bin(a, "div", d, depth, out),
+        E::Mod(a, d) => bin(a, "mod", d, depth, out),
         E::If(c, t, f) => {
             out.push_str("(if ");
             bsml(c, depth, out);
@@ -202,15 +230,8 @@ fn gen_expr(rng: &mut Rng, depth: usize) -> E {
         0 => E::Add(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
         1 => E::Sub(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
         2 => E::Mul(Box::new(gen_expr(rng, d)), Box::new(gen_expr(rng, d))),
-        3 => {
-            let div = if rng.flip() {
-                rng.range_i32(1, 50)
-            } else {
-                rng.range_i32(-50, -1)
-            };
-            E::Div(Box::new(gen_expr(rng, d)), div)
-        }
-        4 => E::Mod(Box::new(gen_expr(rng, d)), rng.range_i32(1, 50)),
+        3 => E::Div(Box::new(gen_expr(rng, d)), Box::new(gen_divisor(rng, d))),
+        4 => E::Mod(Box::new(gen_expr(rng, d)), Box::new(gen_divisor(rng, d))),
         5 => E::If(
             Box::new(gen_bool(rng, d.min(2), d)),
             Box::new(gen_expr(rng, d)),
@@ -223,6 +244,19 @@ fn gen_expr(rng: &mut Rng, depth: usize) -> E {
             Box::new(gen_expr(rng, d)),
             rng.flip(),
         ),
+    }
+}
+
+/// Divisors skew toward nonzero literals of both signs (so folding can
+/// fire and floor semantics get dense coverage) but are sometimes a
+/// full subexpression — including, occasionally, a literal zero, which
+/// must raise `Div` through every variant and both dispatch engines.
+fn gen_divisor(rng: &mut Rng, depth: usize) -> E {
+    match rng.range_usize(0, 8) {
+        0 => E::Lit(0),
+        1 | 2 => gen_expr(rng, depth),
+        3..=5 => E::Lit(rng.range_i32(1, 50)),
+        _ => E::Lit(rng.range_i32(-50, -1)),
     }
 }
 
@@ -250,15 +284,20 @@ fn fits(v: i64) -> bool {
 }
 
 /// Check for overflow at every node, not just the root, since the VM
-/// wraps at 31 bits where i64 would not.
+/// wraps at 31 bits where i64 would not. A node that raises `Div` has
+/// no value to range-check (and in the raising case some conservatively
+/// checked subtrees never even evaluate — skipping extra cases is
+/// harmless).
 fn all_fits(e: &E, env: &mut Vec<i64>) -> bool {
-    let node_ok = |v: i64| fits(v);
+    let node_ok = |v: Result<i64, Stop>| match v {
+        Ok(v) => fits(v),
+        Err(_) => true,
+    };
     match e {
         E::Lit(_) => true,
-        E::Add(a, b) | E::Sub(a, b) | E::Mul(a, b) => {
+        E::Add(a, b) | E::Sub(a, b) | E::Mul(a, b) | E::Div(a, b) | E::Mod(a, b) => {
             all_fits(a, env) && all_fits(b, env) && node_ok(eval(e, env))
         }
-        E::Div(a, _) | E::Mod(a, _) => all_fits(a, env) && node_ok(eval(e, env)),
         E::If(c, t, f) => {
             bool_fits(c, env) && all_fits(t, env) && all_fits(f, env) && node_ok(eval(e, env))
         }
@@ -266,7 +305,7 @@ fn all_fits(e: &E, env: &mut Vec<i64>) -> bool {
             if !all_fits(a, env) {
                 return false;
             }
-            let v = eval(a, env);
+            let Ok(v) = eval(a, env) else { return true };
             env.push(v);
             let ok = all_fits(b, env);
             env.pop();
@@ -307,18 +346,55 @@ fn variants_agree_with_reference() {
             let compiled = compile(&src, v)
                 .unwrap_or_else(|err| panic!("[{}] compile failed: {err}\n{src}", v.name()));
             let out = compiled.run();
-            assert!(
-                matches!(out.result, VmResult::Value(_)),
-                "[{}] abnormal result {:?} for\n{src}",
-                v.name(),
-                out.result
+            match &expected {
+                Ok(value) => {
+                    assert!(
+                        matches!(out.result, VmResult::Value(_)),
+                        "[{}] abnormal result {:?} for\n{src}",
+                        v.name(),
+                        out.result
+                    );
+                    assert_eq!(
+                        out.output,
+                        value.to_string(),
+                        "[{}] wrong value for\n{}",
+                        v.name(),
+                        src
+                    );
+                }
+                Err(Stop::Div) => {
+                    assert_eq!(
+                        out.result,
+                        VmResult::Uncaught("Div".to_owned()),
+                        "[{}] division by zero must raise Div for\n{src}",
+                        v.name()
+                    );
+                    assert_eq!(out.output, "", "[{}] raised before printing", v.name());
+                }
+            }
+            // The threaded engine must be observationally identical —
+            // result, output, and every counter — on the same program.
+            let thr = compiled.run_with(&VmConfig {
+                dispatch: Dispatch::Threaded,
+                ..v.vm_config()
+            });
+            assert_eq!(
+                out.result,
+                thr.result,
+                "[{}] engines diverge\n{src}",
+                v.name()
             );
             assert_eq!(
                 out.output,
-                expected.to_string(),
-                "[{}] wrong value for\n{}",
-                v.name(),
-                src
+                thr.output,
+                "[{}] output diverges\n{src}",
+                v.name()
+            );
+            assert_eq!(
+                out.stats,
+                thr.stats,
+                "[{}] RunStats diverge\n{src}",
+                v.name()
             );
         }
     });

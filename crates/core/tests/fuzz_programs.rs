@@ -248,6 +248,53 @@ fn generated_programs_agree_across_pause_budgets() {
 }
 
 #[test]
+fn generated_programs_agree_across_dispatch_engines() {
+    // Dispatch-engine differential over the generated corpus: the
+    // pre-decoded threaded engine must be observationally identical to
+    // the decode loop on every variant — same result, same output, and
+    // the same `RunStats` to the last counter (the full 200-seed ×
+    // 6-variant sweep runs in `dispatch_bench`; this keeps a
+    // representative slice in the tier-1 suite).
+    use smlc::{Dispatch, VmConfig};
+    let cfg = GenConfig::default();
+    run_cases(
+        "generated_programs_agree_across_dispatch_engines",
+        30,
+        |rng| {
+            let src = gen_program(rng, &cfg);
+            for v in Variant::ALL {
+                let c = compile(&src, v)
+                    .unwrap_or_else(|e| panic!("[{}] compile failed: {e}\n{src}", v.name()));
+                let dec = c.run();
+                let thr = c.run_with(&VmConfig {
+                    dispatch: Dispatch::Threaded,
+                    ..v.vm_config()
+                });
+                assert_eq!(
+                    dec.result,
+                    thr.result,
+                    "[{}] engines disagree on the result for\n{src}",
+                    v.name()
+                );
+                assert_eq!(
+                    dec.output,
+                    thr.output,
+                    "[{}] engines disagree on the output for\n{src}",
+                    v.name()
+                );
+                assert_eq!(
+                    dec.stats,
+                    thr.stats,
+                    "[{}] engines disagree on RunStats for\n{src}",
+                    v.name()
+                );
+                assert_eq!(thr.dispatch.engine, Dispatch::Threaded);
+            }
+        },
+    );
+}
+
+#[test]
 fn seeded_corpus_is_stable() {
     // The generator is part of the reproducibility story: the corpus a
     // seed denotes must never drift silently. Pin one program's shape.

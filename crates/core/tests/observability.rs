@@ -67,10 +67,10 @@ fn metrics_doc_cross_check() {
 /// changed meaning.
 #[test]
 fn golden_default_metrics_document() {
-    assert_eq!(METRICS_SCHEMA_VERSION, 3);
+    assert_eq!(METRICS_SCHEMA_VERSION, 4);
     let compact = Metrics::default().to_json().to_string_compact();
     let expected = concat!(
-        "{\"schema_version\":3,\"variant\":\"sml.nrp\",",
+        "{\"schema_version\":4,\"variant\":\"sml.nrp\",",
         "\"compile\":{\"total_ms\":0.0,\"phases\":[],",
         "\"sizes\":{\"lexp\":0,\"cps_before\":0,\"cps_after\":0,\"code\":0},",
         "\"lty\":{\"interned\":0,\"intern_calls\":0,\"hashcons_hits\":0,",
@@ -90,6 +90,8 @@ fn golden_default_metrics_document() {
         "\"instrs_by_class\":{\"move\":0,\"int-arith\":0,\"float-arith\":0,",
         "\"memory\":0,\"alloc\":0,\"branch\":0,\"jump\":0,\"runtime\":0,",
         "\"control\":0,\"gc\":0}},",
+        "\"dispatch\":{\"engine\":\"decode\",\"superinstructions\":0,",
+        "\"stream_len\":0},",
         "\"cache\":{\"enabled\":false,\"hits\":0,\"misses\":0,",
         "\"evictions\":0,\"insertions\":0,\"entries\":0,\"capacity\":0},",
         "\"arena\":{\"resident\":0,\"hits\":0,\"misses\":0,\"retries\":0,",

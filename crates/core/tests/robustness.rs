@@ -143,7 +143,7 @@ fn error_taxonomy_tags_are_stable() {
 fn error_document_covers_every_failure_class() {
     let e = compile("val = =", Variant::Ffb).unwrap_err();
     let doc = smlc::error_json(Variant::Ffb, &e).to_string_compact();
-    assert!(doc.contains("\"schema_version\":3"));
+    assert!(doc.contains("\"schema_version\":4"));
     assert!(doc.contains("\"error\":"));
     assert!(doc.contains("\"kind\":\"parse\""));
     assert!(doc.contains("\"phase\":\"parse\""));

@@ -32,5 +32,5 @@ pub use convert::{convert, CpsConfig, CpsProgram, SpreadMode};
 pub use cps::{
     cty_of_lty, AllocOp, BranchOp, CVar, Cexp, Cty, FunDef, FunKind, LookOp, PureOp, SetOp, Value,
 };
-pub use optimize::{optimize, optimize_instrumented, OptConfig, OptStats};
+pub use optimize::{floor_div, floor_mod, optimize, optimize_instrumented, OptConfig, OptStats};
 pub use verify::{verify_closed_program, verify_cps, CpsVerifySummary, CpsViolation};

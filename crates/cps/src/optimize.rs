@@ -580,15 +580,47 @@ fn physical_index(
     }
 }
 
+/// SML floor division (`div`): the quotient rounded toward negative
+/// infinity, so `7 div ~2 = ~4` and `~7 div 2 = ~4`. This is **not**
+/// Rust's `/` (truncation) nor `i64::div_euclid` (which rounds *up* for
+/// negative divisors). Wrapping at the boundary: `i64::MIN div ~1`
+/// wraps to `i64::MIN`, matching the VM's ALU. The divisor must be
+/// nonzero — zero divisors are a runtime trap, never folded.
+pub fn floor_div(a: i64, b: i64) -> i64 {
+    let q = a.wrapping_div(b);
+    let r = a.wrapping_rem(b);
+    if r != 0 && (r < 0) != (b < 0) {
+        q.wrapping_sub(1)
+    } else {
+        q
+    }
+}
+
+/// SML floor modulus (`mod`): the remainder paired with [`floor_div`],
+/// taking the *divisor's* sign, so the quotient–remainder law
+/// `a = b * (a div b) + (a mod b)` holds for every sign combination
+/// (e.g. `7 mod ~2 = ~1`). The divisor must be nonzero.
+pub fn floor_mod(a: i64, b: i64) -> i64 {
+    let r = a.wrapping_rem(b);
+    if r != 0 && (r < 0) != (b < 0) {
+        r.wrapping_add(b)
+    } else {
+        r
+    }
+}
+
 fn fold_pure(op: PureOp, args: &[Value]) -> Option<Value> {
     use PureOp::*;
     match (op, args) {
         (IAdd, [Value::Int(a), Value::Int(b)]) => Some(Value::Int(a.wrapping_add(*b))),
         (ISub, [Value::Int(a), Value::Int(b)]) => Some(Value::Int(a.wrapping_sub(*b))),
         (IMul, [Value::Int(a), Value::Int(b)]) => Some(Value::Int(a.wrapping_mul(*b))),
-        (IDiv, [Value::Int(a), Value::Int(b)]) if *b != 0 => Some(Value::Int(a / b)),
-        (IMod, [Value::Int(a), Value::Int(b)]) if *b != 0 => Some(Value::Int(a.rem_euclid(*b))),
-        (INeg, [Value::Int(a)]) => Some(Value::Int(-a)),
+        // Floor semantics matching the VM ALU; a zero divisor refuses to
+        // fold so the runtime zero test (and its `Div` raise / Fault)
+        // survives optimization.
+        (IDiv, [Value::Int(a), Value::Int(b)]) if *b != 0 => Some(Value::Int(floor_div(*a, *b))),
+        (IMod, [Value::Int(a), Value::Int(b)]) if *b != 0 => Some(Value::Int(floor_mod(*a, *b))),
+        (INeg, [Value::Int(a)]) => Some(Value::Int(a.wrapping_neg())),
         (FAdd, [Value::Real(a), Value::Real(b)]) => Some(Value::Real(a + b)),
         (FSub, [Value::Real(a), Value::Real(b)]) => Some(Value::Real(a - b)),
         (FMul, [Value::Real(a), Value::Real(b)]) => Some(Value::Real(a * b)),
@@ -961,5 +993,84 @@ pub fn rename(e: &Cexp, map: &mut HashMap<CVar, Value>, next: &mut u32) -> Cexp 
             args: args.iter().map(|v| rv(v, map)).collect(),
         },
         Cexp::Halt { v } => Cexp::Halt { v: rv(v, map) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The SML definition: `a div b` floors, `a mod b` takes the
+    /// divisor's sign, and the quotient–remainder law ties them.
+    #[test]
+    fn floor_div_mod_all_sign_combinations() {
+        let cases = [
+            (7i64, 2i64, 3i64, 1i64),
+            (-7, 2, -4, 1),
+            (7, -2, -4, -1),
+            (-7, -2, 3, -1),
+            (6, 3, 2, 0),
+            (-6, 3, -2, 0),
+            (6, -3, -2, 0),
+            (-6, -3, 2, 0),
+            (0, 5, 0, 0),
+            (0, -5, 0, 0),
+        ];
+        for (a, b, q, r) in cases {
+            assert_eq!(floor_div(a, b), q, "{a} div {b}");
+            assert_eq!(floor_mod(a, b), r, "{a} mod {b}");
+            assert_eq!(
+                b.wrapping_mul(floor_div(a, b))
+                    .wrapping_add(floor_mod(a, b)),
+                a
+            );
+        }
+    }
+
+    #[test]
+    fn floor_div_wraps_at_i64_min() {
+        assert_eq!(floor_div(i64::MIN, -1), i64::MIN);
+        assert_eq!(floor_mod(i64::MIN, -1), 0);
+        assert_eq!(floor_div(i64::MIN, 1), i64::MIN);
+        assert_eq!(floor_mod(i64::MIN, 1), 0);
+        assert_eq!(floor_div(i64::MIN, -2), i64::MIN / -2);
+        assert_eq!(floor_mod(i64::MIN, -2), 0);
+    }
+
+    #[test]
+    fn fold_pure_matches_floor_semantics() {
+        use PureOp::*;
+        let int = |v: Option<Value>| match v {
+            Some(Value::Int(n)) => n,
+            other => panic!("expected an int fold, got {other:?}"),
+        };
+        for (a, b) in [(7i64, 2i64), (-7, 2), (7, -2), (-7, -2)] {
+            let args = [Value::Int(a), Value::Int(b)];
+            assert_eq!(int(fold_pure(IDiv, &args)), floor_div(a, b));
+            assert_eq!(int(fold_pure(IMod, &args)), floor_mod(a, b));
+        }
+    }
+
+    /// Boundary folds must wrap (like the VM ALU), not panic.
+    #[test]
+    fn fold_pure_survives_i64_min() {
+        use PureOp::*;
+        let args = [Value::Int(i64::MIN), Value::Int(-1)];
+        assert_eq!(fold_pure(IDiv, &args), Some(Value::Int(i64::MIN)));
+        assert_eq!(fold_pure(IMod, &args), Some(Value::Int(0)));
+        assert_eq!(
+            fold_pure(INeg, &[Value::Int(i64::MIN)]),
+            Some(Value::Int(i64::MIN))
+        );
+    }
+
+    /// A zero divisor must never fold: the runtime zero test that
+    /// raises `Div` (or the VM Fault) has to survive optimization.
+    #[test]
+    fn fold_pure_refuses_zero_divisors() {
+        use PureOp::*;
+        let args = [Value::Int(5), Value::Int(0)];
+        assert_eq!(fold_pure(IDiv, &args), None);
+        assert_eq!(fold_pure(IMod, &args), None);
     }
 }

@@ -10,6 +10,7 @@ pub mod disasm;
 pub mod heap;
 pub mod isa;
 pub mod sched;
+mod threaded;
 pub mod verify;
 pub mod vm;
 
@@ -18,8 +19,11 @@ pub use disasm::parse_instr;
 pub use heap::{GcKind, GcMode, Heap, HeapConfig, ObjKind, SliceOutcome};
 pub use isa::{CodeBlock, Instr, InstrClass, MachineProgram, N_INSTR_CLASSES};
 pub use sched::{SchedStats, TenantOutcome, TenantReport, VmScheduler};
-pub use verify::{verify_bytecode, BytecodeVerifySummary, BytecodeViolation};
+pub use verify::{
+    verify_bytecode, verify_threaded, BytecodeVerifySummary, BytecodeViolation,
+    ThreadedVerifySummary,
+};
 pub use vm::{
-    pause_bucket, run, FaultInject, Outcome, RunStats, VmConfig, VmInstance, VmResult,
-    N_PAUSE_BUCKETS, PAUSE_BUCKET_LIMITS,
+    pause_bucket, run, Dispatch, DispatchStats, FaultInject, Outcome, RunStats, VmConfig,
+    VmInstance, VmResult, N_PAUSE_BUCKETS, PAUSE_BUCKET_LIMITS,
 };

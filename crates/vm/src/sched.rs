@@ -14,14 +14,15 @@
 //!
 //! Fairness is bounded, not merely statistical: in every round each
 //! runnable tenant advances at most `quantum` cycles plus one bounded
-//! overshoot (the cycle cost of the single instruction, or GC pause,
-//! straddling the quantum edge). The largest observed overshoot is
+//! overshoot (the cycle cost of the single instruction — or fused
+//! instruction pair, for [`crate::vm::Dispatch::Threaded`] tenants —
+//! or GC pause straddling the quantum edge). The largest observed overshoot is
 //! reported in [`SchedStats::max_overshoot`]; with a GC pause budget
 //! set ([`VmConfig::max_pause_cycles`]) the overshoot is itself
 //! bounded by the pause budget plus the costliest single instruction.
 
 use crate::isa::MachineProgram;
-use crate::vm::{Outcome, RunStats, VmConfig, VmInstance, VmResult};
+use crate::vm::{DispatchStats, Outcome, RunStats, VmConfig, VmInstance, VmResult};
 
 /// How a tenant's run ended, from the scheduler's governance
 /// perspective. [`VmResult::Value`] and [`VmResult::Uncaught`] are both
@@ -65,6 +66,8 @@ pub struct TenantReport {
     pub output: String,
     /// The tenant's own counters (per-tenant `RunStats`).
     pub stats: RunStats,
+    /// The tenant's execution engine and pre-decode facts.
+    pub dispatch: DispatchStats,
     /// Scheduler slices this tenant consumed.
     pub slices: u64,
 }
@@ -188,12 +191,14 @@ impl<'p> VmScheduler<'p> {
                     result,
                     stats,
                     output,
+                    dispatch,
                 } = vm.into_outcome();
                 TenantReport {
                     outcome: TenantOutcome::of(&result),
                     result,
                     output,
                     stats,
+                    dispatch,
                     slices,
                 }
             })

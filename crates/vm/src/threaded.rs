@@ -1,0 +1,988 @@
+//! The threaded execution engine: pre-decoded dispatch with peephole
+//! superinstructions.
+//!
+//! [`predecode`] flattens each [`CodeBlock`]'s `Vec<Instr>` into a
+//! stream of compact, fixed-size [`TInstr`] handler records — the
+//! heap-carrying `Instr` is ~56 bytes with two levels of bounds-checked
+//! indexing per fetch, while a `TInstr` is a small `Copy` record
+//! fetched from one flat slice. A peephole selector fuses the hot
+//! adjacent pairs observed in the figure benchmarks — `LoadI`+`Arith`
+//! (constant operand feeding the ALU), `LoadI`/`Load`/`Arith` feeding a
+//! compare-and-branch, and `Move`+`Jump` (argument shuffle into a tail
+//! call) — into single superinstruction records, eliding one
+//! fetch/decode per pair. A pair is only formed when no branch targets
+//! its second instruction, so every branch target lands on a record
+//! boundary.
+//!
+//! [`run_slice_threaded`] executes the stream through the same
+//! `#[inline(always)]` [`Engine`] handlers as the decode loop, with
+//! byte-identical per-instruction accounting: each constituent of a
+//! superinstruction is counted, attributed, and fuel-checked exactly as
+//! if decoded separately (the fuel check between the halves mirrors the
+//! decode loop's top-of-iteration check). The only observable
+//! differences are wall-clock speed and slice-preemption granularity —
+//! a pair never splits across a scheduler slice, so a slice may overrun
+//! by one extra instruction.
+//!
+//! Instructions with vector operands or runtime-call bodies
+//! (`Alloc`, `Switch`, `Rt`, ...) stay in the original stream and
+//! execute through a [`TInstr::Slow`] record that defers to
+//! [`Engine::step`] — they are rare in hot code and not worth
+//! flattening.
+//!
+//! The pre-decoded stream is itself verified: `verify::verify_threaded`
+//! round-trips every record back to the original instructions and
+//! re-checks operand bounds, so the typed chain covers the stream the
+//! VM actually executes.
+
+use crate::isa::*;
+use crate::vm::{drain_barrier, Engine, VmInstance, VmResult};
+
+/// One pre-decoded handler record. Flat (no heap indirection), `Copy`,
+/// and small; branch targets are in *threaded* coordinates (record
+/// indices within the block's stream).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum TInstr {
+    Move {
+        d: Reg,
+        s: Reg,
+    },
+    FMove {
+        d: FReg,
+        s: FReg,
+    },
+    LoadI {
+        d: Reg,
+        imm: i64,
+    },
+    LoadF {
+        d: FReg,
+        imm: f64,
+    },
+    LoadStr {
+        d: Reg,
+        pool: u32,
+    },
+    LoadLabel {
+        d: Reg,
+        label: u32,
+    },
+    Arith {
+        op: AOp,
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    FArith {
+        op: FOp,
+        d: FReg,
+        a: FReg,
+        b: FReg,
+    },
+    FUnary {
+        op: FUOp,
+        d: FReg,
+        a: FReg,
+    },
+    Floor {
+        d: Reg,
+        a: FReg,
+    },
+    IntToReal {
+        d: FReg,
+        a: Reg,
+    },
+    Load {
+        d: Reg,
+        base: Reg,
+        off: u16,
+    },
+    Store {
+        s: Reg,
+        base: Reg,
+        off: u16,
+    },
+    StoreWB {
+        s: Reg,
+        base: Reg,
+        off: u16,
+    },
+    FLoad {
+        d: FReg,
+        base: Reg,
+        off: u16,
+    },
+    FStore {
+        s: FReg,
+        base: Reg,
+        off: u16,
+    },
+    LoadIdx {
+        d: Reg,
+        base: Reg,
+        idx: Reg,
+    },
+    StoreIdx {
+        s: Reg,
+        base: Reg,
+        idx: Reg,
+    },
+    StoreIdxWB {
+        s: Reg,
+        base: Reg,
+        idx: Reg,
+    },
+    ArrLen {
+        d: Reg,
+        a: Reg,
+    },
+    FBox {
+        d: Reg,
+        s: FReg,
+    },
+    FUnbox {
+        d: FReg,
+        s: Reg,
+    },
+    Branch {
+        op: BrOp,
+        a: Reg,
+        b: Reg,
+        t: u32,
+    },
+    FBranch {
+        op: FBrOp,
+        a: FReg,
+        b: FReg,
+        t: u32,
+    },
+    Jump {
+        label: u32,
+    },
+    JumpReg {
+        r: Reg,
+    },
+    GetHdlr {
+        d: Reg,
+    },
+    SetHdlr {
+        s: Reg,
+    },
+    Halt {
+        s: Reg,
+    },
+    Uncaught {
+        s: Reg,
+    },
+    /// Superinstruction: `LoadI di, imm` then `Arith op d, a, b`.
+    LoadIArith {
+        imm: i64,
+        di: Reg,
+        op: AOp,
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Superinstruction: `LoadI di, imm` then `Branch op a, b -> t`.
+    LoadIBranch {
+        imm: i64,
+        di: Reg,
+        op: BrOp,
+        a: Reg,
+        b: Reg,
+        t: u32,
+    },
+    /// Superinstruction: `Load dl, [base+off]` then `Branch op a, b -> t`.
+    LoadBranch {
+        dl: Reg,
+        base: Reg,
+        off: u16,
+        op: BrOp,
+        a: Reg,
+        b: Reg,
+        t: u32,
+    },
+    /// Superinstruction: `Arith aop ad, aa, ab` then `Branch op a, b -> t`.
+    ArithBranch {
+        aop: AOp,
+        ad: Reg,
+        aa: Reg,
+        ab: Reg,
+        op: BrOp,
+        a: Reg,
+        b: Reg,
+        t: u32,
+    },
+    /// Superinstruction: `Move d, s` then `Jump label` (tail-call
+    /// argument shuffle).
+    MoveJump {
+        d: Reg,
+        s: Reg,
+        label: u32,
+    },
+    /// Deferral to [`Engine::step`] on the original instruction at
+    /// `pc` (vector operands, runtime calls, or a branch whose target
+    /// cannot be mapped into the stream).
+    Slow {
+        pc: u32,
+    },
+}
+
+/// One block's pre-decoded stream plus the two coordinate maps between
+/// original pcs and record indices.
+pub(crate) struct ThreadedBlock {
+    /// The handler records.
+    pub(crate) code: Vec<TInstr>,
+    /// `pc_map[pc]` is the record containing original instruction `pc`
+    /// (length `n + 1`; `pc_map[n] == code.len()` so a fall-off-the-end
+    /// pc maps to the one-past-the-end record).
+    pub(crate) pc_map: Vec<u32>,
+    /// `tpc_to_pc[rec]` is the original pc of record `rec`'s first
+    /// constituent (length `code.len() + 1`;
+    /// `tpc_to_pc[code.len()] == n`).
+    pub(crate) tpc_to_pc: Vec<u32>,
+}
+
+/// A whole program's pre-decoded streams, built once per
+/// [`VmInstance`].
+pub(crate) struct ThreadedProgram {
+    pub(crate) blocks: Vec<ThreadedBlock>,
+    /// Superinstructions the peephole selector fused.
+    pub(crate) fused: u64,
+    /// Total handler records across all blocks.
+    pub(crate) stream_len: u64,
+}
+
+/// Is `(i1, i2)` a fusable pair? Branch-consuming pairs additionally
+/// require a mappable target (`target <= n`); an out-of-range target
+/// must fault with the original pc, which only the slow path preserves.
+fn fusable(i1: &Instr, i2: &Instr, n: usize) -> bool {
+    match (i1, i2) {
+        (Instr::LoadI { .. }, Instr::Arith { .. }) => true,
+        (
+            Instr::LoadI { .. } | Instr::Load { .. } | Instr::Arith { .. },
+            Instr::Branch { target, .. },
+        ) => *target as usize <= n,
+        (Instr::Move { .. }, Instr::Jump { .. }) => true,
+        _ => false,
+    }
+}
+
+/// Translates one unfused instruction into its flat record, or
+/// [`TInstr::Slow`] for the deferred set.
+fn translate_single(ins: &Instr, pc: usize, pc_map: &[u32], n: usize) -> TInstr {
+    match ins {
+        Instr::Move { d, s } => TInstr::Move { d: *d, s: *s },
+        Instr::FMove { d, s } => TInstr::FMove { d: *d, s: *s },
+        Instr::LoadI { d, imm } => TInstr::LoadI { d: *d, imm: *imm },
+        Instr::LoadF { d, imm } => TInstr::LoadF { d: *d, imm: *imm },
+        Instr::LoadStr { d, pool } => TInstr::LoadStr { d: *d, pool: *pool },
+        Instr::LoadLabel { d, label } => TInstr::LoadLabel {
+            d: *d,
+            label: *label,
+        },
+        Instr::Arith { op, d, a, b } => TInstr::Arith {
+            op: *op,
+            d: *d,
+            a: *a,
+            b: *b,
+        },
+        Instr::FArith { op, d, a, b } => TInstr::FArith {
+            op: *op,
+            d: *d,
+            a: *a,
+            b: *b,
+        },
+        Instr::FUnary { op, d, a } => TInstr::FUnary {
+            op: *op,
+            d: *d,
+            a: *a,
+        },
+        Instr::Floor { d, a } => TInstr::Floor { d: *d, a: *a },
+        Instr::IntToReal { d, a } => TInstr::IntToReal { d: *d, a: *a },
+        Instr::Load { d, base, off } => TInstr::Load {
+            d: *d,
+            base: *base,
+            off: *off,
+        },
+        Instr::Store { s, base, off } => TInstr::Store {
+            s: *s,
+            base: *base,
+            off: *off,
+        },
+        Instr::StoreWB { s, base, off } => TInstr::StoreWB {
+            s: *s,
+            base: *base,
+            off: *off,
+        },
+        Instr::FLoad { d, base, off } => TInstr::FLoad {
+            d: *d,
+            base: *base,
+            off: *off,
+        },
+        Instr::FStore { s, base, off } => TInstr::FStore {
+            s: *s,
+            base: *base,
+            off: *off,
+        },
+        Instr::LoadIdx { d, base, idx } => TInstr::LoadIdx {
+            d: *d,
+            base: *base,
+            idx: *idx,
+        },
+        Instr::StoreIdx { s, base, idx } => TInstr::StoreIdx {
+            s: *s,
+            base: *base,
+            idx: *idx,
+        },
+        Instr::StoreIdxWB { s, base, idx } => TInstr::StoreIdxWB {
+            s: *s,
+            base: *base,
+            idx: *idx,
+        },
+        Instr::ArrLen { d, a } => TInstr::ArrLen { d: *d, a: *a },
+        Instr::FBox { d, s } => TInstr::FBox { d: *d, s: *s },
+        Instr::FUnbox { d, s } => TInstr::FUnbox { d: *d, s: *s },
+        Instr::Branch { op, a, b, target } if *target as usize <= n => TInstr::Branch {
+            op: *op,
+            a: *a,
+            b: *b,
+            t: pc_map[*target as usize],
+        },
+        Instr::FBranch { op, a, b, target } if *target as usize <= n => TInstr::FBranch {
+            op: *op,
+            a: *a,
+            b: *b,
+            t: pc_map[*target as usize],
+        },
+        Instr::Jump { label } => TInstr::Jump { label: *label },
+        Instr::JumpReg { r } => TInstr::JumpReg { r: *r },
+        Instr::GetHdlr { d } => TInstr::GetHdlr { d: *d },
+        Instr::SetHdlr { s } => TInstr::SetHdlr { s: *s },
+        Instr::Halt { s } => TInstr::Halt { s: *s },
+        Instr::Uncaught { s } => TInstr::Uncaught { s: *s },
+        // Vector operands, runtime calls, and unmappable branch
+        // targets defer to the decode-path `step`.
+        _ => TInstr::Slow { pc: pc as u32 },
+    }
+}
+
+/// Builds the fused record for a pair selected by [`fusable`].
+fn translate_pair(i1: &Instr, i2: &Instr, pc_map: &[u32]) -> TInstr {
+    match (i1, i2) {
+        (Instr::LoadI { d: di, imm }, Instr::Arith { op, d, a, b }) => TInstr::LoadIArith {
+            imm: *imm,
+            di: *di,
+            op: *op,
+            d: *d,
+            a: *a,
+            b: *b,
+        },
+        (Instr::LoadI { d: di, imm }, Instr::Branch { op, a, b, target }) => TInstr::LoadIBranch {
+            imm: *imm,
+            di: *di,
+            op: *op,
+            a: *a,
+            b: *b,
+            t: pc_map[*target as usize],
+        },
+        (Instr::Load { d, base, off }, Instr::Branch { op, a, b, target }) => TInstr::LoadBranch {
+            dl: *d,
+            base: *base,
+            off: *off,
+            op: *op,
+            a: *a,
+            b: *b,
+            t: pc_map[*target as usize],
+        },
+        (
+            Instr::Arith { op: aop, d, a, b },
+            Instr::Branch {
+                op,
+                a: ba,
+                b: bb,
+                target,
+            },
+        ) => TInstr::ArithBranch {
+            aop: *aop,
+            ad: *d,
+            aa: *a,
+            ab: *b,
+            op: *op,
+            a: *ba,
+            b: *bb,
+            t: pc_map[*target as usize],
+        },
+        (Instr::Move { d, s }, Instr::Jump { label }) => TInstr::MoveJump {
+            d: *d,
+            s: *s,
+            label: *label,
+        },
+        _ => unreachable!("translate_pair on a pair fusable() rejected"),
+    }
+}
+
+/// Pre-decodes one block: segments the instruction stream into records
+/// (pass 1), then emits them with branch targets mapped into threaded
+/// coordinates (pass 2).
+fn predecode_block(b: &CodeBlock) -> (ThreadedBlock, u64) {
+    let instrs = &b.instrs;
+    let n = instrs.len();
+
+    // Original pcs that any branch in the block may target (a target
+    // beyond the block is left unmapped — the slow path preserves its
+    // fault pc). A targeted pc must start a record, so it blocks
+    // fusion as a second constituent.
+    let mut is_target = vec![false; n + 1];
+    let mut targets = Vec::new();
+    for ins in instrs {
+        targets.clear();
+        crate::verify::branch_targets(ins, &mut targets);
+        for &t in &targets {
+            if t as usize <= n {
+                is_target[t as usize] = true;
+            }
+        }
+    }
+
+    // Pass 1: segmentation. Decide which pcs fuse with their successor
+    // and assign every pc its record index.
+    let mut pc_map = vec![0u32; n + 1];
+    let mut starts: Vec<u32> = Vec::with_capacity(n);
+    let mut pair: Vec<bool> = Vec::with_capacity(n);
+    let mut pc = 0usize;
+    while pc < n {
+        let fuse = pc + 1 < n && !is_target[pc + 1] && fusable(&instrs[pc], &instrs[pc + 1], n);
+        let rec = starts.len() as u32;
+        pc_map[pc] = rec;
+        if fuse {
+            pc_map[pc + 1] = rec;
+        }
+        starts.push(pc as u32);
+        pair.push(fuse);
+        pc += if fuse { 2 } else { 1 };
+    }
+    pc_map[n] = starts.len() as u32;
+
+    // Pass 2: emission, now that every branch target's record index is
+    // known.
+    let mut code = Vec::with_capacity(starts.len());
+    let mut fused = 0u64;
+    for (rec, &start) in starts.iter().enumerate() {
+        let start = start as usize;
+        if pair[rec] {
+            fused += 1;
+            code.push(translate_pair(&instrs[start], &instrs[start + 1], &pc_map));
+        } else {
+            code.push(translate_single(&instrs[start], start, &pc_map, n));
+        }
+    }
+    let mut tpc_to_pc = starts;
+    tpc_to_pc.push(n as u32);
+    (
+        ThreadedBlock {
+            code,
+            pc_map,
+            tpc_to_pc,
+        },
+        fused,
+    )
+}
+
+/// Pre-decodes a whole program into threaded streams.
+pub(crate) fn predecode(prog: &MachineProgram) -> ThreadedProgram {
+    let mut blocks = Vec::with_capacity(prog.blocks.len());
+    let mut fused = 0u64;
+    let mut stream_len = 0u64;
+    for b in &prog.blocks {
+        let (tb, f) = predecode_block(b);
+        fused += f;
+        stream_len += tb.code.len() as u64;
+        blocks.push(tb);
+    }
+    ThreadedProgram {
+        blocks,
+        fused,
+        stream_len,
+    }
+}
+
+/// Expands a record back into original-coordinate [`Instr`]s (threaded
+/// branch targets mapped back through `tpc_to_pc`). Returns `None` for
+/// [`TInstr::Slow`], which carries no operand copy to round-trip. Used
+/// by `verify::verify_threaded`.
+pub(crate) fn expand(t: &TInstr, tb: &ThreadedBlock) -> Option<Vec<Instr>> {
+    let back = |t: u32| tb.tpc_to_pc[t as usize];
+    Some(match *t {
+        TInstr::Move { d, s } => vec![Instr::Move { d, s }],
+        TInstr::FMove { d, s } => vec![Instr::FMove { d, s }],
+        TInstr::LoadI { d, imm } => vec![Instr::LoadI { d, imm }],
+        TInstr::LoadF { d, imm } => vec![Instr::LoadF { d, imm }],
+        TInstr::LoadStr { d, pool } => vec![Instr::LoadStr { d, pool }],
+        TInstr::LoadLabel { d, label } => vec![Instr::LoadLabel { d, label }],
+        TInstr::Arith { op, d, a, b } => vec![Instr::Arith { op, d, a, b }],
+        TInstr::FArith { op, d, a, b } => vec![Instr::FArith { op, d, a, b }],
+        TInstr::FUnary { op, d, a } => vec![Instr::FUnary { op, d, a }],
+        TInstr::Floor { d, a } => vec![Instr::Floor { d, a }],
+        TInstr::IntToReal { d, a } => vec![Instr::IntToReal { d, a }],
+        TInstr::Load { d, base, off } => vec![Instr::Load { d, base, off }],
+        TInstr::Store { s, base, off } => vec![Instr::Store { s, base, off }],
+        TInstr::StoreWB { s, base, off } => vec![Instr::StoreWB { s, base, off }],
+        TInstr::FLoad { d, base, off } => vec![Instr::FLoad { d, base, off }],
+        TInstr::FStore { s, base, off } => vec![Instr::FStore { s, base, off }],
+        TInstr::LoadIdx { d, base, idx } => vec![Instr::LoadIdx { d, base, idx }],
+        TInstr::StoreIdx { s, base, idx } => vec![Instr::StoreIdx { s, base, idx }],
+        TInstr::StoreIdxWB { s, base, idx } => vec![Instr::StoreIdxWB { s, base, idx }],
+        TInstr::ArrLen { d, a } => vec![Instr::ArrLen { d, a }],
+        TInstr::FBox { d, s } => vec![Instr::FBox { d, s }],
+        TInstr::FUnbox { d, s } => vec![Instr::FUnbox { d, s }],
+        TInstr::Branch { op, a, b, t } => vec![Instr::Branch {
+            op,
+            a,
+            b,
+            target: back(t),
+        }],
+        TInstr::FBranch { op, a, b, t } => vec![Instr::FBranch {
+            op,
+            a,
+            b,
+            target: back(t),
+        }],
+        TInstr::Jump { label } => vec![Instr::Jump { label }],
+        TInstr::JumpReg { r } => vec![Instr::JumpReg { r }],
+        TInstr::GetHdlr { d } => vec![Instr::GetHdlr { d }],
+        TInstr::SetHdlr { s } => vec![Instr::SetHdlr { s }],
+        TInstr::Halt { s } => vec![Instr::Halt { s }],
+        TInstr::Uncaught { s } => vec![Instr::Uncaught { s }],
+        TInstr::LoadIArith {
+            imm,
+            di,
+            op,
+            d,
+            a,
+            b,
+        } => vec![Instr::LoadI { d: di, imm }, Instr::Arith { op, d, a, b }],
+        TInstr::LoadIBranch {
+            imm,
+            di,
+            op,
+            a,
+            b,
+            t,
+        } => vec![
+            Instr::LoadI { d: di, imm },
+            Instr::Branch {
+                op,
+                a,
+                b,
+                target: back(t),
+            },
+        ],
+        TInstr::LoadBranch {
+            dl,
+            base,
+            off,
+            op,
+            a,
+            b,
+            t,
+        } => vec![
+            Instr::Load { d: dl, base, off },
+            Instr::Branch {
+                op,
+                a,
+                b,
+                target: back(t),
+            },
+        ],
+        TInstr::ArithBranch {
+            aop,
+            ad,
+            aa,
+            ab,
+            op,
+            a,
+            b,
+            t,
+        } => vec![
+            Instr::Arith {
+                op: aop,
+                d: ad,
+                a: aa,
+                b: ab,
+            },
+            Instr::Branch {
+                op,
+                a,
+                b,
+                target: back(t),
+            },
+        ],
+        TInstr::MoveJump { d, s, label } => vec![Instr::Move { d, s }, Instr::Jump { label }],
+        TInstr::Slow { .. } => return None,
+    })
+}
+
+/// The threaded dispatch loop: same contract as the decode loop
+/// (`VmInstance::run_slice_decode`), same [`Engine`] handlers, same
+/// accounting — only the fetch/decode mechanics differ.
+pub(crate) fn run_slice_threaded(vm: &mut VmInstance<'_>, quantum: u64) -> bool {
+    if vm.finished.is_some() {
+        return true;
+    }
+    let stop_at = vm.stats.cycles.saturating_add(quantum);
+    let mut out: Option<VmResult> = None;
+    let (block, pc) = {
+        let tp = vm
+            .threaded
+            .as_ref()
+            .expect("threaded dispatch without a pre-decoded stream");
+        let mut eng = Engine {
+            prog: vm.prog,
+            cfg: &vm.cfg,
+            heap: &mut vm.heap,
+            pool_ptrs: &vm.pool_ptrs,
+            regs: &mut vm.regs,
+            fregs: &mut vm.fregs,
+            handler: &mut vm.handler,
+            stats: &mut vm.stats,
+            output: &mut vm.output,
+            yield_ctr: &mut vm.yield_ctr,
+            block: vm.block,
+            pc: vm.pc,
+        };
+        // The threaded program counter, plus the original pc to report
+        // if the current position has no threaded coordinate (an
+        // out-of-range pc carried in from a branch or a resume).
+        let mut tpc: usize;
+        let mut bad_pc: Option<usize>;
+        if eng.block < tp.blocks.len() {
+            let tb = &tp.blocks[eng.block];
+            if eng.pc < tb.pc_map.len() {
+                tpc = tb.pc_map[eng.pc] as usize;
+                bad_pc = None;
+            } else {
+                tpc = tb.code.len();
+                bad_pc = Some(eng.pc);
+            }
+        } else {
+            tpc = 0;
+            bad_pc = Some(eng.pc);
+        }
+
+        // Per-constituent accounting, identical to one decode-loop
+        // iteration: count, snapshot, execute, drain the read barrier,
+        // attribute mutator vs. GC cycles.
+        macro_rules! acct {
+            ($class:expr, $e:expr) => {{
+                let class = $class as usize;
+                eng.stats.instrs += 1;
+                eng.stats.instrs_by_class[class] += 1;
+                let cycles_before = eng.stats.cycles;
+                let gc_before = eng.stats.gc_cycles;
+                let r = $e;
+                drain_barrier(&mut *eng.heap, &mut *eng.stats);
+                let gc_delta = eng.stats.gc_cycles - gc_before;
+                eng.stats.cycles_by_class[class] += eng.stats.cycles - cycles_before - gc_delta;
+                eng.stats.cycles_by_class[InstrClass::Gc as usize] += gc_delta;
+                r
+            }};
+        }
+        macro_rules! trapcheck {
+            ($r:expr) => {
+                match $r {
+                    Ok(v) => v,
+                    Err(end) => {
+                        out = Some(end);
+                        break;
+                    }
+                }
+            };
+        }
+        // The decode loop checks fuel at the top of every iteration;
+        // between the halves of a fused pair this reproduces that
+        // check.
+        macro_rules! fuelcheck {
+            () => {
+                if eng.stats.cycles > eng.cfg.max_cycles {
+                    out = Some(VmResult::OutOfFuel);
+                    break;
+                }
+            };
+        }
+
+        loop {
+            if eng.stats.cycles > eng.cfg.max_cycles {
+                out = Some(VmResult::OutOfFuel);
+                break;
+            }
+            if eng.stats.cycles >= stop_at {
+                break; // quantum spent: preempted between records
+            }
+            if eng.block >= tp.blocks.len() || tpc >= tp.blocks[eng.block].code.len() {
+                let pc = bad_pc.unwrap_or_else(|| {
+                    if eng.block < tp.blocks.len() {
+                        tp.blocks[eng.block].tpc_to_pc[tpc] as usize
+                    } else {
+                        eng.pc
+                    }
+                });
+                out = Some(VmResult::Fault(format!(
+                    "instruction fetch out of range: block {} pc {}",
+                    eng.block, pc
+                )));
+                break;
+            }
+            let tb = &tp.blocks[eng.block];
+            match tb.code[tpc] {
+                TInstr::Move { d, s } => {
+                    acct!(InstrClass::Move, eng.m_move(d, s));
+                    tpc += 1;
+                }
+                TInstr::FMove { d, s } => {
+                    acct!(InstrClass::Move, eng.m_fmove(d, s));
+                    tpc += 1;
+                }
+                TInstr::LoadI { d, imm } => {
+                    acct!(InstrClass::Move, eng.m_loadi(d, imm));
+                    tpc += 1;
+                }
+                TInstr::LoadF { d, imm } => {
+                    acct!(InstrClass::Move, eng.m_loadf(d, imm));
+                    tpc += 1;
+                }
+                TInstr::LoadStr { d, pool } => {
+                    let r = acct!(InstrClass::Move, eng.m_loadstr(d, pool));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::LoadLabel { d, label } => {
+                    acct!(InstrClass::Move, eng.m_loadlabel(d, label));
+                    tpc += 1;
+                }
+                TInstr::Arith { op, d, a, b } => {
+                    let r = acct!(InstrClass::IntArith, eng.m_arith(op, d, a, b));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::FArith { op, d, a, b } => {
+                    acct!(InstrClass::FloatArith, eng.m_farith(op, d, a, b));
+                    tpc += 1;
+                }
+                TInstr::FUnary { op, d, a } => {
+                    acct!(InstrClass::FloatArith, eng.m_funary(op, d, a));
+                    tpc += 1;
+                }
+                TInstr::Floor { d, a } => {
+                    acct!(InstrClass::FloatArith, eng.m_floor(d, a));
+                    tpc += 1;
+                }
+                TInstr::IntToReal { d, a } => {
+                    acct!(InstrClass::FloatArith, eng.m_inttoreal(d, a));
+                    tpc += 1;
+                }
+                TInstr::Load { d, base, off } => {
+                    let r = acct!(InstrClass::Memory, eng.m_load(d, base, off));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::Store { s, base, off } => {
+                    let r = acct!(InstrClass::Memory, eng.m_store(s, base, off));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::StoreWB { s, base, off } => {
+                    let r = acct!(InstrClass::Memory, eng.m_storewb(s, base, off));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::FLoad { d, base, off } => {
+                    let r = acct!(InstrClass::Memory, eng.m_fload(d, base, off));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::FStore { s, base, off } => {
+                    let r = acct!(InstrClass::Memory, eng.m_fstore(s, base, off));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::LoadIdx { d, base, idx } => {
+                    let r = acct!(InstrClass::Memory, eng.m_loadidx(d, base, idx));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::StoreIdx { s, base, idx } => {
+                    let r = acct!(InstrClass::Memory, eng.m_storeidx(s, base, idx));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::StoreIdxWB { s, base, idx } => {
+                    let r = acct!(InstrClass::Memory, eng.m_storeidxwb(s, base, idx));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::ArrLen { d, a } => {
+                    let r = acct!(InstrClass::Memory, eng.m_arrlen(d, a));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::FBox { d, s } => {
+                    let r = acct!(InstrClass::Alloc, eng.m_fbox(d, s));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::FUnbox { d, s } => {
+                    let r = acct!(InstrClass::Memory, eng.m_funbox(d, s));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::Branch { op, a, b, t } => {
+                    let taken = acct!(InstrClass::Branch, eng.m_branch(op, a, b));
+                    tpc = if taken { tpc + 1 } else { t as usize };
+                }
+                TInstr::FBranch { op, a, b, t } => {
+                    let taken = acct!(InstrClass::Branch, eng.m_fbranch(op, a, b));
+                    tpc = if taken { tpc + 1 } else { t as usize };
+                }
+                TInstr::Jump { label } => {
+                    acct!(InstrClass::Jump, eng.m_jump());
+                    eng.block = label as usize;
+                    eng.pc = 0;
+                    bad_pc = None;
+                    tpc = 0;
+                }
+                TInstr::JumpReg { r } => {
+                    let r = acct!(InstrClass::Jump, eng.m_jumpreg(r));
+                    let target = trapcheck!(r);
+                    eng.block = target;
+                    eng.pc = 0;
+                    bad_pc = None;
+                    tpc = 0;
+                }
+                TInstr::GetHdlr { d } => {
+                    acct!(InstrClass::Control, eng.m_gethdlr(d));
+                    tpc += 1;
+                }
+                TInstr::SetHdlr { s } => {
+                    acct!(InstrClass::Control, eng.m_sethdlr(s));
+                    tpc += 1;
+                }
+                TInstr::Halt { s } => {
+                    let r: Result<(), VmResult> = acct!(InstrClass::Control, Err(eng.m_halt(s)));
+                    trapcheck!(r);
+                }
+                TInstr::Uncaught { s } => {
+                    let r: Result<(), VmResult> =
+                        acct!(InstrClass::Control, Err(eng.m_uncaught(s)));
+                    trapcheck!(r);
+                }
+                TInstr::LoadIArith {
+                    imm,
+                    di,
+                    op,
+                    d,
+                    a,
+                    b,
+                } => {
+                    acct!(InstrClass::Move, eng.m_loadi(di, imm));
+                    fuelcheck!();
+                    let r = acct!(InstrClass::IntArith, eng.m_arith(op, d, a, b));
+                    trapcheck!(r);
+                    tpc += 1;
+                }
+                TInstr::LoadIBranch {
+                    imm,
+                    di,
+                    op,
+                    a,
+                    b,
+                    t,
+                } => {
+                    acct!(InstrClass::Move, eng.m_loadi(di, imm));
+                    fuelcheck!();
+                    let taken = acct!(InstrClass::Branch, eng.m_branch(op, a, b));
+                    tpc = if taken { tpc + 1 } else { t as usize };
+                }
+                TInstr::LoadBranch {
+                    dl,
+                    base,
+                    off,
+                    op,
+                    a,
+                    b,
+                    t,
+                } => {
+                    let r = acct!(InstrClass::Memory, eng.m_load(dl, base, off));
+                    trapcheck!(r);
+                    fuelcheck!();
+                    let taken = acct!(InstrClass::Branch, eng.m_branch(op, a, b));
+                    tpc = if taken { tpc + 1 } else { t as usize };
+                }
+                TInstr::ArithBranch {
+                    aop,
+                    ad,
+                    aa,
+                    ab,
+                    op,
+                    a,
+                    b,
+                    t,
+                } => {
+                    let r = acct!(InstrClass::IntArith, eng.m_arith(aop, ad, aa, ab));
+                    trapcheck!(r);
+                    fuelcheck!();
+                    let taken = acct!(InstrClass::Branch, eng.m_branch(op, a, b));
+                    tpc = if taken { tpc + 1 } else { t as usize };
+                }
+                TInstr::MoveJump { d, s, label } => {
+                    acct!(InstrClass::Move, eng.m_move(d, s));
+                    fuelcheck!();
+                    acct!(InstrClass::Jump, eng.m_jump());
+                    eng.block = label as usize;
+                    eng.pc = 0;
+                    bad_pc = None;
+                    tpc = 0;
+                }
+                TInstr::Slow { pc } => {
+                    let pc = pc as usize;
+                    let instr = &eng.prog.blocks[eng.block].instrs[pc];
+                    eng.pc = pc + 1;
+                    let r = acct!(instr.class(), eng.step(instr));
+                    trapcheck!(r);
+                    // `step` may have redirected `eng.pc` (Switch,
+                    // string branches, an unmapped Branch); rejoin the
+                    // threaded stream at the record holding it.
+                    // Fall-through and every branch target land on a
+                    // record boundary, so the mapping is exact.
+                    let tb = &tp.blocks[eng.block];
+                    if eng.pc < tb.pc_map.len() {
+                        tpc = tb.pc_map[eng.pc] as usize;
+                        bad_pc = None;
+                    } else {
+                        tpc = tb.code.len();
+                        bad_pc = Some(eng.pc);
+                    }
+                }
+            }
+        }
+        // Translate the exit position back into original coordinates
+        // so resumption — under either engine — and fault reporting
+        // agree with the decode loop.
+        let pc = match bad_pc {
+            Some(p) => p,
+            None => {
+                if eng.block < tp.blocks.len() {
+                    tp.blocks[eng.block].tpc_to_pc[tpc] as usize
+                } else {
+                    eng.pc
+                }
+            }
+        };
+        (eng.block, pc)
+    };
+    vm.block = block;
+    vm.pc = pc;
+    vm.sync_heap_stats();
+    vm.finished = out;
+    vm.finished.is_some()
+}

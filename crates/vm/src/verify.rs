@@ -129,8 +129,10 @@ fn operand_regs(i: &Instr, regs: &mut Vec<Reg>, fregs: &mut Vec<FReg>) {
     }
 }
 
-/// The intra-block jump targets an instruction may transfer to.
-fn branch_targets(i: &Instr, targets: &mut Vec<u32>) {
+/// The intra-block jump targets an instruction may transfer to (also
+/// used by the threaded pre-decoder to keep branch targets on record
+/// boundaries).
+pub(crate) fn branch_targets(i: &Instr, targets: &mut Vec<u32>) {
     match i {
         Instr::Branch { target, .. }
         | Instr::FBranch { target, .. }
@@ -316,6 +318,134 @@ pub fn verify_bytecode(prog: &MachineProgram) -> Result<BytecodeVerifySummary, B
     }
     for (ix, b) in prog.blocks.iter().enumerate() {
         check_block(ix, b, prog.blocks.len(), prog.pool.len(), &mut sum)?;
+    }
+    Ok(sum)
+}
+
+/// Work counters reported by a successful [`verify_threaded`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadedVerifySummary {
+    /// Threaded handler records checked.
+    pub tinstrs: u64,
+    /// Superinstruction (fused-pair) records among them.
+    pub superinstructions: u64,
+}
+
+/// Verifies the pre-decoded threaded stream the [`Dispatch::Threaded`]
+/// (see [`crate::vm::Dispatch`]) engine would execute for this program:
+/// the pc coordinate maps must be mutually consistent, every threaded
+/// branch target must stay inside the stream, every record must
+/// round-trip (expand back to exactly the original instructions,
+/// compared by disassembly), and the expanded operands must respect
+/// register bounds. Pre-decodes internally, so a program that passes
+/// here executes identically under both engines' *static* views.
+pub fn verify_threaded(prog: &MachineProgram) -> Result<ThreadedVerifySummary, BytecodeViolation> {
+    use crate::threaded::{expand, predecode, TInstr};
+    let tp = predecode(prog);
+    let mut sum = ThreadedVerifySummary::default();
+    for (ix, (b, tb)) in prog.blocks.iter().zip(&tp.blocks).enumerate() {
+        let n = b.instrs.len();
+        if tb.pc_map.len() != n + 1
+            || tb.tpc_to_pc.len() != tb.code.len() + 1
+            || tb.pc_map[n] as usize != tb.code.len()
+            || tb.tpc_to_pc[tb.code.len()] as usize != n
+        {
+            return Err(violation(
+                "threaded-pc-map",
+                format!(
+                    "block L{ix}: coordinate maps sized {}/{} for {} instructions / {} records",
+                    tb.pc_map.len(),
+                    tb.tpc_to_pc.len(),
+                    n,
+                    tb.code.len()
+                ),
+            ));
+        }
+        for (rec, t) in tb.code.iter().enumerate() {
+            let start = tb.tpc_to_pc[rec] as usize;
+            if start >= n || tb.pc_map[start] as usize != rec {
+                return Err(violation(
+                    "threaded-pc-map",
+                    format!(
+                        "block L{ix}: record {rec} claims start pc {start} but pc_map disagrees"
+                    ),
+                ));
+            }
+            if let TInstr::Branch { t, .. }
+            | TInstr::FBranch { t, .. }
+            | TInstr::LoadIBranch { t, .. }
+            | TInstr::LoadBranch { t, .. }
+            | TInstr::ArithBranch { t, .. } = t
+            {
+                if *t as usize > tb.code.len() {
+                    return Err(violation(
+                        "threaded-target",
+                        format!(
+                            "block L{ix}: record {rec} branches to record {t} outside stream \
+                             of {} records",
+                            tb.code.len()
+                        ),
+                    ));
+                }
+            }
+            match expand(t, tb) {
+                None => {
+                    let TInstr::Slow { pc } = t else {
+                        unreachable!("only Slow records decline expansion")
+                    };
+                    if *pc as usize != start {
+                        return Err(violation(
+                            "threaded-round-trip",
+                            format!(
+                                "block L{ix}: slow record {rec} points at pc {pc}, \
+                                 expected {start}"
+                            ),
+                        ));
+                    }
+                }
+                Some(expansion) => {
+                    if expansion.len() == 2 {
+                        sum.superinstructions += 1;
+                    }
+                    for (k, e) in expansion.iter().enumerate() {
+                        let Some(orig) = b.instrs.get(start + k) else {
+                            return Err(violation(
+                                "threaded-round-trip",
+                                format!(
+                                    "block L{ix}: record {rec} expands past the end of the \
+                                     block at pc {}",
+                                    start + k
+                                ),
+                            ));
+                        };
+                        if format!("{e}") != format!("{orig}") {
+                            return Err(violation(
+                                "threaded-round-trip",
+                                format!(
+                                    "L{ix} @{}: stream decodes to `{e}` but the program \
+                                     has `{orig}`",
+                                    start + k
+                                ),
+                            ));
+                        }
+                        let mut regs = Vec::new();
+                        let mut fregs = Vec::new();
+                        operand_regs(e, &mut regs, &mut fregs);
+                        if let Some(r) = regs.iter().chain(fregs.iter()).find(|&&r| r >= MAX_REGS) {
+                            return Err(violation(
+                                "threaded-reg-range",
+                                format!(
+                                    "register r{r} out of range (max {}) at L{ix} @{}: {e}",
+                                    MAX_REGS - 1,
+                                    start + k
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            sum.tinstrs += 1;
+        }
     }
     Ok(sum)
 }

@@ -11,6 +11,31 @@
 //! major or semispace collection). Accesses to spill-modelled registers
 //! (32..63) pay 2 extra cycles each, approximating spill loads/stores.
 //!
+//! Integer `div`/`mod` use SML floor semantics ([`sml_cps::floor_div`] /
+//! [`sml_cps::floor_mod`]): the quotient rounds toward negative
+//! infinity, the remainder takes the divisor's sign, and the
+//! quotient–remainder law `a = b*(a div b) + a mod b` holds for every
+//! sign combination. A zero divisor traps as [`VmResult::Fault`] (the
+//! compiler guards source-level `div`/`mod` with an explicit zero test
+//! that raises the `Div` exception first, so this trap is only
+//! reachable from hand-built bytecode).
+//!
+//! # Execution engines
+//!
+//! Two dispatch engines share these semantics, selected by
+//! [`VmConfig::dispatch`]:
+//!
+//! * [`Dispatch::Decode`] — the classic fetch/decode `match` loop over
+//!   [`Instr`].
+//! * [`Dispatch::Threaded`] — the [`Instr`] stream is pre-decoded into a
+//!   flat threaded stream of compact handler records, with a peephole
+//!   selector fusing hot pairs (`LoadI`+`Arith`, load/compare+branch,
+//!   `Move`+`Jump`) into superinstructions (see `threaded.rs`).
+//!
+//! Both engines call the same `#[inline(always)]` per-instruction
+//! handlers on [`Engine`], so results, output, and every [`RunStats`]
+//! counter are identical between them; only wall-clock time differs.
+//!
 //! # Fault containment
 //!
 //! The interpreter never panics on program behavior: every memory access
@@ -27,6 +52,60 @@ use crate::heap::{
     decode, is_ptr, tag_int, untag_int, GcKind, GcMode, Heap, HeapConfig, ObjKind, SliceOutcome,
 };
 use crate::isa::*;
+use crate::threaded::ThreadedProgram;
+use sml_cps::{floor_div, floor_mod};
+
+/// Which execution engine runs the program (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Dispatch {
+    /// The classic decode-dispatch interpreter loop.
+    #[default]
+    Decode,
+    /// Pre-decoded threaded dispatch with peephole superinstructions.
+    Threaded,
+}
+
+impl Dispatch {
+    /// Stable lowercase name (the `--dispatch=` spelling and the JSON
+    /// `engine` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Dispatch::Decode => "decode",
+            Dispatch::Threaded => "threaded",
+        }
+    }
+}
+
+impl std::str::FromStr for Dispatch {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Dispatch, String> {
+        match s {
+            "decode" => Ok(Dispatch::Decode),
+            "threaded" => Ok(Dispatch::Threaded),
+            other => Err(format!(
+                "unknown dispatch engine '{other}' (expected decode|threaded)"
+            )),
+        }
+    }
+}
+
+/// Static facts about the execution engine a run used: which engine,
+/// and — for [`Dispatch::Threaded`] — how the pre-decoder did. These
+/// are properties of the (program, engine) pair, not runtime counters,
+/// so they live beside [`RunStats`] rather than inside it and are
+/// identical across runs of the same program.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// The engine that executed the program.
+    pub engine: Dispatch,
+    /// Superinstructions the peephole selector fused (0 under
+    /// [`Dispatch::Decode`]).
+    pub superinstructions: u64,
+    /// Total length of the pre-decoded threaded stream, in handler
+    /// records (0 under [`Dispatch::Decode`] — nothing is pre-decoded).
+    pub stream_len: u64,
+}
 
 /// VM configuration.
 #[derive(Clone, Copy, Debug)]
@@ -58,6 +137,10 @@ pub struct VmConfig {
     /// which is *reported* in [`RunStats::pause_overruns`] rather than
     /// silently violated.
     pub max_pause_cycles: u64,
+    /// Execution engine (see [`Dispatch`]); decode-dispatch by default.
+    /// Engine choice never changes results or [`RunStats`] counters —
+    /// only wall-clock speed.
+    pub dispatch: Dispatch,
     /// Fault-injection knobs for robustness testing.
     pub fault: FaultInject,
 }
@@ -72,6 +155,7 @@ impl Default for VmConfig {
             tenured_words: 8 << 20,
             promote_after: 2,
             max_pause_cycles: 0,
+            dispatch: Dispatch::Decode,
             fault: FaultInject::default(),
         }
     }
@@ -118,12 +202,14 @@ pub enum VmResult {
     HeapExhausted,
     /// A memory-safety or control-flow violation was contained: the
     /// payload says what was attempted (out-of-bounds load/store, jump
-    /// through a non-label, oversized object, ...).
+    /// through a non-label, division by zero, oversized object, ...).
     Fault(String),
 }
 
-/// Counters from a run.
-#[derive(Clone, Copy, Debug, Default)]
+/// Counters from a run. Fully deterministic — a program run twice (or
+/// under both [`Dispatch`] engines) produces equal `RunStats`, which is
+/// what the `PartialEq` derive is for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Modelled machine cycles (the execution-time metric).
     pub cycles: u64,
@@ -210,6 +296,8 @@ pub struct Outcome {
     pub stats: RunStats,
     /// Everything `print`ed.
     pub output: String,
+    /// Which engine ran, and what its pre-decoder did.
+    pub dispatch: DispatchStats,
 }
 
 /// Extracts the exception name from an uncaught-exception packet,
@@ -253,28 +341,33 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
 /// [`VmScheduler`](crate::sched::VmScheduler) time-slices many of them
 /// on a cycle quantum, each against its own heap quota.
 pub struct VmInstance<'p> {
-    prog: &'p MachineProgram,
-    cfg: VmConfig,
-    heap: Heap,
-    pool_ptrs: Vec<u32>,
-    regs: [u32; MAX_REGS as usize],
-    fregs: [f64; MAX_REGS as usize],
-    handler: u32,
-    stats: RunStats,
-    output: String,
-    block: usize,
-    pc: usize,
+    pub(crate) prog: &'p MachineProgram,
+    pub(crate) cfg: VmConfig,
+    pub(crate) heap: Heap,
+    pub(crate) pool_ptrs: Vec<u32>,
+    pub(crate) regs: [u32; MAX_REGS as usize],
+    pub(crate) fregs: [f64; MAX_REGS as usize],
+    pub(crate) handler: u32,
+    pub(crate) stats: RunStats,
+    pub(crate) output: String,
+    pub(crate) block: usize,
+    pub(crate) pc: usize,
     /// Incremental-major slices run since the last fault-injected
     /// yield (drives [`FaultInject::yield_every_n_slices`]).
-    yield_ctr: u64,
-    finished: Option<VmResult>,
+    pub(crate) yield_ctr: u64,
+    /// The pre-decoded threaded stream; built once at instance creation
+    /// when [`VmConfig::dispatch`] is [`Dispatch::Threaded`].
+    pub(crate) threaded: Option<ThreadedProgram>,
+    pub(crate) finished: Option<VmResult>,
 }
 
 impl<'p> VmInstance<'p> {
     /// Prepares a run: builds the heap (sizing the immortal region to
-    /// the literal pool so pool loading can never exhaust it) and loads
-    /// the literals. A literal the descriptor cannot encode marks the
-    /// instance finished with a `Fault` before the first step.
+    /// the literal pool so pool loading can never exhaust it), loads
+    /// the literals, and — under [`Dispatch::Threaded`] — pre-decodes
+    /// the instruction stream. A literal the descriptor cannot encode
+    /// marks the instance finished with a `Fault` before the first
+    /// step.
     pub fn new(prog: &'p MachineProgram, cfg: &VmConfig) -> VmInstance<'p> {
         let static_need: usize = prog
             .pool
@@ -307,6 +400,10 @@ impl<'p> VmInstance<'p> {
                 pool_ptrs.push(heap.alloc_static_string(s));
             }
         }
+        let threaded = match cfg.dispatch {
+            Dispatch::Decode => None,
+            Dispatch::Threaded => Some(crate::threaded::predecode(prog)),
+        };
         VmInstance {
             prog,
             cfg: *cfg,
@@ -320,6 +417,7 @@ impl<'p> VmInstance<'p> {
             block: prog.entry as usize,
             pc: 0,
             yield_ctr: 0,
+            threaded,
             finished,
         }
     }
@@ -350,654 +448,56 @@ impl<'p> VmInstance<'p> {
         &self.heap
     }
 
+    /// Which engine this instance runs on, and what its pre-decoder
+    /// did (all zeros under [`Dispatch::Decode`]).
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        match &self.threaded {
+            Some(tp) => DispatchStats {
+                engine: Dispatch::Threaded,
+                superinstructions: tp.fused,
+                stream_len: tp.stream_len,
+            },
+            None => DispatchStats {
+                engine: Dispatch::Decode,
+                superinstructions: 0,
+                stream_len: 0,
+            },
+        }
+    }
+
     /// Consumes a finished instance into an [`Outcome`].
     ///
     /// # Panics
     ///
     /// Panics if the run has not finished.
     pub fn into_outcome(self) -> Outcome {
+        let dispatch = self.dispatch_stats();
         Outcome {
             result: self.finished.expect("VM instance still running"),
             stats: self.stats,
             output: self.output,
+            dispatch,
         }
     }
 
     /// Executes until roughly `quantum` more cycles have been charged
     /// (preemption is checked between instructions, so a slice overruns
-    /// by at most one instruction's cost — including its GC pause,
-    /// which a pause budget keeps bounded) or the run ends. Returns
-    /// `true` when the run is finished, `false` when preempted.
+    /// by at most one instruction's cost — two for a threaded
+    /// superinstruction pair, which never splits across slices —
+    /// including its GC pause, which a pause budget keeps bounded) or
+    /// the run ends. Returns `true` when the run is finished, `false`
+    /// when preempted.
     pub fn run_slice(&mut self, quantum: u64) -> bool {
-        if self.finished.is_some() {
-            return true;
+        match self.cfg.dispatch {
+            Dispatch::Decode => self.run_slice_decode(quantum),
+            Dispatch::Threaded => crate::threaded::run_slice_threaded(self, quantum),
         }
-        let stop_at = self.stats.cycles.saturating_add(quantum);
-        // Split borrows: block/pc/handler are copied into locals (the
-        // hot interpreter state) and written back at every exit.
-        let prog = self.prog;
-        let cfg = &self.cfg;
-        let heap = &mut self.heap;
-        let pool_ptrs = &self.pool_ptrs;
-        let regs = &mut self.regs;
-        let fregs = &mut self.fregs;
-        let stats = &mut self.stats;
-        let output = &mut self.output;
-        let yield_ctr = &mut self.yield_ctr;
-        let mut block = self.block;
-        let mut pc = self.pc;
-        let mut handler = self.handler;
-        // `None` = preempted mid-run; `Some` = the run ended.
-        let mut out: Option<VmResult> = None;
+    }
 
-        macro_rules! spillcost {
-            ($($r:expr),*) => {
-                $( if $r >= HW_REGS { stats.cycles += 2; } )*
-            };
-        }
-
-        loop {
-            if stats.cycles > cfg.max_cycles {
-                out = Some(VmResult::OutOfFuel);
-                break;
-            }
-            if stats.cycles >= stop_at {
-                break; // quantum spent: preempted between instructions
-            }
-            if block >= prog.blocks.len() || pc >= prog.blocks[block].instrs.len() {
-                out = Some(VmResult::Fault(format!(
-                    "instruction fetch out of range: block {block} pc {pc}"
-                )));
-                break;
-            }
-            let instr = &prog.blocks[block].instrs[pc];
-            pc += 1;
-            stats.instrs += 1;
-            // Per-class accounting: everything the match arm adds to
-            // `cycles` lands in the instruction's class, except collector
-            // work (`gc` bumps `gc_cycles`), which lands in the Gc
-            // pseudo-class so the breakdown still sums to `cycles`.
-            let class = instr.class() as usize;
-            stats.instrs_by_class[class] += 1;
-            let cycles_before = stats.cycles;
-            let gc_cycles_before = stats.gc_cycles;
-
-            // Ends the run mid-instruction: attributes the cycles this
-            // instruction accrued so far to its class (keeping the
-            // by-class breakdown summing to `cycles`) and breaks out.
-            macro_rules! trap {
-                ($result:expr) => {{
-                    drain_barrier(heap, stats);
-                    let gc_delta = stats.gc_cycles - gc_cycles_before;
-                    stats.cycles_by_class[class] += stats.cycles - cycles_before - gc_delta;
-                    stats.cycles_by_class[InstrClass::Gc as usize] += gc_delta;
-                    out = Some($result);
-                    break;
-                }};
-            }
-            // Bounds-checks one object access; traps as a Fault on
-            // violation.
-            macro_rules! mem {
-                ($ptr:expr, $off:expr, $n:expr) => {
-                    if let Err(why) = heap.check_access($ptr, $off, $n) {
-                        trap!(VmResult::Fault(why));
-                    }
-                };
-            }
-            // Validates a string operand; traps as a Fault on violation.
-            macro_rules! strchk {
-                ($ptr:expr) => {
-                    if let Err(why) = heap.check_string($ptr) {
-                        trap!(VmResult::Fault(why));
-                    }
-                };
-            }
-            // Runs the allocation protocol for `want` body words:
-            // injected failure, forced or scheduled minor collection
-            // (or slice pumping while an incremental major is active),
-            // then a major collection — pumped to completion unless a
-            // fault-injected yield interleaves the mutator — as the
-            // final attempt before the HeapExhausted trap.
-            macro_rules! alloc_guard {
-                ($want:expr) => {{
-                    let want: usize = $want;
-                    if cfg.fault.fail_alloc_at == Some(heap.n_allocs + 1) {
-                        trap!(VmResult::HeapExhausted);
-                    }
-                    if heap.is_exhausted() {
-                        trap!(VmResult::HeapExhausted);
-                    }
-                    let forced = cfg
-                        .fault
-                        .gc_every_n_allocs
-                        .is_some_and(|k| k > 0 && (heap.n_allocs + 1) % k == 0);
-                    // `true` once a full major has finished in this
-                    // guard: if room is still short after that, the
-                    // heap is genuinely exhausted.
-                    let mut major_done = false;
-                    if heap.major_active() {
-                        // Resume the yielded incremental major.
-                        match pump_major(
-                            heap,
-                            &mut regs[..],
-                            &mut handler,
-                            stats,
-                            cfg,
-                            yield_ctr,
-                            want,
-                        ) {
-                            Pump::Overflow => trap!(VmResult::HeapExhausted),
-                            Pump::Done => major_done = true,
-                            Pump::Yielded => {}
-                        }
-                    } else if forced || heap.needs_gc(want) {
-                        if heap.is_generational() || cfg.max_pause_cycles == 0 {
-                            gc(
-                                heap,
-                                &mut regs[..],
-                                &mut handler,
-                                stats,
-                                GcKind::Minor,
-                                cfg.max_pause_cycles,
-                            );
-                        } else {
-                            // Semispace with a pause budget: the
-                            // scheduled full collection is sliced too.
-                            match pump_major(
-                                heap,
-                                &mut regs[..],
-                                &mut handler,
-                                stats,
-                                cfg,
-                                yield_ctr,
-                                want,
-                            ) {
-                                Pump::Overflow => trap!(VmResult::HeapExhausted),
-                                Pump::Done => major_done = true,
-                                Pump::Yielded => {}
-                            }
-                        }
-                    }
-                    if !heap.has_room(want) {
-                        if major_done {
-                            trap!(VmResult::HeapExhausted);
-                        }
-                        match pump_major(
-                            heap,
-                            &mut regs[..],
-                            &mut handler,
-                            stats,
-                            cfg,
-                            yield_ctr,
-                            want,
-                        ) {
-                            Pump::Overflow => trap!(VmResult::HeapExhausted),
-                            _ => {}
-                        }
-                        if !heap.has_room(want) {
-                            trap!(VmResult::HeapExhausted);
-                        }
-                    }
-                }};
-            }
-
-            match instr {
-                Instr::Move { d, s } => {
-                    spillcost!(*d, *s);
-                    stats.cycles += 1;
-                    regs[*d as usize] = regs[*s as usize];
-                }
-                Instr::FMove { d, s } => {
-                    spillcost!(*d, *s);
-                    stats.cycles += 1;
-                    fregs[*d as usize] = fregs[*s as usize];
-                }
-                Instr::LoadI { d, imm } => {
-                    spillcost!(*d);
-                    stats.cycles += 1;
-                    regs[*d as usize] = tag_int(*imm);
-                }
-                Instr::LoadF { d, imm } => {
-                    spillcost!(*d);
-                    stats.cycles += 2;
-                    fregs[*d as usize] = *imm;
-                }
-                Instr::LoadStr { d, pool } => {
-                    spillcost!(*d);
-                    stats.cycles += 1;
-                    if *pool as usize >= pool_ptrs.len() {
-                        trap!(VmResult::Fault(format!(
-                            "string pool index {pool} out of range"
-                        )));
-                    }
-                    regs[*d as usize] = pool_ptrs[*pool as usize];
-                }
-                Instr::LoadLabel { d, label } => {
-                    spillcost!(*d);
-                    stats.cycles += 1;
-                    regs[*d as usize] = tag_int(*label as i64);
-                }
-                Instr::Arith { op, d, a, b } => {
-                    spillcost!(*d, *a, *b);
-                    let x = untag_int(regs[*a as usize]);
-                    let y = untag_int(regs[*b as usize]);
-                    let (v, cost) = match op {
-                        AOp::Add => (x.wrapping_add(y), 1),
-                        AOp::Sub => (x.wrapping_sub(y), 1),
-                        AOp::Mul => (x.wrapping_mul(y), 4),
-                        AOp::Div => (if y == 0 { 0 } else { x.wrapping_div(y) }, 12),
-                        AOp::Mod => (if y == 0 { 0 } else { x.rem_euclid(y) }, 12),
-                    };
-                    stats.cycles += cost;
-                    regs[*d as usize] = tag_int(v);
-                }
-                Instr::FArith { op, d, a, b } => {
-                    spillcost!(*d, *a, *b);
-                    let x = fregs[*a as usize];
-                    let y = fregs[*b as usize];
-                    let (v, cost) = match op {
-                        FOp::Add => (x + y, 2),
-                        FOp::Sub => (x - y, 2),
-                        FOp::Mul => (x * y, 4),
-                        FOp::Div => (x / y, 12),
-                    };
-                    stats.cycles += cost;
-                    fregs[*d as usize] = v;
-                }
-                Instr::FUnary { op, d, a } => {
-                    spillcost!(*d, *a);
-                    let x = fregs[*a as usize];
-                    let (v, cost) = match op {
-                        FUOp::Neg => (-x, 2),
-                        FUOp::Sqrt => (x.sqrt(), 20),
-                        FUOp::Sin => (x.sin(), 20),
-                        FUOp::Cos => (x.cos(), 20),
-                        FUOp::Atan => (x.atan(), 20),
-                        FUOp::Exp => (x.exp(), 20),
-                        FUOp::Ln => (x.ln(), 20),
-                    };
-                    stats.cycles += cost;
-                    fregs[*d as usize] = v;
-                }
-                Instr::Floor { d, a } => {
-                    spillcost!(*d, *a);
-                    stats.cycles += 3;
-                    regs[*d as usize] = tag_int(fregs[*a as usize].floor() as i64);
-                }
-                Instr::IntToReal { d, a } => {
-                    spillcost!(*d, *a);
-                    stats.cycles += 3;
-                    fregs[*d as usize] = untag_int(regs[*a as usize]) as f64;
-                }
-                Instr::Load { d, base, off } => {
-                    spillcost!(*d, *base);
-                    stats.cycles += 2;
-                    mem!(regs[*base as usize], *off as usize, 1);
-                    // Through the read barrier: during an active
-                    // incremental major a from-space target is evacuated
-                    // and the slot healed, so registers only ever hold
-                    // to-space pointers.
-                    regs[*d as usize] = heap.load_healed(regs[*base as usize], *off as usize);
-                }
-                Instr::Store { s, base, off } => {
-                    spillcost!(*s, *base);
-                    stats.cycles += 2;
-                    mem!(regs[*base as usize], *off as usize, 1);
-                    // Unboxed stores skip the barrier; the compiler must
-                    // prove the value is a non-pointer (paper §4.4).
-                    debug_assert!(
-                        !heap.would_need_barrier(regs[*base as usize], regs[*s as usize]),
-                        "unbarriered Store created a tenured→nursery pointer"
-                    );
-                    heap.store(regs[*base as usize], *off as usize, regs[*s as usize]);
-                }
-                Instr::StoreWB { s, base, off } => {
-                    spillcost!(*s, *base);
-                    stats.cycles += 4; // store + generational bookkeeping
-                    mem!(regs[*base as usize], *off as usize, 1);
-                    heap.store_barriered(regs[*base as usize], *off as usize, regs[*s as usize]);
-                }
-                Instr::FLoad { d, base, off } => {
-                    spillcost!(*d, *base);
-                    stats.cycles += 4; // two single-word loads
-                    mem!(regs[*base as usize], *off as usize, 2);
-                    fregs[*d as usize] = heap.load_f64(regs[*base as usize], *off as usize);
-                }
-                Instr::FStore { s, base, off } => {
-                    spillcost!(*s, *base);
-                    stats.cycles += 4;
-                    mem!(regs[*base as usize], *off as usize, 2);
-                    heap.store_f64(regs[*base as usize], *off as usize, fregs[*s as usize]);
-                }
-                Instr::LoadIdx { d, base, idx } => {
-                    spillcost!(*d, *base, *idx);
-                    stats.cycles += 3;
-                    let i = untag_int(regs[*idx as usize]);
-                    if i < 0 {
-                        trap!(VmResult::Fault(format!("negative index {i}")));
-                    }
-                    mem!(regs[*base as usize], i as usize, 1);
-                    regs[*d as usize] = heap.load_healed(regs[*base as usize], i as usize);
-                }
-                Instr::StoreIdx { s, base, idx } => {
-                    spillcost!(*s, *base, *idx);
-                    stats.cycles += 3;
-                    let i = untag_int(regs[*idx as usize]);
-                    if i < 0 {
-                        trap!(VmResult::Fault(format!("negative index {i}")));
-                    }
-                    mem!(regs[*base as usize], i as usize, 1);
-                    debug_assert!(
-                        !heap.would_need_barrier(regs[*base as usize], regs[*s as usize]),
-                        "unbarriered StoreIdx created a tenured→nursery pointer"
-                    );
-                    heap.store(regs[*base as usize], i as usize, regs[*s as usize]);
-                }
-                Instr::StoreIdxWB { s, base, idx } => {
-                    spillcost!(*s, *base, *idx);
-                    stats.cycles += 5;
-                    let i = untag_int(regs[*idx as usize]);
-                    if i < 0 {
-                        trap!(VmResult::Fault(format!("negative index {i}")));
-                    }
-                    mem!(regs[*base as usize], i as usize, 1);
-                    heap.store_barriered(regs[*base as usize], i as usize, regs[*s as usize]);
-                }
-                Instr::Alloc {
-                    d,
-                    kind,
-                    words,
-                    flts,
-                } => {
-                    spillcost!(*d);
-                    let total = words.len() + 2 * flts.len();
-                    alloc_guard!(total);
-                    let k = match kind {
-                        AllocKind::Record => ObjKind::Record,
-                        AllocKind::Ref => ObjKind::Ref,
-                    };
-                    let Some(p) = heap.alloc(k, words.len() as u32, flts.len() as u32) else {
-                        trap!(VmResult::HeapExhausted);
-                    };
-                    // Initializing stores go through the barrier too: large
-                    // objects allocate directly in tenured space and may be
-                    // initialized with nursery pointers.
-                    for (i, r) in words.iter().enumerate() {
-                        heap.store_barriered(p, i, regs[*r as usize]);
-                    }
-                    for (j, f) in flts.iter().enumerate() {
-                        heap.store_f64(p, words.len() + 2 * j, fregs[*f as usize]);
-                    }
-                    stats.cycles += 1 + total as u64 + 2 * flts.len() as u64;
-                    regs[*d as usize] = p;
-                }
-                Instr::AllocArr { d, len, init } => {
-                    spillcost!(*d, *len, *init);
-                    let n = untag_int(regs[*len as usize]).max(0) as usize;
-                    if n > Heap::MAX_ARRAY_LEN {
-                        trap!(VmResult::Fault(format!(
-                            "array of {n} elements exceeds the descriptor limit of {}",
-                            Heap::MAX_ARRAY_LEN
-                        )));
-                    }
-                    alloc_guard!(n);
-                    let Some(p) = heap.alloc(ObjKind::Array, n as u32, 0) else {
-                        trap!(VmResult::HeapExhausted);
-                    };
-                    let v = regs[*init as usize];
-                    for i in 0..n {
-                        heap.store_barriered(p, i, v);
-                    }
-                    stats.cycles += 1 + n as u64;
-                    regs[*d as usize] = p;
-                }
-                Instr::ArrLen { d, a } => {
-                    spillcost!(*d, *a);
-                    stats.cycles += 2;
-                    mem!(regs[*a as usize], 0, 0);
-                    let (_, nscan, _) = crate::heap::decode(heap.desc(regs[*a as usize]));
-                    regs[*d as usize] = tag_int(nscan as i64);
-                }
-                Instr::FBox { d, s } => {
-                    spillcost!(*d, *s);
-                    alloc_guard!(2);
-                    let Some(p) = heap.alloc(ObjKind::BoxedFloat, 0, 1) else {
-                        trap!(VmResult::HeapExhausted);
-                    };
-                    heap.store_f64(p, 0, fregs[*s as usize]);
-                    stats.cycles += 1 + 2 + 4; // descriptor+bump, then two stores
-                    regs[*d as usize] = p;
-                }
-                Instr::FUnbox { d, s } => {
-                    spillcost!(*d, *s);
-                    stats.cycles += 4;
-                    mem!(regs[*s as usize], 0, 2);
-                    fregs[*d as usize] = heap.load_f64(regs[*s as usize], 0);
-                }
-                Instr::Branch { op, a, b, target } => {
-                    spillcost!(*a, *b);
-                    stats.cycles += 1;
-                    let x = regs[*a as usize];
-                    let y = regs[*b as usize];
-                    let taken = match op {
-                        BrOp::Lt => untag_int(x) < untag_int(y),
-                        BrOp::Le => untag_int(x) <= untag_int(y),
-                        BrOp::Gt => untag_int(x) > untag_int(y),
-                        BrOp::Ge => untag_int(x) >= untag_int(y),
-                        BrOp::Eq => x == y,
-                        BrOp::Ne => x != y,
-                        BrOp::Boxed => is_ptr(x),
-                    };
-                    if !taken {
-                        pc = *target as usize;
-                    }
-                }
-                Instr::FBranch { op, a, b, target } => {
-                    spillcost!(*a, *b);
-                    stats.cycles += 2;
-                    let x = fregs[*a as usize];
-                    let y = fregs[*b as usize];
-                    let taken = match op {
-                        FBrOp::Lt => x < y,
-                        FBrOp::Le => x <= y,
-                        FBrOp::Gt => x > y,
-                        FBrOp::Ge => x >= y,
-                        FBrOp::Eq => x == y,
-                        FBrOp::Ne => x != y,
-                    };
-                    if !taken {
-                        pc = *target as usize;
-                    }
-                }
-                Instr::SBranch { op, a, b, target } => {
-                    spillcost!(*a, *b);
-                    strchk!(regs[*a as usize]);
-                    strchk!(regs[*b as usize]);
-                    let sa = heap.read_string(regs[*a as usize]);
-                    let sb = heap.read_string(regs[*b as usize]);
-                    stats.cycles += 3 + (sa.len().min(sb.len()) as u64) / 4;
-                    let taken = match op {
-                        SBrOp::Eq => sa == sb,
-                        SBrOp::Ne => sa != sb,
-                        SBrOp::Lt => sa < sb,
-                        SBrOp::Le => sa <= sb,
-                        SBrOp::Gt => sa > sb,
-                        SBrOp::Ge => sa >= sb,
-                    };
-                    if !taken {
-                        pc = *target as usize;
-                    }
-                }
-                Instr::PolyEqBranch { a, b, target } => {
-                    spillcost!(*a, *b);
-                    let (wa, wb) = (regs[*a as usize], regs[*b as usize]);
-                    if is_ptr(wa) {
-                        mem!(wa, 0, 0);
-                    }
-                    if is_ptr(wb) {
-                        mem!(wb, 0, 0);
-                    }
-                    let (eq, cost) = heap.poly_eq(wa, wb);
-                    // Runtime-call overhead (save/restore, dispatch on the
-                    // descriptor) plus the traversal.
-                    stats.cycles += 15 + 3 * cost;
-                    if !eq {
-                        pc = *target as usize;
-                    }
-                }
-                Instr::Switch {
-                    r,
-                    lo,
-                    table,
-                    default,
-                } => {
-                    spillcost!(*r);
-                    stats.cycles += 3; // bounds check + table load + indirect jump
-                    let n = untag_int(regs[*r as usize]);
-                    let idx = n - lo;
-                    pc = if idx >= 0 && (idx as usize) < table.len() {
-                        table[idx as usize] as usize
-                    } else {
-                        *default as usize
-                    };
-                }
-                Instr::Jump { label } => {
-                    stats.cycles += 1;
-                    if cfg.fp3_overhead {
-                        stats.cycles += 1;
-                    }
-                    block = *label as usize;
-                    pc = 0;
-                }
-                Instr::JumpReg { r } => {
-                    spillcost!(*r);
-                    stats.cycles += 2;
-                    if cfg.fp3_overhead {
-                        stats.cycles += 1;
-                    }
-                    let w = regs[*r as usize];
-                    if is_ptr(w) {
-                        trap!(VmResult::Fault(format!(
-                            "jump through non-label {w:#x} from block {} ({})",
-                            block, prog.blocks[block].name
-                        )));
-                    }
-                    let target = untag_int(w);
-                    if target < 0 || target as usize >= prog.blocks.len() {
-                        trap!(VmResult::Fault(format!(
-                            "jump target {target} out of range from block {} ({})",
-                            block, prog.blocks[block].name
-                        )));
-                    }
-                    block = target as usize;
-                    pc = 0;
-                }
-                Instr::Rt { op, d, a, b, fa } => {
-                    spillcost!(*d, *a, *b);
-                    match op {
-                        RtOp::StrCat => {
-                            strchk!(regs[*a as usize]);
-                            strchk!(regs[*b as usize]);
-                            let sa = heap.read_string(regs[*a as usize]);
-                            let sb = heap.read_string(regs[*b as usize]);
-                            let joined = sa + &sb;
-                            if joined.len() > Heap::MAX_STRING_BYTES {
-                                trap!(VmResult::Fault(format!(
-                                    "string of {} bytes exceeds the descriptor limit of {}",
-                                    joined.len(),
-                                    Heap::MAX_STRING_BYTES
-                                )));
-                            }
-                            let words = joined.len().div_ceil(4);
-                            alloc_guard!(words);
-                            stats.cycles += 5 + words as u64;
-                            let Some(p) = heap.alloc_string(&joined) else {
-                                trap!(VmResult::HeapExhausted);
-                            };
-                            regs[*d as usize] = p;
-                        }
-                        RtOp::StrSize => {
-                            stats.cycles += 2;
-                            strchk!(regs[*a as usize]);
-                            regs[*d as usize] = tag_int(heap.string_len(regs[*a as usize]) as i64);
-                        }
-                        RtOp::StrSub => {
-                            stats.cycles += 3;
-                            strchk!(regs[*a as usize]);
-                            let i = untag_int(regs[*b as usize]);
-                            let len = heap.string_len(regs[*a as usize]);
-                            if i < 0 || i as usize >= len {
-                                trap!(VmResult::Fault(format!(
-                                    "string index {i} out of bounds for length {len}"
-                                )));
-                            }
-                            regs[*d as usize] =
-                                tag_int(heap.string_byte(regs[*a as usize], i as usize) as i64);
-                        }
-                        RtOp::IntToString => {
-                            let s = untag_int(regs[*a as usize]).to_string();
-                            let words = s.len().div_ceil(4);
-                            alloc_guard!(words);
-                            stats.cycles += 20;
-                            let Some(p) = heap.alloc_string(&s) else {
-                                trap!(VmResult::HeapExhausted);
-                            };
-                            regs[*d as usize] = p;
-                        }
-                        RtOp::RealToString => {
-                            let s = format!("{:?}", fregs[*fa as usize]);
-                            let words = s.len().div_ceil(4);
-                            alloc_guard!(words);
-                            stats.cycles += 40;
-                            let Some(p) = heap.alloc_string(&s) else {
-                                trap!(VmResult::HeapExhausted);
-                            };
-                            regs[*d as usize] = p;
-                        }
-                    }
-                }
-                Instr::GetHdlr { d } => {
-                    spillcost!(*d);
-                    stats.cycles += 1;
-                    regs[*d as usize] = handler;
-                }
-                Instr::SetHdlr { s } => {
-                    spillcost!(*s);
-                    stats.cycles += 1;
-                    handler = regs[*s as usize];
-                }
-                Instr::Print { s } => {
-                    strchk!(regs[*s as usize]);
-                    let txt = heap.read_string(regs[*s as usize]);
-                    stats.cycles += 5 + txt.len() as u64 / 4;
-                    output.push_str(&txt);
-                }
-                Instr::Halt { s } => {
-                    // Resolve so a pointer-valued result is reported at its
-                    // canonical address (identity outside an active major).
-                    let w = heap.resolve(regs[*s as usize]);
-                    let v = if is_ptr(w) { w as i64 } else { untag_int(w) };
-                    trap!(VmResult::Value(v));
-                }
-                Instr::Uncaught { s } => {
-                    let name = uncaught_name(heap, regs[*s as usize]);
-                    trap!(VmResult::Uncaught(name));
-                }
-            }
-            // Mutator-time barrier copies (if any) land in the Gc
-            // pseudo-class via the same delta mechanism as pauses.
-            drain_barrier(heap, stats);
-            let gc_delta = stats.gc_cycles - gc_cycles_before;
-            stats.cycles_by_class[class] += stats.cycles - cycles_before - gc_delta;
-            stats.cycles_by_class[InstrClass::Gc as usize] += gc_delta;
-        }
-
-        // Common exit: persist the interpreter state and sync the
-        // heap's lifetime counters so the stats are accurate whether
-        // the run ended or was merely preempted.
-        self.block = block;
-        self.pc = pc;
-        self.handler = handler;
+    /// Mirrors the heap's lifetime counters into [`RunStats`]; called
+    /// at every slice exit so the stats are accurate whether the run
+    /// ended or was merely preempted.
+    pub(crate) fn sync_heap_stats(&mut self) {
         self.stats.alloc_words = self.heap.alloc_words;
         self.stats.n_allocs = self.heap.n_allocs;
         self.stats.gc_copied_words = self.heap.copied_words;
@@ -1006,8 +506,822 @@ impl<'p> VmInstance<'p> {
         self.stats.n_major_gcs = self.heap.n_major_gcs;
         self.stats.promoted_words = self.heap.promoted_words;
         self.stats.remembered_peak = self.heap.rs_peak;
+    }
+
+    /// The decode-dispatch loop: fetch, account, execute via
+    /// [`Engine::step`], attribute.
+    fn run_slice_decode(&mut self, quantum: u64) -> bool {
+        if self.finished.is_some() {
+            return true;
+        }
+        let stop_at = self.stats.cycles.saturating_add(quantum);
+        let mut out: Option<VmResult> = None;
+        let (block, pc) = {
+            let mut eng = Engine {
+                prog: self.prog,
+                cfg: &self.cfg,
+                heap: &mut self.heap,
+                pool_ptrs: &self.pool_ptrs,
+                regs: &mut self.regs,
+                fregs: &mut self.fregs,
+                handler: &mut self.handler,
+                stats: &mut self.stats,
+                output: &mut self.output,
+                yield_ctr: &mut self.yield_ctr,
+                block: self.block,
+                pc: self.pc,
+            };
+            let prog = eng.prog;
+            loop {
+                if eng.stats.cycles > eng.cfg.max_cycles {
+                    out = Some(VmResult::OutOfFuel);
+                    break;
+                }
+                if eng.stats.cycles >= stop_at {
+                    break; // quantum spent: preempted between instructions
+                }
+                if eng.block >= prog.blocks.len() || eng.pc >= prog.blocks[eng.block].instrs.len() {
+                    out = Some(VmResult::Fault(format!(
+                        "instruction fetch out of range: block {} pc {}",
+                        eng.block, eng.pc
+                    )));
+                    break;
+                }
+                let instr = &prog.blocks[eng.block].instrs[eng.pc];
+                eng.pc += 1;
+                // Per-class accounting: everything the handler adds to
+                // `cycles` lands in the instruction's class, except
+                // collector work (which bumps `gc_cycles`); that lands
+                // in the Gc pseudo-class so the breakdown still sums to
+                // `cycles` — on trap exits too.
+                let class = instr.class() as usize;
+                eng.stats.instrs += 1;
+                eng.stats.instrs_by_class[class] += 1;
+                let cycles_before = eng.stats.cycles;
+                let gc_before = eng.stats.gc_cycles;
+                let r = eng.step(instr);
+                drain_barrier(&mut *eng.heap, &mut *eng.stats);
+                let gc_delta = eng.stats.gc_cycles - gc_before;
+                eng.stats.cycles_by_class[class] += eng.stats.cycles - cycles_before - gc_delta;
+                eng.stats.cycles_by_class[InstrClass::Gc as usize] += gc_delta;
+                if let Err(end) = r {
+                    out = Some(end);
+                    break;
+                }
+            }
+            (eng.block, eng.pc)
+        };
+        // Common exit: persist the interpreter state and sync the
+        // heap's lifetime counters.
+        self.block = block;
+        self.pc = pc;
+        self.sync_heap_stats();
         self.finished = out;
         self.finished.is_some()
+    }
+}
+
+/// The per-instruction execution core shared by both dispatch engines:
+/// split borrows of one [`VmInstance`]'s state plus the mobile
+/// block/pc. Every handler is `#[inline(always)]` so each engine's
+/// loop compiles to direct code; a handler returning `Err` ends the
+/// run (normal halts travel that path too, exactly like traps, so the
+/// loops have a single exit protocol).
+pub(crate) struct Engine<'a, 'p> {
+    pub(crate) prog: &'p MachineProgram,
+    pub(crate) cfg: &'a VmConfig,
+    pub(crate) heap: &'a mut Heap,
+    pub(crate) pool_ptrs: &'a [u32],
+    pub(crate) regs: &'a mut [u32; MAX_REGS as usize],
+    pub(crate) fregs: &'a mut [f64; MAX_REGS as usize],
+    pub(crate) handler: &'a mut u32,
+    pub(crate) stats: &'a mut RunStats,
+    pub(crate) output: &'a mut String,
+    pub(crate) yield_ctr: &'a mut u64,
+    pub(crate) block: usize,
+    pub(crate) pc: usize,
+}
+
+impl<'p> Engine<'_, 'p> {
+    /// Charges the spill cost for each named register above the
+    /// hardware file.
+    #[inline(always)]
+    fn spill<const N: usize>(&mut self, rs: [u8; N]) {
+        for r in rs {
+            if r >= HW_REGS {
+                self.stats.cycles += 2;
+            }
+        }
+    }
+
+    /// Bounds-checks one object access; `Err` is a Fault trap.
+    #[inline(always)]
+    fn mem(&mut self, ptr: u32, off: usize, n: usize) -> Result<(), VmResult> {
+        self.heap.check_access(ptr, off, n).map_err(VmResult::Fault)
+    }
+
+    /// Validates a string operand; `Err` is a Fault trap.
+    #[inline(always)]
+    fn strchk(&mut self, ptr: u32) -> Result<(), VmResult> {
+        self.heap.check_string(ptr).map_err(VmResult::Fault)
+    }
+
+    /// Runs the allocation protocol for `want` body words: injected
+    /// failure, forced or scheduled minor collection (or slice pumping
+    /// while an incremental major is active), then a major collection —
+    /// pumped to completion unless a fault-injected yield interleaves
+    /// the mutator — as the final attempt before the HeapExhausted
+    /// trap.
+    #[inline(always)]
+    fn alloc_guard(&mut self, want: usize) -> Result<(), VmResult> {
+        if self.cfg.fault.fail_alloc_at == Some(self.heap.n_allocs + 1) {
+            return Err(VmResult::HeapExhausted);
+        }
+        if self.heap.is_exhausted() {
+            return Err(VmResult::HeapExhausted);
+        }
+        let forced = self
+            .cfg
+            .fault
+            .gc_every_n_allocs
+            .is_some_and(|k| k > 0 && (self.heap.n_allocs + 1).is_multiple_of(k));
+        // `true` once a full major has finished in this guard: if room
+        // is still short after that, the heap is genuinely exhausted.
+        let mut major_done = false;
+        if self.heap.major_active() {
+            // Resume the yielded incremental major.
+            match pump_major(
+                self.heap,
+                &mut self.regs[..],
+                self.handler,
+                self.stats,
+                self.cfg,
+                self.yield_ctr,
+                want,
+            ) {
+                Pump::Overflow => return Err(VmResult::HeapExhausted),
+                Pump::Done => major_done = true,
+                Pump::Yielded => {}
+            }
+        } else if forced || self.heap.needs_gc(want) {
+            if self.heap.is_generational() || self.cfg.max_pause_cycles == 0 {
+                gc(
+                    self.heap,
+                    &mut self.regs[..],
+                    self.handler,
+                    self.stats,
+                    GcKind::Minor,
+                    self.cfg.max_pause_cycles,
+                );
+            } else {
+                // Semispace with a pause budget: the scheduled full
+                // collection is sliced too.
+                match pump_major(
+                    self.heap,
+                    &mut self.regs[..],
+                    self.handler,
+                    self.stats,
+                    self.cfg,
+                    self.yield_ctr,
+                    want,
+                ) {
+                    Pump::Overflow => return Err(VmResult::HeapExhausted),
+                    Pump::Done => major_done = true,
+                    Pump::Yielded => {}
+                }
+            }
+        }
+        if !self.heap.has_room(want) {
+            if major_done {
+                return Err(VmResult::HeapExhausted);
+            }
+            if let Pump::Overflow = pump_major(
+                self.heap,
+                &mut self.regs[..],
+                self.handler,
+                self.stats,
+                self.cfg,
+                self.yield_ctr,
+                want,
+            ) {
+                return Err(VmResult::HeapExhausted);
+            }
+            if !self.heap.has_room(want) {
+                return Err(VmResult::HeapExhausted);
+            }
+        }
+        Ok(())
+    }
+
+    // ----- per-instruction handlers ------------------------------------
+    //
+    // One method per hot (fixed-operand) instruction; both engines call
+    // these, so the cost model and trap behavior live in exactly one
+    // place. Vector-operand and runtime-call instructions execute
+    // through `step`'s match arms (the threaded engine routes them via
+    // its `Slow` record).
+
+    #[inline(always)]
+    pub(crate) fn m_move(&mut self, d: Reg, s: Reg) {
+        self.spill([d, s]);
+        self.stats.cycles += 1;
+        self.regs[d as usize] = self.regs[s as usize];
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_fmove(&mut self, d: FReg, s: FReg) {
+        self.spill([d, s]);
+        self.stats.cycles += 1;
+        self.fregs[d as usize] = self.fregs[s as usize];
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_loadi(&mut self, d: Reg, imm: i64) {
+        self.spill([d]);
+        self.stats.cycles += 1;
+        self.regs[d as usize] = tag_int(imm);
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_loadf(&mut self, d: FReg, imm: f64) {
+        self.spill([d]);
+        self.stats.cycles += 2;
+        self.fregs[d as usize] = imm;
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_loadstr(&mut self, d: Reg, pool: u32) -> Result<(), VmResult> {
+        self.spill([d]);
+        self.stats.cycles += 1;
+        if pool as usize >= self.pool_ptrs.len() {
+            return Err(VmResult::Fault(format!(
+                "string pool index {pool} out of range"
+            )));
+        }
+        self.regs[d as usize] = self.pool_ptrs[pool as usize];
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_loadlabel(&mut self, d: Reg, label: u32) {
+        self.spill([d]);
+        self.stats.cycles += 1;
+        self.regs[d as usize] = tag_int(label as i64);
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_arith(&mut self, op: AOp, d: Reg, a: Reg, b: Reg) -> Result<(), VmResult> {
+        self.spill([d, a, b]);
+        let x = untag_int(self.regs[a as usize]);
+        let y = untag_int(self.regs[b as usize]);
+        let (v, cost) = match op {
+            AOp::Add => (x.wrapping_add(y), 1),
+            AOp::Sub => (x.wrapping_sub(y), 1),
+            AOp::Mul => (x.wrapping_mul(y), 4),
+            // SML floor division/modulus, wrapping at `i64::MIN div ~1`.
+            // A zero divisor is an arithmetic trap (charged like the
+            // divide it attempted); compiled code guards `div`/`mod`
+            // with a zero test that raises `Div` before reaching here.
+            AOp::Div | AOp::Mod => {
+                if y == 0 {
+                    self.stats.cycles += 12;
+                    return Err(VmResult::Fault("integer division by zero".into()));
+                }
+                let v = if op == AOp::Div {
+                    floor_div(x, y)
+                } else {
+                    floor_mod(x, y)
+                };
+                (v, 12)
+            }
+        };
+        self.stats.cycles += cost;
+        self.regs[d as usize] = tag_int(v);
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_farith(&mut self, op: FOp, d: FReg, a: FReg, b: FReg) {
+        self.spill([d, a, b]);
+        let x = self.fregs[a as usize];
+        let y = self.fregs[b as usize];
+        let (v, cost) = match op {
+            FOp::Add => (x + y, 2),
+            FOp::Sub => (x - y, 2),
+            FOp::Mul => (x * y, 4),
+            FOp::Div => (x / y, 12),
+        };
+        self.stats.cycles += cost;
+        self.fregs[d as usize] = v;
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_funary(&mut self, op: FUOp, d: FReg, a: FReg) {
+        self.spill([d, a]);
+        let x = self.fregs[a as usize];
+        let (v, cost) = match op {
+            FUOp::Neg => (-x, 2),
+            FUOp::Sqrt => (x.sqrt(), 20),
+            FUOp::Sin => (x.sin(), 20),
+            FUOp::Cos => (x.cos(), 20),
+            FUOp::Atan => (x.atan(), 20),
+            FUOp::Exp => (x.exp(), 20),
+            FUOp::Ln => (x.ln(), 20),
+        };
+        self.stats.cycles += cost;
+        self.fregs[d as usize] = v;
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_floor(&mut self, d: Reg, a: FReg) {
+        self.spill([d, a]);
+        self.stats.cycles += 3;
+        self.regs[d as usize] = tag_int(self.fregs[a as usize].floor() as i64);
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_inttoreal(&mut self, d: FReg, a: Reg) {
+        self.spill([d, a]);
+        self.stats.cycles += 3;
+        self.fregs[d as usize] = untag_int(self.regs[a as usize]) as f64;
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_load(&mut self, d: Reg, base: Reg, off: u16) -> Result<(), VmResult> {
+        self.spill([d, base]);
+        self.stats.cycles += 2;
+        self.mem(self.regs[base as usize], off as usize, 1)?;
+        // Through the read barrier: during an active incremental major
+        // a from-space target is evacuated and the slot healed, so
+        // registers only ever hold to-space pointers.
+        self.regs[d as usize] = self
+            .heap
+            .load_healed(self.regs[base as usize], off as usize);
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_store(&mut self, s: Reg, base: Reg, off: u16) -> Result<(), VmResult> {
+        self.spill([s, base]);
+        self.stats.cycles += 2;
+        self.mem(self.regs[base as usize], off as usize, 1)?;
+        // Unboxed stores skip the barrier; the compiler must prove the
+        // value is a non-pointer (paper §4.4).
+        debug_assert!(
+            !self
+                .heap
+                .would_need_barrier(self.regs[base as usize], self.regs[s as usize]),
+            "unbarriered Store created a tenured→nursery pointer"
+        );
+        self.heap.store(
+            self.regs[base as usize],
+            off as usize,
+            self.regs[s as usize],
+        );
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_storewb(&mut self, s: Reg, base: Reg, off: u16) -> Result<(), VmResult> {
+        self.spill([s, base]);
+        self.stats.cycles += 4; // store + generational bookkeeping
+        self.mem(self.regs[base as usize], off as usize, 1)?;
+        self.heap.store_barriered(
+            self.regs[base as usize],
+            off as usize,
+            self.regs[s as usize],
+        );
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_fload(&mut self, d: FReg, base: Reg, off: u16) -> Result<(), VmResult> {
+        self.spill([d, base]);
+        self.stats.cycles += 4; // two single-word loads
+        self.mem(self.regs[base as usize], off as usize, 2)?;
+        self.fregs[d as usize] = self.heap.load_f64(self.regs[base as usize], off as usize);
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_fstore(&mut self, s: FReg, base: Reg, off: u16) -> Result<(), VmResult> {
+        self.spill([s, base]);
+        self.stats.cycles += 4;
+        self.mem(self.regs[base as usize], off as usize, 2)?;
+        self.heap.store_f64(
+            self.regs[base as usize],
+            off as usize,
+            self.fregs[s as usize],
+        );
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_loadidx(&mut self, d: Reg, base: Reg, idx: Reg) -> Result<(), VmResult> {
+        self.spill([d, base, idx]);
+        self.stats.cycles += 3;
+        let i = untag_int(self.regs[idx as usize]);
+        if i < 0 {
+            return Err(VmResult::Fault(format!("negative index {i}")));
+        }
+        self.mem(self.regs[base as usize], i as usize, 1)?;
+        self.regs[d as usize] = self.heap.load_healed(self.regs[base as usize], i as usize);
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_storeidx(&mut self, s: Reg, base: Reg, idx: Reg) -> Result<(), VmResult> {
+        self.spill([s, base, idx]);
+        self.stats.cycles += 3;
+        let i = untag_int(self.regs[idx as usize]);
+        if i < 0 {
+            return Err(VmResult::Fault(format!("negative index {i}")));
+        }
+        self.mem(self.regs[base as usize], i as usize, 1)?;
+        debug_assert!(
+            !self
+                .heap
+                .would_need_barrier(self.regs[base as usize], self.regs[s as usize]),
+            "unbarriered StoreIdx created a tenured→nursery pointer"
+        );
+        self.heap
+            .store(self.regs[base as usize], i as usize, self.regs[s as usize]);
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_storeidxwb(&mut self, s: Reg, base: Reg, idx: Reg) -> Result<(), VmResult> {
+        self.spill([s, base, idx]);
+        self.stats.cycles += 5;
+        let i = untag_int(self.regs[idx as usize]);
+        if i < 0 {
+            return Err(VmResult::Fault(format!("negative index {i}")));
+        }
+        self.mem(self.regs[base as usize], i as usize, 1)?;
+        self.heap
+            .store_barriered(self.regs[base as usize], i as usize, self.regs[s as usize]);
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_arrlen(&mut self, d: Reg, a: Reg) -> Result<(), VmResult> {
+        self.spill([d, a]);
+        self.stats.cycles += 2;
+        self.mem(self.regs[a as usize], 0, 0)?;
+        let (_, nscan, _) = decode(self.heap.desc(self.regs[a as usize]));
+        self.regs[d as usize] = tag_int(nscan as i64);
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_fbox(&mut self, d: Reg, s: FReg) -> Result<(), VmResult> {
+        self.spill([d, s]);
+        self.alloc_guard(2)?;
+        let Some(p) = self.heap.alloc(ObjKind::BoxedFloat, 0, 1) else {
+            return Err(VmResult::HeapExhausted);
+        };
+        self.heap.store_f64(p, 0, self.fregs[s as usize]);
+        self.stats.cycles += 1 + 2 + 4; // descriptor+bump, then two stores
+        self.regs[d as usize] = p;
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_funbox(&mut self, d: FReg, s: Reg) -> Result<(), VmResult> {
+        self.spill([d, s]);
+        self.stats.cycles += 4;
+        self.mem(self.regs[s as usize], 0, 2)?;
+        self.fregs[d as usize] = self.heap.load_f64(self.regs[s as usize], 0);
+        Ok(())
+    }
+
+    /// Evaluates an integer branch comparison; the *caller* redirects
+    /// control when the comparison is false (branch-on-false ISA).
+    #[inline(always)]
+    pub(crate) fn m_branch(&mut self, op: BrOp, a: Reg, b: Reg) -> bool {
+        self.spill([a, b]);
+        self.stats.cycles += 1;
+        let x = self.regs[a as usize];
+        let y = self.regs[b as usize];
+        match op {
+            BrOp::Lt => untag_int(x) < untag_int(y),
+            BrOp::Le => untag_int(x) <= untag_int(y),
+            BrOp::Gt => untag_int(x) > untag_int(y),
+            BrOp::Ge => untag_int(x) >= untag_int(y),
+            BrOp::Eq => x == y,
+            BrOp::Ne => x != y,
+            BrOp::Boxed => is_ptr(x),
+        }
+    }
+
+    /// Evaluates a float branch comparison (branch-on-false).
+    #[inline(always)]
+    pub(crate) fn m_fbranch(&mut self, op: FBrOp, a: FReg, b: FReg) -> bool {
+        self.spill([a, b]);
+        self.stats.cycles += 2;
+        let x = self.fregs[a as usize];
+        let y = self.fregs[b as usize];
+        match op {
+            FBrOp::Lt => x < y,
+            FBrOp::Le => x <= y,
+            FBrOp::Gt => x > y,
+            FBrOp::Ge => x >= y,
+            FBrOp::Eq => x == y,
+            FBrOp::Ne => x != y,
+        }
+    }
+
+    /// Charges a direct jump; the caller performs the block transfer.
+    #[inline(always)]
+    pub(crate) fn m_jump(&mut self) {
+        self.stats.cycles += 1;
+        if self.cfg.fp3_overhead {
+            self.stats.cycles += 1;
+        }
+    }
+
+    /// Validates an indirect jump and returns the target block.
+    #[inline(always)]
+    pub(crate) fn m_jumpreg(&mut self, r: Reg) -> Result<usize, VmResult> {
+        self.spill([r]);
+        self.stats.cycles += 2;
+        if self.cfg.fp3_overhead {
+            self.stats.cycles += 1;
+        }
+        let w = self.regs[r as usize];
+        if is_ptr(w) {
+            return Err(VmResult::Fault(format!(
+                "jump through non-label {w:#x} from block {} ({})",
+                self.block, self.prog.blocks[self.block].name
+            )));
+        }
+        let target = untag_int(w);
+        if target < 0 || target as usize >= self.prog.blocks.len() {
+            return Err(VmResult::Fault(format!(
+                "jump target {target} out of range from block {} ({})",
+                self.block, self.prog.blocks[self.block].name
+            )));
+        }
+        Ok(target as usize)
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_gethdlr(&mut self, d: Reg) {
+        self.spill([d]);
+        self.stats.cycles += 1;
+        self.regs[d as usize] = *self.handler;
+    }
+
+    #[inline(always)]
+    pub(crate) fn m_sethdlr(&mut self, s: Reg) {
+        self.spill([s]);
+        self.stats.cycles += 1;
+        *self.handler = self.regs[s as usize];
+    }
+
+    /// The final result of a normal halt.
+    #[inline(always)]
+    pub(crate) fn m_halt(&mut self, s: Reg) -> VmResult {
+        // Resolve so a pointer-valued result is reported at its
+        // canonical address (identity outside an active major).
+        let w = self.heap.resolve(self.regs[s as usize]);
+        let v = if is_ptr(w) { w as i64 } else { untag_int(w) };
+        VmResult::Value(v)
+    }
+
+    /// The final result of an uncaught-exception exit.
+    #[inline(always)]
+    pub(crate) fn m_uncaught(&mut self, s: Reg) -> VmResult {
+        VmResult::Uncaught(uncaught_name(self.heap, self.regs[s as usize]))
+    }
+
+    /// Executes one instruction: updates registers/heap/output, charges
+    /// its cycles, and advances `self.pc`/`self.block` for control
+    /// transfers. `Err` ends the run (trap or normal halt); the calling
+    /// loop attributes accrued cycles to the instruction's class either
+    /// way.
+    pub(crate) fn step(&mut self, instr: &Instr) -> Result<(), VmResult> {
+        match instr {
+            Instr::Move { d, s } => self.m_move(*d, *s),
+            Instr::FMove { d, s } => self.m_fmove(*d, *s),
+            Instr::LoadI { d, imm } => self.m_loadi(*d, *imm),
+            Instr::LoadF { d, imm } => self.m_loadf(*d, *imm),
+            Instr::LoadStr { d, pool } => self.m_loadstr(*d, *pool)?,
+            Instr::LoadLabel { d, label } => self.m_loadlabel(*d, *label),
+            Instr::Arith { op, d, a, b } => self.m_arith(*op, *d, *a, *b)?,
+            Instr::FArith { op, d, a, b } => self.m_farith(*op, *d, *a, *b),
+            Instr::FUnary { op, d, a } => self.m_funary(*op, *d, *a),
+            Instr::Floor { d, a } => self.m_floor(*d, *a),
+            Instr::IntToReal { d, a } => self.m_inttoreal(*d, *a),
+            Instr::Load { d, base, off } => self.m_load(*d, *base, *off)?,
+            Instr::Store { s, base, off } => self.m_store(*s, *base, *off)?,
+            Instr::StoreWB { s, base, off } => self.m_storewb(*s, *base, *off)?,
+            Instr::FLoad { d, base, off } => self.m_fload(*d, *base, *off)?,
+            Instr::FStore { s, base, off } => self.m_fstore(*s, *base, *off)?,
+            Instr::LoadIdx { d, base, idx } => self.m_loadidx(*d, *base, *idx)?,
+            Instr::StoreIdx { s, base, idx } => self.m_storeidx(*s, *base, *idx)?,
+            Instr::StoreIdxWB { s, base, idx } => self.m_storeidxwb(*s, *base, *idx)?,
+            Instr::ArrLen { d, a } => self.m_arrlen(*d, *a)?,
+            Instr::FBox { d, s } => self.m_fbox(*d, *s)?,
+            Instr::FUnbox { d, s } => self.m_funbox(*d, *s)?,
+            Instr::Branch { op, a, b, target } => {
+                if !self.m_branch(*op, *a, *b) {
+                    self.pc = *target as usize;
+                }
+            }
+            Instr::FBranch { op, a, b, target } => {
+                if !self.m_fbranch(*op, *a, *b) {
+                    self.pc = *target as usize;
+                }
+            }
+            Instr::SBranch { op, a, b, target } => {
+                self.spill([*a, *b]);
+                self.strchk(self.regs[*a as usize])?;
+                self.strchk(self.regs[*b as usize])?;
+                let sa = self.heap.read_string(self.regs[*a as usize]);
+                let sb = self.heap.read_string(self.regs[*b as usize]);
+                self.stats.cycles += 3 + (sa.len().min(sb.len()) as u64) / 4;
+                let taken = match op {
+                    SBrOp::Eq => sa == sb,
+                    SBrOp::Ne => sa != sb,
+                    SBrOp::Lt => sa < sb,
+                    SBrOp::Le => sa <= sb,
+                    SBrOp::Gt => sa > sb,
+                    SBrOp::Ge => sa >= sb,
+                };
+                if !taken {
+                    self.pc = *target as usize;
+                }
+            }
+            Instr::PolyEqBranch { a, b, target } => {
+                self.spill([*a, *b]);
+                let (wa, wb) = (self.regs[*a as usize], self.regs[*b as usize]);
+                if is_ptr(wa) {
+                    self.mem(wa, 0, 0)?;
+                }
+                if is_ptr(wb) {
+                    self.mem(wb, 0, 0)?;
+                }
+                let (eq, cost) = self.heap.poly_eq(wa, wb);
+                // Runtime-call overhead (save/restore, dispatch on the
+                // descriptor) plus the traversal.
+                self.stats.cycles += 15 + 3 * cost;
+                if !eq {
+                    self.pc = *target as usize;
+                }
+            }
+            Instr::Switch {
+                r,
+                lo,
+                table,
+                default,
+            } => {
+                self.spill([*r]);
+                self.stats.cycles += 3; // bounds check + table load + indirect jump
+                let n = untag_int(self.regs[*r as usize]);
+                let idx = n - lo;
+                self.pc = if idx >= 0 && (idx as usize) < table.len() {
+                    table[idx as usize] as usize
+                } else {
+                    *default as usize
+                };
+            }
+            Instr::Jump { label } => {
+                self.m_jump();
+                self.block = *label as usize;
+                self.pc = 0;
+            }
+            Instr::JumpReg { r } => {
+                self.block = self.m_jumpreg(*r)?;
+                self.pc = 0;
+            }
+            Instr::Rt { op, d, a, b, fa } => {
+                self.spill([*d, *a, *b]);
+                match op {
+                    RtOp::StrCat => {
+                        self.strchk(self.regs[*a as usize])?;
+                        self.strchk(self.regs[*b as usize])?;
+                        let sa = self.heap.read_string(self.regs[*a as usize]);
+                        let sb = self.heap.read_string(self.regs[*b as usize]);
+                        let joined = sa + &sb;
+                        if joined.len() > Heap::MAX_STRING_BYTES {
+                            return Err(VmResult::Fault(format!(
+                                "string of {} bytes exceeds the descriptor limit of {}",
+                                joined.len(),
+                                Heap::MAX_STRING_BYTES
+                            )));
+                        }
+                        let words = joined.len().div_ceil(4);
+                        self.alloc_guard(words)?;
+                        self.stats.cycles += 5 + words as u64;
+                        let Some(p) = self.heap.alloc_string(&joined) else {
+                            return Err(VmResult::HeapExhausted);
+                        };
+                        self.regs[*d as usize] = p;
+                    }
+                    RtOp::StrSize => {
+                        self.stats.cycles += 2;
+                        self.strchk(self.regs[*a as usize])?;
+                        self.regs[*d as usize] =
+                            tag_int(self.heap.string_len(self.regs[*a as usize]) as i64);
+                    }
+                    RtOp::StrSub => {
+                        self.stats.cycles += 3;
+                        self.strchk(self.regs[*a as usize])?;
+                        let i = untag_int(self.regs[*b as usize]);
+                        let len = self.heap.string_len(self.regs[*a as usize]);
+                        if i < 0 || i as usize >= len {
+                            return Err(VmResult::Fault(format!(
+                                "string index {i} out of bounds for length {len}"
+                            )));
+                        }
+                        self.regs[*d as usize] = tag_int(
+                            self.heap.string_byte(self.regs[*a as usize], i as usize) as i64,
+                        );
+                    }
+                    RtOp::IntToString => {
+                        let s = untag_int(self.regs[*a as usize]).to_string();
+                        let words = s.len().div_ceil(4);
+                        self.alloc_guard(words)?;
+                        self.stats.cycles += 20;
+                        let Some(p) = self.heap.alloc_string(&s) else {
+                            return Err(VmResult::HeapExhausted);
+                        };
+                        self.regs[*d as usize] = p;
+                    }
+                    RtOp::RealToString => {
+                        let s = format!("{:?}", self.fregs[*fa as usize]);
+                        let words = s.len().div_ceil(4);
+                        self.alloc_guard(words)?;
+                        self.stats.cycles += 40;
+                        let Some(p) = self.heap.alloc_string(&s) else {
+                            return Err(VmResult::HeapExhausted);
+                        };
+                        self.regs[*d as usize] = p;
+                    }
+                }
+            }
+            Instr::Alloc {
+                d,
+                kind,
+                words,
+                flts,
+            } => {
+                self.spill([*d]);
+                let total = words.len() + 2 * flts.len();
+                self.alloc_guard(total)?;
+                let k = match kind {
+                    AllocKind::Record => ObjKind::Record,
+                    AllocKind::Ref => ObjKind::Ref,
+                };
+                let Some(p) = self.heap.alloc(k, words.len() as u32, flts.len() as u32) else {
+                    return Err(VmResult::HeapExhausted);
+                };
+                // Initializing stores go through the barrier too: large
+                // objects allocate directly in tenured space and may be
+                // initialized with nursery pointers.
+                for (i, r) in words.iter().enumerate() {
+                    self.heap.store_barriered(p, i, self.regs[*r as usize]);
+                }
+                for (j, f) in flts.iter().enumerate() {
+                    self.heap
+                        .store_f64(p, words.len() + 2 * j, self.fregs[*f as usize]);
+                }
+                self.stats.cycles += 1 + total as u64 + 2 * flts.len() as u64;
+                self.regs[*d as usize] = p;
+            }
+            Instr::AllocArr { d, len, init } => {
+                self.spill([*d, *len, *init]);
+                let n = untag_int(self.regs[*len as usize]).max(0) as usize;
+                if n > Heap::MAX_ARRAY_LEN {
+                    return Err(VmResult::Fault(format!(
+                        "array of {n} elements exceeds the descriptor limit of {}",
+                        Heap::MAX_ARRAY_LEN
+                    )));
+                }
+                self.alloc_guard(n)?;
+                let Some(p) = self.heap.alloc(ObjKind::Array, n as u32, 0) else {
+                    return Err(VmResult::HeapExhausted);
+                };
+                let v = self.regs[*init as usize];
+                for i in 0..n {
+                    self.heap.store_barriered(p, i, v);
+                }
+                self.stats.cycles += 1 + n as u64;
+                self.regs[*d as usize] = p;
+            }
+            Instr::GetHdlr { d } => self.m_gethdlr(*d),
+            Instr::SetHdlr { s } => self.m_sethdlr(*s),
+            Instr::Print { s } => {
+                self.strchk(self.regs[*s as usize])?;
+                let txt = self.heap.read_string(self.regs[*s as usize]);
+                self.stats.cycles += 5 + txt.len() as u64 / 4;
+                self.output.push_str(&txt);
+            }
+            Instr::Halt { s } => return Err(self.m_halt(*s)),
+            Instr::Uncaught { s } => return Err(self.m_uncaught(*s)),
+        }
+        Ok(())
     }
 }
 
@@ -1116,7 +1430,7 @@ fn record_pause(stats: &mut RunStats, minor: bool, cost: u64, budget: u64) {
 /// Charges read-barrier copy work accumulated since the last drain to
 /// GC time (it belongs to no recorded pause — that is the point of the
 /// barrier: the copy happens during mutator time).
-fn drain_barrier(heap: &mut Heap, stats: &mut RunStats) {
+pub(crate) fn drain_barrier(heap: &mut Heap, stats: &mut RunStats) {
     let words = heap.take_barrier_words();
     if words > 0 {
         let cost = 3 * words;

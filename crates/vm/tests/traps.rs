@@ -397,20 +397,22 @@ fn uncaught_with_malformed_packet_is_contained() {
 }
 
 #[test]
-fn division_by_zero_stays_defined() {
-    let o = run_default(&prog(vec![
-        Instr::LoadI { d: 1, imm: 9 },
-        Instr::LoadI { d: 2, imm: 0 },
-        Instr::Arith {
-            op: AOp::Div,
-            d: 3,
-            a: 1,
-            b: 2,
-        },
-        Instr::Halt { s: 3 },
-    ]));
-    assert_eq!(o.result, VmResult::Value(0));
-    assert_consistent(&o.stats);
+fn division_by_zero_faults() {
+    for op in [AOp::Div, AOp::Mod] {
+        let o = run_default(&prog(vec![
+            Instr::LoadI { d: 1, imm: 9 },
+            Instr::LoadI { d: 2, imm: 0 },
+            Instr::Arith {
+                op,
+                d: 3,
+                a: 1,
+                b: 2,
+            },
+            Instr::Halt { s: 3 },
+        ]));
+        expect_fault(&o, "division by zero");
+        assert_consistent(&o.stats);
+    }
 }
 
 #[test]

@@ -127,6 +127,19 @@ cargo test -q -p smlc-bench --test incremental
 echo "== incremental bench (BENCH_pr8.json) =="
 cargo run -q --release -p smlc-bench --bin incr_bench
 
+# Dispatch-engine gate (docs/ARCHITECTURE.md §7): the threaded engine's
+# differential suite (trap parity, fuel sweeps mid-superinstruction,
+# scheduler slicing, stream verification), then the bench gate proving
+# decode/threaded observational identity over the figure benchmarks ×
+# all six variants plus a 200-seed progen corpus and recording the
+# threaded engine's wall-time geomean. Writes the BENCH_pr9.json
+# trajectory.
+echo "== dispatch: engine differential =="
+cargo test -q -p sml-vm --test dispatch
+
+echo "== dispatch bench (BENCH_pr9.json) =="
+cargo run -q --release -p smlc-bench --bin dispatch_bench
+
 # Documentation gate: every relative Markdown link in README.md and
 # docs/*.md must resolve (first-party checker, no external deps).
 echo "== docs: relative-link check =="
