@@ -29,11 +29,12 @@
 
 use sml_testkit::progen::{gen_program, GenConfig};
 use sml_testkit::Rng;
-use sml_vm::{TenantOutcome, VmScheduler, N_PAUSE_BUCKETS, PAUSE_BUCKET_LIMITS};
+use sml_vm::{SchedulerBuilder, TenantOutcome, TenantSpec, N_PAUSE_BUCKETS, PAUSE_BUCKET_LIMITS};
 use smlc::{
     GcMode, Json, Outcome, RunStats, Session, Variant, VmConfig, VmResult, METRICS_SCHEMA_VERSION,
 };
 use smlc_bench::benchmarks;
+use std::sync::Arc;
 
 /// Seed salt: disjoint from both the unit tests' corpus and
 /// `fuzz_smoke`'s.
@@ -260,15 +261,23 @@ fn main() {
         ..small(&base, BUDGET)
     };
     let solo = good.run_with(&good_cfg);
-    let mut sched = VmScheduler::new(10_000);
+    let mut sched = SchedulerBuilder::new()
+        .quantum(10_000)
+        .build()
+        .expect("default storm scheduler validates");
     const STORM_TENANTS: usize = 16;
     const HOSTILE_SLOT: usize = 7;
+    let good_prog = Arc::new(good.machine.clone());
+    let hostile_prog = Arc::new(hostile.machine.clone());
     for slot in 0..STORM_TENANTS {
-        if slot == HOSTILE_SLOT {
-            sched.spawn(&hostile.machine, &hostile_cfg);
+        let spec = if slot == HOSTILE_SLOT {
+            TenantSpec::new(hostile_prog.clone(), &hostile_cfg)
         } else {
-            sched.spawn(&good.machine, &good_cfg);
-        }
+            TenantSpec::new(good_prog.clone(), &good_cfg)
+        };
+        sched
+            .admit(spec)
+            .expect("uncapped storm admits all tenants");
     }
     let (reports, stats) = sched.run_all();
     for (slot, r) in reports.iter().enumerate() {

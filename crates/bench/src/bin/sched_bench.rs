@@ -1,0 +1,409 @@
+//! Scheduler gate: drives the policy-driven multi-tenant scheduler at
+//! thousand-tenant scale and writes the `BENCH_pr10.json` trajectory
+//! document.
+//!
+//! ```sh
+//! cargo run --release -p smlc-bench --bin sched_bench            # writes BENCH_pr10.json
+//! cargo run --release -p smlc-bench --bin sched_bench -- --json=out.json --tenants=200
+//! ```
+//!
+//! Four stages; every gate is on deterministic quantities (cycle
+//! counts, outcomes, byte-identity) — wall-clock is recorded but never
+//! gated, so a slow machine cannot fail the build:
+//!
+//! 1. **Thousand-tenant storm, per policy.** `--tenants` tenants (every
+//!    97th hostile: it retains everything it allocates on a starved
+//!    quota) run under each `SchedPolicy`. Under every policy each
+//!    hostile tenant must trap `HeapExhausted` alone and every good
+//!    tenant must finish with result, output, and `RunStats`
+//!    byte-identical to its solo run — neighbor isolation is
+//!    policy-independent. The round-robin row doubles as the
+//!    no-regression baseline `scripts/verify.sh` gates on.
+//! 2. **Deadline-miss curves under load.** A fixed set of
+//!    deadline-tagged tenants is co-scheduled with growing background
+//!    load under each policy. EDF must meet every deadline at every
+//!    load level (the workload is feasible by construction: the
+//!    deadline cohort alone fits well inside its deadlines, and EDF
+//!    runs it ahead of the deadline-less background). Round-robin must
+//!    miss at the heaviest load — proving the curve actually bends and
+//!    `DeadlineMissed` is exercised.
+//! 3. **Ready-queue scaling.** The same workload at 10/100/1000
+//!    tenants, recording wall-time per slice. The binary-heap ready
+//!    queue costs O(log n) per slice where the old linear scan cost
+//!    O(n); the recorded ratios are the trajectory evidence.
+//! 4. **Admission control.** A capacity sized for three tenants is
+//!    offered five; exactly two must be rejected with the typed heap
+//!    oversubscription error and the three admitted tenants must still
+//!    run to their solo results.
+
+use smlc::{
+    AdmissionError, Compiled, Json, Outcome, SchedPolicy, SchedStats, SchedulerBuilder, Session,
+    TenantOutcome, TenantReport, TenantSpec, Variant, VmConfig, VmScheduler,
+    METRICS_SCHEMA_VERSION,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bounded-churn tenant: allocates freely, retains only a 20-cell list.
+const GOOD_SRC: &str = "
+    fun build n = if n = 0 then [] else n :: build (n - 1)
+    fun sum [] = 0 | sum (x :: r) = x + sum r
+    fun churn 0 acc = acc
+      | churn n acc = churn (n - 1) (acc + sum (build 20))
+    val _ = print (itos (churn 60 0))
+";
+
+/// Hostile tenant: unbounded live-list growth, must exhaust any quota.
+const HOSTILE_SRC: &str = "
+    fun grow l = grow (1 :: l)
+    val _ = grow []
+";
+
+/// Nursery halves for the per-tenant storm geometry (words).
+const NURSERY: usize = 256;
+/// Tenured space for well-behaved tenants — holds the 20-cell live set.
+const TENURED: usize = 2048;
+/// Starved quota for hostile tenants.
+const HOSTILE_TENURED: usize = 4096;
+/// Every `HOSTILE_STRIDE`-th storm slot is hostile.
+const HOSTILE_STRIDE: usize = 97;
+/// Scheduler quantum for the storm and curve stages, in cycles.
+const QUANTUM: u64 = 2_000;
+/// Deadline-tagged tenants in the curve stage.
+const DEADLINE_COHORT: usize = 20;
+/// Background tenant counts swept by the curve stage.
+const LOADS: [usize; 4] = [0, 25, 100, 200];
+
+fn small(base: &VmConfig, tenured: usize) -> VmConfig {
+    VmConfig {
+        nursery_words: NURSERY,
+        tenured_words: tenured,
+        promote_after: 1,
+        ..*base
+    }
+}
+
+fn build_sched(policy: SchedPolicy, quantum: u64) -> VmScheduler {
+    SchedulerBuilder::new()
+        .quantum(quantum)
+        .policy(policy)
+        .build()
+        .expect("nonzero knobs always validate")
+}
+
+/// Checks one tenant report against its solo run; pushes any observable
+/// divergence into `failures` keyed by `what`.
+fn check_solo_identical(what: &str, r: &TenantReport, solo: &Outcome, failures: &mut Vec<String>) {
+    if r.outcome != TenantOutcome::Done {
+        failures.push(format!("{what}: ended {:?}, expected Done", r.outcome));
+        return;
+    }
+    if r.result != solo.result || r.output != solo.output {
+        failures.push(format!("{what}: result/output diverge from the solo run"));
+    }
+    if r.stats != solo.stats {
+        failures.push(format!(
+            "{what}: RunStats diverge from solo ({} vs {} cycles)",
+            r.stats.cycles, solo.stats.cycles
+        ));
+    }
+}
+
+fn sched_stats_json(s: &SchedStats) -> Json {
+    Json::obj()
+        .field("policy", s.policy.name())
+        .field("tenants", s.tenants)
+        .field("rejected", s.rejected)
+        .field("rounds", s.rounds)
+        .field("slices", s.slices)
+        .field("preemptions", s.preemptions)
+        .field("max_overshoot", s.max_overshoot)
+        .field("ready_peak", s.ready_peak)
+        .field("done", s.done)
+        .field("heap_exhausted", s.heap_exhausted)
+        .field("deadline_missed", s.deadline_missed)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: sched_bench [--json=PATH] [--tenants=N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut path = "BENCH_pr10.json".to_owned();
+    let mut n_tenants: usize = 1000;
+    for a in std::env::args().skip(1) {
+        if let Some(p) = a.strip_prefix("--json=") {
+            path = p.to_owned();
+        } else if let Some(n) = a.strip_prefix("--tenants=") {
+            n_tenants = n.parse().unwrap_or_else(|_| usage());
+        } else {
+            usage();
+        }
+    }
+
+    let variant = Variant::Ffb;
+    let base = variant.vm_config();
+    let session = Session::with_variant(variant);
+    let mut failures: Vec<String> = Vec::new();
+
+    let compile = |what: &str, src: &str| -> Compiled {
+        session
+            .compile(src)
+            .unwrap_or_else(|e| panic!("{what} failed to compile under {variant}: {e}"))
+    };
+    let good = compile("storm tenant", GOOD_SRC);
+    let hostile = compile("hostile tenant", HOSTILE_SRC);
+    let good_cfg = small(&base, TENURED);
+    let hostile_cfg = small(&base, HOSTILE_TENURED);
+    let solo = good.run_with(&good_cfg);
+    let good_prog = Arc::new(good.machine.clone());
+    let hostile_prog = Arc::new(hostile.machine.clone());
+
+    // Stage 1: the storm, once per policy. Priorities are varied under
+    // every policy (they are inert outside `Priority`) so the same spec
+    // set exercises each ready-queue key.
+    let policies = [
+        SchedPolicy::RoundRobin,
+        SchedPolicy::Priority,
+        SchedPolicy::Deadline,
+    ];
+    let mut storm_rows: Vec<Json> = Vec::new();
+    for &policy in &policies {
+        let mut sched = build_sched(policy, QUANTUM);
+        let mut hostiles = 0u64;
+        for slot in 0..n_tenants {
+            let spec = if slot % HOSTILE_STRIDE == 0 {
+                hostiles += 1;
+                TenantSpec::new(hostile_prog.clone(), &hostile_cfg)
+            } else {
+                TenantSpec::new(good_prog.clone(), &good_cfg)
+            };
+            sched
+                .admit(spec.priority((slot % 8) as u32))
+                .expect("uncapped storm admits all tenants");
+        }
+        let t0 = Instant::now();
+        let (reports, stats) = sched.run_all();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        for (slot, r) in reports.iter().enumerate() {
+            if slot % HOSTILE_STRIDE == 0 {
+                if r.outcome != TenantOutcome::HeapExhausted {
+                    failures.push(format!(
+                        "storm[{}]: hostile tenant {slot} ended {:?}, expected HeapExhausted",
+                        policy.name(),
+                        r.outcome
+                    ));
+                }
+            } else {
+                check_solo_identical(
+                    &format!("storm[{}] tenant {slot}", policy.name()),
+                    r,
+                    &solo,
+                    &mut failures,
+                );
+            }
+        }
+        if stats.done != (n_tenants as u64 - hostiles) || stats.heap_exhausted != hostiles {
+            failures.push(format!(
+                "storm[{}]: outcome tally {} done / {} heap-exhausted, expected {} / {}",
+                policy.name(),
+                stats.done,
+                stats.heap_exhausted,
+                n_tenants as u64 - hostiles,
+                hostiles
+            ));
+        }
+        if stats.deadline_missed != 0 || stats.rejected != 0 {
+            failures.push(format!(
+                "storm[{}]: spurious rejections ({}) or deadline misses ({})",
+                policy.name(),
+                stats.rejected,
+                stats.deadline_missed
+            ));
+        }
+        println!(
+            "storm {:11}  {} tenants  {} done / {} heap-exhausted  \
+             {:>8} slices  ready peak {:>5}  {:>9.1}ms",
+            policy.name(),
+            stats.tenants,
+            stats.done,
+            stats.heap_exhausted,
+            stats.slices,
+            stats.ready_peak,
+            ms,
+        );
+        storm_rows.push(sched_stats_json(&stats).field("wall_ms", ms));
+    }
+
+    // Stage 2: deadline-miss curves. A cohort of deadline-tagged
+    // tenants is feasible on its own (EDF runs it first and it finishes
+    // well inside its deadline) but drowns under round-robin once
+    // enough deadline-less background tenants share the machine.
+    let cohort_cycles = solo.stats.cycles * DEADLINE_COHORT as u64;
+    let deadline = cohort_cycles * 3;
+    let mut curve_rows: Vec<Json> = Vec::new();
+    for &load in &LOADS {
+        for &policy in &policies {
+            let mut sched = build_sched(policy, QUANTUM);
+            for _ in 0..DEADLINE_COHORT {
+                sched
+                    .admit(
+                        TenantSpec::new(good_prog.clone(), &good_cfg)
+                            .priority(9)
+                            .deadline_cycles(deadline),
+                    )
+                    .expect("uncapped curve admits the deadline cohort");
+            }
+            for _ in 0..load {
+                sched
+                    .admit(TenantSpec::new(good_prog.clone(), &good_cfg))
+                    .expect("uncapped curve admits the background load");
+            }
+            let (_, stats) = sched.run_all();
+            if policy == SchedPolicy::Deadline && stats.deadline_missed != 0 {
+                failures.push(format!(
+                    "curve: EDF missed {} deadline(s) at load {load} on a feasible workload",
+                    stats.deadline_missed
+                ));
+            }
+            if policy == SchedPolicy::RoundRobin
+                && load == LOADS[LOADS.len() - 1]
+                && stats.deadline_missed == 0
+            {
+                failures.push(format!(
+                    "curve: round-robin met every deadline at load {load}; \
+                     the workload is too loose to exercise DeadlineMissed"
+                ));
+            }
+            println!(
+                "curve  load {:>4}  {:11}  {:>3} missed of {DEADLINE_COHORT}",
+                load,
+                policy.name(),
+                stats.deadline_missed,
+            );
+            curve_rows.push(
+                Json::obj()
+                    .field("background_tenants", load as u64)
+                    .field("policy", policy.name())
+                    .field("deadline_cycles", deadline)
+                    .field("deadline_missed", stats.deadline_missed),
+            );
+        }
+    }
+
+    // Stage 3: ready-queue scaling. Wall-time per slice at growing
+    // tenant counts; recorded, never gated.
+    let mut scaling_rows: Vec<Json> = Vec::new();
+    let mut ns_per_slice_at: Vec<(usize, f64)> = Vec::new();
+    for &n in &[10usize, 100, 1000] {
+        let mut sched = build_sched(SchedPolicy::RoundRobin, QUANTUM);
+        for _ in 0..n {
+            sched
+                .admit(TenantSpec::new(good_prog.clone(), &good_cfg))
+                .expect("uncapped scaling run admits all tenants");
+        }
+        let t0 = Instant::now();
+        let (_, stats) = sched.run_all();
+        let ns = t0.elapsed().as_secs_f64() * 1e9;
+        let per_slice = ns / stats.slices.max(1) as f64;
+        ns_per_slice_at.push((n, per_slice));
+        println!(
+            "scale  {:>5} tenants  {:>8} slices  {:>8.0} ns/slice",
+            n, stats.slices, per_slice
+        );
+        scaling_rows.push(
+            Json::obj()
+                .field("tenants", n as u64)
+                .field("slices", stats.slices)
+                .field("ready_peak", stats.ready_peak)
+                .field("wall_ns_per_slice", per_slice),
+        );
+    }
+    // 100x the tenants should cost far less than 100x per slice; with
+    // the binary-heap queue the growth is logarithmic. Recorded only.
+    let scaling_ratio = ns_per_slice_at[2].1 / ns_per_slice_at[0].1;
+
+    // Stage 4: admission control. Capacity for three good heaps,
+    // offered five tenants: exactly two typed rejections, and the
+    // admitted three still reach their solo results.
+    let mut sched = SchedulerBuilder::new()
+        .quantum(QUANTUM)
+        .heap_capacity_words((good_cfg.tenured_words as u64) * 3)
+        .build()
+        .expect("nonzero knobs always validate");
+    let mut rejected = 0u64;
+    for slot in 0..5 {
+        match sched.admit(TenantSpec::new(good_prog.clone(), &good_cfg)) {
+            Ok(_) => {}
+            Err(e @ AdmissionError::HeapOversubscribed { .. }) => {
+                rejected += 1;
+                if slot < 3 {
+                    failures.push(format!("admission: tenant {slot} rejected early: {e}"));
+                }
+            }
+            Err(e) => failures.push(format!("admission: tenant {slot}: wrong error kind: {e}")),
+        }
+    }
+    let (reports, stats) = sched.run_all();
+    if rejected != 2 || stats.rejected != 2 || reports.len() != 3 {
+        failures.push(format!(
+            "admission: {rejected} rejections ({} counted), {} admitted; expected 2 and 3",
+            stats.rejected,
+            reports.len()
+        ));
+    }
+    for (slot, r) in reports.iter().enumerate() {
+        check_solo_identical(&format!("admission tenant {slot}"), r, &solo, &mut failures);
+    }
+    println!(
+        "admission  {} admitted / {} rejected against a {}-word quota",
+        reports.len(),
+        stats.rejected,
+        good_cfg.tenured_words * 3
+    );
+
+    let doc = Json::obj()
+        .field("schema_version", METRICS_SCHEMA_VERSION)
+        .field("generator", "sched_bench")
+        .field("variant", variant.name())
+        .field(
+            "config",
+            Json::obj()
+                .field("tenants", n_tenants as u64)
+                .field("quantum", QUANTUM)
+                .field("nursery_words", NURSERY)
+                .field("tenured_words", TENURED)
+                .field("hostile_tenured_words", HOSTILE_TENURED)
+                .field("hostile_stride", HOSTILE_STRIDE as u64)
+                .field("deadline_cohort", DEADLINE_COHORT as u64),
+        )
+        .field("storm", Json::Arr(storm_rows))
+        .field("deadline_curve", Json::Arr(curve_rows))
+        .field("scaling", Json::Arr(scaling_rows))
+        .field(
+            "summary",
+            Json::obj()
+                .field("per_slice_ratio_1000_vs_10", scaling_ratio)
+                .field("failures", failures.len()),
+        );
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "sched_bench: {n_tenants}-tenant storm solo-identical under all {} policies; \
+         EDF met every deadline; 1000-vs-10-tenant per-slice ratio {scaling_ratio:.2}x",
+        policies.len()
+    );
+}

@@ -598,7 +598,7 @@ mod tests {
     fn empty_matrix_serializes() {
         let doc = matrix_json(&[], "test").to_string_compact();
         assert!(doc.contains("\"benchmarks\":[]"));
-        assert!(doc.contains("\"schema_version\":4"));
+        assert!(doc.contains(&format!("\"schema_version\":{METRICS_SCHEMA_VERSION}")));
         assert!(doc.contains("\"degraded_cells\":0"));
     }
 

@@ -39,14 +39,14 @@
 //! into `BENCH_*.json` trajectory files — including the session's
 //! artifact-cache counters under `"cache"`.
 
-use sml_vm::VmScheduler;
 use smlc::{
-    error_json, CompileError, CompileServer, Dispatch, Job, Json, Metrics, Session, Variant,
-    VerifyIr, VmResult,
+    error_json, CompileError, CompileServer, Dispatch, Job, Json, Metrics, SchedPolicy,
+    SchedulerBuilder, Session, TenantSpec, Variant, VerifyIr, VmResult,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Exit codes, documented in `docs/ROBUSTNESS.md`: syntax errors (and
 /// usage mistakes) exit 2, type errors 3, exceeded resource budgets and
@@ -77,7 +77,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: smlc [compile|run|bench] [--variant nrp|fag|rep|mtd|ffb|fp3] \
          [--verify-ir off|debug|always] [--stats[=json]] [--all] [--batch] [--emit asm] \
-         [--tenants=N] [--dispatch=decode|threaded] (<file.sml>... | -e <source>)\n\
+         [--tenants=N] [--policy=round-robin|priority|deadline] [--deadline=CYCLES] \
+         [--dispatch=decode|threaded] (<file.sml>... | -e <source>)\n\
          \x20      smlc serve [--socket <path>] [--workers=N] [--variant V] [--verify-ir M]\n\
          \x20      smlc client --socket <path> [--run] [--stats] [--variant V] \
          (<file.sml>... | -e <source>)"
@@ -143,6 +144,8 @@ fn drive(args: &[String], mode: DriveMode) -> ExitCode {
     let mut batch = false;
     let mut emit_asm = false;
     let mut tenants: usize = 1;
+    let mut policy = SchedPolicy::RoundRobin;
+    let mut deadline: Option<u64> = None;
     let mut dispatch = Dispatch::default();
     let mut inputs: Vec<Input> = Vec::new();
 
@@ -172,9 +175,23 @@ fn drive(args: &[String], mode: DriveMode) -> ExitCode {
                 usage()
             }
             s if s.starts_with("--tenants=") => match s["--tenants=".len()..].parse::<usize>() {
-                Ok(n) if (1..=1024).contains(&n) => tenants = n,
+                Ok(n) if (1..=4096).contains(&n) => tenants = n,
                 _ => {
-                    eprintln!("--tenants takes a count between 1 and 1024");
+                    eprintln!("--tenants takes a count between 1 and 4096");
+                    usage()
+                }
+            },
+            s if s.starts_with("--policy=") => match s["--policy=".len()..].parse() {
+                Ok(p) => policy = p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            },
+            s if s.starts_with("--deadline=") => match s["--deadline=".len()..].parse::<u64>() {
+                Ok(n) if n > 0 => deadline = Some(n),
+                _ => {
+                    eprintln!("--deadline takes a nonzero cycle count");
                     usage()
                 }
             },
@@ -304,28 +321,45 @@ fn drive(args: &[String], mode: DriveMode) -> ExitCode {
                 continue;
             }
             // With --tenants=N the compiled program runs as N
-            // identically configured tenants under the round-robin VM
-            // scheduler; tenant 0's outcome (identical to a solo run)
-            // is reported and the scheduler counters land in the
-            // metrics document under "sched".
+            // identically configured tenants sharing one program
+            // handle under the policy-driven VM scheduler; tenant 0's
+            // outcome (identical to a solo run) is reported and the
+            // scheduler counters land in the metrics document under
+            // "sched".
             let mut cfg = session.vm_config(compiled.variant);
             cfg.dispatch = dispatch;
             let (outcome, sched) = if tenants > 1 {
-                let mut sched = VmScheduler::new(10_000);
-                for _ in 0..tenants {
-                    sched.spawn(&compiled.machine, &cfg);
+                let program = Arc::new(compiled.machine.clone());
+                let mut spec = TenantSpec::new(program, &cfg);
+                if let Some(d) = deadline {
+                    spec = spec.deadline_cycles(d);
                 }
-                let (mut reports, stats) = sched.run_all();
-                let first = reports.swap_remove(0);
-                (
-                    smlc::Outcome {
-                        result: first.result,
-                        stats: first.stats,
-                        output: first.output,
-                        dispatch: first.dispatch,
-                    },
-                    Some(stats),
-                )
+                let specs = vec![spec; tenants];
+                let sched = SchedulerBuilder::new()
+                    .quantum(10_000)
+                    .policy(policy)
+                    .build()
+                    .expect("the CLI scheduler config always validates");
+                match session.run_tenants_with(sched, &specs) {
+                    Ok((mut reports, stats)) => {
+                        let first = reports.swap_remove(0);
+                        (
+                            smlc::Outcome {
+                                result: first.result,
+                                stats: first.stats,
+                                output: first.output,
+                                dispatch: first.dispatch,
+                            },
+                            Some(stats),
+                        )
+                    }
+                    Err(e) => {
+                        // Rejected configuration: same exit code as
+                        // exceeded resource budgets (docs/ROBUSTNESS.md).
+                        eprintln!("smlc: {e}");
+                        return ExitCode::from(4);
+                    }
+                }
             } else {
                 (compiled.run_with(&cfg), None)
             };

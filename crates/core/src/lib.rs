@@ -55,5 +55,7 @@ pub use server::{CompileServer, ServerStats};
 pub use session::{par_map, CacheStats, Job, Session, SessionBuilder};
 pub use sml_cps::OptConfig;
 pub use sml_vm::{
-    Dispatch, DispatchStats, FaultInject, GcMode, InstrClass, Outcome, RunStats, VmConfig, VmResult,
+    AdmissionError, Dispatch, DispatchStats, FaultInject, GcMode, InstrClass, MachineProgram,
+    Outcome, RunStats, SchedConfigError, SchedPolicy, SchedStats, SchedulerBuilder, TenantOutcome,
+    TenantReport, TenantSpec, VmConfig, VmResult, VmScheduler,
 };

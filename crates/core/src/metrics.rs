@@ -38,7 +38,14 @@ use sml_vm::{DispatchStats, InstrClass, Outcome, RunStats, SchedStats, VmResult}
 /// reflect the floor-semantics div/mod (a `"fault"` result where
 /// division by zero previously produced a value); bumped because the
 /// arithmetic-semantics change alters the meaning of existing runs.
-pub const METRICS_SCHEMA_VERSION: u64 = 4;
+/// **5** — the `sched` object grew the policy-driven scheduler's
+/// counters (`policy`, `rejected`, `ready_peak`, `deadline_missed`)
+/// and two fields changed meaning: `rounds` is now the maximum slices
+/// any one tenant consumed (identical for round-robin, defined for
+/// every policy) and `max_overshoot` is measured against each
+/// tenant's *own* quantum (identical when all tenants share the
+/// global quantum); bumped for those redefinitions.
+pub const METRICS_SCHEMA_VERSION: u64 = 5;
 
 /// A structured snapshot of one compilation and (optionally) one run.
 #[derive(Clone, Debug)]
@@ -402,16 +409,20 @@ fn hist_json(hist: &[u64; sml_vm::N_PAUSE_BUCKETS]) -> Json {
 
 fn sched_json(s: &SchedStats) -> Json {
     Json::obj()
+        .field("policy", s.policy.name())
         .field("quantum", s.quantum)
         .field("tenants", s.tenants)
+        .field("rejected", s.rejected)
         .field("rounds", s.rounds)
         .field("slices", s.slices)
         .field("preemptions", s.preemptions)
         .field("max_overshoot", s.max_overshoot)
+        .field("ready_peak", s.ready_peak)
         .field("done", s.done)
         .field("heap_exhausted", s.heap_exhausted)
         .field("fault", s.fault)
         .field("out_of_fuel", s.out_of_fuel)
+        .field("deadline_missed", s.deadline_missed)
 }
 
 fn by_class_json(counts: &[u64; sml_vm::N_INSTR_CLASSES]) -> Json {

@@ -58,7 +58,10 @@ use crate::fxhash::{hash_bytes, FxHasher};
 use crate::pipeline::{compile_engine, Compiled, Limits, VerifyIr};
 use sml_cps::OptConfig;
 use sml_lambda::{InternMode, InternStats, LtyArena, LtyInterner};
-use sml_vm::{FaultInject, Outcome, VmConfig};
+use sml_vm::{
+    AdmissionError, FaultInject, Outcome, SchedStats, SchedulerBuilder, TenantReport, TenantSpec,
+    VmConfig, VmScheduler,
+};
 use std::collections::HashMap;
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -773,6 +776,47 @@ impl Session {
     /// Returns [`CompileError`]; see [`Session::compile`].
     pub fn compile_and_run(&self, src: &str) -> Result<Outcome, CompileError> {
         Ok(self.run(&self.compile(src)?))
+    }
+
+    /// Runs a set of tenants to completion under a default
+    /// (round-robin, uncapped) scheduler — the multi-tenant mirror of
+    /// [`Session::compile_job`]: one entry point taking declarative
+    /// [`TenantSpec`]s. Reports are indexed by spec order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AdmissionError`] if a spec's heap/fuel
+    /// quota oversubscribes the machine capacity (never happens with
+    /// the default uncapped scheduler).
+    pub fn run_tenants(
+        &self,
+        specs: &[TenantSpec],
+    ) -> Result<(Vec<TenantReport>, SchedStats), AdmissionError> {
+        let sched = SchedulerBuilder::new()
+            .build()
+            .expect("default scheduler config always validates");
+        self.run_tenants_with(sched, specs)
+    }
+
+    /// Like [`Session::run_tenants`] but against a caller-configured
+    /// scheduler (policy, quantum, capacity — see
+    /// [`SchedulerBuilder`]). Admission is all-or-nothing: the first
+    /// rejected spec fails the whole call, so a partial tenant set
+    /// never runs silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AdmissionError`] raised by
+    /// [`VmScheduler::admit`].
+    pub fn run_tenants_with(
+        &self,
+        mut sched: VmScheduler,
+        specs: &[TenantSpec],
+    ) -> Result<(Vec<TenantReport>, SchedStats), AdmissionError> {
+        for spec in specs {
+            sched.admit(spec.clone())?;
+        }
+        Ok(sched.run_all())
     }
 
     /// Current artifact-cache counters (all zero, `enabled: false`,

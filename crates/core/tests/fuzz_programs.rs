@@ -295,6 +295,85 @@ fn generated_programs_agree_across_dispatch_engines() {
 }
 
 #[test]
+fn generated_programs_run_identically_under_every_scheduler_policy() {
+    // Scheduler differential — the multi-tenant isolation gate: under
+    // every `SchedPolicy` × `Dispatch` combination, each tenant's
+    // result, output, and full `RunStats` must be byte-identical to a
+    // solo run of the same program and config. Tenants get distinct
+    // priorities and one gets a (generous) deadline so the policy
+    // machinery genuinely reorders the schedule.
+    use smlc::{Dispatch, SchedPolicy, SchedulerBuilder, TenantOutcome, TenantSpec, VmConfig};
+    use std::sync::Arc;
+    let cfg = GenConfig {
+        items: 3,
+        ..GenConfig::default()
+    };
+    let session = Session::default();
+    run_cases(
+        "generated_programs_run_identically_under_every_scheduler_policy",
+        8,
+        |rng| {
+            let src = gen_program(rng, &cfg);
+            let v = Variant::Ffb;
+            let c = compile(&src, v)
+                .unwrap_or_else(|e| panic!("[{}] compile failed: {e}\n{src}", v.name()));
+            let program = Arc::new(c.machine.clone());
+            for engine in [Dispatch::Decode, Dispatch::Threaded] {
+                let vm = VmConfig {
+                    dispatch: engine,
+                    ..v.vm_config()
+                };
+                let solo = c.run_with(&vm);
+                for policy in [
+                    SchedPolicy::RoundRobin,
+                    SchedPolicy::Priority,
+                    SchedPolicy::Deadline,
+                ] {
+                    let sched = SchedulerBuilder::new()
+                        .quantum(701)
+                        .policy(policy)
+                        .build()
+                        .unwrap();
+                    let specs = vec![
+                        TenantSpec::new(program.clone(), &vm).priority(3),
+                        TenantSpec::new(program.clone(), &vm).deadline_cycles(u64::MAX / 2),
+                        TenantSpec::new(program.clone(), &vm),
+                    ];
+                    let (reports, stats) = session
+                        .run_tenants_with(sched, &specs)
+                        .expect("uncapped scheduler admits all tenants");
+                    assert_eq!(stats.done, 3);
+                    for (i, r) in reports.iter().enumerate() {
+                        assert_eq!(r.outcome, TenantOutcome::Done);
+                        assert_eq!(
+                            r.result,
+                            solo.result,
+                            "[{}/{}] tenant {i} result diverges from solo for\n{src}",
+                            policy.name(),
+                            engine.name()
+                        );
+                        assert_eq!(
+                            r.output,
+                            solo.output,
+                            "[{}/{}] tenant {i} output diverges from solo for\n{src}",
+                            policy.name(),
+                            engine.name()
+                        );
+                        assert_eq!(
+                            r.stats,
+                            solo.stats,
+                            "[{}/{}] tenant {i} RunStats diverge from solo for\n{src}",
+                            policy.name(),
+                            engine.name()
+                        );
+                    }
+                }
+            }
+        },
+    );
+}
+
+#[test]
 fn seeded_corpus_is_stable() {
     // The generator is part of the reproducibility story: the corpus a
     // seed denotes must never drift silently. Pin one program's shape.

@@ -67,10 +67,10 @@ fn metrics_doc_cross_check() {
 /// changed meaning.
 #[test]
 fn golden_default_metrics_document() {
-    assert_eq!(METRICS_SCHEMA_VERSION, 4);
+    assert_eq!(METRICS_SCHEMA_VERSION, 5);
     let compact = Metrics::default().to_json().to_string_compact();
     let expected = concat!(
-        "{\"schema_version\":4,\"variant\":\"sml.nrp\",",
+        "{\"schema_version\":5,\"variant\":\"sml.nrp\",",
         "\"compile\":{\"total_ms\":0.0,\"phases\":[],",
         "\"sizes\":{\"lexp\":0,\"cps_before\":0,\"cps_after\":0,\"code\":0},",
         "\"lty\":{\"interned\":0,\"intern_calls\":0,\"hashcons_hits\":0,",
@@ -96,9 +96,11 @@ fn golden_default_metrics_document() {
         "\"evictions\":0,\"insertions\":0,\"entries\":0,\"capacity\":0},",
         "\"arena\":{\"resident\":0,\"hits\":0,\"misses\":0,\"retries\":0,",
         "\"queries\":0,\"shards\":[]},",
-        "\"sched\":{\"quantum\":0,\"tenants\":0,\"rounds\":0,\"slices\":0,",
-        "\"preemptions\":0,\"max_overshoot\":0,\"done\":0,",
-        "\"heap_exhausted\":0,\"fault\":0,\"out_of_fuel\":0},",
+        "\"sched\":{\"policy\":\"round-robin\",\"quantum\":0,\"tenants\":0,",
+        "\"rejected\":0,\"rounds\":0,\"slices\":0,",
+        "\"preemptions\":0,\"max_overshoot\":0,\"ready_peak\":0,\"done\":0,",
+        "\"heap_exhausted\":0,\"fault\":0,\"out_of_fuel\":0,",
+        "\"deadline_missed\":0},",
         "\"components\":{\"enabled\":false,\"scc_count\":0,\"recompiled\":0,",
         "\"cache_hits\":0,\"topo_depth\":0},",
         "\"server\":{\"jobs\":0,\"clients\":0,\"queue_depth_peak\":0}}"

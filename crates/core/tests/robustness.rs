@@ -143,7 +143,10 @@ fn error_taxonomy_tags_are_stable() {
 fn error_document_covers_every_failure_class() {
     let e = compile("val = =", Variant::Ffb).unwrap_err();
     let doc = smlc::error_json(Variant::Ffb, &e).to_string_compact();
-    assert!(doc.contains("\"schema_version\":4"));
+    assert!(doc.contains(&format!(
+        "\"schema_version\":{}",
+        smlc::METRICS_SCHEMA_VERSION
+    )));
     assert!(doc.contains("\"error\":"));
     assert!(doc.contains("\"kind\":\"parse\""));
     assert!(doc.contains("\"phase\":\"parse\""));

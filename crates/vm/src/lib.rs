@@ -18,7 +18,10 @@ pub use codegen::codegen;
 pub use disasm::parse_instr;
 pub use heap::{GcKind, GcMode, Heap, HeapConfig, ObjKind, SliceOutcome};
 pub use isa::{CodeBlock, Instr, InstrClass, MachineProgram, N_INSTR_CLASSES};
-pub use sched::{SchedStats, TenantOutcome, TenantReport, VmScheduler};
+pub use sched::{
+    AdmissionError, SchedConfigError, SchedPolicy, SchedStats, SchedulerBuilder, TenantOutcome,
+    TenantReport, TenantSpec, VmScheduler,
+};
 pub use verify::{
     verify_bytecode, verify_threaded, BytecodeVerifySummary, BytecodeViolation,
     ThreadedVerifySummary,

@@ -1,28 +1,360 @@
-//! Multi-tenant VM scheduling: time-slicing N concurrent
-//! [`VmInstance`]s round-robin on a cycle quantum.
+//! Policy-driven multi-tenant VM scheduling: time-slicing N concurrent
+//! [`VmInstance`]s on a cycle quantum under a pluggable [`SchedPolicy`].
 //!
-//! Each tenant is an independent program + [`VmConfig`] pair with its
-//! own heap — the per-tenant `tenured_words` ceiling *is* the heap
-//! quota, and `max_cycles` is the fuel quota. The scheduler's isolation
-//! guarantee is the whole point: a tenant that exhausts its quota,
-//! faults, or runs out of fuel degrades **alone**
-//! ([`TenantOutcome::HeapExhausted`] / [`TenantOutcome::Fault`] /
-//! [`TenantOutcome::OutOfFuel`]) while every other tenant runs to
-//! completion with exactly the results it would have produced running
-//! solo — tenant heaps share nothing, and preemption sits between
-//! instructions, so interleaving cannot change per-tenant behavior.
+//! Each tenant is a [`TenantSpec`]: a shared program handle
+//! (`Arc<MachineProgram>`, so N instances of one program pay one
+//! compilation), its own [`VmConfig`] (the per-tenant `tenured_words`
+//! ceiling *is* the heap quota, and `max_cycles` is the fuel quota),
+//! and scheduling attributes (priority, deadline, an optional
+//! per-tenant quantum). The scheduler's isolation guarantee is the
+//! whole point: a tenant that exhausts its quota, faults, or runs out
+//! of fuel degrades **alone** ([`TenantOutcome::HeapExhausted`] /
+//! [`TenantOutcome::Fault`] / [`TenantOutcome::OutOfFuel`]) while every
+//! other tenant runs to completion with exactly the results it would
+//! have produced running solo — tenant heaps share nothing, and
+//! preemption sits between instructions, so interleaving cannot change
+//! per-tenant behavior. This holds under every policy and both
+//! dispatch engines.
 //!
-//! Fairness is bounded, not merely statistical: in every round each
-//! runnable tenant advances at most `quantum` cycles plus one bounded
-//! overshoot (the cycle cost of the single instruction — or fused
-//! instruction pair, for [`crate::vm::Dispatch::Threaded`] tenants —
-//! or GC pause straddling the quantum edge). The largest observed overshoot is
-//! reported in [`SchedStats::max_overshoot`]; with a GC pause budget
-//! set ([`VmConfig::max_pause_cycles`]) the overshoot is itself
-//! bounded by the pause budget plus the costliest single instruction.
+//! # Policies
+//!
+//! * [`SchedPolicy::RoundRobin`] — each pass over the runnable set
+//!   gives every tenant one slice, in admission order. Byte-identical
+//!   to the pre-policy scheduler's schedule.
+//! * [`SchedPolicy::Priority`] — strict priority with
+//!   starvation-bounded aging: a runnable tenant is bypassed by
+//!   higher-priority work for at most `priority_gap ×`
+//!   [`SchedulerBuilder::aging_slices`] slices before its aged key wins.
+//! * [`SchedPolicy::Deadline`] — earliest-deadline-first over each
+//!   tenant's absolute deadline (`deadline_cycles` on the machine's
+//!   deterministic cycle clock). A tenant that completes normally but
+//!   past its deadline reports [`TenantOutcome::DeadlineMissed`]; its
+//!   result, output, and stats are still solo-identical. Deadline
+//!   misses are judged under *every* policy (that is what makes
+//!   policies comparable); only EDF orders by them.
+//!
+//! The ready queue is a binary heap keyed by policy, so picking the
+//! next tenant costs O(log n) per slice instead of the former O(n)
+//! scan per round — the difference between 16 tenants and a
+//! thousand-tenant storm. Schedules remain deterministic: keys are
+//! pure functions of (policy, admission order, slices taken), never of
+//! wall-clock time.
+//!
+//! # Admission control
+//!
+//! [`SchedulerBuilder::heap_capacity_words`] /
+//! [`SchedulerBuilder::fuel_capacity_cycles`] cap the machine's
+//! aggregate committed quotas. [`VmScheduler::admit`] rejects — with a
+//! typed [`AdmissionError`], never a panic — any spec whose quota
+//! would oversubscribe the remaining capacity.
+//!
+//! # Fairness
+//!
+//! Fairness is bounded, not merely statistical: each slice advances
+//! one tenant at most its quantum plus one bounded overshoot (the
+//! cycle cost of the single instruction — or fused instruction pair,
+//! for [`crate::vm::Dispatch::Threaded`] tenants — or GC pause
+//! straddling the quantum edge). Overshoot is accounted per tenant
+//! against *that tenant's* quantum ([`TenantReport::max_overshoot`]);
+//! the largest across tenants is [`SchedStats::max_overshoot`]. With a
+//! GC pause budget set ([`VmConfig::max_pause_cycles`]) the overshoot
+//! is itself bounded by the pause budget plus the costliest single
+//! instruction.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::isa::MachineProgram;
 use crate::vm::{DispatchStats, Outcome, RunStats, VmConfig, VmInstance, VmResult};
+
+/// The scheduling discipline of a [`VmScheduler`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// One slice per runnable tenant per pass, in admission order.
+    #[default]
+    RoundRobin,
+    /// Strict priority (higher [`TenantSpec::priority`] first) with
+    /// starvation-bounded aging.
+    Priority,
+    /// Earliest-deadline-first over [`TenantSpec::deadline_cycles`];
+    /// tenants without a deadline run after every deadline-bearing
+    /// tenant.
+    Deadline,
+}
+
+impl SchedPolicy {
+    /// Stable lower-case name, also accepted by the `FromStr` parser
+    /// and emitted in the `sched` metrics object.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::RoundRobin => "round-robin",
+            SchedPolicy::Priority => "priority",
+            SchedPolicy::Deadline => "deadline",
+        }
+    }
+}
+
+impl std::str::FromStr for SchedPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<SchedPolicy, String> {
+        match s {
+            "round-robin" | "rr" => Ok(SchedPolicy::RoundRobin),
+            "priority" => Ok(SchedPolicy::Priority),
+            "deadline" | "edf" => Ok(SchedPolicy::Deadline),
+            other => Err(format!(
+                "unknown scheduling policy `{other}` (expected round-robin|priority|deadline)"
+            )),
+        }
+    }
+}
+
+/// Everything the scheduler needs to know about one tenant, as a
+/// single owned value — per-tenant configuration stops being
+/// positional `spawn` arguments.
+///
+/// The program handle is shared: spawning N tenants of one compiled
+/// program clones an `Arc`, not the code.
+#[derive(Clone)]
+pub struct TenantSpec {
+    /// The compiled program (shared code; each tenant gets a private
+    /// heap and, under threaded dispatch, its own pre-decoded stream).
+    pub program: Arc<MachineProgram>,
+    /// The tenant's own VM config: heap quota (`tenured_words`), fuel
+    /// quota (`max_cycles`), GC mode, pause budget, dispatch engine,
+    /// fault injection.
+    pub vm_config: VmConfig,
+    /// Scheduling priority ([`SchedPolicy::Priority`]; higher runs
+    /// first). Ignored by the other policies.
+    pub priority: u32,
+    /// Relative deadline in machine cycles from admission. Judged
+    /// under every policy; orders the ready queue under
+    /// [`SchedPolicy::Deadline`].
+    pub deadline_cycles: Option<u64>,
+    /// Per-tenant quantum override; `None` uses the scheduler's
+    /// quantum. Overshoot accounting is always against the tenant's
+    /// effective quantum.
+    pub quantum_cycles: Option<u64>,
+}
+
+impl TenantSpec {
+    /// A spec with default scheduling attributes (priority 0, no
+    /// deadline, the scheduler's quantum).
+    pub fn new(program: Arc<MachineProgram>, vm_config: &VmConfig) -> TenantSpec {
+        TenantSpec {
+            program,
+            vm_config: *vm_config,
+            priority: 0,
+            deadline_cycles: None,
+            quantum_cycles: None,
+        }
+    }
+
+    /// Sets the scheduling priority (higher runs first under
+    /// [`SchedPolicy::Priority`]).
+    pub fn priority(mut self, priority: u32) -> TenantSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the relative deadline, in machine cycles from admission.
+    pub fn deadline_cycles(mut self, cycles: u64) -> TenantSpec {
+        self.deadline_cycles = Some(cycles);
+        self
+    }
+
+    /// Overrides the scheduler's quantum for this tenant.
+    pub fn quantum_cycles(mut self, cycles: u64) -> TenantSpec {
+        self.quantum_cycles = Some(cycles);
+        self
+    }
+}
+
+/// Why [`SchedulerBuilder::build`] rejected a configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedConfigError {
+    /// A knob that must be at least 1 was 0.
+    MustBeNonzero {
+        /// Which builder field was zero.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for SchedConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedConfigError::MustBeNonzero { field } => {
+                write!(f, "scheduler config: `{field}` must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedConfigError {}
+
+/// Why [`VmScheduler::admit`] rejected a [`TenantSpec`]: its quota
+/// would oversubscribe the machine capacity. Admission never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The spec's heap quota (`tenured_words`) does not fit the
+    /// remaining heap capacity.
+    HeapOversubscribed {
+        /// Heap words the spec asked for.
+        requested: u64,
+        /// Heap words already committed to admitted tenants.
+        committed: u64,
+        /// The machine's total heap capacity.
+        capacity: u64,
+    },
+    /// The spec's fuel quota (`max_cycles`) does not fit the remaining
+    /// fuel capacity.
+    FuelOversubscribed {
+        /// Fuel cycles the spec asked for.
+        requested: u64,
+        /// Fuel cycles already committed to admitted tenants.
+        committed: u64,
+        /// The machine's total fuel capacity.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::HeapOversubscribed {
+                requested,
+                committed,
+                capacity,
+            } => write!(
+                f,
+                "admission rejected: heap quota of {requested} words oversubscribes \
+                 machine capacity ({committed} of {capacity} already committed)"
+            ),
+            AdmissionError::FuelOversubscribed {
+                requested,
+                committed,
+                capacity,
+            } => write!(
+                f,
+                "admission rejected: fuel quota of {requested} cycles oversubscribes \
+                 machine capacity ({committed} of {capacity} already committed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Builds a [`VmScheduler`], validating knobs the same way
+/// `SessionBuilder` does: typed errors, no panics, no silent clamping.
+///
+/// ```
+/// use sml_vm::{SchedPolicy, SchedulerBuilder};
+/// let sched = SchedulerBuilder::new()
+///     .quantum(5_000)
+///     .policy(SchedPolicy::Deadline)
+///     .heap_capacity_words(1 << 24)
+///     .build()
+///     .unwrap();
+/// assert!(sched.is_empty());
+/// assert!(SchedulerBuilder::new().quantum(0).build().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SchedulerBuilder {
+    quantum: u64,
+    policy: SchedPolicy,
+    heap_capacity_words: Option<u64>,
+    fuel_capacity_cycles: Option<u64>,
+    aging_slices: u64,
+}
+
+impl Default for SchedulerBuilder {
+    fn default() -> SchedulerBuilder {
+        SchedulerBuilder::new()
+    }
+}
+
+impl SchedulerBuilder {
+    /// Defaults: quantum 10 000 cycles, [`SchedPolicy::RoundRobin`],
+    /// unlimited capacity, aging factor 1024 slices per priority step.
+    pub fn new() -> SchedulerBuilder {
+        SchedulerBuilder {
+            quantum: 10_000,
+            policy: SchedPolicy::RoundRobin,
+            heap_capacity_words: None,
+            fuel_capacity_cycles: None,
+            aging_slices: 1024,
+        }
+    }
+
+    /// Default cycle quantum per slice (a [`TenantSpec::quantum_cycles`]
+    /// overrides it per tenant). Must be nonzero.
+    pub fn quantum(mut self, quantum: u64) -> SchedulerBuilder {
+        self.quantum = quantum;
+        self
+    }
+
+    /// The scheduling discipline.
+    pub fn policy(mut self, policy: SchedPolicy) -> SchedulerBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Caps the sum of admitted tenants' heap quotas
+    /// (`tenured_words`). Unlimited when unset. Must be nonzero.
+    pub fn heap_capacity_words(mut self, words: u64) -> SchedulerBuilder {
+        self.heap_capacity_words = Some(words);
+        self
+    }
+
+    /// Caps the sum of admitted tenants' fuel quotas (`max_cycles`).
+    /// Unlimited when unset. Must be nonzero.
+    pub fn fuel_capacity_cycles(mut self, cycles: u64) -> SchedulerBuilder {
+        self.fuel_capacity_cycles = Some(cycles);
+        self
+    }
+
+    /// Starvation bound for [`SchedPolicy::Priority`]: a runnable
+    /// tenant yields to each step of higher priority for at most this
+    /// many slices. Must be nonzero (aging is what bounds starvation).
+    pub fn aging_slices(mut self, slices: u64) -> SchedulerBuilder {
+        self.aging_slices = slices;
+        self
+    }
+
+    /// Validates and builds the scheduler.
+    pub fn build(self) -> Result<VmScheduler, SchedConfigError> {
+        if self.quantum == 0 {
+            return Err(SchedConfigError::MustBeNonzero { field: "quantum" });
+        }
+        if self.aging_slices == 0 {
+            return Err(SchedConfigError::MustBeNonzero {
+                field: "aging_slices",
+            });
+        }
+        if self.heap_capacity_words == Some(0) {
+            return Err(SchedConfigError::MustBeNonzero {
+                field: "heap_capacity_words",
+            });
+        }
+        if self.fuel_capacity_cycles == Some(0) {
+            return Err(SchedConfigError::MustBeNonzero {
+                field: "fuel_capacity_cycles",
+            });
+        }
+        Ok(VmScheduler {
+            quantum: self.quantum,
+            policy: self.policy,
+            heap_capacity_words: self.heap_capacity_words,
+            fuel_capacity_cycles: self.fuel_capacity_cycles,
+            aging_slices: self.aging_slices,
+            committed_heap_words: 0,
+            committed_fuel_cycles: 0,
+            rejected: 0,
+            tenants: Vec::new(),
+        })
+    }
+}
 
 /// How a tenant's run ended, from the scheduler's governance
 /// perspective. [`VmResult::Value`] and [`VmResult::Uncaught`] are both
@@ -40,10 +372,17 @@ pub enum TenantOutcome {
     Fault,
     /// The tenant exhausted its cycle (fuel) quota.
     OutOfFuel,
+    /// The tenant ran to completion, but the machine's cycle clock had
+    /// passed its [`TenantSpec::deadline_cycles`]. Replaces only
+    /// [`TenantOutcome::Done`] — resource outcomes take precedence —
+    /// and never changes the tenant's result, output, or stats.
+    DeadlineMissed,
 }
 
 impl TenantOutcome {
-    /// Classifies a final [`VmResult`].
+    /// Classifies a final [`VmResult`]. Deadline misses are a
+    /// scheduler-clock judgment, not a `VmResult`, so this never
+    /// returns [`TenantOutcome::DeadlineMissed`].
     pub fn of(result: &VmResult) -> TenantOutcome {
         match result {
             VmResult::Value(_) | VmResult::Uncaught(_) => TenantOutcome::Done,
@@ -58,7 +397,8 @@ impl TenantOutcome {
 /// [`Outcome`] fields it would have produced running solo.
 #[derive(Clone, Debug)]
 pub struct TenantReport {
-    /// Governance classification of `result`.
+    /// Governance classification of `result` (plus the deadline
+    /// judgment — see [`TenantOutcome::DeadlineMissed`]).
     pub outcome: TenantOutcome,
     /// The tenant's final result, byte-identical to a solo run.
     pub result: VmResult,
@@ -70,26 +410,43 @@ pub struct TenantReport {
     pub dispatch: DispatchStats,
     /// Scheduler slices this tenant consumed.
     pub slices: u64,
+    /// Largest single-slice overshoot past *this tenant's* quantum.
+    pub max_overshoot: u64,
+    /// Global slice index at which the tenant first ran (`None` if it
+    /// finished before ever being scheduled, e.g. a pre-run fault).
+    /// The starvation bound is an assertion about this number.
+    pub first_slice: Option<u64>,
 }
 
-/// Scheduler-level fairness and outcome counters.
+/// Scheduler-level fairness, admission, and outcome counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SchedStats {
-    /// The cycle quantum tenants were sliced on.
+    /// The scheduling discipline that produced this schedule.
+    pub policy: SchedPolicy,
+    /// The default cycle quantum tenants were sliced on.
     pub quantum: u64,
-    /// Number of tenants scheduled.
+    /// Number of tenants admitted and scheduled.
     pub tenants: u64,
-    /// Round-robin passes over the runnable set.
+    /// Specs rejected by admission control.
+    pub rejected: u64,
+    /// Scheduling passes: the maximum number of slices any one tenant
+    /// consumed (for round-robin, exactly the passes over the runnable
+    /// set).
     pub rounds: u64,
     /// Total slices handed out.
     pub slices: u64,
     /// Slices that ended by preemption (quantum expiry) rather than by
     /// the tenant finishing.
     pub preemptions: u64,
-    /// Largest single-slice overshoot past the quantum, in cycles: the
-    /// cost of the instruction or GC pause straddling the quantum edge.
+    /// Largest single-slice overshoot past the preempted tenant's own
+    /// quantum, in cycles: the cost of the instruction or GC pause
+    /// straddling the quantum edge.
     pub max_overshoot: u64,
-    /// Tenants that finished [`TenantOutcome::Done`].
+    /// Peak depth of the ready queue (bounds the O(log n) heap cost).
+    pub ready_peak: u64,
+    /// Tenants that finished [`TenantOutcome::Done`] (in time, when
+    /// they carried a deadline). The five outcome tallies partition
+    /// `tenants`.
     pub done: u64,
     /// Tenants that ended [`TenantOutcome::HeapExhausted`].
     pub heap_exhausted: u64,
@@ -97,109 +454,268 @@ pub struct SchedStats {
     pub fault: u64,
     /// Tenants that ended [`TenantOutcome::OutOfFuel`].
     pub out_of_fuel: u64,
+    /// Tenants that completed past their deadline
+    /// ([`TenantOutcome::DeadlineMissed`]).
+    pub deadline_missed: u64,
 }
 
-/// A round-robin scheduler over N tenant VM instances.
+/// One admitted tenant: the live instance plus its scheduling
+/// attributes and per-tenant counters.
+struct Tenant {
+    vm: VmInstance<'static>,
+    quantum: u64,
+    priority: u32,
+    /// Absolute deadline on the machine cycle clock.
+    deadline: Option<u64>,
+    slices: u64,
+    max_overshoot: u64,
+    first_slice: Option<u64>,
+    /// Machine clock when the tenant's final slice ended.
+    finished_at: u64,
+}
+
+/// Min-ordered ready-queue entry ([`BinaryHeap`] is a max-heap, so the
+/// `Ord` impl is reversed). Keys are policy-specific; ties break on
+/// admission index, keeping every schedule deterministic.
+#[derive(PartialEq, Eq)]
+struct Ready {
+    key: u64,
+    idx: usize,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Ready) -> Ordering {
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Ready) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A policy-driven scheduler over N tenant VM instances.
 ///
 /// ```
-/// # use sml_vm::{VmConfig, VmScheduler, TenantOutcome};
-/// # fn demo(prog: &sml_vm::MachineProgram) {
-/// let mut sched = VmScheduler::new(10_000);
-/// sched.spawn(prog, &VmConfig::default());
-/// sched.spawn(prog, &VmConfig { tenured_words: 4096, ..VmConfig::default() });
+/// # use std::sync::Arc;
+/// # use sml_vm::{SchedulerBuilder, TenantSpec, TenantOutcome, VmConfig};
+/// # fn demo(prog: Arc<sml_vm::MachineProgram>) {
+/// let mut sched = SchedulerBuilder::new().quantum(10_000).build().unwrap();
+/// sched.admit(TenantSpec::new(prog.clone(), &VmConfig::default())).unwrap();
+/// sched.admit(TenantSpec::new(prog, &VmConfig { tenured_words: 4096, ..VmConfig::default() })).unwrap();
 /// let (reports, stats) = sched.run_all();
 /// assert_eq!(reports.len(), 2);
 /// assert_eq!(stats.done + stats.heap_exhausted, 2);
 /// # }
 /// ```
-pub struct VmScheduler<'p> {
+pub struct VmScheduler {
     quantum: u64,
-    tenants: Vec<VmInstance<'p>>,
-    slices: Vec<u64>,
+    policy: SchedPolicy,
+    heap_capacity_words: Option<u64>,
+    fuel_capacity_cycles: Option<u64>,
+    aging_slices: u64,
+    committed_heap_words: u64,
+    committed_fuel_cycles: u64,
+    rejected: u64,
+    tenants: Vec<Tenant>,
 }
 
-impl<'p> VmScheduler<'p> {
-    /// Creates a scheduler with the given cycle quantum per slice (at
-    /// least 1; 0 is treated as 1).
-    pub fn new(quantum: u64) -> VmScheduler<'p> {
-        VmScheduler {
-            quantum: quantum.max(1),
-            tenants: Vec::new(),
-            slices: Vec::new(),
-        }
+impl VmScheduler {
+    /// Creates a round-robin scheduler with the given cycle quantum
+    /// per slice (at least 1; 0 is treated as 1).
+    #[deprecated(note = "use `SchedulerBuilder` (policy, capacity, validated knobs) instead")]
+    pub fn new(quantum: u64) -> VmScheduler {
+        SchedulerBuilder::new()
+            .quantum(quantum.max(1))
+            .build()
+            .expect("a nonzero quantum with unlimited capacity always validates")
     }
 
-    /// Adds a tenant: a program plus its own config (heap quota, fuel
-    /// quota, GC mode, pause budget, fault injection). Returns the
-    /// tenant's index, which is also its position in the
+    /// Adds a tenant by cloning the program into a shared handle.
+    #[deprecated(
+        note = "use `VmScheduler::admit` with a `TenantSpec` (shares the program \
+                         instead of cloning it, and reports admission errors)"
+    )]
+    pub fn spawn(&mut self, prog: &MachineProgram, cfg: &VmConfig) -> usize {
+        self.admit(TenantSpec::new(Arc::new(prog.clone()), cfg))
+            .expect("unlimited capacity admits every tenant")
+    }
+
+    /// Admits a tenant, or rejects it (typed error, never a panic) if
+    /// its heap/fuel quota would oversubscribe the machine capacity.
+    /// Returns the tenant's index, which is also its position in the
     /// [`VmScheduler::run_all`] report vector.
-    pub fn spawn(&mut self, prog: &'p MachineProgram, cfg: &VmConfig) -> usize {
-        self.tenants.push(VmInstance::new(prog, cfg));
-        self.slices.push(0);
-        self.tenants.len() - 1
+    pub fn admit(&mut self, spec: TenantSpec) -> Result<usize, AdmissionError> {
+        let heap_req = spec.vm_config.tenured_words as u64;
+        let fuel_req = spec.vm_config.max_cycles;
+        if let Some(cap) = self.heap_capacity_words {
+            if self.committed_heap_words.saturating_add(heap_req) > cap {
+                self.rejected += 1;
+                return Err(AdmissionError::HeapOversubscribed {
+                    requested: heap_req,
+                    committed: self.committed_heap_words,
+                    capacity: cap,
+                });
+            }
+        }
+        if let Some(cap) = self.fuel_capacity_cycles {
+            if self.committed_fuel_cycles.saturating_add(fuel_req) > cap {
+                self.rejected += 1;
+                return Err(AdmissionError::FuelOversubscribed {
+                    requested: fuel_req,
+                    committed: self.committed_fuel_cycles,
+                    capacity: cap,
+                });
+            }
+        }
+        self.committed_heap_words = self.committed_heap_words.saturating_add(heap_req);
+        self.committed_fuel_cycles = self.committed_fuel_cycles.saturating_add(fuel_req);
+        self.tenants.push(Tenant {
+            vm: VmInstance::shared(spec.program, &spec.vm_config),
+            quantum: spec.quantum_cycles.unwrap_or(self.quantum).max(1),
+            priority: spec.priority,
+            deadline: spec.deadline_cycles,
+            slices: 0,
+            max_overshoot: 0,
+            first_slice: None,
+            finished_at: 0,
+        });
+        Ok(self.tenants.len() - 1)
     }
 
-    /// Number of tenants spawned.
+    /// Number of tenants admitted.
     pub fn len(&self) -> usize {
         self.tenants.len()
     }
 
-    /// True when no tenants have been spawned.
+    /// True when no tenants have been admitted.
     pub fn is_empty(&self) -> bool {
         self.tenants.is_empty()
     }
 
-    /// Runs every tenant to completion, round-robin on the quantum, and
-    /// returns the per-tenant reports (indexed by spawn order) plus the
-    /// scheduler's fairness counters. Deterministic: the schedule is a
-    /// pure function of the tenant set and the quantum.
+    /// The ready-queue key for tenant `idx`, given how many slices it
+    /// has already taken and the global enqueue sequence number.
+    fn key_for(&self, idx: usize, seq: u64) -> u64 {
+        let t = &self.tenants[idx];
+        match self.policy {
+            // Pass count: every unfinished tenant takes exactly one
+            // slice per pass, in admission order — the pre-policy
+            // round-robin schedule, now in O(log n) per slice.
+            SchedPolicy::RoundRobin => t.slices,
+            // Virtual time: each priority step ages away
+            // `aging_slices` enqueues, so strict priority holds until
+            // a starving tenant's seniority wins. The bias keeps the
+            // subtraction from saturating at low sequence numbers
+            // (which would erase priority for the first slices);
+            // priorities beyond `bias / aging_slices` saturate
+            // together.
+            SchedPolicy::Priority => {
+                const PRIORITY_BIAS: u64 = 1 << 32;
+                PRIORITY_BIAS
+                    .saturating_add(seq)
+                    .saturating_sub((t.priority as u64).saturating_mul(self.aging_slices))
+            }
+            // EDF on the absolute deadline; deadline-free tenants sort
+            // last.
+            SchedPolicy::Deadline => t.deadline.unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Runs every tenant to completion under the configured policy and
+    /// returns the per-tenant reports (indexed by admission order)
+    /// plus the scheduler's counters. Deterministic: the schedule is a
+    /// pure function of the tenant set, the policy, and the quanta.
     pub fn run_all(mut self) -> (Vec<TenantReport>, SchedStats) {
         let mut stats = SchedStats {
+            policy: self.policy,
             quantum: self.quantum,
             tenants: self.tenants.len() as u64,
+            rejected: self.rejected,
             ..SchedStats::default()
         };
-        loop {
-            let mut ran_any = false;
-            for (i, vm) in self.tenants.iter_mut().enumerate() {
-                if vm.finished() {
-                    continue;
-                }
-                ran_any = true;
-                let before = vm.stats().cycles;
-                let finished = vm.run_slice(self.quantum);
-                let used = vm.stats().cycles - before;
-                self.slices[i] += 1;
-                stats.slices += 1;
-                if !finished {
-                    stats.preemptions += 1;
-                }
-                stats.max_overshoot = stats.max_overshoot.max(used.saturating_sub(self.quantum));
+        // The machine's deterministic cycle clock: total cycles
+        // executed across all tenants. Deadlines are judged against it.
+        let mut clock: u64 = 0;
+        let mut seq: u64 = 0;
+        let mut ready = BinaryHeap::with_capacity(self.tenants.len());
+        for idx in 0..self.tenants.len() {
+            if !self.tenants[idx].vm.finished() {
+                ready.push(Ready {
+                    key: self.key_for(idx, seq),
+                    idx,
+                });
+                seq += 1;
             }
-            if !ran_any {
-                break;
-            }
-            stats.rounds += 1;
         }
-        let slices = std::mem::take(&mut self.slices);
+        stats.ready_peak = ready.len() as u64;
+        while let Some(Ready { idx, .. }) = ready.pop() {
+            let quantum = self.tenants[idx].quantum;
+            let t = &mut self.tenants[idx];
+            if t.first_slice.is_none() {
+                t.first_slice = Some(stats.slices);
+            }
+            let before = t.vm.stats().cycles;
+            let finished = t.vm.run_slice(quantum);
+            let used = t.vm.stats().cycles - before;
+            clock += used;
+            t.slices += 1;
+            stats.slices += 1;
+            stats.rounds = stats.rounds.max(t.slices);
+            let overshoot = used.saturating_sub(quantum);
+            t.max_overshoot = t.max_overshoot.max(overshoot);
+            stats.max_overshoot = stats.max_overshoot.max(overshoot);
+            if finished {
+                self.tenants[idx].finished_at = clock;
+            } else {
+                stats.preemptions += 1;
+                ready.push(Ready {
+                    key: self.key_for(idx, seq),
+                    idx,
+                });
+                seq += 1;
+                stats.ready_peak = stats.ready_peak.max(ready.len() as u64);
+            }
+        }
         let reports: Vec<TenantReport> = self
             .tenants
             .into_iter()
-            .zip(slices)
-            .map(|(vm, slices)| {
+            .map(|t| {
+                let Tenant {
+                    vm,
+                    deadline,
+                    slices,
+                    max_overshoot,
+                    first_slice,
+                    finished_at,
+                    ..
+                } = t;
                 let Outcome {
                     result,
                     stats,
                     output,
                     dispatch,
                 } = vm.into_outcome();
+                let mut outcome = TenantOutcome::of(&result);
+                if outcome == TenantOutcome::Done {
+                    if let Some(d) = deadline {
+                        if finished_at > d {
+                            outcome = TenantOutcome::DeadlineMissed;
+                        }
+                    }
+                }
                 TenantReport {
-                    outcome: TenantOutcome::of(&result),
+                    outcome,
                     result,
                     output,
                     stats,
                     dispatch,
                     slices,
+                    max_overshoot,
+                    first_slice,
                 }
             })
             .collect();
@@ -209,6 +725,7 @@ impl<'p> VmScheduler<'p> {
                 TenantOutcome::HeapExhausted => stats.heap_exhausted += 1,
                 TenantOutcome::Fault => stats.fault += 1,
                 TenantOutcome::OutOfFuel => stats.out_of_fuel += 1,
+                TenantOutcome::DeadlineMissed => stats.deadline_missed += 1,
             }
         }
         (reports, stats)

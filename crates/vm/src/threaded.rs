@@ -638,7 +638,7 @@ pub(crate) fn run_slice_threaded(vm: &mut VmInstance<'_>, quantum: u64) -> bool 
             .as_ref()
             .expect("threaded dispatch without a pre-decoded stream");
         let mut eng = Engine {
-            prog: vm.prog,
+            prog: &vm.prog,
             cfg: &vm.cfg,
             heap: &mut vm.heap,
             pool_ptrs: &vm.pool_ptrs,

@@ -336,12 +336,32 @@ pub fn run(prog: &MachineProgram, cfg: &VmConfig) -> Outcome {
     vm.into_outcome()
 }
 
+/// How a [`VmInstance`] holds its program: borrowed for solo runs
+/// (zero-copy, the [`run`] path), or shared for scheduler tenants so N
+/// instances of one program keep a single [`MachineProgram`] alive
+/// without a lifetime tying them to the caller's stack.
+pub(crate) enum ProgRef<'p> {
+    Borrowed(&'p MachineProgram),
+    Shared(std::sync::Arc<MachineProgram>),
+}
+
+impl std::ops::Deref for ProgRef<'_> {
+    type Target = MachineProgram;
+    #[inline]
+    fn deref(&self) -> &MachineProgram {
+        match self {
+            ProgRef::Borrowed(p) => p,
+            ProgRef::Shared(p) => p,
+        }
+    }
+}
+
 /// A resumable VM instance: one tenant's program, heap, registers, and
 /// counters. [`run`] drives one to completion in a single call; the
 /// [`VmScheduler`](crate::sched::VmScheduler) time-slices many of them
 /// on a cycle quantum, each against its own heap quota.
 pub struct VmInstance<'p> {
-    pub(crate) prog: &'p MachineProgram,
+    pub(crate) prog: ProgRef<'p>,
     pub(crate) cfg: VmConfig,
     pub(crate) heap: Heap,
     pub(crate) pool_ptrs: Vec<u32>,
@@ -369,6 +389,20 @@ impl<'p> VmInstance<'p> {
     /// marks the instance finished with a `Fault` before the first
     /// step.
     pub fn new(prog: &'p MachineProgram, cfg: &VmConfig) -> VmInstance<'p> {
+        VmInstance::with_prog(ProgRef::Borrowed(prog), cfg)
+    }
+
+    /// Like [`VmInstance::new`] but holding a shared, owned program
+    /// handle: N tenants of one program pay one compilation (and one
+    /// threaded pre-decode *each* — the stream is per-instance, the
+    /// code is not). The `'static` lifetime frees the instance from
+    /// the caller's stack, which is what lets the scheduler own its
+    /// tenants.
+    pub fn shared(prog: std::sync::Arc<MachineProgram>, cfg: &VmConfig) -> VmInstance<'static> {
+        VmInstance::with_prog(ProgRef::Shared(prog), cfg)
+    }
+
+    fn with_prog(prog: ProgRef<'p>, cfg: &VmConfig) -> VmInstance<'p> {
         let static_need: usize = prog
             .pool
             .iter()
@@ -402,8 +436,9 @@ impl<'p> VmInstance<'p> {
         }
         let threaded = match cfg.dispatch {
             Dispatch::Decode => None,
-            Dispatch::Threaded => Some(crate::threaded::predecode(prog)),
+            Dispatch::Threaded => Some(crate::threaded::predecode(&prog)),
         };
+        let entry = prog.entry as usize;
         VmInstance {
             prog,
             cfg: *cfg,
@@ -414,7 +449,7 @@ impl<'p> VmInstance<'p> {
             handler: tag_int(0),
             stats: RunStats::default(),
             output: String::new(),
-            block: prog.entry as usize,
+            block: entry,
             pc: 0,
             yield_ctr: 0,
             threaded,
@@ -518,7 +553,7 @@ impl<'p> VmInstance<'p> {
         let mut out: Option<VmResult> = None;
         let (block, pc) = {
             let mut eng = Engine {
-                prog: self.prog,
+                prog: &self.prog,
                 cfg: &self.cfg,
                 heap: &mut self.heap,
                 pool_ptrs: &self.pool_ptrs,

@@ -6,9 +6,10 @@
 
 use sml_vm::isa::{AOp, BrOp};
 use sml_vm::{
-    run, verify_threaded, CodeBlock, Dispatch, Instr, MachineProgram, Outcome, VmConfig,
-    VmInstance, VmResult, VmScheduler,
+    run, verify_threaded, CodeBlock, Dispatch, Instr, MachineProgram, Outcome, SchedulerBuilder,
+    TenantSpec, VmConfig, VmInstance, VmResult,
 };
+use std::sync::Arc;
 
 fn prog(instrs: Vec<Instr>) -> MachineProgram {
     MachineProgram {
@@ -244,11 +245,14 @@ fn out_of_fuel_is_identical_even_mid_superinstruction() {
 
 #[test]
 fn scheduler_runs_threaded_tenants_identically() {
-    let p = sum_loop(500);
+    let p = Arc::new(sum_loop(500));
     let run_tenants = |dispatch| {
-        let mut sched = VmScheduler::new(97); // odd quantum: exercise preemption
+        // Odd quantum: exercise preemption.
+        let mut sched = SchedulerBuilder::new().quantum(97).build().unwrap();
         for _ in 0..3 {
-            sched.spawn(&p, &cfg(dispatch));
+            sched
+                .admit(TenantSpec::new(p.clone(), &cfg(dispatch)))
+                .unwrap();
         }
         sched.run_all()
     };

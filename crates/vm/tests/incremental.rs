@@ -6,9 +6,22 @@
 
 use sml_vm::isa::{AOp, AllocKind, BrOp};
 use sml_vm::{
-    run, CodeBlock, GcMode, Instr, InstrClass, MachineProgram, RunStats, TenantOutcome, VmConfig,
-    VmResult, VmScheduler,
+    run, CodeBlock, GcMode, Instr, InstrClass, MachineProgram, RunStats, SchedulerBuilder,
+    TenantOutcome, TenantSpec, VmConfig, VmResult, VmScheduler,
 };
+use std::sync::Arc;
+
+/// A default round-robin scheduler on the given quantum.
+fn sched_of(quantum: u64) -> VmScheduler {
+    SchedulerBuilder::new().quantum(quantum).build().unwrap()
+}
+
+/// Admits one tenant of `p` under `cfg` (uncapped, cannot reject).
+fn spawn(sched: &mut VmScheduler, p: &MachineProgram, cfg: &VmConfig) {
+    sched
+        .admit(TenantSpec::new(Arc::new(p.clone()), cfg))
+        .unwrap();
+}
 
 fn prog(instrs: Vec<Instr>) -> MachineProgram {
     MachineProgram {
@@ -333,9 +346,12 @@ fn yielded_slices_interleave_mutator_with_active_major() {
 fn scheduler_runs_tenants_to_solo_identical_results() {
     let p = churn(100, 1_500);
     let solo = run(&p, &small_heap(0));
-    let mut sched = VmScheduler::new(5_000);
+    let mut sched = sched_of(5_000);
+    let shared = Arc::new(p.clone());
     for _ in 0..3 {
-        sched.spawn(&p, &small_heap(0));
+        sched
+            .admit(TenantSpec::new(shared.clone(), &small_heap(0)))
+            .unwrap();
     }
     let (reports, stats) = sched.run_all();
     assert_eq!(stats.tenants, 3);
@@ -370,14 +386,15 @@ fn scheduler_isolates_hostile_faulting_and_fuel_starved_tenants() {
         Instr::Halt { s: 2 },
     ]);
     let solo = run(&good, &small_heap(1_200));
-    let mut sched = VmScheduler::new(5_000);
+    let mut sched = sched_of(5_000);
     // Three well-behaved tenants around one heap hog, one fault, and
     // one fuel-starved tenant.
-    sched.spawn(&good, &small_heap(1_200));
-    sched.spawn(&hog, &small_heap(0)); // 4096-word quota: exhausts
-    sched.spawn(&good, &small_heap(1_200));
-    sched.spawn(&crasher, &VmConfig::default());
-    sched.spawn(
+    spawn(&mut sched, &good, &small_heap(1_200));
+    spawn(&mut sched, &hog, &small_heap(0)); // 4096-word quota: exhausts
+    spawn(&mut sched, &good, &small_heap(1_200));
+    spawn(&mut sched, &crasher, &VmConfig::default());
+    spawn(
+        &mut sched,
         &good,
         &VmConfig {
             max_cycles: 2_000,
@@ -411,9 +428,9 @@ fn scheduler_isolates_hostile_faulting_and_fuel_starved_tenants() {
 #[test]
 fn scheduler_overshoot_is_bounded_by_pause_budget() {
     let p = churn(100, 2_000);
-    let mut sched = VmScheduler::new(2_000);
-    sched.spawn(&p, &small_heap(1_200));
-    sched.spawn(&p, &small_heap(1_200));
+    let mut sched = sched_of(2_000);
+    spawn(&mut sched, &p, &small_heap(1_200));
+    spawn(&mut sched, &p, &small_heap(1_200));
     let (reports, stats) = sched.run_all();
     assert_eq!(stats.done, 2);
     for r in &reports {

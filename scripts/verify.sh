@@ -140,6 +140,20 @@ cargo test -q -p sml-vm --test dispatch
 echo "== dispatch bench (BENCH_pr9.json) =="
 cargo run -q --release -p smlc-bench --bin dispatch_bench
 
+# Scheduler gate (docs/SCHEDULER.md): the policy suite (builder
+# validation, typed admission errors, EDF feasibility, starvation
+# aging, overshoot accounting, a fault-injected 1000-tenant isolation
+# storm), then the bench gate. sched_bench's round-robin storm is the
+# no-regression baseline — every well-behaved tenant must stay
+# byte-identical to its solo run under each policy — and its deadline
+# curves must show EDF missing nothing on the feasible workload while
+# round-robin misses under load. Writes the BENCH_pr10.json trajectory.
+echo "== sched: policy suite =="
+cargo test -q -p sml-vm --test sched
+
+echo "== sched bench (BENCH_pr10.json) =="
+cargo run -q --release -p smlc-bench --bin sched_bench
+
 # Documentation gate: every relative Markdown link in README.md and
 # docs/*.md must resolve (first-party checker, no external deps).
 echo "== docs: relative-link check =="
